@@ -1,0 +1,112 @@
+//! Fitness functions for parameter estimation.
+//!
+//! The published calibration pipeline scores a putative parameterization by
+//! the *relative distance* between the simulated dynamics and target
+//! dynamics over the sampled time points and observed species.
+
+use paraspace_solvers::Solution;
+
+/// Relative L1 distance between a simulated and a target trajectory over a
+/// subset of observed species:
+///
+/// `Σ_t Σ_s |sim − target| / (|target| + ε)`
+///
+/// normalized by the number of (time, species) samples. Lower is better; a
+/// perfect fit scores 0. Failed simulations should be assigned
+/// [`FAILURE_FITNESS`] by the caller.
+///
+/// # Panics
+///
+/// Panics if the trajectories have different sample counts or a species
+/// index is out of range.
+///
+/// # Example
+///
+/// ```
+/// use paraspace_analysis::fitness::relative_distance;
+/// use paraspace_solvers::{Solution, StepStats};
+///
+/// let target = Solution {
+///     times: vec![1.0],
+///     states: vec![vec![2.0, 4.0]],
+///     stats: StepStats::default(),
+/// };
+/// let sim = Solution {
+///     times: vec![1.0],
+///     states: vec![vec![2.2, 4.0]],
+///     stats: StepStats::default(),
+/// };
+/// let d = relative_distance(&sim, &target, &[0, 1]);
+/// assert!((d - 0.05).abs() < 1e-6); // |2.2-2|/2 averaged over 2 samples
+/// ```
+pub fn relative_distance(sim: &Solution, target: &Solution, observed: &[usize]) -> f64 {
+    assert_eq!(sim.len(), target.len(), "trajectories must share sample counts");
+    let eps = 1e-12;
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for (s, t) in sim.states.iter().zip(&target.states) {
+        for &j in observed {
+            total += (s[j] - t[j]).abs() / (t[j].abs() + eps);
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
+}
+
+/// The fitness assigned to parameterizations whose simulation failed
+/// (diverged, exhausted its budget): effectively infinite, so the swarm
+/// moves away from them.
+pub const FAILURE_FITNESS: f64 = 1e12;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paraspace_solvers::StepStats;
+
+    fn sol(states: Vec<Vec<f64>>) -> Solution {
+        Solution { times: (0..states.len()).map(|i| i as f64).collect(), states, stats: StepStats::default() }
+    }
+
+    #[test]
+    fn perfect_fit_scores_zero() {
+        let t = sol(vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(relative_distance(&t, &t, &[0, 1]), 0.0);
+    }
+
+    #[test]
+    fn distance_is_relative_to_target_magnitude() {
+        let target = sol(vec![vec![100.0]]);
+        let off_by_one = sol(vec![vec![101.0]]);
+        let d = relative_distance(&off_by_one, &target, &[0]);
+        assert!((d - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn observed_subset_restricts_comparison() {
+        let target = sol(vec![vec![1.0, 100.0]]);
+        let sim = sol(vec![vec![1.0, 999.0]]);
+        assert_eq!(relative_distance(&sim, &target, &[0]), 0.0);
+        assert!(relative_distance(&sim, &target, &[1]) > 1.0);
+    }
+
+    #[test]
+    fn zero_target_handled_by_epsilon() {
+        let target = sol(vec![vec![0.0]]);
+        let sim = sol(vec![vec![1e-6]]);
+        let d = relative_distance(&sim, &target, &[0]);
+        assert!(d.is_finite());
+        assert!(d > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "share sample counts")]
+    fn mismatched_lengths_panic() {
+        let a = sol(vec![vec![1.0]]);
+        let b = sol(vec![vec![1.0], vec![2.0]]);
+        let _ = relative_distance(&a, &b, &[0]);
+    }
+}

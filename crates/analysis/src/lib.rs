@@ -1,0 +1,30 @@
+// Index-based loops are used deliberately throughout the numerical
+// kernels: they mirror the reference Fortran/C formulations and keep
+// multi-array stride arithmetic explicit.
+#![allow(clippy::needless_range_loop)]
+
+//! Parameter-space analysis on top of the batch simulation engines.
+//!
+//! The three Systems-Biology tasks the reproduction target accelerates:
+//!
+//! * **PSA** — [`psa`]: one- and two-dimensional parameter sweeps with
+//!   pluggable per-trajectory metrics (e.g. oscillation amplitude from
+//!   [`oscillation`]), batched through any [`paraspace_core::Simulator`];
+//! * **SA** — [`sobol`]: variance-based Sobol sensitivity analysis with the
+//!   Saltelli sampling scheme (the published `N·(2d+2)` design: 512 × 24 =
+//!   12288 model evaluations for the 11-dimensional metabolic case) and
+//!   bootstrap confidence intervals;
+//! * **PE** — [`pso`]: particle swarm optimization, both the classical
+//!   parameterization and an FST-PSO-style self-tuning variant, with the
+//!   relative-distance fitness of [`fitness`].
+//!
+//! [`throughput`] provides the time-budget accounting used by the published
+//! "how many simulations fit in 24 hours" comparisons.
+
+pub mod fitness;
+pub mod oscillation;
+pub mod pe;
+pub mod psa;
+pub mod pso;
+pub mod sobol;
+pub mod throughput;

@@ -1,0 +1,158 @@
+//! Oscillation metrics for sampled trajectories.
+//!
+//! The PSA-2D case study colors each sweep point by the *average amplitude*
+//! of the read-out's oscillations, with zero (black) marking quiescent
+//! dynamics. The metrics here operate on uniformly sampled series.
+
+/// Minimum relative swing for a series to count as oscillating; spread
+/// below `REST_FRACTION × mean` is treated as numerical ripple.
+const REST_FRACTION: f64 = 1e-3;
+
+/// A detected oscillation summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OscillationSummary {
+    /// Average peak-to-trough amplitude (0 when not oscillating).
+    pub amplitude: f64,
+    /// Estimated period in sample units (`None` when not oscillating).
+    pub period: Option<f64>,
+    /// Number of complete peaks detected.
+    pub peaks: usize,
+}
+
+/// Finds strict local maxima/minima of `series` (interior points only).
+fn extrema(series: &[f64]) -> (Vec<usize>, Vec<usize>) {
+    let mut maxima = Vec::new();
+    let mut minima = Vec::new();
+    for i in 1..series.len().saturating_sub(1) {
+        if series[i] > series[i - 1] && series[i] >= series[i + 1] {
+            maxima.push(i);
+        } else if series[i] < series[i - 1] && series[i] <= series[i + 1] {
+            minima.push(i);
+        }
+    }
+    (maxima, minima)
+}
+
+/// Analyzes a uniformly sampled series (sample spacing `dt`).
+///
+/// Amplitude is the mean difference between consecutive maxima and the
+/// minima between them; a series with fewer than two peaks, or with a
+/// total spread below the rest threshold, reports zero amplitude.
+///
+/// # Example
+///
+/// ```
+/// use paraspace_analysis::oscillation::analyze;
+///
+/// let series: Vec<f64> = (0..200).map(|i| (i as f64 * 0.1).sin()).collect();
+/// let s = analyze(&series, 0.1);
+/// assert!((s.amplitude - 2.0).abs() < 0.05);
+/// assert!((s.period.unwrap() - std::f64::consts::TAU).abs() < 0.3);
+/// ```
+pub fn analyze(series: &[f64], dt: f64) -> OscillationSummary {
+    let none = OscillationSummary { amplitude: 0.0, period: None, peaks: 0 };
+    if series.len() < 5 {
+        return none;
+    }
+    let max = series.iter().cloned().fold(f64::MIN, f64::max);
+    let min = series.iter().cloned().fold(f64::MAX, f64::min);
+    let mean = series.iter().sum::<f64>() / series.len() as f64;
+    if !(max.is_finite() && min.is_finite()) || max - min <= REST_FRACTION * mean.abs().max(1e-300)
+    {
+        return none;
+    }
+    let (maxima, minima) = extrema(series);
+    if maxima.len() < 2 || minima.is_empty() {
+        return none;
+    }
+    // Average peak-to-following-trough swing.
+    let mut swings = Vec::new();
+    for &p in &maxima {
+        if let Some(&t) = minima.iter().find(|&&t| t > p) {
+            swings.push(series[p] - series[t]);
+        }
+    }
+    if swings.is_empty() {
+        return none;
+    }
+    let amplitude = swings.iter().sum::<f64>() / swings.len() as f64;
+    if amplitude <= REST_FRACTION * mean.abs().max(1e-300) {
+        return none;
+    }
+    let period = if maxima.len() >= 2 {
+        let gaps: Vec<f64> =
+            maxima.windows(2).map(|w| (w[1] - w[0]) as f64 * dt).collect();
+        Some(gaps.iter().sum::<f64>() / gaps.len() as f64)
+    } else {
+        None
+    };
+    OscillationSummary { amplitude, period, peaks: maxima.len() }
+}
+
+/// Convenience: the average oscillation amplitude of a series (0 when
+/// quiescent) — the PSA-2D color value.
+pub fn amplitude(series: &[f64]) -> f64 {
+    analyze(series, 1.0).amplitude
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sine_wave_amplitude_and_period() {
+        let dt = 0.05;
+        let series: Vec<f64> = (0..500).map(|i| 3.0 * (i as f64 * dt * 2.0).sin() + 10.0).collect();
+        let s = analyze(&series, dt);
+        assert!((s.amplitude - 6.0).abs() < 0.1, "amplitude {}", s.amplitude);
+        assert!((s.period.unwrap() - std::f64::consts::PI).abs() < 0.1);
+        assert!(s.peaks >= 6);
+    }
+
+    #[test]
+    fn constant_series_is_quiescent() {
+        let series = vec![2.5; 100];
+        let s = analyze(&series, 0.1);
+        assert_eq!(s.amplitude, 0.0);
+        assert_eq!(s.period, None);
+    }
+
+    #[test]
+    fn monotone_decay_is_quiescent() {
+        let series: Vec<f64> = (0..100).map(|i| (-0.1 * i as f64).exp()).collect();
+        assert_eq!(amplitude(&series), 0.0);
+    }
+
+    #[test]
+    fn damped_ring_down_still_reports_while_ringing() {
+        let series: Vec<f64> =
+            (0..400).map(|i| (i as f64 * 0.2).sin() * (-0.002 * i as f64).exp() + 5.0).collect();
+        let s = analyze(&series, 0.2);
+        assert!(s.amplitude > 0.5);
+    }
+
+    #[test]
+    fn tiny_numerical_ripple_is_filtered() {
+        let series: Vec<f64> = (0..100).map(|i| 1.0 + 1e-9 * ((i % 2) as f64)).collect();
+        assert_eq!(amplitude(&series), 0.0);
+    }
+
+    #[test]
+    fn too_short_series_is_quiescent() {
+        assert_eq!(amplitude(&[1.0, 5.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn relaxation_waveform_measured_between_peak_and_trough() {
+        // Sawtooth-ish: peaks at 4, troughs at 0.
+        let mut series = Vec::new();
+        for _ in 0..10 {
+            for k in 0..10 {
+                series.push(k as f64 * 0.4);
+            }
+        }
+        let s = analyze(&series, 1.0);
+        assert!(s.amplitude > 2.0, "sawtooth amplitude {}", s.amplitude);
+        assert!((s.period.unwrap() - 10.0).abs() < 1.0);
+    }
+}

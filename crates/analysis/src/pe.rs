@@ -1,0 +1,237 @@
+//! Parameter estimation: calibrating unknown kinetic constants against
+//! target dynamics, one swarm generation per simulation batch.
+//!
+//! This is the published PE pipeline: FST-PSO proposes parameterizations
+//! (one per particle), the batch engine simulates the whole generation at
+//! once, and the relative-distance fitness scores each member against the
+//! target time series. The experiment compares the same estimation run
+//! priced on different engines.
+
+use crate::fitness::{relative_distance, FAILURE_FITNESS};
+use crate::pso::{fst_pso, Objective, PsoConfig, PsoResult};
+use paraspace_core::{SimulationJob, Simulator};
+use paraspace_rbm::{Parameterization, ReactionBasedModel};
+use paraspace_solvers::{Solution, SolverOptions};
+
+/// A parameter-estimation problem: which rate constants are unknown, their
+/// search bounds (log₁₀-space), and the target dynamics to match.
+#[derive(Debug)]
+pub struct EstimationProblem<'a> {
+    /// The model with placeholder values at the unknown positions.
+    pub model: &'a ReactionBasedModel,
+    /// Indices of the unknown rate constants.
+    pub unknown: Vec<usize>,
+    /// log₁₀ search bounds per unknown.
+    pub log_bounds: Vec<(f64, f64)>,
+    /// Observed species (columns of the fitness comparison).
+    pub observed: Vec<usize>,
+    /// Target trajectory sampled at `time_points`.
+    pub target: Solution,
+    /// Sampling times.
+    pub time_points: Vec<f64>,
+    /// Solver options for candidate evaluation.
+    pub options: SolverOptions,
+}
+
+/// Outcome of a calibration run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EstimationResult {
+    /// The optimizer's trace.
+    pub optimization: PsoResult,
+    /// The estimated rate constants (full vector with unknowns filled in).
+    pub rate_constants: Vec<f64>,
+    /// Total simulated engine time across all generations (ns).
+    pub simulated_ns: f64,
+    /// Total simulations executed.
+    pub simulations: usize,
+}
+
+struct EngineObjective<'p, 'a> {
+    problem: &'p EstimationProblem<'a>,
+    engine: &'p dyn Simulator,
+    simulated_ns: f64,
+    simulations: usize,
+}
+
+impl EngineObjective<'_, '_> {
+    fn constants_for(&self, log_values: &[f64]) -> Vec<f64> {
+        let mut k = self.problem.model.rate_constants();
+        for (&idx, &lv) in self.problem.unknown.iter().zip(log_values) {
+            k[idx] = 10f64.powf(lv);
+        }
+        k
+    }
+}
+
+impl Objective for EngineObjective<'_, '_> {
+    fn evaluate_batch(&mut self, xs: &[Vec<f64>]) -> Vec<f64> {
+        let batch: Vec<Parameterization> = xs
+            .iter()
+            .map(|x| Parameterization::new().with_rate_constants(self.constants_for(x)))
+            .collect();
+        let job = SimulationJob::builder(self.problem.model)
+            .time_points(self.problem.time_points.clone())
+            .parameterizations(batch)
+            .options(self.problem.options.clone())
+            .build()
+            .expect("estimation job must be well-formed");
+        let result = self.engine.run(&job).expect("engine failure is a configuration bug");
+        self.simulated_ns += result.timing.simulated_total_ns;
+        self.simulations += job.batch_size();
+        result
+            .outcomes
+            .iter()
+            .map(|o| match &o.solution {
+                Ok(sol) => relative_distance(sol, &self.problem.target, &self.problem.observed),
+                Err(_) => FAILURE_FITNESS,
+            })
+            .collect()
+    }
+}
+
+/// Calibrates the unknown constants with FST-PSO on the given engine.
+///
+/// # Example
+///
+/// ```
+/// use paraspace_analysis::pe::{estimate, EstimationProblem};
+/// use paraspace_analysis::pso::PsoConfig;
+/// use paraspace_core::{CpuEngine, CpuSolverKind, SimulationJob, Simulator};
+/// use paraspace_rbm::{Reaction, ReactionBasedModel};
+/// use paraspace_solvers::SolverOptions;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Ground truth: decay at rate 2. Start the search from a placeholder.
+/// let mut truth = ReactionBasedModel::new();
+/// let a = truth.add_species("A", 1.0);
+/// truth.add_reaction(Reaction::mass_action(&[(a, 1)], &[], 2.0))?;
+/// let times = vec![0.5, 1.0, 2.0];
+/// let engine = CpuEngine::new(CpuSolverKind::Lsoda);
+/// let target_job = SimulationJob::builder(&truth).time_points(times.clone()).replicate(1).build()?;
+/// let target = engine.run(&target_job)?.outcomes.remove(0).solution?;
+///
+/// let problem = EstimationProblem {
+///     model: &truth,
+///     unknown: vec![0],
+///     log_bounds: vec![(-2.0, 2.0)],
+///     observed: vec![0],
+///     target,
+///     time_points: times,
+///     options: SolverOptions::default(),
+/// };
+/// let r = estimate(&problem, &engine, &PsoConfig { iterations: 25, ..Default::default() });
+/// assert!((r.rate_constants[0] - 2.0).abs() < 0.2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn estimate(
+    problem: &EstimationProblem<'_>,
+    engine: &dyn Simulator,
+    config: &PsoConfig,
+) -> EstimationResult {
+    assert_eq!(
+        problem.unknown.len(),
+        problem.log_bounds.len(),
+        "one bound pair per unknown constant"
+    );
+    let mut objective = EngineObjective { problem, engine, simulated_ns: 0.0, simulations: 0 };
+    let optimization = {
+        let obj = &mut objective;
+        // A small shim because `fst_pso` takes the objective by value.
+        struct Shim<'x, 'p, 'a>(&'x mut EngineObjective<'p, 'a>);
+        impl Objective for Shim<'_, '_, '_> {
+            fn evaluate_batch(&mut self, xs: &[Vec<f64>]) -> Vec<f64> {
+                self.0.evaluate_batch(xs)
+            }
+        }
+        fst_pso(&problem.log_bounds, config, Shim(obj))
+    };
+    let mut k = problem.model.rate_constants();
+    for (&idx, &lv) in problem.unknown.iter().zip(&optimization.best_position) {
+        k[idx] = 10f64.powf(lv);
+    }
+    EstimationResult {
+        rate_constants: k,
+        simulated_ns: objective.simulated_ns,
+        simulations: objective.simulations,
+        optimization,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paraspace_core::{CpuEngine, CpuSolverKind, FineCoarseEngine};
+    use paraspace_rbm::Reaction;
+
+    fn two_step_model(k1: f64, k2: f64) -> ReactionBasedModel {
+        let mut m = ReactionBasedModel::new();
+        let a = m.add_species("A", 1.0);
+        let b = m.add_species("B", 0.0);
+        let c = m.add_species("C", 0.0);
+        m.add_reaction(Reaction::mass_action(&[(a, 1)], &[(b, 1)], k1)).unwrap();
+        m.add_reaction(Reaction::mass_action(&[(b, 1)], &[(c, 1)], k2)).unwrap();
+        m
+    }
+
+    fn target_for(model: &ReactionBasedModel, times: &[f64]) -> Solution {
+        let engine = CpuEngine::new(CpuSolverKind::Lsoda);
+        let job = SimulationJob::builder(model)
+            .time_points(times.to_vec())
+            .replicate(1)
+            .build()
+            .unwrap();
+        engine.run(&job).unwrap().outcomes.remove(0).solution.unwrap()
+    }
+
+    #[test]
+    fn recovers_two_constants_from_dynamics() {
+        let truth = two_step_model(1.5, 0.4);
+        let times: Vec<f64> = (1..=8).map(|i| i as f64 * 0.5).collect();
+        let target = target_for(&truth, &times);
+        let problem = EstimationProblem {
+            model: &truth,
+            unknown: vec![0, 1],
+            log_bounds: vec![(-2.0, 1.0), (-2.0, 1.0)],
+            observed: vec![0, 1, 2],
+            target,
+            time_points: times,
+            options: SolverOptions::default(),
+        };
+        let engine = CpuEngine::new(CpuSolverKind::Lsoda);
+        let cfg = PsoConfig { iterations: 40, seed: 3, ..Default::default() };
+        let r = estimate(&problem, &engine, &cfg);
+        assert!(r.optimization.best_fitness < 0.02, "fitness {}", r.optimization.best_fitness);
+        assert!((r.rate_constants[0] - 1.5).abs() < 0.15, "k1 = {}", r.rate_constants[0]);
+        assert!((r.rate_constants[1] - 0.4).abs() < 0.08, "k2 = {}", r.rate_constants[1]);
+        assert!(r.simulations > 0);
+        assert!(r.simulated_ns > 0.0);
+    }
+
+    #[test]
+    fn gpu_engine_spends_less_simulated_time_per_generation() {
+        let truth = two_step_model(1.0, 0.5);
+        let times = vec![1.0, 2.0];
+        let target = target_for(&truth, &times);
+        let problem = EstimationProblem {
+            model: &truth,
+            unknown: vec![0],
+            log_bounds: vec![(-1.0, 1.0)],
+            observed: vec![0],
+            target,
+            time_points: times,
+            options: SolverOptions::default(),
+        };
+        let cfg = PsoConfig { iterations: 8, swarm_size: Some(32), seed: 1, ..Default::default() };
+        let cpu = estimate(&problem, &CpuEngine::new(CpuSolverKind::Lsoda), &cfg);
+        let gpu = estimate(&problem, &FineCoarseEngine::new(), &cfg);
+        assert!(
+            gpu.simulated_ns < cpu.simulated_ns,
+            "batched swarm must be cheaper on the GPU engine: {} vs {}",
+            gpu.simulated_ns,
+            cpu.simulated_ns
+        );
+        // Same optimizer seed ⇒ same search trajectory quality ballpark.
+        assert!(gpu.optimization.best_fitness < 0.1);
+    }
+}

@@ -1,0 +1,469 @@
+//! Variance-based Sobol sensitivity analysis with Saltelli sampling.
+//!
+//! The published analysis computes first-order (`S1`) and total-order
+//! (`ST`) indices with 95% confidence intervals for 11 input dimensions,
+//! from `N·(2d+2)` model evaluations (512 × 24 = 12288). This module
+//! implements:
+//!
+//! * a low-discrepancy **Halton** base sample (the quasi-random role the
+//!   Sobol sequence plays in the original toolchain — any low-discrepancy
+//!   generator satisfies the Saltelli scheme's requirements),
+//! * the **Saltelli radial design**: matrices `A`, `B`, and the hybrids
+//!   `ABᵢ`/`BAᵢ`,
+//! * the Jansen/Saltelli estimators for `S1` and `ST`,
+//! * **bootstrap** confidence intervals (resampling rows, normal-theory
+//!   half-widths at the requested confidence level, as in SALib).
+
+use rand::Rng;
+
+/// A sensitivity-analysis result for one input dimension.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SobolIndices {
+    /// First-order index S1.
+    pub s1: f64,
+    /// Half-width of the S1 confidence interval.
+    pub s1_conf: f64,
+    /// Total-order index ST.
+    pub st: f64,
+    /// Half-width of the ST confidence interval.
+    pub st_conf: f64,
+}
+
+/// The Saltelli evaluation plan: every row is one model evaluation point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SaltelliPlan {
+    /// Input dimensionality `d`.
+    pub dims: usize,
+    /// Base sample count `N`.
+    pub base_samples: usize,
+    /// All evaluation points, length `N·(2d+2)`, layout:
+    /// `[A; B; AB₀; …; AB_{d−1}; BA₀; …; BA_{d−1}]`.
+    pub points: Vec<Vec<f64>>,
+}
+
+/// The van der Corput radical inverse in base `b` for index `i`.
+fn radical_inverse(mut i: u64, b: u64) -> f64 {
+    let inv = 1.0 / b as f64;
+    let mut x = 0.0;
+    let mut f = inv;
+    while i > 0 {
+        x += (i % b) as f64 * f;
+        i /= b;
+        f *= inv;
+    }
+    x
+}
+
+const PRIMES: [u64; 32] = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
+    97, 101, 103, 107, 109, 113, 127, 131,
+];
+
+/// Deterministic per-dimension shift for the Cranley–Patterson rotation
+/// (defeats the correlated striping of high-base Halton dimensions).
+fn dimension_shift(d: usize) -> f64 {
+    let mut z = (d as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Generates `n` randomized-Halton points in `[0,1)^dims`: radical inverse
+/// per prime base plus a fixed per-dimension rotation.
+///
+/// # Panics
+///
+/// Panics if `dims` exceeds the prime table (32 bases, enough for the
+/// `2·d` dimensions of an 11-input Saltelli design).
+fn halton(n: usize, dims: usize) -> Vec<Vec<f64>> {
+    assert!(dims <= PRIMES.len(), "halton table supports up to {} dims", PRIMES.len());
+    (0..n as u64)
+        .map(|i| {
+            (0..dims)
+                .map(|d| {
+                    let x = radical_inverse(i + 20, PRIMES[d]) + dimension_shift(d);
+                    x - x.floor()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+impl SaltelliPlan {
+    /// Builds the `N·(2d+2)` Saltelli design on the unit hypercube.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims == 0`, `2·dims` exceeds the 32-base prime table, or
+    /// `base_samples == 0`.
+    pub fn new(dims: usize, base_samples: usize) -> Self {
+        assert!(dims > 0 && base_samples > 0, "plan must be non-empty");
+        // A and B are disjoint *dimensions* of one 2d-dimensional
+        // low-discrepancy stream (the standard Saltelli construction), so
+        // row j of A is quasi-independent of row j of B.
+        let joint = halton(base_samples, 2 * dims);
+        let a: Vec<Vec<f64>> = joint.iter().map(|row| row[..dims].to_vec()).collect();
+        let b: Vec<Vec<f64>> = joint.iter().map(|row| row[dims..].to_vec()).collect();
+        let mut points = Vec::with_capacity(base_samples * (2 * dims + 2));
+        points.extend(a.iter().cloned());
+        points.extend(b.iter().cloned());
+        for d in 0..dims {
+            for j in 0..base_samples {
+                let mut row = a[j].clone();
+                row[d] = b[j][d];
+                points.push(row);
+            }
+        }
+        for d in 0..dims {
+            for j in 0..base_samples {
+                let mut row = b[j].clone();
+                row[d] = a[j][d];
+                points.push(row);
+            }
+        }
+        SaltelliPlan { dims, base_samples, points }
+    }
+
+    /// Total number of model evaluations: `N·(2d+2)`.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the plan is empty (never, for constructed plans).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Maps the unit-hypercube points into `[lo, hi]` boxes per dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds.len() != dims`.
+    pub fn scaled(&self, bounds: &[(f64, f64)]) -> Vec<Vec<f64>> {
+        assert_eq!(bounds.len(), self.dims, "one bound pair per dimension");
+        self.points
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .zip(bounds)
+                    .map(|(&u, &(lo, hi))| lo + u * (hi - lo))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Computes `S1`/`ST` (with bootstrap confidence intervals) from the
+    /// model outputs evaluated at [`points`](SaltelliPlan::points), in
+    /// order.
+    ///
+    /// `resamples` bootstrap draws (e.g. 200) and `confidence` level (e.g.
+    /// 0.95).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outputs.len() != self.len()`.
+    pub fn analyze<R: Rng + ?Sized>(
+        &self,
+        outputs: &[f64],
+        resamples: usize,
+        confidence: f64,
+        rng: &mut R,
+    ) -> Vec<SobolIndices> {
+        assert_eq!(outputs.len(), self.len(), "one output per evaluation point");
+        let n = self.base_samples;
+        let d = self.dims;
+        let fa = &outputs[0..n];
+        let fb = &outputs[n..2 * n];
+        let fab = |i: usize| &outputs[(2 + i) * n..(3 + i) * n];
+
+        let idx_all: Vec<usize> = (0..n).collect();
+        let z = normal_quantile(0.5 + confidence / 2.0);
+        (0..d)
+            .map(|i| {
+                let (s1, st) = estimate(fa, fb, fab(i), &idx_all);
+                // Bootstrap over base-sample rows.
+                let mut s1_samples = Vec::with_capacity(resamples);
+                let mut st_samples = Vec::with_capacity(resamples);
+                for _ in 0..resamples {
+                    let idx: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
+                    let (b1, bt) = estimate(fa, fb, fab(i), &idx);
+                    if b1.is_finite() && bt.is_finite() {
+                        s1_samples.push(b1);
+                        st_samples.push(bt);
+                    }
+                }
+                SobolIndices {
+                    s1,
+                    s1_conf: z * std_dev(&s1_samples),
+                    st,
+                    st_conf: z * std_dev(&st_samples),
+                }
+            })
+            .collect()
+    }
+}
+
+impl SaltelliPlan {
+    /// Computes the closed second-order indices `S2[i][j]` (`i < j`) with
+    /// the Saltelli 2002 estimator, using the `BAᵢ` half of the design:
+    ///
+    /// `S2_ij = (V_ij^closed − V_i − V_j) / V` with
+    /// `V_ij^closed = 1/N Σ f(BAᵢ)·f(ABⱼ) − f₀²`.
+    ///
+    /// The published metabolic analysis reports exactly this quantity
+    /// alongside S1/ST (the `N·(2d+2)` design exists for its sake).
+    ///
+    /// Returns a `d × d` matrix with zeros on and below the diagonal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outputs.len() != self.len()`.
+    pub fn analyze_second_order(&self, outputs: &[f64]) -> Vec<Vec<f64>> {
+        assert_eq!(outputs.len(), self.len(), "one output per evaluation point");
+        let n = self.base_samples;
+        let d = self.dims;
+        let fa = &outputs[0..n];
+        let fb = &outputs[n..2 * n];
+        let fab = |i: usize| &outputs[(2 + i) * n..(3 + i) * n];
+        let fba = |i: usize| &outputs[(2 + d + i) * n..(3 + d + i) * n];
+
+        let mean: f64 = fa.iter().chain(fb.iter()).sum::<f64>() / (2 * n) as f64;
+        let var: f64 = fa
+            .iter()
+            .chain(fb.iter())
+            .map(|&v| (v - mean).powi(2))
+            .sum::<f64>()
+            / (2 * n - 1) as f64;
+        let mut s2 = vec![vec![0.0; d]; d];
+        if var <= 0.0 {
+            return s2;
+        }
+        // First-order variances via the Saltelli 2010 estimator.
+        let v1: Vec<f64> = (0..d)
+            .map(|i| {
+                fb.iter().zip(fab(i)).zip(fa).map(|((&b, &ab), &a)| b * (ab - a)).sum::<f64>()
+                    / n as f64
+            })
+            .collect();
+        for i in 0..d {
+            for j in (i + 1)..d {
+                let vij_closed: f64 = fba(i)
+                    .iter()
+                    .zip(fab(j))
+                    .map(|(&x, &y)| x * y)
+                    .sum::<f64>()
+                    / n as f64
+                    - mean * mean;
+                s2[i][j] = (vij_closed - v1[i] - v1[j]) / var;
+            }
+        }
+        s2
+    }
+}
+
+/// Saltelli 2010 S1 estimator and Jansen ST estimator over selected rows.
+fn estimate(fa: &[f64], fb: &[f64], fab: &[f64], rows: &[usize]) -> (f64, f64) {
+    let n = rows.len() as f64;
+    let mean: f64 = rows.iter().map(|&j| fa[j] + fb[j]).sum::<f64>() / (2.0 * n);
+    let var: f64 = rows
+        .iter()
+        .map(|&j| (fa[j] - mean).powi(2) + (fb[j] - mean).powi(2))
+        .sum::<f64>()
+        / (2.0 * n - 1.0);
+    if var <= 0.0 {
+        return (0.0, 0.0);
+    }
+    let s1_num: f64 = rows.iter().map(|&j| fb[j] * (fab[j] - fa[j])).sum::<f64>() / n;
+    let st_num: f64 = rows.iter().map(|&j| (fa[j] - fab[j]).powi(2)).sum::<f64>() / (2.0 * n);
+    (s1_num / var, st_num / var)
+}
+
+fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    (xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+}
+
+/// Inverse standard normal CDF (Acklam's rational approximation; |err| <
+/// 1.2e-9 — ample for confidence half-widths).
+fn normal_quantile(p: f64) -> f64 {
+    assert!((0.0..1.0).contains(&p) && p > 0.0, "quantile needs p in (0,1)");
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.38357751867269e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    let p_low = 0.02425;
+    if p < p_low {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - p_low {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        -normal_quantile(1.0 - p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn plan_has_published_size() {
+        // The metabolic case: d = 11, N = 512 ⇒ 12288 evaluations.
+        let plan = SaltelliPlan::new(11, 512);
+        assert_eq!(plan.len(), 12_288);
+    }
+
+    #[test]
+    fn halton_points_are_in_unit_cube_and_low_discrepancy() {
+        let pts = halton(512, 5);
+        for p in &pts {
+            for &x in p {
+                assert!((0.0..1.0).contains(&x));
+            }
+        }
+        // 1-D stratification: each of 8 bins of the first coordinate gets
+        // close to 1/8 of the mass.
+        let mut bins = [0usize; 8];
+        for p in &pts {
+            bins[(p[0] * 8.0) as usize] += 1;
+        }
+        for &b in &bins {
+            assert!((56..=72).contains(&b), "bin {b} too uneven for a low-discrepancy set");
+        }
+    }
+
+    #[test]
+    fn scaled_respects_bounds() {
+        let plan = SaltelliPlan::new(2, 16);
+        let pts = plan.scaled(&[(0.0, 10.0), (-1.0, 1.0)]);
+        for p in &pts {
+            assert!((0.0..10.0).contains(&p[0]));
+            assert!((-1.0..1.0).contains(&p[1]));
+        }
+    }
+
+    #[test]
+    fn ishigami_like_additive_function_recovers_known_indices() {
+        // f(x) = 2·x₀ + 1·x₁ + 0·x₂ on [0,1]³: analytic variance shares
+        // S1 = [4/5, 1/5, 0] (variance of a·U is a²/12).
+        let plan = SaltelliPlan::new(3, 2048);
+        let outputs: Vec<f64> = plan.points.iter().map(|p| 2.0 * p[0] + p[1]).collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        let idx = plan.analyze(&outputs, 100, 0.95, &mut rng);
+        assert!((idx[0].s1 - 0.8).abs() < 0.05, "S1[0] = {}", idx[0].s1);
+        assert!((idx[1].s1 - 0.2).abs() < 0.05, "S1[1] = {}", idx[1].s1);
+        assert!(idx[2].s1.abs() < 0.05, "S1[2] = {}", idx[2].s1);
+        // Additive function: ST ≈ S1.
+        for k in 0..3 {
+            assert!((idx[k].st - idx[k].s1).abs() < 0.06);
+        }
+        // Confidence intervals are positive and modest.
+        assert!(idx[0].s1_conf > 0.0 && idx[0].s1_conf < 0.2);
+    }
+
+    #[test]
+    fn interaction_shows_in_total_order_only() {
+        // f = x₀·x₁ (centered): purely interactive for symmetric inputs on
+        // [-1,1]²: S1 ≈ 0 but ST ≈ 1 for both.
+        let plan = SaltelliPlan::new(2, 4096);
+        let pts = plan.scaled(&[(-1.0, 1.0), (-1.0, 1.0)]);
+        let outputs: Vec<f64> = pts.iter().map(|p| p[0] * p[1]).collect();
+        let mut rng = StdRng::seed_from_u64(2);
+        let idx = plan.analyze(&outputs, 100, 0.95, &mut rng);
+        for k in 0..2 {
+            assert!(idx[k].s1.abs() < 0.08, "S1[{k}] = {}", idx[k].s1);
+            assert!(idx[k].st > 0.8, "ST[{k}] = {}", idx[k].st);
+        }
+    }
+
+    #[test]
+    fn constant_output_gives_zero_indices() {
+        let plan = SaltelliPlan::new(2, 64);
+        let outputs = vec![5.0; plan.len()];
+        let mut rng = StdRng::seed_from_u64(3);
+        let idx = plan.analyze(&outputs, 50, 0.95, &mut rng);
+        for i in idx {
+            assert_eq!(i.s1, 0.0);
+            assert_eq!(i.st, 0.0);
+        }
+    }
+
+    #[test]
+    fn normal_quantile_known_values() {
+        assert!((normal_quantile(0.975) - 1.959_964).abs() < 1e-4);
+        assert!((normal_quantile(0.5)).abs() < 1e-9);
+        assert!((normal_quantile(0.025) + 1.959_964).abs() < 1e-4);
+    }
+
+    #[test]
+    fn second_order_detects_pairwise_interaction() {
+        // f = x₀·x₁ + x₂ on [-1,1]³: S2(0,1) carries the whole interaction,
+        // every other pair is zero.
+        let plan = SaltelliPlan::new(3, 4096);
+        let pts = plan.scaled(&[(-1.0, 1.0); 3]);
+        let outputs: Vec<f64> = pts.iter().map(|p| p[0] * p[1] + p[2]).collect();
+        let s2 = plan.analyze_second_order(&outputs);
+        // Var(x0·x1) = 1/9, Var(x2) = 1/3 ⇒ S2(0,1) = (1/9)/(4/9) = 0.25.
+        assert!((s2[0][1] - 0.25).abs() < 0.08, "S2(0,1) = {}", s2[0][1]);
+        assert!(s2[0][2].abs() < 0.08, "S2(0,2) = {}", s2[0][2]);
+        assert!(s2[1][2].abs() < 0.08, "S2(1,2) = {}", s2[1][2]);
+        // Strictly upper triangular.
+        assert_eq!(s2[1][0], 0.0);
+        assert_eq!(s2[2][2], 0.0);
+    }
+
+    #[test]
+    fn second_order_of_additive_function_is_zero() {
+        let plan = SaltelliPlan::new(3, 2048);
+        let outputs: Vec<f64> = plan.points.iter().map(|p| 2.0 * p[0] + p[1] - p[2]).collect();
+        let s2 = plan.analyze_second_order(&outputs);
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                assert!(s2[i][j].abs() < 0.06, "S2({i},{j}) = {}", s2[i][j]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one output per evaluation point")]
+    fn wrong_output_length_panics() {
+        let plan = SaltelliPlan::new(2, 8);
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = plan.analyze(&[1.0, 2.0], 10, 0.95, &mut rng);
+    }
+}

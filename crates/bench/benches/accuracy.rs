@@ -1,0 +1,43 @@
+//! Experiment V1 (criterion side): cost of reaching a given tolerance.
+//!
+//! The published claim is "similar and often higher precision … with a
+//! dramatic reduction of execution time"; this bench measures each
+//! solver's cost at tightening tolerances on a problem with an exact
+//! solution (the companion `accuracy_table` binary prints the matching
+//! error table).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paraspace_solvers::{Dopri5, FnSystem, Lsoda, OdeSolver, Radau5, SolverOptions};
+
+fn tolerance_cost(c: &mut Criterion) {
+    // Stiff linear problem with exact solution sin(t).
+    let sys = FnSystem::new(1, |t: f64, y: &[f64], d: &mut [f64]| {
+        d[0] = -1e4 * (y[0] - t.sin()) + t.cos();
+    });
+    let solvers: Vec<Box<dyn OdeSolver>> =
+        vec![Box::new(Radau5::new()), Box::new(Lsoda::new()), Box::new(Dopri5::new())];
+    for rtol in [1e-4, 1e-6, 1e-8] {
+        let mut group = c.benchmark_group(format!("tolerance_{rtol:e}"));
+        for s in &solvers {
+            let opts = SolverOptions {
+                max_steps: 2_000_000,
+                ..SolverOptions::with_tolerances(rtol, rtol * 1e-4)
+            };
+            group.bench_with_input(BenchmarkId::new(s.name(), rtol), &rtol, |b, _| {
+                b.iter(|| {
+                    // DOPRI5 may (correctly) bail out with a stiffness
+                    // diagnosis; that exit is part of its cost profile.
+                    let _ = s.solve(&sys, 0.0, &[0.0], &[2.0], &opts);
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = tolerance_cost
+}
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion benchmarks of the batch engines: host-side cost of running a
+//! batch (the simulated device times are reported by the experiment
+//! binaries; this tracks the reproduction's own execution cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paraspace_core::{
+    CoarseEngine, CpuEngine, CpuSolverKind, FineCoarseEngine, FineEngine, SimulationJob,
+    Simulator,
+};
+use paraspace_rbm::{perturbed_batch, sbgen::SbGen};
+use paraspace_solvers::SolverOptions;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn engine_batches(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(99);
+    let model = SbGen::new(24, 24).generate(&mut rng);
+    let batch = perturbed_batch(&model, 32, &mut rng);
+    let opts = SolverOptions { max_steps: 100_000, ..SolverOptions::default() };
+    let engines: Vec<Box<dyn Simulator>> = vec![
+        Box::new(CpuEngine::new(CpuSolverKind::Lsoda)),
+        Box::new(CoarseEngine::new()),
+        Box::new(FineEngine::new()),
+        Box::new(FineCoarseEngine::new()),
+    ];
+    let mut group = c.benchmark_group("engine_batch_32x24x24");
+    for e in &engines {
+        group.bench_function(e.name(), |b| {
+            b.iter(|| {
+                let job = SimulationJob::builder(&model)
+                    .time_points(vec![0.5, 1.0])
+                    .parameterizations(batch.clone())
+                    .options(opts.clone())
+                    .build()
+                    .expect("job");
+                e.run(&job).expect("run")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn batch_size_scaling(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let model = SbGen::new(16, 16).generate(&mut rng);
+    let opts = SolverOptions { max_steps: 100_000, ..SolverOptions::default() };
+    let engine = FineCoarseEngine::new();
+    let mut group = c.benchmark_group("fine_coarse_batch_size");
+    for sims in [8usize, 32, 128] {
+        let batch = perturbed_batch(&model, sims, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(sims), &sims, |b, _| {
+            b.iter(|| {
+                let job = SimulationJob::builder(&model)
+                    .time_points(vec![1.0])
+                    .parameterizations(batch.clone())
+                    .options(opts.clone())
+                    .build()
+                    .expect("job");
+                engine.run(&job).expect("run")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = engine_batches, batch_size_scaling
+}
+criterion_main!(benches);

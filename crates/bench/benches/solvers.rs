@@ -1,0 +1,80 @@
+//! Criterion microbenchmarks of the ODE solvers on canonical problems:
+//! wall-clock cost per integration at the published tolerances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paraspace_core::RbmOdeSystem;
+use paraspace_models::classic;
+use paraspace_rbm::sbgen::SbGen;
+use paraspace_solvers::{
+    AdamsMoulton, Bdf, Dopri5, FnSystem, Lsoda, OdeSolver, Radau5, Rkf45, SolverOptions, Vode,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn nonstiff_solvers(c: &mut Criterion) {
+    let sys = FnSystem::new(2, |_t, y: &[f64], d: &mut [f64]| {
+        d[0] = y[1];
+        d[1] = -y[0];
+    });
+    let times: Vec<f64> = (1..=20).map(|i| i as f64).collect();
+    let opts = SolverOptions::default();
+    let mut group = c.benchmark_group("nonstiff_oscillator");
+    let solvers: Vec<Box<dyn OdeSolver>> = vec![
+        Box::new(Dopri5::new()),
+        Box::new(Rkf45::new()),
+        Box::new(AdamsMoulton::new()),
+        Box::new(Lsoda::new()),
+        Box::new(Vode::new()),
+    ];
+    for s in &solvers {
+        group.bench_function(s.name(), |b| {
+            b.iter(|| s.solve(&sys, 0.0, &[1.0, 0.0], &times, &opts).expect("solve"))
+        });
+    }
+    group.finish();
+}
+
+fn stiff_solvers(c: &mut Criterion) {
+    let model = classic::robertson();
+    let odes = model.compile().expect("compile");
+    let sys = RbmOdeSystem::new(&odes, model.rate_constants());
+    let times = [0.4, 4.0, 40.0];
+    let opts = SolverOptions { max_steps: 200_000, ..SolverOptions::default() };
+    let mut group = c.benchmark_group("stiff_robertson");
+    let solvers: Vec<Box<dyn OdeSolver>> =
+        vec![Box::new(Radau5::new()), Box::new(Bdf::new()), Box::new(Lsoda::new())];
+    for s in &solvers {
+        group.bench_function(s.name(), |b| {
+            b.iter(|| s.solve(&sys, 0.0, &model.initial_state(), &times, &opts).expect("solve"))
+        });
+    }
+    group.finish();
+}
+
+fn rhs_scaling(c: &mut Criterion) {
+    // Cost of one integration as the network grows: the quantity the
+    // fine-grained engine parallelizes.
+    let mut group = c.benchmark_group("dopri5_model_size");
+    for size in [16usize, 64, 128] {
+        let mut rng = StdRng::seed_from_u64(size as u64);
+        let model = SbGen::new(size, size).generate(&mut rng);
+        let odes = model.compile().expect("compile");
+        let sys = RbmOdeSystem::new(&odes, model.rate_constants());
+        let opts = SolverOptions { max_steps: 100_000, ..SolverOptions::default() };
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| {
+                Dopri5::new()
+                    .solve(&sys, 0.0, &model.initial_state(), &[0.5, 1.0], &opts)
+                    .expect("solve")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = nonstiff_solvers, stiff_solvers, rhs_scaling
+}
+criterion_main!(benches);

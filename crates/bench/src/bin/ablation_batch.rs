@@ -1,0 +1,58 @@
+//! Ablation A1: batch-size sweep.
+//!
+//! Fixes a model and sweeps the number of parallel simulations; prints the
+//! per-simulation simulated time of the fine+coarse engine. The published
+//! behaviour: cost per simulation falls with batch size until the
+//! dynamic-parallelism launch queue saturates (knee past 512 pending
+//! launches, severe past ~2048), making ~512-per-batch the sweet spot and
+//! more than 2048 counterproductive. A second sweep with the DP penalty
+//! disabled isolates the cause.
+
+use paraspace_bench::{fmt_ns, full_scale};
+use paraspace_core::{FineCoarseEngine, SimulationJob, Simulator};
+use paraspace_rbm::{perturbed_batch, sbgen::SbGen};
+use paraspace_solvers::SolverOptions;
+use paraspace_vgpu::DpModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let size = if full_scale() { 64 } else { 24 };
+    let batches: Vec<usize> = if full_scale() {
+        vec![64, 128, 256, 512, 1024, 2048, 4096, 8192]
+    } else {
+        vec![64, 256, 512, 2048, 4096]
+    };
+    let mut rng = StdRng::seed_from_u64(0xA1);
+    let model = SbGen::new(size, size).generate(&mut rng);
+    let opts = SolverOptions { max_steps: 100_000, ..SolverOptions::default() };
+
+    println!("A1: batch-size ablation on a {size}x{size} model\n");
+    println!("{:>8} {:>16} {:>16} {:>16}", "batch", "per-sim (DP)", "per-sim (no DP)", "total (DP)");
+    let no_dp = DpModel {
+        flat_until: usize::MAX,
+        severe_at: usize::MAX,
+        knee_factor: 1.0,
+        severe_exponent: 0.0,
+        dispatch_ns: 0.0,
+    };
+    for &b in &batches {
+        let batch = perturbed_batch(&model, b, &mut rng);
+        let job = SimulationJob::builder(&model)
+            .time_points(vec![1.0, 2.0])
+            .parameterizations(batch)
+            .options(opts.clone())
+            .build()
+            .expect("job");
+        let with_dp = FineCoarseEngine::new().run(&job).expect("run");
+        let without = FineCoarseEngine::new().with_dp_model(no_dp.clone()).run(&job).expect("run");
+        println!(
+            "{:>8} {:>16} {:>16} {:>16}",
+            b,
+            fmt_ns(with_dp.timing.simulated_total_ns / b as f64),
+            fmt_ns(without.timing.simulated_total_ns / b as f64),
+            fmt_ns(with_dp.timing.simulated_total_ns)
+        );
+    }
+    println!("\n(the DP column should stop improving past ~2048; the no-DP column keeps scaling)");
+}

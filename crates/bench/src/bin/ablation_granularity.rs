@@ -1,0 +1,44 @@
+//! Ablation A2: fine-grained parallelism on/off.
+//!
+//! Compares the fine+coarse engine against the coarse-only engine across
+//! growing model sizes at a fixed batch size: the fine-grained child grids
+//! pay off once the per-simulation ODE work dwarfs the dynamic-parallelism
+//! overhead (large N), while small models are better off coarse-only —
+//! the boundary the published comparison maps draw.
+
+use paraspace_bench::{fmt_ns, full_scale};
+use paraspace_core::{CoarseEngine, FineCoarseEngine, SimulationJob, Simulator};
+use paraspace_rbm::{perturbed_batch, sbgen::SbGen};
+use paraspace_solvers::SolverOptions;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let sizes: Vec<usize> =
+        if full_scale() { vec![8, 16, 32, 64, 128, 256] } else { vec![8, 16, 32, 64] };
+    let sims = if full_scale() { 512 } else { 128 };
+    println!("A2: granularity ablation, {sims} simulations per cell\n");
+    println!("{:>10} {:>16} {:>16} {:>10}", "model", "fine+coarse", "coarse-only", "ratio");
+    for &s in &sizes {
+        let mut rng = StdRng::seed_from_u64(0xA2 + s as u64);
+        let model = SbGen::new(s, s).generate(&mut rng);
+        let batch = perturbed_batch(&model, sims, &mut rng);
+        let job = SimulationJob::builder(&model)
+            .time_points(vec![1.0, 2.0])
+            .parameterizations(batch)
+            .options(SolverOptions { max_steps: 100_000, ..SolverOptions::default() })
+            .build()
+            .expect("job");
+        let fc = FineCoarseEngine::new().run(&job).expect("run");
+        let co = CoarseEngine::new().run(&job).expect("run");
+        println!(
+            "{:>7}x{:<3} {:>16} {:>16} {:>9.2}x",
+            s,
+            s,
+            fmt_ns(fc.timing.simulated_integration_ns),
+            fmt_ns(co.timing.simulated_integration_ns),
+            co.timing.simulated_integration_ns / fc.timing.simulated_integration_ns
+        );
+    }
+    println!("\n(ratio > 1: fine-grained wins; expected to grow with model size)");
+}

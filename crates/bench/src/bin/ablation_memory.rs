@@ -1,0 +1,57 @@
+//! Ablation A4: the coarse engine's memory hierarchy.
+//!
+//! Runs the coarse-only (cupSODA-class) engine with and without
+//! constant/shared-memory placement across model sizes. Small models gain
+//! from on-chip memory (the engine's published niche); once the encoding
+//! overflows the 64 KiB constant budget and the state no longer fits in
+//! shared memory, the advantage disappears.
+
+use paraspace_bench::{fmt_ns, full_scale};
+use paraspace_core::{CoarseEngine, SimulationJob, Simulator};
+use paraspace_rbm::{perturbed_batch, sbgen::SbGen};
+use paraspace_solvers::SolverOptions;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // Square sizes probe the shared-memory budget; the reaction-heavy
+    // tail rows overflow the 64 KiB constant-memory encoding budget.
+    let sizes: Vec<(usize, usize)> = if full_scale() {
+        vec![(8, 8), (16, 16), (32, 32), (64, 64), (128, 128), (64, 3000), (128, 6000)]
+    } else {
+        vec![(8, 8), (16, 16), (48, 48), (64, 2500)]
+    };
+    let sims = if full_scale() { 256 } else { 64 };
+    println!("A4: memory-hierarchy ablation (coarse engine), {sims} simulations\n");
+    println!(
+        "{:>10} {:>8} {:>8} {:>16} {:>16} {:>8}",
+        "model", "const?", "shared?", "hierarchy", "global-only", "gain"
+    );
+    for &(s, m_rx) in &sizes {
+        let mut rng = StdRng::seed_from_u64(0xA4 + s as u64 + m_rx as u64);
+        let model = SbGen::new(s, m_rx).generate(&mut rng);
+        let batch = perturbed_batch(&model, sims, &mut rng);
+        let job = SimulationJob::builder(&model)
+            .time_points(vec![1.0, 2.0])
+            .parameterizations(batch)
+            .options(SolverOptions { max_steps: 100_000, ..SolverOptions::default() })
+            .build()
+            .expect("job");
+        let with_mem = CoarseEngine::new();
+        let fits_c = with_mem.constants_fit(&job);
+        let fits_s = with_mem.shared_fits(&job);
+        let a = with_mem.run(&job).expect("run");
+        let b = CoarseEngine::new().without_memory_hierarchy().run(&job).expect("run");
+        println!(
+            "{:>6}x{:<4} {:>8} {:>8} {:>16} {:>16} {:>7.2}x",
+            s,
+            m_rx,
+            fits_c,
+            fits_s,
+            fmt_ns(a.timing.simulated_integration_ns),
+            fmt_ns(b.timing.simulated_integration_ns),
+            b.timing.simulated_integration_ns / a.timing.simulated_integration_ns
+        );
+    }
+    println!("\n(gain > 1 while the model fits on-chip; → 1 once placement falls back to global)");
+}

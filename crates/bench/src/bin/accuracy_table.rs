@@ -1,0 +1,91 @@
+//! Experiment V1 (table side): solver accuracy against exact solutions.
+//!
+//! Prints, for each solver and tolerance, the end-point error on two
+//! reference problems (a non-stiff oscillator with exact solution cos t,
+//! and a severely stiff linear relaxation with exact solution sin t) plus
+//! the work counters — the "similar and often higher precision" check of
+//! the published accuracy section.
+
+use paraspace_solvers::{
+    AdamsMoulton, Bdf, Dopri5, FnSystem, Lsoda, OdeSolver, Radau5, Rkf45, SolverOptions, Vode,
+};
+
+fn run_table(
+    title: &str,
+    sys: &dyn paraspace_solvers::OdeSystem,
+    y0: &[f64],
+    t_end: f64,
+    exact: f64,
+    solvers: &[Box<dyn OdeSolver>],
+) {
+    println!("== {title} ==");
+    println!("{:10} {:>10} {:>14} {:>10} {:>10} {:>8}", "solver", "rtol", "error", "steps", "rhs", "jac");
+    for s in solvers {
+        for rtol in [1e-4, 1e-6, 1e-8] {
+            let opts = SolverOptions {
+                max_steps: 2_000_000,
+                ..SolverOptions::with_tolerances(rtol, rtol * 1e-6)
+            };
+            match s.solve(sys, 0.0, y0, &[t_end], &opts) {
+                Ok(sol) => {
+                    let err = (sol.state_at(0)[0] - exact).abs();
+                    println!(
+                        "{:10} {:>10.0e} {:>14.3e} {:>10} {:>10} {:>8}",
+                        s.name(),
+                        rtol,
+                        err,
+                        sol.stats.steps,
+                        sol.stats.rhs_evals,
+                        sol.stats.jacobian_evals
+                    );
+                }
+                Err(e) => {
+                    println!("{:10} {:>10.0e} {:>14}", s.name(), rtol, format!("({e})"));
+                }
+            }
+        }
+    }
+    println!();
+}
+
+fn main() {
+    let oscillator = FnSystem::new(2, |_t, y: &[f64], d: &mut [f64]| {
+        d[0] = y[1];
+        d[1] = -y[0];
+    });
+    let all: Vec<Box<dyn OdeSolver>> = vec![
+        Box::new(Dopri5::new()),
+        Box::new(Rkf45::new()),
+        Box::new(AdamsMoulton::new()),
+        Box::new(Radau5::new()),
+        Box::new(Bdf::new()),
+        Box::new(Lsoda::new()),
+        Box::new(Vode::new()),
+    ];
+    run_table(
+        "V1a: non-stiff oscillator, y(10) = cos(10)",
+        &oscillator,
+        &[1.0, 0.0],
+        10.0,
+        10.0f64.cos(),
+        &all,
+    );
+
+    let stiff = FnSystem::new(1, |t: f64, y: &[f64], d: &mut [f64]| {
+        d[0] = -1e5 * (y[0] - t.sin()) + t.cos();
+    });
+    let implicit: Vec<Box<dyn OdeSolver>> = vec![
+        Box::new(Radau5::new()),
+        Box::new(Bdf::new()),
+        Box::new(Lsoda::new()),
+        Box::new(Vode::new()),
+    ];
+    run_table(
+        "V1b: stiff relaxation (λ = 1e5), y(2) = sin(2)",
+        &stiff,
+        &[0.5],
+        2.0,
+        2.0f64.sin(),
+        &implicit,
+    );
+}

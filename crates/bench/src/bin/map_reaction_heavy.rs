@@ -1,0 +1,10 @@
+//! Experiment E3 (Fig-4-class): the comparison map for asymmetric RBMs
+//! with more reactions than species (`M > N`).
+
+use paraspace_bench::{run_map_experiment, MapGrid};
+
+fn main() {
+    let grid = MapGrid::reaction_heavy();
+    run_map_experiment("E3: comparison map, reaction-heavy RBMs (M > N)", &grid)
+        .expect("map experiment failed");
+}

@@ -1,0 +1,10 @@
+//! Experiment E2 (Fig-3-class): the comparison map for asymmetric RBMs
+//! with more species than reactions (`N > M`).
+
+use paraspace_bench::{run_map_experiment, MapGrid};
+
+fn main() {
+    let grid = MapGrid::species_heavy();
+    run_map_experiment("E2: comparison map, species-heavy RBMs (N > M)", &grid)
+        .expect("map experiment failed");
+}

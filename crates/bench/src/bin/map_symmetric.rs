@@ -1,0 +1,14 @@
+//! Experiment E1 (Fig-2-class): the comparison map for symmetric RBMs
+//! (`N = M`). Prints the winning simulator per (model size × batch size)
+//! cell plus the raw per-engine timings.
+//!
+//! Scaled-down by default; set `PARASPACE_FULL=1` for the
+//! publication-scale grid.
+
+use paraspace_bench::{run_map_experiment, MapGrid};
+
+fn main() {
+    let grid = MapGrid::symmetric();
+    run_map_experiment("E1: comparison map, symmetric RBMs (N = M)", &grid)
+        .expect("map experiment failed");
+}

@@ -1,0 +1,37 @@
+//! Experiment E8: the headline speedup table.
+//!
+//! For a large synthetic model and a 512-member batch, prints every
+//! engine's *simulation* time (total, incl. I/O) and *integration* time,
+//! and the fine+coarse engine's speedup over each competitor — the
+//! reproduction of the published "up to 855× / 487× / 366× / …" summary.
+//!
+//! `PARASPACE_FULL=1` uses the publication-scale model (hundreds of
+//! species and reactions) and batch.
+
+use paraspace_bench::{comparison_cell, fmt_ns, full_scale};
+
+fn main() {
+    let (n, m, sims) = if full_scale() { (256, 256, 512) } else { (48, 48, 128) };
+    println!("E8: speedup table on a {n}x{m} synthetic model, {sims} simulations\n");
+    let cell = comparison_cell(n, m, sims, 0xE8).expect("cell failed");
+    let fc = cell
+        .iter()
+        .find(|c| c.engine == "fine-coarse")
+        .expect("fine-coarse engine in roster");
+
+    println!(
+        "{:12} {:>14} {:>14} {:>12} {:>12}",
+        "engine", "simulation", "integration", "sim-speedup", "int-speedup"
+    );
+    for c in &cell {
+        println!(
+            "{:12} {:>14} {:>14} {:>11.1}x {:>11.1}x",
+            c.engine,
+            fmt_ns(c.total_ns),
+            fmt_ns(c.integration_ns),
+            c.total_ns / fc.total_ns,
+            c.integration_ns / fc.integration_ns
+        );
+    }
+    println!("\n(speedups are each engine's time divided by the fine+coarse engine's)");
+}

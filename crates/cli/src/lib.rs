@@ -1,0 +1,471 @@
+//! The black-box command-line interface, as a library so the argument
+//! parsing and command execution are unit-testable.
+//!
+//! Subcommands mirror the original tool's workflow:
+//!
+//! * `simulate <model_dir>` — read a BioSimWare model directory (with
+//!   optional `t_vector`, `c_matrix`, `MX_0` batch files), run it on a
+//!   chosen engine, write one dynamics file per simulation plus a timing
+//!   summary;
+//! * `convert` — BioSimWare directory ↔ SBML document;
+//! * `generate` — emit an SBGen-style synthetic model;
+//! * `recommend` — print the published engine recommendation for a
+//!   (species, reactions, simulations) triple.
+
+use paraspace_core::{
+    recommend_engine, CoarseEngine, CpuEngine, CpuSolverKind, FineCoarseEngine, FineEngine,
+    SimulationJob, Simulator,
+};
+use paraspace_rbm::{biosimware, sbgen::SbGen, sbml, Parameterization};
+use paraspace_solvers::SolverOptions;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+use std::path::PathBuf;
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Run a model directory on an engine.
+    Simulate {
+        /// BioSimWare model directory.
+        model_dir: PathBuf,
+        /// Engine name (`fine-coarse`, `coarse`, `fine`, `lsoda`, `vode`).
+        engine: String,
+        /// Output directory for dynamics files (default: `<model_dir>/out`).
+        out_dir: Option<PathBuf>,
+        /// Batch replication when no `c_matrix`/`MX_0` is present.
+        batch: usize,
+        /// Relative tolerance.
+        rtol: f64,
+        /// Absolute tolerance.
+        atol: f64,
+    },
+    /// Convert between formats.
+    Convert {
+        /// Source (directory or `.xml` file — detected by suffix).
+        from: PathBuf,
+        /// Destination (the other format).
+        to: PathBuf,
+    },
+    /// Generate a synthetic model directory.
+    Generate {
+        /// Species count.
+        species: usize,
+        /// Reaction count.
+        reactions: usize,
+        /// RNG seed.
+        seed: u64,
+        /// Output model directory.
+        out_dir: PathBuf,
+    },
+    /// Print the recommended engine for a workload.
+    Recommend {
+        /// Species count.
+        species: usize,
+        /// Reaction count.
+        reactions: usize,
+        /// Parallel simulations.
+        sims: usize,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// A CLI-level error with a user-facing message.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<paraspace_rbm::RbmError> for CliError {
+    fn from(e: paraspace_rbm::RbmError) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+impl From<paraspace_core::SimError> for CliError {
+    fn from(e: paraspace_core::SimError) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+/// The usage text.
+pub const USAGE: &str = "\
+paraspace-cli — accelerated analysis of biological parameter spaces
+
+USAGE:
+  paraspace-cli simulate <model_dir> [--engine NAME] [--out DIR] [--batch N]
+                           [--rtol X] [--atol X]
+  paraspace-cli convert <from> <to>          (BioSimWare dir ↔ .xml)
+  paraspace-cli generate --species N --reactions M [--seed S] <out_dir>
+  paraspace-cli recommend --species N --reactions M --sims S
+  paraspace-cli help
+
+ENGINES: fine-coarse (default) | coarse | fine | lsoda | vode";
+
+fn parse_flag<T: std::str::FromStr>(
+    args: &[String],
+    i: &mut usize,
+    name: &str,
+) -> Result<T, CliError> {
+    *i += 1;
+    let v = args.get(*i).ok_or_else(|| CliError(format!("{name} needs a value")))?;
+    v.parse().map_err(|_| CliError(format!("invalid value for {name}: {v:?}")))
+}
+
+/// Parses an argument vector (without the program name).
+///
+/// # Errors
+///
+/// Returns a user-facing message for unknown commands, missing operands, or
+/// malformed flag values.
+pub fn parse(args: &[String]) -> Result<Command, CliError> {
+    let cmd = match args.first().map(String::as_str) {
+        None | Some("help") | Some("--help") | Some("-h") => return Ok(Command::Help),
+        Some(c) => c,
+    };
+    match cmd {
+        "simulate" => {
+            let mut model_dir = None;
+            let mut engine = "fine-coarse".to_string();
+            let mut out_dir = None;
+            let mut batch = 1usize;
+            let mut rtol = 1e-6;
+            let mut atol = 1e-12;
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--engine" => engine = parse_flag(args, &mut i, "--engine")?,
+                    "--out" => out_dir = Some(PathBuf::from(args.get(i + 1).cloned().ok_or_else(|| CliError("--out needs a value".into()))?)).inspect(|_| i += 1),
+                    "--batch" => batch = parse_flag(args, &mut i, "--batch")?,
+                    "--rtol" => rtol = parse_flag(args, &mut i, "--rtol")?,
+                    "--atol" => atol = parse_flag(args, &mut i, "--atol")?,
+                    other if !other.starts_with("--") && model_dir.is_none() => {
+                        model_dir = Some(PathBuf::from(other));
+                    }
+                    other => return Err(CliError(format!("unexpected argument {other:?}"))),
+                }
+                i += 1;
+            }
+            Ok(Command::Simulate {
+                model_dir: model_dir.ok_or_else(|| CliError("simulate needs a model directory".into()))?,
+                engine,
+                out_dir,
+                batch,
+                rtol,
+                atol,
+            })
+        }
+        "convert" => {
+            if args.len() != 3 {
+                return Err(CliError("convert needs exactly <from> and <to>".into()));
+            }
+            Ok(Command::Convert { from: PathBuf::from(&args[1]), to: PathBuf::from(&args[2]) })
+        }
+        "generate" => {
+            let mut species = None;
+            let mut reactions = None;
+            let mut seed = 42u64;
+            let mut out_dir = None;
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--species" => species = Some(parse_flag(args, &mut i, "--species")?),
+                    "--reactions" => reactions = Some(parse_flag(args, &mut i, "--reactions")?),
+                    "--seed" => seed = parse_flag(args, &mut i, "--seed")?,
+                    other if !other.starts_with("--") && out_dir.is_none() => {
+                        out_dir = Some(PathBuf::from(other));
+                    }
+                    other => return Err(CliError(format!("unexpected argument {other:?}"))),
+                }
+                i += 1;
+            }
+            Ok(Command::Generate {
+                species: species.ok_or_else(|| CliError("generate needs --species".into()))?,
+                reactions: reactions.ok_or_else(|| CliError("generate needs --reactions".into()))?,
+                seed,
+                out_dir: out_dir.ok_or_else(|| CliError("generate needs an output directory".into()))?,
+            })
+        }
+        "recommend" => {
+            let mut species = None;
+            let mut reactions = None;
+            let mut sims = None;
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--species" => species = Some(parse_flag(args, &mut i, "--species")?),
+                    "--reactions" => reactions = Some(parse_flag(args, &mut i, "--reactions")?),
+                    "--sims" => sims = Some(parse_flag(args, &mut i, "--sims")?),
+                    other => return Err(CliError(format!("unexpected argument {other:?}"))),
+                }
+                i += 1;
+            }
+            Ok(Command::Recommend {
+                species: species.ok_or_else(|| CliError("recommend needs --species".into()))?,
+                reactions: reactions.ok_or_else(|| CliError("recommend needs --reactions".into()))?,
+                sims: sims.ok_or_else(|| CliError("recommend needs --sims".into()))?,
+            })
+        }
+        other => Err(CliError(format!("unknown command {other:?} (try `paraspace help`)"))),
+    }
+}
+
+fn engine_by_name(name: &str) -> Result<Box<dyn Simulator>, CliError> {
+    Ok(match name {
+        "fine-coarse" => Box::new(FineCoarseEngine::new()),
+        "coarse" => Box::new(CoarseEngine::new()),
+        "fine" => Box::new(FineEngine::new()),
+        "lsoda" => Box::new(CpuEngine::new(CpuSolverKind::Lsoda)),
+        "vode" => Box::new(CpuEngine::new(CpuSolverKind::Vode)),
+        other => return Err(CliError(format!("unknown engine {other:?}"))),
+    })
+}
+
+/// Executes a parsed command, writing human-readable progress to `out`.
+///
+/// # Errors
+///
+/// Any I/O, parse, or engine failure, with a user-facing message.
+pub fn execute(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    match cmd {
+        Command::Help => {
+            writeln!(out, "{USAGE}")?;
+            Ok(())
+        }
+        Command::Recommend { species, reactions, sims } => {
+            let pick = recommend_engine(*species, *reactions, *sims);
+            writeln!(
+                out,
+                "recommended engine for {species}x{reactions} model, {sims} simulations: {pick}"
+            )?;
+            Ok(())
+        }
+        Command::Generate { species, reactions, seed, out_dir } => {
+            let mut rng = StdRng::seed_from_u64(*seed);
+            let model = SbGen::new(*species, *reactions).generate(&mut rng);
+            biosimware::write_dir(&model, out_dir)?;
+            biosimware::write_time_points(&[1.0, 2.0, 5.0, 10.0], out_dir)?;
+            writeln!(
+                out,
+                "wrote {}x{} model (seed {seed}) to {}",
+                model.n_species(),
+                model.n_reactions(),
+                out_dir.display()
+            )?;
+            Ok(())
+        }
+        Command::Convert { from, to } => {
+            let from_is_xml = from.extension().is_some_and(|e| e == "xml");
+            let to_is_xml = to.extension().is_some_and(|e| e == "xml");
+            match (from_is_xml, to_is_xml) {
+                (true, false) => {
+                    let doc = std::fs::read_to_string(from)?;
+                    let model = sbml::from_str(&doc)?;
+                    biosimware::write_dir(&model, to)?;
+                    writeln!(out, "SBML → BioSimWare: {} species, {} reactions", model.n_species(), model.n_reactions())?;
+                }
+                (false, true) => {
+                    let model = biosimware::read_dir(from)?;
+                    std::fs::write(to, sbml::to_string(&model))?;
+                    writeln!(out, "BioSimWare → SBML: {} species, {} reactions", model.n_species(), model.n_reactions())?;
+                }
+                _ => return Err(CliError("exactly one side must be an .xml file".into())),
+            }
+            Ok(())
+        }
+        Command::Simulate { model_dir, engine, out_dir, batch, rtol, atol } => {
+            let model = biosimware::read_dir(model_dir)?;
+            let time_points = biosimware::read_time_points(model_dir)
+                .unwrap_or_else(|_| vec![1.0, 2.0, 5.0, 10.0]);
+            let mut parameterizations = biosimware::read_parameterizations(&model, model_dir)?;
+            if parameterizations.is_empty() {
+                parameterizations = (0..*batch).map(|_| Parameterization::new()).collect();
+            }
+            let n_sims = parameterizations.len();
+            let job = SimulationJob::builder(&model)
+                .time_points(time_points)
+                .parameterizations(parameterizations)
+                .options(SolverOptions {
+                    rel_tol: *rtol,
+                    abs_tol: *atol,
+                    max_steps: 100_000,
+                    ..SolverOptions::default()
+                })
+                .build()?;
+            let engine = engine_by_name(engine)?;
+            let result = engine.run(&job)?;
+
+            let out_path = out_dir.clone().unwrap_or_else(|| model_dir.join("out"));
+            std::fs::create_dir_all(&out_path)?;
+            for (i, o) in result.outcomes.iter().enumerate() {
+                match &o.solution {
+                    Ok(sol) => {
+                        std::fs::write(
+                            out_path.join(format!("dynamics_{i:05}.tsv")),
+                            job.serialize_dynamics(sol),
+                        )?;
+                    }
+                    Err(e) => {
+                        std::fs::write(out_path.join(format!("dynamics_{i:05}.err")), e.to_string())?;
+                    }
+                }
+            }
+            writeln!(
+                out,
+                "{}: {}/{} simulations ok; simulated {:.3} ms (integration {:.3} ms, i/o {:.3} ms); host wall {:.1?}",
+                result.engine,
+                result.success_count(),
+                n_sims,
+                result.timing.simulated_total_ns / 1e6,
+                result.timing.simulated_integration_ns / 1e6,
+                result.timing.simulated_io_ns / 1e6,
+                result.timing.host_wall,
+            )?;
+            writeln!(out, "dynamics written to {}", out_path.display())?;
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parse_help_variants() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("--help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn parse_simulate_defaults_and_flags() {
+        let cmd = parse(&argv("simulate /tmp/model --engine lsoda --batch 8 --rtol 1e-4")).unwrap();
+        match cmd {
+            Command::Simulate { model_dir, engine, batch, rtol, atol, out_dir } => {
+                assert_eq!(model_dir, PathBuf::from("/tmp/model"));
+                assert_eq!(engine, "lsoda");
+                assert_eq!(batch, 8);
+                assert_eq!(rtol, 1e-4);
+                assert_eq!(atol, 1e-12);
+                assert_eq!(out_dir, None);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!(parse(&argv("simulate")).is_err());
+        assert!(parse(&argv("simulate /m --batch notanumber")).is_err());
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(parse(&argv("convert onlyone")).is_err());
+        assert!(parse(&argv("generate --species 5 /tmp/x")).is_err()); // missing --reactions
+    }
+
+    #[test]
+    fn parse_generate_and_recommend() {
+        let g = parse(&argv("generate --species 10 --reactions 20 --seed 7 /tmp/gen")).unwrap();
+        assert_eq!(
+            g,
+            Command::Generate {
+                species: 10,
+                reactions: 20,
+                seed: 7,
+                out_dir: PathBuf::from("/tmp/gen")
+            }
+        );
+        let r = parse(&argv("recommend --species 64 --reactions 64 --sims 512")).unwrap();
+        assert_eq!(r, Command::Recommend { species: 64, reactions: 64, sims: 512 });
+    }
+
+    #[test]
+    fn end_to_end_generate_then_simulate() {
+        let dir = std::env::temp_dir().join(format!("paraspace_cli_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut log = Vec::new();
+        execute(
+            &Command::Generate { species: 6, reactions: 8, seed: 3, out_dir: dir.clone() },
+            &mut log,
+        )
+        .unwrap();
+        execute(
+            &Command::Simulate {
+                model_dir: dir.clone(),
+                engine: "fine-coarse".into(),
+                out_dir: None,
+                batch: 4,
+                rtol: 1e-6,
+                atol: 1e-12,
+            },
+            &mut log,
+        )
+        .unwrap();
+        let outputs: Vec<_> = std::fs::read_dir(dir.join("out")).unwrap().collect();
+        assert_eq!(outputs.len(), 4, "one dynamics file per simulation");
+        let text = String::from_utf8(log).unwrap();
+        assert!(text.contains("4/4 simulations ok"), "log: {text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn end_to_end_convert_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("paraspace_cli_conv_{}", std::process::id()));
+        let xml = dir.with_extension("xml");
+        std::fs::remove_dir_all(&dir).ok();
+        let mut log = Vec::new();
+        execute(
+            &Command::Generate { species: 5, reactions: 6, seed: 1, out_dir: dir.clone() },
+            &mut log,
+        )
+        .unwrap();
+        execute(&Command::Convert { from: dir.clone(), to: xml.clone() }, &mut log).unwrap();
+        let dir2 = dir.with_file_name(format!(
+            "{}_back",
+            dir.file_name().unwrap().to_string_lossy()
+        ));
+        execute(&Command::Convert { from: xml.clone(), to: dir2.clone() }, &mut log).unwrap();
+        let a = paraspace_rbm::biosimware::read_dir(&dir).unwrap();
+        let b = paraspace_rbm::biosimware::read_dir(&dir2).unwrap();
+        assert_eq!(a.n_species(), b.n_species());
+        assert_eq!(a.n_reactions(), b.n_reactions());
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_dir_all(&dir2).ok();
+        std::fs::remove_file(&xml).ok();
+    }
+
+    #[test]
+    fn unknown_engine_is_reported() {
+        let err = match engine_by_name("quantum") {
+            Err(e) => e,
+            Ok(_) => panic!("unknown engine must be rejected"),
+        };
+        assert!(err.to_string().contains("quantum"));
+    }
+
+    #[test]
+    fn recommend_prints_engine() {
+        let mut log = Vec::new();
+        execute(&Command::Recommend { species: 64, reactions: 64, sims: 512 }, &mut log).unwrap();
+        let text = String::from_utf8(log).unwrap();
+        assert!(text.contains("fine-coarse"));
+    }
+}

@@ -1,0 +1,278 @@
+//! The coarse-grained-only engine (cupSODA-class baseline).
+//!
+//! One device thread runs one complete LSODA integration; no fine-grained
+//! parallelism and no dynamic parallelism. Its strength is the memory
+//! hierarchy: when the flat ODE encoding fits in **constant memory** and
+//! the per-simulation state fits in **shared memory**, small models enjoy
+//! on-chip latencies — which is why the published comparison maps give
+//! small-model/many-simulation cells to this engine. Large models overflow
+//! to global memory (and eventually do not fit at all), which is why it
+//! disappears from the large-model cells.
+
+use crate::engines::{
+    outcome_and_stats, output_bytes, solve_member, BatchResult, BatchTiming, SimOutcome,
+    Simulator, IO_BYTES_PER_NS,
+};
+use crate::{SimError, SimulationJob, WorkEstimate};
+use paraspace_solvers::{Lsoda, OdeSolver};
+use paraspace_vgpu::{Device, DeviceConfig, KernelLaunch, MemorySpace, ThreadWork};
+use std::time::Instant;
+
+/// Constant-memory capacity (bytes) — CUDA's fixed 64 KiB.
+const CONSTANT_MEM_BYTES: u64 = 64 * 1024;
+/// Per-state-variable shared-memory footprint (the current state vector).
+const SHARED_BYTES_PER_SPECIES: usize = 8;
+/// Host↔device transfer throughput in bytes/ns.
+const PCIE_BYTES_PER_NS: f64 = 8.0;
+
+/// The coarse-only engine.
+///
+/// # Example
+///
+/// ```
+/// use paraspace_core::{CoarseEngine, SimulationJob, Simulator};
+/// use paraspace_rbm::{Reaction, ReactionBasedModel};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut m = ReactionBasedModel::new();
+/// let a = m.add_species("A", 1.0);
+/// m.add_reaction(Reaction::mass_action(&[(a, 1)], &[], 1.0))?;
+/// let job = SimulationJob::builder(&m).time_points(vec![1.0]).replicate(16).build()?;
+/// let r = CoarseEngine::new().run(&job)?;
+/// assert_eq!(r.success_count(), 16);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CoarseEngine {
+    device_config: DeviceConfig,
+    threads_per_block: usize,
+    /// When `false`, forces all traffic to global memory (ablation A4).
+    use_memory_hierarchy: bool,
+}
+
+impl Default for CoarseEngine {
+    fn default() -> Self {
+        CoarseEngine::new()
+    }
+}
+
+impl CoarseEngine {
+    /// An engine on the published GPU.
+    pub fn new() -> Self {
+        CoarseEngine {
+            device_config: DeviceConfig::titan_x(),
+            threads_per_block: 32,
+            use_memory_hierarchy: true,
+        }
+    }
+
+    /// Overrides the device (builder style).
+    pub fn with_device(mut self, config: DeviceConfig) -> Self {
+        self.device_config = config;
+        self
+    }
+
+    /// Disables constant/shared-memory placement (everything global) —
+    /// the memory-hierarchy ablation.
+    pub fn without_memory_hierarchy(mut self) -> Self {
+        self.use_memory_hierarchy = false;
+        self
+    }
+
+    /// Whether the model's encoding fits the constant-memory budget.
+    pub fn constants_fit(&self, job: &SimulationJob) -> bool {
+        let encoding_bytes =
+            job.odes().n_terms() as u64 * 12 + job.odes().n_reactions() as u64 * 8;
+        encoding_bytes <= CONSTANT_MEM_BYTES
+    }
+
+    /// Whether per-simulation state fits the shared-memory budget at the
+    /// configured block size.
+    pub fn shared_fits(&self, job: &SimulationJob) -> bool {
+        let per_block =
+            self.threads_per_block * job.odes().n_species() * SHARED_BYTES_PER_SPECIES;
+        per_block <= self.device_config.shared_mem_per_sm / 2
+    }
+}
+
+impl Simulator for CoarseEngine {
+    fn name(&self) -> &'static str {
+        "coarse"
+    }
+
+    fn run(&self, job: &SimulationJob) -> Result<BatchResult, SimError> {
+        let start = Instant::now();
+        let device = Device::new(self.device_config.clone());
+        let n = job.odes().n_species();
+        let m = job.odes().n_reactions();
+        let batch = job.batch_size();
+        let solver = Lsoda::new();
+
+        let h2d_bytes = (job.odes().n_terms() as u64 * 12 + m as u64 * 8)
+            + batch as u64 * (n + m) as u64 * 8;
+        device.record_host_phase("io::h2d", h2d_bytes as f64 / PCIE_BYTES_PER_NS);
+
+        let constants_in_cmem = self.use_memory_hierarchy && self.constants_fit(job);
+        let state_in_shared = self.use_memory_hierarchy && self.shared_fits(job);
+
+        let mut outcomes = Vec::with_capacity(batch);
+        let mut thread_work = Vec::with_capacity(batch);
+        for i in 0..batch {
+            let (solution, stats) = outcome_and_stats(solve_member(job, i, &solver));
+            let work = WorkEstimate::from_stats(job.odes(), &stats, job.time_points().len());
+            // The state vector's share of state traffic can live in shared
+            // memory; Nordsieck history and scratch stay global.
+            let state_vector_bytes = stats.rhs_evals as u64 * n as u64 * 8;
+            let shared_bytes = if state_in_shared { state_vector_bytes.min(work.state_bytes) } else { 0 };
+            let spill_state = work.state_bytes - shared_bytes;
+            // With the hierarchy enabled, overflow traffic still enjoys the
+            // L2; the ablation strips every on-chip level at once.
+            let structure_space = if constants_in_cmem {
+                MemorySpace::Constant
+            } else if self.use_memory_hierarchy {
+                MemorySpace::CachedGlobal
+            } else {
+                MemorySpace::Global
+            };
+            let state_space = if self.use_memory_hierarchy {
+                MemorySpace::CachedGlobal
+            } else {
+                MemorySpace::Global
+            };
+            thread_work.push(
+                ThreadWork::new()
+                    .with_flops(work.flops)
+                    .with_read(structure_space, work.structure_bytes)
+                    .with_read(MemorySpace::Shared, shared_bytes)
+                    .with_read(state_space, spill_state)
+                    .with_global_write(work.output_bytes),
+            );
+            outcomes.push(SimOutcome {
+                solution,
+                stiff: false,
+                rerouted: false,
+                solver: solver.name(),
+            });
+        }
+
+        let tpb = self.threads_per_block;
+        let blocks = batch.div_ceil(tpb);
+        thread_work.resize(blocks * tpb, ThreadWork::new());
+        let shared_per_block =
+            if state_in_shared { tpb * n * SHARED_BYTES_PER_SPECIES } else { 0 };
+        device.launch(
+            &KernelLaunch::per_thread("integrate::coarse_lsoda", blocks, tpb, thread_work)
+                .with_registers(48)
+                .with_shared_mem(shared_per_block),
+        );
+        // cupSODA re-launches the kernel once per sampling interval.
+        device.record_host_phase(
+            "integrate::interval_launches",
+            (job.time_points().len().saturating_sub(1)) as f64
+                * self.device_config.kernel_launch_ns,
+        );
+
+        let out_bytes = output_bytes(job, &outcomes);
+        device.record_host_phase("io::d2h", out_bytes as f64 / PCIE_BYTES_PER_NS);
+        device.record_host_phase("io::write", out_bytes as f64 / IO_BYTES_PER_NS);
+
+        let timeline = device.timeline();
+        Ok(BatchResult {
+            engine: self.name(),
+            outcomes,
+            timing: BatchTiming {
+                host_wall: start.elapsed(),
+                simulated_total_ns: timeline.total_ns(),
+                simulated_integration_ns: timeline.time_tagged_ns("integrate"),
+                simulated_io_ns: timeline.time_tagged_ns("io"),
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FineCoarseEngine;
+    use paraspace_rbm::sbgen::SbGen;
+    use paraspace_rbm::{perturbed_batch, Reaction, ReactionBasedModel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_model() -> ReactionBasedModel {
+        let mut m = ReactionBasedModel::new();
+        let a = m.add_species("A", 1.0);
+        let b = m.add_species("B", 0.0);
+        m.add_reaction(Reaction::mass_action(&[(a, 1)], &[(b, 1)], 1.0)).unwrap();
+        m.add_reaction(Reaction::mass_action(&[(b, 1)], &[(a, 1)], 0.4)).unwrap();
+        m
+    }
+
+    #[test]
+    fn small_model_uses_on_chip_memory() {
+        let m = tiny_model();
+        let job = SimulationJob::builder(&m).time_points(vec![1.0]).replicate(8).build().unwrap();
+        let e = CoarseEngine::new();
+        assert!(e.constants_fit(&job));
+        assert!(e.shared_fits(&job));
+        let r = e.run(&job).unwrap();
+        assert_eq!(r.success_count(), 8);
+    }
+
+    #[test]
+    fn large_model_overflows_constant_memory() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = SbGen::new(400, 2200).generate(&mut rng);
+        let job = SimulationJob::builder(&m).time_points(vec![0.01]).replicate(1).build().unwrap();
+        let e = CoarseEngine::new();
+        assert!(!e.constants_fit(&job), "2200-reaction encoding must exceed 64 KiB");
+        assert!(!e.shared_fits(&job), "400-species state × 32 threads must exceed shared memory");
+    }
+
+    #[test]
+    fn memory_hierarchy_ablation_slows_small_models() {
+        let m = tiny_model();
+        let mut rng = StdRng::seed_from_u64(4);
+        let job = SimulationJob::builder(&m)
+            .time_points(vec![1.0, 2.0])
+            .parameterizations(perturbed_batch(&m, 128, &mut rng))
+            .build()
+            .unwrap();
+        let with_mem = CoarseEngine::new().run(&job).unwrap();
+        let without = CoarseEngine::new().without_memory_hierarchy().run(&job).unwrap();
+        assert!(
+            without.timing.simulated_integration_ns > with_mem.timing.simulated_integration_ns,
+            "global-only ({}) must be slower than constant/shared ({})",
+            without.timing.simulated_integration_ns,
+            with_mem.timing.simulated_integration_ns
+        );
+    }
+
+    #[test]
+    fn trajectories_agree_with_fine_coarse_engine() {
+        let m = tiny_model();
+        let job = SimulationJob::builder(&m).time_points(vec![0.5, 1.0]).replicate(2).build().unwrap();
+        let a = CoarseEngine::new().run(&job).unwrap();
+        let b = FineCoarseEngine::new().run(&job).unwrap();
+        let sa = a.outcomes[0].solution.as_ref().unwrap();
+        let sb = b.outcomes[0].solution.as_ref().unwrap();
+        for (x, y) in sa.state_at(1).iter().zip(sb.state_at(1)) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn interval_launch_overhead_scales_with_samples() {
+        let m = tiny_model();
+        let few = SimulationJob::builder(&m).time_points(vec![1.0]).replicate(4).build().unwrap();
+        let many = SimulationJob::builder(&m)
+            .time_points((1..=200).map(|i| i as f64 * 0.01).collect())
+            .replicate(4)
+            .build()
+            .unwrap();
+        let rf = CoarseEngine::new().run(&few).unwrap();
+        let rm = CoarseEngine::new().run(&many).unwrap();
+        assert!(rm.timing.simulated_total_ns > rf.timing.simulated_total_ns);
+    }
+}

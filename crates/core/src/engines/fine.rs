@@ -1,0 +1,223 @@
+//! The fine-grained-only engine (LASSIE-class baseline).
+//!
+//! Simulations run one at a time; within each, the ODE dimension is spread
+//! across device threads, with kernels launched from the **host** at every
+//! solver step (no dynamic parallelism). The method pair mirrors the
+//! published baseline: RKF45 while the problem behaves, first-order BDF
+//! once it does not. This design shines on a *single very large* model —
+//! and collapses when many simulations are requested, because simulations
+//! serialize and every step pays host-launch latency: exactly the regions
+//! the comparison maps assign to it.
+
+use crate::engines::{
+    outcome_and_stats, output_bytes, solve_member, BatchResult, BatchTiming, SimOutcome,
+    Simulator, IO_BYTES_PER_NS,
+};
+use crate::{SimError, SimulationJob, WorkEstimate};
+use paraspace_solvers::{Bdf, OdeSolver, Rkf45, SolverError};
+use paraspace_vgpu::{Device, DeviceConfig, KernelLaunch, MemorySpace, ThreadWork};
+use std::time::Instant;
+
+/// Host-launched kernels per solver step (stage evaluations + reduction).
+const KERNELS_PER_STEP: u64 = 8;
+/// Host↔device transfer throughput in bytes/ns.
+const PCIE_BYTES_PER_NS: f64 = 8.0;
+
+/// The fine-only engine.
+///
+/// # Example
+///
+/// ```
+/// use paraspace_core::{FineEngine, SimulationJob, Simulator};
+/// use paraspace_rbm::{Reaction, ReactionBasedModel};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut m = ReactionBasedModel::new();
+/// let a = m.add_species("A", 1.0);
+/// m.add_reaction(Reaction::mass_action(&[(a, 1)], &[], 1.0))?;
+/// let job = SimulationJob::builder(&m).time_points(vec![1.0]).replicate(2).build()?;
+/// let r = FineEngine::new().run(&job)?;
+/// assert_eq!(r.success_count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FineEngine {
+    device_config: DeviceConfig,
+}
+
+impl Default for FineEngine {
+    fn default() -> Self {
+        FineEngine::new()
+    }
+}
+
+impl FineEngine {
+    /// An engine on the published GPU.
+    pub fn new() -> Self {
+        FineEngine { device_config: DeviceConfig::titan_x() }
+    }
+
+    /// Overrides the device (builder style).
+    pub fn with_device(mut self, config: DeviceConfig) -> Self {
+        self.device_config = config;
+        self
+    }
+}
+
+impl Simulator for FineEngine {
+    fn name(&self) -> &'static str {
+        "fine"
+    }
+
+    fn run(&self, job: &SimulationJob) -> Result<BatchResult, SimError> {
+        let start = Instant::now();
+        let device = Device::new(self.device_config.clone());
+        let n = job.odes().n_species();
+        let m = job.odes().n_reactions();
+        let rkf = Rkf45::new();
+        let bdf1 = Bdf::with_max_order(1);
+
+        let h2d = (job.odes().n_terms() as u64 * 12 + m as u64 * 8) + (n + m) as u64 * 8;
+        device.record_host_phase("io::h2d", h2d as f64 * job.batch_size() as f64 / PCIE_BYTES_PER_NS);
+
+        let mut outcomes = Vec::with_capacity(job.batch_size());
+        for i in 0..job.batch_size() {
+            // Non-stiff attempt first; switch to BDF1 on a stiffness-shaped
+            // failure (the published switching pair).
+            let mut solver_used: &'static str = rkf.name();
+            let (mut solution, mut stats) = outcome_and_stats(solve_member(job, i, &rkf));
+            if let Err(e) = &solution {
+                if matches!(
+                    e,
+                    SolverError::MaxStepsExceeded { .. }
+                        | SolverError::StepSizeUnderflow { .. }
+                        | SolverError::StiffnessDetected { .. }
+                ) {
+                    // The failed non-stiff attempt's work is still billed,
+                    // then the stiff solver re-runs the member.
+                    solver_used = "bdf1";
+                    let (retry, retry_stats) = outcome_and_stats(solve_member(job, i, &bdf1));
+                    solution = retry;
+                    stats.absorb(&retry_stats);
+                }
+            }
+            let work = WorkEstimate::from_stats(job.odes(), &stats, job.time_points().len());
+
+            // One simulation = one fine-grained grid: species across
+            // threads, repeated per step from the host.
+            let tpb = n.clamp(1, 128);
+            let blocks = n.div_ceil(tpb).max(1);
+            let threads_total = (tpb * blocks) as u64;
+            let per_thread = ThreadWork::new()
+                .with_flops((work.flops / threads_total).max(1))
+                .with_read(
+                    MemorySpace::CachedGlobal,
+                    ((work.state_bytes + work.structure_bytes) / threads_total).max(1),
+                )
+                .with_global_write((work.output_bytes / threads_total).max(1));
+            device.launch(
+                &KernelLaunch::uniform(format!("integrate::fine_sim{i}"), blocks, tpb, per_thread)
+                    .with_registers(48),
+            );
+            // Host-side launch latency for every remaining kernel of every
+            // step (the single launch above already charged one).
+            let launches = (stats.steps as u64 * KERNELS_PER_STEP).saturating_sub(1);
+            device.record_host_phase(
+                "integrate::step_launches",
+                launches as f64 * self.device_config.kernel_launch_ns,
+            );
+
+            outcomes.push(SimOutcome { solution, stiff: false, rerouted: false, solver: solver_used });
+        }
+
+        let out_bytes = output_bytes(job, &outcomes);
+        device.record_host_phase("io::d2h", out_bytes as f64 / PCIE_BYTES_PER_NS);
+        device.record_host_phase("io::write", out_bytes as f64 / IO_BYTES_PER_NS);
+
+        let timeline = device.timeline();
+        Ok(BatchResult {
+            engine: self.name(),
+            outcomes,
+            timing: BatchTiming {
+                host_wall: start.elapsed(),
+                simulated_total_ns: timeline.total_ns(),
+                simulated_integration_ns: timeline.time_tagged_ns("integrate"),
+                simulated_io_ns: timeline.time_tagged_ns("io"),
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FineCoarseEngine;
+    use paraspace_rbm::{Parameterization, Reaction, ReactionBasedModel};
+
+    fn model() -> ReactionBasedModel {
+        let mut m = ReactionBasedModel::new();
+        let a = m.add_species("A", 1.0);
+        let b = m.add_species("B", 0.0);
+        m.add_reaction(Reaction::mass_action(&[(a, 1)], &[(b, 1)], 1.0)).unwrap();
+        m.add_reaction(Reaction::mass_action(&[(b, 1)], &[(a, 1)], 0.4)).unwrap();
+        m
+    }
+
+    #[test]
+    fn single_simulation_succeeds_and_matches() {
+        let m = model();
+        let job = SimulationJob::builder(&m).time_points(vec![1.0]).replicate(1).build().unwrap();
+        let fine = FineEngine::new().run(&job).unwrap();
+        let fc = FineCoarseEngine::new().run(&job).unwrap();
+        let a = fine.outcomes[0].solution.as_ref().unwrap();
+        let b = fc.outcomes[0].solution.as_ref().unwrap();
+        for (x, y) in a.state_at(0).iter().zip(b.state_at(0)) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn stiff_member_switches_to_bdf1() {
+        let m = model();
+        let job = SimulationJob::builder(&m)
+            .time_points(vec![1.0])
+            .parameterization(Parameterization::new().with_rate_constants(vec![5e5, 5e5]))
+            .build()
+            .unwrap();
+        let r = FineEngine::new().run(&job).unwrap();
+        assert_eq!(r.outcomes[0].solver, "bdf1");
+        assert!(r.outcomes[0].solution.is_ok());
+    }
+
+    #[test]
+    fn serialization_across_simulations_hurts_batches() {
+        // Per-simulation simulated time must grow ~linearly with batch size
+        // (no coarse-grained parallelism) — the published weakness.
+        let m = model();
+        let job1 = SimulationJob::builder(&m).time_points(vec![1.0]).replicate(1).build().unwrap();
+        let job8 = SimulationJob::builder(&m).time_points(vec![1.0]).replicate(8).build().unwrap();
+        let r1 = FineEngine::new().run(&job1).unwrap();
+        let r8 = FineEngine::new().run(&job8).unwrap();
+        assert!(
+            r8.timing.simulated_total_ns > 6.0 * r1.timing.simulated_total_ns,
+            "{} vs {}",
+            r8.timing.simulated_total_ns,
+            r1.timing.simulated_total_ns
+        );
+    }
+
+    #[test]
+    fn loses_to_fine_coarse_on_batches() {
+        let m = model();
+        let job = SimulationJob::builder(&m).time_points(vec![1.0]).replicate(64).build().unwrap();
+        let fine = FineEngine::new().run(&job).unwrap();
+        let fc = FineCoarseEngine::new().run(&job).unwrap();
+        assert!(
+            fine.timing.simulated_integration_ns > fc.timing.simulated_integration_ns,
+            "fine {} must lose to fine+coarse {}",
+            fine.timing.simulated_integration_ns,
+            fc.timing.simulated_integration_ns
+        );
+    }
+}

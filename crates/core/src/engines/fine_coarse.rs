@@ -1,0 +1,385 @@
+//! The fine- **and** coarse-grained engine: the paper's contribution.
+//!
+//! Coarse grain: every device thread owns one simulation of the batch.
+//! Fine grain: at every solver step the owning thread uses dynamic
+//! parallelism to launch child grids that spread the ODE work (stage
+//! evaluations, Newton transforms, LU solves) across one thread per
+//! species/matrix row. The published pipeline:
+//!
+//! * **P1** (host): flat ODE encoding + host→device transfer,
+//! * **P2** (device): dominant-eigenvalue stiffness triage, threshold 500,
+//! * **P3** (device): DOPRI5 batch over the non-stiff members,
+//! * **P4** (device): RADAU5 batch over stiff members *and* P3 failures,
+//! * **P5** (host): output collection and writing.
+//!
+//! The numerics run bit-exact on the host; the device model receives the
+//! *measured* per-simulation work. Parent threads carry their own
+//! simulation's step count (so batch heterogeneity becomes warp divergence
+//! on the device), child grids carry the per-round ODE work, and each child
+//! round pays the dynamic-parallelism launch overhead — which is what caps
+//! useful batch sizes near 2048.
+
+use crate::engines::{
+    outcome_and_stats, output_bytes, solve_member, BatchResult, BatchTiming, SimOutcome,
+    Simulator, IO_BYTES_PER_NS,
+};
+use crate::{classify_batch_with_threshold, SimError, SimulationJob, WorkEstimate};
+use paraspace_solvers::{Dopri5, OdeSolver, Radau5, SolverError, StepStats};
+use paraspace_vgpu::{ChildLaunch, Device, DeviceConfig, DpModel, KernelLaunch, MemorySpace, ThreadWork};
+use std::time::Instant;
+
+/// Host↔device transfer throughput in bytes/ns (PCIe 3.0-class ≈ 8 GB/s).
+const PCIE_BYTES_PER_NS: f64 = 8.0;
+/// Parent-thread control-flow flops per solver step (loop bookkeeping,
+/// step-size control on the coarse thread).
+const PARENT_FLOPS_PER_STEP: u64 = 30;
+
+/// The fine+coarse engine.
+///
+/// # Example
+///
+/// ```
+/// use paraspace_core::{FineCoarseEngine, SimulationJob, Simulator};
+/// use paraspace_rbm::{Reaction, ReactionBasedModel};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut m = ReactionBasedModel::new();
+/// let a = m.add_species("A", 1.0);
+/// m.add_reaction(Reaction::mass_action(&[(a, 1)], &[], 1.0))?;
+/// let job = SimulationJob::builder(&m).time_points(vec![1.0]).replicate(8).build()?;
+/// let r = FineCoarseEngine::new().run(&job)?;
+/// assert_eq!(r.success_count(), 8);
+/// assert!(r.timing.simulated_integration_ns > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FineCoarseEngine {
+    device_config: DeviceConfig,
+    dp_model: DpModel,
+    threads_per_block: usize,
+    stiffness_threshold: f64,
+}
+
+impl Default for FineCoarseEngine {
+    fn default() -> Self {
+        FineCoarseEngine::new()
+    }
+}
+
+impl FineCoarseEngine {
+    /// An engine on the published GPU (simulated Titan X).
+    pub fn new() -> Self {
+        FineCoarseEngine {
+            device_config: DeviceConfig::titan_x(),
+            dp_model: DpModel::default(),
+            threads_per_block: 32,
+            stiffness_threshold: crate::STIFFNESS_THRESHOLD,
+        }
+    }
+
+    /// Overrides the phase-P2 stiffness threshold (builder style; swept by
+    /// the stiffness-threshold ablation).
+    pub fn with_stiffness_threshold(mut self, threshold: f64) -> Self {
+        self.stiffness_threshold = threshold;
+        self
+    }
+
+    /// Overrides the device (builder style).
+    pub fn with_device(mut self, config: DeviceConfig) -> Self {
+        self.device_config = config;
+        self
+    }
+
+    /// Overrides the dynamic-parallelism model (builder style; used by the
+    /// DP ablation).
+    pub fn with_dp_model(mut self, dp: DpModel) -> Self {
+        self.dp_model = dp;
+        self
+    }
+
+    /// Runs one solver phase (P3 or P4) over `members`, filling `slots`,
+    /// and returns the members that failed with a re-routable error.
+    #[allow(clippy::too_many_arguments)]
+    fn run_phase(
+        &self,
+        job: &SimulationJob,
+        device: &Device,
+        phase_name: &str,
+        solver: &dyn OdeSolver,
+        members: &[usize],
+        slots: &mut [Option<(Result<paraspace_solvers::Solution, SolverError>, &'static str)>],
+        reroutable: bool,
+    ) -> Vec<usize> {
+        if members.is_empty() {
+            return Vec::new();
+        }
+        let n = job.odes().n_species();
+        let mut failed = Vec::new();
+        let mut parent_work: Vec<ThreadWork> = Vec::with_capacity(members.len());
+        let mut phase_work = WorkEstimate::default();
+        let mut total_rounds: u64 = 0;
+        let mut total_steps_max: u64 = 0;
+
+        for &i in members {
+            // Failed members are billed for the work they actually did
+            // before failing (SolveFailure carries the partial counters).
+            let (solution, stats) = outcome_and_stats(solve_member(job, i, solver));
+            let rounds = launch_rounds(&stats);
+            total_rounds += rounds;
+            total_steps_max = total_steps_max.max(stats.steps as u64);
+            parent_work.push(
+                ThreadWork::new()
+                    .with_flops(stats.steps as u64 * PARENT_FLOPS_PER_STEP)
+                    .with_syncs(stats.steps as u64),
+            );
+            phase_work.absorb(&WorkEstimate::from_stats(job.odes(), &stats, job.time_points().len()));
+
+            match solution {
+                Ok(s) => slots[i] = Some((Ok(s), solver.name())),
+                Err(e) if reroutable && is_reroutable(&e) => failed.push(i),
+                Err(e) => slots[i] = Some((Err(e), solver.name())),
+            }
+        }
+
+        // Parent grid: one thread per member (padded to full blocks).
+        let tpb = self.threads_per_block;
+        let blocks = members.len().div_ceil(tpb);
+        let mut padded = parent_work;
+        padded.resize(blocks * tpb, ThreadWork::new());
+
+        // Child grid: the per-round ODE work spread across species threads.
+        let child_tpb = n.clamp(1, 128);
+        let child_blocks = n.div_ceil(child_tpb).max(1);
+        let child_threads_total = (child_tpb * child_blocks * members.len()) as u64;
+        let rounds_avg = (total_rounds / members.len() as u64).max(1);
+        let per_thread_flops =
+            phase_work.flops / child_threads_total.max(1) / rounds_avg.max(1);
+        let per_thread_bytes = (phase_work.state_bytes + phase_work.structure_bytes)
+            / child_threads_total.max(1)
+            / rounds_avg.max(1);
+
+        let launch = KernelLaunch::per_thread(format!("integrate::{phase_name}"), blocks, tpb, padded)
+            .with_registers(64)
+            .with_child(ChildLaunch {
+                blocks: child_blocks,
+                threads_per_block: child_tpb,
+                // State and structure working sets are shared/reused across
+                // the batch's concurrent child grids, so they live in the
+                // L2-hot cached-global space; output writes stay DRAM-bound.
+                work: ThreadWork::new()
+                    .with_flops(per_thread_flops.max(1))
+                    .with_read(MemorySpace::CachedGlobal, per_thread_bytes.max(1))
+                    .with_global_write(
+                        phase_work.output_bytes / child_threads_total.max(1) / rounds_avg.max(1),
+                    ),
+                repeats: rounds_avg,
+            });
+        device.launch(&launch);
+        failed
+    }
+}
+
+/// How many child-grid launch rounds one simulation's integration issued:
+/// one per stage/RHS evaluation, one per linear solve, one per
+/// factorization, one per step-control round.
+fn launch_rounds(stats: &StepStats) -> u64 {
+    (stats.rhs_evals + stats.linear_solves + stats.lu_decompositions + stats.steps).max(1) as u64
+}
+
+/// P3 failures that re-route to RADAU5 rather than being terminal.
+fn is_reroutable(e: &SolverError) -> bool {
+    matches!(
+        e,
+        SolverError::StiffnessDetected { .. }
+            | SolverError::MaxStepsExceeded { .. }
+            | SolverError::StepSizeUnderflow { .. }
+            | SolverError::NonlinearSolveFailed { .. }
+    )
+}
+
+impl Simulator for FineCoarseEngine {
+    fn name(&self) -> &'static str {
+        "fine-coarse"
+    }
+
+    fn run(&self, job: &SimulationJob) -> Result<BatchResult, SimError> {
+        let start = Instant::now();
+        let device = Device::with_dp_model(self.device_config.clone(), self.dp_model.clone());
+        let n = job.odes().n_species();
+        let m = job.odes().n_reactions();
+        let batch = job.batch_size();
+
+        // P1: encoding upload (structures + per-member x0, k).
+        let h2d_bytes = (job.odes().n_terms() as u64 * 12 + m as u64 * 8) // encoding
+            + batch as u64 * (n + m) as u64 * 8;
+        device.record_host_phase("io::p1_h2d", h2d_bytes as f64 / PCIE_BYTES_PER_NS);
+
+        // P2: stiffness triage on the device.
+        let classes = classify_batch_with_threshold(job, self.stiffness_threshold);
+        let p2_work = ThreadWork::new()
+            .with_flops(job.odes().jacobian_flops() + 50 * 2 * (n * n) as u64)
+            .with_global_read((job.odes().n_terms() as u64 * 12) + (n * n) as u64 * 8);
+        let p2_blocks = batch.div_ceil(self.threads_per_block);
+        device.launch(
+            &KernelLaunch::uniform("setup::p2_stiffness", p2_blocks, self.threads_per_block, p2_work)
+                .with_registers(64),
+        );
+
+        // P3: DOPRI5 over non-stiff members; collect re-routes.
+        let mut slots: Vec<Option<(Result<paraspace_solvers::Solution, SolverError>, &'static str)>> =
+            (0..batch).map(|_| None).collect();
+        let nonstiff: Vec<usize> = (0..batch).filter(|&i| !classes[i].stiff).collect();
+        let stiff: Vec<usize> = (0..batch).filter(|&i| classes[i].stiff).collect();
+        let rerouted =
+            self.run_phase(job, &device, "p3_dopri5", &Dopri5::new(), &nonstiff, &mut slots, true);
+
+        // P4: RADAU5 over stiff + re-routed members.
+        let mut p4_members = stiff;
+        p4_members.extend(rerouted.iter().copied());
+        let rerouted_set: Vec<bool> = {
+            let mut v = vec![false; batch];
+            for &i in &rerouted {
+                v[i] = true;
+            }
+            v
+        };
+        self.run_phase(job, &device, "p4_radau5", &Radau5::new(), &p4_members, &mut slots, false);
+
+        // Assemble outcomes.
+        let outcomes: Vec<SimOutcome> = slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| {
+                let (solution, solver) = slot.expect("every member handled by P3 or P4");
+                SimOutcome { solution, stiff: classes[i].stiff, rerouted: rerouted_set[i], solver }
+            })
+            .collect();
+
+        // P5: device→host transfer plus output writing.
+        let out_bytes = output_bytes(job, &outcomes);
+        device.record_host_phase("io::p5_d2h", out_bytes as f64 / PCIE_BYTES_PER_NS);
+        device.record_host_phase("io::p5_write", out_bytes as f64 / IO_BYTES_PER_NS);
+
+        let timeline = device.timeline();
+        Ok(BatchResult {
+            engine: self.name(),
+            outcomes,
+            timing: BatchTiming {
+                host_wall: start.elapsed(),
+                simulated_total_ns: timeline.total_ns(),
+                simulated_integration_ns: timeline.time_tagged_ns("integrate"),
+                simulated_io_ns: timeline.time_tagged_ns("io"),
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CpuEngine, CpuSolverKind};
+    use paraspace_rbm::{perturbed_batch, Parameterization, Reaction, ReactionBasedModel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn reversible_model() -> ReactionBasedModel {
+        let mut m = ReactionBasedModel::new();
+        let a = m.add_species("A", 1.0);
+        let b = m.add_species("B", 0.0);
+        m.add_reaction(Reaction::mass_action(&[(a, 1)], &[(b, 1)], 1.5)).unwrap();
+        m.add_reaction(Reaction::mass_action(&[(b, 1)], &[(a, 1)], 0.5)).unwrap();
+        m
+    }
+
+    #[test]
+    fn trajectories_match_cpu_engine() {
+        let m = reversible_model();
+        let mut rng = StdRng::seed_from_u64(9);
+        let batch = perturbed_batch(&m, 6, &mut rng);
+        let job = SimulationJob::builder(&m)
+            .time_points(vec![0.5, 1.0, 2.0])
+            .parameterizations(batch)
+            .build()
+            .unwrap();
+        let gpu = FineCoarseEngine::new().run(&job).unwrap();
+        let cpu = CpuEngine::new(CpuSolverKind::Lsoda).run(&job).unwrap();
+        assert_eq!(gpu.success_count(), 6);
+        for (og, oc) in gpu.outcomes.iter().zip(&cpu.outcomes) {
+            let sg = og.solution.as_ref().unwrap();
+            let sc = oc.solution.as_ref().unwrap();
+            for (a, b) in sg.state_at(2).iter().zip(sc.state_at(2)) {
+                assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn stiff_members_take_the_radau_path() {
+        let m = reversible_model();
+        let job = SimulationJob::builder(&m)
+            .time_points(vec![1.0])
+            .parameterization(Parameterization::new().with_rate_constants(vec![1.5, 0.5]))
+            .parameterization(Parameterization::new().with_rate_constants(vec![1e5, 1e5]))
+            .build()
+            .unwrap();
+        let r = FineCoarseEngine::new().run(&job).unwrap();
+        assert!(!r.outcomes[0].stiff);
+        assert!(r.outcomes[1].stiff);
+        assert_eq!(r.outcomes[1].solver, "radau5");
+        assert_eq!(r.outcomes[0].solver, "dopri5");
+        // The stiff member still reaches the right equilibrium A/(A+B) = ½.
+        let s = r.outcomes[1].solution.as_ref().unwrap();
+        assert!((s.state_at(0)[0] - 0.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn batch_throughput_beats_cpu_on_large_batches() {
+        // The headline claim, in miniature: on a batch of simulations the
+        // simulated GPU total is far below the simulated sequential CPU
+        // total.
+        let m = reversible_model();
+        let mut rng = StdRng::seed_from_u64(10);
+        let job = SimulationJob::builder(&m)
+            .time_points(vec![1.0, 2.0])
+            .parameterizations(perturbed_batch(&m, 256, &mut rng))
+            .build()
+            .unwrap();
+        let gpu = FineCoarseEngine::new().run(&job).unwrap();
+        let cpu = CpuEngine::new(CpuSolverKind::Lsoda).run(&job).unwrap();
+        let speedup =
+            cpu.timing.simulated_integration_ns / gpu.timing.simulated_integration_ns;
+        assert!(speedup > 3.0, "expected a clear batch win, got {speedup:.2}x");
+    }
+
+    #[test]
+    fn io_and_integration_are_split() {
+        let m = reversible_model();
+        let job = SimulationJob::builder(&m).time_points(vec![1.0]).replicate(4).build().unwrap();
+        let r = FineCoarseEngine::new().run(&job).unwrap();
+        assert!(r.timing.simulated_io_ns > 0.0);
+        assert!(r.timing.simulated_integration_ns > 0.0);
+        assert!(r.timing.simulated_total_ns >= r.timing.simulated_integration_ns);
+    }
+
+    #[test]
+    fn reroute_marks_members() {
+        // A member that is non-stiff at t0 but becomes unmanageable for
+        // DOPRI5: tiny step budget forces MaxStepsExceeded → re-route.
+        let m = reversible_model();
+        // Absurdly small step budget to force a P3 failure.
+        let opts = paraspace_solvers::SolverOptions { max_steps: 8, ..Default::default() };
+        let job = SimulationJob::builder(&m)
+            .time_points(vec![5.0])
+            .replicate(1)
+            .options(opts)
+            .build()
+            .unwrap();
+        let r = FineCoarseEngine::new().run(&job).unwrap();
+        // Either DOPRI5 made it in 8 steps, or the member was re-routed.
+        let o = &r.outcomes[0];
+        if o.rerouted {
+            assert_eq!(o.solver, "radau5");
+        }
+    }
+}

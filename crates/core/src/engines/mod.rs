@@ -1,0 +1,140 @@
+//! The simulation engines and their shared result types.
+
+mod auto;
+mod coarse;
+mod cpu;
+mod fine;
+mod fine_coarse;
+
+pub use auto::AutoEngine;
+pub use coarse::CoarseEngine;
+pub use cpu::{CpuEngine, CpuSolverKind};
+pub use fine::FineEngine;
+pub use fine_coarse::FineCoarseEngine;
+
+use crate::{SimError, SimulationJob};
+use paraspace_solvers::{SolveFailure, Solution, SolverError, StepStats};
+use std::time::Duration;
+
+/// Host-side I/O throughput used to price output serialization (bytes/ns);
+/// ~500 MB/s, a mid-range value for the formatted-text dynamics files the
+/// original tool writes.
+pub(crate) const IO_BYTES_PER_NS: f64 = 0.5;
+
+/// A batch simulation engine.
+///
+/// All engines produce bit-identical trajectories for the same job (they
+/// share the solver implementations); they differ in *how the work is
+/// scheduled on their modeled hardware*, which is what the timing fields
+/// of [`BatchResult`] expose.
+pub trait Simulator {
+    /// Engine name as used in the published comparison maps.
+    fn name(&self) -> &'static str;
+
+    /// Runs the whole batch.
+    ///
+    /// # Errors
+    ///
+    /// Job-level failures only ([`SimError`]); per-simulation solver
+    /// failures are recorded in the corresponding [`SimOutcome`].
+    fn run(&self, job: &SimulationJob) -> Result<BatchResult, SimError>;
+}
+
+/// Outcome of one batch member.
+#[derive(Debug)]
+pub struct SimOutcome {
+    /// The sampled trajectory, or the solver failure.
+    pub solution: Result<Solution, SolverError>,
+    /// Phase-P2 classification (where the engine performs one).
+    pub stiff: bool,
+    /// Whether the member failed on the explicit path and was re-routed to
+    /// the implicit solver (phase P3 → P4).
+    pub rerouted: bool,
+    /// Name of the solver that produced the final result.
+    pub solver: &'static str,
+}
+
+/// The two clocks and their integration/I-O split.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BatchTiming {
+    /// Real wall time spent by this process executing the batch.
+    pub host_wall: Duration,
+    /// Modeled time on the engine's hardware: everything (the published
+    /// "simulation time").
+    pub simulated_total_ns: f64,
+    /// Modeled time of the numerical integration only (the published
+    /// "integration time").
+    pub simulated_integration_ns: f64,
+    /// Modeled time of input staging and output writing.
+    pub simulated_io_ns: f64,
+}
+
+/// The result of running a batch.
+#[derive(Debug)]
+pub struct BatchResult {
+    /// Engine that produced this result.
+    pub engine: &'static str,
+    /// One outcome per batch member, in order.
+    pub outcomes: Vec<SimOutcome>,
+    /// Timing on both clocks.
+    pub timing: BatchTiming,
+}
+
+impl BatchResult {
+    /// Number of members that produced a trajectory.
+    pub fn success_count(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.solution.is_ok()).count()
+    }
+
+    /// Iterates over the successful trajectories.
+    pub fn solutions(&self) -> impl Iterator<Item = &Solution> {
+        self.outcomes.iter().filter_map(|o| o.solution.as_ref().ok())
+    }
+
+    /// Aggregated solver counters across the batch.
+    pub fn aggregate_stats(&self) -> StepStats {
+        let mut total = StepStats::default();
+        for o in &self.outcomes {
+            if let Ok(s) = &o.solution {
+                total.absorb(&s.stats);
+            }
+        }
+        total
+    }
+}
+
+/// Runs `solver` on member `i` of `job` (shared by all engines).
+pub(crate) fn solve_member(
+    job: &SimulationJob,
+    i: usize,
+    solver: &dyn paraspace_solvers::OdeSolver,
+) -> Result<Solution, SolveFailure> {
+    let (x0, k) = job.member(i);
+    let sys = crate::RbmOdeSystem::new(job.odes(), k.to_vec());
+    solver.solve(&sys, 0.0, x0, job.time_points(), job.options())
+}
+
+/// Splits a member result into the caller-facing outcome and the work the
+/// run consumed on the engine's hardware — failed members are billed for
+/// the steps they actually burned before giving up.
+pub(crate) fn outcome_and_stats(
+    result: Result<Solution, SolveFailure>,
+) -> (Result<Solution, SolverError>, StepStats) {
+    match result {
+        Ok(sol) => {
+            let stats = sol.stats;
+            (Ok(sol), stats)
+        }
+        Err(failure) => (Err(failure.error), failure.stats),
+    }
+}
+
+/// Serializes all successful outputs, returning total bytes (the P5 cost
+/// driver).
+pub(crate) fn output_bytes(job: &SimulationJob, outcomes: &[SimOutcome]) -> u64 {
+    outcomes
+        .iter()
+        .filter_map(|o| o.solution.as_ref().ok())
+        .map(|s| job.serialize_dynamics(s).len() as u64)
+        .sum()
+}

@@ -1,0 +1,78 @@
+//! Engine-level error type.
+
+use paraspace_rbm::RbmError;
+use paraspace_solvers::SolverError;
+use std::error::Error;
+use std::fmt;
+
+/// Failures reported by the batch engines.
+///
+/// Per-simulation solver failures are *not* errors at this level — they are
+/// recorded in [`crate::SimOutcome`] so one divergent parameterization does
+/// not sink a 2048-member batch. `SimError` covers job-level problems.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The model failed validation or compilation.
+    Model(RbmError),
+    /// A job-level input was malformed (e.g. empty batch, bad tolerances).
+    InvalidJob {
+        /// Description of the problem.
+        message: String,
+    },
+    /// A solver failure at a stage with no fallback (used by engines that
+    /// must produce a single reference trajectory).
+    Solver(SolverError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Model(e) => write!(f, "model error: {e}"),
+            SimError::InvalidJob { message } => write!(f, "invalid job: {message}"),
+            SimError::Solver(e) => write!(f, "solver error: {e}"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Model(e) => Some(e),
+            SimError::Solver(e) => Some(e),
+            SimError::InvalidJob { .. } => None,
+        }
+    }
+}
+
+impl From<RbmError> for SimError {
+    fn from(e: RbmError) -> Self {
+        SimError::Model(e)
+    }
+}
+
+impl From<SolverError> for SimError {
+    fn from(e: SolverError) -> Self {
+        SimError::Solver(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_sources() {
+        let e: SimError = RbmError::EmptyModel.into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("model error"));
+        let e: SimError = SolverError::StepSizeUnderflow { t: 1.0 }.into();
+        assert!(e.to_string().contains("solver error"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: std::error::Error + Send + Sync + 'static>() {}
+        check::<SimError>();
+    }
+}

@@ -1,0 +1,260 @@
+//! Simulation jobs: model + batch + sampling + tolerances.
+
+use crate::SimError;
+use paraspace_rbm::{CompiledOdes, Parameterization, ReactionBasedModel};
+use paraspace_solvers::{Solution, SolverOptions};
+
+/// A batch simulation job: the unit of work every engine consumes.
+///
+/// Construction runs phase **P1** of the published pipeline: the model is
+/// validated and compiled into the flat ODE encoding shared by all batch
+/// members.
+///
+/// # Example
+///
+/// ```
+/// use paraspace_core::SimulationJob;
+/// use paraspace_rbm::{Reaction, ReactionBasedModel};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut m = ReactionBasedModel::new();
+/// let a = m.add_species("A", 1.0);
+/// m.add_reaction(Reaction::mass_action(&[(a, 1)], &[], 1.0))?;
+/// let job = SimulationJob::builder(&m).time_points(vec![1.0]).replicate(8).build()?;
+/// assert_eq!(job.batch_size(), 8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct SimulationJob<'a> {
+    model: &'a ReactionBasedModel,
+    odes: CompiledOdes,
+    batch: Vec<(Vec<f64>, Vec<f64>)>, // resolved (x0, k) per member
+    time_points: Vec<f64>,
+    options: SolverOptions,
+}
+
+impl<'a> SimulationJob<'a> {
+    /// Starts building a job for `model`.
+    pub fn builder(model: &'a ReactionBasedModel) -> JobBuilder<'a> {
+        JobBuilder {
+            model,
+            parameterizations: Vec::new(),
+            time_points: Vec::new(),
+            options: SolverOptions::default(),
+        }
+    }
+
+    /// The model under simulation.
+    pub fn model(&self) -> &ReactionBasedModel {
+        self.model
+    }
+
+    /// The compiled ODE encoding (phase P1 output).
+    pub fn odes(&self) -> &CompiledOdes {
+        &self.odes
+    }
+
+    /// Number of simulations in the batch.
+    pub fn batch_size(&self) -> usize {
+        self.batch.len()
+    }
+
+    /// Resolved `(x0, k)` of batch member `i`.
+    pub fn member(&self, i: usize) -> (&[f64], &[f64]) {
+        let (x0, k) = &self.batch[i];
+        (x0, k)
+    }
+
+    /// The sampling time points.
+    pub fn time_points(&self) -> &[f64] {
+        &self.time_points
+    }
+
+    /// Solver tolerances and limits.
+    pub fn options(&self) -> &SolverOptions {
+        &self.options
+    }
+
+    /// Serializes one trajectory in the tab-separated dynamics format the
+    /// original tool writes (phase P5); engines charge its cost as I/O.
+    pub fn serialize_dynamics(&self, solution: &Solution) -> String {
+        let mut out = String::with_capacity(solution.len() * (self.odes.n_species() + 1) * 14);
+        for (t, state) in solution.times.iter().zip(&solution.states) {
+            out.push_str(&format!("{t:e}"));
+            for v in state {
+                out.push('\t');
+                out.push_str(&format!("{v:e}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Builder for [`SimulationJob`].
+#[derive(Debug)]
+pub struct JobBuilder<'a> {
+    model: &'a ReactionBasedModel,
+    parameterizations: Vec<Parameterization>,
+    time_points: Vec<f64>,
+    options: SolverOptions,
+}
+
+impl<'a> JobBuilder<'a> {
+    /// Sets the sampling time points (strictly increasing, all > t = 0).
+    pub fn time_points(mut self, times: Vec<f64>) -> Self {
+        self.time_points = times;
+        self
+    }
+
+    /// Adds an explicit batch of parameterizations.
+    pub fn parameterizations(mut self, batch: Vec<Parameterization>) -> Self {
+        self.parameterizations.extend(batch);
+        self
+    }
+
+    /// Adds one parameterization.
+    pub fn parameterization(mut self, p: Parameterization) -> Self {
+        self.parameterizations.push(p);
+        self
+    }
+
+    /// Fills the batch with `n` copies of the model's baked values (useful
+    /// for throughput measurements).
+    pub fn replicate(mut self, n: usize) -> Self {
+        self.parameterizations.extend((0..n).map(|_| Parameterization::new()));
+        self
+    }
+
+    /// Overrides the solver options (defaults: the published εa = 10⁻¹²,
+    /// εr = 10⁻⁶, 10⁴ steps).
+    pub fn options(mut self, options: SolverOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Validates, compiles the ODEs (phase P1) and resolves the batch.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Model`] on validation/compilation failure;
+    /// [`SimError::InvalidJob`] for an empty batch, empty or non-increasing
+    /// time points, or non-positive tolerances.
+    pub fn build(self) -> Result<SimulationJob<'a>, SimError> {
+        let odes = self.model.compile()?;
+        if self.parameterizations.is_empty() {
+            return Err(SimError::InvalidJob { message: "batch must contain at least one parameterization".into() });
+        }
+        if self.time_points.is_empty() {
+            return Err(SimError::InvalidJob { message: "at least one sampling time point required".into() });
+        }
+        let mut prev = 0.0;
+        for &t in &self.time_points {
+            if t <= prev && t != 0.0 {
+                return Err(SimError::InvalidJob {
+                    message: format!("time points must be increasing and non-negative (saw {t} after {prev})"),
+                });
+            }
+            prev = t;
+        }
+        if self.options.rel_tol <= 0.0 || self.options.abs_tol <= 0.0 {
+            return Err(SimError::InvalidJob { message: "tolerances must be positive".into() });
+        }
+        let batch = self
+            .parameterizations
+            .iter()
+            .map(|p| p.resolve(self.model))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(SimulationJob {
+            model: self.model,
+            odes,
+            batch,
+            time_points: self.time_points,
+            options: self.options,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paraspace_rbm::Reaction;
+
+    fn model() -> ReactionBasedModel {
+        let mut m = ReactionBasedModel::new();
+        let a = m.add_species("A", 1.0);
+        let b = m.add_species("B", 0.0);
+        m.add_reaction(Reaction::mass_action(&[(a, 1)], &[(b, 1)], 2.0)).unwrap();
+        m
+    }
+
+    #[test]
+    fn builder_resolves_batch() {
+        let m = model();
+        let job = SimulationJob::builder(&m)
+            .time_points(vec![0.5, 1.0])
+            .parameterization(Parameterization::new().with_rate_constants(vec![9.0]))
+            .replicate(2)
+            .build()
+            .unwrap();
+        assert_eq!(job.batch_size(), 3);
+        let (x0, k) = job.member(0);
+        assert_eq!(x0, &[1.0, 0.0]);
+        assert_eq!(k, &[9.0]);
+        let (_, k1) = job.member(1);
+        assert_eq!(k1, &[2.0]);
+    }
+
+    #[test]
+    fn empty_batch_rejected() {
+        let m = model();
+        let err = SimulationJob::builder(&m).time_points(vec![1.0]).build().unwrap_err();
+        assert!(matches!(err, SimError::InvalidJob { .. }));
+    }
+
+    #[test]
+    fn empty_time_points_rejected() {
+        let m = model();
+        let err = SimulationJob::builder(&m).replicate(1).build().unwrap_err();
+        assert!(err.to_string().contains("time point"));
+    }
+
+    #[test]
+    fn decreasing_time_points_rejected() {
+        let m = model();
+        let err = SimulationJob::builder(&m)
+            .time_points(vec![2.0, 1.0])
+            .replicate(1)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SimError::InvalidJob { .. }));
+    }
+
+    #[test]
+    fn wrong_parameterization_length_is_model_error() {
+        let m = model();
+        let err = SimulationJob::builder(&m)
+            .time_points(vec![1.0])
+            .parameterization(Parameterization::new().with_rate_constants(vec![1.0, 2.0]))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SimError::Model(_)));
+    }
+
+    #[test]
+    fn serialization_is_tab_separated_rows() {
+        let m = model();
+        let job = SimulationJob::builder(&m).time_points(vec![1.0]).replicate(1).build().unwrap();
+        let sol = Solution {
+            times: vec![0.0, 1.0],
+            states: vec![vec![1.0, 0.0], vec![0.5, 0.5]],
+            stats: Default::default(),
+        };
+        let text = job.serialize_dynamics(&sol);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].split('\t').count(), 3);
+        assert!(lines[1].starts_with("1e0"));
+    }
+}

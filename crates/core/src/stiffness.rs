@@ -1,0 +1,106 @@
+//! Phase P2: batch stiffness triage.
+//!
+//! Every simulation is classified by the dominant eigenvalue of its
+//! Jacobian at the initial state: magnitudes below the published threshold
+//! of **500** go to DOPRI5, the rest to RADAU5. P3 failures (DOPRI5's own
+//! stiffness detector firing mid-run, or step-budget exhaustion) are
+//! re-routed to RADAU5 afterwards, so the triage only needs to be cheap,
+//! not perfect.
+
+use crate::SimulationJob;
+use paraspace_linalg::{dominant_eigenvalue_estimate, Matrix};
+
+/// The published spectral-radius threshold separating DOPRI5 from RADAU5.
+pub const STIFFNESS_THRESHOLD: f64 = 500.0;
+
+/// Result of classifying one simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StiffnessClass {
+    /// Estimated dominant eigenvalue magnitude of the Jacobian at `t = 0`.
+    pub dominant_eigenvalue: f64,
+    /// `true` routes the simulation to the implicit (RADAU5) path.
+    pub stiff: bool,
+}
+
+/// Classifies every batch member (phase P2).
+///
+/// Returns one [`StiffnessClass`] per simulation, in batch order.
+///
+/// # Example
+///
+/// ```
+/// use paraspace_core::{classify_batch, SimulationJob};
+/// use paraspace_rbm::{Reaction, ReactionBasedModel};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut m = ReactionBasedModel::new();
+/// let a = m.add_species("A", 1.0);
+/// m.add_reaction(Reaction::mass_action(&[(a, 1)], &[], 1e4))?; // fast decay
+/// let job = SimulationJob::builder(&m).time_points(vec![1.0]).replicate(1).build()?;
+/// let classes = classify_batch(&job);
+/// assert!(classes[0].stiff);
+/// # Ok(())
+/// # }
+/// ```
+pub fn classify_batch(job: &SimulationJob) -> Vec<StiffnessClass> {
+    classify_batch_with_threshold(job, STIFFNESS_THRESHOLD)
+}
+
+/// [`classify_batch`] with an explicit threshold (the stiffness-threshold
+/// ablation sweeps this knob).
+pub fn classify_batch_with_threshold(job: &SimulationJob, threshold: f64) -> Vec<StiffnessClass> {
+    let n = job.odes().n_species();
+    let mut jac = Matrix::zeros(n, n);
+    (0..job.batch_size())
+        .map(|i| {
+            let (x0, k) = job.member(i);
+            job.odes().jacobian_with(x0, k, &mut jac);
+            let lambda = dominant_eigenvalue_estimate(&jac);
+            StiffnessClass { dominant_eigenvalue: lambda, stiff: lambda >= threshold }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paraspace_rbm::{Parameterization, Reaction, ReactionBasedModel};
+
+    fn decay_model(k: f64) -> ReactionBasedModel {
+        let mut m = ReactionBasedModel::new();
+        let a = m.add_species("A", 1.0);
+        m.add_reaction(Reaction::mass_action(&[(a, 1)], &[], k)).unwrap();
+        m
+    }
+
+    #[test]
+    fn gentle_model_is_nonstiff() {
+        let m = decay_model(0.5);
+        let job = SimulationJob::builder(&m).time_points(vec![1.0]).replicate(3).build().unwrap();
+        for c in classify_batch(&job) {
+            assert!(!c.stiff);
+            assert!(c.dominant_eigenvalue < STIFFNESS_THRESHOLD);
+        }
+    }
+
+    #[test]
+    fn classification_is_per_member() {
+        // Same network, two parameterizations straddling the threshold.
+        let m = decay_model(1.0);
+        let job = SimulationJob::builder(&m)
+            .time_points(vec![1.0])
+            .parameterization(Parameterization::new().with_rate_constants(vec![1.0]))
+            .parameterization(Parameterization::new().with_rate_constants(vec![1e5]))
+            .build()
+            .unwrap();
+        let classes = classify_batch(&job);
+        assert!(!classes[0].stiff);
+        assert!(classes[1].stiff);
+        assert!(classes[1].dominant_eigenvalue > classes[0].dominant_eigenvalue);
+    }
+
+    #[test]
+    fn threshold_matches_publication() {
+        assert_eq!(STIFFNESS_THRESHOLD, 500.0);
+    }
+}

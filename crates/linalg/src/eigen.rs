@@ -1,0 +1,199 @@
+//! Dominant-eigenvalue estimation.
+//!
+//! The batch simulator's stiffness-detection phase classifies each
+//! simulation by the spectral radius of its Jacobian: a large dominant
+//! eigenvalue magnitude indicates stiffness and routes the simulation to the
+//! implicit Radau IIA solver. Two estimators are provided: a cheap
+//! Gershgorin-disc bound and a power iteration for a sharper estimate.
+
+use crate::{LinalgError, Matrix};
+
+/// Result of a [`power_iteration`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerIterationResult {
+    /// Estimated dominant eigenvalue magnitude (spectral radius estimate).
+    pub eigenvalue_magnitude: f64,
+    /// Number of iterations performed.
+    pub iterations: usize,
+    /// Whether the estimate met the convergence tolerance.
+    pub converged: bool,
+}
+
+/// Upper bound on the spectral radius via Gershgorin discs:
+/// `max_i Σ_j |a_ij|` (the infinity norm).
+///
+/// Always an over-estimate, never an under-estimate, which makes it a safe
+/// stiffness screen: systems whose bound is small are certainly non-stiff.
+///
+/// # Example
+///
+/// ```
+/// use paraspace_linalg::{gershgorin_bound, Matrix};
+///
+/// let j = Matrix::from_rows(&[&[-1000.0, 1.0], &[0.0, -0.5]]);
+/// assert!(gershgorin_bound(&j) >= 1000.0);
+/// ```
+pub fn gershgorin_bound(a: &Matrix) -> f64 {
+    a.inf_norm()
+}
+
+/// Estimates the dominant eigenvalue magnitude of `a` by power iteration.
+///
+/// Iterates `x ← A x / ‖A x‖` until the Rayleigh-quotient magnitude changes
+/// by less than `tol` (relative) or `max_iter` is reached. For matrices with
+/// a complex dominant pair the magnitude estimate oscillates; the returned
+/// value is the norm-growth factor, which still tracks the spectral radius.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::NotSquare`] for non-square input.
+///
+/// # Example
+///
+/// ```
+/// use paraspace_linalg::{power_iteration, Matrix};
+///
+/// # fn main() -> Result<(), paraspace_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, -5.0]]);
+/// let r = power_iteration(&a, 200, 1e-9)?;
+/// assert!((r.eigenvalue_magnitude - 5.0).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+pub fn power_iteration(
+    a: &Matrix,
+    max_iter: usize,
+    tol: f64,
+) -> Result<PowerIterationResult, LinalgError> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
+    }
+    let n = a.rows();
+    if n == 0 {
+        return Ok(PowerIterationResult { eigenvalue_magnitude: 0.0, iterations: 0, converged: true });
+    }
+    // Deterministic, dimension-spanning start vector.
+    let mut x: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64) * 0.618_033_988_749_894_9 % 1.0).collect();
+    let norm0 = crate::l2_norm(&x);
+    x.iter_mut().for_each(|v| *v /= norm0);
+
+    let mut y = vec![0.0; n];
+    let mut prev = 0.0f64;
+    for it in 1..=max_iter {
+        a.mul_vec_into(&x, &mut y);
+        let norm = crate::l2_norm(&y);
+        if norm == 0.0 || !norm.is_finite() {
+            return Ok(PowerIterationResult {
+                eigenvalue_magnitude: norm,
+                iterations: it,
+                converged: norm == 0.0,
+            });
+        }
+        for (xi, yi) in x.iter_mut().zip(y.iter()) {
+            *xi = yi / norm;
+        }
+        let rel = (norm - prev).abs() / norm.max(1e-300);
+        if rel < tol && it > 2 {
+            return Ok(PowerIterationResult { eigenvalue_magnitude: norm, iterations: it, converged: true });
+        }
+        prev = norm;
+    }
+    Ok(PowerIterationResult { eigenvalue_magnitude: prev, iterations: max_iter, converged: false })
+}
+
+/// Stiffness-oriented dominant-eigenvalue estimate combining both methods:
+/// a short power iteration, falling back to the Gershgorin bound when the
+/// iteration fails to converge (the bound is conservative, i.e. errs towards
+/// classifying a system as stiff, which only costs performance, never
+/// accuracy).
+///
+/// # Example
+///
+/// ```
+/// use paraspace_linalg::{dominant_eigenvalue_estimate, Matrix};
+///
+/// let j = Matrix::from_rows(&[&[-2000.0, 0.0], &[1.0, -0.1]]);
+/// assert!(dominant_eigenvalue_estimate(&j) > 500.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `a` is not square.
+pub fn dominant_eigenvalue_estimate(a: &Matrix) -> f64 {
+    assert!(a.is_square(), "dominant eigenvalue requires a square matrix");
+    match power_iteration(a, 50, 1e-4) {
+        Ok(r) if r.converged => r.eigenvalue_magnitude,
+        _ => gershgorin_bound(a),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gershgorin_bounds_diagonal_matrix_exactly() {
+        let a = Matrix::from_rows(&[&[-3.0, 0.0], &[0.0, 2.0]]);
+        assert_eq!(gershgorin_bound(&a), 3.0);
+    }
+
+    #[test]
+    fn power_iteration_finds_dominant_eigenvalue() {
+        // Eigenvalues 1 and 6 (matrix [[4,2],[1,3]] has eigenvalues 5 and 2).
+        let a = Matrix::from_rows(&[&[4.0, 2.0], &[1.0, 3.0]]);
+        let r = power_iteration(&a, 500, 1e-12).unwrap();
+        assert!(r.converged);
+        assert!((r.eigenvalue_magnitude - 5.0).abs() < 1e-6, "got {}", r.eigenvalue_magnitude);
+    }
+
+    #[test]
+    fn power_iteration_handles_negative_dominant() {
+        let a = Matrix::from_rows(&[&[-10.0, 0.0], &[0.0, 1.0]]);
+        let r = power_iteration(&a, 500, 1e-10).unwrap();
+        assert!((r.eigenvalue_magnitude - 10.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn power_iteration_zero_matrix() {
+        let a = Matrix::zeros(3, 3);
+        let r = power_iteration(&a, 10, 1e-8).unwrap();
+        assert_eq!(r.eigenvalue_magnitude, 0.0);
+        assert!(r.converged);
+    }
+
+    #[test]
+    fn power_iteration_rejects_rectangular() {
+        let a = Matrix::zeros(2, 3);
+        assert!(power_iteration(&a, 10, 1e-8).is_err());
+    }
+
+    #[test]
+    fn estimate_flags_stiff_jacobian() {
+        // A fast/slow two-mode system: eigenvalues -1e4 and -0.1.
+        let a = Matrix::from_rows(&[&[-1e4, 0.0], &[5.0, -0.1]]);
+        let est = dominant_eigenvalue_estimate(&a);
+        assert!(est > 500.0, "stiff system must exceed the threshold, got {est}");
+    }
+
+    #[test]
+    fn estimate_keeps_nonstiff_jacobian_small() {
+        let a = Matrix::from_rows(&[&[-1.0, 0.3], &[0.2, -2.0]]);
+        let est = dominant_eigenvalue_estimate(&a);
+        assert!(est < 500.0, "non-stiff system must stay under threshold, got {est}");
+    }
+
+    #[test]
+    fn estimate_is_conservative_under_rotation_dominance() {
+        // Complex dominant pair (rotation scaled by 100): power iteration may
+        // not converge, Gershgorin fallback still reports roughly 100-200.
+        let a = Matrix::from_rows(&[&[0.0, -100.0], &[100.0, 0.0]]);
+        let est = dominant_eigenvalue_estimate(&a);
+        assert!(est >= 99.0);
+    }
+
+    #[test]
+    fn empty_matrix_estimate_is_zero() {
+        let r = power_iteration(&Matrix::zeros(0, 0), 10, 1e-8).unwrap();
+        assert_eq!(r.eigenvalue_magnitude, 0.0);
+    }
+}

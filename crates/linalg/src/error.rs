@@ -1,0 +1,96 @@
+//! Error type for linear-algebra operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by factorizations and solves.
+///
+/// # Example
+///
+/// ```
+/// use paraspace_linalg::{LinalgError, LuFactor, Matrix};
+///
+/// let singular = Matrix::zeros(2, 2);
+/// match LuFactor::new(singular) {
+///     Err(LinalgError::Singular { pivot }) => assert_eq!(pivot, 0),
+///     other => panic!("expected singular error, got {other:?}"),
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LinalgError {
+    /// The matrix is singular to working precision; `pivot` is the
+    /// elimination column at which a zero pivot was encountered.
+    Singular {
+        /// Column index of the failing pivot.
+        pivot: usize,
+    },
+    /// The operation requires a square matrix.
+    NotSquare {
+        /// Observed number of rows.
+        rows: usize,
+        /// Observed number of columns.
+        cols: usize,
+    },
+    /// Two operands have incompatible dimensions.
+    DimensionMismatch {
+        /// Expected size.
+        expected: usize,
+        /// Observed size.
+        actual: usize,
+    },
+    /// An iterative method failed to converge within its iteration budget.
+    NoConvergence {
+        /// Number of iterations performed.
+        iterations: usize,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::Singular { pivot } => {
+                write!(f, "matrix is singular at pivot column {pivot}")
+            }
+            LinalgError::NotSquare { rows, cols } => {
+                write!(f, "operation requires a square matrix, got {rows}x{cols}")
+            }
+            LinalgError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            LinalgError::NoConvergence { iterations } => {
+                write!(f, "iteration failed to converge after {iterations} iterations")
+            }
+        }
+    }
+}
+
+impl Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let msgs = [
+            LinalgError::Singular { pivot: 3 }.to_string(),
+            LinalgError::NotSquare { rows: 2, cols: 5 }.to_string(),
+            LinalgError::DimensionMismatch { expected: 4, actual: 7 }.to_string(),
+            LinalgError::NoConvergence { iterations: 100 }.to_string(),
+        ];
+        for m in &msgs {
+            assert!(!m.is_empty());
+            assert!(m.chars().next().unwrap().is_lowercase());
+            assert!(!m.ends_with('.'));
+        }
+        assert!(msgs[0].contains('3'));
+        assert!(msgs[1].contains("2x5"));
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn check<T: std::error::Error + Send + Sync + 'static>() {}
+        check::<LinalgError>();
+    }
+}

@@ -1,0 +1,129 @@
+//! Finite-difference Jacobian approximation.
+//!
+//! Solvers that need `J = ∂f/∂y` for systems without an analytic Jacobian
+//! use forward differences with per-component increments scaled to the state
+//! magnitude, matching the classical ODEPACK/RADAU practice.
+
+use crate::Matrix;
+
+/// Approximates the Jacobian `J[i][j] = ∂f_i/∂y_j` of `f` at `(t, y)` by
+/// forward differences, writing into `jac`.
+///
+/// The increment for component `j` is `sqrt(eps) * max(|y_j|, typical)`,
+/// where `typical` guards against zero state components.
+///
+/// `f(t, y, dydt)` must write the derivative of `y` into `dydt`.
+///
+/// # Panics
+///
+/// Panics if `jac` is not `n × n` for `n = y.len()`.
+///
+/// # Example
+///
+/// ```
+/// use paraspace_linalg::{finite_difference_jacobian_into, Matrix};
+///
+/// // f(y) = [y0^2, y0*y1] at y = (2, 3): J = [[4, 0], [3, 2]].
+/// let f = |_t: f64, y: &[f64], dydt: &mut [f64]| {
+///     dydt[0] = y[0] * y[0];
+///     dydt[1] = y[0] * y[1];
+/// };
+/// let mut j = Matrix::zeros(2, 2);
+/// finite_difference_jacobian_into(f, 0.0, &[2.0, 3.0], &mut j);
+/// assert!((j[(0, 0)] - 4.0).abs() < 1e-6);
+/// assert!((j[(1, 1)] - 2.0).abs() < 1e-6);
+/// ```
+pub fn finite_difference_jacobian_into<F>(mut f: F, t: f64, y: &[f64], jac: &mut Matrix)
+where
+    F: FnMut(f64, &[f64], &mut [f64]),
+{
+    let n = y.len();
+    assert_eq!(jac.rows(), n, "jacobian must be n x n");
+    assert_eq!(jac.cols(), n, "jacobian must be n x n");
+    let mut f0 = vec![0.0; n];
+    f(t, y, &mut f0);
+    let mut yp = y.to_vec();
+    let mut f1 = vec![0.0; n];
+    let sqrt_eps = f64::EPSILON.sqrt();
+    for j in 0..n {
+        let typical = 1e-8;
+        let h = sqrt_eps * y[j].abs().max(typical);
+        let saved = yp[j];
+        yp[j] = saved + h;
+        let h_actual = yp[j] - saved; // reduces rounding error in the quotient
+        f(t, &yp, &mut f1);
+        yp[j] = saved;
+        for i in 0..n {
+            jac[(i, j)] = (f1[i] - f0[i]) / h_actual;
+        }
+    }
+}
+
+/// Convenience wrapper around [`finite_difference_jacobian_into`] that
+/// allocates and returns the Jacobian.
+///
+/// # Example
+///
+/// ```
+/// use paraspace_linalg::finite_difference_jacobian;
+///
+/// let f = |_t: f64, y: &[f64], dydt: &mut [f64]| dydt[0] = -3.0 * y[0];
+/// let j = finite_difference_jacobian(f, 0.0, &[1.0]);
+/// assert!((j[(0, 0)] + 3.0).abs() < 1e-6);
+/// ```
+pub fn finite_difference_jacobian<F>(f: F, t: f64, y: &[f64]) -> Matrix
+where
+    F: FnMut(f64, &[f64], &mut [f64]),
+{
+    let mut jac = Matrix::zeros(y.len(), y.len());
+    finite_difference_jacobian_into(f, t, y, &mut jac);
+    jac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_system_jacobian_is_exact_to_rounding() {
+        // f = A y for A = [[1, 2], [-3, 4]].
+        let f = |_t: f64, y: &[f64], d: &mut [f64]| {
+            d[0] = y[0] + 2.0 * y[1];
+            d[1] = -3.0 * y[0] + 4.0 * y[1];
+        };
+        let j = finite_difference_jacobian(f, 0.0, &[0.7, -1.3]);
+        assert!((j[(0, 0)] - 1.0).abs() < 1e-7);
+        assert!((j[(0, 1)] - 2.0).abs() < 1e-7);
+        assert!((j[(1, 0)] + 3.0).abs() < 1e-7);
+        assert!((j[(1, 1)] - 4.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn nonlinear_jacobian_close_to_analytic() {
+        // Robertson-like term: f0 = -0.04 y0 + 1e4 y1 y2.
+        let f = |_t: f64, y: &[f64], d: &mut [f64]| {
+            d[0] = -0.04 * y[0] + 1e4 * y[1] * y[2];
+            d[1] = 0.04 * y[0] - 1e4 * y[1] * y[2] - 3e7 * y[1] * y[1];
+            d[2] = 3e7 * y[1] * y[1];
+        };
+        let y = [1.0, 3.65e-5, 0.1];
+        let j = finite_difference_jacobian(f, 0.0, &y);
+        assert!((j[(0, 0)] + 0.04).abs() < 1e-4);
+        assert!((j[(0, 1)] - 1e4 * y[2]).abs() / (1e4 * y[2]) < 1e-4);
+        assert!((j[(2, 1)] - 6e7 * y[1]).abs() / (6e7 * y[1]) < 1e-4);
+    }
+
+    #[test]
+    fn handles_zero_state_components() {
+        let f = |_t: f64, y: &[f64], d: &mut [f64]| d[0] = 2.0 * y[0];
+        let j = finite_difference_jacobian(f, 0.0, &[0.0]);
+        assert!((j[(0, 0)] - 2.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn time_dependence_is_passed_through() {
+        let f = |t: f64, y: &[f64], d: &mut [f64]| d[0] = t * y[0];
+        let j = finite_difference_jacobian(f, 5.0, &[1.0]);
+        assert!((j[(0, 0)] - 5.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,460 @@
+//! LU factorization with partial pivoting, real and complex, plus a batched
+//! driver used as the cuBLAS substitute by the virtual-GPU engines.
+
+use crate::{CMatrix, Complex64, LinalgError, Matrix};
+
+/// LU factorization (with partial pivoting) of a real square matrix.
+///
+/// The factorization satisfies `P A = L U` where `L` is unit lower
+/// triangular, `U` upper triangular and `P` a permutation. Storage is
+/// in-place: `L` (below the diagonal, implicit unit diagonal) and `U` share
+/// the original matrix buffer.
+///
+/// # Example
+///
+/// ```
+/// use paraspace_linalg::{LuFactor, Matrix};
+///
+/// # fn main() -> Result<(), paraspace_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+/// let lu = LuFactor::new(a)?;
+/// let x = lu.solve(&[3.0, 4.0])?;
+/// assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LuFactor {
+    lu: Matrix,
+    perm: Vec<usize>,
+    sign: f64,
+}
+
+impl LuFactor {
+    /// Factorizes `a`, consuming it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotSquare`] for non-square input and
+    /// [`LinalgError::Singular`] when a pivot column is exactly zero.
+    pub fn new(mut a: Matrix) -> Result<Self, LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
+        }
+        let n = a.rows();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        for k in 0..n {
+            // Partial pivoting: pick the largest |a[i][k]| for i >= k.
+            let mut piv = k;
+            let mut max = a[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = a[(i, k)].abs();
+                if v > max {
+                    max = v;
+                    piv = i;
+                }
+            }
+            if max == 0.0 {
+                return Err(LinalgError::Singular { pivot: k });
+            }
+            if piv != k {
+                // Swap the full rows; the permutation acts on b at solve time.
+                for j in 0..n {
+                    let tmp = a[(k, j)];
+                    a[(k, j)] = a[(piv, j)];
+                    a[(piv, j)] = tmp;
+                }
+                perm.swap(k, piv);
+                sign = -sign;
+            }
+            let pivot = a[(k, k)];
+            for i in (k + 1)..n {
+                let m = a[(i, k)] / pivot;
+                a[(i, k)] = m;
+                if m != 0.0 {
+                    for j in (k + 1)..n {
+                        let u = a[(k, j)];
+                        a[(i, j)] -= m * u;
+                    }
+                }
+            }
+        }
+        Ok(LuFactor { lu: a, perm, sign })
+    }
+
+    /// The dimension of the factored matrix.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A x = b`, returning `x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b.len() != dim()`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if b.len() != self.dim() {
+            return Err(LinalgError::DimensionMismatch { expected: self.dim(), actual: b.len() });
+        }
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        self.substitute(&mut x);
+        Ok(x)
+    }
+
+    /// Solves `A x = b` in place: on entry `b` holds the right-hand side, on
+    /// exit the solution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != dim()`.
+    pub fn solve_in_place(&self, b: &mut [f64]) {
+        assert_eq!(b.len(), self.dim(), "right-hand side length must equal matrix dimension");
+        // Apply the permutation, then substitute.
+        let permuted: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        b.copy_from_slice(&permuted);
+        self.substitute(b);
+    }
+
+    fn substitute(&self, x: &mut [f64]) {
+        let n = self.dim();
+        // Forward: L y = P b (unit diagonal).
+        for i in 1..n {
+            let row = self.lu.row(i);
+            let mut acc = x[i];
+            for (j, item) in x.iter().enumerate().take(i) {
+                acc -= row[j] * item;
+            }
+            x[i] = acc;
+        }
+        // Backward: U x = y.
+        for i in (0..n).rev() {
+            let row = self.lu.row(i);
+            let mut acc = x[i];
+            for (j, item) in x.iter().enumerate().take(n).skip(i + 1) {
+                acc -= row[j] * item;
+            }
+            x[i] = acc / row[i];
+        }
+    }
+
+    /// The determinant of the original matrix (product of pivots, signed by
+    /// the permutation parity).
+    pub fn det(&self) -> f64 {
+        let mut d = self.sign;
+        for i in 0..self.dim() {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+
+    /// Number of floating-point operations an LU factorization of this size
+    /// performs (≈ 2n³/3), used by the virtual-GPU cost model.
+    pub fn flops(n: usize) -> u64 {
+        let n = n as u64;
+        2 * n * n * n / 3
+    }
+
+    /// Flops of a single triangular solve pair (≈ 2n²).
+    pub fn solve_flops(n: usize) -> u64 {
+        let n = n as u64;
+        2 * n * n
+    }
+}
+
+/// LU factorization (partial pivoting) of a complex square matrix.
+///
+/// Mirrors [`LuFactor`] over [`Complex64`]; used for the complex Newton
+/// system of the Radau IIA method.
+///
+/// # Example
+///
+/// ```
+/// use paraspace_linalg::{CluFactor, CMatrix, Complex64};
+///
+/// # fn main() -> Result<(), paraspace_linalg::LinalgError> {
+/// let mut a = CMatrix::zeros(2, 2);
+/// a[(0, 0)] = Complex64::new(0.0, 1.0);
+/// a[(0, 1)] = Complex64::ONE;
+/// a[(1, 0)] = Complex64::ONE;
+/// a[(1, 1)] = Complex64::new(0.0, 1.0);
+/// let lu = CluFactor::new(a)?;
+/// // det = i*i - 1 = -2, so the system is well posed.
+/// let x = lu.solve(&[Complex64::ONE, Complex64::ZERO])?;
+/// assert!((x[0] - Complex64::new(0.0, -0.5)).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CluFactor {
+    lu: CMatrix,
+    perm: Vec<usize>,
+}
+
+impl CluFactor {
+    /// Factorizes `a`, consuming it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotSquare`] for non-square input and
+    /// [`LinalgError::Singular`] when a pivot column vanishes.
+    pub fn new(mut a: CMatrix) -> Result<Self, LinalgError> {
+        if a.rows() != a.cols() {
+            return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
+        }
+        let n = a.rows();
+        let mut perm: Vec<usize> = (0..n).collect();
+        for k in 0..n {
+            let mut piv = k;
+            let mut max = a[(k, k)].abs_sq();
+            for i in (k + 1)..n {
+                let v = a[(i, k)].abs_sq();
+                if v > max {
+                    max = v;
+                    piv = i;
+                }
+            }
+            if max == 0.0 {
+                return Err(LinalgError::Singular { pivot: k });
+            }
+            if piv != k {
+                for j in 0..n {
+                    let tmp = a[(k, j)];
+                    a[(k, j)] = a[(piv, j)];
+                    a[(piv, j)] = tmp;
+                }
+                perm.swap(k, piv);
+            }
+            let pivot = a[(k, k)];
+            for i in (k + 1)..n {
+                let m = a[(i, k)] / pivot;
+                a[(i, k)] = m;
+                if m != Complex64::ZERO {
+                    for j in (k + 1)..n {
+                        let u = a[(k, j)];
+                        let v = a[(i, j)] - m * u;
+                        a[(i, j)] = v;
+                    }
+                }
+            }
+        }
+        Ok(CluFactor { lu: a, perm })
+    }
+
+    /// The dimension of the factored matrix.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A x = b`, returning `x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b.len() != dim()`.
+    pub fn solve(&self, b: &[Complex64]) -> Result<Vec<Complex64>, LinalgError> {
+        if b.len() != self.dim() {
+            return Err(LinalgError::DimensionMismatch { expected: self.dim(), actual: b.len() });
+        }
+        let mut x: Vec<Complex64> = self.perm.iter().map(|&p| b[p]).collect();
+        self.substitute(&mut x);
+        Ok(x)
+    }
+
+    /// Solves `A x = b` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != dim()`.
+    pub fn solve_in_place(&self, b: &mut [Complex64]) {
+        assert_eq!(b.len(), self.dim(), "right-hand side length must equal matrix dimension");
+        let permuted: Vec<Complex64> = self.perm.iter().map(|&p| b[p]).collect();
+        b.copy_from_slice(&permuted);
+        self.substitute(b);
+    }
+
+    fn substitute(&self, x: &mut [Complex64]) {
+        let n = self.dim();
+        for i in 1..n {
+            let row = self.lu.row(i);
+            let mut acc = x[i];
+            for (j, item) in x.iter().enumerate().take(i) {
+                acc -= row[j] * *item;
+            }
+            x[i] = acc;
+        }
+        for i in (0..n).rev() {
+            let row = self.lu.row(i);
+            let mut acc = x[i];
+            for (j, item) in x.iter().enumerate().take(n).skip(i + 1) {
+                acc -= row[j] * *item;
+            }
+            x[i] = acc / row[i];
+        }
+    }
+}
+
+/// Factorizes a batch of equally sized matrices, mirroring cuBLAS's
+/// `getrfBatched` interface (the virtual-GPU engines charge device time for
+/// this work; the numerics happen here).
+///
+/// # Errors
+///
+/// Fails on the first singular or non-square member, reporting its error.
+pub fn batched_lu(batch: Vec<Matrix>) -> Result<Vec<LuFactor>, LinalgError> {
+    batch.into_iter().map(LuFactor::new).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn residual_inf(a: &Matrix, x: &[f64], b: &[f64]) -> f64 {
+        let ax = a.mul_vec(x);
+        ax.iter().zip(b).map(|(p, q)| (p - q).abs()).fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn solves_known_3x3_system() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]]);
+        let b = [8.0, -11.0, -3.0];
+        let lu = LuFactor::new(a.clone()).unwrap();
+        let x = lu.solve(&b).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+        assert!((x[2] - -1.0).abs() < 1e-12);
+        assert!(residual_inf(&a, &x, &b) < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let lu = LuFactor::new(a).unwrap();
+        let x = lu.solve(&[5.0, 7.0]).unwrap();
+        assert_eq!(x, vec![7.0, 5.0]);
+    }
+
+    #[test]
+    fn singular_matrix_is_reported() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(matches!(LuFactor::new(a), Err(LinalgError::Singular { pivot: 1 })));
+    }
+
+    #[test]
+    fn not_square_is_reported() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(LuFactor::new(a), Err(LinalgError::NotSquare { rows: 2, cols: 3 })));
+    }
+
+    #[test]
+    fn det_matches_cofactor_expansion() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let lu = LuFactor::new(a).unwrap();
+        assert!((lu.det() - -2.0).abs() < 1e-12);
+        // Permutation sign: swapping rows flips determinant sign.
+        let b = Matrix::from_rows(&[&[3.0, 4.0], &[1.0, 2.0]]);
+        assert!((LuFactor::new(b).unwrap().det() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_in_place_matches_solve() {
+        let a = Matrix::from_fn(5, 5, |i, j| if i == j { 4.0 } else { 1.0 / (1.0 + (i + j) as f64) });
+        let b: Vec<f64> = (0..5).map(|i| (i as f64).sin() + 1.0).collect();
+        let lu = LuFactor::new(a).unwrap();
+        let x1 = lu.solve(&b).unwrap();
+        let mut x2 = b.clone();
+        lu.solve_in_place(&mut x2);
+        for (p, q) in x1.iter().zip(&x2) {
+            assert!((p - q).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn wrong_rhs_length_is_dimension_mismatch() {
+        let lu = LuFactor::new(Matrix::identity(3)).unwrap();
+        assert!(matches!(
+            lu.solve(&[1.0, 2.0]),
+            Err(LinalgError::DimensionMismatch { expected: 3, actual: 2 })
+        ));
+    }
+
+    #[test]
+    fn random_system_has_small_residual() {
+        // Deterministic pseudo-random fill to avoid a rand dependency here.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let n = 40;
+        let a = Matrix::from_fn(n, n, |i, j| next() + if i == j { 2.0 } else { 0.0 });
+        let b: Vec<f64> = (0..n).map(|_| next()).collect();
+        let lu = LuFactor::new(a.clone()).unwrap();
+        let x = lu.solve(&b).unwrap();
+        assert!(residual_inf(&a, &x, &b) < 1e-10);
+    }
+
+    #[test]
+    fn complex_lu_solves_complex_system() {
+        // A = [[1+i, 2], [3i, 1-i]], solve against a known x.
+        let mut a = CMatrix::zeros(2, 2);
+        a[(0, 0)] = Complex64::new(1.0, 1.0);
+        a[(0, 1)] = Complex64::new(2.0, 0.0);
+        a[(1, 0)] = Complex64::new(0.0, 3.0);
+        a[(1, 1)] = Complex64::new(1.0, -1.0);
+        let x_true = [Complex64::new(1.0, -2.0), Complex64::new(0.5, 0.5)];
+        let b = a.mul_vec(&x_true);
+        let lu = CluFactor::new(a).unwrap();
+        let x = lu.solve(&b).unwrap();
+        for (p, q) in x.iter().zip(&x_true) {
+            assert!((*p - *q).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn complex_singular_detection() {
+        let a = CMatrix::zeros(3, 3);
+        assert!(matches!(CluFactor::new(a), Err(LinalgError::Singular { pivot: 0 })));
+    }
+
+    #[test]
+    fn complex_pivoting_zero_leading_entry() {
+        let mut a = CMatrix::zeros(2, 2);
+        a[(0, 1)] = Complex64::ONE;
+        a[(1, 0)] = Complex64::I;
+        let lu = CluFactor::new(a).unwrap();
+        let x = lu.solve(&[Complex64::ONE, Complex64::ONE]).unwrap();
+        // x0 = 1/i = -i, x1 = 1.
+        assert!((x[0] - Complex64::new(0.0, -1.0)).abs() < 1e-14);
+        assert!((x[1] - Complex64::ONE).abs() < 1e-14);
+    }
+
+    #[test]
+    fn batched_lu_factors_all_members() {
+        let batch: Vec<Matrix> = (1..5)
+            .map(|k| Matrix::from_fn(3, 3, |i, j| if i == j { k as f64 + 1.0 } else { 0.5 }))
+            .collect();
+        let factors = batched_lu(batch).unwrap();
+        assert_eq!(factors.len(), 4);
+        for f in &factors {
+            assert_eq!(f.dim(), 3);
+        }
+    }
+
+    #[test]
+    fn flop_counts_scale_cubically() {
+        assert_eq!(LuFactor::flops(10), 2 * 1000 / 3);
+        assert!(LuFactor::flops(20) > 7 * LuFactor::flops(10));
+        assert_eq!(LuFactor::solve_flops(10), 200);
+    }
+
+    #[test]
+    fn one_by_one_system() {
+        let lu = LuFactor::new(Matrix::from_rows(&[&[4.0]])).unwrap();
+        assert_eq!(lu.solve(&[8.0]).unwrap(), vec![2.0]);
+        assert_eq!(lu.det(), 4.0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Vector norms, including the weighted RMS norm used by every adaptive
+//! solver in the suite for local-error control.
+
+/// The Euclidean (L2) norm of `x`.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(paraspace_linalg::l2_norm(&[3.0, 4.0]), 5.0);
+/// ```
+pub fn l2_norm(x: &[f64]) -> f64 {
+    x.iter().map(|v| v * v).sum::<f64>().sqrt()
+}
+
+/// The L1 norm (sum of absolute values) of `x`.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(paraspace_linalg::l1_norm(&[1.0, -2.0, 3.0]), 6.0);
+/// ```
+pub fn l1_norm(x: &[f64]) -> f64 {
+    x.iter().map(|v| v.abs()).sum()
+}
+
+/// The infinity norm (maximum absolute value) of `x`; `0` for empty input.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(paraspace_linalg::inf_norm(&[1.0, -7.0, 3.0]), 7.0);
+/// ```
+pub fn inf_norm(x: &[f64]) -> f64 {
+    x.iter().fold(0.0f64, |m, v| m.max(v.abs()))
+}
+
+/// The root-mean-square norm `sqrt(Σ xᵢ² / n)`; `0` for empty input.
+///
+/// # Example
+///
+/// ```
+/// assert!((paraspace_linalg::rms_norm(&[2.0, 2.0]) - 2.0).abs() < 1e-15);
+/// ```
+pub fn rms_norm(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        return 0.0;
+    }
+    (x.iter().map(|v| v * v).sum::<f64>() / x.len() as f64).sqrt()
+}
+
+/// The weighted RMS norm `sqrt(Σ (xᵢ/wᵢ)² / n)` used for error control: an
+/// accepted step has `weighted_rms_norm(err, scale) <= 1` where
+/// `scaleᵢ = atol + rtol·|yᵢ|`.
+///
+/// # Panics
+///
+/// Panics if `x` and `scale` have different lengths.
+///
+/// # Example
+///
+/// ```
+/// let err = [1e-7, -2e-7];
+/// let scale = [1e-6, 1e-6];
+/// assert!(paraspace_linalg::weighted_rms_norm(&err, &scale) < 1.0);
+/// ```
+pub fn weighted_rms_norm(x: &[f64], scale: &[f64]) -> f64 {
+    assert_eq!(x.len(), scale.len(), "value and scale vectors must have equal length");
+    if x.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = x
+        .iter()
+        .zip(scale.iter())
+        .map(|(v, w)| {
+            let r = v / w;
+            r * r
+        })
+        .sum();
+    (sum / x.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norms_of_empty_vectors_are_zero() {
+        assert_eq!(l2_norm(&[]), 0.0);
+        assert_eq!(l1_norm(&[]), 0.0);
+        assert_eq!(inf_norm(&[]), 0.0);
+        assert_eq!(rms_norm(&[]), 0.0);
+        assert_eq!(weighted_rms_norm(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn norm_ordering_inf_le_l2_le_l1() {
+        let x = [1.0, -2.0, 0.5, 3.0];
+        assert!(inf_norm(&x) <= l2_norm(&x) + 1e-15);
+        assert!(l2_norm(&x) <= l1_norm(&x) + 1e-15);
+    }
+
+    #[test]
+    fn weighted_rms_of_unit_errors_is_one() {
+        let err = [2.0, 2.0, 2.0];
+        let scale = [2.0, 2.0, 2.0];
+        assert!((weighted_rms_norm(&err, &scale) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn weighted_rms_scales_inversely_with_tolerance() {
+        let err = [1e-6; 4];
+        let tight = [1e-8; 4];
+        let loose = [1e-4; 4];
+        assert!(weighted_rms_norm(&err, &tight) > 1.0);
+        assert!(weighted_rms_norm(&err, &loose) < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_lengths_panic() {
+        let _ = weighted_rms_norm(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn rms_is_l2_over_sqrt_n() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        assert!((rms_norm(&x) - l2_norm(&x) / 2.0).abs() < 1e-15);
+    }
+}

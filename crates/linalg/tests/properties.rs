@@ -1,0 +1,125 @@
+//! Property-based tests of the linear-algebra kernels.
+
+use paraspace_linalg::{
+    gershgorin_bound, power_iteration, weighted_rms_norm, CluFactor, CMatrix, Complex64,
+    LuFactor, Matrix,
+};
+use proptest::prelude::*;
+
+fn finite_f64() -> impl Strategy<Value = f64> {
+    (-1e3f64..1e3).prop_filter("nonzero-ish", |x| x.abs() > 1e-6)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    /// Complex multiplication distributes over addition.
+    #[test]
+    fn complex_distributivity(
+        (ar, ai, br, bi, cr, ci) in (finite_f64(), finite_f64(), finite_f64(), finite_f64(), finite_f64(), finite_f64())
+    ) {
+        let a = Complex64::new(ar, ai);
+        let b = Complex64::new(br, bi);
+        let c = Complex64::new(cr, ci);
+        let lhs = a * (b + c);
+        let rhs = a * b + a * c;
+        prop_assert!((lhs - rhs).abs() <= 1e-9 * lhs.abs().max(1.0));
+    }
+
+    /// |z·w| = |z|·|w| (modulus is multiplicative).
+    #[test]
+    fn complex_modulus_multiplicative(
+        (ar, ai, br, bi) in (finite_f64(), finite_f64(), finite_f64(), finite_f64())
+    ) {
+        let a = Complex64::new(ar, ai);
+        let b = Complex64::new(br, bi);
+        prop_assert!(((a * b).abs() - a.abs() * b.abs()).abs() <= 1e-6 * (a.abs() * b.abs()).max(1.0));
+    }
+
+    /// LU solves diagonally dominant systems with tiny residuals.
+    #[test]
+    fn lu_solves_diag_dominant(seed in 0u64..10_000, n in 1usize..24) {
+        let mut state = seed.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(7);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let a = Matrix::from_fn(n, n, |i, j| next() + if i == j { n as f64 } else { 0.0 });
+        let x_true: Vec<f64> = (0..n).map(|_| next() * 10.0).collect();
+        let b = a.mul_vec(&x_true);
+        let lu = LuFactor::new(a).expect("diag dominant is nonsingular");
+        let x = lu.solve(&b).expect("dims match");
+        for (p, q) in x.iter().zip(&x_true) {
+            prop_assert!((p - q).abs() < 1e-8 * q.abs().max(1.0), "{p} vs {q}");
+        }
+    }
+
+    /// Complex LU agrees with real LU on purely real systems.
+    #[test]
+    fn complex_lu_reduces_to_real(seed in 0u64..10_000, n in 1usize..12) {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(3);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let a = Matrix::from_fn(n, n, |i, j| next() + if i == j { 4.0 } else { 0.0 });
+        let b: Vec<f64> = (0..n).map(|_| next()).collect();
+        let xr = LuFactor::new(a.clone()).unwrap().solve(&b).unwrap();
+        let ca = CMatrix::from_real(&a);
+        let cb: Vec<Complex64> = b.iter().map(|&v| Complex64::from_real(v)).collect();
+        let xc = CluFactor::new(ca).unwrap().solve(&cb).unwrap();
+        for (r, c) in xr.iter().zip(&xc) {
+            prop_assert!((r - c.re).abs() < 1e-10 * r.abs().max(1.0));
+            prop_assert!(c.im.abs() < 1e-10);
+        }
+    }
+
+    /// The Gershgorin bound really bounds the power-iteration estimate.
+    #[test]
+    fn gershgorin_dominates_power_iteration(seed in 0u64..10_000, n in 2usize..10) {
+        let mut state = seed.wrapping_mul(0xD1342543DE82EF95).wrapping_add(11);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let a = Matrix::from_fn(n, n, |_, _| next() * 5.0);
+        let bound = gershgorin_bound(&a);
+        if let Ok(r) = power_iteration(&a, 300, 1e-10) {
+            if r.converged {
+                prop_assert!(r.eigenvalue_magnitude <= bound * (1.0 + 1e-6),
+                    "power {} exceeds gershgorin {bound}", r.eigenvalue_magnitude);
+            }
+        }
+    }
+
+    /// Scaling the error vector scales the weighted RMS norm linearly.
+    #[test]
+    fn wrms_is_homogeneous(
+        xs in prop::collection::vec(-1e3f64..1e3, 1..20),
+        k in 0.1f64..10.0
+    ) {
+        let scale: Vec<f64> = xs.iter().map(|_| 1.0).collect();
+        let base = weighted_rms_norm(&xs, &scale);
+        let scaled: Vec<f64> = xs.iter().map(|x| x * k).collect();
+        let after = weighted_rms_norm(&scaled, &scale);
+        prop_assert!((after - k * base).abs() <= 1e-9 * after.max(1.0));
+    }
+
+    /// Transpose is an isometry for the max-abs norm and an involution.
+    #[test]
+    fn transpose_involution(seed in 0u64..10_000, r in 1usize..8, c in 1usize..8) {
+        let mut v = seed as f64;
+        let m = Matrix::from_fn(r, c, |i, j| {
+            v = (v * 1.3 + i as f64 - j as f64).sin();
+            v
+        });
+        prop_assert_eq!(m.transpose().transpose(), m.clone());
+        prop_assert_eq!(m.transpose().max_abs(), m.max_abs());
+    }
+}

@@ -1,0 +1,21 @@
+//! Reaction-based models used by the evaluation.
+//!
+//! Three families:
+//!
+//! * [`classic`] — small benchmark networks with known behaviour
+//!   (Robertson, Brusselator, Lotka–Volterra, decay chains, an enzyme
+//!   mechanism), used for solver validation and the quickstart examples;
+//! * [`autophagy`] — the autophagy/translation-switch *analogue*: a
+//!   mass-action Brusselator-type oscillator core whose oscillation onset is
+//!   controlled by an AMPK\*-like initial amount and a P9-like constant,
+//!   padded with inert downstream cascades to the published scale of
+//!   **173 species and 6581 reactions** (see DESIGN.md for the substitution
+//!   argument);
+//! * [`metabolic`] — the red-blood-cell metabolism analogue: a stylized
+//!   glycolysis + pentose-phosphate network with an explicit 11-species
+//!   hexokinase-isoform mechanism, sized to the published **114 species and
+//!   226 reactions**, with R5P as the sensitivity-analysis output.
+
+pub mod autophagy;
+pub mod classic;
+pub mod metabolic;

@@ -1,0 +1,127 @@
+//! Error type for model construction, validation and I/O.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building, validating, compiling, or reading
+/// reaction-based models.
+///
+/// # Example
+///
+/// ```
+/// use paraspace_rbm::{Reaction, ReactionBasedModel, RbmError, SpeciesId};
+///
+/// let mut m = ReactionBasedModel::new();
+/// m.add_species("A", 1.0);
+/// let bogus = Reaction::mass_action(&[(SpeciesId::from_index(7), 1)], &[], 1.0);
+/// assert!(matches!(m.add_reaction(bogus), Err(RbmError::UnknownSpecies { .. })));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RbmError {
+    /// A reaction references a species index not present in the model.
+    UnknownSpecies {
+        /// The out-of-range species index.
+        index: usize,
+        /// Number of species in the model.
+        n_species: usize,
+    },
+    /// A kinetic constant or concentration is negative or non-finite.
+    InvalidParameter {
+        /// Human-readable description of the offending quantity.
+        what: String,
+        /// The offending value.
+        value: f64,
+    },
+    /// A species name is duplicated within the model.
+    DuplicateSpecies {
+        /// The duplicated name.
+        name: String,
+    },
+    /// A species name was looked up but does not exist.
+    NoSuchSpecies {
+        /// The requested name.
+        name: String,
+    },
+    /// The model has no species or no reactions where some are required.
+    EmptyModel,
+    /// A parameterization vector has the wrong length.
+    ParameterizationMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Observed length.
+        actual: usize,
+    },
+    /// An on-disk model file could not be parsed.
+    Parse {
+        /// Source location (file or element) of the failure.
+        context: String,
+        /// Description of the problem.
+        message: String,
+    },
+    /// An underlying I/O failure while reading or writing model files.
+    Io {
+        /// Description with path context.
+        message: String,
+    },
+}
+
+impl fmt::Display for RbmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RbmError::UnknownSpecies { index, n_species } => {
+                write!(f, "reaction references species index {index} but model has {n_species} species")
+            }
+            RbmError::InvalidParameter { what, value } => {
+                write!(f, "invalid {what}: {value} (must be finite and non-negative)")
+            }
+            RbmError::DuplicateSpecies { name } => {
+                write!(f, "duplicate species name {name:?}")
+            }
+            RbmError::NoSuchSpecies { name } => {
+                write!(f, "no species named {name:?} in the model")
+            }
+            RbmError::EmptyModel => write!(f, "model must contain at least one species and one reaction"),
+            RbmError::ParameterizationMismatch { expected, actual } => {
+                write!(f, "parameterization length mismatch: expected {expected}, got {actual}")
+            }
+            RbmError::Parse { context, message } => write!(f, "parse error in {context}: {message}"),
+            RbmError::Io { message } => write!(f, "i/o error: {message}"),
+        }
+    }
+}
+
+impl Error for RbmError {}
+
+impl From<std::io::Error> for RbmError {
+    fn from(err: std::io::Error) -> Self {
+        RbmError::Io { message: err.to_string() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = RbmError::UnknownSpecies { index: 9, n_species: 3 };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains('3'));
+        let e = RbmError::ParameterizationMismatch { expected: 5, actual: 2 };
+        assert!(e.to_string().contains('5'));
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let e: RbmError = io.into();
+        assert!(matches!(e, RbmError::Io { .. }));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: std::error::Error + Send + Sync + 'static>() {}
+        check::<RbmError>();
+    }
+}

@@ -1,0 +1,337 @@
+//! Kinetic rate laws.
+//!
+//! The primary law is mass action (the published engine's native encoding);
+//! Michaelis–Menten and Hill laws are provided as the "extension" kinetics
+//! the original tool lists as future work, and are fully supported by the
+//! CPU and virtual-GPU integration paths here.
+
+/// The rate law attached to a reaction.
+///
+/// The *flux* of a reaction is its instantaneous rate given the current
+/// concentrations of its reactants; the propensity contribution of each
+/// reactant is determined by the law.
+///
+/// # Example
+///
+/// ```
+/// use paraspace_rbm::Kinetics;
+///
+/// let mm = Kinetics::MichaelisMenten { km: 2.0 };
+/// // At substrate concentration 2.0 = Km the flux is half of vmax (= k).
+/// assert!((mm.flux(3.0, &[(2.0, 1)]) - 1.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[non_exhaustive]
+pub enum Kinetics {
+    /// Law of mass action: flux = k · Π_j x_j^{a_ij}.
+    #[default]
+    MassAction,
+    /// Michaelis–Menten saturation on the (single) substrate:
+    /// flux = k · x / (Km + x). The reaction's rate constant plays the role
+    /// of `vmax`.
+    MichaelisMenten {
+        /// The Michaelis constant Km (> 0).
+        km: f64,
+    },
+    /// Hill kinetics: flux = k · xⁿ / (Kₐⁿ + xⁿ).
+    Hill {
+        /// Half-saturation constant Kₐ (> 0).
+        ka: f64,
+        /// Hill coefficient n (≥ 1).
+        n: f64,
+    },
+    /// Repressive Hill kinetics: flux = k · Kₐⁿ / (Kₐⁿ + xⁿ) — the
+    /// gene-repression law (flux falls as the first reactant accumulates).
+    HillRepression {
+        /// Half-repression constant Kₐ (> 0).
+        ka: f64,
+        /// Hill coefficient n (≥ 1).
+        n: f64,
+    },
+}
+
+impl Kinetics {
+    /// Evaluates the reaction flux for rate constant `k` and reactant
+    /// concentrations with stoichiometric orders `reactants = [(x_j, a_j)]`.
+    ///
+    /// For Michaelis–Menten and Hill laws only the first reactant is the
+    /// saturating substrate; any further reactants multiply in with mass
+    /// action, so e.g. an enzyme-carrier species can still scale the rate.
+    pub fn flux(self, k: f64, reactants: &[(f64, u32)]) -> f64 {
+        match self {
+            Kinetics::MassAction => {
+                let mut f = k;
+                for &(x, order) in reactants {
+                    f *= int_pow(x, order);
+                }
+                f
+            }
+            Kinetics::MichaelisMenten { km } => {
+                let mut it = reactants.iter();
+                let sat = match it.next() {
+                    Some(&(x, _)) => x / (km + x),
+                    None => 0.0,
+                };
+                let mut f = k * sat;
+                for &(x, order) in it {
+                    f *= int_pow(x, order);
+                }
+                f
+            }
+            Kinetics::Hill { ka, n } => {
+                let mut it = reactants.iter();
+                let sat = match it.next() {
+                    Some(&(x, _)) => {
+                        let xn = x.max(0.0).powf(n);
+                        xn / (ka.powf(n) + xn)
+                    }
+                    None => 0.0,
+                };
+                let mut f = k * sat;
+                for &(x, order) in it {
+                    f *= int_pow(x, order);
+                }
+                f
+            }
+            Kinetics::HillRepression { ka, n } => {
+                let mut it = reactants.iter();
+                let kan = ka.powf(n);
+                let rep = match it.next() {
+                    Some(&(x, _)) => kan / (kan + x.max(0.0).powf(n)),
+                    None => 1.0,
+                };
+                let mut f = k * rep;
+                for &(x, order) in it {
+                    f *= int_pow(x, order);
+                }
+                f
+            }
+        }
+    }
+
+    /// Partial derivative of the flux with respect to reactant `which`
+    /// (index into `reactants`), used for analytic Jacobians.
+    pub fn flux_derivative(self, k: f64, reactants: &[(f64, u32)], which: usize) -> f64 {
+        match self {
+            Kinetics::MassAction => {
+                let (xw, aw) = reactants[which];
+                if aw == 0 {
+                    return 0.0;
+                }
+                let mut d = k * aw as f64 * int_pow(xw, aw - 1);
+                for (j, &(x, order)) in reactants.iter().enumerate() {
+                    if j != which {
+                        d *= int_pow(x, order);
+                    }
+                }
+                d
+            }
+            Kinetics::MichaelisMenten { km } => {
+                let mut d = if which == 0 {
+                    let (x, _) = reactants[0];
+                    k * km / ((km + x) * (km + x))
+                } else {
+                    let (x0, _) = reactants[0];
+                    let (xw, aw) = reactants[which];
+                    if aw == 0 {
+                        return 0.0;
+                    }
+                    k * (x0 / (km + x0)) * aw as f64 * int_pow(xw, aw - 1)
+                };
+                for (j, &(x, order)) in reactants.iter().enumerate().skip(1) {
+                    if j != which {
+                        d *= int_pow(x, order);
+                    }
+                }
+                d
+            }
+            Kinetics::HillRepression { ka, n } => {
+                // d/dx [ka^n / (ka^n + x^n)] = −n·ka^n·x^{n−1}/(ka^n+x^n)².
+                let kan = ka.powf(n);
+                let mut d = if which == 0 {
+                    let (x, _) = reactants[0];
+                    let x = x.max(1e-300);
+                    let xn = x.powf(n);
+                    let denom = kan + xn;
+                    -k * n * kan * x.powf(n - 1.0) / (denom * denom)
+                } else {
+                    let (x0, _) = reactants[0];
+                    let (xw, aw) = reactants[which];
+                    if aw == 0 {
+                        return 0.0;
+                    }
+                    k * (kan / (kan + x0.max(0.0).powf(n))) * aw as f64 * int_pow(xw, aw - 1)
+                };
+                for (j, &(x, order)) in reactants.iter().enumerate().skip(1) {
+                    if j != which {
+                        d *= int_pow(x, order);
+                    }
+                }
+                d
+            }
+            Kinetics::Hill { ka, n } => {
+                // d/dx [x^n / (ka^n + x^n)] = n ka^n x^{n-1} / (ka^n + x^n)^2
+                let mut d = if which == 0 {
+                    let (x, _) = reactants[0];
+                    let x = x.max(1e-300);
+                    let kan = ka.powf(n);
+                    let xn = x.powf(n);
+                    let denom = kan + xn;
+                    k * n * kan * x.powf(n - 1.0) / (denom * denom)
+                } else {
+                    let (x0, _) = reactants[0];
+                    let (xw, aw) = reactants[which];
+                    if aw == 0 {
+                        return 0.0;
+                    }
+                    let x0n = x0.max(0.0).powf(n);
+                    k * (x0n / (ka.powf(n) + x0n)) * aw as f64 * int_pow(xw, aw - 1)
+                };
+                for (j, &(x, order)) in reactants.iter().enumerate().skip(1) {
+                    if j != which {
+                        d *= int_pow(x, order);
+                    }
+                }
+                d
+            }
+        }
+    }
+
+    /// Whether this is plain mass action (the fast path in compiled ODEs).
+    pub fn is_mass_action(self) -> bool {
+        matches!(self, Kinetics::MassAction)
+    }
+}
+
+/// Integer power by repeated squaring; exact for the small orders (0–2)
+/// mass-action networks use, and correct for larger ones.
+#[inline]
+pub(crate) fn int_pow(x: f64, mut n: u32) -> f64 {
+    let mut base = x;
+    let mut acc = 1.0;
+    while n > 0 {
+        if n & 1 == 1 {
+            acc *= base;
+        }
+        base *= base;
+        n >>= 1;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_pow_matches_powi() {
+        for n in 0..8u32 {
+            assert_eq!(int_pow(3.0, n), 3.0f64.powi(n as i32));
+        }
+        assert_eq!(int_pow(0.0, 0), 1.0);
+        assert_eq!(int_pow(0.0, 3), 0.0);
+    }
+
+    #[test]
+    fn mass_action_zero_order_is_constant() {
+        assert_eq!(Kinetics::MassAction.flux(7.0, &[]), 7.0);
+    }
+
+    #[test]
+    fn mass_action_second_order() {
+        // k [A][B] and k [A]^2
+        assert_eq!(Kinetics::MassAction.flux(2.0, &[(3.0, 1), (4.0, 1)]), 24.0);
+        assert_eq!(Kinetics::MassAction.flux(2.0, &[(3.0, 2)]), 18.0);
+    }
+
+    #[test]
+    fn mass_action_derivative_matches_finite_difference() {
+        let reactants = [(1.5, 2), (0.7, 1)];
+        let k = 3.0;
+        let d = Kinetics::MassAction.flux_derivative(k, &reactants, 0);
+        let h = 1e-7;
+        let fp = Kinetics::MassAction.flux(k, &[(1.5 + h, 2), (0.7, 1)]);
+        let fm = Kinetics::MassAction.flux(k, &[(1.5 - h, 2), (0.7, 1)]);
+        assert!((d - (fp - fm) / (2.0 * h)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn michaelis_menten_saturates() {
+        let mm = Kinetics::MichaelisMenten { km: 1.0 };
+        let low = mm.flux(10.0, &[(0.01, 1)]);
+        let high = mm.flux(10.0, &[(100.0, 1)]);
+        assert!(low < 0.2);
+        assert!(high > 9.8 && high < 10.0);
+    }
+
+    #[test]
+    fn michaelis_menten_derivative_matches_finite_difference() {
+        let mm = Kinetics::MichaelisMenten { km: 0.5 };
+        let x = 0.8;
+        let d = mm.flux_derivative(2.0, &[(x, 1)], 0);
+        let h = 1e-7;
+        let fd = (mm.flux(2.0, &[(x + h, 1)]) - mm.flux(2.0, &[(x - h, 1)])) / (2.0 * h);
+        assert!((d - fd).abs() < 1e-6);
+    }
+
+    #[test]
+    fn hill_is_sigmoidal() {
+        let hill = Kinetics::Hill { ka: 1.0, n: 4.0 };
+        let below = hill.flux(1.0, &[(0.5, 1)]);
+        let at = hill.flux(1.0, &[(1.0, 1)]);
+        let above = hill.flux(1.0, &[(2.0, 1)]);
+        assert!(below < 0.1);
+        assert!((at - 0.5).abs() < 1e-12);
+        assert!(above > 0.9);
+    }
+
+    #[test]
+    fn hill_derivative_matches_finite_difference() {
+        let hill = Kinetics::Hill { ka: 0.7, n: 3.0 };
+        let x = 0.9;
+        let d = hill.flux_derivative(5.0, &[(x, 1)], 0);
+        let h = 1e-7;
+        let fd = (hill.flux(5.0, &[(x + h, 1)]) - hill.flux(5.0, &[(x - h, 1)])) / (2.0 * h);
+        assert!((d - fd).abs() < 1e-5, "{d} vs {fd}");
+    }
+
+    #[test]
+    fn hill_repression_is_antitone() {
+        let rep = Kinetics::HillRepression { ka: 1.0, n: 4.0 };
+        let low = rep.flux(1.0, &[(0.2, 1)]);
+        let mid = rep.flux(1.0, &[(1.0, 1)]);
+        let high = rep.flux(1.0, &[(3.0, 1)]);
+        assert!(low > 0.9);
+        assert!((mid - 0.5).abs() < 1e-12);
+        assert!(high < 0.05);
+    }
+
+    #[test]
+    fn hill_repression_derivative_matches_finite_difference() {
+        let rep = Kinetics::HillRepression { ka: 0.8, n: 6.0 };
+        for x in [0.4, 0.8, 1.5] {
+            let d = rep.flux_derivative(3.0, &[(x, 1)], 0);
+            let h = 1e-7;
+            let fd = (rep.flux(3.0, &[(x + h, 1)]) - rep.flux(3.0, &[(x - h, 1)])) / (2.0 * h);
+            assert!((d - fd).abs() < 1e-4, "x={x}: {d} vs {fd}");
+            assert!(d < 0.0, "repression derivative must be negative");
+        }
+    }
+
+    #[test]
+    fn secondary_reactants_multiply_mass_action_style() {
+        let mm = Kinetics::MichaelisMenten { km: 1.0 };
+        let single = mm.flux(1.0, &[(1.0, 1)]);
+        let with_enzyme = mm.flux(1.0, &[(1.0, 1), (2.0, 1)]);
+        assert!((with_enzyme - 2.0 * single).abs() < 1e-12);
+        // Derivative wrt the enzyme species.
+        let d = mm.flux_derivative(1.0, &[(1.0, 1), (2.0, 1)], 1);
+        assert!((d - single).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_is_mass_action() {
+        assert!(Kinetics::default().is_mass_action());
+        assert!(!Kinetics::Hill { ka: 1.0, n: 2.0 }.is_mass_action());
+    }
+}

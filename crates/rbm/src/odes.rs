@@ -1,0 +1,499 @@
+//! Compiled ODE encoding: the flat, GPU-style data structures produced by
+//! phase P1 of the simulation pipeline.
+//!
+//! The encoding mirrors what the published simulator uploads to device
+//! memory: CSR-like arrays describing, per reaction, which species enter the
+//! flux with which order, and, per species, which reaction fluxes contribute
+//! with which net coefficient. Evaluating the right-hand side is then two
+//! flat passes (flux pass, accumulation pass) with no pointer chasing —
+//! exactly the shape a fine-grained kernel parallelizes over threads.
+
+use crate::{Kinetics, ReactionBasedModel};
+use paraspace_linalg::Matrix;
+
+/// A reaction-based model compiled to flat arrays for fast, parallelizable
+/// right-hand-side and Jacobian evaluation.
+///
+/// Obtained from [`ReactionBasedModel::compile`].
+///
+/// # Example
+///
+/// ```
+/// use paraspace_rbm::{Reaction, ReactionBasedModel};
+///
+/// # fn main() -> Result<(), paraspace_rbm::RbmError> {
+/// let mut m = ReactionBasedModel::new();
+/// let a = m.add_species("A", 1.0);
+/// m.add_reaction(Reaction::mass_action(&[(a, 1)], &[], 3.0))?; // A -> ∅
+/// let odes = m.compile()?;
+/// let mut d = [0.0];
+/// odes.rhs(0.0, &[2.0], &mut d);
+/// assert_eq!(d[0], -6.0); // dA/dt = -3·[A]
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledOdes {
+    n_species: usize,
+    n_reactions: usize,
+    // Per-reaction reactant lists (CSR).
+    reactant_offsets: Vec<u32>,
+    reactant_species: Vec<u32>,
+    reactant_orders: Vec<u32>,
+    // Per-reaction law + constant.
+    kinetics: Vec<Kinetics>,
+    rate_constants: Vec<f64>,
+    all_mass_action: bool,
+    // Per-species contribution lists (CSR): dX_s/dt = Σ coeff · flux_r.
+    term_offsets: Vec<u32>,
+    term_reactions: Vec<u32>,
+    term_coeffs: Vec<f64>,
+}
+
+impl CompiledOdes {
+    pub(crate) fn from_model(model: &ReactionBasedModel) -> Self {
+        let n_species = model.n_species();
+        let n_reactions = model.n_reactions();
+
+        let mut reactant_offsets = Vec::with_capacity(n_reactions + 1);
+        let mut reactant_species = Vec::new();
+        let mut reactant_orders = Vec::new();
+        let mut kinetics = Vec::with_capacity(n_reactions);
+        let mut rate_constants = Vec::with_capacity(n_reactions);
+        reactant_offsets.push(0u32);
+        for r in model.reactions() {
+            for &(s, a) in r.reactants() {
+                reactant_species.push(s as u32);
+                reactant_orders.push(a);
+            }
+            reactant_offsets.push(reactant_species.len() as u32);
+            kinetics.push(r.kinetics());
+            rate_constants.push(r.rate_constant());
+        }
+        let all_mass_action = kinetics.iter().all(|k| k.is_mass_action());
+
+        // Build per-species terms from net stoichiometry.
+        let mut per_species: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n_species];
+        for (i, r) in model.reactions().iter().enumerate() {
+            let mut net: Vec<(usize, f64)> = Vec::new();
+            for &(s, a) in r.reactants() {
+                net.push((s, -(a as f64)));
+            }
+            for &(s, b) in r.products() {
+                match net.iter_mut().find(|(sp, _)| *sp == s) {
+                    Some((_, c)) => *c += b as f64,
+                    None => net.push((s, b as f64)),
+                }
+            }
+            for (s, c) in net {
+                if c != 0.0 {
+                    per_species[s].push((i as u32, c));
+                }
+            }
+        }
+        let mut term_offsets = Vec::with_capacity(n_species + 1);
+        let mut term_reactions = Vec::new();
+        let mut term_coeffs = Vec::new();
+        term_offsets.push(0u32);
+        for terms in &per_species {
+            for &(r, c) in terms {
+                term_reactions.push(r);
+                term_coeffs.push(c);
+            }
+            term_offsets.push(term_reactions.len() as u32);
+        }
+
+        CompiledOdes {
+            n_species,
+            n_reactions,
+            reactant_offsets,
+            reactant_species,
+            reactant_orders,
+            kinetics,
+            rate_constants,
+            all_mass_action,
+            term_offsets,
+            term_reactions,
+            term_coeffs,
+        }
+    }
+
+    /// Number of species `N` (the ODE system dimension).
+    pub fn n_species(&self) -> usize {
+        self.n_species
+    }
+
+    /// Number of reactions `M`.
+    pub fn n_reactions(&self) -> usize {
+        self.n_reactions
+    }
+
+    /// The baked-in kinetic constants.
+    pub fn rate_constants(&self) -> &[f64] {
+        &self.rate_constants
+    }
+
+    /// The reactant `(species, order)` pairs of reaction `r`.
+    pub fn reaction_reactants(&self, r: usize) -> impl Iterator<Item = (usize, u32)> + '_ {
+        let lo = self.reactant_offsets[r] as usize;
+        let hi = self.reactant_offsets[r + 1] as usize;
+        (lo..hi).map(move |p| (self.reactant_species[p] as usize, self.reactant_orders[p]))
+    }
+
+    /// Evaluates all reaction fluxes into `flux` using the baked rate
+    /// constants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if buffer lengths do not match the model.
+    pub fn fluxes(&self, x: &[f64], flux: &mut [f64]) {
+        self.fluxes_with(x, &self.rate_constants, flux);
+    }
+
+    /// Evaluates all reaction fluxes with an explicit rate-constant vector
+    /// (used by coarse-grained batches where each simulation carries its own
+    /// parameterization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if buffer lengths do not match the model.
+    pub fn fluxes_with(&self, x: &[f64], k: &[f64], flux: &mut [f64]) {
+        assert_eq!(x.len(), self.n_species, "state vector length");
+        assert_eq!(k.len(), self.n_reactions, "rate constant vector length");
+        assert_eq!(flux.len(), self.n_reactions, "flux buffer length");
+        if self.all_mass_action {
+            for r in 0..self.n_reactions {
+                let lo = self.reactant_offsets[r] as usize;
+                let hi = self.reactant_offsets[r + 1] as usize;
+                let mut f = k[r];
+                for p in lo..hi {
+                    let xs = x[self.reactant_species[p] as usize];
+                    f *= crate::kinetics::int_pow(xs, self.reactant_orders[p]);
+                }
+                flux[r] = f;
+            }
+        } else {
+            let mut pairs: Vec<(f64, u32)> = Vec::with_capacity(4);
+            for r in 0..self.n_reactions {
+                let lo = self.reactant_offsets[r] as usize;
+                let hi = self.reactant_offsets[r + 1] as usize;
+                pairs.clear();
+                for p in lo..hi {
+                    pairs.push((x[self.reactant_species[p] as usize], self.reactant_orders[p]));
+                }
+                flux[r] = self.kinetics[r].flux(k[r], &pairs);
+            }
+        }
+    }
+
+    /// Evaluates the right-hand side `dX/dt = (B − A)ᵀ [K ⊙ X^A]` with the
+    /// baked rate constants. The time argument is accepted for solver-trait
+    /// compatibility; autonomous mass-action systems ignore it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if buffer lengths do not match the model.
+    pub fn rhs(&self, _t: f64, x: &[f64], dxdt: &mut [f64]) {
+        let mut flux = vec![0.0; self.n_reactions];
+        self.rhs_with_buffer(x, &self.rate_constants, &mut flux, dxdt);
+    }
+
+    /// Right-hand side with explicit rate constants and a caller-provided
+    /// flux buffer (the allocation-free path used inside solver loops).
+    ///
+    /// # Panics
+    ///
+    /// Panics if buffer lengths do not match the model.
+    pub fn rhs_with_buffer(&self, x: &[f64], k: &[f64], flux: &mut [f64], dxdt: &mut [f64]) {
+        assert_eq!(dxdt.len(), self.n_species, "derivative buffer length");
+        self.fluxes_with(x, k, flux);
+        for s in 0..self.n_species {
+            let lo = self.term_offsets[s] as usize;
+            let hi = self.term_offsets[s + 1] as usize;
+            let mut acc = 0.0;
+            for p in lo..hi {
+                acc += self.term_coeffs[p] * flux[self.term_reactions[p] as usize];
+            }
+            dxdt[s] = acc;
+        }
+    }
+
+    /// Analytic Jacobian `J[s][j] = ∂(dX_s/dt)/∂X_j` with the baked
+    /// constants, written into `jac`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jac` is not `N × N`.
+    pub fn jacobian(&self, _t: f64, x: &[f64], jac: &mut Matrix) {
+        self.jacobian_with(x, &self.rate_constants, jac);
+    }
+
+    /// Analytic Jacobian with explicit rate constants.
+    ///
+    /// For each reaction `r` and each of its reactants `j`, the flux
+    /// derivative `∂flux_r/∂x_j` is distributed over the species touched by
+    /// `r` with their net coefficients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jac` is not `N × N` or vector lengths mismatch.
+    pub fn jacobian_with(&self, x: &[f64], k: &[f64], jac: &mut Matrix) {
+        assert_eq!(jac.rows(), self.n_species, "jacobian rows");
+        assert_eq!(jac.cols(), self.n_species, "jacobian cols");
+        assert_eq!(x.len(), self.n_species);
+        assert_eq!(k.len(), self.n_reactions);
+        jac.fill_zero();
+        // dflux[r][j] for each reactant j of r, then scatter through the
+        // per-species term lists. We iterate species-major using the term
+        // CSR so each (s, r) pair is visited once.
+        let mut pairs: Vec<(f64, u32)> = Vec::with_capacity(4);
+        for s in 0..self.n_species {
+            let lo = self.term_offsets[s] as usize;
+            let hi = self.term_offsets[s + 1] as usize;
+            for p in lo..hi {
+                let r = self.term_reactions[p] as usize;
+                let coeff = self.term_coeffs[p];
+                let rlo = self.reactant_offsets[r] as usize;
+                let rhi = self.reactant_offsets[r + 1] as usize;
+                pairs.clear();
+                for q in rlo..rhi {
+                    pairs.push((x[self.reactant_species[q] as usize], self.reactant_orders[q]));
+                }
+                for (which, q) in (rlo..rhi).enumerate() {
+                    let j = self.reactant_species[q] as usize;
+                    let d = self.kinetics[r].flux_derivative(k[r], &pairs, which);
+                    jac[(s, j)] += coeff * d;
+                }
+            }
+        }
+    }
+
+    /// Approximate floating-point operation count of one right-hand-side
+    /// evaluation; the virtual-GPU cost model charges kernels with this.
+    pub fn rhs_flops(&self) -> u64 {
+        // Flux pass: one multiply per (reactant, order) factor plus one per
+        // reaction for the rate constant; accumulation: one fused
+        // multiply-add per species term.
+        let factor_ops: u64 = self.reactant_orders.iter().map(|&o| o.max(1) as u64).sum();
+        factor_ops + self.n_reactions as u64 + 2 * self.term_reactions.len() as u64
+    }
+
+    /// Approximate flop count of one analytic Jacobian evaluation.
+    pub fn jacobian_flops(&self) -> u64 {
+        // Each species-term revisits the reaction's reactant list once per
+        // reactant: quadratic in reactants-per-reaction (small: ≤ 2).
+        let mut total = 0u64;
+        for s in 0..self.n_species {
+            let lo = self.term_offsets[s] as usize;
+            let hi = self.term_offsets[s + 1] as usize;
+            for p in lo..hi {
+                let r = self.term_reactions[p] as usize;
+                let nr = (self.reactant_offsets[r + 1] - self.reactant_offsets[r]) as u64;
+                total += 2 * nr * nr.max(1) + 2;
+            }
+        }
+        total
+    }
+
+    /// Total number of nonzero species-term entries (a size proxy for
+    /// memory-traffic estimates).
+    pub fn n_terms(&self) -> usize {
+        self.term_reactions.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Reaction, ReactionBasedModel};
+    use paraspace_linalg::finite_difference_jacobian;
+
+    /// Lotka–Volterra as an RBM:
+    ///   R0: X -> 2X        (k0)   prey growth
+    ///   R1: X + Y -> 2Y    (k1)   predation
+    ///   R2: Y -> ∅         (k2)   predator death
+    fn lotka_volterra() -> (ReactionBasedModel, CompiledOdes) {
+        let mut m = ReactionBasedModel::new();
+        let x = m.add_species("X", 1.0);
+        let y = m.add_species("Y", 0.5);
+        m.add_reaction(Reaction::mass_action(&[(x, 1)], &[(x, 2)], 2.0)).unwrap();
+        m.add_reaction(Reaction::mass_action(&[(x, 1), (y, 1)], &[(y, 2)], 1.5)).unwrap();
+        m.add_reaction(Reaction::mass_action(&[(y, 1)], &[], 0.8)).unwrap();
+        let c = m.compile().unwrap();
+        (m, c)
+    }
+
+    #[test]
+    fn lotka_volterra_rhs_matches_closed_form() {
+        let (_, odes) = lotka_volterra();
+        let x = [1.2, 0.7];
+        let mut d = [0.0; 2];
+        odes.rhs(0.0, &x, &mut d);
+        // dX/dt = 2X - 1.5XY ; dY/dt = 1.5XY - 0.8Y
+        let expected_x = 2.0 * x[0] - 1.5 * x[0] * x[1];
+        let expected_y = 1.5 * x[0] * x[1] - 0.8 * x[1];
+        assert!((d[0] - expected_x).abs() < 1e-14);
+        assert!((d[1] - expected_y).abs() < 1e-14);
+    }
+
+    #[test]
+    fn rhs_matches_matrix_formula() {
+        // Verify dX/dt == (B-A)^T (K ⊙ X^A) computed via dense matrices.
+        let (m, odes) = lotka_volterra();
+        let x: [f64; 2] = [0.9, 1.1];
+        let a = m.stoichiometry_reactants();
+        let k = m.rate_constants();
+        // X^A per reaction.
+        let mut flux = vec![0.0; m.n_reactions()];
+        for i in 0..m.n_reactions() {
+            let mut f = k[i];
+            for j in 0..m.n_species() {
+                f *= x[j].powf(a[(i, j)]);
+            }
+            flux[i] = f;
+        }
+        let net = m.net_stoichiometry();
+        let expected = net.mul_vec(&flux);
+        let mut d = [0.0; 2];
+        odes.rhs(0.0, &x, &mut d);
+        for (p, q) in d.iter().zip(&expected) {
+            assert!((p - q).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn analytic_jacobian_matches_finite_difference() {
+        let (_, odes) = lotka_volterra();
+        let x = [1.3, 0.4];
+        let mut jac = Matrix::zeros(2, 2);
+        odes.jacobian(0.0, &x, &mut jac);
+        let fd = finite_difference_jacobian(|t, y, d| odes.rhs(t, y, d), 0.0, &x);
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!(
+                    (jac[(i, j)] - fd[(i, j)]).abs() < 1e-5,
+                    "J[{i}][{j}]: {} vs {}",
+                    jac[(i, j)],
+                    fd[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn second_order_same_species_jacobian() {
+        // 2A -> B : flux = k [A]^2, d/dA = 2k[A].
+        let mut m = ReactionBasedModel::new();
+        let a = m.add_species("A", 1.0);
+        let b = m.add_species("B", 0.0);
+        m.add_reaction(Reaction::mass_action(&[(a, 2)], &[(b, 1)], 3.0)).unwrap();
+        let odes = m.compile().unwrap();
+        let x = [0.7, 0.0];
+        let mut jac = Matrix::zeros(2, 2);
+        odes.jacobian(0.0, &x, &mut jac);
+        // dA/dt = -2·flux → d/dA = -2·(2·3·0.7) = -8.4
+        assert!((jac[(0, 0)] + 8.4).abs() < 1e-12);
+        // dB/dt = +flux → d/dA = 4.2
+        assert!((jac[(1, 0)] - 4.2).abs() < 1e-12);
+        assert_eq!(jac[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn catalyst_cancels_in_net_but_enters_flux() {
+        // A + E -> B + E (E catalytic): net coefficient of E is zero, so E
+        // has no term for this reaction, but flux depends on [E].
+        let mut m = ReactionBasedModel::new();
+        let a = m.add_species("A", 1.0);
+        let e = m.add_species("E", 0.5);
+        let b = m.add_species("B", 0.0);
+        m.add_reaction(Reaction::mass_action(&[(a, 1), (e, 1)], &[(b, 1), (e, 1)], 2.0)).unwrap();
+        let odes = m.compile().unwrap();
+        let x = [1.0, 0.5, 0.0];
+        let mut d = [0.0; 3];
+        odes.rhs(0.0, &x, &mut d);
+        assert!((d[0] + 1.0).abs() < 1e-14);
+        assert_eq!(d[1], 0.0); // catalyst unchanged
+        assert!((d[2] - 1.0).abs() < 1e-14);
+        // Jacobian: ∂(dA/dt)/∂E = -2·[A] = -2.
+        let mut jac = Matrix::zeros(3, 3);
+        odes.jacobian(0.0, &x, &mut jac);
+        assert!((jac[(0, 1)] + 2.0).abs() < 1e-13);
+        assert_eq!(jac[(1, 0)], 0.0);
+    }
+
+    #[test]
+    fn explicit_rate_constants_override_baked() {
+        let (_, odes) = lotka_volterra();
+        let x = [1.0, 1.0];
+        let k = [0.0, 0.0, 1.0]; // only predator death active
+        let mut flux = vec![0.0; 3];
+        let mut d = [0.0; 2];
+        odes.rhs_with_buffer(&x, &k, &mut flux, &mut d);
+        assert_eq!(d[0], 0.0);
+        assert!((d[1] + 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn zero_order_source_reaction() {
+        // ∅ -> A at rate 5: constant production.
+        let mut m = ReactionBasedModel::new();
+        let a = m.add_species("A", 0.0);
+        m.add_reaction(Reaction::mass_action(&[], &[(a, 1)], 5.0)).unwrap();
+        let odes = m.compile().unwrap();
+        let mut d = [0.0];
+        odes.rhs(0.0, &[123.0], &mut d);
+        assert_eq!(d[0], 5.0);
+        let mut jac = Matrix::zeros(1, 1);
+        odes.jacobian(0.0, &[123.0], &mut jac);
+        assert_eq!(jac[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn michaelis_menten_network_jacobian_matches_fd() {
+        let mut m = ReactionBasedModel::new();
+        let s = m.add_species("S", 2.0);
+        let p = m.add_species("P", 0.1);
+        m.add_reaction(Reaction::with_kinetics(
+            &[(s, 1)],
+            &[(p, 1)],
+            4.0,
+            Kinetics::MichaelisMenten { km: 0.5 },
+        ))
+        .unwrap();
+        m.add_reaction(Reaction::with_kinetics(
+            &[(p, 1)],
+            &[(s, 1)],
+            1.0,
+            Kinetics::Hill { ka: 1.0, n: 2.0 },
+        ))
+        .unwrap();
+        let odes = m.compile().unwrap();
+        let x = [1.7, 0.6];
+        let mut jac = Matrix::zeros(2, 2);
+        odes.jacobian(0.0, &x, &mut jac);
+        let fd = finite_difference_jacobian(|t, y, d| odes.rhs(t, y, d), 0.0, &x);
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!((jac[(i, j)] - fd[(i, j)]).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn flop_counts_positive_and_scale_with_size() {
+        let (_, small) = lotka_volterra();
+        assert!(small.rhs_flops() > 0);
+        assert!(small.jacobian_flops() > 0);
+        assert!(small.n_terms() >= 4);
+    }
+
+    #[test]
+    fn buffer_length_mismatch_panics() {
+        let (_, odes) = lotka_volterra();
+        let result = std::panic::catch_unwind(|| {
+            let mut d = [0.0; 1];
+            odes.rhs(0.0, &[1.0, 1.0], &mut d);
+        });
+        assert!(result.is_err());
+    }
+}

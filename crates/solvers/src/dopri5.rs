@@ -1,0 +1,465 @@
+//! The Dormand–Prince 5(4) explicit Runge–Kutta method (DOPRI5).
+//!
+//! Implements the classical Hairer–Nørsett–Wanner design: the 7-stage FSAL
+//! tableau, embedded 4th-order error estimate, PI step-size controller
+//! (β = 0.04), 4th-order dense output, and the two-stage stiffness detector
+//! (`h·λ > 3.25` observed 15 times ⇒ stiff). This is the engine's non-stiff
+//! workhorse; stiff simulations are re-routed to [`crate::Radau5`].
+
+use crate::system::check_inputs;
+use crate::{initial_step_size, OdeSolver, OdeSystem, SolveFailure, Solution, SolverError, SolverOptions};
+use paraspace_linalg::weighted_rms_norm;
+
+// Nodes.
+const C2: f64 = 1.0 / 5.0;
+const C3: f64 = 3.0 / 10.0;
+const C4: f64 = 4.0 / 5.0;
+const C5: f64 = 8.0 / 9.0;
+
+// Runge–Kutta matrix.
+const A21: f64 = 1.0 / 5.0;
+const A31: f64 = 3.0 / 40.0;
+const A32: f64 = 9.0 / 40.0;
+const A41: f64 = 44.0 / 45.0;
+const A42: f64 = -56.0 / 15.0;
+const A43: f64 = 32.0 / 9.0;
+const A51: f64 = 19372.0 / 6561.0;
+const A52: f64 = -25360.0 / 2187.0;
+const A53: f64 = 64448.0 / 6561.0;
+const A54: f64 = -212.0 / 729.0;
+const A61: f64 = 9017.0 / 3168.0;
+const A62: f64 = -355.0 / 33.0;
+const A63: f64 = 46732.0 / 5247.0;
+const A64: f64 = 49.0 / 176.0;
+const A65: f64 = -5103.0 / 18656.0;
+// 5th-order weights (also the 7th stage: FSAL).
+const A71: f64 = 35.0 / 384.0;
+const A73: f64 = 500.0 / 1113.0;
+const A74: f64 = 125.0 / 192.0;
+const A75: f64 = -2187.0 / 6784.0;
+const A76: f64 = 11.0 / 84.0;
+
+// Error coefficients e = b5 − b4.
+const E1: f64 = 71.0 / 57600.0;
+const E3: f64 = -71.0 / 16695.0;
+const E4: f64 = 71.0 / 1920.0;
+const E5: f64 = -17253.0 / 339200.0;
+const E6: f64 = 22.0 / 525.0;
+const E7: f64 = -1.0 / 40.0;
+
+// Dense-output coefficients.
+const D1: f64 = -12715105075.0 / 11282082432.0;
+const D3: f64 = 87487479700.0 / 32700410799.0;
+const D4: f64 = -10690763975.0 / 1880347072.0;
+const D5: f64 = 701980252875.0 / 199316789632.0;
+const D6: f64 = -1453857185.0 / 822651844.0;
+const D7: f64 = 69997945.0 / 29380423.0;
+
+// Controller constants (dopri5.f defaults).
+const SAFETY: f64 = 0.9;
+const BETA: f64 = 0.04;
+const EXPO1: f64 = 0.2 - BETA * 0.75;
+const FAC_MIN_INV: f64 = 5.0; // 1/0.2: max shrink factor denominator
+const FAC_MAX_INV: f64 = 0.1; // 1/10: max growth factor denominator
+const STIFF_THRESHOLD: f64 = 3.25;
+const STIFF_STRIKES: usize = 15;
+
+/// The DOPRI5 solver.
+///
+/// # Example
+///
+/// ```
+/// use paraspace_solvers::{Dopri5, FnSystem, OdeSolver, SolverOptions};
+///
+/// # fn main() -> Result<(), paraspace_solvers::SolveFailure> {
+/// // Harmonic oscillator: period 2π.
+/// let sys = FnSystem::new(2, |_t, y, d| { d[0] = y[1]; d[1] = -y[0]; });
+/// let two_pi = std::f64::consts::TAU;
+/// let sol = Dopri5::new().solve(&sys, 0.0, &[1.0, 0.0], &[two_pi], &SolverOptions::default())?;
+/// assert!((sol.state_at(0)[0] - 1.0).abs() < 1e-5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Dopri5 {
+    _private: (),
+}
+
+impl Dopri5 {
+    /// Creates the solver.
+    pub fn new() -> Self {
+        Dopri5 { _private: () }
+    }
+}
+
+impl OdeSolver for Dopri5 {
+    fn name(&self) -> &'static str {
+        "dopri5"
+    }
+
+    fn solve(
+        &self,
+        system: &dyn OdeSystem,
+        t0: f64,
+        y0: &[f64],
+        sample_times: &[f64],
+        options: &SolverOptions,
+    ) -> Result<Solution, SolveFailure> {
+        let n = system.dim();
+        check_inputs(n, y0, t0, sample_times, options)?;
+        let mut sol = Solution::with_capacity(sample_times.len());
+        let t_end = match sample_times.last() {
+            Some(&t) => t,
+            None => return Ok(sol),
+        };
+
+        let mut t = t0;
+        let mut y = y0.to_vec();
+        let mut k: Vec<Vec<f64>> = (0..7).map(|_| vec![0.0; n]).collect();
+        let mut y_stage = vec![0.0; n];
+        let mut y_new = vec![0.0; n];
+        let mut y_sti = vec![0.0; n];
+        let mut err_vec = vec![0.0; n];
+        let mut scale = vec![0.0; n];
+
+        system.rhs(t, &y, &mut k[0]);
+        sol.stats.rhs_evals += 1;
+
+        // Deliver any samples at (or numerically at) t0.
+        let mut next_sample = 0;
+        while next_sample < sample_times.len() && sample_times[next_sample] <= t {
+            sol.times.push(sample_times[next_sample]);
+            sol.states.push(y.clone());
+            next_sample += 1;
+        }
+        if next_sample == sample_times.len() {
+            return Ok(sol);
+        }
+
+        let mut h = options
+            .initial_step
+            .unwrap_or_else(|| initial_step_size(&system, t, &y, &k[0], 1.0, 5, options));
+        sol.stats.rhs_evals += usize::from(options.initial_step.is_none());
+        let mut fac_old = 1e-4f64;
+        let mut steps_since_sample = 0usize;
+        let mut stiff_strikes = 0usize;
+        let mut nonstiff_strikes = 0usize;
+        let mut last_rejected = false;
+
+        loop {
+            if steps_since_sample >= options.max_steps {
+                sol.stats.stiffness_detected |= stiff_strikes > 0;
+                return Err(SolveFailure {
+                    error: SolverError::MaxStepsExceeded { t, max_steps: options.max_steps },
+                    stats: sol.stats,
+                });
+            }
+            h = h.min(options.max_step).min(t_end - t);
+            if h <= f64::EPSILON * t.abs().max(1.0) {
+                return Err(SolveFailure { error: SolverError::StepSizeUnderflow { t }, stats: sol.stats });
+            }
+
+            // Stages 2..6.
+            for i in 0..n {
+                y_stage[i] = y[i] + h * A21 * k[0][i];
+            }
+            system.rhs(t + C2 * h, &y_stage, &mut k[1]);
+            for i in 0..n {
+                y_stage[i] = y[i] + h * (A31 * k[0][i] + A32 * k[1][i]);
+            }
+            system.rhs(t + C3 * h, &y_stage, &mut k[2]);
+            for i in 0..n {
+                y_stage[i] = y[i] + h * (A41 * k[0][i] + A42 * k[1][i] + A43 * k[2][i]);
+            }
+            system.rhs(t + C4 * h, &y_stage, &mut k[3]);
+            for i in 0..n {
+                y_stage[i] =
+                    y[i] + h * (A51 * k[0][i] + A52 * k[1][i] + A53 * k[2][i] + A54 * k[3][i]);
+            }
+            system.rhs(t + C5 * h, &y_stage, &mut k[4]);
+            for i in 0..n {
+                y_sti[i] = y[i]
+                    + h * (A61 * k[0][i] + A62 * k[1][i] + A63 * k[2][i] + A64 * k[3][i]
+                        + A65 * k[4][i]);
+            }
+            system.rhs(t + h, &y_sti, &mut k[5]);
+            // 5th-order solution (stage 7 argument) and FSAL derivative.
+            for i in 0..n {
+                y_new[i] = y[i]
+                    + h * (A71 * k[0][i] + A73 * k[2][i] + A74 * k[3][i] + A75 * k[4][i]
+                        + A76 * k[5][i]);
+            }
+            system.rhs(t + h, &y_new, &mut k[6]);
+            sol.stats.rhs_evals += 6;
+            sol.stats.steps += 1;
+            steps_since_sample += 1;
+
+            // Embedded error estimate.
+            for i in 0..n {
+                err_vec[i] = h
+                    * (E1 * k[0][i] + E3 * k[2][i] + E4 * k[3][i] + E5 * k[4][i] + E6 * k[5][i]
+                        + E7 * k[6][i]);
+            }
+            options.error_scale_pair(&y, &y_new, &mut scale);
+            let err = weighted_rms_norm(&err_vec, &scale);
+
+            if !err.is_finite() || !y_new.iter().all(|v| v.is_finite()) {
+                // Treat as a hard rejection with aggressive shrink.
+                sol.stats.rejected += 1;
+                h *= 0.1;
+                last_rejected = true;
+                if h <= f64::MIN_POSITIVE * 1e4 {
+                    return Err(SolveFailure { error: SolverError::NonFiniteState { t }, stats: sol.stats });
+                }
+                continue;
+            }
+
+            // PI controller.
+            let fac11 = err.powf(EXPO1);
+            let fac = (fac11 / fac_old.powf(BETA) / SAFETY).clamp(FAC_MAX_INV, FAC_MIN_INV);
+            let mut h_new = h / fac;
+
+            if err <= 1.0 {
+                // Accepted.
+                fac_old = err.max(1e-4);
+                sol.stats.accepted += 1;
+
+                // Stiffness detection (Hairer): compare f at the two
+                // distinct t+h arguments.
+                if options.stiffness_check_interval > 0
+                    && (sol.stats.accepted.is_multiple_of(options.stiffness_check_interval)
+                        || stiff_strikes > 0)
+                {
+                    let mut st_num = 0.0;
+                    let mut st_den = 0.0;
+                    for i in 0..n {
+                        let dk = k[6][i] - k[5][i];
+                        let dy = y_new[i] - y_sti[i];
+                        st_num += dk * dk;
+                        st_den += dy * dy;
+                    }
+                    if st_den > 0.0 {
+                        let h_lambda = h * (st_num / st_den).sqrt();
+                        if h_lambda > STIFF_THRESHOLD {
+                            nonstiff_strikes = 0;
+                            stiff_strikes += 1;
+                            if stiff_strikes >= STIFF_STRIKES {
+                                sol.stats.stiffness_detected = true;
+                                return Err(SolveFailure {
+                                    error: SolverError::StiffnessDetected { t },
+                                    stats: sol.stats,
+                                });
+                            }
+                        } else {
+                            nonstiff_strikes += 1;
+                            if nonstiff_strikes >= 6 {
+                                stiff_strikes = 0;
+                            }
+                        }
+                    }
+                }
+
+                // Serve sample times inside (t, t+h] through dense output.
+                let t_new = t + h;
+                if next_sample < sample_times.len() && sample_times[next_sample] <= t_new {
+                    // Dense-output coefficient vectors (lazy: only when a
+                    // sample falls inside this step).
+                    let mut r1 = vec![0.0; n];
+                    let mut r2 = vec![0.0; n];
+                    let mut r3 = vec![0.0; n];
+                    let mut r4 = vec![0.0; n];
+                    let mut r5 = vec![0.0; n];
+                    for i in 0..n {
+                        let ydiff = y_new[i] - y[i];
+                        let bspl = h * k[0][i] - ydiff;
+                        r1[i] = y[i];
+                        r2[i] = ydiff;
+                        r3[i] = bspl;
+                        r4[i] = ydiff - h * k[6][i] - bspl;
+                        r5[i] = h
+                            * (D1 * k[0][i] + D3 * k[2][i] + D4 * k[3][i] + D5 * k[4][i]
+                                + D6 * k[5][i] + D7 * k[6][i]);
+                    }
+                    while next_sample < sample_times.len() && sample_times[next_sample] <= t_new {
+                        let ts = sample_times[next_sample];
+                        let theta = ((ts - t) / h).clamp(0.0, 1.0);
+                        let om_theta = 1.0 - theta;
+                        let state: Vec<f64> = (0..n)
+                            .map(|i| {
+                                r1[i]
+                                    + theta
+                                        * (r2[i]
+                                            + om_theta
+                                                * (r3[i] + theta * (r4[i] + om_theta * r5[i])))
+                            })
+                            .collect();
+                        sol.times.push(ts);
+                        sol.states.push(state);
+                        next_sample += 1;
+                        steps_since_sample = 0;
+                    }
+                }
+
+                t = t_new;
+                std::mem::swap(&mut y, &mut y_new);
+                k.swap(0, 6); // FSAL: k7 becomes k1 of the next step.
+
+                if next_sample == sample_times.len() {
+                    sol.stats.stiffness_detected |= stiff_strikes > 0;
+                    return Ok(sol);
+                }
+                if last_rejected {
+                    h_new = h_new.min(h);
+                    last_rejected = false;
+                }
+                h = h_new;
+            } else {
+                // Rejected.
+                sol.stats.rejected += 1;
+                h_new = h / (fac11 / SAFETY).min(FAC_MIN_INV);
+                last_rejected = true;
+                h = h_new;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FnSystem;
+
+    fn opts() -> SolverOptions {
+        SolverOptions::default()
+    }
+
+    #[test]
+    fn exponential_decay_matches_analytic() {
+        let sys = FnSystem::new(1, |_t, y, d| d[0] = -2.0 * y[0]);
+        let times = [0.25, 0.5, 1.0, 2.0];
+        let sol = Dopri5::new().solve(&sys, 0.0, &[1.0], &times, &opts()).unwrap();
+        for (i, &t) in times.iter().enumerate() {
+            let exact = (-2.0 * t).exp();
+            assert!(
+                (sol.state_at(i)[0] - exact).abs() < 1e-7,
+                "t={t}: {} vs {exact}",
+                sol.state_at(i)[0]
+            );
+        }
+    }
+
+    #[test]
+    fn harmonic_oscillator_conserves_energy() {
+        let sys = FnSystem::new(2, |_t, y, d| {
+            d[0] = y[1];
+            d[1] = -y[0];
+        });
+        let times: Vec<f64> = (1..=20).map(|i| i as f64).collect();
+        let sol = Dopri5::new().solve(&sys, 0.0, &[1.0, 0.0], &times, &opts()).unwrap();
+        for s in &sol.states {
+            let energy = s[0] * s[0] + s[1] * s[1];
+            assert!((energy - 1.0).abs() < 1e-4, "energy drift: {energy}");
+        }
+        // Exact solution check.
+        let last = sol.last_state().unwrap();
+        assert!((last[0] - 20.0f64.cos()).abs() < 1e-5);
+        assert!((last[1] + 20.0f64.sin()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn dense_output_is_accurate_between_steps() {
+        // Many closely spaced samples must all hit the analytic curve even
+        // though the solver takes large steps.
+        let sys = FnSystem::new(1, |t, _y, d| d[0] = t.cos());
+        let times: Vec<f64> = (1..200).map(|i| i as f64 * 0.05).collect();
+        let sol = Dopri5::new().solve(&sys, 0.0, &[0.0], &times, &opts()).unwrap();
+        for (i, &t) in times.iter().enumerate() {
+            assert!((sol.state_at(i)[0] - t.sin()).abs() < 2e-5, "t={t}");
+        }
+        // Large steps: far fewer steps than samples.
+        assert!(sol.stats.accepted < times.len(), "dense output must decouple sampling from stepping");
+    }
+
+    #[test]
+    fn tolerance_controls_error() {
+        let sys = FnSystem::new(1, |_t, y, d| d[0] = y[0]);
+        let loose = Dopri5::new()
+            .solve(&sys, 0.0, &[1.0], &[1.0], &SolverOptions::with_tolerances(1e-3, 1e-6))
+            .unwrap();
+        let tight = Dopri5::new()
+            .solve(&sys, 0.0, &[1.0], &[1.0], &SolverOptions::with_tolerances(1e-10, 1e-12))
+            .unwrap();
+        let exact = 1.0f64.exp();
+        let err_loose = (loose.state_at(0)[0] - exact).abs();
+        let err_tight = (tight.state_at(0)[0] - exact).abs();
+        assert!(err_tight < err_loose);
+        assert!(err_tight < 1e-9);
+        assert!(tight.stats.accepted > loose.stats.accepted);
+    }
+
+    #[test]
+    fn stiffness_detector_fires_on_stiff_problem() {
+        // Very stiff linear problem; DOPRI5 must report stiffness (the
+        // engine then re-routes to Radau).
+        let sys = FnSystem::new(1, |_t, y, d| d[0] = -1e6 * (y[0] - 1.0));
+        let o = SolverOptions { stiffness_check_interval: 1, ..opts() };
+        let result = Dopri5::new().solve(&sys, 0.0, &[0.0], &[10.0], &o);
+        match result {
+            Err(f) => {
+                assert!(matches!(
+                    f.error,
+                    SolverError::StiffnessDetected { .. } | SolverError::MaxStepsExceeded { .. }
+                ));
+                assert!(f.stats.steps > 0, "partial work must be reported");
+                assert!(
+                    f.stats.steps < o.max_steps * 2,
+                    "failure cost must be the actual work, not the whole budget"
+                );
+            }
+            Ok(_) => panic!("expected stiffness/step failure"),
+        }
+    }
+
+    #[test]
+    fn sample_at_t0_returns_initial_state() {
+        let sys = FnSystem::new(1, |_t, y, d| d[0] = -y[0]);
+        let sol = Dopri5::new().solve(&sys, 0.0, &[7.0], &[0.0, 1.0], &opts()).unwrap();
+        assert_eq!(sol.state_at(0)[0], 7.0);
+    }
+
+    #[test]
+    fn empty_sample_times_is_empty_solution() {
+        let sys = FnSystem::new(1, |_t, y, d| d[0] = -y[0]);
+        let sol = Dopri5::new().solve(&sys, 0.0, &[1.0], &[], &opts()).unwrap();
+        assert!(sol.is_empty());
+    }
+
+    #[test]
+    fn nonautonomous_system_integrates() {
+        // dy/dt = t ⇒ y = t²/2.
+        let sys = FnSystem::new(1, |t, _y, d| d[0] = t);
+        let sol = Dopri5::new().solve(&sys, 0.0, &[0.0], &[3.0], &opts()).unwrap();
+        assert!((sol.state_at(0)[0] - 4.5).abs() < 1e-8);
+    }
+
+    #[test]
+    fn fsal_economy_is_visible_in_stats() {
+        let sys = FnSystem::new(1, |_t, y, d| d[0] = -y[0]);
+        let sol = Dopri5::new().solve(&sys, 0.0, &[1.0], &[1.0], &opts()).unwrap();
+        // 6 evaluations per step (FSAL) + initialization overhead.
+        assert!(sol.stats.rhs_evals <= 6 * sol.stats.steps + 3);
+    }
+
+    #[test]
+    fn stats_track_rejections_under_tight_tolerance() {
+        let sys = FnSystem::new(2, |t, y, d| {
+            d[0] = y[1];
+            d[1] = -y[0] * (1.0 + 5.0 * (10.0 * t).sin());
+        });
+        let sol = Dopri5::new()
+            .solve(&sys, 0.0, &[1.0, 0.0], &[10.0], &SolverOptions::with_tolerances(1e-10, 1e-12))
+            .unwrap();
+        assert_eq!(sol.stats.steps, sol.stats.accepted + sol.stats.rejected);
+        assert!(sol.stats.accepted > 0);
+    }
+}

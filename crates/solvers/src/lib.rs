@@ -1,0 +1,129 @@
+// Index-based loops are used deliberately throughout the numerical
+// kernels: they mirror the reference Fortran/C formulations and keep
+// multi-array stride arithmetic explicit.
+#![allow(clippy::needless_range_loop)]
+
+//! Adaptive ODE solvers for biochemical-network simulation.
+//!
+//! This crate implements, from scratch, the numerical core of the
+//! accelerated parameter-space-analysis engine and all of its published
+//! comparison baselines:
+//!
+//! | solver | family | role |
+//! |---|---|---|
+//! | [`Dopri5`] | explicit Runge–Kutta 5(4), PI control, dense output, stiffness detection | the engine's non-stiff method |
+//! | [`Radau5`] | implicit Radau IIA order 5, simplified Newton with one real and one complex LU per step | the engine's stiff method |
+//! | [`Rkf45`] | explicit Runge–Kutta–Fehlberg 4(5) | the fine-grained baseline's non-stiff method |
+//! | [`Rk4`] | classic fixed-step Runge–Kutta 4 | reference / teaching baseline |
+//! | [`Bdf`] | variable-order (1–5) BDF in Nordsieck form with modified Newton | stiff multistep core |
+//! | [`AdamsMoulton`] | variable-order (1–12) Adams–Moulton in Nordsieck form with functional iteration | non-stiff multistep core |
+//! | [`Lsoda`] | dynamic Adams ↔ BDF switching | the CPU baseline "LSODA" |
+//! | [`Vode`] | one-shot up-front method selection | the CPU baseline "VODE" |
+//!
+//! All solvers consume any [`OdeSystem`] and sample the solution at
+//! caller-provided time points through each method's own dense output /
+//! interpolant, so sampling never constrains step selection.
+//!
+//! # Example
+//!
+//! ```
+//! use paraspace_solvers::{Dopri5, FnSystem, OdeSolver, SolverOptions};
+//!
+//! # fn main() -> Result<(), paraspace_solvers::SolveFailure> {
+//! // dy/dt = -y, y(0) = 1  ⇒  y(t) = e^{-t}.
+//! let sys = FnSystem::new(1, |_t, y, dydt| dydt[0] = -y[0]);
+//! let sol = Dopri5::new().solve(&sys, 0.0, &[1.0], &[1.0], &SolverOptions::default())?;
+//! assert!((sol.state_at(0)[0] - (-1.0f64).exp()).abs() < 1e-6);
+//! # Ok(())
+//! # }
+//! ```
+
+mod dopri5;
+mod error;
+mod multistep;
+mod options;
+mod radau5;
+mod rk4;
+mod rkf45;
+mod solution;
+mod system;
+
+pub use dopri5::Dopri5;
+pub use error::{SolveFailure, SolverError};
+pub use multistep::{AdamsMoulton, Bdf, Lsoda, MethodFamily, Vode};
+pub use options::SolverOptions;
+pub use radau5::Radau5;
+pub use rk4::Rk4;
+pub use rkf45::Rkf45;
+pub use solution::{Solution, StepStats};
+pub use system::{FnSystem, OdeSolver, OdeSystem};
+
+/// Suggests an initial step size for an adaptive solver of the given order,
+/// following the classical Hairer–Nørsett–Wanner `hinit` algorithm.
+///
+/// Both explicit and implicit solvers in this crate use this when the caller
+/// does not fix `h0` via [`SolverOptions::initial_step`].
+pub(crate) fn initial_step_size<S: OdeSystem + ?Sized>(
+    system: &S,
+    t0: f64,
+    y0: &[f64],
+    f0: &[f64],
+    direction: f64,
+    order: usize,
+    opts: &SolverOptions,
+) -> f64 {
+    let n = y0.len();
+    let mut sc = vec![0.0; n];
+    for i in 0..n {
+        sc[i] = opts.abs_tol + opts.rel_tol * y0[i].abs();
+    }
+    let d0 = paraspace_linalg::weighted_rms_norm(y0, &sc);
+    let d1 = paraspace_linalg::weighted_rms_norm(f0, &sc);
+    let h0 = if d0 < 1e-5 || d1 < 1e-5 { 1e-6 } else { 0.01 * (d0 / d1) };
+    let h0 = h0.min(opts.max_step);
+
+    // One explicit Euler probe to estimate the second derivative.
+    let mut y1 = vec![0.0; n];
+    for i in 0..n {
+        y1[i] = y0[i] + direction * h0 * f0[i];
+    }
+    let mut f1 = vec![0.0; n];
+    system.rhs(t0 + direction * h0, &y1, &mut f1);
+    let mut diff = vec![0.0; n];
+    for i in 0..n {
+        diff[i] = f1[i] - f0[i];
+    }
+    let d2 = paraspace_linalg::weighted_rms_norm(&diff, &sc) / h0;
+
+    let dmax = d1.max(d2);
+    let h1 = if dmax <= 1e-15 {
+        (h0 * 1e-3).max(1e-6)
+    } else {
+        (0.01 / dmax).powf(1.0 / (order as f64 + 1.0))
+    };
+    (100.0 * h0).min(h1).min(opts.max_step)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_step_is_positive_and_bounded() {
+        let sys = FnSystem::new(1, |_t, y, d| d[0] = -1000.0 * y[0]);
+        let opts = SolverOptions::default();
+        let f0 = [-1000.0];
+        let h = initial_step_size(&sys, 0.0, &[1.0], &f0, 1.0, 5, &opts);
+        assert!(h > 0.0);
+        assert!(h < 1e-2, "stiff system must start with a small step, got {h}");
+    }
+
+    #[test]
+    fn initial_step_respects_max_step() {
+        let sys = FnSystem::new(1, |_t, _y, d| d[0] = 1e-9);
+        let opts = SolverOptions { max_step: 0.5, ..SolverOptions::default() };
+        let f0 = [1e-9];
+        let h = initial_step_size(&sys, 0.0, &[1.0], &f0, 1.0, 5, &opts);
+        assert!(h <= 0.5);
+    }
+}

@@ -1,0 +1,147 @@
+//! The BDF solver (stiff multistep).
+
+use crate::multistep::adams::{drive, BDF_MAX_ORDER};
+use crate::multistep::core::NordsieckCore;
+use crate::multistep::MethodFamily;
+use crate::{OdeSolver, OdeSystem, SolveFailure, Solution, SolverOptions};
+
+/// Variable-order (1–5) backward differentiation formulae with modified
+/// Newton iteration, cached Jacobian, and LU reuse — the stiff half of the
+/// LSODA/VODE baselines.
+///
+/// # Example
+///
+/// ```
+/// use paraspace_solvers::{Bdf, FnSystem, OdeSolver, SolverOptions};
+///
+/// # fn main() -> Result<(), paraspace_solvers::SolveFailure> {
+/// let sys = FnSystem::new(1, |_t, y, d| d[0] = -1e4 * (y[0] - 1.0));
+/// let sol = Bdf::new().solve(&sys, 0.0, &[0.0], &[1.0], &SolverOptions::default())?;
+/// assert!((sol.state_at(0)[0] - 1.0).abs() < 1e-5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bdf {
+    max_order: usize,
+}
+
+impl Default for Bdf {
+    fn default() -> Self {
+        Bdf::new()
+    }
+}
+
+impl Bdf {
+    /// Creates the solver with maximum order 5.
+    pub fn new() -> Self {
+        Bdf { max_order: BDF_MAX_ORDER }
+    }
+
+    /// Creates the solver with a custom maximum order (1–5).
+    ///
+    /// Order 1 gives the first-order BDF the fine-grained baseline
+    /// simulator switches to under stiffness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_order` is outside `1..=5`.
+    pub fn with_max_order(max_order: usize) -> Self {
+        assert!((1..=BDF_MAX_ORDER).contains(&max_order), "bdf order must be in 1..=5");
+        Bdf { max_order }
+    }
+}
+
+impl OdeSolver for Bdf {
+    fn name(&self) -> &'static str {
+        "bdf"
+    }
+
+    fn solve(
+        &self,
+        system: &dyn OdeSystem,
+        t0: f64,
+        y0: &[f64],
+        sample_times: &[f64],
+        options: &SolverOptions,
+    ) -> Result<Solution, SolveFailure> {
+        let mut core = NordsieckCore::new(MethodFamily::Bdf, system.dim(), self.max_order);
+        drive(&mut core, system, t0, y0, sample_times, options, |_, _, _| {})
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FnSystem;
+
+    fn opts() -> SolverOptions {
+        SolverOptions::default()
+    }
+
+    #[test]
+    fn stiff_relaxation_is_cheap() {
+        let sys = FnSystem::new(1, |_t, y, d| d[0] = -1e6 * (y[0] - 2.0));
+        let sol = Bdf::new().solve(&sys, 0.0, &[0.0], &[1.0, 10.0], &opts()).unwrap();
+        assert!((sol.state_at(0)[0] - 2.0).abs() < 1e-4);
+        assert!((sol.state_at(1)[0] - 2.0).abs() < 1e-4);
+        assert!(sol.stats.steps < 2000, "stiff problem took {} BDF steps", sol.stats.steps);
+        assert!(sol.stats.lu_decompositions > 0);
+    }
+
+    #[test]
+    fn robertson_runs_to_long_times() {
+        let sys = FnSystem::new(3, |_t, y, d| {
+            d[0] = -0.04 * y[0] + 1e4 * y[1] * y[2];
+            d[1] = 0.04 * y[0] - 1e4 * y[1] * y[2] - 3e7 * y[1] * y[1];
+            d[2] = 3e7 * y[1] * y[1];
+        });
+        let times = [0.4, 4.0, 40.0, 400.0];
+        let o = SolverOptions { max_steps: 100_000, ..opts() };
+        let sol = Bdf::new().solve(&sys, 0.0, &[1.0, 0.0, 0.0], &times, &o).unwrap();
+        for s in &sol.states {
+            assert!((s[0] + s[1] + s[2] - 1.0).abs() < 1e-5, "mass drift");
+        }
+        assert!((sol.state_at(0)[0] - 0.98517).abs() < 1e-3, "y1(0.4) = {}", sol.state_at(0)[0]);
+    }
+
+    #[test]
+    fn agrees_with_radau_on_stiff_linear_problem() {
+        let sys = FnSystem::new(1, |t, y, d| d[0] = -1e4 * (y[0] - t.sin()) + t.cos());
+        let times = [1.0, 2.0];
+        let a = Bdf::new().solve(&sys, 0.0, &[0.5], &times, &opts()).unwrap();
+        let b = crate::Radau5::new().solve(&sys, 0.0, &[0.5], &times, &opts()).unwrap();
+        for i in 0..times.len() {
+            assert!(
+                (a.state_at(i)[0] - b.state_at(i)[0]).abs() < 1e-4,
+                "bdf {} vs radau {}",
+                a.state_at(i)[0],
+                b.state_at(i)[0]
+            );
+        }
+    }
+
+    #[test]
+    fn bdf1_cap_behaves_like_first_order_method() {
+        let sys = FnSystem::new(1, |_t, y, d| d[0] = -y[0]);
+        let tight = SolverOptions { max_steps: 1_000_000, ..SolverOptions::with_tolerances(1e-7, 1e-12) };
+        let first = Bdf::with_max_order(1).solve(&sys, 0.0, &[1.0], &[1.0], &tight).unwrap();
+        let fifth = Bdf::new().solve(&sys, 0.0, &[1.0], &[1.0], &tight).unwrap();
+        assert!(
+            first.stats.accepted > 3 * fifth.stats.accepted,
+            "order-1 cap should cost many more steps: {} vs {}",
+            first.stats.accepted,
+            fifth.stats.accepted
+        );
+    }
+
+    #[test]
+    fn nonstiff_problem_still_correct() {
+        let sys = FnSystem::new(2, |_t, y, d| {
+            d[0] = y[1];
+            d[1] = -y[0];
+        });
+        let sol = Bdf::new().solve(&sys, 0.0, &[1.0, 0.0], &[3.0], &opts()).unwrap();
+        assert!((sol.state_at(0)[0] - 3.0f64.cos()).abs() < 1e-4);
+    }
+}

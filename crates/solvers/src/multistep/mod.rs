@@ -1,0 +1,52 @@
+//! Variable-step, variable-order multistep solvers in Nordsieck form.
+//!
+//! One core ([`core::NordsieckCore`]) implements the fixed-leading-
+//! coefficient formulation shared by the ODEPACK/VODE lineage: the history
+//! is the Nordsieck array `z = [y, h·ẏ, h²·ÿ/2!, …, hᵠ·y⁽ᵠ⁾/q!]`, a step is
+//! *predict* (Pascal-triangle shift) then *correct* (solve the implicit
+//! relation, distribute the correction with the method's `l` vector), and
+//! step/order changes rescale or truncate the array.
+//!
+//! Two method families plug into the core:
+//!
+//! * **Adams–Moulton** (orders 1–12), corrected by functional iteration —
+//!   efficient for non-stiff problems, useless under stiffness (the
+//!   iteration stops converging, which is exactly the signal the LSODA
+//!   switch uses);
+//! * **BDF** (orders 1–5), corrected by modified Newton with a cached
+//!   Jacobian and LU factorization — the stiff workhorse.
+//!
+//! On top of the core sit the two published CPU baselines:
+//!
+//! * [`Lsoda`] — starts non-stiff and *dynamically switches* between the
+//!   families using a dominant-eigenvalue stiffness probe,
+//! * [`Vode`] — picks the family once, up front, from the same probe.
+
+mod adams;
+mod bdf;
+mod core;
+mod lsoda;
+mod vode;
+
+pub use adams::AdamsMoulton;
+pub use bdf::Bdf;
+pub use lsoda::Lsoda;
+pub use vode::Vode;
+
+/// Which multistep family a solver is currently running.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MethodFamily {
+    /// Adams–Moulton with functional iteration (non-stiff).
+    Adams,
+    /// Backward differentiation formulae with Newton iteration (stiff).
+    Bdf,
+}
+
+impl std::fmt::Display for MethodFamily {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MethodFamily::Adams => write!(f, "adams"),
+            MethodFamily::Bdf => write!(f, "bdf"),
+        }
+    }
+}

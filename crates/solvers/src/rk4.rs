@@ -1,0 +1,167 @@
+//! Classic fixed-step 4th-order Runge–Kutta.
+//!
+//! Kept as a reference baseline (several Systems Biology tools expose a
+//! fixed-step RK4 alongside their adaptive solvers) and as the ground-truth
+//! generator for convergence tests: halving the step must reduce the error
+//! by ~16×.
+
+use crate::system::check_inputs;
+use crate::{OdeSolver, OdeSystem, SolveFailure, Solution, SolverError, SolverOptions};
+
+/// Fixed-step classical RK4.
+///
+/// Sampling times are hit exactly by shortening the final step of each
+/// interval; interior accuracy is governed solely by the configured step.
+///
+/// # Example
+///
+/// ```
+/// use paraspace_solvers::{FnSystem, OdeSolver, Rk4, SolverOptions};
+///
+/// # fn main() -> Result<(), paraspace_solvers::SolveFailure> {
+/// let sys = FnSystem::new(1, |_t, y, d| d[0] = -y[0]);
+/// let sol = Rk4::with_step(1e-3).solve(&sys, 0.0, &[1.0], &[1.0], &SolverOptions::default())?;
+/// assert!((sol.state_at(0)[0] - (-1.0f64).exp()).abs() < 1e-10);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rk4 {
+    step: f64,
+}
+
+impl Rk4 {
+    /// A solver with the given fixed step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is not positive and finite.
+    pub fn with_step(step: f64) -> Self {
+        assert!(step > 0.0 && step.is_finite(), "step must be positive and finite");
+        Rk4 { step }
+    }
+
+    /// The configured step size.
+    pub fn step(&self) -> f64 {
+        self.step
+    }
+}
+
+impl OdeSolver for Rk4 {
+    fn name(&self) -> &'static str {
+        "rk4"
+    }
+
+    fn solve(
+        &self,
+        system: &dyn OdeSystem,
+        t0: f64,
+        y0: &[f64],
+        sample_times: &[f64],
+        options: &SolverOptions,
+    ) -> Result<Solution, SolveFailure> {
+        let n = system.dim();
+        check_inputs(n, y0, t0, sample_times, options)?;
+        let mut sol = Solution::with_capacity(sample_times.len());
+        let mut t = t0;
+        let mut y = y0.to_vec();
+        let mut k1 = vec![0.0; n];
+        let mut k2 = vec![0.0; n];
+        let mut k3 = vec![0.0; n];
+        let mut k4 = vec![0.0; n];
+        let mut y_stage = vec![0.0; n];
+
+        for &ts in sample_times {
+            let mut steps_this_interval = 0usize;
+            while t < ts {
+                if steps_this_interval >= options.max_steps {
+                    return Err(SolveFailure {
+                        error: SolverError::MaxStepsExceeded { t, max_steps: options.max_steps },
+                        stats: sol.stats,
+                    });
+                }
+                let h = self.step.min(ts - t).min(options.max_step);
+                system.rhs(t, &y, &mut k1);
+                for i in 0..n {
+                    y_stage[i] = y[i] + 0.5 * h * k1[i];
+                }
+                system.rhs(t + 0.5 * h, &y_stage, &mut k2);
+                for i in 0..n {
+                    y_stage[i] = y[i] + 0.5 * h * k2[i];
+                }
+                system.rhs(t + 0.5 * h, &y_stage, &mut k3);
+                for i in 0..n {
+                    y_stage[i] = y[i] + h * k3[i];
+                }
+                system.rhs(t + h, &y_stage, &mut k4);
+                for i in 0..n {
+                    y[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+                }
+                if !y.iter().all(|v| v.is_finite()) {
+                    return Err(SolveFailure { error: SolverError::NonFiniteState { t }, stats: sol.stats });
+                }
+                t += h;
+                sol.stats.steps += 1;
+                sol.stats.accepted += 1;
+                sol.stats.rhs_evals += 4;
+                steps_this_interval += 1;
+            }
+            sol.times.push(ts);
+            sol.states.push(y.clone());
+        }
+        Ok(sol)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FnSystem;
+
+    #[test]
+    fn fourth_order_convergence() {
+        let sys = FnSystem::new(1, |_t, y, d| d[0] = y[0]);
+        let exact = 1.0f64.exp();
+        let opts = SolverOptions { max_steps: 1_000_000, ..SolverOptions::default() };
+        let err_h = |h: f64| {
+            let sol = Rk4::with_step(h).solve(&sys, 0.0, &[1.0], &[1.0], &opts).unwrap();
+            (sol.state_at(0)[0] - exact).abs()
+        };
+        let e1 = err_h(0.1);
+        let e2 = err_h(0.05);
+        let ratio = e1 / e2;
+        assert!((12.0..24.0).contains(&ratio), "expected ~16x error reduction, got {ratio}");
+    }
+
+    #[test]
+    fn hits_sample_times_exactly() {
+        let sys = FnSystem::new(1, |t, _y, d| d[0] = t);
+        let sol = Rk4::with_step(0.3)
+            .solve(&sys, 0.0, &[0.0], &[0.5, 1.0], &SolverOptions::default())
+            .unwrap();
+        assert!((sol.state_at(0)[0] - 0.125).abs() < 1e-12);
+        assert!((sol.state_at(1)[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exceeding_step_budget_reported() {
+        let sys = FnSystem::new(1, |_t, _y, d| d[0] = 0.0);
+        let opts = SolverOptions { max_steps: 10, ..SolverOptions::default() };
+        let err = Rk4::with_step(1e-6).solve(&sys, 0.0, &[0.0], &[1.0], &opts).unwrap_err();
+        assert!(matches!(err.error, SolverError::MaxStepsExceeded { .. }));
+    }
+
+    #[test]
+    fn divergence_reported_as_non_finite() {
+        let sys = FnSystem::new(1, |_t, y, d| d[0] = y[0] * y[0]);
+        let opts = SolverOptions { max_steps: 1_000_000, ..SolverOptions::default() };
+        let err = Rk4::with_step(0.05).solve(&sys, 0.0, &[3.0], &[10.0], &opts).unwrap_err();
+        assert!(matches!(err.error, SolverError::NonFiniteState { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "step must be positive")]
+    fn zero_step_rejected() {
+        let _ = Rk4::with_step(0.0);
+    }
+}

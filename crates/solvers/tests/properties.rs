@@ -1,0 +1,104 @@
+//! Property-based tests of the solver suite: accuracy against analytic
+//! solutions and cross-solver agreement over randomized problems.
+
+use paraspace_solvers::{
+    AdamsMoulton, Bdf, Dopri5, FnSystem, Lsoda, OdeSolver, Radau5, Rkf45, SolverOptions, Vode,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 20, .. ProptestConfig::default() })]
+
+    /// Every solver integrates linear decay to within a tolerance band.
+    #[test]
+    fn all_solvers_handle_linear_decay(k in 0.05f64..20.0, t_end in 0.2f64..4.0) {
+        let sys = FnSystem::new(1, move |_t, y: &[f64], d: &mut [f64]| d[0] = -k * y[0]);
+        let exact = (-k * t_end).exp();
+        let opts = SolverOptions { max_steps: 500_000, ..SolverOptions::default() };
+        let solvers: Vec<Box<dyn OdeSolver>> = vec![
+            Box::new(Dopri5::new()),
+            Box::new(Rkf45::new()),
+            Box::new(AdamsMoulton::new()),
+            Box::new(Radau5::new()),
+            Box::new(Bdf::new()),
+            Box::new(Lsoda::new()),
+            Box::new(Vode::new()),
+        ];
+        for s in &solvers {
+            let sol = s.solve(&sys, 0.0, &[1.0], &[t_end], &opts)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", s.name()));
+            let err = (sol.state_at(0)[0] - exact).abs();
+            prop_assert!(err < 1e-4 * exact.max(1e-4), "{}: err {err} at k={k} T={t_end}", s.name());
+        }
+    }
+
+    /// A two-species linear system with known eigen-decomposition: the
+    /// explicit and implicit flagships agree with the analytic solution.
+    #[test]
+    fn coupled_linear_system_matches_matrix_exponential(
+        a in 0.1f64..5.0, b in 0.1f64..5.0, t_end in 0.2f64..2.0
+    ) {
+        // y' = [[-a, b], [a, -b]] y has eigenvalues 0 and -(a+b):
+        // y(t) = equilibrium + transient·e^{-(a+b)t}, equilibrium ∝ (b, a).
+        let sys = FnSystem::new(2, move |_t, y: &[f64], d: &mut [f64]| {
+            d[0] = -a * y[0] + b * y[1];
+            d[1] = a * y[0] - b * y[1];
+        });
+        let y0 = [1.0, 0.0];
+        let total = y0[0] + y0[1];
+        let eq0 = total * b / (a + b);
+        let lam = a + b;
+        let exact0 = eq0 + (y0[0] - eq0) * (-lam * t_end).exp();
+        let opts = SolverOptions::default();
+        for s in [&Dopri5::new() as &dyn OdeSolver, &Radau5::new() as &dyn OdeSolver] {
+            let sol = s.solve(&sys, 0.0, &y0, &[t_end], &opts).expect("linear system");
+            prop_assert!(
+                (sol.state_at(0)[0] - exact0).abs() < 1e-5,
+                "{}: {} vs {exact0}", s.name(), sol.state_at(0)[0]
+            );
+            // Conservation: rows sum to zero ⇒ total is invariant.
+            let sum: f64 = sol.state_at(0).iter().sum();
+            prop_assert!((sum - total).abs() < 1e-7);
+        }
+    }
+
+    /// Sampling at many interior points returns exactly the requested
+    /// times, in order, for all solvers with dense output.
+    #[test]
+    fn sample_times_are_returned_verbatim(n_samples in 1usize..40) {
+        let sys = FnSystem::new(1, |_t, y: &[f64], d: &mut [f64]| d[0] = -y[0]);
+        let times: Vec<f64> = (1..=n_samples).map(|i| i as f64 * 0.1).collect();
+        let opts = SolverOptions::default();
+        for s in [
+            &Dopri5::new() as &dyn OdeSolver,
+            &Radau5::new(),
+            &Lsoda::new(),
+            &AdamsMoulton::new(),
+        ] {
+            let sol = s.solve(&sys, 0.0, &[1.0], &times, &opts).expect("decay");
+            prop_assert_eq!(&sol.times, &times, "{}", s.name());
+            // Monotone decay must be preserved by interpolation.
+            for w in sol.states.windows(2) {
+                prop_assert!(w[1][0] <= w[0][0] + 1e-9, "{} not monotone", s.name());
+            }
+        }
+    }
+
+    /// Tightening the relative tolerance never increases the error of the
+    /// adaptive flagships on a smooth problem.
+    #[test]
+    fn tolerance_monotonicity(k in 0.2f64..3.0) {
+        let sys = FnSystem::new(1, move |_t, y: &[f64], d: &mut [f64]| d[0] = -k * y[0]);
+        let exact = (-k * 2.0).exp();
+        let mut last_err = f64::INFINITY;
+        for rtol in [1e-3, 1e-6, 1e-9] {
+            let opts = SolverOptions { max_steps: 500_000, ..SolverOptions::with_tolerances(rtol, rtol * 1e-6) };
+            let sol = Dopri5::new().solve(&sys, 0.0, &[1.0], &[2.0], &opts).expect("decay");
+            let err = (sol.state_at(0)[0] - exact).abs();
+            // Allow a small grace factor: local-error control is not a
+            // strict global-error guarantee.
+            prop_assert!(err <= last_err * 10.0 + 1e-15, "err {err} vs prior {last_err} at rtol {rtol}");
+            last_err = err.max(1e-16);
+        }
+    }
+}

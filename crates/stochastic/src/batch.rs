@@ -1,0 +1,250 @@
+//! The coarse-grained stochastic batch engine (cuTauLeaping-class).
+//!
+//! Stochastic analyses need *ensembles*: hundreds or thousands of
+//! replicates of the same model. Exactly like the deterministic coarse
+//! engine, one virtual device thread runs one replicate; heterogeneous
+//! event counts across replicates become warp divergence. The batch
+//! returns ensemble statistics (per-species mean and variance at each
+//! sample time) plus the simulated device time.
+
+use crate::{StochasticSimulator, StochasticTrajectory};
+use paraspace_rbm::{RbmError, ReactionBasedModel};
+use paraspace_vgpu::{Device, DeviceConfig, KernelLaunch, MemorySpace, ThreadWork};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Ensemble statistics at the sampled time points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnsembleStats {
+    /// Sample times.
+    pub times: Vec<f64>,
+    /// `mean[t][s]`: mean copy number of species `s` at time index `t`.
+    pub mean: Vec<Vec<f64>>,
+    /// `variance[t][s]`: unbiased variance across replicates.
+    pub variance: Vec<Vec<f64>>,
+}
+
+/// Result of a stochastic batch run.
+#[derive(Debug)]
+pub struct StochasticBatchResult {
+    /// Per-replicate trajectories.
+    pub trajectories: Vec<StochasticTrajectory>,
+    /// Ensemble statistics.
+    pub stats: EnsembleStats,
+    /// Simulated device time (ns).
+    pub simulated_ns: f64,
+    /// Real host time.
+    pub host_wall: std::time::Duration,
+}
+
+/// The coarse-grained stochastic batch runner.
+///
+/// # Example
+///
+/// ```
+/// use paraspace_rbm::{Reaction, ReactionBasedModel};
+/// use paraspace_stochastic::{DirectMethod, StochasticBatch};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut m = ReactionBasedModel::new();
+/// let a = m.add_species("A", 200.0);
+/// m.add_reaction(Reaction::mass_action(&[(a, 1)], &[], 1.0))?;
+/// let batch = StochasticBatch::new(DirectMethod::new()).with_seed(3);
+/// let r = batch.run(&m, &[0.5], 64)?;
+/// // Ensemble mean tracks the ODE: 200·e^{-0.5} ≈ 121.
+/// assert!((r.stats.mean[0][0] - 121.3).abs() < 8.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct StochasticBatch<S> {
+    simulator: S,
+    device_config: DeviceConfig,
+    seed: u64,
+    threads_per_block: usize,
+}
+
+impl<S: StochasticSimulator> StochasticBatch<S> {
+    /// A batch runner on the published GPU.
+    pub fn new(simulator: S) -> Self {
+        StochasticBatch {
+            simulator,
+            device_config: DeviceConfig::titan_x(),
+            seed: 0,
+            threads_per_block: 32,
+        }
+    }
+
+    /// Sets the ensemble's base RNG seed (replicate `i` uses `seed + i`).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the device (builder style).
+    pub fn with_device(mut self, config: DeviceConfig) -> Self {
+        self.device_config = config;
+        self
+    }
+
+    /// Runs `replicates` realizations and aggregates them.
+    ///
+    /// # Errors
+    ///
+    /// Model-validation failures; an empty ensemble is rejected.
+    pub fn run(
+        &self,
+        model: &ReactionBasedModel,
+        times: &[f64],
+        replicates: usize,
+    ) -> Result<StochasticBatchResult, RbmError> {
+        if replicates == 0 {
+            return Err(RbmError::Parse {
+                context: "stochastic batch".into(),
+                message: "at least one replicate required".into(),
+            });
+        }
+        let start = std::time::Instant::now();
+        let device = Device::new(self.device_config.clone());
+
+        // Functional pass: run every replicate on the host.
+        let mut trajectories = Vec::with_capacity(replicates);
+        for i in 0..replicates {
+            let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(i as u64));
+            // Decorrelate nearby seeds.
+            let _ = rng.gen::<u64>();
+            trajectories.push(self.simulator.simulate(model, times, &mut rng)?);
+        }
+
+        // Device pass: one thread per replicate; per-thread work from the
+        // replicate's own event count (divergence across the warp).
+        let n = model.n_species();
+        let m = model.n_reactions();
+        let per_event_flops = (2 * m + n) as u64; // propensities + selection
+        let per_event_bytes = (m + n) as u64 * 8;
+        let mut work: Vec<ThreadWork> = trajectories
+            .iter()
+            .map(|tr| {
+                ThreadWork::new()
+                    .with_flops(tr.steps * per_event_flops)
+                    .with_read(MemorySpace::CachedGlobal, tr.steps * per_event_bytes)
+                    .with_global_write(times.len() as u64 * n as u64 * 8)
+            })
+            .collect();
+        let tpb = self.threads_per_block;
+        let blocks = replicates.div_ceil(tpb);
+        work.resize(blocks * tpb, ThreadWork::new());
+        device.launch(
+            &KernelLaunch::per_thread(
+                format!("integrate::{}", self.simulator.name()),
+                blocks,
+                tpb,
+                work,
+            )
+            .with_registers(48),
+        );
+
+        // Ensemble statistics.
+        let mut mean = vec![vec![0.0; n]; times.len()];
+        let mut variance = vec![vec![0.0; n]; times.len()];
+        for t in 0..times.len() {
+            for s in 0..n {
+                let vals: Vec<f64> =
+                    trajectories.iter().map(|tr| tr.states[t][s] as f64).collect();
+                let mu = vals.iter().sum::<f64>() / replicates as f64;
+                mean[t][s] = mu;
+                variance[t][s] = if replicates > 1 {
+                    vals.iter().map(|v| (v - mu).powi(2)).sum::<f64>() / (replicates - 1) as f64
+                } else {
+                    0.0
+                };
+            }
+        }
+        Ok(StochasticBatchResult {
+            trajectories,
+            stats: EnsembleStats { times: times.to_vec(), mean, variance },
+            simulated_ns: device.elapsed_ns(),
+            host_wall: start.elapsed(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DirectMethod, TauLeaping};
+    use paraspace_rbm::{Reaction, ReactionBasedModel};
+
+    fn decay(x0: f64) -> ReactionBasedModel {
+        let mut m = ReactionBasedModel::new();
+        let a = m.add_species("A", x0);
+        m.add_reaction(Reaction::mass_action(&[(a, 1)], &[], 1.0)).unwrap();
+        m
+    }
+
+    #[test]
+    fn ensemble_mean_and_variance_match_linear_theory() {
+        // First-order decay from x0: mean = x0·e^{-t}, variance =
+        // x0·e^{-t}(1−e^{-t}) (binomial survival).
+        let m = decay(1000.0);
+        let t = 0.6f64;
+        let r = StochasticBatch::new(DirectMethod::new()).with_seed(7).run(&m, &[t], 400).unwrap();
+        let p = (-t).exp();
+        let mean_exact = 1000.0 * p;
+        let var_exact = 1000.0 * p * (1.0 - p);
+        assert!((r.stats.mean[0][0] - mean_exact).abs() < 4.0, "mean {}", r.stats.mean[0][0]);
+        assert!(
+            (r.stats.variance[0][0] - var_exact).abs() < 60.0,
+            "variance {} vs {var_exact}",
+            r.stats.variance[0][0]
+        );
+    }
+
+    #[test]
+    fn replicates_differ_but_seeding_is_reproducible() {
+        let m = decay(100.0);
+        let batch = StochasticBatch::new(DirectMethod::new()).with_seed(1);
+        let a = batch.run(&m, &[0.5], 16).unwrap();
+        let b = batch.run(&m, &[0.5], 16).unwrap();
+        for (x, y) in a.trajectories.iter().zip(&b.trajectories) {
+            assert_eq!(x, y, "same seed ⇒ same ensemble");
+        }
+        let distinct: std::collections::HashSet<u64> =
+            a.trajectories.iter().map(|t| t.states[0][0]).collect();
+        assert!(distinct.len() > 3, "replicates must vary");
+    }
+
+    #[test]
+    fn device_time_reflects_event_counts() {
+        // Ten times the molecules ⇒ roughly ten times the SSA events ⇒
+        // more simulated device time.
+        let small = StochasticBatch::new(DirectMethod::new())
+            .with_seed(2)
+            .run(&decay(200.0), &[1.0], 32)
+            .unwrap();
+        let large = StochasticBatch::new(DirectMethod::new())
+            .with_seed(2)
+            .run(&decay(2000.0), &[1.0], 32)
+            .unwrap();
+        assert!(large.simulated_ns > small.simulated_ns);
+    }
+
+    #[test]
+    fn tau_leaping_batch_is_cheaper_on_device_than_ssa() {
+        let m = decay(100_000.0);
+        let ssa = StochasticBatch::new(DirectMethod::new()).with_seed(3).run(&m, &[0.5], 8).unwrap();
+        let tau = StochasticBatch::new(TauLeaping::new()).with_seed(3).run(&m, &[0.5], 8).unwrap();
+        assert!(
+            tau.simulated_ns * 5.0 < ssa.simulated_ns,
+            "tau {} vs ssa {}",
+            tau.simulated_ns,
+            ssa.simulated_ns
+        );
+    }
+
+    #[test]
+    fn zero_replicates_rejected() {
+        let m = decay(10.0);
+        assert!(StochasticBatch::new(DirectMethod::new()).run(&m, &[1.0], 0).is_err());
+    }
+}

@@ -1,0 +1,236 @@
+//! Stochastic propensities and the state-change table.
+//!
+//! For discrete molecule counts the mass-action propensity of a reaction
+//! uses falling factorials: `a = c·x` (first order), `a = c·x·y`
+//! (bimolecular, distinct species), `a = c·x·(x−1)/2` (dimerization),
+//! `a = c` (zeroth order) — the combinatorial counts of reactant tuples.
+
+use paraspace_rbm::ReactionBasedModel;
+
+/// The compiled stochastic view of a model: per-reaction reactant orders
+/// and net state changes, in flat arrays (the same shape the deterministic
+/// engines use, so a device kernel walks identical structures).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PropensityTable {
+    n_species: usize,
+    /// Per reaction: `(species, order)` reactant entries.
+    reactants: Vec<Vec<(usize, u32)>>,
+    /// Per reaction: `(species, net change)` entries.
+    net: Vec<Vec<(usize, i64)>>,
+    /// Stochastic rate constants.
+    rates: Vec<f64>,
+}
+
+impl PropensityTable {
+    /// Builds the table from a model. The deterministic rate constants are
+    /// used directly as stochastic constants (volume factors are the
+    /// modeler's responsibility, as in the original tools).
+    pub fn new(model: &ReactionBasedModel) -> Self {
+        let reactants: Vec<Vec<(usize, u32)>> =
+            model.reactions().iter().map(|r| r.reactants().to_vec()).collect();
+        let net = model
+            .reactions()
+            .iter()
+            .map(|r| {
+                let mut entries: Vec<(usize, i64)> = Vec::new();
+                for &(s, a) in r.reactants() {
+                    entries.push((s, -(a as i64)));
+                }
+                for &(s, b) in r.products() {
+                    match entries.iter_mut().find(|(sp, _)| *sp == s) {
+                        Some((_, c)) => *c += b as i64,
+                        None => entries.push((s, b as i64)),
+                    }
+                }
+                entries.retain(|&(_, c)| c != 0);
+                entries
+            })
+            .collect();
+        PropensityTable {
+            n_species: model.n_species(),
+            reactants,
+            net,
+            rates: model.rate_constants(),
+        }
+    }
+
+    /// Number of reactions.
+    pub fn n_reactions(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// Number of species.
+    pub fn n_species(&self) -> usize {
+        self.n_species
+    }
+
+    /// The propensity of reaction `r` at state `x`.
+    pub fn propensity(&self, r: usize, x: &[u64]) -> f64 {
+        let mut a = self.rates[r];
+        for &(s, order) in &self.reactants[r] {
+            let n = x[s];
+            match order {
+                1 => a *= n as f64,
+                2 => a *= n as f64 * n.saturating_sub(1) as f64 / 2.0,
+                o => {
+                    // General falling factorial / o! for higher orders.
+                    let mut c = 1.0;
+                    for k in 0..o as u64 {
+                        c *= n.saturating_sub(k) as f64;
+                    }
+                    let mut fact = 1.0;
+                    for k in 2..=o as u64 {
+                        fact *= k as f64;
+                    }
+                    a *= c / fact;
+                }
+            }
+        }
+        a
+    }
+
+    /// Writes all propensities into `out` and returns their sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != n_reactions`.
+    pub fn propensities_into(&self, x: &[u64], out: &mut [f64]) -> f64 {
+        assert_eq!(out.len(), self.n_reactions());
+        let mut total = 0.0;
+        for r in 0..self.n_reactions() {
+            let a = self.propensity(r, x);
+            out[r] = a;
+            total += a;
+        }
+        total
+    }
+
+    /// Applies one firing of reaction `r` to state `x`; returns `false`
+    /// (leaving `x` untouched) if any population would go negative.
+    pub fn fire(&self, r: usize, x: &mut [u64]) -> bool {
+        self.apply(r, 1, x)
+    }
+
+    /// Applies `count` firings of reaction `r` at once (tau-leaping);
+    /// returns `false` and leaves `x` untouched if that would drive a
+    /// population negative.
+    pub fn apply(&self, r: usize, count: u64, x: &mut [u64]) -> bool {
+        // Check first.
+        for &(s, c) in &self.net[r] {
+            if c < 0 {
+                let need = (-c) as u64 * count;
+                if x[s] < need {
+                    return false;
+                }
+            }
+        }
+        for &(s, c) in &self.net[r] {
+            if c < 0 {
+                x[s] -= (-c) as u64 * count;
+            } else {
+                x[s] += c as u64 * count;
+            }
+        }
+        true
+    }
+
+    /// Net change of species `s` per firing of reaction `r` (0 if
+    /// untouched).
+    pub fn net_change(&self, r: usize, s: usize) -> i64 {
+        self.net[r].iter().find(|&&(sp, _)| sp == s).map_or(0, |&(_, c)| c)
+    }
+
+    /// Whether reaction `r` consumes any molecules (sources never do).
+    pub fn consumes(&self, r: usize) -> bool {
+        self.net[r].iter().any(|&(_, c)| c < 0)
+    }
+}
+
+/// Convenience: propensity vector at a state.
+pub fn propensities(table: &PropensityTable, x: &[u64]) -> Vec<f64> {
+    let mut out = vec![0.0; table.n_reactions()];
+    table.propensities_into(x, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paraspace_rbm::{Reaction, ReactionBasedModel};
+
+    fn model() -> ReactionBasedModel {
+        let mut m = ReactionBasedModel::new();
+        let a = m.add_species("A", 10.0);
+        let b = m.add_species("B", 5.0);
+        let c = m.add_species("C", 0.0);
+        m.add_reaction(Reaction::mass_action(&[], &[(a, 1)], 3.0)).unwrap(); // source
+        m.add_reaction(Reaction::mass_action(&[(a, 1)], &[(b, 1)], 2.0)).unwrap();
+        m.add_reaction(Reaction::mass_action(&[(a, 1), (b, 1)], &[(c, 1)], 0.5)).unwrap();
+        m.add_reaction(Reaction::mass_action(&[(a, 2)], &[(c, 1)], 1.0)).unwrap(); // dimerization
+        m
+    }
+
+    #[test]
+    fn propensities_use_combinatorial_counts() {
+        let t = PropensityTable::new(&model());
+        let x = [10u64, 5, 0];
+        assert_eq!(t.propensity(0, &x), 3.0);
+        assert_eq!(t.propensity(1, &x), 20.0);
+        assert_eq!(t.propensity(2, &x), 0.5 * 10.0 * 5.0);
+        assert_eq!(t.propensity(3, &x), 10.0 * 9.0 / 2.0);
+    }
+
+    #[test]
+    fn zero_population_kills_propensity() {
+        let t = PropensityTable::new(&model());
+        let x = [0u64, 5, 0];
+        assert_eq!(t.propensity(1, &x), 0.0);
+        assert_eq!(t.propensity(2, &x), 0.0);
+        assert_eq!(t.propensity(3, &x), 0.0);
+        // Dimerization needs ≥ 2 molecules.
+        assert_eq!(t.propensity(3, &[1, 0, 0]), 0.0);
+    }
+
+    #[test]
+    fn firing_updates_counts() {
+        let t = PropensityTable::new(&model());
+        let mut x = [10u64, 5, 0];
+        assert!(t.fire(2, &mut x)); // A + B -> C
+        assert_eq!(x, [9, 4, 1]);
+        assert!(t.fire(3, &mut x)); // 2A -> C
+        assert_eq!(x, [7, 4, 2]);
+        assert!(t.fire(0, &mut x)); // source
+        assert_eq!(x, [8, 4, 2]);
+    }
+
+    #[test]
+    fn negative_populations_are_refused() {
+        let t = PropensityTable::new(&model());
+        let mut x = [1u64, 0, 0];
+        assert!(!t.apply(3, 1, &mut x), "dimerization needs two A");
+        assert_eq!(x, [1, 0, 0], "state untouched on refusal");
+        assert!(!t.apply(1, 2, &mut x), "two firings need two A");
+        assert!(t.apply(1, 1, &mut x));
+        assert_eq!(x, [0, 1, 0]);
+    }
+
+    #[test]
+    fn catalysts_cancel_in_net_change() {
+        let mut m = ReactionBasedModel::new();
+        let a = m.add_species("A", 5.0);
+        let e = m.add_species("E", 2.0);
+        m.add_reaction(Reaction::mass_action(&[(a, 1), (e, 1)], &[(e, 1)], 1.0)).unwrap();
+        let t = PropensityTable::new(&m);
+        assert_eq!(t.net_change(0, 0), -1);
+        assert_eq!(t.net_change(0, 1), 0, "catalyst must cancel");
+        // But the propensity still depends on E.
+        assert_eq!(t.propensity(0, &[5, 2]), 10.0);
+    }
+
+    #[test]
+    fn consumes_detects_sources() {
+        let t = PropensityTable::new(&model());
+        assert!(!t.consumes(0));
+        assert!(t.consumes(1));
+    }
+}

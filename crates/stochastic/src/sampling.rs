@@ -1,0 +1,118 @@
+//! Discrete random sampling for the leaping methods.
+
+use rand::Rng;
+
+/// Samples a Poisson(λ) variate.
+///
+/// Knuth's multiplication method for small means; for `λ ≥ 30` the PA
+/// normal-approximation with continuity correction (error negligible
+/// against tau-leaping's own O(τ²) bias, and what GPU implementations of
+/// tau-leaping typically ship).
+///
+/// # Panics
+///
+/// Panics if `lambda` is negative or non-finite.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let k = paraspace_stochastic::poisson(4.0, &mut rng);
+/// assert!(k < 50);
+/// ```
+pub fn poisson<R: Rng + ?Sized>(lambda: f64, rng: &mut R) -> u64 {
+    assert!(lambda >= 0.0 && lambda.is_finite(), "poisson mean must be finite and non-negative");
+    if lambda == 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        // Knuth: count multiplications until the product drops below e^-λ.
+        let limit = (-lambda).exp();
+        let mut product: f64 = rng.gen();
+        let mut count = 0u64;
+        while product > limit {
+            product *= rng.gen::<f64>();
+            count += 1;
+        }
+        count
+    } else {
+        // Normal approximation N(λ, λ) with continuity correction.
+        let z = standard_normal(rng);
+        let v = lambda + lambda.sqrt() * z + 0.5;
+        if v < 0.0 {
+            0
+        } else {
+            v.floor() as u64
+        }
+    }
+}
+
+/// A standard normal variate (Box–Muller).
+pub(crate) fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_stats(lambda: f64, n: usize, seed: u64) -> (f64, f64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let xs: Vec<f64> = (0..n).map(|_| poisson(lambda, &mut rng) as f64).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        (mean, var)
+    }
+
+    #[test]
+    fn small_lambda_mean_and_variance() {
+        let (mean, var) = sample_stats(3.0, 20_000, 1);
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 3.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn large_lambda_mean_and_variance() {
+        let (mean, var) = sample_stats(200.0, 20_000, 2);
+        assert!((mean - 200.0).abs() < 0.5, "mean {mean}");
+        assert!((var - 200.0).abs() < 8.0, "var {var}");
+    }
+
+    #[test]
+    fn zero_lambda_is_always_zero() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert_eq!(poisson(0.0, &mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn tiny_lambda_is_mostly_zero() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let zeros = (0..10_000).filter(|_| poisson(0.01, &mut rng) == 0).count();
+        // P(0) = e^{-0.01} ≈ 0.990.
+        assert!(zeros > 9_800, "zeros {zeros}");
+    }
+
+    #[test]
+    #[should_panic(expected = "poisson mean")]
+    fn negative_lambda_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = poisson(-1.0, &mut rng);
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let xs: Vec<f64> = (0..50_000).map(|_| standard_normal(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+}

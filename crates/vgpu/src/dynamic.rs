@@ -1,0 +1,155 @@
+//! Dynamic-parallelism (device-side child launch) overhead model.
+//!
+//! The fine+coarse engine launches child grids from every parent thread at
+//! every solver step. Published characterizations of dynamic parallelism
+//! (Wang & Yalamanchili, IISWC 2014 — the study the original paper cites)
+//! show that child-kernel launch time is flat up to a few hundred pending
+//! launches, grows noticeably past ~512, and degrades dramatically around
+//! ~2000; this model reproduces that curve, which is what makes
+//! 512-simulation batches optimal and >2048 counterproductive in the
+//! reproduction experiments.
+
+/// The dynamic-parallelism launch-overhead curve.
+///
+/// # Example
+///
+/// ```
+/// use paraspace_vgpu::DpModel;
+///
+/// let dp = DpModel::default();
+/// let cheap = dp.launch_overhead_factor(256);
+/// let knee = dp.launch_overhead_factor(1024);
+/// let blown = dp.launch_overhead_factor(4096);
+/// assert!(cheap <= knee && knee < blown);
+/// assert_eq!(cheap, 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DpModel {
+    /// Pending-launch count up to which overhead stays at the base value.
+    pub flat_until: usize,
+    /// Pending-launch count where severe degradation begins.
+    pub severe_at: usize,
+    /// Overhead multiplier reached at `severe_at` (linear ramp in between).
+    pub knee_factor: f64,
+    /// Quadratic growth rate beyond `severe_at`.
+    pub severe_exponent: f64,
+    /// Queue-dispatch cost per pending launch (ns): concurrent child
+    /// launches of one round serialize through the device's launch queue,
+    /// so a round with `p` parents costs `p × dispatch` on top of the base
+    /// latency — the term that makes >2048-parent rounds degrade.
+    pub dispatch_ns: f64,
+}
+
+impl Default for DpModel {
+    fn default() -> Self {
+        DpModel {
+            flat_until: 512,
+            severe_at: 2048,
+            knee_factor: 4.0,
+            severe_exponent: 2.0,
+            dispatch_ns: 30.0,
+        }
+    }
+}
+
+impl DpModel {
+    /// The overhead multiplier applied to the base child-launch cost when
+    /// `pending` launches are in flight.
+    pub fn launch_overhead_factor(&self, pending: usize) -> f64 {
+        if pending <= self.flat_until {
+            1.0
+        } else if pending <= self.severe_at {
+            let t = (pending - self.flat_until) as f64 / (self.severe_at - self.flat_until) as f64;
+            1.0 + t * (self.knee_factor - 1.0)
+        } else {
+            self.knee_factor * (pending as f64 / self.severe_at as f64).powf(self.severe_exponent)
+        }
+    }
+
+    /// Total wall-clock overhead (ns) for `rounds` sequential child-launch
+    /// rounds issued by `parents` concurrent parent threads, with a base
+    /// per-launch cost of `base_ns`.
+    ///
+    /// Launch rounds are sequential within a parent (one per solver step);
+    /// within a round, the `parents` concurrent launches serialize through
+    /// the pending queue (`parents × dispatch_ns`) and the whole round's
+    /// latency is inflated by the congestion factor.
+    pub fn total_overhead_ns(&self, parents: usize, rounds: u64, base_ns: f64) -> f64 {
+        if parents == 0 || rounds == 0 {
+            return 0.0;
+        }
+        let factor = self.launch_overhead_factor(parents);
+        rounds as f64 * factor * (base_ns + parents as f64 * self.dispatch_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_region_has_unit_factor() {
+        let dp = DpModel::default();
+        for p in [0, 1, 100, 512] {
+            assert_eq!(dp.launch_overhead_factor(p), 1.0, "pending={p}");
+        }
+    }
+
+    #[test]
+    fn knee_region_ramps_linearly() {
+        let dp = DpModel::default();
+        let mid = dp.launch_overhead_factor(1280); // halfway between 512 and 2048
+        assert!((mid - 2.5).abs() < 1e-12, "expected midpoint 2.5, got {mid}");
+        assert!((dp.launch_overhead_factor(2048) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn severe_region_grows_quadratically() {
+        let dp = DpModel::default();
+        let at_4096 = dp.launch_overhead_factor(4096);
+        assert!((at_4096 - 16.0).abs() < 1e-9, "4 × (2×)² = 16, got {at_4096}");
+        assert!(dp.launch_overhead_factor(8192) > 3.9 * at_4096);
+    }
+
+    #[test]
+    fn factor_is_monotone() {
+        let dp = DpModel::default();
+        let mut prev = 0.0;
+        for p in (0..10_000).step_by(64) {
+            let f = dp.launch_overhead_factor(p);
+            assert!(f >= prev, "non-monotone at pending={p}");
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn total_overhead_scales_with_rounds_and_dispatch() {
+        let dp = DpModel::default();
+        let a = dp.total_overhead_ns(128, 100, 1000.0);
+        let b = dp.total_overhead_ns(512, 100, 1000.0);
+        // Below the knee the congestion factor is flat; the dispatch term
+        // grows linearly with parents.
+        assert!((a - 100.0 * (1000.0 + 128.0 * 30.0)).abs() < 1e-9);
+        assert!((b - 100.0 * (1000.0 + 512.0 * 30.0)).abs() < 1e-9);
+        let c = dp.total_overhead_ns(512, 200, 1000.0);
+        assert_eq!(c, 2.0 * b);
+    }
+
+    #[test]
+    fn per_parent_overhead_degrades_past_saturation() {
+        // The published behaviour: amortized per-parent launch cost is flat
+        // up to ~2048 parents, then degrades.
+        let dp = DpModel::default();
+        let per_parent =
+            |p: usize| dp.total_overhead_ns(p, 1, 1600.0) / p as f64;
+        assert!(per_parent(512) < per_parent(256) * 1.5);
+        assert!(per_parent(4096) > 3.0 * per_parent(1024), "{} vs {}", per_parent(4096), per_parent(1024));
+    }
+
+    #[test]
+    fn zero_work_costs_nothing() {
+        let dp = DpModel::default();
+        assert_eq!(dp.total_overhead_ns(0, 10, 1000.0), 0.0);
+        assert_eq!(dp.total_overhead_ns(10, 0, 1000.0), 0.0);
+    }
+}

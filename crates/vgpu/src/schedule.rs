@@ -1,0 +1,351 @@
+//! The SM scheduler and timing model.
+//!
+//! Timing follows a documented analytic model — not cycle-by-cycle
+//! emulation, but one that preserves every effect the evaluation depends
+//! on:
+//!
+//! 1. **SIMT lockstep / divergence**: a warp's compute time is the *maximum*
+//!    flop count over its threads; heterogeneous batch members waste lanes.
+//! 2. **Occupancy**: resident blocks per SM are limited by threads, blocks,
+//!    registers and shared memory; few resident warps expose memory latency.
+//! 3. **Roofline**: an SM's time is `max(compute throughput term, exposed
+//!    memory latency term)`, and the whole launch is additionally floored
+//!    by DRAM bandwidth.
+//! 4. **Waves**: blocks beyond the resident capacity queue up in waves.
+
+use crate::{DeviceConfig, KernelLaunch, MemorySpace};
+
+/// Bytes one warp-level memory transaction serves per thread (coalesced
+/// access approximation: 32 threads × 8 B = one 256 B transaction).
+const BYTES_PER_REQUEST: f64 = 8.0;
+/// Cycles charged per block-level synchronization.
+const SYNC_CYCLES: f64 = 30.0;
+/// Maximum latency-hiding factor from warp oversubscription.
+const MAX_HIDING: f64 = 32.0;
+
+/// Occupancy achieved by a launch on one SM.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Occupancy {
+    /// Blocks resident simultaneously on one SM.
+    pub resident_blocks: usize,
+    /// Warps resident simultaneously on one SM.
+    pub resident_warps: usize,
+    /// Fraction of the SM's maximum warp residency.
+    pub fraction: f64,
+    /// Which resource bound (threads/blocks/registers/shared) bit first.
+    pub limiter: OccupancyLimiter,
+}
+
+/// The resource that limited occupancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OccupancyLimiter {
+    /// Thread capacity per SM.
+    Threads,
+    /// Block-slot capacity per SM.
+    Blocks,
+    /// Register file capacity.
+    Registers,
+    /// Shared-memory capacity.
+    SharedMemory,
+    /// The grid itself was too small to fill the SM.
+    GridSize,
+}
+
+impl Occupancy {
+    /// Computes the occupancy of `launch` on `config`.
+    pub fn compute(config: &DeviceConfig, launch: &KernelLaunch) -> Occupancy {
+        let tpb = launch.threads_per_block;
+        let by_threads = config.max_threads_per_sm / tpb.max(1);
+        let by_blocks = config.max_blocks_per_sm;
+        let regs_per_block = launch.registers_per_thread * tpb;
+        let by_registers =
+            config.registers_per_sm.checked_div(regs_per_block).unwrap_or(usize::MAX);
+        let by_shared = config
+            .shared_mem_per_sm
+            .checked_div(launch.shared_mem_per_block)
+            .unwrap_or(usize::MAX);
+        let mut resident = by_threads.min(by_blocks).min(by_registers).min(by_shared).max(1);
+        let mut limiter = if resident == by_threads {
+            OccupancyLimiter::Threads
+        } else if resident == by_blocks {
+            OccupancyLimiter::Blocks
+        } else if resident == by_registers {
+            OccupancyLimiter::Registers
+        } else {
+            OccupancyLimiter::SharedMemory
+        };
+        // A grid smaller than the residency limit cannot fill the SM.
+        let blocks_per_sm_avg = launch.blocks.div_ceil(config.sm_count);
+        if blocks_per_sm_avg < resident {
+            resident = blocks_per_sm_avg.max(1);
+            limiter = OccupancyLimiter::GridSize;
+        }
+        let warps_per_block = tpb.div_ceil(config.warp_size);
+        let resident_warps = resident * warps_per_block;
+        Occupancy {
+            resident_blocks: resident,
+            resident_warps,
+            fraction: resident_warps as f64 / config.max_warps_per_sm() as f64,
+            limiter,
+        }
+    }
+}
+
+/// Timing result of one kernel launch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaunchStats {
+    /// Simulated wall time of the launch in nanoseconds, including the host
+    /// launch overhead.
+    pub time_ns: f64,
+    /// The compute-throughput term (cycles on the critical SM).
+    pub compute_cycles: f64,
+    /// The exposed-memory-latency term (cycles on the critical SM).
+    pub memory_cycles: f64,
+    /// Time implied by DRAM bandwidth alone (ns).
+    pub dram_time_ns: f64,
+    /// Occupancy achieved.
+    pub occupancy: Occupancy,
+    /// Number of block waves on the busiest SM.
+    pub waves: usize,
+    /// Fraction of issued lanes doing useful work (1 − divergence waste).
+    pub lane_efficiency: f64,
+    /// Peak-flop utilization of the whole device over the launch.
+    pub utilization: f64,
+}
+
+/// Schedules a launch (ignoring dynamic-parallelism children; the
+/// [`crate::Device`] handles those) and returns its timing.
+pub fn schedule(config: &DeviceConfig, launch: &KernelLaunch) -> LaunchStats {
+    config.validate();
+    let occ = Occupancy::compute(config, launch);
+    let warp_size = config.warp_size;
+    let warps_per_block = launch.threads_per_block.div_ceil(warp_size);
+    let issue_width = config.warp_issue_width() as f64;
+    let hiding = (occ.resident_warps as f64 / issue_width).clamp(1.0, MAX_HIDING);
+
+    // Per-SM accumulation: blocks are distributed round-robin.
+    let mut sm_compute = vec![0.0f64; config.sm_count];
+    let mut sm_memory = vec![0.0f64; config.sm_count];
+    let mut useful_flops = 0u64;
+    let mut issued_flops = 0u64;
+
+    for block in 0..launch.blocks {
+        let sm = block % config.sm_count;
+        let mut block_compute = 0.0;
+        let mut block_memory = 0.0;
+        let mut block_syncs = 0u64;
+        for w in 0..warps_per_block {
+            let lane_lo = w * warp_size;
+            let lane_hi = ((w + 1) * warp_size).min(launch.threads_per_block);
+            let mut max_flops = 0u64;
+            let mut max_requests = 0.0f64;
+            for lane in lane_lo..lane_hi {
+                let tw = launch.thread_work(block, lane);
+                useful_flops += tw.flops;
+                max_flops = max_flops.max(tw.flops);
+                let mut stall = 0.0;
+                for space in MemorySpace::ALL {
+                    let bytes = tw.bytes_touched(space) as f64;
+                    if bytes > 0.0 {
+                        let requests = (bytes / BYTES_PER_REQUEST).ceil();
+                        stall += requests * config.latency_cycles(space);
+                    }
+                }
+                max_requests = max_requests.max(stall);
+                block_syncs = block_syncs.max(tw.syncs);
+            }
+            issued_flops += max_flops * (lane_hi - lane_lo) as u64;
+            // Warp compute time: lockstep over the slowest lane, sharing
+            // the SM's issue width with other resident warps.
+            block_compute += max_flops as f64 / issue_width;
+            // Exposed latency: stalls divided by the hiding factor.
+            block_memory += max_requests / hiding;
+        }
+        block_compute += block_syncs as f64 * SYNC_CYCLES;
+        sm_compute[sm] += block_compute;
+        sm_memory[sm] += block_memory;
+    }
+
+    // Critical SM (roofline max of the two terms per SM).
+    let mut worst_cycles = 0.0f64;
+    let mut worst_compute = 0.0f64;
+    let mut worst_memory = 0.0f64;
+    for sm in 0..config.sm_count {
+        let c = sm_compute[sm].max(sm_memory[sm]);
+        if c > worst_cycles {
+            worst_cycles = c;
+            worst_compute = sm_compute[sm];
+            worst_memory = sm_memory[sm];
+        }
+    }
+
+    let cycle_ns = 1.0 / config.clock_ghz;
+    let dram_time_ns = launch.total_dram_bytes() as f64 / config.global_bandwidth_gbs;
+    let exec_ns = (worst_cycles * cycle_ns).max(dram_time_ns);
+    let time_ns = exec_ns + config.kernel_launch_ns;
+
+    let waves = launch
+        .blocks
+        .div_ceil(config.sm_count)
+        .div_ceil(occ.resident_blocks.max(1));
+    let peak_flops_per_ns = config.sm_count as f64 * config.cores_per_sm as f64 * config.clock_ghz;
+    LaunchStats {
+        time_ns,
+        compute_cycles: worst_compute,
+        memory_cycles: worst_memory,
+        dram_time_ns,
+        occupancy: occ,
+        waves: waves.max(1),
+        lane_efficiency: if issued_flops == 0 {
+            1.0
+        } else {
+            useful_flops as f64 / issued_flops as f64
+        },
+        utilization: if time_ns > 0.0 {
+            (useful_flops as f64 / time_ns / peak_flops_per_ns).min(1.0)
+        } else {
+            0.0
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ThreadWork;
+
+    fn cfg() -> DeviceConfig {
+        DeviceConfig::titan_x()
+    }
+
+    #[test]
+    fn occupancy_limited_by_threads() {
+        let k = KernelLaunch::uniform("k", 1000, 1024, ThreadWork::new());
+        let occ = Occupancy::compute(&cfg(), &k);
+        assert_eq!(occ.resident_blocks, 2); // 2048 / 1024
+        assert_eq!(occ.limiter, OccupancyLimiter::Threads);
+        assert!((occ.fraction - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn occupancy_limited_by_registers() {
+        let k = KernelLaunch::uniform("k", 1000, 256, ThreadWork::new()).with_registers(255);
+        let occ = Occupancy::compute(&cfg(), &k);
+        assert_eq!(occ.limiter, OccupancyLimiter::Registers);
+        assert_eq!(occ.resident_blocks, 65_536 / (255 * 256));
+    }
+
+    #[test]
+    fn occupancy_limited_by_shared_memory() {
+        let k = KernelLaunch::uniform("k", 1000, 64, ThreadWork::new()).with_shared_mem(40 * 1024);
+        let occ = Occupancy::compute(&cfg(), &k);
+        assert_eq!(occ.limiter, OccupancyLimiter::SharedMemory);
+        assert_eq!(occ.resident_blocks, 2);
+    }
+
+    #[test]
+    fn small_grid_cannot_fill_device() {
+        let k = KernelLaunch::uniform("k", 4, 64, ThreadWork::new().with_flops(100));
+        let occ = Occupancy::compute(&cfg(), &k);
+        assert_eq!(occ.limiter, OccupancyLimiter::GridSize);
+        assert_eq!(occ.resident_blocks, 1);
+    }
+
+    #[test]
+    fn more_parallelism_is_faster_until_saturation() {
+        // Fixed total work spread across more threads must not be slower.
+        let total_flops: u64 = 1 << 22;
+        let time_for = |threads: usize| {
+            let per = total_flops / threads as u64;
+            let k = KernelLaunch::uniform("k", threads.div_ceil(128), 128.min(threads), ThreadWork::new().with_flops(per));
+            schedule(&cfg(), &k).time_ns
+        };
+        let t1 = time_for(128);
+        let t2 = time_for(1024);
+        let t3 = time_for(8192);
+        assert!(t2 < t1, "1024 threads ({t2}) must beat 128 ({t1})");
+        assert!(t3 <= t2 * 1.01, "8192 threads ({t3}) must not lose to 1024 ({t2})");
+    }
+
+    #[test]
+    fn divergence_costs_time_and_lane_efficiency() {
+        // One hot lane per warp vs uniform work: same max per warp, so the
+        // launch takes the same time, but lane efficiency collapses.
+        let uniform = KernelLaunch::uniform("u", 24, 32, ThreadWork::new().with_flops(1000));
+        let mut skewed_work = vec![ThreadWork::new(); 24 * 32];
+        for b in 0..24 {
+            skewed_work[b * 32] = ThreadWork::new().with_flops(1000);
+        }
+        let skewed = KernelLaunch::per_thread("s", 24, 32, skewed_work);
+        let su = schedule(&cfg(), &uniform);
+        let ss = schedule(&cfg(), &skewed);
+        assert!((su.time_ns - ss.time_ns).abs() / su.time_ns < 0.05, "SIMT lockstep: {} vs {}", su.time_ns, ss.time_ns);
+        assert!(su.lane_efficiency > 0.99);
+        assert!(ss.lane_efficiency < 0.05);
+    }
+
+    #[test]
+    fn low_occupancy_exposes_memory_latency() {
+        let mem_work = ThreadWork::new().with_global_read(256);
+        // Few warps: latency exposed. Many warps: hidden.
+        let sparse = KernelLaunch::uniform("sparse", 24, 32, mem_work);
+        let dense = KernelLaunch::uniform("dense", 24 * 64, 32, mem_work);
+        let s = schedule(&cfg(), &sparse);
+        let d = schedule(&cfg(), &dense);
+        // Per-thread cost must be far cheaper in the dense launch.
+        let per_sparse = s.time_ns / sparse.total_threads() as f64;
+        let per_dense = d.time_ns / dense.total_threads() as f64;
+        assert!(per_dense < per_sparse / 4.0, "{per_dense} vs {per_sparse}");
+    }
+
+    #[test]
+    fn constant_memory_is_cheaper_than_global() {
+        let global = KernelLaunch::uniform(
+            "g",
+            48,
+            128,
+            ThreadWork::new().with_read(MemorySpace::Global, 512),
+        );
+        let constant = KernelLaunch::uniform(
+            "c",
+            48,
+            128,
+            ThreadWork::new().with_read(MemorySpace::Constant, 512),
+        );
+        let tg = schedule(&cfg(), &global).time_ns;
+        let tc = schedule(&cfg(), &constant).time_ns;
+        assert!(tc < tg, "constant ({tc}) must beat global ({tg})");
+    }
+
+    #[test]
+    fn bandwidth_floors_large_transfers() {
+        // Huge streaming workload: time must be at least bytes / bandwidth.
+        let k = KernelLaunch::uniform("k", 4096, 256, ThreadWork::new().with_global_read(4096));
+        let s = schedule(&cfg(), &k);
+        assert!(s.dram_time_ns > 0.0);
+        assert!(s.time_ns >= s.dram_time_ns);
+    }
+
+    #[test]
+    fn waves_count_queued_blocks() {
+        let k = KernelLaunch::uniform("k", 24 * 32 * 3, 64, ThreadWork::new().with_flops(10));
+        let s = schedule(&cfg(), &k);
+        assert!(s.waves >= 2, "expected multiple waves, got {}", s.waves);
+    }
+
+    #[test]
+    fn sync_points_add_cost() {
+        let plain = KernelLaunch::uniform("p", 24, 128, ThreadWork::new().with_flops(100));
+        let synced =
+            KernelLaunch::uniform("s", 24, 128, ThreadWork::new().with_flops(100).with_syncs(50));
+        assert!(schedule(&cfg(), &synced).time_ns > schedule(&cfg(), &plain).time_ns);
+    }
+
+    #[test]
+    fn utilization_bounded_by_one() {
+        let k = KernelLaunch::uniform("k", 24 * 16, 256, ThreadWork::new().with_flops(100_000));
+        let s = schedule(&cfg(), &k);
+        assert!(s.utilization > 0.3, "big uniform launch should utilize well: {}", s.utilization);
+        assert!(s.utilization <= 1.0);
+    }
+}

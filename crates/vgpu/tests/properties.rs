@@ -1,0 +1,90 @@
+//! Property-based tests of the virtual-GPU cost model: the monotonicity and
+//! invariance properties every sane hardware model must satisfy.
+
+use paraspace_vgpu::{Device, DeviceConfig, DpModel, KernelLaunch, MemorySpace, ThreadWork};
+use proptest::prelude::*;
+
+fn schedule_ns(blocks: usize, tpb: usize, work: ThreadWork) -> f64 {
+    let device = Device::new(DeviceConfig::titan_x());
+    device.launch(&KernelLaunch::uniform("k", blocks, tpb, work)).time_ns
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
+
+    /// More per-thread work never makes a launch faster.
+    #[test]
+    fn time_is_monotone_in_flops(
+        blocks in 1usize..256, tpb in 1usize..256, flops in 1u64..1_000_000, extra in 1u64..1_000_000
+    ) {
+        let t1 = schedule_ns(blocks, tpb, ThreadWork::new().with_flops(flops));
+        let t2 = schedule_ns(blocks, tpb, ThreadWork::new().with_flops(flops + extra));
+        prop_assert!(t2 >= t1, "{t2} < {t1}");
+    }
+
+    /// More memory traffic never makes a launch faster, in any space.
+    #[test]
+    fn time_is_monotone_in_bytes(
+        blocks in 1usize..128, tpb in 1usize..128, bytes in 1u64..100_000, which in 0usize..4
+    ) {
+        let space = MemorySpace::ALL[which];
+        let t1 = schedule_ns(blocks, tpb, ThreadWork::new().with_read(space, bytes));
+        let t2 = schedule_ns(blocks, tpb, ThreadWork::new().with_read(space, bytes * 2));
+        prop_assert!(t2 >= t1, "{space}: {t2} < {t1}");
+    }
+
+    /// Cheaper memory spaces never cost more than more distant ones for the
+    /// same traffic.
+    #[test]
+    fn memory_hierarchy_ordering(blocks in 1usize..128, tpb in 1usize..128, bytes in 64u64..50_000) {
+        let t = |space| schedule_ns(blocks, tpb, ThreadWork::new().with_read(space, bytes));
+        prop_assert!(t(MemorySpace::Register) <= t(MemorySpace::Constant) + 1e-9);
+        prop_assert!(t(MemorySpace::Constant) <= t(MemorySpace::Shared) + 1e-9);
+        prop_assert!(t(MemorySpace::Shared) <= t(MemorySpace::CachedGlobal) + 1e-9);
+        prop_assert!(t(MemorySpace::CachedGlobal) <= t(MemorySpace::Global) + 1e-9);
+    }
+
+    /// SIMT lockstep: a warp is exactly as slow as its slowest lane, so
+    /// zeroing every other lane's work changes nothing.
+    #[test]
+    fn lockstep_invariance(blocks in 1usize..32, flops in 100u64..100_000) {
+        let device = Device::new(DeviceConfig::titan_x());
+        let uniform = KernelLaunch::uniform("u", blocks, 32, ThreadWork::new().with_flops(flops));
+        let mut skewed_work = vec![ThreadWork::new(); blocks * 32];
+        for b in 0..blocks {
+            for lane in (0..32).step_by(2) {
+                skewed_work[b * 32 + lane] = ThreadWork::new().with_flops(flops);
+            }
+        }
+        let skewed = KernelLaunch::per_thread("s", blocks, 32, skewed_work);
+        let tu = device.launch(&uniform).time_ns;
+        let ts = device.launch(&skewed).time_ns;
+        prop_assert!((tu - ts).abs() <= 1e-6 * tu.max(1.0), "{tu} vs {ts}");
+    }
+
+    /// The DP congestion factor is monotone in the pending count.
+    #[test]
+    fn dp_factor_monotone(a in 0usize..20_000, b in 0usize..20_000) {
+        let dp = DpModel::default();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(dp.launch_overhead_factor(lo) <= dp.launch_overhead_factor(hi) + 1e-12);
+    }
+
+    /// Timeline totals equal the sum of entry durations.
+    #[test]
+    fn timeline_is_consistent(n_launches in 1usize..10, flops in 1u64..10_000) {
+        let device = Device::new(DeviceConfig::titan_x());
+        let mut sum = 0.0;
+        for i in 0..n_launches {
+            let stats = device.launch(&KernelLaunch::uniform(
+                format!("k{i}"),
+                4,
+                64,
+                ThreadWork::new().with_flops(flops),
+            ));
+            sum += stats.time_ns;
+        }
+        prop_assert!((device.elapsed_ns() - sum).abs() < 1e-6 * sum.max(1.0));
+        prop_assert_eq!(device.timeline().entries().len(), n_launches);
+    }
+}

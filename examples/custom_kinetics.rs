@@ -1,0 +1,46 @@
+//! Arbitrary rate laws: define a model with free-form flux expressions
+//! (the "general-purpose kinetics" extension), get exact symbolic
+//! Jacobians, and integrate it with the stiff solver.
+//!
+//! ```bash
+//! cargo run --release --example custom_kinetics
+//! ```
+
+use paraspace_core::CustomOdeSystem;
+use paraspace_rbm::custom::CustomModel;
+use paraspace_rbm::expr::RateExpr;
+use paraspace_solvers::{OdeSolver, Radau5, SolverOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A substrate-inhibited enzyme (Haldane kinetics) feeding a product
+    // that decays — a rate law no mass-action stoichiometry can express:
+    //     v(S) = vmax·S / (km + S + S²/ki)
+    let mut model = CustomModel::new(&["vmax", "km", "ki", "kdeg"], &[5.0, 0.4, 1.5, 0.3]);
+    let s = model.add_species("S", 4.0);
+    let p = model.add_species("P", 0.0);
+    model.add_reaction("vmax * X0 / (km + X0 + X0^2 / ki)", &[(s, -1.0), (p, 1.0)])?;
+    model.add_reaction("kdeg * X1", &[(p, -1.0)])?;
+
+    // Show the machinery: the parsed flux and its exact derivative.
+    let flux = RateExpr::parse(
+        "vmax * X0 / (km + X0 + X0^2 / ki)",
+        &["vmax", "km", "ki", "kdeg"],
+    )?;
+    println!("flux:        {flux}");
+    println!("d(flux)/dS:  {}", flux.derivative(0));
+
+    let odes = model.compile()?;
+    let sys = CustomOdeSystem::new(&odes);
+    let times: Vec<f64> = (1..=16).map(|i| i as f64 * 0.75).collect();
+    let sol = Radau5::new().solve(&sys, 0.0, &model.initial_state(), &times, &SolverOptions::default())?;
+
+    println!("\n{:>6} {:>10} {:>10}  (substrate inhibition: v peaks at S = √(km·ki) ≈ 0.77)", "t", "S", "P");
+    for (t, state) in sol.times.iter().zip(&sol.states) {
+        println!("{t:>6.2} {:>10.4} {:>10.4}", state[0], state[1]);
+    }
+    println!(
+        "\nintegrated with {} steps, {} analytic Jacobians, {} LU factorizations",
+        sol.stats.steps, sol.stats.jacobian_evals, sol.stats.lu_decompositions
+    );
+    Ok(())
+}

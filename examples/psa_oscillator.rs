@@ -1,0 +1,67 @@
+//! Parameter sweep analysis of the autophagy/translation analogue: map
+//! the (AMPK*₀, P9) plane to oscillation amplitude and compare with the
+//! analytic Hopf boundary.
+//!
+//! ```bash
+//! cargo run --release --example psa_oscillator
+//! ```
+
+use paraspace_analysis::oscillation;
+use paraspace_analysis::psa::{Axis, Psa2d};
+use paraspace_core::FineCoarseEngine;
+use paraspace_models::autophagy;
+use paraspace_rbm::Parameterization;
+use paraspace_solvers::SolverOptions;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Reduced-scale network (same 2-parameter oscillator core).
+    let scale = 0.05;
+    let model = autophagy::scaled_model(1e3, 1e-7, scale);
+    println!("model: {} species, {} reactions", model.n_species(), model.n_reactions());
+
+    let sweep = Psa2d::new(
+        Axis::linear("AMPK*0", 0.0, 1e4, 6),
+        Axis::logarithmic("P9", 1e-9, 1e-6, 6),
+    )
+    .options(SolverOptions { max_steps: 100_000, ..SolverOptions::default() });
+
+    let times: Vec<f64> = (1..=120).map(|i| 20.0 + i as f64 * 0.5).collect();
+    let engine = FineCoarseEngine::new();
+    let readout = model.species_by_name(autophagy::AMBRA_SPECIES)?.index();
+
+    let result = sweep.run(
+        &model,
+        |ampk0, p9| {
+            let m = autophagy::scaled_model(ampk0, p9, scale);
+            Parameterization::new()
+                .with_initial_state(m.initial_state())
+                .with_rate_constants(m.rate_constants())
+        },
+        times,
+        &engine,
+        |sol| oscillation::amplitude(&sol.component(readout)),
+    )?;
+
+    println!("\noscillation amplitude over the sweep plane ('.' = quiescent):");
+    for (i, row) in result.values.iter().enumerate() {
+        let ampk0 = result.axis1.values()[i];
+        let cells: String = row
+            .iter()
+            .zip(result.axis2.values())
+            .map(|(&amp, &p9)| {
+                let mark = if amp > 1e-2 { 'O' } else { '.' };
+                let predicted = autophagy::oscillates(ampk0, p9);
+                // Uppercase where the analytic Hopf criterion agrees.
+                if predicted == (amp > 1e-2) {
+                    mark
+                } else {
+                    '?'
+                }
+            })
+            .collect();
+        println!("  AMPK*0 = {ampk0:8.0}  {cells}");
+    }
+    println!("\n('O' oscillating, '.' quiescent, '?' disagrees with the analytic boundary)");
+    println!("{} simulations, {:.1} ms simulated engine time", result.simulations, result.simulated_ns / 1e6);
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! Stochastic ensembles vs the deterministic engine: run an SSA and a
+//! tau-leaping ensemble of a gene-expression burst model and compare the
+//! ensemble mean with the ODE trajectory.
+//!
+//! ```bash
+//! cargo run --release --example stochastic_ensemble
+//! ```
+
+use paraspace_core::{CpuEngine, CpuSolverKind, SimulationJob, Simulator};
+use paraspace_rbm::{Reaction, ReactionBasedModel};
+use paraspace_stochastic::{DirectMethod, StochasticBatch, TauLeaping};
+
+fn gene_expression() -> Result<ReactionBasedModel, Box<dyn std::error::Error>> {
+    // ∅ →(k_tx) mRNA →(k_tl, catalytic) protein; both degrade.
+    let mut m = ReactionBasedModel::new();
+    let mrna = m.add_species("mRNA", 0.0);
+    let prot = m.add_species("protein", 0.0);
+    m.add_reaction(Reaction::mass_action(&[], &[(mrna, 1)], 40.0))?;
+    m.add_reaction(Reaction::mass_action(&[(mrna, 1)], &[], 2.0))?;
+    m.add_reaction(Reaction::mass_action(&[(mrna, 1)], &[(mrna, 1), (prot, 1)], 10.0))?;
+    m.add_reaction(Reaction::mass_action(&[(prot, 1)], &[], 1.0))?;
+    Ok(m)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = gene_expression()?;
+    let times: Vec<f64> = (1..=8).map(|i| i as f64 * 0.5).collect();
+
+    // Deterministic reference.
+    let job = SimulationJob::builder(&model).time_points(times.clone()).replicate(1).build()?;
+    let ode = CpuEngine::new(CpuSolverKind::Lsoda).run(&job)?;
+    let ode_sol = ode.outcomes[0].solution.as_ref().map_err(|e| e.to_string())?;
+
+    // Stochastic ensembles.
+    let replicates = 256;
+    let ssa = StochasticBatch::new(DirectMethod::new()).with_seed(42).run(&model, &times, replicates)?;
+    let tau = StochasticBatch::new(TauLeaping::new()).with_seed(42).run(&model, &times, replicates)?;
+
+    println!("gene-expression model, {replicates} replicates per ensemble\n");
+    println!(
+        "{:>5} {:>12} {:>12} {:>12} {:>14}",
+        "t", "ODE protein", "SSA mean", "tau mean", "SSA Fano(prot)"
+    );
+    for (i, &t) in times.iter().enumerate() {
+        let fano = ssa.stats.variance[i][1] / ssa.stats.mean[i][1].max(1e-12);
+        println!(
+            "{t:>5.1} {:>12.1} {:>12.1} {:>12.1} {:>14.2}",
+            ode_sol.state_at(i)[1],
+            ssa.stats.mean[i][1],
+            tau.stats.mean[i][1],
+            fano
+        );
+    }
+    println!(
+        "\nsimulated device time: SSA ensemble {:.2} ms, tau-leaping ensemble {:.2} ms",
+        ssa.simulated_ns / 1e6,
+        tau.simulated_ns / 1e6
+    );
+    println!("(the Fano factor > 1 shows translational noise amplification — invisible to the ODE)");
+    Ok(())
+}

@@ -1,0 +1,91 @@
+//! Cross-crate validation: the stochastic engines against deterministic
+//! trajectories and analytic noise theory.
+
+use paraspace::engine::{CpuEngine, CpuSolverKind, SimulationJob, Simulator};
+use paraspace::rbm::{Reaction, ReactionBasedModel};
+use paraspace::stochastic::{DirectMethod, StochasticBatch, TauLeaping};
+
+fn gene_expression(k_tx: f64, g_m: f64, k_tl: f64, g_p: f64) -> ReactionBasedModel {
+    let mut m = ReactionBasedModel::new();
+    let mrna = m.add_species("mRNA", 0.0);
+    let prot = m.add_species("protein", 0.0);
+    m.add_reaction(Reaction::mass_action(&[], &[(mrna, 1)], k_tx)).expect("valid");
+    m.add_reaction(Reaction::mass_action(&[(mrna, 1)], &[], g_m)).expect("valid");
+    m.add_reaction(Reaction::mass_action(&[(mrna, 1)], &[(mrna, 1), (prot, 1)], k_tl))
+        .expect("valid");
+    m.add_reaction(Reaction::mass_action(&[(prot, 1)], &[], g_p)).expect("valid");
+    m
+}
+
+/// For linear networks the SSA ensemble mean must follow the ODE solution
+/// (first-moment equation is closed).
+#[test]
+fn ssa_ensemble_mean_tracks_ode() {
+    let model = gene_expression(40.0, 2.0, 10.0, 1.0);
+    let times = vec![1.0, 2.0, 4.0];
+    let job = SimulationJob::builder(&model).time_points(times.clone()).replicate(1).build().unwrap();
+    let ode = CpuEngine::new(CpuSolverKind::Lsoda).run(&job).unwrap();
+    let ode_sol = ode.outcomes[0].solution.as_ref().unwrap();
+
+    let ens = StochasticBatch::new(DirectMethod::new())
+        .with_seed(9)
+        .run(&model, &times, 300)
+        .unwrap();
+    for (i, _) in times.iter().enumerate() {
+        for s in 0..2 {
+            let ode_v = ode_sol.state_at(i)[s];
+            let mean = ens.stats.mean[i][s];
+            // 3-sigma-ish band for 300 replicates.
+            let tol = 4.0 * (ens.stats.variance[i][s] / 300.0).sqrt() + 0.5;
+            assert!(
+                (mean - ode_v).abs() < tol,
+                "species {s} at t index {i}: ensemble {mean} vs ODE {ode_v} (tol {tol})"
+            );
+        }
+    }
+}
+
+/// The steady-state protein Fano factor of the two-stage gene-expression
+/// model is 1 + k_tl/(γ_m + γ_p) — a classic analytic noise result the
+/// deterministic engine cannot see.
+#[test]
+fn protein_fano_factor_matches_theory() {
+    let (k_tx, g_m, k_tl, g_p) = (40.0, 2.0, 10.0, 1.0);
+    let model = gene_expression(k_tx, g_m, k_tl, g_p);
+    let ens = StochasticBatch::new(DirectMethod::new())
+        .with_seed(31)
+        .run(&model, &[8.0], 600)
+        .unwrap();
+    let fano = ens.stats.variance[0][1] / ens.stats.mean[0][1];
+    let theory = 1.0 + k_tl / (g_m + g_p);
+    assert!(
+        (fano - theory).abs() < 0.9,
+        "Fano {fano:.2} vs theory {theory:.2}"
+    );
+    // And the mRNA itself is Poisson: Fano ≈ 1.
+    let fano_m = ens.stats.variance[0][0] / ens.stats.mean[0][0];
+    assert!((fano_m - 1.0).abs() < 0.35, "mRNA Fano {fano_m:.2}");
+}
+
+/// Tau-leaping reproduces the SSA ensemble mean on a large-population
+/// model at a fraction of the event count.
+#[test]
+fn tau_leaping_matches_ssa_cheaply() {
+    let mut m = ReactionBasedModel::new();
+    let a = m.add_species("A", 50_000.0);
+    let b = m.add_species("B", 0.0);
+    m.add_reaction(Reaction::mass_action(&[(a, 1)], &[(b, 1)], 1.5)).expect("valid");
+    m.add_reaction(Reaction::mass_action(&[(b, 1)], &[(a, 1)], 0.5)).expect("valid");
+
+    let ssa = StochasticBatch::new(DirectMethod::new()).with_seed(5).run(&m, &[1.0], 8).unwrap();
+    let tau = StochasticBatch::new(TauLeaping::new()).with_seed(5).run(&m, &[1.0], 8).unwrap();
+    let rel = (ssa.stats.mean[0][0] - tau.stats.mean[0][0]).abs() / ssa.stats.mean[0][0];
+    // ε = 0.03 leaping tolerates O(ε) bias; 8 replicates add sampling noise.
+    assert!(rel < 0.03, "means differ by {rel:.3}");
+    let ssa_steps: u64 = ssa.trajectories.iter().map(|t| t.steps).sum();
+    let tau_steps: u64 = tau.trajectories.iter().map(|t| t.steps).sum();
+    assert!(
+        tau_steps * 20 < ssa_steps,
+        "tau {tau_steps} steps vs ssa {ssa_steps}"
+    );
+}
