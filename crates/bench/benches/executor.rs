@@ -1,0 +1,145 @@
+//! Host-parallel executor throughput sweep: workers × batch size.
+//!
+//! Measures the real host wall time of the fine+coarse engine's batch
+//! numerics at 1/2/4 workers over several batch sizes, and writes the
+//! machine-readable sweep to `results/BENCH_executor.json` (relative to the
+//! workspace root). `host_cpus` records what the machine actually offers —
+//! on a single-core runner the >1-worker rows measure oversubscription, not
+//! speedup, and the JSON says so.
+//!
+//! Determinism is asserted here too: every configuration must reproduce the
+//! sequential run's simulated-time totals exactly, so the sweep doubles as
+//! an end-to-end check that thread count is performance-only.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paraspace_core::{FineCoarseEngine, SimulationJob, Simulator};
+use paraspace_rbm::{perturbed_batch, sbgen::SbGen};
+use paraspace_solvers::SolverOptions;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::Path;
+use std::time::Instant;
+
+const WORKERS: [usize; 3] = [1, 2, 4];
+
+struct Row {
+    batch: usize,
+    threads: usize,
+    reps: usize,
+    mean_wall_ns: f64,
+    best_wall_ns: f64,
+    sims_per_sec_best: f64,
+}
+
+fn sweep(c: &mut Criterion) {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let (batches, reps): (Vec<usize>, usize) =
+        if test_mode { (vec![8], 1) } else { (vec![32, 128, 512], 5) };
+
+    let mut rng = StdRng::seed_from_u64(0xE0);
+    let model = SbGen::new(16, 16).generate(&mut rng);
+    let opts = SolverOptions { max_steps: 100_000, ..SolverOptions::default() };
+
+    let mut rows: Vec<Row> = Vec::new();
+    for &batch in &batches {
+        let params = perturbed_batch(&model, batch, &mut rng);
+        let job = SimulationJob::builder(&model)
+            .time_points(vec![0.5, 1.0])
+            .parameterizations(params)
+            .options(opts.clone())
+            .build()
+            .expect("job");
+        let reference = FineCoarseEngine::new().run(&job).expect("reference run");
+
+        for &threads in &WORKERS {
+            let engine = FineCoarseEngine::new().with_threads(threads);
+            // Warm-up, which also verifies thread count is performance-only.
+            let warm = engine.run(&job).expect("warm-up run");
+            assert_eq!(
+                warm.timing.simulated_total_ns, reference.timing.simulated_total_ns,
+                "simulated time must not depend on thread count"
+            );
+            let mut total = 0.0f64;
+            let mut best = f64::INFINITY;
+            for _ in 0..reps {
+                let t0 = Instant::now();
+                let r = engine.run(&job).expect("timed run");
+                let ns = t0.elapsed().as_nanos() as f64;
+                assert_eq!(r.outcomes.len(), batch);
+                total += ns;
+                best = best.min(ns);
+            }
+            rows.push(Row {
+                batch,
+                threads,
+                reps,
+                mean_wall_ns: total / reps as f64,
+                best_wall_ns: best,
+                sims_per_sec_best: batch as f64 / (best / 1e9),
+            });
+        }
+    }
+
+    if !test_mode {
+        write_json(&rows);
+    }
+
+    // Surface one representative batch size through the criterion reporter.
+    let mid = batches[batches.len() / 2];
+    let params = perturbed_batch(&model, mid, &mut rng);
+    let job = SimulationJob::builder(&model)
+        .time_points(vec![0.5, 1.0])
+        .parameterizations(params)
+        .options(opts)
+        .build()
+        .expect("job");
+    let mut group = c.benchmark_group(format!("executor_fine_coarse_batch{mid}"));
+    for threads in WORKERS {
+        let engine = FineCoarseEngine::new().with_threads(threads);
+        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, _| {
+            b.iter(|| engine.run(&job).expect("run"))
+        });
+    }
+    group.finish();
+}
+
+fn write_json(rows: &[Row]) {
+    let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut body = String::from("{\n");
+    body.push_str("  \"bench\": \"executor\",\n");
+    body.push_str("  \"engine\": \"fine-coarse\",\n");
+    body.push_str("  \"model\": {\"species\": 16, \"reactions\": 16, \"time_points\": 2},\n");
+    body.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
+    body.push_str(
+        "  \"note\": \"wall time of the host-side batch numerics; with host_cpus=1 the \
+         multi-worker rows measure oversubscription overhead, not speedup\",\n",
+    );
+    body.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"batch\": {}, \"threads\": {}, \"reps\": {}, \"mean_wall_ns\": {:.0}, \
+             \"best_wall_ns\": {:.0}, \"sims_per_sec_best\": {:.1}}}{}\n",
+            r.batch,
+            r.threads,
+            r.reps,
+            r.mean_wall_ns,
+            r.best_wall_ns,
+            r.sims_per_sec_best,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    body.push_str("  ]\n}\n");
+
+    let out_dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    std::fs::create_dir_all(&out_dir).expect("create results dir");
+    let out = out_dir.join("BENCH_executor.json");
+    std::fs::write(&out, body).expect("write BENCH_executor.json");
+    println!("wrote {}", out.display());
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = sweep
+}
+criterion_main!(benches);

@@ -40,6 +40,8 @@ pub enum Command {
         rtol: f64,
         /// Absolute tolerance.
         atol: f64,
+        /// Host worker threads (1 = sequential, 0 = all cores).
+        threads: usize,
     },
     /// Convert between formats.
     Convert {
@@ -108,13 +110,16 @@ paraspace-cli — accelerated analysis of biological parameter spaces
 
 USAGE:
   paraspace-cli simulate <model_dir> [--engine NAME] [--out DIR] [--batch N]
-                           [--rtol X] [--atol X]
+                           [--rtol X] [--atol X] [--threads N]
   paraspace-cli convert <from> <to>          (BioSimWare dir ↔ .xml)
   paraspace-cli generate --species N --reactions M [--seed S] <out_dir>
   paraspace-cli recommend --species N --reactions M --sims S
   paraspace-cli help
 
-ENGINES: fine-coarse (default) | coarse | fine | lsoda | vode";
+ENGINES: fine-coarse (default) | coarse | fine | lsoda | vode
+
+--threads runs the batch numerics on N host workers (default 1; 0 = one per
+core). Results are bitwise identical at any thread count.";
 
 fn parse_flag<T: std::str::FromStr>(
     args: &[String],
@@ -145,6 +150,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let mut batch = 1usize;
             let mut rtol = 1e-6;
             let mut atol = 1e-12;
+            let mut threads = 1usize;
             let mut i = 1;
             while i < args.len() {
                 match args[i].as_str() {
@@ -153,6 +159,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     "--batch" => batch = parse_flag(args, &mut i, "--batch")?,
                     "--rtol" => rtol = parse_flag(args, &mut i, "--rtol")?,
                     "--atol" => atol = parse_flag(args, &mut i, "--atol")?,
+                    "--threads" => threads = parse_flag(args, &mut i, "--threads")?,
                     other if !other.starts_with("--") && model_dir.is_none() => {
                         model_dir = Some(PathBuf::from(other));
                     }
@@ -167,6 +174,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 batch,
                 rtol,
                 atol,
+                threads,
             })
         }
         "convert" => {
@@ -224,13 +232,13 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
     }
 }
 
-fn engine_by_name(name: &str) -> Result<Box<dyn Simulator>, CliError> {
+fn engine_by_name(name: &str, threads: usize) -> Result<Box<dyn Simulator>, CliError> {
     Ok(match name {
-        "fine-coarse" => Box::new(FineCoarseEngine::new()),
-        "coarse" => Box::new(CoarseEngine::new()),
-        "fine" => Box::new(FineEngine::new()),
-        "lsoda" => Box::new(CpuEngine::new(CpuSolverKind::Lsoda)),
-        "vode" => Box::new(CpuEngine::new(CpuSolverKind::Vode)),
+        "fine-coarse" => Box::new(FineCoarseEngine::new().with_threads(threads)),
+        "coarse" => Box::new(CoarseEngine::new().with_threads(threads)),
+        "fine" => Box::new(FineEngine::new().with_threads(threads)),
+        "lsoda" => Box::new(CpuEngine::new(CpuSolverKind::Lsoda).with_threads(threads)),
+        "vode" => Box::new(CpuEngine::new(CpuSolverKind::Vode).with_threads(threads)),
         other => return Err(CliError(format!("unknown engine {other:?}"))),
     })
 }
@@ -287,7 +295,7 @@ pub fn execute(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), CliErr
             }
             Ok(())
         }
-        Command::Simulate { model_dir, engine, out_dir, batch, rtol, atol } => {
+        Command::Simulate { model_dir, engine, out_dir, batch, rtol, atol, threads } => {
             let model = biosimware::read_dir(model_dir)?;
             let time_points = biosimware::read_time_points(model_dir)
                 .unwrap_or_else(|_| vec![1.0, 2.0, 5.0, 10.0]);
@@ -306,7 +314,7 @@ pub fn execute(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), CliErr
                     ..SolverOptions::default()
                 })
                 .build()?;
-            let engine = engine_by_name(engine)?;
+            let engine = engine_by_name(engine, *threads)?;
             let result = engine.run(&job)?;
 
             let out_path = out_dir.clone().unwrap_or_else(|| model_dir.join("out"));
@@ -358,15 +366,16 @@ mod tests {
 
     #[test]
     fn parse_simulate_defaults_and_flags() {
-        let cmd = parse(&argv("simulate /tmp/model --engine lsoda --batch 8 --rtol 1e-4")).unwrap();
+        let cmd = parse(&argv("simulate /tmp/model --engine lsoda --batch 8 --rtol 1e-4 --threads 4")).unwrap();
         match cmd {
-            Command::Simulate { model_dir, engine, batch, rtol, atol, out_dir } => {
+            Command::Simulate { model_dir, engine, batch, rtol, atol, out_dir, threads } => {
                 assert_eq!(model_dir, PathBuf::from("/tmp/model"));
                 assert_eq!(engine, "lsoda");
                 assert_eq!(batch, 8);
                 assert_eq!(rtol, 1e-4);
                 assert_eq!(atol, 1e-12);
                 assert_eq!(out_dir, None);
+                assert_eq!(threads, 4);
             }
             other => panic!("wrong parse: {other:?}"),
         }
@@ -415,6 +424,7 @@ mod tests {
                 batch: 4,
                 rtol: 1e-6,
                 atol: 1e-12,
+                threads: 2,
             },
             &mut log,
         )
@@ -454,7 +464,7 @@ mod tests {
 
     #[test]
     fn unknown_engine_is_reported() {
-        let err = match engine_by_name("quantum") {
+        let err = match engine_by_name("quantum", 1) {
             Err(e) => e,
             Ok(_) => panic!("unknown engine must be rejected"),
         };

@@ -35,15 +35,29 @@ use crate::{
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct AutoEngine {
-    _private: (),
+    threads: usize,
+}
+
+impl Default for AutoEngine {
+    fn default() -> Self {
+        AutoEngine::new()
+    }
 }
 
 impl AutoEngine {
     /// Creates the auto-selecting engine with default sub-engines.
     pub fn new() -> Self {
-        AutoEngine { _private: () }
+        AutoEngine { threads: 1 }
+    }
+
+    /// Sets the host worker-thread count forwarded to whichever engine the
+    /// job dispatches to (builder style): `1` is sequential, `0` means one
+    /// worker per available core.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 
     /// The engine kind this job would dispatch to.
@@ -59,10 +73,12 @@ impl Simulator for AutoEngine {
 
     fn run(&self, job: &SimulationJob) -> Result<BatchResult, SimError> {
         match self.selection(job) {
-            EngineKind::Cpu => CpuEngine::new(CpuSolverKind::Lsoda).run(job),
-            EngineKind::Coarse => CoarseEngine::new().run(job),
-            EngineKind::Fine => FineEngine::new().run(job),
-            EngineKind::FineCoarse => FineCoarseEngine::new().run(job),
+            EngineKind::Cpu => {
+                CpuEngine::new(CpuSolverKind::Lsoda).with_threads(self.threads).run(job)
+            }
+            EngineKind::Coarse => CoarseEngine::new().with_threads(self.threads).run(job),
+            EngineKind::Fine => FineEngine::new().with_threads(self.threads).run(job),
+            EngineKind::FineCoarse => FineCoarseEngine::new().with_threads(self.threads).run(job),
         }
     }
 }

@@ -10,10 +10,11 @@
 //! disappears from the large-model cells.
 
 use crate::engines::{
-    outcome_and_stats, output_bytes, solve_member, BatchResult, BatchTiming, SimOutcome,
+    outcome_and_stats, output_bytes, solve_members, BatchResult, BatchTiming, SimOutcome,
     Simulator, IO_BYTES_PER_NS,
 };
 use crate::{SimError, SimulationJob, WorkEstimate};
+use paraspace_exec::Executor;
 use paraspace_solvers::{Lsoda, OdeSolver};
 use paraspace_vgpu::{Device, DeviceConfig, KernelLaunch, MemorySpace, ThreadWork};
 use std::time::Instant;
@@ -49,6 +50,7 @@ pub struct CoarseEngine {
     threads_per_block: usize,
     /// When `false`, forces all traffic to global memory (ablation A4).
     use_memory_hierarchy: bool,
+    executor: Executor,
 }
 
 impl Default for CoarseEngine {
@@ -64,7 +66,16 @@ impl CoarseEngine {
             device_config: DeviceConfig::titan_x(),
             threads_per_block: 32,
             use_memory_hierarchy: true,
+            executor: Executor::sequential(),
         }
+    }
+
+    /// Sets the host worker-thread count used to run the batch numerics
+    /// (builder style): `1` is the sequential path, `0` means one worker
+    /// per available core. The result is bitwise identical at any setting.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.executor = Executor::new(threads);
+        self
     }
 
     /// Overrides the device (builder style).
@@ -118,8 +129,12 @@ impl Simulator for CoarseEngine {
 
         let mut outcomes = Vec::with_capacity(batch);
         let mut thread_work = Vec::with_capacity(batch);
-        for i in 0..batch {
-            let (solution, stats) = outcome_and_stats(solve_member(job, i, &solver));
+        // Solves run on the worker pool; the per-member memory placement and
+        // work accounting below folds in member order on this thread.
+        let members: Vec<usize> = (0..batch).collect();
+        let results = solve_members(&self.executor, job, &solver, &members);
+        for result in results {
+            let (solution, stats) = outcome_and_stats(result);
             let work = WorkEstimate::from_stats(job.odes(), &stats, job.time_points().len());
             // The state vector's share of state traffic can live in shared
             // memory; Nordsieck history and scratch stay global.

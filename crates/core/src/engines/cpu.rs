@@ -1,7 +1,8 @@
 //! The sequential CPU baselines (LSODA / VODE).
 
-use crate::engines::{outcome_and_stats, output_bytes, solve_member, BatchResult, BatchTiming, SimOutcome, Simulator, IO_BYTES_PER_NS};
+use crate::engines::{outcome_and_stats, output_bytes, solve_members, BatchResult, BatchTiming, SimOutcome, Simulator, IO_BYTES_PER_NS};
 use crate::{CpuCostModel, SimError, SimulationJob, WorkEstimate};
+use paraspace_exec::Executor;
 use paraspace_solvers::{Lsoda, OdeSolver, Vode};
 use std::time::Instant;
 
@@ -38,12 +39,23 @@ pub enum CpuSolverKind {
 pub struct CpuEngine {
     kind: CpuSolverKind,
     cost_model: CpuCostModel,
+    executor: Executor,
 }
 
 impl CpuEngine {
     /// An engine with the published workstation's cost model.
     pub fn new(kind: CpuSolverKind) -> Self {
-        CpuEngine { kind, cost_model: CpuCostModel::default() }
+        CpuEngine { kind, cost_model: CpuCostModel::default(), executor: Executor::sequential() }
+    }
+
+    /// Sets the host worker-thread count used to run the batch numerics
+    /// (builder style): `1` is the sequential path, `0` means one worker
+    /// per available core. The result is bitwise identical at any setting.
+    /// (The *modeled* CPU stays single-core — this only accelerates the
+    /// host-side reproduction of its numerics.)
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.executor = Executor::new(threads);
+        self
     }
 
     /// Overrides the CPU cost model (builder style).
@@ -77,8 +89,11 @@ impl Simulator for CpuEngine {
 
         let mut outcomes = Vec::with_capacity(job.batch_size());
         let mut work = WorkEstimate::default();
-        for i in 0..job.batch_size() {
-            let (solution, stats) = outcome_and_stats(solve_member(job, i, solver));
+        // Solves run on the worker pool; the f64 work accumulation folds in
+        // member order on this thread, keeping totals bitwise stable.
+        let members: Vec<usize> = (0..job.batch_size()).collect();
+        for result in solve_members(&self.executor, job, solver, &members) {
+            let (solution, stats) = outcome_and_stats(result);
             work.absorb(&WorkEstimate::from_stats(job.odes(), &stats, job.time_points().len()));
             outcomes.push(SimOutcome { solution, stiff: false, rerouted: false, solver: solver.name() });
         }

@@ -10,12 +10,15 @@
 //! the comparison maps assign to it.
 
 use crate::engines::{
-    outcome_and_stats, output_bytes, solve_member, BatchResult, BatchTiming, SimOutcome,
+    outcome_and_stats, output_bytes, solve_member_pooled, BatchResult, BatchTiming, SimOutcome,
     Simulator, IO_BYTES_PER_NS,
 };
 use crate::{SimError, SimulationJob, WorkEstimate};
-use paraspace_solvers::{Bdf, OdeSolver, Rkf45, SolverError};
-use paraspace_vgpu::{Device, DeviceConfig, KernelLaunch, MemorySpace, ThreadWork};
+use paraspace_exec::Executor;
+use paraspace_solvers::{Bdf, OdeSolver, Rkf45, SolverError, SolverScratch};
+use paraspace_vgpu::{
+    Device, DeviceConfig, DpModel, KernelLaunch, MemorySpace, ThreadWork, TimelineShard,
+};
 use std::time::Instant;
 
 /// Host-launched kernels per solver step (stage evaluations + reduction).
@@ -44,6 +47,7 @@ const PCIE_BYTES_PER_NS: f64 = 8.0;
 #[derive(Debug, Clone)]
 pub struct FineEngine {
     device_config: DeviceConfig,
+    executor: Executor,
 }
 
 impl Default for FineEngine {
@@ -55,7 +59,17 @@ impl Default for FineEngine {
 impl FineEngine {
     /// An engine on the published GPU.
     pub fn new() -> Self {
-        FineEngine { device_config: DeviceConfig::titan_x() }
+        FineEngine { device_config: DeviceConfig::titan_x(), executor: Executor::sequential() }
+    }
+
+    /// Sets the host worker-thread count used to run the batch numerics
+    /// (builder style): `1` is the sequential path, `0` means one worker
+    /// per available core. The result is bitwise identical at any setting
+    /// (the *modeled* device still serializes simulations — that is the
+    /// published weakness this engine exists to exhibit).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.executor = Executor::new(threads);
+        self
     }
 
     /// Overrides the device (builder style).
@@ -81,12 +95,17 @@ impl Simulator for FineEngine {
         let h2d = (job.odes().n_terms() as u64 * 12 + m as u64 * 8) + (n + m) as u64 * 8;
         device.record_host_phase("io::h2d", h2d as f64 * job.batch_size() as f64 / PCIE_BYTES_PER_NS);
 
-        let mut outcomes = Vec::with_capacity(job.batch_size());
-        for i in 0..job.batch_size() {
+        // Each worker solves its simulations and prices them into a private
+        // per-member timeline shard; the device absorbs the shards in
+        // simulation-index order, reproducing the sequential timeline (and
+        // its serialize-everything weakness) bitwise at any thread count.
+        let dp = DpModel::default();
+        let results = self.executor.map_with(job.batch_size(), SolverScratch::new, |scratch, i| {
             // Non-stiff attempt first; switch to BDF1 on a stiffness-shaped
             // failure (the published switching pair).
             let mut solver_used: &'static str = rkf.name();
-            let (mut solution, mut stats) = outcome_and_stats(solve_member(job, i, &rkf));
+            let (mut solution, mut stats) =
+                outcome_and_stats(solve_member_pooled(job, i, &rkf, scratch));
             if let Err(e) = &solution {
                 if matches!(
                     e,
@@ -97,7 +116,8 @@ impl Simulator for FineEngine {
                     // The failed non-stiff attempt's work is still billed,
                     // then the stiff solver re-runs the member.
                     solver_used = "bdf1";
-                    let (retry, retry_stats) = outcome_and_stats(solve_member(job, i, &bdf1));
+                    let (retry, retry_stats) =
+                        outcome_and_stats(solve_member_pooled(job, i, &bdf1, scratch));
                     solution = retry;
                     stats.absorb(&retry_stats);
                 }
@@ -116,18 +136,27 @@ impl Simulator for FineEngine {
                     ((work.state_bytes + work.structure_bytes) / threads_total).max(1),
                 )
                 .with_global_write((work.output_bytes / threads_total).max(1));
-            device.launch(
+            let mut shard = TimelineShard::new();
+            shard.launch(
+                &self.device_config,
+                &dp,
                 &KernelLaunch::uniform(format!("integrate::fine_sim{i}"), blocks, tpb, per_thread)
                     .with_registers(48),
             );
             // Host-side launch latency for every remaining kernel of every
             // step (the single launch above already charged one).
             let launches = (stats.steps as u64 * KERNELS_PER_STEP).saturating_sub(1);
-            device.record_host_phase(
+            shard.record_host_phase(
                 "integrate::step_launches",
                 launches as f64 * self.device_config.kernel_launch_ns,
             );
 
+            (solution, solver_used, shard)
+        });
+
+        let mut outcomes = Vec::with_capacity(job.batch_size());
+        for (solution, solver_used, shard) in results {
+            device.absorb_shard(shard);
             outcomes.push(SimOutcome { solution, stiff: false, rerouted: false, solver: solver_used });
         }
 

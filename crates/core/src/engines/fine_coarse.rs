@@ -20,10 +20,11 @@
 //! useful batch sizes near 2048.
 
 use crate::engines::{
-    outcome_and_stats, output_bytes, solve_member, BatchResult, BatchTiming, SimOutcome,
+    outcome_and_stats, output_bytes, solve_members, BatchResult, BatchTiming, SimOutcome,
     Simulator, IO_BYTES_PER_NS,
 };
 use crate::{classify_batch_with_threshold, SimError, SimulationJob, WorkEstimate};
+use paraspace_exec::Executor;
 use paraspace_solvers::{Dopri5, OdeSolver, Radau5, SolverError, StepStats};
 use paraspace_vgpu::{ChildLaunch, Device, DeviceConfig, DpModel, KernelLaunch, MemorySpace, ThreadWork};
 use std::time::Instant;
@@ -59,6 +60,7 @@ pub struct FineCoarseEngine {
     dp_model: DpModel,
     threads_per_block: usize,
     stiffness_threshold: f64,
+    executor: Executor,
 }
 
 impl Default for FineCoarseEngine {
@@ -75,7 +77,16 @@ impl FineCoarseEngine {
             dp_model: DpModel::default(),
             threads_per_block: 32,
             stiffness_threshold: crate::STIFFNESS_THRESHOLD,
+            executor: Executor::sequential(),
         }
+    }
+
+    /// Sets the host worker-thread count used to run the batch numerics
+    /// (builder style): `1` is the sequential path, `0` means one worker
+    /// per available core. The result is bitwise identical at any setting.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.executor = Executor::new(threads);
+        self
     }
 
     /// Overrides the phase-P2 stiffness threshold (builder style; swept by
@@ -121,10 +132,16 @@ impl FineCoarseEngine {
         let mut total_rounds: u64 = 0;
         let mut total_steps_max: u64 = 0;
 
-        for &i in members {
+        // Workers solve members into index-ordered slots; everything below
+        // the solve — timeline accounting, work accumulation, re-route
+        // decisions — folds on this thread in member order, so the batch
+        // result is bitwise identical at any thread count.
+        let results = solve_members(&self.executor, job, solver, members);
+        for (idx, result) in results.into_iter().enumerate() {
+            let i = members[idx];
             // Failed members are billed for the work they actually did
             // before failing (SolveFailure carries the partial counters).
-            let (solution, stats) = outcome_and_stats(solve_member(job, i, solver));
+            let (solution, stats) = outcome_and_stats(result);
             let rounds = launch_rounds(&stats);
             total_rounds += rounds;
             total_steps_max = total_steps_max.max(stats.steps as u64);

@@ -13,7 +13,8 @@ pub use fine::FineEngine;
 pub use fine_coarse::FineCoarseEngine;
 
 use crate::{SimError, SimulationJob};
-use paraspace_solvers::{SolveFailure, Solution, SolverError, StepStats};
+use paraspace_exec::Executor;
+use paraspace_solvers::{SolveFailure, Solution, SolverError, SolverScratch, StepStats};
 use std::time::Duration;
 
 /// Host-side I/O throughput used to price output serialization (bytes/ns);
@@ -103,15 +104,37 @@ impl BatchResult {
     }
 }
 
-/// Runs `solver` on member `i` of `job` (shared by all engines).
-pub(crate) fn solve_member(
+/// Runs `solver` on member `i` of `job`, drawing working storage from a
+/// worker-owned scratch pool (shared by all engines).
+pub(crate) fn solve_member_pooled(
     job: &SimulationJob,
     i: usize,
     solver: &dyn paraspace_solvers::OdeSolver,
+    scratch: &mut SolverScratch,
 ) -> Result<Solution, SolveFailure> {
     let (x0, k) = job.member(i);
     let sys = crate::RbmOdeSystem::new(job.odes(), k.to_vec());
-    solver.solve(&sys, 0.0, x0, job.time_points(), job.options())
+    solver.solve_pooled(&sys, 0.0, x0, job.time_points(), job.options(), scratch)
+}
+
+/// Solves `members` of `job` on the executor's worker pool and returns the
+/// per-member results **in `members` order**.
+///
+/// Each worker owns one [`SolverScratch`], so steady-state integration
+/// allocates nothing per step regardless of how members are distributed.
+/// Workers do nothing but the numerics: every order-sensitive reduction
+/// (timeline accounting, f64 accumulation) stays with the caller, which
+/// folds this vector in index order — making the batch result bitwise
+/// identical at any thread count.
+pub(crate) fn solve_members(
+    executor: &Executor,
+    job: &SimulationJob,
+    solver: &dyn paraspace_solvers::OdeSolver,
+    members: &[usize],
+) -> Vec<Result<Solution, SolveFailure>> {
+    executor.map_with(members.len(), SolverScratch::new, |scratch, idx| {
+        solve_member_pooled(job, members[idx], solver, scratch)
+    })
 }
 
 /// Splits a member result into the caller-facing outcome and the work the

@@ -1,0 +1,154 @@
+//! Bitwise-determinism guarantees of the host-parallel executor path.
+//!
+//! Every engine must produce the **identical** batch result at any worker
+//! count: exact f64 trajectories, exact step statistics, exact simulated
+//! timelines. The reference is the default (sequential) engine; 2- and
+//! 4-worker runs are compared field by field with `==`, never with
+//! tolerances — a single reordered f64 accumulation or a worker-order leak
+//! into the timeline fails these tests.
+
+use paraspace_core::{
+    AutoEngine, BatchResult, CoarseEngine, CpuEngine, CpuSolverKind, FineCoarseEngine, FineEngine,
+    SimulationJob, Simulator,
+};
+use paraspace_rbm::{perturbed_batch, Parameterization, Reaction, ReactionBasedModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn reversible_model() -> ReactionBasedModel {
+    let mut m = ReactionBasedModel::new();
+    let a = m.add_species("A", 1.0);
+    let b = m.add_species("B", 0.0);
+    m.add_reaction(Reaction::mass_action(&[(a, 1)], &[(b, 1)], 1.5)).unwrap();
+    m.add_reaction(Reaction::mass_action(&[(b, 1)], &[(a, 1)], 0.5)).unwrap();
+    m
+}
+
+/// A batch that exercises every path: perturbed non-stiff members, one
+/// strongly stiff member (P2 → RADAU5 in fine-coarse, BDF1 retry in fine),
+/// and enough members that 4 workers all get work.
+fn mixed_job(m: &ReactionBasedModel) -> SimulationJob<'_> {
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut params = perturbed_batch(m, 11, &mut rng);
+    params.push(Parameterization::new().with_rate_constants(vec![2e5, 2e5]));
+    SimulationJob::builder(m)
+        .time_points(vec![0.25, 0.5, 1.0, 2.0])
+        .parameterizations(params)
+        .build()
+        .unwrap()
+}
+
+/// Asserts two batch results are identical in every observable except host
+/// wall time (which measures this process, not the modeled run).
+fn assert_identical(reference: &BatchResult, parallel: &BatchResult, label: &str) {
+    assert_eq!(reference.engine, parallel.engine, "{label}: engine name");
+    assert_eq!(reference.outcomes.len(), parallel.outcomes.len(), "{label}: batch size");
+    for (i, (r, p)) in reference.outcomes.iter().zip(&parallel.outcomes).enumerate() {
+        assert_eq!(r.stiff, p.stiff, "{label}: member {i} stiffness class");
+        assert_eq!(r.rerouted, p.rerouted, "{label}: member {i} reroute flag");
+        assert_eq!(r.solver, p.solver, "{label}: member {i} solver");
+        match (&r.solution, &p.solution) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(a.times, b.times, "{label}: member {i} sample times");
+                assert_eq!(a.states, b.states, "{label}: member {i} trajectory must be bitwise identical");
+                assert_eq!(a.stats, b.stats, "{label}: member {i} step statistics");
+            }
+            (Err(a), Err(b)) => {
+                assert_eq!(a.to_string(), b.to_string(), "{label}: member {i} failure");
+            }
+            _ => panic!("{label}: member {i} succeeded in one run and failed in the other"),
+        }
+    }
+    assert_eq!(
+        reference.timing.simulated_total_ns, parallel.timing.simulated_total_ns,
+        "{label}: simulated total"
+    );
+    assert_eq!(
+        reference.timing.simulated_integration_ns, parallel.timing.simulated_integration_ns,
+        "{label}: simulated integration time"
+    );
+    assert_eq!(
+        reference.timing.simulated_io_ns, parallel.timing.simulated_io_ns,
+        "{label}: simulated I/O time"
+    );
+}
+
+#[test]
+fn fine_coarse_engine_is_bitwise_deterministic_across_thread_counts() {
+    let m = reversible_model();
+    let job = mixed_job(&m);
+    let reference = FineCoarseEngine::new().run(&job).unwrap();
+    assert!(reference.outcomes.iter().any(|o| o.stiff), "batch must exercise the stiff path");
+    for threads in [1, 2, 4] {
+        let parallel = FineCoarseEngine::new().with_threads(threads).run(&job).unwrap();
+        assert_identical(&reference, &parallel, &format!("fine-coarse, {threads} threads"));
+    }
+}
+
+#[test]
+fn coarse_engine_is_bitwise_deterministic_across_thread_counts() {
+    let m = reversible_model();
+    let job = mixed_job(&m);
+    let reference = CoarseEngine::new().run(&job).unwrap();
+    for threads in [1, 2, 4] {
+        let parallel = CoarseEngine::new().with_threads(threads).run(&job).unwrap();
+        assert_identical(&reference, &parallel, &format!("coarse, {threads} threads"));
+    }
+}
+
+#[test]
+fn fine_engine_is_bitwise_deterministic_across_thread_counts() {
+    let m = reversible_model();
+    let job = mixed_job(&m);
+    let reference = FineEngine::new().run(&job).unwrap();
+    assert!(
+        reference.outcomes.iter().any(|o| o.solver == "bdf1"),
+        "batch must exercise the BDF1 retry path"
+    );
+    for threads in [1, 2, 4] {
+        let parallel = FineEngine::new().with_threads(threads).run(&job).unwrap();
+        assert_identical(&reference, &parallel, &format!("fine, {threads} threads"));
+    }
+}
+
+#[test]
+fn cpu_engines_are_bitwise_deterministic_across_thread_counts() {
+    let m = reversible_model();
+    let job = mixed_job(&m);
+    for kind in [CpuSolverKind::Lsoda, CpuSolverKind::Vode] {
+        let reference = CpuEngine::new(kind).run(&job).unwrap();
+        for threads in [1, 2, 4] {
+            let parallel = CpuEngine::new(kind).with_threads(threads).run(&job).unwrap();
+            assert_identical(&reference, &parallel, &format!("cpu {kind:?}, {threads} threads"));
+        }
+    }
+}
+
+#[test]
+fn auto_engine_forwards_threads_deterministically() {
+    let m = reversible_model();
+    // Large enough to dispatch to a GPU engine.
+    let mut rng = StdRng::seed_from_u64(7);
+    let job = SimulationJob::builder(&m)
+        .time_points(vec![0.5, 1.0])
+        .parameterizations(perturbed_batch(&m, 300, &mut rng))
+        .build()
+        .unwrap();
+    let reference = AutoEngine::new().run(&job).unwrap();
+    let parallel = AutoEngine::new().with_threads(4).run(&job).unwrap();
+    assert_identical(&reference, &parallel, "auto, 4 threads");
+}
+
+#[test]
+fn repeated_parallel_runs_are_self_consistent() {
+    // Dynamic self-scheduling means different claim orders run to run; the
+    // observable result must still never vary.
+    let m = reversible_model();
+    let job = mixed_job(&m);
+    let engine = FineCoarseEngine::new().with_threads(4);
+    let first = engine.run(&job).unwrap();
+    for _ in 0..3 {
+        let again = engine.run(&job).unwrap();
+        assert_identical(&first, &again, "fine-coarse, repeated 4-thread runs");
+    }
+}

@@ -26,7 +26,11 @@ use crate::{CMatrix, Complex64, LinalgError, Matrix};
 #[derive(Debug, Clone)]
 pub struct LuFactor {
     lu: Matrix,
-    perm: Vec<usize>,
+    /// Pivot rows as a swap sequence (LAPACK `ipiv` style): at step `k` row
+    /// `k` was exchanged with row `pivots[k]`. Stored this way so the
+    /// permutation applies to a right-hand side in place, without a scratch
+    /// vector.
+    pivots: Vec<usize>,
     sign: f64,
 }
 
@@ -42,7 +46,7 @@ impl LuFactor {
             return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
         }
         let n = a.rows();
-        let mut perm: Vec<usize> = (0..n).collect();
+        let mut pivots: Vec<usize> = Vec::with_capacity(n);
         let mut sign = 1.0;
         for k in 0..n {
             // Partial pivoting: pick the largest |a[i][k]| for i >= k.
@@ -58,6 +62,7 @@ impl LuFactor {
             if max == 0.0 {
                 return Err(LinalgError::Singular { pivot: k });
             }
+            pivots.push(piv);
             if piv != k {
                 // Swap the full rows; the permutation acts on b at solve time.
                 for j in 0..n {
@@ -65,7 +70,6 @@ impl LuFactor {
                     a[(k, j)] = a[(piv, j)];
                     a[(piv, j)] = tmp;
                 }
-                perm.swap(k, piv);
                 sign = -sign;
             }
             let pivot = a[(k, k)];
@@ -80,13 +84,19 @@ impl LuFactor {
                 }
             }
         }
-        Ok(LuFactor { lu: a, perm, sign })
+        Ok(LuFactor { lu: a, pivots, sign })
     }
 
     /// The dimension of the factored matrix.
     #[inline]
     pub fn dim(&self) -> usize {
         self.lu.rows()
+    }
+
+    /// Consumes the factorization, returning the underlying matrix storage
+    /// so a caller can reuse the allocation for the next factorization.
+    pub fn into_matrix(self) -> Matrix {
+        self.lu
     }
 
     /// Solves `A x = b`, returning `x`.
@@ -98,22 +108,24 @@ impl LuFactor {
         if b.len() != self.dim() {
             return Err(LinalgError::DimensionMismatch { expected: self.dim(), actual: b.len() });
         }
-        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
-        self.substitute(&mut x);
+        let mut x = b.to_vec();
+        self.solve_in_place(&mut x);
         Ok(x)
     }
 
     /// Solves `A x = b` in place: on entry `b` holds the right-hand side, on
-    /// exit the solution.
+    /// exit the solution. Performs no heap allocation.
     ///
     /// # Panics
     ///
     /// Panics if `b.len() != dim()`.
     pub fn solve_in_place(&self, b: &mut [f64]) {
         assert_eq!(b.len(), self.dim(), "right-hand side length must equal matrix dimension");
-        // Apply the permutation, then substitute.
-        let permuted: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
-        b.copy_from_slice(&permuted);
+        // Replay the factorization's row exchanges on b (P b), then
+        // substitute.
+        for (k, &p) in self.pivots.iter().enumerate() {
+            b.swap(k, p);
+        }
         self.substitute(b);
     }
 
@@ -189,7 +201,8 @@ impl LuFactor {
 #[derive(Debug, Clone)]
 pub struct CluFactor {
     lu: CMatrix,
-    perm: Vec<usize>,
+    /// Pivot rows as a swap sequence; see [`LuFactor`].
+    pivots: Vec<usize>,
 }
 
 impl CluFactor {
@@ -204,7 +217,7 @@ impl CluFactor {
             return Err(LinalgError::NotSquare { rows: a.rows(), cols: a.cols() });
         }
         let n = a.rows();
-        let mut perm: Vec<usize> = (0..n).collect();
+        let mut pivots: Vec<usize> = Vec::with_capacity(n);
         for k in 0..n {
             let mut piv = k;
             let mut max = a[(k, k)].abs_sq();
@@ -218,13 +231,13 @@ impl CluFactor {
             if max == 0.0 {
                 return Err(LinalgError::Singular { pivot: k });
             }
+            pivots.push(piv);
             if piv != k {
                 for j in 0..n {
                     let tmp = a[(k, j)];
                     a[(k, j)] = a[(piv, j)];
                     a[(piv, j)] = tmp;
                 }
-                perm.swap(k, piv);
             }
             let pivot = a[(k, k)];
             for i in (k + 1)..n {
@@ -239,13 +252,19 @@ impl CluFactor {
                 }
             }
         }
-        Ok(CluFactor { lu: a, perm })
+        Ok(CluFactor { lu: a, pivots })
     }
 
     /// The dimension of the factored matrix.
     #[inline]
     pub fn dim(&self) -> usize {
         self.lu.rows()
+    }
+
+    /// Consumes the factorization, returning the underlying matrix storage
+    /// so a caller can reuse the allocation for the next factorization.
+    pub fn into_matrix(self) -> CMatrix {
+        self.lu
     }
 
     /// Solves `A x = b`, returning `x`.
@@ -257,20 +276,21 @@ impl CluFactor {
         if b.len() != self.dim() {
             return Err(LinalgError::DimensionMismatch { expected: self.dim(), actual: b.len() });
         }
-        let mut x: Vec<Complex64> = self.perm.iter().map(|&p| b[p]).collect();
-        self.substitute(&mut x);
+        let mut x = b.to_vec();
+        self.solve_in_place(&mut x);
         Ok(x)
     }
 
-    /// Solves `A x = b` in place.
+    /// Solves `A x = b` in place. Performs no heap allocation.
     ///
     /// # Panics
     ///
     /// Panics if `b.len() != dim()`.
     pub fn solve_in_place(&self, b: &mut [Complex64]) {
         assert_eq!(b.len(), self.dim(), "right-hand side length must equal matrix dimension");
-        let permuted: Vec<Complex64> = self.perm.iter().map(|&p| b[p]).collect();
-        b.copy_from_slice(&permuted);
+        for (k, &p) in self.pivots.iter().enumerate() {
+            b.swap(k, p);
+        }
         self.substitute(b);
     }
 

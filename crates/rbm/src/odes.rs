@@ -50,7 +50,39 @@ pub struct CompiledOdes {
     term_coeffs: Vec<f64>,
 }
 
+/// Reactant lists up to this length are gathered into a stack buffer inside
+/// the RHS/Jacobian hot loops; longer lists (which real biochemical networks
+/// never produce — reactions are at most bimolecular) spill to a reused heap
+/// buffer. Keeps the non-mass-action evaluation path allocation-free.
+const STACK_REACTANTS: usize = 8;
+
 impl CompiledOdes {
+    /// Gathers reaction `r`'s `(concentration, order)` pairs without
+    /// allocating: into `stack` when they fit, else into the reused `spill`.
+    fn gather_reactants<'a>(
+        &self,
+        r: usize,
+        x: &[f64],
+        stack: &'a mut [(f64, u32); STACK_REACTANTS],
+        spill: &'a mut Vec<(f64, u32)>,
+    ) -> &'a [(f64, u32)] {
+        let lo = self.reactant_offsets[r] as usize;
+        let hi = self.reactant_offsets[r + 1] as usize;
+        let len = hi - lo;
+        if len <= STACK_REACTANTS {
+            for (slot, p) in stack[..len].iter_mut().zip(lo..hi) {
+                *slot = (x[self.reactant_species[p] as usize], self.reactant_orders[p]);
+            }
+            &stack[..len]
+        } else {
+            spill.clear();
+            spill.extend(
+                (lo..hi).map(|p| (x[self.reactant_species[p] as usize], self.reactant_orders[p])),
+            );
+            spill
+        }
+    }
+
     pub(crate) fn from_model(model: &ReactionBasedModel) -> Self {
         let n_species = model.n_species();
         let n_reactions = model.n_reactions();
@@ -173,15 +205,11 @@ impl CompiledOdes {
                 flux[r] = f;
             }
         } else {
-            let mut pairs: Vec<(f64, u32)> = Vec::with_capacity(4);
+            let mut stack = [(0.0f64, 0u32); STACK_REACTANTS];
+            let mut spill: Vec<(f64, u32)> = Vec::new();
             for r in 0..self.n_reactions {
-                let lo = self.reactant_offsets[r] as usize;
-                let hi = self.reactant_offsets[r + 1] as usize;
-                pairs.clear();
-                for p in lo..hi {
-                    pairs.push((x[self.reactant_species[p] as usize], self.reactant_orders[p]));
-                }
-                flux[r] = self.kinetics[r].flux(k[r], &pairs);
+                let pairs = self.gather_reactants(r, x, &mut stack, &mut spill);
+                flux[r] = self.kinetics[r].flux(k[r], pairs);
             }
         }
     }
@@ -246,7 +274,8 @@ impl CompiledOdes {
         // dflux[r][j] for each reactant j of r, then scatter through the
         // per-species term lists. We iterate species-major using the term
         // CSR so each (s, r) pair is visited once.
-        let mut pairs: Vec<(f64, u32)> = Vec::with_capacity(4);
+        let mut stack = [(0.0f64, 0u32); STACK_REACTANTS];
+        let mut spill: Vec<(f64, u32)> = Vec::new();
         for s in 0..self.n_species {
             let lo = self.term_offsets[s] as usize;
             let hi = self.term_offsets[s + 1] as usize;
@@ -255,13 +284,10 @@ impl CompiledOdes {
                 let coeff = self.term_coeffs[p];
                 let rlo = self.reactant_offsets[r] as usize;
                 let rhi = self.reactant_offsets[r + 1] as usize;
-                pairs.clear();
-                for q in rlo..rhi {
-                    pairs.push((x[self.reactant_species[q] as usize], self.reactant_orders[q]));
-                }
+                let pairs = self.gather_reactants(r, x, &mut stack, &mut spill);
                 for (which, q) in (rlo..rhi).enumerate() {
                     let j = self.reactant_species[q] as usize;
-                    let d = self.kinetics[r].flux_derivative(k[r], &pairs, which);
+                    let d = self.kinetics[r].flux_derivative(k[r], pairs, which);
                     jac[(s, j)] += coeff * d;
                 }
             }

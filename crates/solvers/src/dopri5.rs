@@ -7,7 +7,10 @@
 //! workhorse; stiff simulations are re-routed to [`crate::Radau5`].
 
 use crate::system::check_inputs;
-use crate::{initial_step_size, OdeSolver, OdeSystem, SolveFailure, Solution, SolverError, SolverOptions};
+use crate::{
+    initial_step_size, OdeSolver, OdeSystem, SolveFailure, Solution, SolverError, SolverOptions,
+    SolverScratch,
+};
 use paraspace_linalg::weighted_rms_norm;
 
 // Nodes.
@@ -92,6 +95,48 @@ impl Dopri5 {
     }
 }
 
+/// Pooled working storage for one DOPRI5 integration: the 7 stage
+/// derivative vectors, state/stage/error buffers, and the 5 dense-output
+/// coefficient vectors. Reused across solves of the same dimension with no
+/// reallocation.
+#[derive(Debug, Default)]
+pub(crate) struct DopriScratch {
+    k: Vec<Vec<f64>>,
+    y: Vec<f64>,
+    y_stage: Vec<f64>,
+    y_new: Vec<f64>,
+    y_sti: Vec<f64>,
+    err_vec: Vec<f64>,
+    scale: Vec<f64>,
+    r: Vec<Vec<f64>>,
+}
+
+impl DopriScratch {
+    /// Sizes every buffer for dimension `n` (stale contents are harmless:
+    /// each buffer is fully written before it is read).
+    fn ensure(&mut self, n: usize) {
+        if self.k.len() != 7 {
+            self.k = (0..7).map(|_| vec![0.0; n]).collect();
+        }
+        if self.r.len() != 5 {
+            self.r = (0..5).map(|_| vec![0.0; n]).collect();
+        }
+        for v in self.k.iter_mut().chain(self.r.iter_mut()) {
+            v.resize(n, 0.0);
+        }
+        for v in [
+            &mut self.y,
+            &mut self.y_stage,
+            &mut self.y_new,
+            &mut self.y_sti,
+            &mut self.err_vec,
+            &mut self.scale,
+        ] {
+            v.resize(n, 0.0);
+        }
+    }
+}
+
 impl OdeSolver for Dopri5 {
     fn name(&self) -> &'static str {
         "dopri5"
@@ -105,6 +150,32 @@ impl OdeSolver for Dopri5 {
         sample_times: &[f64],
         options: &SolverOptions,
     ) -> Result<Solution, SolveFailure> {
+        self.solve_impl(system, t0, y0, sample_times, options, &mut DopriScratch::default())
+    }
+
+    fn solve_pooled(
+        &self,
+        system: &dyn OdeSystem,
+        t0: f64,
+        y0: &[f64],
+        sample_times: &[f64],
+        options: &SolverOptions,
+        scratch: &mut SolverScratch,
+    ) -> Result<Solution, SolveFailure> {
+        self.solve_impl(system, t0, y0, sample_times, options, &mut scratch.dopri)
+    }
+}
+
+impl Dopri5 {
+    fn solve_impl(
+        &self,
+        system: &dyn OdeSystem,
+        t0: f64,
+        y0: &[f64],
+        sample_times: &[f64],
+        options: &SolverOptions,
+        ws: &mut DopriScratch,
+    ) -> Result<Solution, SolveFailure> {
         let n = system.dim();
         check_inputs(n, y0, t0, sample_times, options)?;
         let mut sol = Solution::with_capacity(sample_times.len());
@@ -114,15 +185,11 @@ impl OdeSolver for Dopri5 {
         };
 
         let mut t = t0;
-        let mut y = y0.to_vec();
-        let mut k: Vec<Vec<f64>> = (0..7).map(|_| vec![0.0; n]).collect();
-        let mut y_stage = vec![0.0; n];
-        let mut y_new = vec![0.0; n];
-        let mut y_sti = vec![0.0; n];
-        let mut err_vec = vec![0.0; n];
-        let mut scale = vec![0.0; n];
+        ws.ensure(n);
+        let DopriScratch { k, y, y_stage, y_new, y_sti, err_vec, scale, r } = ws;
+        y.copy_from_slice(y0);
 
-        system.rhs(t, &y, &mut k[0]);
+        system.rhs(t, y, &mut k[0]);
         sol.stats.rhs_evals += 1;
 
         // Deliver any samples at (or numerically at) t0.
@@ -138,7 +205,7 @@ impl OdeSolver for Dopri5 {
 
         let mut h = options
             .initial_step
-            .unwrap_or_else(|| initial_step_size(&system, t, &y, &k[0], 1.0, 5, options));
+            .unwrap_or_else(|| initial_step_size(&system, t, y, &k[0], 1.0, 5, options));
         sol.stats.rhs_evals += usize::from(options.initial_step.is_none());
         let mut fac_old = 1e-4f64;
         let mut steps_since_sample = 0usize;
@@ -163,33 +230,33 @@ impl OdeSolver for Dopri5 {
             for i in 0..n {
                 y_stage[i] = y[i] + h * A21 * k[0][i];
             }
-            system.rhs(t + C2 * h, &y_stage, &mut k[1]);
+            system.rhs(t + C2 * h, y_stage, &mut k[1]);
             for i in 0..n {
                 y_stage[i] = y[i] + h * (A31 * k[0][i] + A32 * k[1][i]);
             }
-            system.rhs(t + C3 * h, &y_stage, &mut k[2]);
+            system.rhs(t + C3 * h, y_stage, &mut k[2]);
             for i in 0..n {
                 y_stage[i] = y[i] + h * (A41 * k[0][i] + A42 * k[1][i] + A43 * k[2][i]);
             }
-            system.rhs(t + C4 * h, &y_stage, &mut k[3]);
+            system.rhs(t + C4 * h, y_stage, &mut k[3]);
             for i in 0..n {
                 y_stage[i] =
                     y[i] + h * (A51 * k[0][i] + A52 * k[1][i] + A53 * k[2][i] + A54 * k[3][i]);
             }
-            system.rhs(t + C5 * h, &y_stage, &mut k[4]);
+            system.rhs(t + C5 * h, y_stage, &mut k[4]);
             for i in 0..n {
                 y_sti[i] = y[i]
                     + h * (A61 * k[0][i] + A62 * k[1][i] + A63 * k[2][i] + A64 * k[3][i]
                         + A65 * k[4][i]);
             }
-            system.rhs(t + h, &y_sti, &mut k[5]);
+            system.rhs(t + h, y_sti, &mut k[5]);
             // 5th-order solution (stage 7 argument) and FSAL derivative.
             for i in 0..n {
                 y_new[i] = y[i]
                     + h * (A71 * k[0][i] + A73 * k[2][i] + A74 * k[3][i] + A75 * k[4][i]
                         + A76 * k[5][i]);
             }
-            system.rhs(t + h, &y_new, &mut k[6]);
+            system.rhs(t + h, y_new, &mut k[6]);
             sol.stats.rhs_evals += 6;
             sol.stats.steps += 1;
             steps_since_sample += 1;
@@ -200,8 +267,8 @@ impl OdeSolver for Dopri5 {
                     * (E1 * k[0][i] + E3 * k[2][i] + E4 * k[3][i] + E5 * k[4][i] + E6 * k[5][i]
                         + E7 * k[6][i]);
             }
-            options.error_scale_pair(&y, &y_new, &mut scale);
-            let err = weighted_rms_norm(&err_vec, &scale);
+            options.error_scale_pair(y, y_new, scale);
+            let err = weighted_rms_norm(err_vec, scale);
 
             if !err.is_finite() || !y_new.iter().all(|v| v.is_finite()) {
                 // Treat as a hard rejection with aggressive shrink.
@@ -263,20 +330,15 @@ impl OdeSolver for Dopri5 {
                 let t_new = t + h;
                 if next_sample < sample_times.len() && sample_times[next_sample] <= t_new {
                     // Dense-output coefficient vectors (lazy: only when a
-                    // sample falls inside this step).
-                    let mut r1 = vec![0.0; n];
-                    let mut r2 = vec![0.0; n];
-                    let mut r3 = vec![0.0; n];
-                    let mut r4 = vec![0.0; n];
-                    let mut r5 = vec![0.0; n];
+                    // sample falls inside this step; pooled in the scratch).
                     for i in 0..n {
                         let ydiff = y_new[i] - y[i];
                         let bspl = h * k[0][i] - ydiff;
-                        r1[i] = y[i];
-                        r2[i] = ydiff;
-                        r3[i] = bspl;
-                        r4[i] = ydiff - h * k[6][i] - bspl;
-                        r5[i] = h
+                        r[0][i] = y[i];
+                        r[1][i] = ydiff;
+                        r[2][i] = bspl;
+                        r[3][i] = ydiff - h * k[6][i] - bspl;
+                        r[4][i] = h
                             * (D1 * k[0][i] + D3 * k[2][i] + D4 * k[3][i] + D5 * k[4][i]
                                 + D6 * k[5][i] + D7 * k[6][i]);
                     }
@@ -286,11 +348,12 @@ impl OdeSolver for Dopri5 {
                         let om_theta = 1.0 - theta;
                         let state: Vec<f64> = (0..n)
                             .map(|i| {
-                                r1[i]
+                                r[0][i]
                                     + theta
-                                        * (r2[i]
+                                        * (r[1][i]
                                             + om_theta
-                                                * (r3[i] + theta * (r4[i] + om_theta * r5[i])))
+                                                * (r[2][i]
+                                                    + theta * (r[3][i] + om_theta * r[4][i])))
                             })
                             .collect();
                         sol.times.push(ts);
@@ -301,7 +364,7 @@ impl OdeSolver for Dopri5 {
                 }
 
                 t = t_new;
-                std::mem::swap(&mut y, &mut y_new);
+                std::mem::swap(y, y_new);
                 k.swap(0, 6); // FSAL: k7 becomes k1 of the next step.
 
                 if next_sample == sample_times.len() {

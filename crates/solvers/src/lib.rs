@@ -45,6 +45,7 @@ mod options;
 mod radau5;
 mod rk4;
 mod rkf45;
+mod scratch;
 mod solution;
 mod system;
 
@@ -55,6 +56,7 @@ pub use options::SolverOptions;
 pub use radau5::Radau5;
 pub use rk4::Rk4;
 pub use rkf45::Rkf45;
+pub use scratch::SolverScratch;
 pub use solution::{Solution, StepStats};
 pub use system::{FnSystem, OdeSolver, OdeSystem};
 

@@ -4,7 +4,10 @@
 use crate::multistep::core::NordsieckCore;
 use crate::multistep::MethodFamily;
 use crate::system::check_inputs;
-use crate::{initial_step_size, OdeSolver, OdeSystem, SolveFailure, Solution, SolverError, SolverOptions};
+use crate::{
+    initial_step_size, OdeSolver, OdeSystem, SolveFailure, Solution, SolverError, SolverOptions,
+    SolverScratch,
+};
 
 /// Default maximum order for the Adams family (ODEPACK's 12).
 pub(crate) const ADAMS_MAX_ORDER: usize = 12;
@@ -142,6 +145,19 @@ impl OdeSolver for AdamsMoulton {
     ) -> Result<Solution, SolveFailure> {
         let mut core = NordsieckCore::new(MethodFamily::Adams, system.dim(), self.max_order);
         drive(&mut core, system, t0, y0, sample_times, options, |_, _, _| {})
+    }
+
+    fn solve_pooled(
+        &self,
+        system: &dyn OdeSystem,
+        t0: f64,
+        y0: &[f64],
+        sample_times: &[f64],
+        options: &SolverOptions,
+        scratch: &mut SolverScratch,
+    ) -> Result<Solution, SolveFailure> {
+        let core = scratch.nordsieck(MethodFamily::Adams, system.dim(), self.max_order);
+        drive(core, system, t0, y0, sample_times, options, |_, _, _| {})
     }
 }
 

@@ -3,7 +3,7 @@
 use crate::multistep::adams::{drive, BDF_MAX_ORDER};
 use crate::multistep::core::NordsieckCore;
 use crate::multistep::MethodFamily;
-use crate::{OdeSolver, OdeSystem, SolveFailure, Solution, SolverOptions};
+use crate::{OdeSolver, OdeSystem, SolveFailure, Solution, SolverOptions, SolverScratch};
 
 /// Variable-order (1–5) backward differentiation formulae with modified
 /// Newton iteration, cached Jacobian, and LU reuse — the stiff half of the
@@ -67,6 +67,19 @@ impl OdeSolver for Bdf {
     ) -> Result<Solution, SolveFailure> {
         let mut core = NordsieckCore::new(MethodFamily::Bdf, system.dim(), self.max_order);
         drive(&mut core, system, t0, y0, sample_times, options, |_, _, _| {})
+    }
+
+    fn solve_pooled(
+        &self,
+        system: &dyn OdeSystem,
+        t0: f64,
+        y0: &[f64],
+        sample_times: &[f64],
+        options: &SolverOptions,
+        scratch: &mut SolverScratch,
+    ) -> Result<Solution, SolveFailure> {
+        let core = scratch.nordsieck(MethodFamily::Bdf, system.dim(), self.max_order);
+        drive(core, system, t0, y0, sample_times, options, |_, _, _| {})
     }
 }
 

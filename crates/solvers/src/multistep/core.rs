@@ -32,11 +32,15 @@ const GAMMA_DRIFT: f64 = 0.3;
 ///   `m(x) = Π_{i=1}^{q-1} (1 + x/i)` and `M₀ = Σ_i (−1)^i m_i/(i+1)`.
 ///
 /// The Newton/functional-iteration coefficient is `γ = h / l₁`.
-pub(crate) fn l_coefficients(family: MethodFamily, q: usize) -> Vec<f64> {
+///
+/// Writes into `l[..=q]`; the step loop passes a stack buffer so no heap
+/// allocation happens per step.
+pub(crate) fn l_coefficients_into(family: MethodFamily, q: usize, l: &mut [f64]) {
     assert!(q >= 1, "order must be at least 1");
+    let l = &mut l[..q + 1];
     match family {
         MethodFamily::Bdf => {
-            let mut l = vec![0.0; q + 1];
+            l.fill(0.0);
             l[0] = 1.0;
             for i in 1..=q {
                 let inv = 1.0 / i as f64;
@@ -44,14 +48,15 @@ pub(crate) fn l_coefficients(family: MethodFamily, q: usize) -> Vec<f64> {
                     l[j] += l[j - 1] * inv;
                 }
             }
-            l
         }
         MethodFamily::Adams => {
             if q == 1 {
-                return vec![1.0, 1.0];
+                l[0] = 1.0;
+                l[1] = 1.0;
+                return;
             }
             // m(x) = Π_{i=1}^{q-1} (1 + x/i), degree q-1.
-            let mut m = vec![0.0; q];
+            let mut m = [0.0f64; L_MAX];
             m[0] = 1.0;
             for i in 1..q {
                 let inv = 1.0 / i as f64;
@@ -59,19 +64,29 @@ pub(crate) fn l_coefficients(family: MethodFamily, q: usize) -> Vec<f64> {
                     m[j] += m[j - 1] * inv;
                 }
             }
-            let m0: f64 = m
+            let m0: f64 = m[..q]
                 .iter()
                 .enumerate()
                 .map(|(i, &mi)| if i % 2 == 0 { mi / (i + 1) as f64 } else { -mi / (i + 1) as f64 })
                 .sum();
-            let mut l = vec![0.0; q + 1];
+            l.fill(0.0);
             l[0] = 1.0;
             for j in 1..=q {
                 l[j] = m[j - 1] / (j as f64 * m0);
             }
-            l
         }
     }
+}
+
+/// Maximum length of an `l` vector (order ≤ 12 ⇒ 13 coefficients).
+pub(crate) const L_MAX: usize = 13;
+
+/// Allocating convenience wrapper around [`l_coefficients_into`].
+#[cfg(test)]
+pub(crate) fn l_coefficients(family: MethodFamily, q: usize) -> Vec<f64> {
+    let mut l = vec![0.0; q + 1];
+    l_coefficients_into(family, q, &mut l);
+    l
 }
 
 /// Outcome the wrapper needs from one accepted step.
@@ -108,6 +123,16 @@ pub(crate) struct NordsieckCore {
     jac_current: bool,
     consecutive_err_fails: usize,
     consecutive_conv_fails: usize,
+    // Pooled per-step buffers (fully written before read each use).
+    corr_y: Vec<f64>,
+    corr_f: Vec<f64>,
+    corr_g: Vec<f64>,
+    corr_rhs: Vec<f64>,
+    corr_delta: Vec<f64>,
+    f0_buf: Vec<f64>,
+    diff_buf: Vec<f64>,
+    // Retired iteration-matrix storage, reclaimed on re-factorization.
+    m_store: Option<Matrix>,
 }
 
 impl NordsieckCore {
@@ -131,6 +156,43 @@ impl NordsieckCore {
             jac_current: false,
             consecutive_err_fails: 0,
             consecutive_conv_fails: 0,
+            corr_y: vec![0.0; n],
+            corr_f: vec![0.0; n],
+            corr_g: vec![0.0; n],
+            corr_rhs: vec![0.0; n],
+            corr_delta: vec![0.0; n],
+            f0_buf: vec![0.0; n],
+            diff_buf: vec![0.0; n],
+            m_store: None,
+        }
+    }
+
+    /// The system dimension this core is sized for.
+    pub(crate) fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Re-targets a pooled core to `family`/`max_order` for a fresh solve
+    /// ([`initialize`](Self::initialize) must follow, as in a fresh core).
+    ///
+    /// Stale history columns are harmless: `initialize` rewrites columns
+    /// 0–1, and every higher column is zero-filled before first use on each
+    /// order increase.
+    pub(crate) fn reinit(&mut self, family: MethodFamily, max_order: usize) {
+        self.family = family;
+        self.max_order = max_order;
+        if self.z.len() < max_order + 2 {
+            let n = self.n;
+            self.z.resize_with(max_order + 2, || vec![0.0; n]);
+        }
+        self.retire_lu();
+    }
+
+    /// Moves a retired LU factorization's storage into the reclaim slot so
+    /// the next factorization reuses the allocation.
+    fn retire_lu(&mut self) {
+        if let Some(lu) = self.lu.take() {
+            self.m_store = Some(lu.into_matrix());
         }
     }
 
@@ -152,15 +214,14 @@ impl NordsieckCore {
         self.first_step = true;
         self.jac_current = false;
         self.jac_age = usize::MAX;
-        self.lu = None;
+        self.retire_lu();
         self.consecutive_err_fails = 0;
         self.consecutive_conv_fails = 0;
         self.z[0].copy_from_slice(y0);
-        let mut f0 = vec![0.0; self.n];
-        system.rhs(t0, y0, &mut f0);
+        system.rhs(t0, y0, &mut self.f0_buf);
         stats.rhs_evals += 1;
         for i in 0..self.n {
-            self.z[1][i] = h0 * f0[i];
+            self.z[1][i] = h0 * self.f0_buf[i];
         }
         opts.error_scale(y0, &mut self.scale);
     }
@@ -210,7 +271,7 @@ impl NordsieckCore {
             self.q = new_max_order;
         }
         self.jac_current = false;
-        self.lu = None;
+        self.retire_lu();
         self.jac_age = usize::MAX;
         self.steps_at_order = 0;
         self.delta_prev = None;
@@ -231,7 +292,7 @@ impl NordsieckCore {
         // The probe leaves a current Jacobian behind; BDF can reuse it.
         self.jac_current = true;
         self.jac_age = 0;
-        self.lu = None;
+        self.retire_lu();
         dominant_eigenvalue_estimate(&self.jac)
     }
 
@@ -274,8 +335,9 @@ impl NordsieckCore {
 
     /// Runs the corrector at the already-predicted state.
     ///
-    /// Returns `Ok((delta, iters))` with the accumulated correction
-    /// `Δ = y_corrected − y_predicted`, or `Err(())` on convergence failure.
+    /// Returns `Ok(iters)` with the accumulated correction
+    /// `Δ = y_corrected − y_predicted` left in `self.corr_delta`, or
+    /// `Err(())` on convergence failure. All working storage is pooled.
     #[allow(clippy::result_unit_err)]
     fn correct<S: OdeSystem + ?Sized>(
         &mut self,
@@ -283,13 +345,11 @@ impl NordsieckCore {
         l1: f64,
         t_new: f64,
         stats: &mut StepStats,
-    ) -> Result<(Vec<f64>, usize), ()> {
+    ) -> Result<usize, ()> {
         let n = self.n;
         let gamma = self.h / l1;
-        let mut y = self.z[0].clone();
-        let mut delta = vec![0.0; n];
-        let mut f = vec![0.0; n];
-        let mut g = vec![0.0; n];
+        self.corr_y.copy_from_slice(&self.z[0]);
+        self.corr_delta.fill(0.0);
         let mut rate = 1.0f64;
         let mut norm_prev = 0.0f64;
         let conv_tol = CONV_TOL_FACTOR / (self.q as f64 + 2.0);
@@ -310,7 +370,15 @@ impl NordsieckCore {
                 self.jac_age = 0;
             }
             if need_factor {
-                let mut m = Matrix::zeros(n, n);
+                // Build I − γJ into reclaimed storage: the retired
+                // factorization (or the reclaim slot) donates its matrix.
+                let mut m = self
+                    .lu
+                    .take()
+                    .map(LuFactor::into_matrix)
+                    .or_else(|| self.m_store.take())
+                    .filter(|m| m.rows() == n && m.cols() == n)
+                    .unwrap_or_else(|| Matrix::zeros(n, n));
                 for i in 0..n {
                     for j in 0..n {
                         m[(i, j)] = -gamma * self.jac[(i, j)];
@@ -329,30 +397,28 @@ impl NordsieckCore {
         }
 
         for iter in 0..MAX_CORRECTOR_ITERS {
-            system.rhs(t_new, &y, &mut f);
+            system.rhs(t_new, &self.corr_y, &mut self.corr_f);
             stats.rhs_evals += 1;
             stats.nonlinear_iters += 1;
 
             // Residual G = y − y_pred − (h f − z1_pred)/l1, where
             // y − y_pred = delta.
             for i in 0..n {
-                g[i] = delta[i] - (self.h * f[i] - self.z[1][i]) / l1;
+                self.corr_g[i] = self.corr_delta[i] - (self.h * self.corr_f[i] - self.z[1][i]) / l1;
             }
-            let correction: Vec<f64> = match self.family {
-                MethodFamily::Adams => g.iter().map(|&v| -v).collect(),
-                MethodFamily::Bdf => {
-                    let lu = self.lu.as_ref().expect("factorization exists for BDF");
-                    let mut rhs: Vec<f64> = g.iter().map(|&v| -v).collect();
-                    lu.solve_in_place(&mut rhs);
-                    stats.linear_solves += 1;
-                    rhs
-                }
-            };
             for i in 0..n {
-                delta[i] += correction[i];
-                y[i] = self.z[0][i] + delta[i];
+                self.corr_rhs[i] = -self.corr_g[i];
             }
-            let norm = weighted_rms_norm(&correction, &self.scale);
+            if self.family == MethodFamily::Bdf {
+                let lu = self.lu.as_ref().expect("factorization exists for BDF");
+                lu.solve_in_place(&mut self.corr_rhs);
+                stats.linear_solves += 1;
+            }
+            for i in 0..n {
+                self.corr_delta[i] += self.corr_rhs[i];
+                self.corr_y[i] = self.z[0][i] + self.corr_delta[i];
+            }
+            let norm = weighted_rms_norm(&self.corr_rhs, &self.scale);
             if !norm.is_finite() {
                 return Err(());
             }
@@ -365,7 +431,7 @@ impl NordsieckCore {
             let effective =
                 if iter == 0 { norm } else { norm * (rate / (1.0 - rate.min(0.99))).clamp(1.0, 1e6) };
             if effective <= conv_tol || norm == 0.0 {
-                return Ok((delta, iter + 1));
+                return Ok(iter + 1);
             }
             norm_prev = norm;
         }
@@ -386,13 +452,14 @@ impl NordsieckCore {
                 return Err(SolverError::StepSizeUnderflow { t: self.t });
             }
             let t_new = self.t + self.h;
-            let l = l_coefficients(self.family, self.q);
+            let mut l = [0.0f64; L_MAX];
+            l_coefficients_into(self.family, self.q, &mut l);
             self.predict();
             stats.steps += 1;
 
             let corrected = self.correct(system, l[1], t_new, stats);
-            let (delta, iters) = match corrected {
-                Ok(pair) => pair,
+            let iters = match corrected {
+                Ok(iters) => iters,
                 Err(()) => {
                     // Convergence failure.
                     self.retract();
@@ -419,7 +486,7 @@ impl NordsieckCore {
 
             // Error test: the predictor-corrector difference estimates the
             // local truncation error up to a known constant.
-            let err = weighted_rms_norm(&delta, &self.scale) / (self.q as f64 + 1.0);
+            let err = weighted_rms_norm(&self.corr_delta, &self.scale) / (self.q as f64 + 1.0);
             if !err.is_finite() {
                 return Err(SolverError::NonFiniteState { t: self.t });
             }
@@ -450,9 +517,9 @@ impl NordsieckCore {
             // Accepted: fold the correction into the Nordsieck array.
             stats.accepted += 1;
             self.consecutive_err_fails = 0;
-            for (j, &lj) in l.iter().enumerate() {
+            for (j, &lj) in l[..=self.q].iter().enumerate() {
                 for i in 0..self.n {
-                    self.z[j][i] += lj * delta[i];
+                    self.z[j][i] += lj * self.corr_delta[i];
                 }
             }
             self.t = t_new;
@@ -480,12 +547,11 @@ impl NordsieckCore {
                 // Candidate: order increase.
                 let eta_up = match (&self.delta_prev, self.q < self.max_order) {
                     (Some(prev), true) => {
-                        let mut diff = vec![0.0; self.n];
                         for i in 0..self.n {
-                            diff[i] = delta[i] - prev[i];
+                            self.diff_buf[i] = self.corr_delta[i] - prev[i];
                         }
                         let err_up =
-                            weighted_rms_norm(&diff, &self.scale) / (self.q as f64 + 2.0);
+                            weighted_rms_norm(&self.diff_buf, &self.scale) / (self.q as f64 + 2.0);
                         1.0 / ((BIAS_UP * err_up).powf(1.0 / (self.q as f64 + 2.0)) + 1e-6)
                     }
                     _ => 0.0,
@@ -509,7 +575,10 @@ impl NordsieckCore {
                 self.rescale(eta_same.min(eta_max));
                 return Ok(StepOutcome { h_used, corrector_iters: iters });
             }
-            self.delta_prev = Some(delta);
+            match &mut self.delta_prev {
+                Some(prev) => prev.copy_from_slice(&self.corr_delta),
+                slot => *slot = Some(self.corr_delta.clone()),
+            }
             return Ok(StepOutcome { h_used, corrector_iters: iters });
         }
     }

@@ -3,7 +3,7 @@
 use crate::multistep::adams::{drive, ADAMS_MAX_ORDER, BDF_MAX_ORDER};
 use crate::multistep::core::NordsieckCore;
 use crate::multistep::MethodFamily;
-use crate::{OdeSolver, OdeSystem, SolveFailure, Solution, SolverOptions};
+use crate::{OdeSolver, OdeSystem, SolveFailure, Solution, SolverOptions, SolverScratch};
 use std::cell::Cell;
 
 /// Probe the stiffness indicator every this many accepted steps.
@@ -46,24 +46,18 @@ impl Lsoda {
     pub fn new() -> Self {
         Lsoda { _private: () }
     }
-}
 
-impl OdeSolver for Lsoda {
-    fn name(&self) -> &'static str {
-        "lsoda"
-    }
-
-    fn solve(
-        &self,
+    /// Drives a core (fresh or pooled) with the dynamic switching hook.
+    fn run(
+        core: &mut NordsieckCore,
         system: &dyn OdeSystem,
         t0: f64,
         y0: &[f64],
         sample_times: &[f64],
         options: &SolverOptions,
     ) -> Result<Solution, SolveFailure> {
-        let mut core = NordsieckCore::new(MethodFamily::Adams, system.dim(), ADAMS_MAX_ORDER);
         let accepted_at_probe = Cell::new(0usize);
-        drive(&mut core, system, t0, y0, sample_times, options, |core, system, sol| {
+        drive(core, system, t0, y0, sample_times, options, |core, system, sol| {
             if sol.stats.accepted < accepted_at_probe.get() + PROBE_INTERVAL {
                 return;
             }
@@ -80,6 +74,37 @@ impl OdeSolver for Lsoda {
                 _ => {}
             }
         })
+    }
+}
+
+impl OdeSolver for Lsoda {
+    fn name(&self) -> &'static str {
+        "lsoda"
+    }
+
+    fn solve(
+        &self,
+        system: &dyn OdeSystem,
+        t0: f64,
+        y0: &[f64],
+        sample_times: &[f64],
+        options: &SolverOptions,
+    ) -> Result<Solution, SolveFailure> {
+        let mut core = NordsieckCore::new(MethodFamily::Adams, system.dim(), ADAMS_MAX_ORDER);
+        Lsoda::run(&mut core, system, t0, y0, sample_times, options)
+    }
+
+    fn solve_pooled(
+        &self,
+        system: &dyn OdeSystem,
+        t0: f64,
+        y0: &[f64],
+        sample_times: &[f64],
+        options: &SolverOptions,
+        scratch: &mut SolverScratch,
+    ) -> Result<Solution, SolveFailure> {
+        let core = scratch.nordsieck(MethodFamily::Adams, system.dim(), ADAMS_MAX_ORDER);
+        Lsoda::run(core, system, t0, y0, sample_times, options)
     }
 }
 

@@ -24,7 +24,7 @@
 
 mod adams;
 mod bdf;
-mod core;
+pub(crate) mod core;
 mod lsoda;
 mod vode;
 

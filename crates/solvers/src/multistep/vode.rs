@@ -3,7 +3,7 @@
 use crate::multistep::adams::{drive, ADAMS_MAX_ORDER, BDF_MAX_ORDER};
 use crate::multistep::core::NordsieckCore;
 use crate::multistep::MethodFamily;
-use crate::{OdeSolver, OdeSystem, SolveFailure, Solution, SolverOptions};
+use crate::{OdeSolver, OdeSystem, SolveFailure, Solution, SolverOptions, SolverScratch};
 use paraspace_linalg::{dominant_eigenvalue_estimate, Matrix};
 
 /// Classify as stiff when `|λ|·(t_end − t0)` exceeds this: the fast mode's
@@ -50,6 +50,39 @@ impl Vode {
         let lambda = dominant_eigenvalue_estimate(&jac);
         lambda * (t_end - t0).abs() > STIFFNESS_SPAN_THRESHOLD
     }
+
+    /// Classifies, then drives a core (fresh or pooled) and charges the
+    /// classification Jacobian to the stats.
+    fn run(
+        core: &mut NordsieckCore,
+        system: &dyn OdeSystem,
+        t0: f64,
+        y0: &[f64],
+        sample_times: &[f64],
+        options: &SolverOptions,
+    ) -> Result<Solution, SolveFailure> {
+        let mut sol = drive(core, system, t0, y0, sample_times, options, |_, _, _| {})?;
+        // The classification itself costs one Jacobian.
+        sol.stats.jacobian_evals += 1;
+        if !system.has_analytic_jacobian() {
+            sol.stats.rhs_evals += system.dim() + 1;
+        }
+        Ok(sol)
+    }
+
+    fn family_for(
+        system: &dyn OdeSystem,
+        t0: f64,
+        y0: &[f64],
+        sample_times: &[f64],
+    ) -> (MethodFamily, usize) {
+        let t_end = sample_times.last().copied().unwrap_or(t0);
+        if Vode::classify_stiff(system, t0, y0, t_end) {
+            (MethodFamily::Bdf, BDF_MAX_ORDER)
+        } else {
+            (MethodFamily::Adams, ADAMS_MAX_ORDER)
+        }
+    }
 }
 
 impl OdeSolver for Vode {
@@ -65,21 +98,23 @@ impl OdeSolver for Vode {
         sample_times: &[f64],
         options: &SolverOptions,
     ) -> Result<Solution, SolveFailure> {
-        let t_end = sample_times.last().copied().unwrap_or(t0);
-        let stiff = Vode::classify_stiff(system, t0, y0, t_end);
-        let (family, max_order) = if stiff {
-            (MethodFamily::Bdf, BDF_MAX_ORDER)
-        } else {
-            (MethodFamily::Adams, ADAMS_MAX_ORDER)
-        };
+        let (family, max_order) = Vode::family_for(system, t0, y0, sample_times);
         let mut core = NordsieckCore::new(family, system.dim(), max_order);
-        let mut sol = drive(&mut core, system, t0, y0, sample_times, options, |_, _, _| {})?;
-        // The classification itself costs one Jacobian.
-        sol.stats.jacobian_evals += 1;
-        if !system.has_analytic_jacobian() {
-            sol.stats.rhs_evals += system.dim() + 1;
-        }
-        Ok(sol)
+        Vode::run(&mut core, system, t0, y0, sample_times, options)
+    }
+
+    fn solve_pooled(
+        &self,
+        system: &dyn OdeSystem,
+        t0: f64,
+        y0: &[f64],
+        sample_times: &[f64],
+        options: &SolverOptions,
+        scratch: &mut SolverScratch,
+    ) -> Result<Solution, SolveFailure> {
+        let (family, max_order) = Vode::family_for(system, t0, y0, sample_times);
+        let core = scratch.nordsieck(family, system.dim(), max_order);
+        Vode::run(core, system, t0, y0, sample_times, options)
     }
 }
 

@@ -18,7 +18,10 @@
 //! polynomial.
 
 use crate::system::check_inputs;
-use crate::{initial_step_size, OdeSolver, OdeSystem, SolveFailure, Solution, SolverError, SolverOptions};
+use crate::{
+    initial_step_size, OdeSolver, OdeSystem, SolveFailure, Solution, SolverError, SolverOptions,
+    SolverScratch,
+};
 use paraspace_linalg::{weighted_rms_norm, CluFactor, CMatrix, Complex64, LuFactor, Matrix};
 
 // Collocation nodes.
@@ -93,8 +96,9 @@ impl Radau5 {
 }
 
 /// Per-integration mutable state, kept in one struct so the step routine
-/// stays readable.
-struct Workspace {
+/// stays readable — and poolable across solves via
+/// [`SolverScratch`](crate::SolverScratch).
+pub(crate) struct RadauWorkspace {
     n: usize,
     jac: Matrix,
     lu_real: Option<LuFactor>,
@@ -116,12 +120,24 @@ struct Workspace {
     cont: [Vec<f64>; 4],
     cont_h: f64,
     have_cont: bool,
+    // Pooled state / per-step buffers (all fully written before read).
+    y: Vec<f64>,
+    f0: Vec<f64>,
+    extrap: Vec<f64>,
+    tmp: Vec<f64>,
+    err_v: Vec<f64>,
+    f_ref: Vec<f64>,
+    sample_buf: Vec<f64>,
+    // Retired iteration-matrix storage, reclaimed so a re-factorization
+    // reuses the allocation instead of making a new one.
+    e1_store: Option<Matrix>,
+    e2_store: Option<CMatrix>,
 }
 
-impl Workspace {
-    fn new(n: usize) -> Self {
+impl RadauWorkspace {
+    pub(crate) fn new(n: usize) -> Self {
         let zeros = || vec![0.0; n];
-        Workspace {
+        RadauWorkspace {
             n,
             jac: Matrix::zeros(n, n),
             lu_real: None,
@@ -142,6 +158,33 @@ impl Workspace {
             cont: [zeros(), zeros(), zeros(), zeros()],
             cont_h: 0.0,
             have_cont: false,
+            y: zeros(),
+            f0: zeros(),
+            extrap: zeros(),
+            tmp: zeros(),
+            err_v: zeros(),
+            f_ref: zeros(),
+            sample_buf: zeros(),
+            e1_store: None,
+            e2_store: None,
+        }
+    }
+
+    /// The system dimension this workspace is sized for.
+    pub(crate) fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Resets per-integration flags for a fresh solve, keeping every buffer
+    /// (and reclaiming the previous solve's LU storage for reuse).
+    pub(crate) fn reset(&mut self) {
+        self.cont_h = 0.0;
+        self.have_cont = false;
+        if let Some(lu) = self.lu_real.take() {
+            self.e1_store = Some(lu.into_matrix());
+        }
+        if let Some(lu) = self.lu_complex.take() {
+            self.e2_store = Some(lu.into_matrix());
         }
     }
 
@@ -166,7 +209,6 @@ impl OdeSolver for Radau5 {
         "radau5"
     }
 
-    #[allow(clippy::too_many_lines)]
     fn solve(
         &self,
         system: &dyn OdeSystem,
@@ -174,6 +216,33 @@ impl OdeSolver for Radau5 {
         y0: &[f64],
         sample_times: &[f64],
         options: &SolverOptions,
+    ) -> Result<Solution, SolveFailure> {
+        self.solve_impl(system, t0, y0, sample_times, options, &mut RadauWorkspace::new(system.dim()))
+    }
+
+    fn solve_pooled(
+        &self,
+        system: &dyn OdeSystem,
+        t0: f64,
+        y0: &[f64],
+        sample_times: &[f64],
+        options: &SolverOptions,
+        scratch: &mut SolverScratch,
+    ) -> Result<Solution, SolveFailure> {
+        self.solve_impl(system, t0, y0, sample_times, options, scratch.radau(system.dim()))
+    }
+}
+
+impl Radau5 {
+    #[allow(clippy::too_many_lines)]
+    fn solve_impl(
+        &self,
+        system: &dyn OdeSystem,
+        t0: f64,
+        y0: &[f64],
+        sample_times: &[f64],
+        options: &SolverOptions,
+        ws: &mut RadauWorkspace,
     ) -> Result<Solution, SolveFailure> {
         let n = system.dim();
         check_inputs(n, y0, t0, sample_times, options)?;
@@ -192,17 +261,15 @@ impl OdeSolver for Radau5 {
         let dd3 = -1.0 / 3.0;
         let (u1, alph, beta) = eigen_constants();
 
-        let mut ws = Workspace::new(n);
         let mut t = t0;
-        let mut y = y0.to_vec();
-        let mut f0 = vec![0.0; n];
-        system.rhs(t, &y, &mut f0);
+        ws.y.copy_from_slice(y0);
+        system.rhs(t, &ws.y, &mut ws.f0);
         sol.stats.rhs_evals += 1;
 
         let mut next_sample = 0;
         while next_sample < sample_times.len() && sample_times[next_sample] <= t {
             sol.times.push(sample_times[next_sample]);
-            sol.states.push(y.clone());
+            sol.states.push(ws.y.clone());
             next_sample += 1;
         }
         if next_sample == sample_times.len() {
@@ -215,7 +282,7 @@ impl OdeSolver for Radau5 {
 
         let mut h = options
             .initial_step
-            .unwrap_or_else(|| initial_step_size(&system, t, &y, &f0, 1.0, 3, options));
+            .unwrap_or_else(|| initial_step_size(&system, t, &ws.y, &ws.f0, 1.0, 3, options));
         sol.stats.rhs_evals += usize::from(options.initial_step.is_none());
         h = h.min(options.max_step).min(t_end - t);
 
@@ -231,7 +298,7 @@ impl OdeSolver for Radau5 {
         let mut singular_retries = 0usize;
         let mut newton_failures = 0usize;
 
-        options.error_scale(&y, &mut ws.scale);
+        options.error_scale(&ws.y, &mut ws.scale);
 
         'steps: loop {
             if steps_since_sample >= options.max_steps {
@@ -246,7 +313,7 @@ impl OdeSolver for Radau5 {
             }
 
             if need_jacobian {
-                system.jacobian(t, &y, &mut ws.jac);
+                system.jacobian(t, &ws.y, &mut ws.jac);
                 sol.stats.jacobian_evals += 1;
                 if !system.has_analytic_jacobian() {
                     sol.stats.rhs_evals += n + 1;
@@ -256,16 +323,30 @@ impl OdeSolver for Radau5 {
             }
             if need_factor {
                 let fac1 = u1 / h;
-                let mut e1 = ws.jac.clone();
-                for v in e1.as_mut_slice().iter_mut() {
-                    *v = -*v;
+                // Build E1 = γ/h·I − J into reclaimed storage: the retired
+                // factorization (or the reclaim slot) donates its matrix.
+                let mut e1 = ws
+                    .lu_real
+                    .take()
+                    .map(LuFactor::into_matrix)
+                    .or_else(|| ws.e1_store.take())
+                    .filter(|m| m.rows() == n && m.cols() == n)
+                    .unwrap_or_else(|| Matrix::zeros(n, n));
+                for (dst, &src) in e1.as_mut_slice().iter_mut().zip(ws.jac.as_slice()) {
+                    *dst = -src;
                 }
                 for i in 0..n {
                     e1[(i, i)] += fac1;
                 }
                 let alphn = alph / h;
                 let betan = beta / h;
-                let mut e2 = CMatrix::zeros(n, n);
+                let mut e2 = ws
+                    .lu_complex
+                    .take()
+                    .map(CluFactor::into_matrix)
+                    .or_else(|| ws.e2_store.take())
+                    .filter(|m| m.rows() == n && m.cols() == n)
+                    .unwrap_or_else(|| CMatrix::zeros(n, n));
                 for i in 0..n {
                     for j in 0..n {
                         e2[(i, j)] = Complex64::new(-ws.jac[(i, j)], 0.0);
@@ -308,7 +389,7 @@ impl OdeSolver for Radau5 {
             } else {
                 // Extrapolate the previous collocation polynomial.
                 let ratio = h / ws.cont_h;
-                let mut q = vec![0.0; n];
+                let mut q = std::mem::take(&mut ws.extrap);
                 for (ci, zi) in [(c1, 0usize), (c2, 1), (1.0, 2)] {
                     ws.eval_cont(ci * ratio, &mut q);
                     let z = match zi {
@@ -320,6 +401,7 @@ impl OdeSolver for Radau5 {
                         z[i] = q[i] - ws.cont[0][i];
                     }
                 }
+                ws.extrap = q;
                 for i in 0..n {
                     ws.w1[i] = TI11 * ws.z1[i] + TI12 * ws.z2[i] + TI13 * ws.z3[i];
                     ws.w2[i] = TI21 * ws.z1[i] + TI22 * ws.z2[i] + TI23 * ws.z3[i];
@@ -339,15 +421,15 @@ impl OdeSolver for Radau5 {
                 newton_iters = newt + 1;
                 // Stage right-hand sides.
                 for i in 0..n {
-                    ws.stage[i] = y[i] + ws.z1[i];
+                    ws.stage[i] = ws.y[i] + ws.z1[i];
                 }
                 system.rhs(t + c1 * h, &ws.stage, &mut ws.f1);
                 for i in 0..n {
-                    ws.stage[i] = y[i] + ws.z2[i];
+                    ws.stage[i] = ws.y[i] + ws.z2[i];
                 }
                 system.rhs(t + c2 * h, &ws.stage, &mut ws.f2);
                 for i in 0..n {
-                    ws.stage[i] = y[i] + ws.z3[i];
+                    ws.stage[i] = ws.y[i] + ws.z3[i];
                 }
                 system.rhs(t + h, &ws.stage, &mut ws.f3);
                 sol.stats.rhs_evals += 3;
@@ -448,30 +530,27 @@ impl OdeSolver for Radau5 {
             let hee1 = dd1 / h;
             let hee2 = dd2 / h;
             let hee3 = dd3 / h;
-            let mut tmp = vec![0.0; n];
-            let mut err_v = vec![0.0; n];
             for i in 0..n {
-                tmp[i] = hee1 * ws.z1[i] + hee2 * ws.z2[i] + hee3 * ws.z3[i];
-                err_v[i] = tmp[i] + f0[i];
+                ws.tmp[i] = hee1 * ws.z1[i] + hee2 * ws.z2[i] + hee3 * ws.z3[i];
+                ws.err_v[i] = ws.tmp[i] + ws.f0[i];
             }
-            lu_real.solve_in_place(&mut err_v);
+            lu_real.solve_in_place(&mut ws.err_v);
             sol.stats.linear_solves += 1;
-            let mut err = weighted_rms_norm(&err_v, &ws.scale).max(1e-10);
+            let mut err = weighted_rms_norm(&ws.err_v, &ws.scale).max(1e-10);
 
             if err >= 1.0 && (first || last_rejected) {
                 // Refined estimate: evaluate f at the corrected point.
                 for i in 0..n {
-                    ws.stage[i] = y[i] + err_v[i];
+                    ws.stage[i] = ws.y[i] + ws.err_v[i];
                 }
-                let mut f_ref = vec![0.0; n];
-                system.rhs(t, &ws.stage, &mut f_ref);
+                system.rhs(t, &ws.stage, &mut ws.f_ref);
                 sol.stats.rhs_evals += 1;
                 for i in 0..n {
-                    err_v[i] = f_ref[i] + tmp[i];
+                    ws.err_v[i] = ws.f_ref[i] + ws.tmp[i];
                 }
-                lu_real.solve_in_place(&mut err_v);
+                lu_real.solve_in_place(&mut ws.err_v);
                 sol.stats.linear_solves += 1;
-                err = weighted_rms_norm(&err_v, &ws.scale).max(1e-10);
+                err = weighted_rms_norm(&ws.err_v, &ws.scale).max(1e-10);
             }
 
             sol.stats.steps += 1;
@@ -499,7 +578,7 @@ impl OdeSolver for Radau5 {
                 let c2m1 = c2 - 1.0;
                 let c1m1 = c1 - 1.0;
                 for i in 0..n {
-                    let y_new = y[i] + ws.z3[i];
+                    let y_new = ws.y[i] + ws.z3[i];
                     ws.cont[0][i] = y_new;
                     let c1_term = (ws.z2[i] - ws.z3[i]) / c2m1;
                     let ak = (ws.z1[i] - ws.z2[i]) / c1mc2;
@@ -515,7 +594,7 @@ impl OdeSolver for Radau5 {
 
                 let t_new = t + h;
                 // Serve samples inside (t, t_new].
-                let mut sample_buf = vec![0.0; n];
+                let mut sample_buf = std::mem::take(&mut ws.sample_buf);
                 while next_sample < sample_times.len() && sample_times[next_sample] <= t_new {
                     let ts = sample_times[next_sample];
                     let s = ((ts - t_new) / h).clamp(-1.0, 0.0);
@@ -525,12 +604,13 @@ impl OdeSolver for Radau5 {
                     next_sample += 1;
                     steps_since_sample = 0;
                 }
+                ws.sample_buf = sample_buf;
 
                 // Advance the state (stiffly accurate: y_new = y + z3).
                 for i in 0..n {
-                    y[i] += ws.z3[i];
+                    ws.y[i] += ws.z3[i];
                 }
-                if !y.iter().all(|v| v.is_finite()) {
+                if !ws.y.iter().all(|v| v.is_finite()) {
                     return Err(SolveFailure {
                         error: SolverError::NonFiniteState { t: t_new },
                         stats: sol.stats,
@@ -541,9 +621,9 @@ impl OdeSolver for Radau5 {
                     return Ok(sol);
                 }
 
-                system.rhs(t, &y, &mut f0);
+                system.rhs(t, &ws.y, &mut ws.f0);
                 sol.stats.rhs_evals += 1;
-                options.error_scale(&y, &mut ws.scale);
+                options.error_scale(&ws.y, &mut ws.scale);
 
                 // Jacobian / factorization reuse policy.
                 need_jacobian = theta > THET;

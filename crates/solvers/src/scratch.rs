@@ -1,0 +1,94 @@
+//! Reusable solver workspaces ("scratch") for allocation-free integration.
+//!
+//! Every solver in this crate needs working storage whose size depends only
+//! on the system dimension: Runge–Kutta stage vectors, Newton iteration
+//! workspaces and LU factorizations, the Nordsieck history array. Allocating
+//! that storage inside `solve` is fine for a one-off call, but the batch
+//! engines integrate thousands of same-sized members back to back — there,
+//! per-solve allocation (and, worse, per-*step* allocation) dominates small
+//! systems and fragments the heap.
+//!
+//! [`SolverScratch`] owns one of each solver family's workspaces and is
+//! handed to [`OdeSolver::solve_pooled`](crate::OdeSolver::solve_pooled).
+//! Buffers are created on first use, grown on dimension change, and reused
+//! verbatim otherwise, so a worker thread that processes a stream of
+//! same-dimension simulations reaches a steady state with **zero heap
+//! allocations per integration step** (solution output and the rare
+//! re-factorization are the only remaining allocation sites).
+//!
+//! Pooling never changes results: a pooled solve is bitwise identical to a
+//! fresh-workspace solve, because every buffer is fully (re)initialized
+//! before use.
+//!
+//! # Example
+//!
+//! ```
+//! use paraspace_solvers::{Dopri5, FnSystem, OdeSolver, SolverOptions, SolverScratch};
+//!
+//! # fn main() -> Result<(), paraspace_solvers::SolveFailure> {
+//! let sys = FnSystem::new(1, |_t, y, d| d[0] = -y[0]);
+//! let opts = SolverOptions::default();
+//! let mut scratch = SolverScratch::new();
+//! let fresh = Dopri5::new().solve(&sys, 0.0, &[1.0], &[1.0], &opts)?;
+//! let pooled = Dopri5::new().solve_pooled(&sys, 0.0, &[1.0], &[1.0], &opts, &mut scratch)?;
+//! assert_eq!(fresh.states, pooled.states); // bitwise identical
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::dopri5::DopriScratch;
+use crate::multistep::core::NordsieckCore;
+use crate::multistep::MethodFamily;
+use crate::radau5::RadauWorkspace;
+
+/// Pooled working storage for all solver families in this crate.
+///
+/// One instance per worker thread; see the [module docs](self).
+#[derive(Default)]
+pub struct SolverScratch {
+    pub(crate) dopri: DopriScratch,
+    pub(crate) radau: Option<RadauWorkspace>,
+    pub(crate) nordsieck: Option<NordsieckCore>,
+}
+
+impl SolverScratch {
+    /// Creates an empty scratch; buffers materialize on first use.
+    pub fn new() -> Self {
+        SolverScratch::default()
+    }
+
+    /// The RADAU5 workspace for dimension `n`, reset for a new integration
+    /// (reusing every buffer, including reclaimed LU storage, when the
+    /// dimension matches).
+    pub(crate) fn radau(&mut self, n: usize) -> &mut RadauWorkspace {
+        match &mut self.radau {
+            Some(ws) if ws.dim() == n => ws.reset(),
+            slot => *slot = Some(RadauWorkspace::new(n)),
+        }
+        self.radau.as_mut().expect("workspace just ensured")
+    }
+
+    /// The Nordsieck core for dimension `n`, re-targeted to `family` /
+    /// `max_order` (history columns grow monotonically and are reused).
+    pub(crate) fn nordsieck(
+        &mut self,
+        family: MethodFamily,
+        n: usize,
+        max_order: usize,
+    ) -> &mut NordsieckCore {
+        match &mut self.nordsieck {
+            Some(core) if core.dim() == n => core.reinit(family, max_order),
+            slot => *slot = Some(NordsieckCore::new(family, n, max_order)),
+        }
+        self.nordsieck.as_mut().expect("core just ensured")
+    }
+}
+
+impl std::fmt::Debug for SolverScratch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SolverScratch")
+            .field("radau", &self.radau.as_ref().map(|w| w.dim()))
+            .field("nordsieck", &self.nordsieck.as_ref().map(|c| c.dim()))
+            .finish()
+    }
+}

@@ -1,7 +1,7 @@
 //! The ODE-system abstraction all solvers consume, and the object-safe
 //! solver interface the simulation engines dispatch over.
 
-use crate::{SolveFailure, Solution, SolverError, SolverOptions};
+use crate::{SolveFailure, Solution, SolverError, SolverOptions, SolverScratch};
 use paraspace_linalg::{finite_difference_jacobian_into, Matrix};
 
 /// A first-order ODE system `dy/dt = f(t, y)` of fixed dimension.
@@ -106,7 +106,12 @@ impl<F> std::fmt::Debug for FnSystem<F> {
 /// Solvers integrate with internally chosen steps and evaluate their dense
 /// output at each requested time, so output resolution never constrains the
 /// step-size controller.
-pub trait OdeSolver {
+///
+/// Solvers are `Send + Sync`: they carry only configuration (method order,
+/// tolerance defaults), never integration state, so one solver
+/// value can be shared by every worker of a host-parallel batch. Per-run
+/// state lives on the stack or in a [`SolverScratch`].
+pub trait OdeSolver: Send + Sync {
     /// Solver name for reports and comparison maps (e.g. `"dopri5"`).
     fn name(&self) -> &'static str;
 
@@ -126,6 +131,30 @@ pub trait OdeSolver {
         sample_times: &[f64],
         options: &SolverOptions,
     ) -> Result<Solution, SolveFailure>;
+
+    /// Like [`solve`](OdeSolver::solve), but drawing working storage from a
+    /// caller-owned [`SolverScratch`] pool instead of allocating it.
+    ///
+    /// Results are bitwise identical to `solve`. Solvers with pooled
+    /// workspaces (DOPRI5, RADAU5, the multistep family) override this; the
+    /// default simply delegates to `solve`, so pooling is always safe to
+    /// request.
+    ///
+    /// # Errors
+    ///
+    /// Identical to [`solve`](OdeSolver::solve).
+    fn solve_pooled(
+        &self,
+        system: &dyn OdeSystem,
+        t0: f64,
+        y0: &[f64],
+        sample_times: &[f64],
+        options: &SolverOptions,
+        scratch: &mut SolverScratch,
+    ) -> Result<Solution, SolveFailure> {
+        let _ = scratch;
+        self.solve(system, t0, y0, sample_times, options)
+    }
 }
 
 /// Validates common `solve` preconditions shared by all solvers.

@@ -46,7 +46,7 @@ mod schedule;
 mod workload;
 
 pub use config::DeviceConfig;
-pub use device::{Device, Timeline};
+pub use device::{cost_launch, Device, Timeline, TimelineShard};
 pub use dynamic::DpModel;
 pub use memory::MemorySpace;
 pub use schedule::{LaunchStats, Occupancy};

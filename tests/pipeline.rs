@@ -143,9 +143,14 @@ fn perturbed_batch_members_vary_but_stay_physical() {
     let batch = perturbed_batch(&model, 16, &mut rng);
     let job = SimulationJob::builder(&model).time_points(vec![1.0]).parameterizations(batch).build().expect("job");
     let r = FineCoarseEngine::new().run(&job).expect("run");
-    let finals: Vec<f64> = r.solutions().map(|s| s.state_at(0)[0]).collect();
+    let finals: Vec<Vec<f64>> = r.solutions().map(|s| s.state_at(0).to_vec()).collect();
     assert!(finals.len() >= 14, "almost all members should integrate");
-    let distinct = finals.iter().filter(|&&x| (x - finals[0]).abs() > 1e-12).count();
+    // A single component can sit at a shared equilibrium (or be disconnected
+    // in the generated network), so look for variation anywhere in the state.
+    let distinct = finals
+        .iter()
+        .filter(|f| f.iter().zip(&finals[0]).any(|(x, y)| (x - y).abs() > 1e-12))
+        .count();
     assert!(distinct > 0, "perturbed members must differ");
     for s in r.solutions() {
         for &x in s.state_at(0) {

@@ -1,0 +1,226 @@
+//! Offline vendored stand-in for the `criterion` crate.
+//!
+//! Provides the subset of the criterion 0.5 API used by the workspace's
+//! benches: `Criterion::benchmark_group`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `Bencher::iter`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement is deliberately simple: a short warm-up, then `sample_size`
+//! timed samples of an adaptively chosen iteration count, reporting the
+//! per-iteration mean and min to stdout. When the binary is invoked with
+//! `--test` (as `cargo test` does for `harness = false` bench targets) the
+//! benchmarks run exactly one iteration each, as upstream does.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { sample_size: 100, test_mode }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+
+    /// Runs a free-standing benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        let label = id.to_string();
+        run_benchmark(&label, self.sample_size, self.test_mode, &mut f);
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(&label, self.criterion.sample_size, self.criterion.test_mode, &mut f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(&label, self.criterion.sample_size, self.criterion.test_mode, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; the shim prints
+    /// per-benchmark, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier composed of a function name and a parameter.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id labelled `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// An id labelled by the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Hands the routine under measurement to the timing loop.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping its output alive via [`black_box`].
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn time_once<F: FnMut(&mut Bencher)>(f: &mut F, iters: u64) -> Duration {
+    let mut b = Bencher { iters, elapsed: Duration::ZERO };
+    f(&mut b);
+    b.elapsed
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, test_mode: bool, f: &mut F) {
+    if test_mode {
+        time_once(f, 1);
+        println!("test {label} ... ok (bench smoke)");
+        return;
+    }
+    // Warm-up, and pick an iteration count aiming near ~25ms per sample so
+    // cheap routines are not swamped by timer noise.
+    let warm = time_once(f, 1).max(Duration::from_nanos(1));
+    let target = Duration::from_millis(25);
+    let iters = (target.as_nanos() / warm.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let mut total = Duration::ZERO;
+    let mut best = Duration::MAX;
+    for _ in 0..sample_size {
+        let t = time_once(f, iters);
+        total += t;
+        best = best.min(t);
+    }
+    let samples = sample_size as u64 * iters;
+    let mean_ns = total.as_nanos() as f64 / samples as f64;
+    let min_ns = best.as_nanos() as f64 / iters as f64;
+    println!("bench {label:<48} mean {} min {}", fmt_ns(mean_ns), fmt_ns(min_ns));
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut calls = 0u64;
+        let mut b = Bencher { iters: 17, elapsed: Duration::ZERO };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 17);
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion { sample_size: 2, test_mode: true };
+        let mut ran = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.bench_function("one", |b| b.iter(|| ran += 1));
+            g.bench_with_input(BenchmarkId::new("two", 42), &42, |b, x| {
+                b.iter(|| black_box(*x))
+            });
+            g.finish();
+        }
+        assert!(ran >= 1);
+    }
+}
