@@ -68,7 +68,11 @@ mod tests {
     use paraspace_solvers::StepStats;
 
     fn sol(states: Vec<Vec<f64>>) -> Solution {
-        Solution { times: (0..states.len()).map(|i| i as f64).collect(), states, stats: StepStats::default() }
+        Solution {
+            times: (0..states.len()).map(|i| i as f64).collect(),
+            states,
+            stats: StepStats::default(),
+        }
     }
 
     #[test]

@@ -80,8 +80,7 @@ pub fn analyze(series: &[f64], dt: f64) -> OscillationSummary {
         return none;
     }
     let period = if maxima.len() >= 2 {
-        let gaps: Vec<f64> =
-            maxima.windows(2).map(|w| (w[1] - w[0]) as f64 * dt).collect();
+        let gaps: Vec<f64> = maxima.windows(2).map(|w| (w[1] - w[0]) as f64 * dt).collect();
         Some(gaps.iter().sum::<f64>() / gaps.len() as f64)
     } else {
         None

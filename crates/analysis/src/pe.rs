@@ -176,11 +176,8 @@ mod tests {
 
     fn target_for(model: &ReactionBasedModel, times: &[f64]) -> Solution {
         let engine = CpuEngine::new(CpuSolverKind::Lsoda);
-        let job = SimulationJob::builder(model)
-            .time_points(times.to_vec())
-            .replicate(1)
-            .build()
-            .unwrap();
+        let job =
+            SimulationJob::builder(model).time_points(times.to_vec()).replicate(1).build().unwrap();
         engine.run(&job).unwrap().outcomes.remove(0).solution.unwrap()
     }
 

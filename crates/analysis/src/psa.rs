@@ -305,11 +305,8 @@ mod tests {
         // Metric = final value of A at t=1 for decay rate k = u·v:
         // exactly e^{-u·v}.
         let m = decay_model();
-        let sweep = Psa2d::new(
-            Axis::linear("u", 0.5, 2.0, 3),
-            Axis::linear("v", 0.5, 1.5, 3),
-        )
-        .batch_size(4);
+        let sweep = Psa2d::new(Axis::linear("u", 0.5, 2.0, 3), Axis::linear("v", 0.5, 1.5, 3))
+            .batch_size(4);
         let engine = CpuEngine::new(CpuSolverKind::Lsoda);
         let r = sweep
             .run(
@@ -369,11 +366,8 @@ mod tests {
     #[test]
     fn batching_covers_grid_exactly_once() {
         let m = decay_model();
-        let sweep = Psa2d::new(
-            Axis::linear("u", 1.0, 2.0, 5),
-            Axis::linear("v", 1.0, 2.0, 7),
-        )
-        .batch_size(3); // deliberately awkward chunking
+        let sweep = Psa2d::new(Axis::linear("u", 1.0, 2.0, 5), Axis::linear("v", 1.0, 2.0, 7))
+            .batch_size(3); // deliberately awkward chunking
         let engine = CpuEngine::new(CpuSolverKind::Lsoda);
         let mut count = 0usize;
         let r = sweep

@@ -186,7 +186,10 @@ fn run_swarm<O: Objective>(
 ) -> PsoResult {
     assert!(!bounds.is_empty(), "at least one dimension required");
     for &(lo, hi) in bounds {
-        assert!(hi > lo && lo.is_finite() && hi.is_finite(), "bounds must be finite and increasing");
+        assert!(
+            hi > lo && lo.is_finite() && hi.is_finite(),
+            "bounds must be finite and increasing"
+        );
     }
     let d = bounds.len();
     let size = config.swarm_size.unwrap_or_else(|| heuristic_swarm_size(d));
@@ -311,7 +314,8 @@ mod tests {
 
     #[test]
     fn pso_minimizes_sphere() {
-        let r = pso(&[(-10.0, 10.0); 4], &PsoConfig { iterations: 100, ..Default::default() }, sphere);
+        let r =
+            pso(&[(-10.0, 10.0); 4], &PsoConfig { iterations: 100, ..Default::default() }, sphere);
         assert!(r.best_fitness < 1e-2, "fitness {}", r.best_fitness);
         assert_eq!(r.history.len(), 100);
         assert!(r.evaluations > 0);
@@ -319,7 +323,11 @@ mod tests {
 
     #[test]
     fn fst_pso_minimizes_sphere_without_tuning() {
-        let r = fst_pso(&[(-10.0, 10.0); 4], &PsoConfig { iterations: 100, ..Default::default() }, sphere);
+        let r = fst_pso(
+            &[(-10.0, 10.0); 4],
+            &PsoConfig { iterations: 100, ..Default::default() },
+            sphere,
+        );
         assert!(r.best_fitness < 1e-2, "fitness {}", r.best_fitness);
     }
 

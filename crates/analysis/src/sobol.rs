@@ -55,8 +55,8 @@ fn radical_inverse(mut i: u64, b: u64) -> f64 {
 }
 
 const PRIMES: [u64; 32] = [
-    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
-    97, 101, 103, 107, 109, 113, 127, 131,
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+    101, 103, 107, 109, 113, 127, 131,
 ];
 
 /// Deterministic per-dimension shift for the Cranley–Patterson rotation
@@ -144,12 +144,7 @@ impl SaltelliPlan {
         assert_eq!(bounds.len(), self.dims, "one bound pair per dimension");
         self.points
             .iter()
-            .map(|row| {
-                row.iter()
-                    .zip(bounds)
-                    .map(|(&u, &(lo, hi))| lo + u * (hi - lo))
-                    .collect()
-            })
+            .map(|row| row.iter().zip(bounds).map(|(&u, &(lo, hi))| lo + u * (hi - lo)).collect())
             .collect()
     }
 
@@ -229,11 +224,7 @@ impl SaltelliPlan {
         let fba = |i: usize| &outputs[(2 + d + i) * n..(3 + d + i) * n];
 
         let mean: f64 = fa.iter().chain(fb.iter()).sum::<f64>() / (2 * n) as f64;
-        let var: f64 = fa
-            .iter()
-            .chain(fb.iter())
-            .map(|&v| (v - mean).powi(2))
-            .sum::<f64>()
+        let var: f64 = fa.iter().chain(fb.iter()).map(|&v| (v - mean).powi(2)).sum::<f64>()
             / (2 * n - 1) as f64;
         let mut s2 = vec![vec![0.0; d]; d];
         if var <= 0.0 {
@@ -248,11 +239,7 @@ impl SaltelliPlan {
             .collect();
         for i in 0..d {
             for j in (i + 1)..d {
-                let vij_closed: f64 = fba(i)
-                    .iter()
-                    .zip(fab(j))
-                    .map(|(&x, &y)| x * y)
-                    .sum::<f64>()
+                let vij_closed: f64 = fba(i).iter().zip(fab(j)).map(|(&x, &y)| x * y).sum::<f64>()
                     / n as f64
                     - mean * mean;
                 s2[i][j] = (vij_closed - v1[i] - v1[j]) / var;
@@ -266,11 +253,9 @@ impl SaltelliPlan {
 fn estimate(fa: &[f64], fb: &[f64], fab: &[f64], rows: &[usize]) -> (f64, f64) {
     let n = rows.len() as f64;
     let mean: f64 = rows.iter().map(|&j| fa[j] + fb[j]).sum::<f64>() / (2.0 * n);
-    let var: f64 = rows
-        .iter()
-        .map(|&j| (fa[j] - mean).powi(2) + (fb[j] - mean).powi(2))
-        .sum::<f64>()
-        / (2.0 * n - 1.0);
+    let var: f64 =
+        rows.iter().map(|&j| (fa[j] - mean).powi(2) + (fb[j] - mean).powi(2)).sum::<f64>()
+            / (2.0 * n - 1.0);
     if var <= 0.0 {
         return (0.0, 0.0);
     }

@@ -107,10 +107,12 @@ mod tests {
     fn larger_budget_fits_more_simulations() {
         let m = model();
         let engine = CpuEngine::new(CpuSolverKind::Lsoda);
-        let small = simulations_within_budget(&m, |_| Parameterization::new(), vec![1.0], &engine, 4, 1e8)
-            .unwrap();
-        let large = simulations_within_budget(&m, |_| Parameterization::new(), vec![1.0], &engine, 4, 1e10)
-            .unwrap();
+        let small =
+            simulations_within_budget(&m, |_| Parameterization::new(), vec![1.0], &engine, 4, 1e8)
+                .unwrap();
+        let large =
+            simulations_within_budget(&m, |_| Parameterization::new(), vec![1.0], &engine, 4, 1e10)
+                .unwrap();
         assert!(large.simulations_in_budget >= 50 * small.simulations_in_budget.max(1));
     }
 

@@ -4,8 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use paraspace_core::{
-    CoarseEngine, CpuEngine, CpuSolverKind, FineCoarseEngine, FineEngine, SimulationJob,
-    Simulator,
+    CoarseEngine, CpuEngine, CpuSolverKind, FineCoarseEngine, FineEngine, SimulationJob, Simulator,
 };
 use paraspace_rbm::{perturbed_batch, sbgen::SbGen};
 use paraspace_solvers::SolverOptions;

@@ -28,7 +28,10 @@ fn main() {
     let opts = SolverOptions { max_steps: 100_000, ..SolverOptions::default() };
 
     println!("A1: batch-size ablation on a {size}x{size} model\n");
-    println!("{:>8} {:>16} {:>16} {:>16}", "batch", "per-sim (DP)", "per-sim (no DP)", "total (DP)");
+    println!(
+        "{:>8} {:>16} {:>16} {:>16}",
+        "batch", "per-sim (DP)", "per-sim (no DP)", "total (DP)"
+    );
     let no_dp = DpModel {
         flat_until: usize::MAX,
         severe_at: usize::MAX,

@@ -19,7 +19,10 @@ fn run_table(
     solvers: &[Box<dyn OdeSolver>],
 ) {
     println!("== {title} ==");
-    println!("{:10} {:>10} {:>14} {:>10} {:>10} {:>8}", "solver", "rtol", "error", "steps", "rhs", "jac");
+    println!(
+        "{:10} {:>10} {:>14} {:>10} {:>10} {:>8}",
+        "solver", "rtol", "error", "steps", "rhs", "jac"
+    );
     for s in solvers {
         for rtol in [1e-4, 1e-6, 1e-8] {
             let opts = SolverOptions {

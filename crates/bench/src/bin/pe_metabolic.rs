@@ -95,9 +95,7 @@ fn main() {
     let mean_log_err: f64 = problem
         .unknown
         .iter()
-        .map(|&i| {
-            (gpu.rate_constants[i].max(1e-300).log10() - truth[i].max(1e-300).log10()).abs()
-        })
+        .map(|&i| (gpu.rate_constants[i].max(1e-300).log10() - truth[i].max(1e-300).log10()).abs())
         .sum::<f64>()
         / problem.unknown.len() as f64;
     println!("  mean |log10 error| of recovered constants (gpu run): {mean_log_err:.3}");

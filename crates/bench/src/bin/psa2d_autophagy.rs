@@ -88,13 +88,9 @@ fn main() {
 
     let run_for = |species: usize| {
         sweep
-            .run(
-                &model,
-                build,
-                times.clone(),
-                &engine,
-                move |sol| oscillation::amplitude(&sol.component(species)),
-            )
+            .run(&model, build, times.clone(), &engine, move |sol| {
+                oscillation::amplitude(&sol.component(species))
+            })
             .expect("sweep failed")
     };
     let map_ambra = run_for(ambra);

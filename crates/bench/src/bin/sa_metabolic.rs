@@ -101,7 +101,8 @@ fn main() {
     }
     let dead_end = [7usize, 8, 9, 10];
     let cycle = [0usize, 1, 2, 3, 4, 5, 6];
-    let mean_st = |ids: &[usize]| ids.iter().map(|&i| indices[i].st).sum::<f64>() / ids.len() as f64;
+    let mean_st =
+        |ids: &[usize]| ids.iter().map(|&i| indices[i].st).sum::<f64>() / ids.len() as f64;
     println!(
         "\nmean ST: dead-end complexes {:.3} vs catalytic-cycle species {:.3} (published shape: dead-end ≫ cycle)",
         mean_st(&dead_end),

@@ -14,10 +14,7 @@ fn main() {
     let (n, m, sims) = if full_scale() { (256, 256, 512) } else { (48, 48, 128) };
     println!("E8: speedup table on a {n}x{m} synthetic model, {sims} simulations\n");
     let cell = comparison_cell(n, m, sims, 0xE8).expect("cell failed");
-    let fc = cell
-        .iter()
-        .find(|c| c.engine == "fine-coarse")
-        .expect("fine-coarse engine in roster");
+    let fc = cell.iter().find(|c| c.engine == "fine-coarse").expect("fine-coarse engine in roster");
 
     println!(
         "{:12} {:>14} {:>14} {:>12} {:>12}",

@@ -56,10 +56,7 @@ fn main() {
         );
         // Sanity: the two ensembles must agree on the mean.
         let (ms, mt) = (ssa.stats.mean[4][1], tau.stats.mean[4][1]);
-        assert!(
-            (ms - mt).abs() / ms.max(1.0) < 0.1,
-            "ensembles diverged: ssa {ms}, tau {mt}"
-        );
+        assert!((ms - mt).abs() / ms.max(1.0) < 0.1, "ensembles diverged: ssa {ms}, tau {mt}");
     }
     println!("\n(per-replicate device cost falls with ensemble size — the coarse-grained win)");
 }

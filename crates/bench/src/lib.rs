@@ -7,8 +7,8 @@
 //! controlled by the `PARASPACE_FULL` environment variable.
 
 use paraspace_core::{
-    CoarseEngine, CpuEngine, CpuSolverKind, FineCoarseEngine, FineEngine, SimError,
-    SimulationJob, Simulator,
+    CoarseEngine, CpuEngine, CpuSolverKind, FineCoarseEngine, FineEngine, SimError, SimulationJob,
+    Simulator,
 };
 use paraspace_rbm::{perturbed_batch, Parameterization, ReactionBasedModel};
 use paraspace_solvers::SolverOptions;
@@ -209,7 +209,12 @@ pub fn run_map_experiment(title: &str, grid: &MapGrid) -> Result<(), SimError> {
     for &(n, m) in &grid.sizes {
         let mut row = Vec::new();
         for &sims in &grid.sims {
-            let cell = comparison_cell(n, m, sims, 0xC0FFEE ^ (n as u64) << 20 ^ (m as u64) << 8 ^ sims as u64)?;
+            let cell = comparison_cell(
+                n,
+                m,
+                sims,
+                0xC0FFEE ^ (n as u64) << 20 ^ (m as u64) << 8 ^ sims as u64,
+            )?;
             row.push(best_engine(&cell));
             detail.push_str(&format!("model {n}x{m}, sims {sims}:\n"));
             for c in &cell {

@@ -155,7 +155,14 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             while i < args.len() {
                 match args[i].as_str() {
                     "--engine" => engine = parse_flag(args, &mut i, "--engine")?,
-                    "--out" => out_dir = Some(PathBuf::from(args.get(i + 1).cloned().ok_or_else(|| CliError("--out needs a value".into()))?)).inspect(|_| i += 1),
+                    "--out" => {
+                        out_dir = Some(PathBuf::from(
+                            args.get(i + 1)
+                                .cloned()
+                                .ok_or_else(|| CliError("--out needs a value".into()))?,
+                        ))
+                        .inspect(|_| i += 1)
+                    }
                     "--batch" => batch = parse_flag(args, &mut i, "--batch")?,
                     "--rtol" => rtol = parse_flag(args, &mut i, "--rtol")?,
                     "--atol" => atol = parse_flag(args, &mut i, "--atol")?,
@@ -168,7 +175,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 i += 1;
             }
             Ok(Command::Simulate {
-                model_dir: model_dir.ok_or_else(|| CliError("simulate needs a model directory".into()))?,
+                model_dir: model_dir
+                    .ok_or_else(|| CliError("simulate needs a model directory".into()))?,
                 engine,
                 out_dir,
                 batch,
@@ -203,9 +211,11 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             }
             Ok(Command::Generate {
                 species: species.ok_or_else(|| CliError("generate needs --species".into()))?,
-                reactions: reactions.ok_or_else(|| CliError("generate needs --reactions".into()))?,
+                reactions: reactions
+                    .ok_or_else(|| CliError("generate needs --reactions".into()))?,
                 seed,
-                out_dir: out_dir.ok_or_else(|| CliError("generate needs an output directory".into()))?,
+                out_dir: out_dir
+                    .ok_or_else(|| CliError("generate needs an output directory".into()))?,
             })
         }
         "recommend" => {
@@ -224,7 +234,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             }
             Ok(Command::Recommend {
                 species: species.ok_or_else(|| CliError("recommend needs --species".into()))?,
-                reactions: reactions.ok_or_else(|| CliError("recommend needs --reactions".into()))?,
+                reactions: reactions
+                    .ok_or_else(|| CliError("recommend needs --reactions".into()))?,
                 sims: sims.ok_or_else(|| CliError("recommend needs --sims".into()))?,
             })
         }
@@ -284,12 +295,22 @@ pub fn execute(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), CliErr
                     let doc = std::fs::read_to_string(from)?;
                     let model = sbml::from_str(&doc)?;
                     biosimware::write_dir(&model, to)?;
-                    writeln!(out, "SBML → BioSimWare: {} species, {} reactions", model.n_species(), model.n_reactions())?;
+                    writeln!(
+                        out,
+                        "SBML → BioSimWare: {} species, {} reactions",
+                        model.n_species(),
+                        model.n_reactions()
+                    )?;
                 }
                 (false, true) => {
                     let model = biosimware::read_dir(from)?;
                     std::fs::write(to, sbml::to_string(&model))?;
-                    writeln!(out, "BioSimWare → SBML: {} species, {} reactions", model.n_species(), model.n_reactions())?;
+                    writeln!(
+                        out,
+                        "BioSimWare → SBML: {} species, {} reactions",
+                        model.n_species(),
+                        model.n_reactions()
+                    )?;
                 }
                 _ => return Err(CliError("exactly one side must be an .xml file".into())),
             }
@@ -328,7 +349,10 @@ pub fn execute(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), CliErr
                         )?;
                     }
                     Err(e) => {
-                        std::fs::write(out_path.join(format!("dynamics_{i:05}.err")), e.to_string())?;
+                        std::fs::write(
+                            out_path.join(format!("dynamics_{i:05}.err")),
+                            e.to_string(),
+                        )?;
                     }
                 }
             }
@@ -366,7 +390,9 @@ mod tests {
 
     #[test]
     fn parse_simulate_defaults_and_flags() {
-        let cmd = parse(&argv("simulate /tmp/model --engine lsoda --batch 8 --rtol 1e-4 --threads 4")).unwrap();
+        let cmd =
+            parse(&argv("simulate /tmp/model --engine lsoda --batch 8 --rtol 1e-4 --threads 4"))
+                .unwrap();
         match cmd {
             Command::Simulate { model_dir, engine, batch, rtol, atol, out_dir, threads } => {
                 assert_eq!(model_dir, PathBuf::from("/tmp/model"));
@@ -448,10 +474,8 @@ mod tests {
         )
         .unwrap();
         execute(&Command::Convert { from: dir.clone(), to: xml.clone() }, &mut log).unwrap();
-        let dir2 = dir.with_file_name(format!(
-            "{}_back",
-            dir.file_name().unwrap().to_string_lossy()
-        ));
+        let dir2 =
+            dir.with_file_name(format!("{}_back", dir.file_name().unwrap().to_string_lossy()));
         execute(&Command::Convert { from: xml.clone(), to: dir2.clone() }, &mut log).unwrap();
         let a = paraspace_rbm::biosimware::read_dir(&dir).unwrap();
         let b = paraspace_rbm::biosimware::read_dir(&dir2).unwrap();

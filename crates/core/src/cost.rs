@@ -196,8 +196,16 @@ mod tests {
     #[test]
     fn absorb_sums_components() {
         let mut a = WorkEstimate { flops: 1, state_bytes: 2, structure_bytes: 3, output_bytes: 4 };
-        a.absorb(&WorkEstimate { flops: 10, state_bytes: 20, structure_bytes: 30, output_bytes: 40 });
-        assert_eq!(a, WorkEstimate { flops: 11, state_bytes: 22, structure_bytes: 33, output_bytes: 44 });
+        a.absorb(&WorkEstimate {
+            flops: 10,
+            state_bytes: 20,
+            structure_bytes: 30,
+            output_bytes: 40,
+        });
+        assert_eq!(
+            a,
+            WorkEstimate { flops: 11, state_bytes: 22, structure_bytes: 33, output_bytes: 44 }
+        );
     }
 
     #[test]

@@ -96,13 +96,16 @@ mod tests {
         let small = SbGen::new(8, 8).generate(&mut rng);
         let engine = AutoEngine::new();
 
-        let single = SimulationJob::builder(&small).time_points(vec![1.0]).replicate(1).build().unwrap();
+        let single =
+            SimulationJob::builder(&small).time_points(vec![1.0]).replicate(1).build().unwrap();
         assert_eq!(engine.selection(&single), EngineKind::Cpu);
 
-        let mid = SimulationJob::builder(&small).time_points(vec![1.0]).replicate(64).build().unwrap();
+        let mid =
+            SimulationJob::builder(&small).time_points(vec![1.0]).replicate(64).build().unwrap();
         assert_eq!(engine.selection(&mid), EngineKind::Coarse);
 
-        let big = SimulationJob::builder(&small).time_points(vec![1.0]).replicate(512).build().unwrap();
+        let big =
+            SimulationJob::builder(&small).time_points(vec![1.0]).replicate(512).build().unwrap();
         assert_eq!(engine.selection(&big), EngineKind::FineCoarse);
     }
 
@@ -110,7 +113,8 @@ mod tests {
     fn dispatch_produces_correct_trajectories() {
         let mut rng = StdRng::seed_from_u64(2);
         let model = SbGen::new(6, 8).generate(&mut rng);
-        let job = SimulationJob::builder(&model).time_points(vec![0.5]).replicate(8).build().unwrap();
+        let job =
+            SimulationJob::builder(&model).time_points(vec![0.5]).replicate(8).build().unwrap();
         let auto = AutoEngine::new().run(&job).unwrap();
         let reference = FineCoarseEngine::new().run(&job).unwrap();
         assert_eq!(auto.success_count(), 8);

@@ -93,16 +93,14 @@ impl CoarseEngine {
 
     /// Whether the model's encoding fits the constant-memory budget.
     pub fn constants_fit(&self, job: &SimulationJob) -> bool {
-        let encoding_bytes =
-            job.odes().n_terms() as u64 * 12 + job.odes().n_reactions() as u64 * 8;
+        let encoding_bytes = job.odes().n_terms() as u64 * 12 + job.odes().n_reactions() as u64 * 8;
         encoding_bytes <= CONSTANT_MEM_BYTES
     }
 
     /// Whether per-simulation state fits the shared-memory budget at the
     /// configured block size.
     pub fn shared_fits(&self, job: &SimulationJob) -> bool {
-        let per_block =
-            self.threads_per_block * job.odes().n_species() * SHARED_BYTES_PER_SPECIES;
+        let per_block = self.threads_per_block * job.odes().n_species() * SHARED_BYTES_PER_SPECIES;
         per_block <= self.device_config.shared_mem_per_sm / 2
     }
 }
@@ -120,8 +118,8 @@ impl Simulator for CoarseEngine {
         let batch = job.batch_size();
         let solver = Lsoda::new();
 
-        let h2d_bytes = (job.odes().n_terms() as u64 * 12 + m as u64 * 8)
-            + batch as u64 * (n + m) as u64 * 8;
+        let h2d_bytes =
+            (job.odes().n_terms() as u64 * 12 + m as u64 * 8) + batch as u64 * (n + m) as u64 * 8;
         device.record_host_phase("io::h2d", h2d_bytes as f64 / PCIE_BYTES_PER_NS);
 
         let constants_in_cmem = self.use_memory_hierarchy && self.constants_fit(job);
@@ -139,7 +137,8 @@ impl Simulator for CoarseEngine {
             // The state vector's share of state traffic can live in shared
             // memory; Nordsieck history and scratch stay global.
             let state_vector_bytes = stats.rhs_evals as u64 * n as u64 * 8;
-            let shared_bytes = if state_in_shared { state_vector_bytes.min(work.state_bytes) } else { 0 };
+            let shared_bytes =
+                if state_in_shared { state_vector_bytes.min(work.state_bytes) } else { 0 };
             let spill_state = work.state_bytes - shared_bytes;
             // With the hierarchy enabled, overflow traffic still enjoys the
             // L2; the ablation strips every on-chip level at once.
@@ -174,8 +173,7 @@ impl Simulator for CoarseEngine {
         let tpb = self.threads_per_block;
         let blocks = batch.div_ceil(tpb);
         thread_work.resize(blocks * tpb, ThreadWork::new());
-        let shared_per_block =
-            if state_in_shared { tpb * n * SHARED_BYTES_PER_SPECIES } else { 0 };
+        let shared_per_block = if state_in_shared { tpb * n * SHARED_BYTES_PER_SPECIES } else { 0 };
         device.launch(
             &KernelLaunch::per_thread("integrate::coarse_lsoda", blocks, tpb, thread_work)
                 .with_registers(48)
@@ -202,6 +200,7 @@ impl Simulator for CoarseEngine {
                 simulated_integration_ns: timeline.time_tagged_ns("integrate"),
                 simulated_io_ns: timeline.time_tagged_ns("io"),
             },
+            lanes: None,
         })
     }
 }
@@ -267,7 +266,8 @@ mod tests {
     #[test]
     fn trajectories_agree_with_fine_coarse_engine() {
         let m = tiny_model();
-        let job = SimulationJob::builder(&m).time_points(vec![0.5, 1.0]).replicate(2).build().unwrap();
+        let job =
+            SimulationJob::builder(&m).time_points(vec![0.5, 1.0]).replicate(2).build().unwrap();
         let a = CoarseEngine::new().run(&job).unwrap();
         let b = FineCoarseEngine::new().run(&job).unwrap();
         let sa = a.outcomes[0].solution.as_ref().unwrap();

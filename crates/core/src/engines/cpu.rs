@@ -1,6 +1,9 @@
 //! The sequential CPU baselines (LSODA / VODE).
 
-use crate::engines::{outcome_and_stats, output_bytes, solve_members, BatchResult, BatchTiming, SimOutcome, Simulator, IO_BYTES_PER_NS};
+use crate::engines::{
+    outcome_and_stats, output_bytes, solve_members, BatchResult, BatchTiming, SimOutcome,
+    Simulator, IO_BYTES_PER_NS,
+};
 use crate::{CpuCostModel, SimError, SimulationJob, WorkEstimate};
 use paraspace_exec::Executor;
 use paraspace_solvers::{Lsoda, OdeSolver, Vode};
@@ -95,7 +98,12 @@ impl Simulator for CpuEngine {
         for result in solve_members(&self.executor, job, solver, &members) {
             let (solution, stats) = outcome_and_stats(result);
             work.absorb(&WorkEstimate::from_stats(job.odes(), &stats, job.time_points().len()));
-            outcomes.push(SimOutcome { solution, stiff: false, rerouted: false, solver: solver.name() });
+            outcomes.push(SimOutcome {
+                solution,
+                stiff: false,
+                rerouted: false,
+                solver: solver.name(),
+            });
         }
 
         let integration_ns = self.cost_model.time_ns(&work)
@@ -110,6 +118,7 @@ impl Simulator for CpuEngine {
                 simulated_integration_ns: integration_ns,
                 simulated_io_ns: io_ns,
             },
+            lanes: None,
         })
     }
 }
@@ -161,7 +170,8 @@ mod tests {
     #[test]
     fn vode_and_lsoda_agree_on_trajectories() {
         let m = model();
-        let job = SimulationJob::builder(&m).time_points(vec![0.5, 1.5]).replicate(1).build().unwrap();
+        let job =
+            SimulationJob::builder(&m).time_points(vec![0.5, 1.5]).replicate(1).build().unwrap();
         let a = CpuEngine::new(CpuSolverKind::Lsoda).run(&job).unwrap();
         let b = CpuEngine::new(CpuSolverKind::Vode).run(&job).unwrap();
         let sa = a.outcomes[0].solution.as_ref().unwrap();
@@ -199,8 +209,12 @@ mod tests {
         m.add_reaction(Reaction::mass_action(&[(b, 1)], &[], 1.0)).unwrap();
         let job = SimulationJob::builder(&m)
             .time_points(vec![50.0])
-            .parameterization(paraspace_rbm::Parameterization::new().with_rate_constants(vec![30.0, 1.0]))
-            .parameterization(paraspace_rbm::Parameterization::new().with_rate_constants(vec![0.1, 1.0]))
+            .parameterization(
+                paraspace_rbm::Parameterization::new().with_rate_constants(vec![30.0, 1.0]),
+            )
+            .parameterization(
+                paraspace_rbm::Parameterization::new().with_rate_constants(vec![0.1, 1.0]),
+            )
             .build()
             .unwrap();
         let r = CpuEngine::new(CpuSolverKind::Lsoda).run(&job).unwrap();

@@ -1,23 +1,39 @@
-//! The fine-grained-only engine (LASSIE-class baseline).
+//! The fine-grained engine (LASSIE-class baseline) and its lane-batched
+//! execution path.
 //!
-//! Simulations run one at a time; within each, the ODE dimension is spread
-//! across device threads, with kernels launched from the **host** at every
-//! solver step (no dynamic parallelism). The method pair mirrors the
-//! published baseline: RKF45 while the problem behaves, first-order BDF
-//! once it does not. This design shines on a *single very large* model —
-//! and collapses when many simulations are requested, because simulations
-//! serialize and every step pays host-launch latency: exactly the regions
-//! the comparison maps assign to it.
+//! **Scalar path** (the published baseline): simulations run one at a
+//! time; within each, the ODE dimension is spread across device threads,
+//! with kernels launched from the **host** at every solver step (no
+//! dynamic parallelism). The method pair mirrors the published baseline:
+//! RKF45 while the problem behaves, first-order BDF once it does not.
+//! This design shines on a *single very large* model — and collapses when
+//! many simulations are requested, because simulations serialize and
+//! every step pays host-launch latency: exactly the regions the
+//! comparison maps assign to it.
+//!
+//! **Lane path** (auto-selected for mass-action batches): members are
+//! packed into lane-groups and integrated `L` at a time by the lockstep
+//! [`Dopri5Batch`] solver over the SoA [`RbmBatchSystem`] adapter. One
+//! lockstep sweep evaluates the CSR flux/accumulation passes for all `L`
+//! lanes per decoded segment, so the per-step host-launch latency and the
+//! structure decoding are amortized `L`-fold. Step size, error control,
+//! and acceptance stay **per lane** (masked divergence instead of a group
+//! barrier), and the vgpu device records the resulting lane occupancy.
+//! Per-member trajectories are bitwise independent of the lane width and
+//! the worker-thread count.
 
 use crate::engines::{
     outcome_and_stats, output_bytes, solve_member_pooled, BatchResult, BatchTiming, SimOutcome,
     Simulator, IO_BYTES_PER_NS,
 };
-use crate::{SimError, SimulationJob, WorkEstimate};
+use crate::{RbmBatchSystem, SimError, SimulationJob, WorkEstimate, STIFFNESS_THRESHOLD};
 use paraspace_exec::Executor;
-use paraspace_solvers::{Bdf, OdeSolver, Rkf45, SolverError, SolverScratch};
+use paraspace_solvers::{
+    Bdf, Dopri5Batch, LaneReport, OdeSolver, Rkf45, SolverError, SolverScratch, StepStats,
+};
 use paraspace_vgpu::{
-    Device, DeviceConfig, DpModel, KernelLaunch, MemorySpace, ThreadWork, TimelineShard,
+    Device, DeviceConfig, DpModel, KernelLaunch, LaneGroupStats, MemorySpace, ThreadWork,
+    TimelineShard,
 };
 use std::time::Instant;
 
@@ -25,8 +41,14 @@ use std::time::Instant;
 const KERNELS_PER_STEP: u64 = 8;
 /// Host↔device transfer throughput in bytes/ns.
 const PCIE_BYTES_PER_NS: f64 = 8.0;
+/// Lane width auto-selected when the model supports the batched flux pass.
+const AUTO_LANE_WIDTH: usize = 8;
+/// Members queued per lane slot: a group of width `L` services up to
+/// `4·L` members via lane compaction, so early finishers hand their lane
+/// to a pending member instead of idling it.
+const MEMBERS_PER_LANE: usize = 4;
 
-/// The fine-only engine.
+/// The fine-grained engine.
 ///
 /// # Example
 ///
@@ -48,6 +70,7 @@ const PCIE_BYTES_PER_NS: f64 = 8.0;
 pub struct FineEngine {
     device_config: DeviceConfig,
     executor: Executor,
+    lane_width: Option<usize>,
 }
 
 impl Default for FineEngine {
@@ -57,16 +80,18 @@ impl Default for FineEngine {
 }
 
 impl FineEngine {
-    /// An engine on the published GPU.
+    /// An engine on the published GPU, auto-selecting the lane width.
     pub fn new() -> Self {
-        FineEngine { device_config: DeviceConfig::titan_x(), executor: Executor::sequential() }
+        FineEngine {
+            device_config: DeviceConfig::titan_x(),
+            executor: Executor::sequential(),
+            lane_width: None,
+        }
     }
 
     /// Sets the host worker-thread count used to run the batch numerics
     /// (builder style): `1` is the sequential path, `0` means one worker
-    /// per available core. The result is bitwise identical at any setting
-    /// (the *modeled* device still serializes simulations — that is the
-    /// published weakness this engine exists to exhibit).
+    /// per available core. The result is bitwise identical at any setting.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.executor = Executor::new(threads);
         self
@@ -77,14 +102,42 @@ impl FineEngine {
         self.device_config = config;
         self
     }
-}
 
-impl Simulator for FineEngine {
-    fn name(&self) -> &'static str {
-        "fine"
+    /// Pins the lane width (builder style): `1` forces the scalar
+    /// published-baseline path, larger values run lockstep lane-groups of
+    /// that width. Without this, the engine auto-selects
+    /// (`8` for mass-action batches of two or more members, scalar
+    /// otherwise). Per-member results are bitwise identical at any width.
+    pub fn with_lane_width(mut self, width: usize) -> Self {
+        self.lane_width = Some(width.max(1));
+        self
     }
 
-    fn run(&self, job: &SimulationJob) -> Result<BatchResult, SimError> {
+    /// The lane width this job actually runs at (`1` = scalar path).
+    ///
+    /// Falls back to scalar — emitting a note when `PARASPACE_DEBUG=1` —
+    /// when the model mixes kinetics the batched flux pass does not cover,
+    /// rather than asserting deep inside the lane path.
+    fn resolved_lane_width(&self, job: &SimulationJob) -> usize {
+        let requested = self.lane_width.unwrap_or(AUTO_LANE_WIDTH);
+        if requested <= 1 || job.batch_size() < 2 {
+            return 1;
+        }
+        if !job.odes().supports_lane_batch() {
+            if std::env::var("PARASPACE_DEBUG").map(|v| v == "1").unwrap_or(false) {
+                eprintln!(
+                    "fine: model mixes kinetics the lane-batched flux pass does not cover; \
+                     using the scalar path"
+                );
+            }
+            return 1;
+        }
+        requested
+    }
+
+    /// The published scalar baseline: one simulation at a time, species
+    /// across threads, host launches at every step.
+    fn run_scalar(&self, job: &SimulationJob) -> Result<BatchResult, SimError> {
         let start = Instant::now();
         let device = Device::new(self.device_config.clone());
         let n = job.odes().n_species();
@@ -92,8 +145,11 @@ impl Simulator for FineEngine {
         let rkf = Rkf45::new();
         let bdf1 = Bdf::with_max_order(1);
 
-        let h2d = (job.odes().n_terms() as u64 * 12 + m as u64 * 8) + (n + m) as u64 * 8;
-        device.record_host_phase("io::h2d", h2d as f64 * job.batch_size() as f64 / PCIE_BYTES_PER_NS);
+        device.record_host_phase(
+            "io::h2d",
+            h2d_bytes(job) as f64 * job.batch_size() as f64 / PCIE_BYTES_PER_NS,
+        );
+        let _ = m;
 
         // Each worker solves its simulations and prices them into a private
         // per-member timeline shard; the device absorbs the shards in
@@ -107,12 +163,7 @@ impl Simulator for FineEngine {
             let (mut solution, mut stats) =
                 outcome_and_stats(solve_member_pooled(job, i, &rkf, scratch));
             if let Err(e) = &solution {
-                if matches!(
-                    e,
-                    SolverError::MaxStepsExceeded { .. }
-                        | SolverError::StepSizeUnderflow { .. }
-                        | SolverError::StiffnessDetected { .. }
-                ) {
+                if reroutable(e) {
                     // The failed non-stiff attempt's work is still billed,
                     // then the stiff solver re-runs the member.
                     solver_used = "bdf1";
@@ -122,44 +173,256 @@ impl Simulator for FineEngine {
                     stats.absorb(&retry_stats);
                 }
             }
-            let work = WorkEstimate::from_stats(job.odes(), &stats, job.time_points().len());
-
-            // One simulation = one fine-grained grid: species across
-            // threads, repeated per step from the host.
-            let tpb = n.clamp(1, 128);
-            let blocks = n.div_ceil(tpb).max(1);
-            let threads_total = (tpb * blocks) as u64;
-            let per_thread = ThreadWork::new()
-                .with_flops((work.flops / threads_total).max(1))
-                .with_read(
-                    MemorySpace::CachedGlobal,
-                    ((work.state_bytes + work.structure_bytes) / threads_total).max(1),
-                )
-                .with_global_write((work.output_bytes / threads_total).max(1));
             let mut shard = TimelineShard::new();
-            shard.launch(
-                &self.device_config,
-                &dp,
-                &KernelLaunch::uniform(format!("integrate::fine_sim{i}"), blocks, tpb, per_thread)
-                    .with_registers(48),
-            );
-            // Host-side launch latency for every remaining kernel of every
-            // step (the single launch above already charged one).
-            let launches = (stats.steps as u64 * KERNELS_PER_STEP).saturating_sub(1);
-            shard.record_host_phase(
-                "integrate::step_launches",
-                launches as f64 * self.device_config.kernel_launch_ns,
-            );
-
+            self.bill_scalar_member(&mut shard, job, i, &stats, &dp, n);
             (solution, solver_used, shard)
         });
 
         let mut outcomes = Vec::with_capacity(job.batch_size());
         for (solution, solver_used, shard) in results {
             device.absorb_shard(shard);
-            outcomes.push(SimOutcome { solution, stiff: false, rerouted: false, solver: solver_used });
+            outcomes.push(SimOutcome {
+                solution,
+                stiff: false,
+                rerouted: false,
+                solver: solver_used,
+            });
         }
 
+        self.finish(job, device, outcomes, start, None)
+    }
+
+    /// The lane-batched path: lockstep DOPRI5 over lane-groups, with
+    /// masked per-lane step control and lane compaction.
+    fn run_lanes(&self, job: &SimulationJob, width: usize) -> Result<BatchResult, SimError> {
+        let start = Instant::now();
+        let device = Device::new(self.device_config.clone());
+        let batch = job.batch_size();
+
+        device
+            .record_host_phase("io::h2d", h2d_bytes(job) as f64 * batch as f64 / PCIE_BYTES_PER_NS);
+
+        // Lane-groups — not single members — are the unit of work the
+        // executor's workers self-schedule; each group's shard is absorbed
+        // in group order, so the timeline (and every trajectory) is bitwise
+        // identical at any worker count.
+        let dp = DpModel::default();
+        let group_capacity = width * MEMBERS_PER_LANE;
+        let n_groups = batch.div_ceil(group_capacity);
+        let groups = self.executor.map_with(n_groups, SolverScratch::new, |scratch, g| {
+            let lo = g * group_capacity;
+            let hi = ((g + 1) * group_capacity).min(batch);
+            self.solve_lane_group(job, g, lo, hi, width, scratch, &dp)
+        });
+
+        let mut outcomes = Vec::with_capacity(batch);
+        for (group_outcomes, report, shard) in groups {
+            device.record_lane_group(&LaneGroupStats {
+                width: report.width,
+                lockstep_iters: report.lockstep_iters,
+                lane_steps: report.lane_steps,
+            });
+            device.absorb_shard(shard);
+            outcomes.extend(group_outcomes);
+        }
+
+        let lanes = Some(device.lane_accounting());
+        self.finish(job, device, outcomes, start, lanes)
+    }
+
+    /// Solves members `lo..hi` as one lane-group of width `width`:
+    /// Jacobian-diagonal triage, lockstep integration of the non-stiff
+    /// members, scalar BDF1 for triaged/rerouted ones, and the group's
+    /// device billing — all on a worker-private shard.
+    #[allow(clippy::too_many_arguments)]
+    fn solve_lane_group(
+        &self,
+        job: &SimulationJob,
+        g: usize,
+        lo: usize,
+        hi: usize,
+        width: usize,
+        scratch: &mut SolverScratch,
+        dp: &DpModel,
+    ) -> (Vec<SimOutcome>, LaneReport, TimelineShard) {
+        let odes = job.odes();
+        let n = odes.n_species();
+        let bdf1 = Bdf::with_max_order(1);
+        let count = hi - lo;
+
+        // P2-style triage on the analytic Jacobian diagonal at t = 0:
+        // members whose fastest local decay already exceeds the published
+        // threshold skip the lockstep group and go straight to BDF1, so one
+        // stiff member cannot drag a whole group through tiny steps.
+        let mut stiff = vec![false; count];
+        let mut diag = vec![0.0; n];
+        for (slot, i) in (lo..hi).enumerate() {
+            let (x0, k) = job.member(i);
+            odes.jacobian_diag_batch(1, x0, k, &mut diag);
+            let fastest = diag.iter().fold(0.0f64, |a, &d| a.max(d.abs()));
+            stiff[slot] = fastest >= STIFFNESS_THRESHOLD;
+        }
+
+        let lane_members: Vec<usize> = (lo..hi).filter(|&i| !stiff[i - lo]).collect();
+        let mut report = LaneReport { width, ..LaneReport::default() };
+        let mut lane_results = Vec::new();
+        if !lane_members.is_empty() {
+            let mut sys = RbmBatchSystem::new(odes, width);
+            for &i in &lane_members {
+                let (x0, k) = job.member(i);
+                sys.push_member(x0, k);
+            }
+            let (res, rep) = Dopri5Batch::new().solve_group(
+                &mut sys,
+                0.0,
+                job.time_points(),
+                job.options(),
+                scratch,
+            );
+            lane_results = res;
+            report = rep;
+        }
+
+        let mut shard = TimelineShard::new();
+
+        // Bill the lockstep work as one wide kernel: n species × L lanes
+        // across threads, flops inflated by the divergence factor (masked
+        // lanes burn issue slots), and host launch latency once per
+        // lockstep sweep — not once per member step, which is the whole
+        // point of the lane path.
+        if !lane_members.is_empty() {
+            let mut lane_stats = StepStats::default();
+            for r in &lane_results {
+                match r {
+                    Ok(s) => lane_stats.absorb(&s.stats),
+                    Err(f) => lane_stats.absorb(&f.stats),
+                }
+            }
+            let work = WorkEstimate::from_stats(odes, &lane_stats, job.time_points().len());
+            let group_stats = LaneGroupStats {
+                width: report.width,
+                lockstep_iters: report.lockstep_iters,
+                lane_steps: report.lane_steps,
+            };
+            let threads = (n * width).max(1);
+            let tpb = threads.clamp(1, 128);
+            let blocks = threads.div_ceil(tpb).max(1);
+            let threads_total = (tpb * blocks) as u64;
+            let flops = ((work.flops as f64 * group_stats.divergence_factor()) as u64).max(1);
+            let per_thread = ThreadWork::new()
+                .with_flops((flops / threads_total).max(1))
+                .with_read(
+                    MemorySpace::CachedGlobal,
+                    ((work.state_bytes + work.structure_bytes) / threads_total).max(1),
+                )
+                .with_global_write((work.output_bytes / threads_total).max(1));
+            shard.launch(
+                &self.device_config,
+                dp,
+                &KernelLaunch::uniform(
+                    format!("integrate::lane_group{g}"),
+                    blocks,
+                    tpb,
+                    per_thread,
+                )
+                .with_registers(48),
+            );
+            let launches = (report.lockstep_iters * KERNELS_PER_STEP).saturating_sub(1);
+            shard.record_host_phase(
+                "integrate::step_launches",
+                launches as f64 * self.device_config.kernel_launch_ns,
+            );
+        }
+
+        // Merge lane results with the scalar-solved members in member
+        // order; triaged and rerouted members are billed like the scalar
+        // baseline (their own per-member kernel + per-step launches).
+        let mut outcomes = Vec::with_capacity(count);
+        let mut lane_iter = lane_results.into_iter();
+        for (slot, i) in (lo..hi).enumerate() {
+            if stiff[slot] {
+                let (solution, stats) =
+                    outcome_and_stats(solve_member_pooled(job, i, &bdf1, scratch));
+                self.bill_scalar_member(&mut shard, job, i, &stats, dp, n);
+                outcomes.push(SimOutcome {
+                    solution,
+                    stiff: true,
+                    rerouted: false,
+                    solver: "bdf1",
+                });
+                continue;
+            }
+            let (solution, _lane_stats) =
+                outcome_and_stats(lane_iter.next().expect("one lane result per non-stiff member"));
+            match solution {
+                Err(e) if reroutable(&e) => {
+                    let (retry, retry_stats) =
+                        outcome_and_stats(solve_member_pooled(job, i, &bdf1, scratch));
+                    self.bill_scalar_member(&mut shard, job, i, &retry_stats, dp, n);
+                    outcomes.push(SimOutcome {
+                        solution: retry,
+                        stiff: false,
+                        rerouted: true,
+                        solver: "bdf1",
+                    });
+                }
+                other => outcomes.push(SimOutcome {
+                    solution: other,
+                    stiff: false,
+                    rerouted: false,
+                    solver: "dopri5-lanes",
+                }),
+            }
+        }
+        (outcomes, report, shard)
+    }
+
+    /// Prices one scalar-solved member the published-baseline way: species
+    /// across threads in a per-member kernel, host launches at every step.
+    fn bill_scalar_member(
+        &self,
+        shard: &mut TimelineShard,
+        job: &SimulationJob,
+        i: usize,
+        stats: &StepStats,
+        dp: &DpModel,
+        n: usize,
+    ) {
+        let work = WorkEstimate::from_stats(job.odes(), stats, job.time_points().len());
+        let tpb = n.clamp(1, 128);
+        let blocks = n.div_ceil(tpb).max(1);
+        let threads_total = (tpb * blocks) as u64;
+        let per_thread = ThreadWork::new()
+            .with_flops((work.flops / threads_total).max(1))
+            .with_read(
+                MemorySpace::CachedGlobal,
+                ((work.state_bytes + work.structure_bytes) / threads_total).max(1),
+            )
+            .with_global_write((work.output_bytes / threads_total).max(1));
+        shard.launch(
+            &self.device_config,
+            dp,
+            &KernelLaunch::uniform(format!("integrate::fine_sim{i}"), blocks, tpb, per_thread)
+                .with_registers(48),
+        );
+        // Host-side launch latency for every remaining kernel of every
+        // step (the single launch above already charged one).
+        let launches = (stats.steps as u64 * KERNELS_PER_STEP).saturating_sub(1);
+        shard.record_host_phase(
+            "integrate::step_launches",
+            launches as f64 * self.device_config.kernel_launch_ns,
+        );
+    }
+
+    /// Shared tail: output phases + result assembly.
+    fn finish(
+        &self,
+        job: &SimulationJob,
+        device: Device,
+        outcomes: Vec<SimOutcome>,
+        start: Instant,
+        lanes: Option<paraspace_vgpu::LaneAccounting>,
+    ) -> Result<BatchResult, SimError> {
         let out_bytes = output_bytes(job, &outcomes);
         device.record_host_phase("io::d2h", out_bytes as f64 / PCIE_BYTES_PER_NS);
         device.record_host_phase("io::write", out_bytes as f64 / IO_BYTES_PER_NS);
@@ -174,7 +437,40 @@ impl Simulator for FineEngine {
                 simulated_integration_ns: timeline.time_tagged_ns("integrate"),
                 simulated_io_ns: timeline.time_tagged_ns("io"),
             },
+            lanes,
         })
+    }
+}
+
+/// Input-staging bytes per batch member (structure + state + constants).
+fn h2d_bytes(job: &SimulationJob) -> u64 {
+    let n = job.odes().n_species();
+    let m = job.odes().n_reactions();
+    (job.odes().n_terms() as u64 * 12 + m as u64 * 8) + (n + m) as u64 * 8
+}
+
+/// Whether a solver failure is stiffness-shaped and worth a BDF1 retry.
+fn reroutable(e: &SolverError) -> bool {
+    matches!(
+        e,
+        SolverError::MaxStepsExceeded { .. }
+            | SolverError::StepSizeUnderflow { .. }
+            | SolverError::StiffnessDetected { .. }
+    )
+}
+
+impl Simulator for FineEngine {
+    fn name(&self) -> &'static str {
+        "fine"
+    }
+
+    fn run(&self, job: &SimulationJob) -> Result<BatchResult, SimError> {
+        let width = self.resolved_lane_width(job);
+        if width <= 1 {
+            self.run_scalar(job)
+        } else {
+            self.run_lanes(job, width)
+        }
     }
 }
 
@@ -182,7 +478,7 @@ impl Simulator for FineEngine {
 mod tests {
     use super::*;
     use crate::FineCoarseEngine;
-    use paraspace_rbm::{Parameterization, Reaction, ReactionBasedModel};
+    use paraspace_rbm::{Kinetics, Parameterization, Reaction, ReactionBasedModel};
 
     fn model() -> ReactionBasedModel {
         let mut m = ReactionBasedModel::new();
@@ -191,6 +487,19 @@ mod tests {
         m.add_reaction(Reaction::mass_action(&[(a, 1)], &[(b, 1)], 1.0)).unwrap();
         m.add_reaction(Reaction::mass_action(&[(b, 1)], &[(a, 1)], 0.4)).unwrap();
         m
+    }
+
+    /// A batch of distinct gentle parameterizations (forces real per-lane
+    /// divergence in step sizes without anyone failing).
+    fn varied_job(m: &ReactionBasedModel, members: usize) -> SimulationJob<'_> {
+        let mut b = SimulationJob::builder(m).time_points(vec![0.5, 1.0]);
+        for i in 0..members {
+            b = b.parameterization(
+                Parameterization::new()
+                    .with_rate_constants(vec![0.5 + 0.25 * i as f64, 0.4 + 0.05 * i as f64]),
+            );
+        }
+        b.build().unwrap()
     }
 
     #[test]
@@ -222,12 +531,13 @@ mod tests {
     #[test]
     fn serialization_across_simulations_hurts_batches() {
         // Per-simulation simulated time must grow ~linearly with batch size
-        // (no coarse-grained parallelism) — the published weakness.
+        // on the scalar path (no coarse-grained parallelism) — the
+        // published weakness the lane path exists to fix.
         let m = model();
         let job1 = SimulationJob::builder(&m).time_points(vec![1.0]).replicate(1).build().unwrap();
         let job8 = SimulationJob::builder(&m).time_points(vec![1.0]).replicate(8).build().unwrap();
-        let r1 = FineEngine::new().run(&job1).unwrap();
-        let r8 = FineEngine::new().run(&job8).unwrap();
+        let r1 = FineEngine::new().with_lane_width(1).run(&job1).unwrap();
+        let r8 = FineEngine::new().with_lane_width(1).run(&job8).unwrap();
         assert!(
             r8.timing.simulated_total_ns > 6.0 * r1.timing.simulated_total_ns,
             "{} vs {}",
@@ -240,7 +550,7 @@ mod tests {
     fn loses_to_fine_coarse_on_batches() {
         let m = model();
         let job = SimulationJob::builder(&m).time_points(vec![1.0]).replicate(64).build().unwrap();
-        let fine = FineEngine::new().run(&job).unwrap();
+        let fine = FineEngine::new().with_lane_width(1).run(&job).unwrap();
         let fc = FineCoarseEngine::new().run(&job).unwrap();
         assert!(
             fine.timing.simulated_integration_ns > fc.timing.simulated_integration_ns,
@@ -248,5 +558,81 @@ mod tests {
             fine.timing.simulated_integration_ns,
             fc.timing.simulated_integration_ns
         );
+    }
+
+    #[test]
+    fn lane_results_are_bitwise_stable_across_widths_and_threads() {
+        let m = model();
+        let job = varied_job(&m, 13);
+        let r2 = FineEngine::new().with_lane_width(2).run(&job).unwrap();
+        let r8 = FineEngine::new().with_lane_width(8).run(&job).unwrap();
+        let r8t = FineEngine::new().with_lane_width(8).with_threads(4).run(&job).unwrap();
+        for i in 0..job.batch_size() {
+            let a = r2.outcomes[i].solution.as_ref().unwrap();
+            let b = r8.outcomes[i].solution.as_ref().unwrap();
+            let c = r8t.outcomes[i].solution.as_ref().unwrap();
+            assert_eq!(a.states, b.states, "member {i}: width 2 vs 8");
+            assert_eq!(b.states, c.states, "member {i}: 1 vs 4 threads");
+            assert_eq!(r2.outcomes[i].solver, "dopri5-lanes");
+        }
+        // The modeled timeline is also thread-count independent.
+        assert_eq!(r8.timing.simulated_total_ns, r8t.timing.simulated_total_ns);
+        assert_eq!(r8.lanes, r8t.lanes);
+    }
+
+    #[test]
+    fn lane_batching_amortizes_host_launches() {
+        let m = model();
+        let job = varied_job(&m, 8);
+        let scalar = FineEngine::new().with_lane_width(1).run(&job).unwrap();
+        let lanes = FineEngine::new().with_lane_width(8).run(&job).unwrap();
+        assert!(
+            lanes.timing.simulated_integration_ns < scalar.timing.simulated_integration_ns,
+            "lane path {} must beat scalar serialization {}",
+            lanes.timing.simulated_integration_ns,
+            scalar.timing.simulated_integration_ns
+        );
+        let acc = lanes.lanes.expect("lane path must report occupancy");
+        assert!(acc.groups >= 1);
+        assert!(acc.occupancy() > 0.0 && acc.occupancy() <= 1.0);
+        assert_eq!(acc.max_width, 8);
+        assert!(scalar.lanes.is_none());
+    }
+
+    #[test]
+    fn stiff_members_are_triaged_out_of_lane_groups() {
+        let m = model();
+        let job = SimulationJob::builder(&m)
+            .time_points(vec![1.0])
+            .parameterization(Parameterization::new().with_rate_constants(vec![1.0, 0.4]))
+            .parameterization(Parameterization::new().with_rate_constants(vec![5e5, 5e5]))
+            .parameterization(Parameterization::new().with_rate_constants(vec![1.2, 0.4]))
+            .build()
+            .unwrap();
+        let r = FineEngine::new().run(&job).unwrap();
+        assert_eq!(r.outcomes[0].solver, "dopri5-lanes");
+        assert_eq!(r.outcomes[1].solver, "bdf1");
+        assert!(r.outcomes[1].stiff);
+        assert!(r.outcomes[1].solution.is_ok());
+        assert_eq!(r.outcomes[2].solver, "dopri5-lanes");
+    }
+
+    #[test]
+    fn non_mass_action_models_fall_back_to_scalar_path() {
+        let mut m = ReactionBasedModel::new();
+        let s = m.add_species("S", 2.0);
+        let p = m.add_species("P", 0.0);
+        m.add_reaction(Reaction::with_kinetics(
+            &[(s, 1)],
+            &[(p, 1)],
+            1.0,
+            Kinetics::MichaelisMenten { km: 0.5 },
+        ))
+        .unwrap();
+        let job = SimulationJob::builder(&m).time_points(vec![1.0]).replicate(4).build().unwrap();
+        let r = FineEngine::new().run(&job).unwrap();
+        assert_eq!(r.success_count(), 4);
+        assert!(r.lanes.is_none(), "mixed-kinetics batch must take the scalar path");
+        assert!(r.outcomes.iter().all(|o| o.solver != "dopri5-lanes"));
     }
 }

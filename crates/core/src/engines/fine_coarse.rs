@@ -26,7 +26,9 @@ use crate::engines::{
 use crate::{classify_batch_with_threshold, SimError, SimulationJob, WorkEstimate};
 use paraspace_exec::Executor;
 use paraspace_solvers::{Dopri5, OdeSolver, Radau5, SolverError, StepStats};
-use paraspace_vgpu::{ChildLaunch, Device, DeviceConfig, DpModel, KernelLaunch, MemorySpace, ThreadWork};
+use paraspace_vgpu::{
+    ChildLaunch, Device, DeviceConfig, DpModel, KernelLaunch, MemorySpace, ThreadWork,
+};
 use std::time::Instant;
 
 /// Host↔device transfer throughput in bytes/ns (PCIe 3.0-class ≈ 8 GB/s).
@@ -150,7 +152,11 @@ impl FineCoarseEngine {
                     .with_flops(stats.steps as u64 * PARENT_FLOPS_PER_STEP)
                     .with_syncs(stats.steps as u64),
             );
-            phase_work.absorb(&WorkEstimate::from_stats(job.odes(), &stats, job.time_points().len()));
+            phase_work.absorb(&WorkEstimate::from_stats(
+                job.odes(),
+                &stats,
+                job.time_points().len(),
+            ));
 
             match solution {
                 Ok(s) => slots[i] = Some((Ok(s), solver.name())),
@@ -170,28 +176,30 @@ impl FineCoarseEngine {
         let child_blocks = n.div_ceil(child_tpb).max(1);
         let child_threads_total = (child_tpb * child_blocks * members.len()) as u64;
         let rounds_avg = (total_rounds / members.len() as u64).max(1);
-        let per_thread_flops =
-            phase_work.flops / child_threads_total.max(1) / rounds_avg.max(1);
+        let per_thread_flops = phase_work.flops / child_threads_total.max(1) / rounds_avg.max(1);
         let per_thread_bytes = (phase_work.state_bytes + phase_work.structure_bytes)
             / child_threads_total.max(1)
             / rounds_avg.max(1);
 
-        let launch = KernelLaunch::per_thread(format!("integrate::{phase_name}"), blocks, tpb, padded)
-            .with_registers(64)
-            .with_child(ChildLaunch {
-                blocks: child_blocks,
-                threads_per_block: child_tpb,
-                // State and structure working sets are shared/reused across
-                // the batch's concurrent child grids, so they live in the
-                // L2-hot cached-global space; output writes stay DRAM-bound.
-                work: ThreadWork::new()
-                    .with_flops(per_thread_flops.max(1))
-                    .with_read(MemorySpace::CachedGlobal, per_thread_bytes.max(1))
-                    .with_global_write(
-                        phase_work.output_bytes / child_threads_total.max(1) / rounds_avg.max(1),
-                    ),
-                repeats: rounds_avg,
-            });
+        let launch =
+            KernelLaunch::per_thread(format!("integrate::{phase_name}"), blocks, tpb, padded)
+                .with_registers(64)
+                .with_child(ChildLaunch {
+                    blocks: child_blocks,
+                    threads_per_block: child_tpb,
+                    // State and structure working sets are shared/reused across
+                    // the batch's concurrent child grids, so they live in the
+                    // L2-hot cached-global space; output writes stay DRAM-bound.
+                    work: ThreadWork::new()
+                        .with_flops(per_thread_flops.max(1))
+                        .with_read(MemorySpace::CachedGlobal, per_thread_bytes.max(1))
+                        .with_global_write(
+                            phase_work.output_bytes
+                                / child_threads_total.max(1)
+                                / rounds_avg.max(1),
+                        ),
+                    repeats: rounds_avg,
+                });
         device.launch(&launch);
         failed
     }
@@ -239,13 +247,19 @@ impl Simulator for FineCoarseEngine {
             .with_global_read((job.odes().n_terms() as u64 * 12) + (n * n) as u64 * 8);
         let p2_blocks = batch.div_ceil(self.threads_per_block);
         device.launch(
-            &KernelLaunch::uniform("setup::p2_stiffness", p2_blocks, self.threads_per_block, p2_work)
-                .with_registers(64),
+            &KernelLaunch::uniform(
+                "setup::p2_stiffness",
+                p2_blocks,
+                self.threads_per_block,
+                p2_work,
+            )
+            .with_registers(64),
         );
 
         // P3: DOPRI5 over non-stiff members; collect re-routes.
-        let mut slots: Vec<Option<(Result<paraspace_solvers::Solution, SolverError>, &'static str)>> =
-            (0..batch).map(|_| None).collect();
+        let mut slots: Vec<
+            Option<(Result<paraspace_solvers::Solution, SolverError>, &'static str)>,
+        > = (0..batch).map(|_| None).collect();
         let nonstiff: Vec<usize> = (0..batch).filter(|&i| !classes[i].stiff).collect();
         let stiff: Vec<usize> = (0..batch).filter(|&i| classes[i].stiff).collect();
         let rerouted =
@@ -288,6 +302,7 @@ impl Simulator for FineCoarseEngine {
                 simulated_integration_ns: timeline.time_tagged_ns("integrate"),
                 simulated_io_ns: timeline.time_tagged_ns("io"),
             },
+            lanes: None,
         })
     }
 }
@@ -364,8 +379,7 @@ mod tests {
             .unwrap();
         let gpu = FineCoarseEngine::new().run(&job).unwrap();
         let cpu = CpuEngine::new(CpuSolverKind::Lsoda).run(&job).unwrap();
-        let speedup =
-            cpu.timing.simulated_integration_ns / gpu.timing.simulated_integration_ns;
+        let speedup = cpu.timing.simulated_integration_ns / gpu.timing.simulated_integration_ns;
         assert!(speedup > 3.0, "expected a clear batch win, got {speedup:.2}x");
     }
 

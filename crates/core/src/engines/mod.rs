@@ -14,7 +14,8 @@ pub use fine_coarse::FineCoarseEngine;
 
 use crate::{SimError, SimulationJob};
 use paraspace_exec::Executor;
-use paraspace_solvers::{SolveFailure, Solution, SolverError, SolverScratch, StepStats};
+use paraspace_solvers::{Solution, SolveFailure, SolverError, SolverScratch, StepStats};
+use paraspace_vgpu::LaneAccounting;
 use std::time::Duration;
 
 /// Host-side I/O throughput used to price output serialization (bytes/ns);
@@ -79,6 +80,9 @@ pub struct BatchResult {
     pub outcomes: Vec<SimOutcome>,
     /// Timing on both clocks.
     pub timing: BatchTiming,
+    /// Lane occupancy/divergence accounting, for engines that ran the
+    /// lane-batched lockstep path (`None` for scalar execution).
+    pub lanes: Option<LaneAccounting>,
 }
 
 impl BatchResult {

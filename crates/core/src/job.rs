@@ -144,16 +144,22 @@ impl<'a> JobBuilder<'a> {
     pub fn build(self) -> Result<SimulationJob<'a>, SimError> {
         let odes = self.model.compile()?;
         if self.parameterizations.is_empty() {
-            return Err(SimError::InvalidJob { message: "batch must contain at least one parameterization".into() });
+            return Err(SimError::InvalidJob {
+                message: "batch must contain at least one parameterization".into(),
+            });
         }
         if self.time_points.is_empty() {
-            return Err(SimError::InvalidJob { message: "at least one sampling time point required".into() });
+            return Err(SimError::InvalidJob {
+                message: "at least one sampling time point required".into(),
+            });
         }
         let mut prev = 0.0;
         for &t in &self.time_points {
             if t <= prev && t != 0.0 {
                 return Err(SimError::InvalidJob {
-                    message: format!("time points must be increasing and non-negative (saw {t} after {prev})"),
+                    message: format!(
+                        "time points must be increasing and non-negative (saw {t} after {prev})"
+                    ),
                 });
             }
             prev = t;

@@ -61,11 +61,13 @@ mod system;
 
 pub use cost::{CpuCostModel, WorkEstimate};
 pub use engines::{
-    AutoEngine, BatchResult, BatchTiming, CoarseEngine, CpuEngine, CpuSolverKind,
-    FineCoarseEngine, FineEngine, SimOutcome, Simulator,
+    AutoEngine, BatchResult, BatchTiming, CoarseEngine, CpuEngine, CpuSolverKind, FineCoarseEngine,
+    FineEngine, SimOutcome, Simulator,
 };
 pub use error::SimError;
 pub use job::{JobBuilder, SimulationJob};
 pub use select::{recommend_engine, EngineKind};
-pub use stiffness::{classify_batch, classify_batch_with_threshold, StiffnessClass, STIFFNESS_THRESHOLD};
-pub use system::{CustomOdeSystem, RbmOdeSystem};
+pub use stiffness::{
+    classify_batch, classify_batch_with_threshold, StiffnessClass, STIFFNESS_THRESHOLD,
+};
+pub use system::{CustomOdeSystem, RbmBatchSystem, RbmOdeSystem};

@@ -1,9 +1,11 @@
 //! Adapter presenting a compiled RBM (plus one parameterization's rate
-//! constants) as an [`OdeSystem`].
+//! constants) as an [`OdeSystem`], and its lane-batched counterpart
+//! ([`RbmBatchSystem`]) feeding a whole member queue to the lockstep
+//! solver.
 
 use paraspace_linalg::Matrix;
 use paraspace_rbm::CompiledOdes;
-use paraspace_solvers::OdeSystem;
+use paraspace_solvers::{BatchOdeSystem, BatchState, OdeSystem};
 use std::cell::RefCell;
 
 /// One simulation's ODE system: the shared compiled network plus this
@@ -155,6 +157,164 @@ mod tests {
     }
 }
 
+/// A member queue of same-network parameterizations presented as a
+/// [`BatchOdeSystem`] for the lockstep lane solver.
+///
+/// The adapter owns the lane-resident rate-constant block (`M × L`,
+/// species-major/lane-minor like every SoA buffer) and the shared flux
+/// workspace; [`bind_lane`](BatchOdeSystem::bind_lane) scatters one
+/// member's constants into a lane column, and the batched right-hand side
+/// delegates to [`CompiledOdes::rhs_batch`], which runs the CSR flux +
+/// accumulation passes across all lanes per decoded segment.
+///
+/// Only mass-action networks are supported (the engine checks
+/// [`CompiledOdes::supports_lane_batch`] and falls back to the scalar path
+/// otherwise).
+pub struct RbmBatchSystem<'a> {
+    odes: &'a CompiledOdes,
+    members: Vec<(&'a [f64], &'a [f64])>, // (x0, k) per queued member
+    lanes: usize,
+    k_lanes: Vec<f64>, // M × L lane-bound rate constants
+    flux: Vec<f64>,    // M × L flux workspace
+}
+
+impl<'a> RbmBatchSystem<'a> {
+    /// An empty queue integrating `lanes` members at a time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network mixes kinetics the batched flux pass does not
+    /// cover, or if `lanes` is zero.
+    pub fn new(odes: &'a CompiledOdes, lanes: usize) -> Self {
+        assert!(odes.supports_lane_batch(), "lane batching requires mass-action kinetics");
+        assert!(lanes > 0, "lane width must be positive");
+        let m = odes.n_reactions();
+        RbmBatchSystem {
+            odes,
+            members: Vec::new(),
+            lanes,
+            k_lanes: vec![0.0; m * lanes],
+            flux: vec![0.0; m * lanes],
+        }
+    }
+
+    /// Appends one member's `(x0, k)` to the queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a dimension mismatch with the compiled network.
+    pub fn push_member(&mut self, x0: &'a [f64], k: &'a [f64]) {
+        assert_eq!(x0.len(), self.odes.n_species(), "initial-state length");
+        assert_eq!(k.len(), self.odes.n_reactions(), "rate-constant length");
+        self.members.push((x0, k));
+    }
+}
+
+impl std::fmt::Debug for RbmBatchSystem<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RbmBatchSystem")
+            .field("members", &self.members.len())
+            .field("lanes", &self.lanes)
+            .finish()
+    }
+}
+
+impl BatchOdeSystem for RbmBatchSystem<'_> {
+    fn dim(&self) -> usize {
+        self.odes.n_species()
+    }
+
+    fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    fn members(&self) -> usize {
+        self.members.len()
+    }
+
+    fn initial_state(&self, member: usize, y0: &mut [f64]) {
+        y0.copy_from_slice(self.members[member].0);
+    }
+
+    fn bind_lane(&mut self, lane: usize, member: usize) {
+        let k = self.members[member].1;
+        for (r, &kr) in k.iter().enumerate() {
+            self.k_lanes[r * self.lanes + lane] = kr;
+        }
+    }
+
+    fn rhs_batch(&mut self, _t: &[f64], y: &BatchState, dydt: &mut BatchState) {
+        self.odes.rhs_batch(
+            self.lanes,
+            y.as_slice(),
+            &self.k_lanes,
+            &mut self.flux,
+            dydt.as_mut_slice(),
+        );
+    }
+}
+
+#[cfg(test)]
+mod batch_tests {
+    use super::*;
+    use paraspace_rbm::{Reaction, ReactionBasedModel};
+    use paraspace_solvers::{Dopri5, Dopri5Batch, OdeSolver, SolverOptions, SolverScratch};
+
+    #[test]
+    fn lane_group_matches_scalar_dopri5_bitwise() {
+        let mut m = ReactionBasedModel::new();
+        let a = m.add_species("A", 1.0);
+        let b = m.add_species("B", 0.0);
+        m.add_reaction(Reaction::mass_action(&[(a, 1)], &[(b, 1)], 1.0)).unwrap();
+        m.add_reaction(Reaction::mass_action(&[(b, 1)], &[(a, 1)], 0.4)).unwrap();
+        let odes = m.compile().unwrap();
+
+        // Five members with distinct rate constants, three lanes: the
+        // lockstep trajectories must be bitwise identical to one-at-a-time
+        // scalar DOPRI5 on the equivalent RbmOdeSystem.
+        let ks: Vec<Vec<f64>> = (0..5).map(|i| vec![1.0 + 0.25 * i as f64, 0.4]).collect();
+        let x0 = [1.0, 0.0];
+        let times = [0.5, 1.0, 2.0];
+        let opts = SolverOptions::default();
+
+        let mut sys = RbmBatchSystem::new(&odes, 3);
+        for k in &ks {
+            sys.push_member(&x0, k);
+        }
+        let mut scratch = SolverScratch::new();
+        let (results, report) =
+            Dopri5Batch::new().solve_group(&mut sys, 0.0, &times, &opts, &mut scratch);
+
+        assert_eq!(results.len(), 5);
+        assert!(report.lockstep_iters > 0);
+        for (i, res) in results.iter().enumerate() {
+            let batch_sol = res.as_ref().expect("member must integrate");
+            let scalar_sys = RbmOdeSystem::new(&odes, ks[i].clone());
+            let scalar_sol = Dopri5::new().solve(&scalar_sys, 0.0, &x0, &times, &opts).unwrap();
+            assert_eq!(batch_sol.states, scalar_sol.states, "member {i}");
+            assert_eq!(batch_sol.stats, scalar_sol.stats, "member {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "mass-action")]
+    fn non_mass_action_networks_are_rejected() {
+        use paraspace_rbm::Kinetics;
+        let mut m = ReactionBasedModel::new();
+        let s = m.add_species("S", 1.0);
+        let p = m.add_species("P", 0.0);
+        m.add_reaction(Reaction::with_kinetics(
+            &[(s, 1)],
+            &[(p, 1)],
+            1.0,
+            Kinetics::MichaelisMenten { km: 0.5 },
+        ))
+        .unwrap();
+        let odes = m.compile().unwrap();
+        let _ = RbmBatchSystem::new(&odes, 2);
+    }
+}
+
 /// Adapter presenting a compiled *custom-kinetics* model (arbitrary
 /// expression rate laws with symbolic Jacobians) as an [`OdeSystem`] —
 /// letting every solver and engine in the suite integrate the
@@ -265,9 +425,8 @@ mod custom_tests {
         m.add_reaction("k * (1 - X0)", &[(s, 1.0)]).unwrap();
         let odes = m.compile().unwrap();
         let sys = CustomOdeSystem::new(&odes);
-        let sol = Radau5::new()
-            .solve(&sys, 0.0, &[0.0], &[1.0], &SolverOptions::default())
-            .unwrap();
+        let sol =
+            Radau5::new().solve(&sys, 0.0, &[0.0], &[1.0], &SolverOptions::default()).unwrap();
         assert!((sol.state_at(0)[0] - 1.0).abs() < 1e-6);
         assert!(sol.stats.steps < 200, "stiffness must not force tiny steps");
         assert!(sol.stats.jacobian_evals >= 1);

@@ -50,7 +50,10 @@ fn assert_identical(reference: &BatchResult, parallel: &BatchResult, label: &str
         match (&r.solution, &p.solution) {
             (Ok(a), Ok(b)) => {
                 assert_eq!(a.times, b.times, "{label}: member {i} sample times");
-                assert_eq!(a.states, b.states, "{label}: member {i} trajectory must be bitwise identical");
+                assert_eq!(
+                    a.states, b.states,
+                    "{label}: member {i} trajectory must be bitwise identical"
+                );
                 assert_eq!(a.stats, b.stats, "{label}: member {i} step statistics");
             }
             (Err(a), Err(b)) => {
@@ -108,6 +111,37 @@ fn fine_engine_is_bitwise_deterministic_across_thread_counts() {
     for threads in [1, 2, 4] {
         let parallel = FineEngine::new().with_threads(threads).run(&job).unwrap();
         assert_identical(&reference, &parallel, &format!("fine, {threads} threads"));
+    }
+}
+
+#[test]
+fn fine_engine_lane_trajectories_are_bitwise_identical_across_lane_widths() {
+    // The lockstep lane path must give every member the exact trajectory it
+    // would get alone: lane width (and therefore group packing) must never
+    // leak into the numerics. Width 1 is excluded — it selects the scalar
+    // RKF45 baseline path, a different method by design.
+    let m = reversible_model();
+    let job = mixed_job(&m);
+    let reference = FineEngine::new().with_lane_width(2).run(&job).unwrap();
+    assert!(
+        reference.outcomes.iter().any(|o| o.solver == "dopri5-lanes"),
+        "batch must exercise the lockstep path"
+    );
+    for width in [3, 4, 8] {
+        let other = FineEngine::new().with_lane_width(width).run(&job).unwrap();
+        for (i, (r, p)) in reference.outcomes.iter().zip(&other.outcomes).enumerate() {
+            assert_eq!(r.solver, p.solver, "width {width}: member {i} solver");
+            match (&r.solution, &p.solution) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(a.states, b.states, "width {width}: member {i} trajectory");
+                    assert_eq!(a.stats, b.stats, "width {width}: member {i} stats");
+                }
+                (Err(a), Err(b)) => {
+                    assert_eq!(a.to_string(), b.to_string(), "width {width}: member {i}")
+                }
+                _ => panic!("width {width}: member {i} outcome class changed"),
+            }
+        }
     }
 }
 

@@ -168,10 +168,7 @@ impl Mul for Complex64 {
     type Output = Complex64;
     #[inline]
     fn mul(self, rhs: Complex64) -> Complex64 {
-        Complex64::new(
-            self.re * rhs.re - self.im * rhs.im,
-            self.re * rhs.im + self.im * rhs.re,
-        )
+        Complex64::new(self.re * rhs.re - self.im * rhs.im, self.re * rhs.im + self.im * rhs.re)
     }
 }
 

@@ -70,10 +70,15 @@ pub fn power_iteration(
     }
     let n = a.rows();
     if n == 0 {
-        return Ok(PowerIterationResult { eigenvalue_magnitude: 0.0, iterations: 0, converged: true });
+        return Ok(PowerIterationResult {
+            eigenvalue_magnitude: 0.0,
+            iterations: 0,
+            converged: true,
+        });
     }
     // Deterministic, dimension-spanning start vector.
-    let mut x: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64) * 0.618_033_988_749_894_9 % 1.0).collect();
+    let mut x: Vec<f64> =
+        (0..n).map(|i| 1.0 + (i as f64) * 0.618_033_988_749_894_9 % 1.0).collect();
     let norm0 = crate::l2_norm(&x);
     x.iter_mut().for_each(|v| *v /= norm0);
 
@@ -94,7 +99,11 @@ pub fn power_iteration(
         }
         let rel = (norm - prev).abs() / norm.max(1e-300);
         if rel < tol && it > 2 {
-            return Ok(PowerIterationResult { eigenvalue_magnitude: norm, iterations: it, converged: true });
+            return Ok(PowerIterationResult {
+                eigenvalue_magnitude: norm,
+                iterations: it,
+                converged: true,
+            });
         }
         prev = norm;
     }

@@ -379,7 +379,8 @@ mod tests {
 
     #[test]
     fn solve_in_place_matches_solve() {
-        let a = Matrix::from_fn(5, 5, |i, j| if i == j { 4.0 } else { 1.0 / (1.0 + (i + j) as f64) });
+        let a =
+            Matrix::from_fn(5, 5, |i, j| if i == j { 4.0 } else { 1.0 / (1.0 + (i + j) as f64) });
         let b: Vec<f64> = (0..5).map(|i| (i as f64).sin() + 1.0).collect();
         let lu = LuFactor::new(a).unwrap();
         let x1 = lu.solve(&b).unwrap();

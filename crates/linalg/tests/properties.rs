@@ -1,8 +1,8 @@
 //! Property-based tests of the linear-algebra kernels.
 
 use paraspace_linalg::{
-    gershgorin_bound, power_iteration, weighted_rms_norm, CluFactor, CMatrix, Complex64,
-    LuFactor, Matrix,
+    gershgorin_bound, power_iteration, weighted_rms_norm, CMatrix, CluFactor, Complex64, LuFactor,
+    Matrix,
 };
 use proptest::prelude::*;
 

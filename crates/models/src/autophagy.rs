@@ -93,8 +93,12 @@ pub fn model(ampk0: f64, p9: f64) -> ReactionBasedModel {
     // ∅ → X
     m.add_reaction(Reaction::mass_action(&[], &[(x, 1)], CORE_A)).expect("core");
     // AMPK* + X → AMPK* + Y  (rate P9·SCALE ⇒ pseudo-first-order b_eff)
-    m.add_reaction(Reaction::mass_action(&[(ampk, 1), (x, 1)], &[(ampk, 1), (y, 1)], P9_SCALE * p9))
-        .expect("core");
+    m.add_reaction(Reaction::mass_action(
+        &[(ampk, 1), (x, 1)],
+        &[(ampk, 1), (y, 1)],
+        P9_SCALE * p9,
+    ))
+    .expect("core");
     // 2X + Y → 3X (autocatalytic recovery)
     m.add_reaction(Reaction::mass_action(&[(x, 2), (y, 1)], &[(x, 3)], 1.0)).expect("core");
     // X → MTORC1_load (degradation into an inert pool)
@@ -181,7 +185,12 @@ pub fn scaled_model(ampk0: f64, p9: f64, scale: f64) -> ReactionBasedModel {
     )
 }
 
-fn build_with_size(ampk0: f64, p9: f64, n_species: usize, n_reactions: usize) -> ReactionBasedModel {
+fn build_with_size(
+    ampk0: f64,
+    p9: f64,
+    n_species: usize,
+    n_reactions: usize,
+) -> ReactionBasedModel {
     // Same construction as `model`, parameterized by target sizes.
     let mut m = ReactionBasedModel::new();
     let x = m.add_species(AMBRA_SPECIES, CORE_A);
@@ -189,8 +198,12 @@ fn build_with_size(ampk0: f64, p9: f64, n_species: usize, n_reactions: usize) ->
     let ampk = m.add_species("AMPK_star", ampk0);
     let sink = m.add_species("MTORC1_load", 0.0);
     m.add_reaction(Reaction::mass_action(&[], &[(x, 1)], CORE_A)).expect("core");
-    m.add_reaction(Reaction::mass_action(&[(ampk, 1), (x, 1)], &[(ampk, 1), (y, 1)], P9_SCALE * p9))
-        .expect("core");
+    m.add_reaction(Reaction::mass_action(
+        &[(ampk, 1), (x, 1)],
+        &[(ampk, 1), (y, 1)],
+        P9_SCALE * p9,
+    ))
+    .expect("core");
     m.add_reaction(Reaction::mass_action(&[(x, 2), (y, 1)], &[(x, 3)], 1.0)).expect("core");
     m.add_reaction(Reaction::mass_action(&[(x, 1)], &[(sink, 1)], 1.0)).expect("core");
     m.add_reaction(Reaction::mass_action(&[(sink, 1)], &[], 0.5)).expect("core");

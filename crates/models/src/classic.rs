@@ -25,7 +25,8 @@ pub fn robertson() -> ReactionBasedModel {
     let c = m.add_species("C", 0.0);
     m.add_reaction(Reaction::mass_action(&[(a, 1)], &[(b, 1)], 0.04)).expect("valid");
     m.add_reaction(Reaction::mass_action(&[(b, 2)], &[(c, 1), (b, 1)], 3e7)).expect("valid");
-    m.add_reaction(Reaction::mass_action(&[(b, 1), (c, 1)], &[(a, 1), (c, 1)], 1e4)).expect("valid");
+    m.add_reaction(Reaction::mass_action(&[(b, 1), (c, 1)], &[(a, 1), (c, 1)], 1e4))
+        .expect("valid");
     m
 }
 
@@ -90,7 +91,8 @@ pub fn lotka_volterra(k1: f64, k2: f64, k3: f64) -> ReactionBasedModel {
 pub fn decay_chain(n: usize) -> ReactionBasedModel {
     assert!(n > 0, "chain needs at least one species");
     let mut m = ReactionBasedModel::new();
-    let ids: Vec<_> = (0..n).map(|i| m.add_species(format!("S{i}"), if i == 0 { 1.0 } else { 0.0 })).collect();
+    let ids: Vec<_> =
+        (0..n).map(|i| m.add_species(format!("S{i}"), if i == 0 { 1.0 } else { 0.0 })).collect();
     for i in 0..n {
         let products: &[_] = if i + 1 < n { &[(ids[i + 1], 1)] } else { &[] };
         m.add_reaction(Reaction::mass_action(&[(ids[i], 1)], products, 1.0)).expect("valid");
@@ -116,7 +118,6 @@ pub fn enzyme_mechanism(kon: f64, koff: f64, kcat: f64) -> ReactionBasedModel {
     m.add_reaction(Reaction::mass_action(&[(es, 1)], &[(e, 1), (p, 1)], kcat)).expect("valid");
     m
 }
-
 
 /// The Oregonator (Field–Noyes model of the Belousov–Zhabotinsky
 /// reaction): a five-reaction mass-action oscillator with rate constants
@@ -176,8 +177,10 @@ pub fn goodwin(n_hill: f64) -> ReactionBasedModel {
         Kinetics::HillRepression { ka: 1.0, n: n_hill },
     ))
     .expect("valid");
-    m.add_reaction(Reaction::mass_action(&[(mrna, 1)], &[(mrna, 1), (prot, 1)], 1.0)).expect("valid");
-    m.add_reaction(Reaction::mass_action(&[(prot, 1)], &[(prot, 1), (end, 1)], 1.0)).expect("valid");
+    m.add_reaction(Reaction::mass_action(&[(mrna, 1)], &[(mrna, 1), (prot, 1)], 1.0))
+        .expect("valid");
+    m.add_reaction(Reaction::mass_action(&[(prot, 1)], &[(prot, 1), (end, 1)], 1.0))
+        .expect("valid");
     m.add_reaction(Reaction::mass_action(&[(mrna, 1)], &[], 0.4)).expect("valid");
     m.add_reaction(Reaction::mass_action(&[(prot, 1)], &[], 0.4)).expect("valid");
     m.add_reaction(Reaction::mass_action(&[(end, 1)], &[], 0.4)).expect("valid");
@@ -292,7 +295,6 @@ mod tests {
         assert!(sol.last_state().unwrap()[3] > 0.95);
     }
 
-
     #[test]
     fn oregonator_is_stiff_and_oscillates() {
         use paraspace_core::{classify_batch, FineCoarseEngine, SimulationJob, Simulator};
@@ -311,7 +313,9 @@ mod tests {
         let classes = classify_batch(&job);
         let r = FineCoarseEngine::new().run(&job).unwrap();
         assert!(
-            classes[0].stiff || r.outcomes[0].rerouted || !r.outcomes[0].solution.as_ref().unwrap().stats.stiffness_detected,
+            classes[0].stiff
+                || r.outcomes[0].rerouted
+                || !r.outcomes[0].solution.as_ref().unwrap().stats.stiffness_detected,
             "oregonator must be handled by the stiff path or survive explicit integration"
         );
         let sol = r.outcomes[0].solution.as_ref().unwrap();

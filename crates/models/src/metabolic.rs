@@ -112,9 +112,10 @@ pub fn model() -> ReactionBasedModel {
     let hke_phosi = sp(&mut m, "hkEPhosi2", 1e-6);
     let hke_glc_g6p = sp(&mut m, "hkEGLCG6P2", 1e-6);
 
-    let rx = |m: &mut ReactionBasedModel, lhs: &[(SpeciesId, u32)], rhs: &[(SpeciesId, u32)], k: f64| {
-        m.add_reaction(Reaction::mass_action(lhs, rhs, k)).expect("metabolic reaction");
-    };
+    let rx =
+        |m: &mut ReactionBasedModel, lhs: &[(SpeciesId, u32)], rhs: &[(SpeciesId, u32)], k: f64| {
+            m.add_reaction(Reaction::mass_action(lhs, rhs, k)).expect("metabolic reaction");
+        };
 
     // Substrate binding (fast) and the catalytic cycle.
     let kon = 5e4;
@@ -167,11 +168,11 @@ pub fn model() -> ReactionBasedModel {
     // --- Generic enzymatic steps E + S ⇌ ES → E + P ---------------------
     // Each returns nothing but appends 2 species and 3 reactions.
     let step = |m: &mut ReactionBasedModel,
-                    name: &str,
-                    substrate: SpeciesId,
-                    co_substrate: Option<SpeciesId>,
-                    products: &[(SpeciesId, u32)],
-                    kcat: f64| {
+                name: &str,
+                substrate: SpeciesId,
+                co_substrate: Option<SpeciesId>,
+                products: &[(SpeciesId, u32)],
+                kcat: f64| {
         let e = m.add_species(format!("{name}_E"), 5e-3);
         let es = m.add_species(format!("{name}_ES"), 0.0);
         m.add_reaction(Reaction::mass_action(&[(e, 1), (substrate, 1)], &[(es, 1)], 1e4))

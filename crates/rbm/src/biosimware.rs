@@ -236,7 +236,9 @@ fn parse_err(context: &str, message: &str) -> RbmError {
 
 fn parse_row(text: &str, context: &str) -> Result<Vec<f64>, RbmError> {
     text.split_whitespace()
-        .map(|tok| tok.parse::<f64>().map_err(|_| parse_err(context, &format!("bad number {tok:?}"))))
+        .map(|tok| {
+            tok.parse::<f64>().map_err(|_| parse_err(context, &format!("bad number {tok:?}")))
+        })
         .collect()
 }
 

@@ -231,10 +231,7 @@ impl CompiledCustomOdes {
 
     /// Approximate flops of one RHS evaluation (device cost model input).
     pub fn rhs_flops(&self) -> u64 {
-        self.reactions
-            .iter()
-            .map(|r| r.flux.op_count() + 2 * r.net.len() as u64)
-            .sum()
+        self.reactions.iter().map(|r| r.flux.op_count() + 2 * r.net.len() as u64).sum()
     }
 }
 
@@ -272,11 +269,7 @@ mod tests {
         let x = [0.9, 1.4];
         let mut jac = Matrix::zeros(2, 2);
         odes.jacobian(&x, &mut jac);
-        let fd = finite_difference_jacobian(
-            |_t, y, d| odes.rhs(y, d),
-            0.0,
-            &x,
-        );
+        let fd = finite_difference_jacobian(|_t, y, d| odes.rhs(y, d), 0.0, &x);
         for i in 0..2 {
             for j in 0..2 {
                 assert!(

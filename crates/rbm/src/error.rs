@@ -70,7 +70,10 @@ impl fmt::Display for RbmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RbmError::UnknownSpecies { index, n_species } => {
-                write!(f, "reaction references species index {index} but model has {n_species} species")
+                write!(
+                    f,
+                    "reaction references species index {index} but model has {n_species} species"
+                )
             }
             RbmError::InvalidParameter { what, value } => {
                 write!(f, "invalid {what}: {value} (must be finite and non-negative)")
@@ -81,11 +84,15 @@ impl fmt::Display for RbmError {
             RbmError::NoSuchSpecies { name } => {
                 write!(f, "no species named {name:?} in the model")
             }
-            RbmError::EmptyModel => write!(f, "model must contain at least one species and one reaction"),
+            RbmError::EmptyModel => {
+                write!(f, "model must contain at least one species and one reaction")
+            }
             RbmError::ParameterizationMismatch { expected, actual } => {
                 write!(f, "parameterization length mismatch: expected {expected}, got {actual}")
             }
-            RbmError::Parse { context, message } => write!(f, "parse error in {context}: {message}"),
+            RbmError::Parse { context, message } => {
+                write!(f, "parse error in {context}: {message}")
+            }
             RbmError::Io { message } => write!(f, "i/o error: {message}"),
         }
     }

@@ -140,8 +140,7 @@ fn lex(src: &str) -> Result<Vec<Token>, RbmError> {
                     }
                 }
                 let text: String = bytes[start..i].iter().collect();
-                let value =
-                    text.parse::<f64>().map_err(|_| err(format!("bad number {text:?}")))?;
+                let value = text.parse::<f64>().map_err(|_| err(format!("bad number {text:?}")))?;
                 tokens.push(Token::Num(value));
             }
             c if c.is_alphabetic() || c == '_' => {
@@ -510,16 +509,13 @@ impl RateExpr {
     pub fn validate_indices(&self, n_species: usize, n_params: usize) -> Result<(), RbmError> {
         use RateExpr::*;
         match self {
-            Species(i) if *i >= n_species => {
-                Err(RbmError::UnknownSpecies { index: *i, n_species })
-            }
+            Species(i) if *i >= n_species => Err(RbmError::UnknownSpecies { index: *i, n_species }),
             Param(i) if *i >= n_params => Err(RbmError::Parse {
                 context: "rate expression".into(),
                 message: format!("parameter index {i} out of range (< {n_params})"),
             }),
             Const(_) | Species(_) | Param(_) => Ok(()),
-            Add(a, b) | Sub(a, b) | Mul(a, b) | Div(a, b) | Pow(a, b) | Min(a, b)
-            | Max(a, b) => {
+            Add(a, b) | Sub(a, b) | Mul(a, b) | Div(a, b) | Pow(a, b) | Min(a, b) | Max(a, b) => {
                 a.validate_indices(n_species, n_params)?;
                 b.validate_indices(n_species, n_params)
             }
@@ -632,10 +628,7 @@ mod tests {
         xm[wrt] -= h;
         let fd = (e.eval(&xp, params) - e.eval(&xm, params)) / (2.0 * h);
         let an = d.eval(x, params);
-        assert!(
-            (an - fd).abs() < 1e-5 * an.abs().max(1.0),
-            "{src}: analytic {an} vs fd {fd}"
-        );
+        assert!((an - fd).abs() < 1e-5 * an.abs().max(1.0), "{src}: analytic {an} vs fd {fd}");
     }
 
     #[test]
@@ -705,7 +698,11 @@ mod tests {
         let e = p("vmax * X0 / (km + X0) + exp(-k * X1)");
         let text = e.to_string();
         // p0 = k, p1 = km, p2 = vmax in the rendered form.
-        let re = RateExpr::parse(&text.replace("p0", "k").replace("p1", "km").replace("p2", "vmax"), &["k", "km", "vmax"]).unwrap();
+        let re = RateExpr::parse(
+            &text.replace("p0", "k").replace("p1", "km").replace("p2", "vmax"),
+            &["k", "km", "vmax"],
+        )
+        .unwrap();
         let x = [0.9, 1.7];
         let params = [2.0, 0.5, 4.0];
         assert!((e.eval(&x, &params) - re.eval(&x, &params)).abs() < 1e-12);

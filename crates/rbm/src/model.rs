@@ -80,7 +80,11 @@ impl Reaction {
     /// Creates a mass-action reaction from `(species, stoichiometry)` pairs.
     ///
     /// Zero-stoichiometry entries are dropped; duplicate species are merged.
-    pub fn mass_action(reactants: &[(SpeciesId, u32)], products: &[(SpeciesId, u32)], k: f64) -> Self {
+    pub fn mass_action(
+        reactants: &[(SpeciesId, u32)],
+        products: &[(SpeciesId, u32)],
+        k: f64,
+    ) -> Self {
         Reaction::with_kinetics(reactants, products, k, Kinetics::MassAction)
     }
 
@@ -131,11 +135,7 @@ impl Reaction {
     }
 
     fn max_species_index(&self) -> Option<usize> {
-        self.reactants
-            .iter()
-            .chain(self.products.iter())
-            .map(|&(s, _)| s)
-            .max()
+        self.reactants.iter().chain(self.products.iter()).map(|&(s, _)| s).max()
     }
 }
 
@@ -192,7 +192,11 @@ impl ReactionBasedModel {
     ///
     /// [`validate`]: ReactionBasedModel::validate
     /// [`add_species_checked`]: ReactionBasedModel::add_species_checked
-    pub fn add_species(&mut self, name: impl Into<String>, initial_concentration: f64) -> SpeciesId {
+    pub fn add_species(
+        &mut self,
+        name: impl Into<String>,
+        initial_concentration: f64,
+    ) -> SpeciesId {
         let name = name.into();
         let id = self.species.len();
         self.name_index.entry(name.clone()).or_insert(id);
@@ -359,7 +363,10 @@ impl ReactionBasedModel {
         for r in &self.reactions {
             if let Some(max) = r.max_species_index() {
                 if max >= self.species.len() {
-                    return Err(RbmError::UnknownSpecies { index: max, n_species: self.species.len() });
+                    return Err(RbmError::UnknownSpecies {
+                        index: max,
+                        n_species: self.species.len(),
+                    });
                 }
             }
             if !r.rate_constant.is_finite() || r.rate_constant < 0.0 {
@@ -423,7 +430,10 @@ mod tests {
     fn reaction_with_unknown_species_rejected() {
         let (mut m, _, _) = two_species_model();
         let r = Reaction::mass_action(&[(SpeciesId::from_index(5), 1)], &[], 1.0);
-        assert!(matches!(m.add_reaction(r), Err(RbmError::UnknownSpecies { index: 5, n_species: 2 })));
+        assert!(matches!(
+            m.add_reaction(r),
+            Err(RbmError::UnknownSpecies { index: 5, n_species: 2 })
+        ));
     }
 
     #[test]

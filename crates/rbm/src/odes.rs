@@ -246,6 +246,162 @@ impl CompiledOdes {
         }
     }
 
+    /// Whether this model's flux pass has a lane-batched implementation.
+    ///
+    /// The batched CSR kernels cover pure mass-action networks (the paper's
+    /// workload); models mixing saturating [`Kinetics`] variants take the
+    /// scalar path — engines must check this before calling
+    /// [`rhs_batch`](Self::rhs_batch).
+    pub fn supports_lane_batch(&self) -> bool {
+        self.all_mass_action
+    }
+
+    /// Evaluates all reaction fluxes for `lanes` parameterizations at once.
+    ///
+    /// Every buffer is structure-of-arrays with lane-minor layout: entry
+    /// `i` of lane `l` lives at `i·lanes + l` (`x`: `N×L` species block,
+    /// `k`/`flux`: `M×L` reaction blocks). The reaction loop decodes each
+    /// CSR segment **once** and applies it to all lanes in the innermost
+    /// loop over contiguous rows — no per-lane re-gather of reactant
+    /// indices — which is the autovectorizable shape that makes the pass
+    /// bandwidth-bound. Per lane the operation sequence is identical to
+    /// [`fluxes_with`](Self::fluxes_with), so lane results are bitwise
+    /// equal to scalar evaluation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model is not pure mass-action (check
+    /// [`supports_lane_batch`](Self::supports_lane_batch)) or buffer
+    /// lengths do not match.
+    pub fn fluxes_batch(&self, lanes: usize, x: &[f64], k: &[f64], flux: &mut [f64]) {
+        assert!(self.all_mass_action, "lane-batched flux pass covers mass-action kinetics only");
+        assert_eq!(x.len(), self.n_species * lanes, "state block length");
+        assert_eq!(k.len(), self.n_reactions * lanes, "rate-constant block length");
+        assert_eq!(flux.len(), self.n_reactions * lanes, "flux block length");
+        for r in 0..self.n_reactions {
+            let lo = self.reactant_offsets[r] as usize;
+            let hi = self.reactant_offsets[r + 1] as usize;
+            let f = &mut flux[r * lanes..(r + 1) * lanes];
+            f.copy_from_slice(&k[r * lanes..(r + 1) * lanes]);
+            for p in lo..hi {
+                let s = self.reactant_species[p] as usize;
+                let xs = &x[s * lanes..(s + 1) * lanes];
+                // Orders 1 and 2 cover real biochemical networks; int_pow
+                // is exact for them, so the specializations stay bitwise
+                // equal to the scalar path.
+                match self.reactant_orders[p] {
+                    1 => {
+                        for l in 0..lanes {
+                            f[l] *= xs[l];
+                        }
+                    }
+                    2 => {
+                        for l in 0..lanes {
+                            f[l] *= xs[l] * xs[l];
+                        }
+                    }
+                    o => {
+                        for l in 0..lanes {
+                            f[l] *= crate::kinetics::int_pow(xs[l], o);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Lane-batched right-hand side: the flux pass then the per-species
+    /// accumulation pass, each sweeping all lanes in its inner loop.
+    ///
+    /// Layouts as in [`fluxes_batch`](Self::fluxes_batch); `dxdt` is an
+    /// `N×L` species block. Per lane, results are bitwise identical to
+    /// [`rhs_with_buffer`](Self::rhs_with_buffer) with that lane's state
+    /// and constants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model is not pure mass-action or buffer lengths do not
+    /// match.
+    pub fn rhs_batch(
+        &self,
+        lanes: usize,
+        x: &[f64],
+        k: &[f64],
+        flux: &mut [f64],
+        dxdt: &mut [f64],
+    ) {
+        assert_eq!(dxdt.len(), self.n_species * lanes, "derivative block length");
+        self.fluxes_batch(lanes, x, k, flux);
+        for s in 0..self.n_species {
+            let lo = self.term_offsets[s] as usize;
+            let hi = self.term_offsets[s + 1] as usize;
+            let out = &mut dxdt[s * lanes..(s + 1) * lanes];
+            out.fill(0.0);
+            for p in lo..hi {
+                let c = self.term_coeffs[p];
+                let fr = &flux[self.term_reactions[p] as usize * lanes..][..lanes];
+                for l in 0..lanes {
+                    out[l] += c * fr[l];
+                }
+            }
+        }
+    }
+
+    /// Lane-batched Jacobian diagonal `∂(dX_s/dt)/∂X_s` for stiffness
+    /// triage: the dominant-eigenvalue screen only needs the diagonal, so
+    /// lane-groups can be triaged with one cheap sweep instead of `L` full
+    /// `N×N` Jacobians.
+    ///
+    /// Layouts as in [`fluxes_batch`](Self::fluxes_batch); `diag` is an
+    /// `N×L` species block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model is not pure mass-action or buffer lengths do not
+    /// match.
+    pub fn jacobian_diag_batch(&self, lanes: usize, x: &[f64], k: &[f64], diag: &mut [f64]) {
+        assert!(self.all_mass_action, "lane-batched Jacobian covers mass-action kinetics only");
+        assert_eq!(x.len(), self.n_species * lanes, "state block length");
+        assert_eq!(k.len(), self.n_reactions * lanes, "rate-constant block length");
+        assert_eq!(diag.len(), self.n_species * lanes, "diagonal block length");
+        diag.fill(0.0);
+        for s in 0..self.n_species {
+            let lo = self.term_offsets[s] as usize;
+            let hi = self.term_offsets[s + 1] as usize;
+            let d = &mut diag[s * lanes..(s + 1) * lanes];
+            for p in lo..hi {
+                let r = self.term_reactions[p] as usize;
+                let coeff = self.term_coeffs[p];
+                let rlo = self.reactant_offsets[r] as usize;
+                let rhi = self.reactant_offsets[r + 1] as usize;
+                for q in rlo..rhi {
+                    if self.reactant_species[q] as usize != s {
+                        continue;
+                    }
+                    let o = self.reactant_orders[q];
+                    if o == 0 {
+                        continue;
+                    }
+                    for l in 0..lanes {
+                        let mut df = k[r * lanes + l]
+                            * o as f64
+                            * crate::kinetics::int_pow(x[s * lanes + l], o - 1);
+                        for q2 in rlo..rhi {
+                            if q2 != q {
+                                let j = self.reactant_species[q2] as usize;
+                                df *= crate::kinetics::int_pow(
+                                    x[j * lanes + l],
+                                    self.reactant_orders[q2],
+                                );
+                            }
+                        }
+                        d[l] += coeff * df;
+                    }
+                }
+            }
+        }
+    }
+
     /// Analytic Jacobian `J[s][j] = ∂(dX_s/dt)/∂X_j` with the baked
     /// constants, written into `jac`.
     ///
@@ -511,6 +667,118 @@ mod tests {
         assert!(small.rhs_flops() > 0);
         assert!(small.jacobian_flops() > 0);
         assert!(small.n_terms() >= 4);
+    }
+
+    /// SoA blocks for `lanes` perturbed copies of a base vector.
+    fn soa_block(base: &[f64], lanes: usize) -> Vec<f64> {
+        let mut block = vec![0.0; base.len() * lanes];
+        for (i, &v) in base.iter().enumerate() {
+            for l in 0..lanes {
+                block[i * lanes + l] = v * (1.0 + 0.13 * l as f64) + 0.01 * l as f64;
+            }
+        }
+        block
+    }
+
+    /// Lane `l` of an SoA block, gathered to a contiguous vector.
+    fn lane_of(block: &[f64], lanes: usize, l: usize) -> Vec<f64> {
+        block.iter().skip(l).step_by(lanes).copied().collect()
+    }
+
+    #[test]
+    fn rhs_batch_is_bitwise_equal_to_scalar_per_lane() {
+        let (_, odes) = lotka_volterra();
+        for lanes in [1, 2, 4, 8] {
+            let x = soa_block(&[1.2, 0.7], lanes);
+            let k = soa_block(&[2.0, 1.5, 0.8], lanes);
+            let mut flux = vec![0.0; 3 * lanes];
+            let mut dxdt = vec![0.0; 2 * lanes];
+            odes.rhs_batch(lanes, &x, &k, &mut flux, &mut dxdt);
+            for l in 0..lanes {
+                let xl = lane_of(&x, lanes, l);
+                let kl = lane_of(&k, lanes, l);
+                let mut sflux = vec![0.0; 3];
+                let mut sd = vec![0.0; 2];
+                odes.rhs_with_buffer(&xl, &kl, &mut sflux, &mut sd);
+                assert_eq!(lane_of(&flux, lanes, l), sflux, "lanes={lanes} lane={l}");
+                assert_eq!(lane_of(&dxdt, lanes, l), sd, "lanes={lanes} lane={l}");
+            }
+        }
+    }
+
+    #[test]
+    fn rhs_batch_covers_second_order_and_catalytic_reactions() {
+        // 2A -> B plus A + E -> B + E: exercises the order-2 lane
+        // specialization and a species with zero net coefficient.
+        let mut m = ReactionBasedModel::new();
+        let a = m.add_species("A", 1.0);
+        let e = m.add_species("E", 0.5);
+        let b = m.add_species("B", 0.0);
+        m.add_reaction(Reaction::mass_action(&[(a, 2)], &[(b, 1)], 3.0)).unwrap();
+        m.add_reaction(Reaction::mass_action(&[(a, 1), (e, 1)], &[(b, 1), (e, 1)], 2.0)).unwrap();
+        let odes = m.compile().unwrap();
+        let lanes = 4;
+        let x = soa_block(&[0.7, 0.5, 0.1], lanes);
+        let k = soa_block(&[3.0, 2.0], lanes);
+        let mut flux = vec![0.0; 2 * lanes];
+        let mut dxdt = vec![0.0; 3 * lanes];
+        odes.rhs_batch(lanes, &x, &k, &mut flux, &mut dxdt);
+        for l in 0..lanes {
+            let xl = lane_of(&x, lanes, l);
+            let kl = lane_of(&k, lanes, l);
+            let mut sflux = vec![0.0; 2];
+            let mut sd = vec![0.0; 3];
+            odes.rhs_with_buffer(&xl, &kl, &mut sflux, &mut sd);
+            assert_eq!(lane_of(&dxdt, lanes, l), sd, "lane={l}");
+        }
+    }
+
+    #[test]
+    fn jacobian_diag_batch_matches_full_jacobian_diagonal() {
+        let (_, odes) = lotka_volterra();
+        let lanes = 3;
+        let x = soa_block(&[1.3, 0.4], lanes);
+        let k = soa_block(&[2.0, 1.5, 0.8], lanes);
+        let mut diag = vec![0.0; 2 * lanes];
+        odes.jacobian_diag_batch(lanes, &x, &k, &mut diag);
+        for l in 0..lanes {
+            let xl = lane_of(&x, lanes, l);
+            let kl = lane_of(&k, lanes, l);
+            let mut jac = Matrix::zeros(2, 2);
+            odes.jacobian_with(&xl, &kl, &mut jac);
+            for s in 0..2 {
+                assert!(
+                    (diag[s * lanes + l] - jac[(s, s)]).abs() < 1e-12,
+                    "lane={l} s={s}: {} vs {}",
+                    diag[s * lanes + l],
+                    jac[(s, s)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lane_batch_support_follows_kinetics() {
+        let (_, mass_action) = lotka_volterra();
+        assert!(mass_action.supports_lane_batch());
+        let mut m = ReactionBasedModel::new();
+        let s = m.add_species("S", 2.0);
+        let p = m.add_species("P", 0.1);
+        m.add_reaction(Reaction::with_kinetics(
+            &[(s, 1)],
+            &[(p, 1)],
+            4.0,
+            Kinetics::MichaelisMenten { km: 0.5 },
+        ))
+        .unwrap();
+        let mixed = m.compile().unwrap();
+        assert!(!mixed.supports_lane_batch());
+        let result = std::panic::catch_unwind(|| {
+            let mut flux = vec![0.0; 1];
+            let mut d = vec![0.0; 2];
+            mixed.rhs_batch(1, &[2.0, 0.1], &[4.0], &mut flux, &mut d);
+        });
+        assert!(result.is_err(), "rhs_batch must reject non-mass-action models");
     }
 
     #[test]

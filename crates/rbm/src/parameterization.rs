@@ -191,9 +191,15 @@ mod tests {
     fn resolve_rejects_wrong_lengths() {
         let m = toy_model();
         let p = Parameterization::new().with_initial_state(vec![1.0]);
-        assert!(matches!(p.resolve(&m), Err(RbmError::ParameterizationMismatch { expected: 2, actual: 1 })));
+        assert!(matches!(
+            p.resolve(&m),
+            Err(RbmError::ParameterizationMismatch { expected: 2, actual: 1 })
+        ));
         let p = Parameterization::new().with_rate_constants(vec![1.0, 2.0]);
-        assert!(matches!(p.resolve(&m), Err(RbmError::ParameterizationMismatch { expected: 1, actual: 2 })));
+        assert!(matches!(
+            p.resolve(&m),
+            Err(RbmError::ParameterizationMismatch { expected: 1, actual: 2 })
+        ));
     }
 
     #[test]
@@ -227,10 +233,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let batch = perturbed_batch(&m, 8, &mut rng);
         assert_eq!(batch.len(), 8);
-        let distinct: std::collections::HashSet<String> = batch
-            .iter()
-            .map(|p| format!("{:?}", p.rate_constants))
-            .collect();
+        let distinct: std::collections::HashSet<String> =
+            batch.iter().map(|p| format!("{:?}", p.rate_constants)).collect();
         assert!(distinct.len() > 1, "perturbed batch must differ across members");
         for p in &batch {
             assert!(p.initial_state.is_none());

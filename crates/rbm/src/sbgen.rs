@@ -127,7 +127,9 @@ impl SbGen {
     pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> ReactionBasedModel {
         let mut model = ReactionBasedModel::new();
         let ids: Vec<SpeciesId> = (0..self.n_species)
-            .map(|j| model.add_species(format!("S{j}"), log_uniform(self.conc_lo, self.conc_hi, rng)))
+            .map(|j| {
+                model.add_species(format!("S{j}"), log_uniform(self.conc_lo, self.conc_hi, rng))
+            })
             .collect();
 
         let mut touched = vec![false; self.n_species];

@@ -84,9 +84,7 @@ fn scan(doc: &str) -> Result<Vec<Event>, RbmError> {
             }
             continue;
         }
-        let end = doc[i..]
-            .find('>')
-            .ok_or_else(|| parse_err("sbml", "unterminated tag"))?;
+        let end = doc[i..].find('>').ok_or_else(|| parse_err("sbml", "unterminated tag"))?;
         let inner = &doc[i + 1..i + end];
         i += end + 1;
         if let Some(name) = inner.strip_prefix('/') {
@@ -128,9 +126,8 @@ fn parse_attrs(mut s: &str) -> Result<HashMap<String, String>, RbmError> {
             .filter(|&c| c == '"' || c == '\'')
             .ok_or_else(|| parse_err("sbml", "attribute value must be quoted"))?;
         let rest = &s[1..];
-        let close = rest
-            .find(quote)
-            .ok_or_else(|| parse_err("sbml", "unterminated attribute value"))?;
+        let close =
+            rest.find(quote).ok_or_else(|| parse_err("sbml", "unterminated attribute value"))?;
         attrs.insert(key, rest[..close].to_string());
         s = &rest[close + 1..];
     }
@@ -166,12 +163,12 @@ pub fn from_str(doc: &str) -> Result<ReactionBasedModel, RbmError> {
     let mut in_kinetic_law = false;
 
     let finalize = |model: &mut ReactionBasedModel,
-                        species_ids: &HashMap<String, SpeciesId>,
-                        p: PendingReaction|
+                    species_ids: &HashMap<String, SpeciesId>,
+                    p: PendingReaction|
      -> Result<(), RbmError> {
-        let rate = p
-            .rate
-            .ok_or_else(|| parse_err(&p.id, "reaction has no kinetic constant (localParameter/parameter)"))?;
+        let rate = p.rate.ok_or_else(|| {
+            parse_err(&p.id, "reaction has no kinetic constant (localParameter/parameter)")
+        })?;
         let map_side = |refs: &[(String, u32)]| -> Result<Vec<(SpeciesId, u32)>, RbmError> {
             refs.iter()
                 .map(|(name, c)| {
@@ -237,7 +234,10 @@ pub fn from_str(doc: &str) -> Result<ReactionBasedModel, RbmError> {
                             Side::Reactants => p.reactants.push((sp, stoich)),
                             Side::Products => p.products.push((sp, stoich)),
                             Side::None => {
-                                return Err(parse_err(&sp, "speciesReference outside reactant/product list"))
+                                return Err(parse_err(
+                                    &sp,
+                                    "speciesReference outside reactant/product list",
+                                ))
                             }
                         }
                     }
@@ -245,9 +245,9 @@ pub fn from_str(doc: &str) -> Result<ReactionBasedModel, RbmError> {
                 "localParameter" | "parameter" if in_kinetic_law => {
                     if let Some(p) = pending.as_mut() {
                         if p.rate.is_none() {
-                            let v = attrs
-                                .get("value")
-                                .ok_or_else(|| parse_err(&p.id, "kinetic parameter missing value"))?;
+                            let v = attrs.get("value").ok_or_else(|| {
+                                parse_err(&p.id, "kinetic parameter missing value")
+                            })?;
                             p.rate = Some(v.parse::<f64>().map_err(|_| {
                                 parse_err(&p.id, format!("bad kinetic constant {v:?}"))
                             })?);

@@ -8,64 +8,64 @@
 
 use crate::system::check_inputs;
 use crate::{
-    initial_step_size, OdeSolver, OdeSystem, SolveFailure, Solution, SolverError, SolverOptions,
+    initial_step_size, OdeSolver, OdeSystem, Solution, SolveFailure, SolverError, SolverOptions,
     SolverScratch,
 };
 use paraspace_linalg::weighted_rms_norm;
 
 // Nodes.
-const C2: f64 = 1.0 / 5.0;
-const C3: f64 = 3.0 / 10.0;
-const C4: f64 = 4.0 / 5.0;
-const C5: f64 = 8.0 / 9.0;
+pub(crate) const C2: f64 = 1.0 / 5.0;
+pub(crate) const C3: f64 = 3.0 / 10.0;
+pub(crate) const C4: f64 = 4.0 / 5.0;
+pub(crate) const C5: f64 = 8.0 / 9.0;
 
 // Runge–Kutta matrix.
-const A21: f64 = 1.0 / 5.0;
-const A31: f64 = 3.0 / 40.0;
-const A32: f64 = 9.0 / 40.0;
-const A41: f64 = 44.0 / 45.0;
-const A42: f64 = -56.0 / 15.0;
-const A43: f64 = 32.0 / 9.0;
-const A51: f64 = 19372.0 / 6561.0;
-const A52: f64 = -25360.0 / 2187.0;
-const A53: f64 = 64448.0 / 6561.0;
-const A54: f64 = -212.0 / 729.0;
-const A61: f64 = 9017.0 / 3168.0;
-const A62: f64 = -355.0 / 33.0;
-const A63: f64 = 46732.0 / 5247.0;
-const A64: f64 = 49.0 / 176.0;
-const A65: f64 = -5103.0 / 18656.0;
+pub(crate) const A21: f64 = 1.0 / 5.0;
+pub(crate) const A31: f64 = 3.0 / 40.0;
+pub(crate) const A32: f64 = 9.0 / 40.0;
+pub(crate) const A41: f64 = 44.0 / 45.0;
+pub(crate) const A42: f64 = -56.0 / 15.0;
+pub(crate) const A43: f64 = 32.0 / 9.0;
+pub(crate) const A51: f64 = 19372.0 / 6561.0;
+pub(crate) const A52: f64 = -25360.0 / 2187.0;
+pub(crate) const A53: f64 = 64448.0 / 6561.0;
+pub(crate) const A54: f64 = -212.0 / 729.0;
+pub(crate) const A61: f64 = 9017.0 / 3168.0;
+pub(crate) const A62: f64 = -355.0 / 33.0;
+pub(crate) const A63: f64 = 46732.0 / 5247.0;
+pub(crate) const A64: f64 = 49.0 / 176.0;
+pub(crate) const A65: f64 = -5103.0 / 18656.0;
 // 5th-order weights (also the 7th stage: FSAL).
-const A71: f64 = 35.0 / 384.0;
-const A73: f64 = 500.0 / 1113.0;
-const A74: f64 = 125.0 / 192.0;
-const A75: f64 = -2187.0 / 6784.0;
-const A76: f64 = 11.0 / 84.0;
+pub(crate) const A71: f64 = 35.0 / 384.0;
+pub(crate) const A73: f64 = 500.0 / 1113.0;
+pub(crate) const A74: f64 = 125.0 / 192.0;
+pub(crate) const A75: f64 = -2187.0 / 6784.0;
+pub(crate) const A76: f64 = 11.0 / 84.0;
 
 // Error coefficients e = b5 − b4.
-const E1: f64 = 71.0 / 57600.0;
-const E3: f64 = -71.0 / 16695.0;
-const E4: f64 = 71.0 / 1920.0;
-const E5: f64 = -17253.0 / 339200.0;
-const E6: f64 = 22.0 / 525.0;
-const E7: f64 = -1.0 / 40.0;
+pub(crate) const E1: f64 = 71.0 / 57600.0;
+pub(crate) const E3: f64 = -71.0 / 16695.0;
+pub(crate) const E4: f64 = 71.0 / 1920.0;
+pub(crate) const E5: f64 = -17253.0 / 339200.0;
+pub(crate) const E6: f64 = 22.0 / 525.0;
+pub(crate) const E7: f64 = -1.0 / 40.0;
 
 // Dense-output coefficients.
-const D1: f64 = -12715105075.0 / 11282082432.0;
-const D3: f64 = 87487479700.0 / 32700410799.0;
-const D4: f64 = -10690763975.0 / 1880347072.0;
-const D5: f64 = 701980252875.0 / 199316789632.0;
-const D6: f64 = -1453857185.0 / 822651844.0;
-const D7: f64 = 69997945.0 / 29380423.0;
+pub(crate) const D1: f64 = -12715105075.0 / 11282082432.0;
+pub(crate) const D3: f64 = 87487479700.0 / 32700410799.0;
+pub(crate) const D4: f64 = -10690763975.0 / 1880347072.0;
+pub(crate) const D5: f64 = 701980252875.0 / 199316789632.0;
+pub(crate) const D6: f64 = -1453857185.0 / 822651844.0;
+pub(crate) const D7: f64 = 69997945.0 / 29380423.0;
 
 // Controller constants (dopri5.f defaults).
-const SAFETY: f64 = 0.9;
-const BETA: f64 = 0.04;
-const EXPO1: f64 = 0.2 - BETA * 0.75;
-const FAC_MIN_INV: f64 = 5.0; // 1/0.2: max shrink factor denominator
-const FAC_MAX_INV: f64 = 0.1; // 1/10: max growth factor denominator
-const STIFF_THRESHOLD: f64 = 3.25;
-const STIFF_STRIKES: usize = 15;
+pub(crate) const SAFETY: f64 = 0.9;
+pub(crate) const BETA: f64 = 0.04;
+pub(crate) const EXPO1: f64 = 0.2 - BETA * 0.75;
+pub(crate) const FAC_MIN_INV: f64 = 5.0; // 1/0.2: max shrink factor denominator
+pub(crate) const FAC_MAX_INV: f64 = 0.1; // 1/10: max growth factor denominator
+pub(crate) const STIFF_THRESHOLD: f64 = 3.25;
+pub(crate) const STIFF_STRIKES: usize = 15;
 
 /// The DOPRI5 solver.
 ///
@@ -223,7 +223,10 @@ impl Dopri5 {
             }
             h = h.min(options.max_step).min(t_end - t);
             if h <= f64::EPSILON * t.abs().max(1.0) {
-                return Err(SolveFailure { error: SolverError::StepSizeUnderflow { t }, stats: sol.stats });
+                return Err(SolveFailure {
+                    error: SolverError::StepSizeUnderflow { t },
+                    stats: sol.stats,
+                });
             }
 
             // Stages 2..6.
@@ -246,14 +249,20 @@ impl Dopri5 {
             system.rhs(t + C5 * h, y_stage, &mut k[4]);
             for i in 0..n {
                 y_sti[i] = y[i]
-                    + h * (A61 * k[0][i] + A62 * k[1][i] + A63 * k[2][i] + A64 * k[3][i]
+                    + h * (A61 * k[0][i]
+                        + A62 * k[1][i]
+                        + A63 * k[2][i]
+                        + A64 * k[3][i]
                         + A65 * k[4][i]);
             }
             system.rhs(t + h, y_sti, &mut k[5]);
             // 5th-order solution (stage 7 argument) and FSAL derivative.
             for i in 0..n {
                 y_new[i] = y[i]
-                    + h * (A71 * k[0][i] + A73 * k[2][i] + A74 * k[3][i] + A75 * k[4][i]
+                    + h * (A71 * k[0][i]
+                        + A73 * k[2][i]
+                        + A74 * k[3][i]
+                        + A75 * k[4][i]
                         + A76 * k[5][i]);
             }
             system.rhs(t + h, y_new, &mut k[6]);
@@ -264,7 +273,11 @@ impl Dopri5 {
             // Embedded error estimate.
             for i in 0..n {
                 err_vec[i] = h
-                    * (E1 * k[0][i] + E3 * k[2][i] + E4 * k[3][i] + E5 * k[4][i] + E6 * k[5][i]
+                    * (E1 * k[0][i]
+                        + E3 * k[2][i]
+                        + E4 * k[3][i]
+                        + E5 * k[4][i]
+                        + E6 * k[5][i]
                         + E7 * k[6][i]);
             }
             options.error_scale_pair(y, y_new, scale);
@@ -276,7 +289,10 @@ impl Dopri5 {
                 h *= 0.1;
                 last_rejected = true;
                 if h <= f64::MIN_POSITIVE * 1e4 {
-                    return Err(SolveFailure { error: SolverError::NonFiniteState { t }, stats: sol.stats });
+                    return Err(SolveFailure {
+                        error: SolverError::NonFiniteState { t },
+                        stats: sol.stats,
+                    });
                 }
                 continue;
             }
@@ -339,8 +355,12 @@ impl Dopri5 {
                         r[2][i] = bspl;
                         r[3][i] = ydiff - h * k[6][i] - bspl;
                         r[4][i] = h
-                            * (D1 * k[0][i] + D3 * k[2][i] + D4 * k[3][i] + D5 * k[4][i]
-                                + D6 * k[5][i] + D7 * k[6][i]);
+                            * (D1 * k[0][i]
+                                + D3 * k[2][i]
+                                + D4 * k[3][i]
+                                + D5 * k[4][i]
+                                + D6 * k[5][i]
+                                + D7 * k[6][i]);
                     }
                     while next_sample < sample_times.len() && sample_times[next_sample] <= t_new {
                         let ts = sample_times[next_sample];
@@ -440,7 +460,10 @@ mod tests {
             assert!((sol.state_at(i)[0] - t.sin()).abs() < 2e-5, "t={t}");
         }
         // Large steps: far fewer steps than samples.
-        assert!(sol.stats.accepted < times.len(), "dense output must decouple sampling from stepping");
+        assert!(
+            sol.stats.accepted < times.len(),
+            "dense output must decouple sampling from stepping"
+        );
     }
 
     #[test]

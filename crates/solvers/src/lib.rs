@@ -38,7 +38,9 @@
 //! # }
 //! ```
 
+mod batch;
 mod dopri5;
+mod dopri5_batch;
 mod error;
 mod multistep;
 mod options;
@@ -49,7 +51,9 @@ mod scratch;
 mod solution;
 mod system;
 
+pub use batch::{BatchOdeSystem, BatchState};
 pub use dopri5::Dopri5;
+pub use dopri5_batch::{Dopri5Batch, LaneReport};
 pub use error::{SolveFailure, SolverError};
 pub use multistep::{AdamsMoulton, Bdf, Lsoda, MethodFamily, Vode};
 pub use options::SolverOptions;

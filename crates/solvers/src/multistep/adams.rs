@@ -5,7 +5,7 @@ use crate::multistep::core::NordsieckCore;
 use crate::multistep::MethodFamily;
 use crate::system::check_inputs;
 use crate::{
-    initial_step_size, OdeSolver, OdeSystem, SolveFailure, Solution, SolverError, SolverOptions,
+    initial_step_size, OdeSolver, OdeSystem, Solution, SolveFailure, SolverError, SolverOptions,
     SolverScratch,
 };
 
@@ -57,7 +57,10 @@ where
     while next_sample < sample_times.len() {
         if steps_since_sample >= options.max_steps {
             return Err(SolveFailure {
-                error: SolverError::MaxStepsExceeded { t: core.time(), max_steps: options.max_steps },
+                error: SolverError::MaxStepsExceeded {
+                    t: core.time(),
+                    max_steps: options.max_steps,
+                },
                 stats: sol.stats,
             });
         }
@@ -170,8 +173,9 @@ mod tests {
     fn decay_matches_analytic() {
         let sys = FnSystem::new(1, |_t, y, d| d[0] = -2.0 * y[0]);
         let times = [0.5, 1.0, 3.0];
-        let sol =
-            AdamsMoulton::new().solve(&sys, 0.0, &[1.0], &times, &SolverOptions::default()).unwrap();
+        let sol = AdamsMoulton::new()
+            .solve(&sys, 0.0, &[1.0], &times, &SolverOptions::default())
+            .unwrap();
         for (i, &t) in times.iter().enumerate() {
             let exact = (-2.0 * t).exp();
             assert!(

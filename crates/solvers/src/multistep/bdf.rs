@@ -3,7 +3,7 @@
 use crate::multistep::adams::{drive, BDF_MAX_ORDER};
 use crate::multistep::core::NordsieckCore;
 use crate::multistep::MethodFamily;
-use crate::{OdeSolver, OdeSystem, SolveFailure, Solution, SolverOptions, SolverScratch};
+use crate::{OdeSolver, OdeSystem, Solution, SolveFailure, SolverOptions, SolverScratch};
 
 /// Variable-order (1–5) backward differentiation formulae with modified
 /// Newton iteration, cached Jacobian, and LU reuse — the stiff half of the
@@ -137,7 +137,8 @@ mod tests {
     #[test]
     fn bdf1_cap_behaves_like_first_order_method() {
         let sys = FnSystem::new(1, |_t, y, d| d[0] = -y[0]);
-        let tight = SolverOptions { max_steps: 1_000_000, ..SolverOptions::with_tolerances(1e-7, 1e-12) };
+        let tight =
+            SolverOptions { max_steps: 1_000_000, ..SolverOptions::with_tolerances(1e-7, 1e-12) };
         let first = Bdf::with_max_order(1).solve(&sys, 0.0, &[1.0], &[1.0], &tight).unwrap();
         let fifth = Bdf::new().solve(&sys, 0.0, &[1.0], &[1.0], &tight).unwrap();
         assert!(

@@ -3,9 +3,7 @@
 
 use crate::multistep::MethodFamily;
 use crate::{OdeSystem, SolverError, SolverOptions, StepStats};
-use paraspace_linalg::{
-    dominant_eigenvalue_estimate, weighted_rms_norm, LuFactor, Matrix,
-};
+use paraspace_linalg::{dominant_eigenvalue_estimate, weighted_rms_norm, LuFactor, Matrix};
 
 /// Maximum corrector iterations per attempt.
 const MAX_CORRECTOR_ITERS: usize = 4;
@@ -428,8 +426,11 @@ impl NordsieckCore {
                     return Err(()); // diverging
                 }
             }
-            let effective =
-                if iter == 0 { norm } else { norm * (rate / (1.0 - rate.min(0.99))).clamp(1.0, 1e6) };
+            let effective = if iter == 0 {
+                norm
+            } else {
+                norm * (rate / (1.0 - rate.min(0.99))).clamp(1.0, 1e6)
+            };
             if effective <= conv_tol || norm == 0.0 {
                 return Ok(iter + 1);
             }
@@ -507,8 +508,8 @@ impl NordsieckCore {
                     }
                     self.rescale(0.1);
                 } else {
-                    let eta = (1.0 / (BIAS_SAME * err).powf(1.0 / (self.q as f64 + 1.0)))
-                        .clamp(0.1, 0.9);
+                    let eta =
+                        (1.0 / (BIAS_SAME * err).powf(1.0 / (self.q as f64 + 1.0))).clamp(0.1, 0.9);
                     self.rescale(eta);
                 }
                 continue;

@@ -3,7 +3,7 @@
 use crate::multistep::adams::{drive, ADAMS_MAX_ORDER, BDF_MAX_ORDER};
 use crate::multistep::core::NordsieckCore;
 use crate::multistep::MethodFamily;
-use crate::{OdeSolver, OdeSystem, SolveFailure, Solution, SolverOptions, SolverScratch};
+use crate::{OdeSolver, OdeSystem, Solution, SolveFailure, SolverOptions, SolverScratch};
 use std::cell::Cell;
 
 /// Probe the stiffness indicator every this many accepted steps.

@@ -19,10 +19,10 @@
 
 use crate::system::check_inputs;
 use crate::{
-    initial_step_size, OdeSolver, OdeSystem, SolveFailure, Solution, SolverError, SolverOptions,
+    initial_step_size, OdeSolver, OdeSystem, Solution, SolveFailure, SolverError, SolverOptions,
     SolverScratch,
 };
-use paraspace_linalg::{weighted_rms_norm, CluFactor, CMatrix, Complex64, LuFactor, Matrix};
+use paraspace_linalg::{weighted_rms_norm, CMatrix, CluFactor, Complex64, LuFactor, Matrix};
 
 // Collocation nodes.
 fn sq6() -> f64 {
@@ -217,7 +217,14 @@ impl OdeSolver for Radau5 {
         sample_times: &[f64],
         options: &SolverOptions,
     ) -> Result<Solution, SolveFailure> {
-        self.solve_impl(system, t0, y0, sample_times, options, &mut RadauWorkspace::new(system.dim()))
+        self.solve_impl(
+            system,
+            t0,
+            y0,
+            sample_times,
+            options,
+            &mut RadauWorkspace::new(system.dim()),
+        )
     }
 
     fn solve_pooled(
@@ -309,7 +316,10 @@ impl Radau5 {
             }
             h = h.min(options.max_step).min(t_end - t);
             if h <= uround * t.abs().max(1.0) {
-                return Err(SolveFailure { error: SolverError::StepSizeUnderflow { t }, stats: sol.stats });
+                return Err(SolveFailure {
+                    error: SolverError::StepSizeUnderflow { t },
+                    stats: sol.stats,
+                });
             }
 
             if need_jacobian {
@@ -557,7 +567,8 @@ impl Radau5 {
             steps_since_sample += 1;
 
             // Step-size proposal (radau5's controller).
-            let fac = SAFE.min(SAFE * (1.0 + 2.0 * NIT as f64) / (newton_iters as f64 + 2.0 * NIT as f64));
+            let fac = SAFE
+                .min(SAFE * (1.0 + 2.0 * NIT as f64) / (newton_iters as f64 + 2.0 * NIT as f64));
             let mut quot = (err.powf(0.25) / fac).clamp(FACR, FACL);
             let mut h_new = h / quot;
 

@@ -6,7 +6,7 @@
 //! by ~16×.
 
 use crate::system::check_inputs;
-use crate::{OdeSolver, OdeSystem, SolveFailure, Solution, SolverError, SolverOptions};
+use crate::{OdeSolver, OdeSystem, Solution, SolveFailure, SolverError, SolverOptions};
 
 /// Fixed-step classical RK4.
 ///
@@ -98,7 +98,10 @@ impl OdeSolver for Rk4 {
                     y[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
                 }
                 if !y.iter().all(|v| v.is_finite()) {
-                    return Err(SolveFailure { error: SolverError::NonFiniteState { t }, stats: sol.stats });
+                    return Err(SolveFailure {
+                        error: SolverError::NonFiniteState { t },
+                        stats: sol.stats,
+                    });
                 }
                 t += h;
                 sol.stats.steps += 1;

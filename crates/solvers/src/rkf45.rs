@@ -8,7 +8,9 @@
 //! [`crate::Dopri5`] the comparison experiments expose.
 
 use crate::system::check_inputs;
-use crate::{initial_step_size, OdeSolver, OdeSystem, SolveFailure, Solution, SolverError, SolverOptions};
+use crate::{
+    initial_step_size, OdeSolver, OdeSystem, Solution, SolveFailure, SolverError, SolverOptions,
+};
 use paraspace_linalg::weighted_rms_norm;
 
 const C2: f64 = 1.0 / 4.0;
@@ -120,7 +122,10 @@ impl OdeSolver for Rkf45 {
                 }
                 let h_try = h.min(options.max_step).min(ts - t);
                 if h_try <= f64::EPSILON * t.abs().max(1.0) {
-                    return Err(SolveFailure { error: SolverError::StepSizeUnderflow { t }, stats: sol.stats });
+                    return Err(SolveFailure {
+                        error: SolverError::StepSizeUnderflow { t },
+                        stats: sol.stats,
+                    });
                 }
 
                 system.rhs(t, &y, &mut k[0]);
@@ -144,7 +149,10 @@ impl OdeSolver for Rkf45 {
                 for i in 0..n {
                     y_stage[i] = y[i]
                         + h_try
-                            * (A61 * k[0][i] + A62 * k[1][i] + A63 * k[2][i] + A64 * k[3][i]
+                            * (A61 * k[0][i]
+                                + A62 * k[1][i]
+                                + A63 * k[2][i]
+                                + A64 * k[3][i]
                                 + A65 * k[4][i]);
                 }
                 system.rhs(t + C6 * h_try, &y_stage, &mut k[5]);
@@ -153,10 +161,13 @@ impl OdeSolver for Rkf45 {
                 steps_this_interval += 1;
 
                 for i in 0..n {
-                    y_new[i] = y[i]
-                        + h_try * (B1 * k[0][i] + B3 * k[2][i] + B4 * k[3][i] + B5 * k[4][i]);
+                    y_new[i] =
+                        y[i] + h_try * (B1 * k[0][i] + B3 * k[2][i] + B4 * k[3][i] + B5 * k[4][i]);
                     err_vec[i] = h_try
-                        * (E1 * k[0][i] + E3 * k[2][i] + E4 * k[3][i] + E5 * k[4][i]
+                        * (E1 * k[0][i]
+                            + E3 * k[2][i]
+                            + E4 * k[3][i]
+                            + E5 * k[4][i]
                             + E6 * k[5][i]);
                 }
                 options.error_scale_pair(&y, &y_new, &mut scale);
@@ -166,7 +177,10 @@ impl OdeSolver for Rkf45 {
                     sol.stats.rejected += 1;
                     h = h_try * 0.1;
                     if h <= f64::MIN_POSITIVE * 1e4 {
-                        return Err(SolveFailure { error: SolverError::NonFiniteState { t }, stats: sol.stats });
+                        return Err(SolveFailure {
+                            error: SolverError::NonFiniteState { t },
+                            stats: sol.stats,
+                        });
                     }
                     continue;
                 }

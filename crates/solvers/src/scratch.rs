@@ -37,6 +37,7 @@
 //! ```
 
 use crate::dopri5::DopriScratch;
+use crate::dopri5_batch::DopriBatchScratch;
 use crate::multistep::core::NordsieckCore;
 use crate::multistep::MethodFamily;
 use crate::radau5::RadauWorkspace;
@@ -47,6 +48,7 @@ use crate::radau5::RadauWorkspace;
 #[derive(Default)]
 pub struct SolverScratch {
     pub(crate) dopri: DopriScratch,
+    pub(crate) dopri_batch: DopriBatchScratch,
     pub(crate) radau: Option<RadauWorkspace>,
     pub(crate) nordsieck: Option<NordsieckCore>,
 }

@@ -73,7 +73,11 @@ pub struct Solution {
 impl Solution {
     /// Creates an empty solution shell with capacity for `n` samples.
     pub(crate) fn with_capacity(n: usize) -> Self {
-        Solution { times: Vec::with_capacity(n), states: Vec::with_capacity(n), stats: StepStats::default() }
+        Solution {
+            times: Vec::with_capacity(n),
+            states: Vec::with_capacity(n),
+            stats: StepStats::default(),
+        }
     }
 
     /// Number of samples.
@@ -117,7 +121,8 @@ mod tests {
     #[test]
     fn absorb_accumulates_counters() {
         let mut a = StepStats { steps: 3, rhs_evals: 10, ..StepStats::default() };
-        let b = StepStats { steps: 2, rhs_evals: 5, stiffness_detected: true, ..StepStats::default() };
+        let b =
+            StepStats { steps: 2, rhs_evals: 5, stiffness_detected: true, ..StepStats::default() };
         a.absorb(&b);
         assert_eq!(a.steps, 5);
         assert_eq!(a.rhs_evals, 15);

@@ -1,7 +1,7 @@
 //! The ODE-system abstraction all solvers consume, and the object-safe
 //! solver interface the simulation engines dispatch over.
 
-use crate::{SolveFailure, Solution, SolverError, SolverOptions, SolverScratch};
+use crate::{Solution, SolveFailure, SolverError, SolverOptions, SolverScratch};
 use paraspace_linalg::{finite_difference_jacobian_into, Matrix};
 
 /// A first-order ODE system `dy/dt = f(t, y)` of fixed dimension.
@@ -171,7 +171,9 @@ pub(crate) fn check_inputs(
         });
     }
     if !y0.iter().all(|v| v.is_finite()) || !t0.is_finite() {
-        return Err(SolverError::InvalidInput { message: "initial condition must be finite".into() });
+        return Err(SolverError::InvalidInput {
+            message: "initial condition must be finite".into(),
+        });
     }
     if options.rel_tol <= 0.0 || options.abs_tol <= 0.0 {
         return Err(SolverError::InvalidInput { message: "tolerances must be positive".into() });
@@ -180,7 +182,9 @@ pub(crate) fn check_inputs(
     for &t in sample_times {
         if t < prev {
             return Err(SolverError::InvalidInput {
-                message: format!("sample times must be non-decreasing and ≥ t0 (saw {t} after {prev})"),
+                message: format!(
+                    "sample times must be non-decreasing and ≥ t0 (saw {t} after {prev})"
+                ),
             });
         }
         prev = t;

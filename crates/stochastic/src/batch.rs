@@ -149,8 +149,7 @@ impl<S: StochasticSimulator> StochasticBatch<S> {
         let mut variance = vec![vec![0.0; n]; times.len()];
         for t in 0..times.len() {
             for s in 0..n {
-                let vals: Vec<f64> =
-                    trajectories.iter().map(|tr| tr.states[t][s] as f64).collect();
+                let vals: Vec<f64> = trajectories.iter().map(|tr| tr.states[t][s] as f64).collect();
                 let mu = vals.iter().sum::<f64>() / replicates as f64;
                 mean[t][s] = mu;
                 variance[t][s] = if replicates > 1 {
@@ -232,7 +231,8 @@ mod tests {
     #[test]
     fn tau_leaping_batch_is_cheaper_on_device_than_ssa() {
         let m = decay(100_000.0);
-        let ssa = StochasticBatch::new(DirectMethod::new()).with_seed(3).run(&m, &[0.5], 8).unwrap();
+        let ssa =
+            StochasticBatch::new(DirectMethod::new()).with_seed(3).run(&m, &[0.5], 8).unwrap();
         let tau = StochasticBatch::new(TauLeaping::new()).with_seed(3).run(&m, &[0.5], 8).unwrap();
         assert!(
             tau.simulated_ns * 5.0 < ssa.simulated_ns,

@@ -159,12 +159,10 @@ mod tests {
     #[test]
     fn deterministic_under_seed() {
         let m = immigration_death(5.0, 0.5, 10.0);
-        let a = DirectMethod::new()
-            .simulate(&m, &[1.0, 2.0], &mut StdRng::seed_from_u64(9))
-            .unwrap();
-        let b = DirectMethod::new()
-            .simulate(&m, &[1.0, 2.0], &mut StdRng::seed_from_u64(9))
-            .unwrap();
+        let a =
+            DirectMethod::new().simulate(&m, &[1.0, 2.0], &mut StdRng::seed_from_u64(9)).unwrap();
+        let b =
+            DirectMethod::new().simulate(&m, &[1.0, 2.0], &mut StdRng::seed_from_u64(9)).unwrap();
         assert_eq!(a, b);
     }
 
@@ -181,9 +179,6 @@ mod tests {
             .sum::<f64>()
             / n as f64;
         let exact = 200.0 * (-t).exp();
-        assert!(
-            (mean - exact).abs() < 3.0,
-            "ensemble mean {mean} vs ODE {exact}"
-        );
+        assert!((mean - exact).abs() < 3.0, "ensemble mean {mean} vs ODE {exact}");
     }
 }

@@ -210,12 +210,7 @@ mod tests {
         let tau = TauLeaping::new().simulate(&m, &[1.0], &mut rng).unwrap();
         let mut rng = StdRng::seed_from_u64(1);
         let ssa = DirectMethod::new().simulate(&m, &[1.0], &mut rng).unwrap();
-        assert!(
-            tau.steps * 20 < ssa.steps,
-            "tau {} steps vs ssa {} steps",
-            tau.steps,
-            ssa.steps
-        );
+        assert!(tau.steps * 20 < ssa.steps, "tau {} steps vs ssa {} steps", tau.steps, ssa.steps);
     }
 
     #[test]
@@ -230,10 +225,7 @@ mod tests {
             .map(|_| sim.simulate(&m, &[t], &mut rng).unwrap().states[0][0] as f64)
             .sum::<f64>()
             / n as f64;
-        assert!(
-            (mean - exact).abs() / exact < 0.01,
-            "tau-leaping mean {mean} vs ODE {exact}"
-        );
+        assert!((mean - exact).abs() / exact < 0.01, "tau-leaping mean {mean} vs ODE {exact}");
     }
 
     #[test]

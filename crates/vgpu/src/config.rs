@@ -157,8 +157,12 @@ mod tests {
         let c = DeviceConfig::titan_x();
         assert!(c.latency_cycles(MemorySpace::Register) < c.latency_cycles(MemorySpace::Constant));
         assert!(c.latency_cycles(MemorySpace::Constant) < c.latency_cycles(MemorySpace::Shared));
-        assert!(c.latency_cycles(MemorySpace::Shared) < c.latency_cycles(MemorySpace::CachedGlobal));
-        assert!(c.latency_cycles(MemorySpace::CachedGlobal) < c.latency_cycles(MemorySpace::Global));
+        assert!(
+            c.latency_cycles(MemorySpace::Shared) < c.latency_cycles(MemorySpace::CachedGlobal)
+        );
+        assert!(
+            c.latency_cycles(MemorySpace::CachedGlobal) < c.latency_cycles(MemorySpace::Global)
+        );
     }
 
     #[test]

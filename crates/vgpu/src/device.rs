@@ -1,5 +1,6 @@
 //! The device façade: launches, child grids, and the simulated timeline.
 
+use crate::lanes::{LaneAccounting, LaneGroupStats};
 use crate::schedule::{schedule, LaunchStats};
 use crate::{DeviceConfig, DpModel, KernelLaunch};
 use std::cell::RefCell;
@@ -186,20 +187,31 @@ pub struct Device {
     config: DeviceConfig,
     dp: DpModel,
     timeline: RefCell<Timeline>,
+    lanes: RefCell<LaneAccounting>,
 }
 
 impl Device {
     /// Creates a device with the default dynamic-parallelism model.
     pub fn new(config: DeviceConfig) -> Self {
         config.validate();
-        Device { config, dp: DpModel::default(), timeline: RefCell::new(Timeline::default()) }
+        Device {
+            config,
+            dp: DpModel::default(),
+            timeline: RefCell::new(Timeline::default()),
+            lanes: RefCell::new(LaneAccounting::default()),
+        }
     }
 
     /// Creates a device with a custom dynamic-parallelism model (used by
     /// the DP ablation).
     pub fn with_dp_model(config: DeviceConfig, dp: DpModel) -> Self {
         config.validate();
-        Device { config, dp, timeline: RefCell::new(Timeline::default()) }
+        Device {
+            config,
+            dp,
+            timeline: RefCell::new(Timeline::default()),
+            lanes: RefCell::new(LaneAccounting::default()),
+        }
     }
 
     /// The architectural configuration.
@@ -222,9 +234,22 @@ impl Device {
         self.timeline.borrow().clone()
     }
 
-    /// Clears the timeline (between experiments).
+    /// Clears the timeline and lane accounting (between experiments).
     pub fn reset(&self) {
         self.timeline.borrow_mut().entries.clear();
+        *self.lanes.borrow_mut() = LaneAccounting::default();
+    }
+
+    /// Folds one lane-group's occupancy counters into the device's
+    /// run-wide [`LaneAccounting`]. Engines running the lane-batched path
+    /// call this once per group, in group order.
+    pub fn record_lane_group(&self, stats: &LaneGroupStats) {
+        self.lanes.borrow_mut().record(stats);
+    }
+
+    /// A snapshot of the run-wide lane occupancy/divergence accounting.
+    pub fn lane_accounting(&self) -> LaneAccounting {
+        *self.lanes.borrow()
     }
 
     /// Launches a kernel, advancing the timeline, and returns its timing.
@@ -336,12 +361,32 @@ mod tests {
     #[test]
     fn tagged_time_accounting() {
         let d = dev();
-        d.launch(&KernelLaunch::uniform("integrate::dopri5", 24, 128, ThreadWork::new().with_flops(5000)));
+        d.launch(&KernelLaunch::uniform(
+            "integrate::dopri5",
+            24,
+            128,
+            ThreadWork::new().with_flops(5000),
+        ));
         d.record_host_phase("io::write", 1e6);
         let tl = d.timeline();
         assert!(tl.time_tagged_ns("integrate") > 0.0);
         assert_eq!(tl.time_tagged_ns("io"), 1e6);
         assert_eq!(tl.time_tagged_ns("nonexistent"), 0.0);
+    }
+
+    #[test]
+    fn lane_accounting_accumulates_and_resets() {
+        let d = dev();
+        assert_eq!(d.lane_accounting().groups, 0);
+        d.record_lane_group(&LaneGroupStats { width: 8, lockstep_iters: 10, lane_steps: 60 });
+        d.record_lane_group(&LaneGroupStats { width: 8, lockstep_iters: 5, lane_steps: 40 });
+        let acc = d.lane_accounting();
+        assert_eq!(acc.groups, 2);
+        assert_eq!(acc.slot_steps, 120);
+        assert_eq!(acc.lane_steps, 100);
+        assert!((acc.occupancy() - 100.0 / 120.0).abs() < 1e-12);
+        d.reset();
+        assert_eq!(d.lane_accounting(), LaneAccounting::default());
     }
 
     #[test]
@@ -354,13 +399,14 @@ mod tests {
     #[test]
     fn cost_launch_matches_device_launch() {
         let d = dev();
-        let k = KernelLaunch::uniform("k", 24, 128, ThreadWork::new().with_flops(5000))
-            .with_child(ChildLaunch {
+        let k = KernelLaunch::uniform("k", 24, 128, ThreadWork::new().with_flops(5000)).with_child(
+            ChildLaunch {
                 blocks: 2,
                 threads_per_block: 64,
                 work: ThreadWork::new().with_flops(50),
                 repeats: 3,
-            });
+            },
+        );
         let pure = cost_launch(d.config(), d.dp_model(), &k);
         let recorded = d.launch(&k);
         assert_eq!(pure, recorded);

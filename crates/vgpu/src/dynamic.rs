@@ -140,10 +140,14 @@ mod tests {
         // The published behaviour: amortized per-parent launch cost is flat
         // up to ~2048 parents, then degrades.
         let dp = DpModel::default();
-        let per_parent =
-            |p: usize| dp.total_overhead_ns(p, 1, 1600.0) / p as f64;
+        let per_parent = |p: usize| dp.total_overhead_ns(p, 1, 1600.0) / p as f64;
         assert!(per_parent(512) < per_parent(256) * 1.5);
-        assert!(per_parent(4096) > 3.0 * per_parent(1024), "{} vs {}", per_parent(4096), per_parent(1024));
+        assert!(
+            per_parent(4096) > 3.0 * per_parent(1024),
+            "{} vs {}",
+            per_parent(4096),
+            per_parent(1024)
+        );
     }
 
     #[test]

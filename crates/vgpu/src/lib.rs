@@ -41,6 +41,7 @@
 mod config;
 mod device;
 mod dynamic;
+mod lanes;
 mod memory;
 mod schedule;
 mod workload;
@@ -48,6 +49,7 @@ mod workload;
 pub use config::DeviceConfig;
 pub use device::{cost_launch, Device, Timeline, TimelineShard};
 pub use dynamic::DpModel;
+pub use lanes::{LaneAccounting, LaneGroupStats};
 pub use memory::MemorySpace;
 pub use schedule::{LaunchStats, Occupancy};
 pub use workload::{ChildLaunch, KernelLaunch, ThreadWork};

@@ -60,10 +60,8 @@ impl Occupancy {
         let regs_per_block = launch.registers_per_thread * tpb;
         let by_registers =
             config.registers_per_sm.checked_div(regs_per_block).unwrap_or(usize::MAX);
-        let by_shared = config
-            .shared_mem_per_sm
-            .checked_div(launch.shared_mem_per_block)
-            .unwrap_or(usize::MAX);
+        let by_shared =
+            config.shared_mem_per_sm.checked_div(launch.shared_mem_per_block).unwrap_or(usize::MAX);
         let mut resident = by_threads.min(by_blocks).min(by_registers).min(by_shared).max(1);
         let mut limiter = if resident == by_threads {
             OccupancyLimiter::Threads
@@ -184,10 +182,7 @@ pub fn schedule(config: &DeviceConfig, launch: &KernelLaunch) -> LaunchStats {
     let exec_ns = (worst_cycles * cycle_ns).max(dram_time_ns);
     let time_ns = exec_ns + config.kernel_launch_ns;
 
-    let waves = launch
-        .blocks
-        .div_ceil(config.sm_count)
-        .div_ceil(occ.resident_blocks.max(1));
+    let waves = launch.blocks.div_ceil(config.sm_count).div_ceil(occ.resident_blocks.max(1));
     let peak_flops_per_ns = config.sm_count as f64 * config.cores_per_sm as f64 * config.clock_ghz;
     LaunchStats {
         time_ns,
@@ -257,7 +252,12 @@ mod tests {
         let total_flops: u64 = 1 << 22;
         let time_for = |threads: usize| {
             let per = total_flops / threads as u64;
-            let k = KernelLaunch::uniform("k", threads.div_ceil(128), 128.min(threads), ThreadWork::new().with_flops(per));
+            let k = KernelLaunch::uniform(
+                "k",
+                threads.div_ceil(128),
+                128.min(threads),
+                ThreadWork::new().with_flops(per),
+            );
             schedule(&cfg(), &k).time_ns
         };
         let t1 = time_for(128);
@@ -279,7 +279,12 @@ mod tests {
         let skewed = KernelLaunch::per_thread("s", 24, 32, skewed_work);
         let su = schedule(&cfg(), &uniform);
         let ss = schedule(&cfg(), &skewed);
-        assert!((su.time_ns - ss.time_ns).abs() / su.time_ns < 0.05, "SIMT lockstep: {} vs {}", su.time_ns, ss.time_ns);
+        assert!(
+            (su.time_ns - ss.time_ns).abs() / su.time_ns < 0.05,
+            "SIMT lockstep: {} vs {}",
+            su.time_ns,
+            ss.time_ns
+        );
         assert!(su.lane_efficiency > 0.99);
         assert!(ss.lane_efficiency < 0.05);
     }

@@ -32,8 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Target dynamics from the true constants.
     let target_job =
         SimulationJob::builder(&model).time_points(times.clone()).replicate(1).build()?;
-    let target =
-        engine.run(&target_job)?.outcomes.remove(0).solution.map_err(|e| e.to_string())?;
+    let target = engine.run(&target_job)?.outcomes.remove(0).solution.map_err(|e| e.to_string())?;
 
     let problem = EstimationProblem {
         model: &model,

@@ -22,19 +22,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     model.add_reaction("kdeg * X1", &[(p, -1.0)])?;
 
     // Show the machinery: the parsed flux and its exact derivative.
-    let flux = RateExpr::parse(
-        "vmax * X0 / (km + X0 + X0^2 / ki)",
-        &["vmax", "km", "ki", "kdeg"],
-    )?;
+    let flux = RateExpr::parse("vmax * X0 / (km + X0 + X0^2 / ki)", &["vmax", "km", "ki", "kdeg"])?;
     println!("flux:        {flux}");
     println!("d(flux)/dS:  {}", flux.derivative(0));
 
     let odes = model.compile()?;
     let sys = CustomOdeSystem::new(&odes);
     let times: Vec<f64> = (1..=16).map(|i| i as f64 * 0.75).collect();
-    let sol = Radau5::new().solve(&sys, 0.0, &model.initial_state(), &times, &SolverOptions::default())?;
+    let sol = Radau5::new().solve(
+        &sys,
+        0.0,
+        &model.initial_state(),
+        &times,
+        &SolverOptions::default(),
+    )?;
 
-    println!("\n{:>6} {:>10} {:>10}  (substrate inhibition: v peaks at S = √(km·ki) ≈ 0.77)", "t", "S", "P");
+    println!(
+        "\n{:>6} {:>10} {:>10}  (substrate inhibition: v peaks at S = √(km·ki) ≈ 0.77)",
+        "t", "S", "P"
+    );
     for (t, state) in sol.times.iter().zip(&sol.states) {
         println!("{t:>6.2} {:>10.4} {:>10.4}", state[0], state[1]);
     }

@@ -6,7 +6,7 @@
 //! cargo run --release --example model_io
 //! ```
 
-use paraspace_rbm::{biosimware, sbml, sbgen::SbGen};
+use paraspace_rbm::{biosimware, sbgen::SbGen, sbml};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

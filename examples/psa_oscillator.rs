@@ -19,11 +19,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model = autophagy::scaled_model(1e3, 1e-7, scale);
     println!("model: {} species, {} reactions", model.n_species(), model.n_reactions());
 
-    let sweep = Psa2d::new(
-        Axis::linear("AMPK*0", 0.0, 1e4, 6),
-        Axis::logarithmic("P9", 1e-9, 1e-6, 6),
-    )
-    .options(SolverOptions { max_steps: 100_000, ..SolverOptions::default() });
+    let sweep =
+        Psa2d::new(Axis::linear("AMPK*0", 0.0, 1e4, 6), Axis::logarithmic("P9", 1e-9, 1e-6, 6))
+            .options(SolverOptions { max_steps: 100_000, ..SolverOptions::default() });
 
     let times: Vec<f64> = (1..=120).map(|i| 20.0 + i as f64 * 0.5).collect();
     let engine = FineCoarseEngine::new();
@@ -62,6 +60,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  AMPK*0 = {ampk0:8.0}  {cells}");
     }
     println!("\n('O' oscillating, '.' quiescent, '?' disagrees with the analytic boundary)");
-    println!("{} simulations, {:.1} ms simulated engine time", result.simulations, result.simulated_ns / 1e6);
+    println!(
+        "{} simulations, {:.1} ms simulated engine time",
+        result.simulations,
+        result.simulated_ns / 1e6
+    );
     Ok(())
 }

@@ -27,10 +27,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. A job: sampling times + tolerances (published defaults).
     let time_points: Vec<f64> = (1..=10).map(|i| i as f64 * 0.5).collect();
-    let job = SimulationJob::builder(&model)
-        .time_points(time_points)
-        .parameterizations(batch)
-        .build()?;
+    let job =
+        SimulationJob::builder(&model).time_points(time_points).parameterizations(batch).build()?;
 
     // 4. Run on the fine+coarse engine and the CPU baseline.
     let gpu = FineCoarseEngine::new().run(&job)?;

@@ -33,8 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Stochastic ensembles.
     let replicates = 256;
-    let ssa = StochasticBatch::new(DirectMethod::new()).with_seed(42).run(&model, &times, replicates)?;
-    let tau = StochasticBatch::new(TauLeaping::new()).with_seed(42).run(&model, &times, replicates)?;
+    let ssa =
+        StochasticBatch::new(DirectMethod::new()).with_seed(42).run(&model, &times, replicates)?;
+    let tau =
+        StochasticBatch::new(TauLeaping::new()).with_seed(42).run(&model, &times, replicates)?;
 
     println!("gene-expression model, {replicates} replicates per ensemble\n");
     println!(
@@ -56,6 +58,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ssa.simulated_ns / 1e6,
         tau.simulated_ns / 1e6
     );
-    println!("(the Fano factor > 1 shows translational noise amplification — invisible to the ODE)");
+    println!(
+        "(the Fano factor > 1 shows translational noise amplification — invisible to the ODE)"
+    );
     Ok(())
 }

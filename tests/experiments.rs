@@ -11,8 +11,7 @@ use paraspace::analysis::psa::{Axis, Psa2d};
 use paraspace::analysis::sobol::SaltelliPlan;
 use paraspace::analysis::throughput::{hours_ns, simulations_within_budget};
 use paraspace::engine::{
-    CoarseEngine, CpuEngine, CpuSolverKind, FineCoarseEngine, FineEngine, SimulationJob,
-    Simulator,
+    CoarseEngine, CpuEngine, CpuSolverKind, FineCoarseEngine, FineEngine, SimulationJob, Simulator,
 };
 use paraspace::models::{autophagy, metabolic};
 use paraspace::rbm::{perturbed_batch, sbgen::SbGen, Parameterization};
@@ -64,10 +63,7 @@ fn comparison_map_shape() {
 
     let batch = timings(&small, 256, 3);
     let w = winner(&batch);
-    assert!(
-        w == "fine-coarse" || w == "coarse",
-        "large batches belong to a GPU engine: {batch:?}"
-    );
+    assert!(w == "fine-coarse" || w == "coarse", "large batches belong to a GPU engine: {batch:?}");
     // And the fine+coarse engine must beat the CPU outright there.
     let cpu = batch.iter().find(|c| c.0 == "lsoda-cpu").unwrap().1;
     let fc = batch.iter().find(|c| c.0 == "fine-coarse").unwrap().1;
@@ -95,11 +91,9 @@ fn asymmetric_engine_weaknesses() {
 fn psa_plane_matches_hopf_boundary() {
     let scale = 0.04;
     let model = autophagy::scaled_model(1e3, 1e-7, scale);
-    let sweep = Psa2d::new(
-        Axis::linear("ampk", 0.0, 1e4, 4),
-        Axis::logarithmic("p9", 1e-9, 1e-6, 4),
-    )
-    .options(SolverOptions { max_steps: 100_000, ..SolverOptions::default() });
+    let sweep =
+        Psa2d::new(Axis::linear("ampk", 0.0, 1e4, 4), Axis::logarithmic("p9", 1e-9, 1e-6, 4))
+            .options(SolverOptions { max_steps: 100_000, ..SolverOptions::default() });
     let times: Vec<f64> = (1..=100).map(|i| 20.0 + i as f64 * 0.5).collect();
     let engine = FineCoarseEngine::new();
     let readout = model.species_by_name(autophagy::AMBRA_SPECIES).unwrap().index();
@@ -127,10 +121,7 @@ fn psa_plane_matches_hopf_boundary() {
             }
         }
     }
-    assert!(
-        agree * 100 >= total * 80,
-        "Hopf-boundary agreement too low: {agree}/{total}"
-    );
+    assert!(agree * 100 >= total * 80, "Hopf-boundary agreement too low: {agree}/{total}");
     // Both phases must actually occur in the plane.
     assert!(result.fraction_above(1e-2) > 0.1);
     assert!(result.fraction_above(1e-2) < 0.9);

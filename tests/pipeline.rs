@@ -1,8 +1,7 @@
 //! End-to-end integration: model I/O → job → engines → trajectories.
 
 use paraspace::engine::{
-    CoarseEngine, CpuEngine, CpuSolverKind, FineCoarseEngine, FineEngine, SimulationJob,
-    Simulator,
+    CoarseEngine, CpuEngine, CpuSolverKind, FineCoarseEngine, FineEngine, SimulationJob, Simulator,
 };
 use paraspace::models::classic;
 use paraspace::rbm::{biosimware, perturbed_batch, sbgen::SbGen, sbml};
@@ -22,8 +21,13 @@ fn disk_roundtrip_preserves_dynamics_across_engines() {
     std::fs::remove_dir_all(&dir).ok();
 
     let times = vec![0.5, 1.0];
-    let job_a = SimulationJob::builder(&model).time_points(times.clone()).replicate(3).build().expect("job");
-    let job_b = SimulationJob::builder(&restored).time_points(times).replicate(3).build().expect("job");
+    let job_a = SimulationJob::builder(&model)
+        .time_points(times.clone())
+        .replicate(3)
+        .build()
+        .expect("job");
+    let job_b =
+        SimulationJob::builder(&restored).time_points(times).replicate(3).build().expect("job");
 
     let engines: Vec<Box<dyn Simulator>> = vec![
         Box::new(CpuEngine::new(CpuSolverKind::Lsoda)),
@@ -35,10 +39,8 @@ fn disk_roundtrip_preserves_dynamics_across_engines() {
         let ra = engine.run(&job_a).expect("run a");
         let rb = engine.run(&job_b).expect("run b");
         for (oa, ob) in ra.outcomes.iter().zip(&rb.outcomes) {
-            let (sa, sb) = (
-                oa.solution.as_ref().expect("member a"),
-                ob.solution.as_ref().expect("member b"),
-            );
+            let (sa, sb) =
+                (oa.solution.as_ref().expect("member a"), ob.solution.as_ref().expect("member b"));
             for (xa, xb) in sa.last_state().unwrap().iter().zip(sb.last_state().unwrap()) {
                 assert!(
                     (xa - xb).abs() <= 1e-9 * xa.abs().max(1e-9),
@@ -93,8 +95,13 @@ fn sbml_roundtrip_preserves_dynamics() {
     let reimported = sbml::from_str(&sbml::to_string(&model)).expect("sbml");
     let times = vec![1.0];
     let engine = CpuEngine::new(CpuSolverKind::Lsoda);
-    let job1 = SimulationJob::builder(&model).time_points(times.clone()).replicate(1).build().expect("job");
-    let job2 = SimulationJob::builder(&reimported).time_points(times).replicate(1).build().expect("job");
+    let job1 = SimulationJob::builder(&model)
+        .time_points(times.clone())
+        .replicate(1)
+        .build()
+        .expect("job");
+    let job2 =
+        SimulationJob::builder(&reimported).time_points(times).replicate(1).build().expect("job");
     let s1 = engine.run(&job1).expect("r1").outcomes.remove(0).solution.expect("s1");
     let s2 = engine.run(&job2).expect("r2").outcomes.remove(0).solution.expect("s2");
     for (a, b) in s1.state_at(0).iter().zip(s2.state_at(0)) {
@@ -117,7 +124,11 @@ fn mixed_batch_routing() {
         .iter()
         .map(|&k| Parameterization::new().with_rate_constants(vec![k, k * 0.5]))
         .collect();
-    let job = SimulationJob::builder(&m).time_points(vec![2.0]).parameterizations(batch).build().expect("job");
+    let job = SimulationJob::builder(&m)
+        .time_points(vec![2.0])
+        .parameterizations(batch)
+        .build()
+        .expect("job");
     let r = FineCoarseEngine::new().run(&job).expect("run");
     assert_eq!(r.success_count(), 4);
     assert!(!r.outcomes[0].stiff && !r.outcomes[1].stiff);
@@ -141,7 +152,11 @@ fn perturbed_batch_members_vary_but_stay_physical() {
     let mut rng = StdRng::seed_from_u64(21);
     let model = SbGen::new(10, 10).generate(&mut rng);
     let batch = perturbed_batch(&model, 16, &mut rng);
-    let job = SimulationJob::builder(&model).time_points(vec![1.0]).parameterizations(batch).build().expect("job");
+    let job = SimulationJob::builder(&model)
+        .time_points(vec![1.0])
+        .parameterizations(batch)
+        .build()
+        .expect("job");
     let r = FineCoarseEngine::new().run(&job).expect("run");
     let finals: Vec<Vec<f64>> = r.solutions().map(|s| s.state_at(0).to_vec()).collect();
     assert!(finals.len() >= 14, "almost all members should integrate");

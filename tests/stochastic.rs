@@ -23,14 +23,13 @@ fn gene_expression(k_tx: f64, g_m: f64, k_tl: f64, g_p: f64) -> ReactionBasedMod
 fn ssa_ensemble_mean_tracks_ode() {
     let model = gene_expression(40.0, 2.0, 10.0, 1.0);
     let times = vec![1.0, 2.0, 4.0];
-    let job = SimulationJob::builder(&model).time_points(times.clone()).replicate(1).build().unwrap();
+    let job =
+        SimulationJob::builder(&model).time_points(times.clone()).replicate(1).build().unwrap();
     let ode = CpuEngine::new(CpuSolverKind::Lsoda).run(&job).unwrap();
     let ode_sol = ode.outcomes[0].solution.as_ref().unwrap();
 
-    let ens = StochasticBatch::new(DirectMethod::new())
-        .with_seed(9)
-        .run(&model, &times, 300)
-        .unwrap();
+    let ens =
+        StochasticBatch::new(DirectMethod::new()).with_seed(9).run(&model, &times, 300).unwrap();
     for (i, _) in times.iter().enumerate() {
         for s in 0..2 {
             let ode_v = ode_sol.state_at(i)[s];
@@ -52,16 +51,11 @@ fn ssa_ensemble_mean_tracks_ode() {
 fn protein_fano_factor_matches_theory() {
     let (k_tx, g_m, k_tl, g_p) = (40.0, 2.0, 10.0, 1.0);
     let model = gene_expression(k_tx, g_m, k_tl, g_p);
-    let ens = StochasticBatch::new(DirectMethod::new())
-        .with_seed(31)
-        .run(&model, &[8.0], 600)
-        .unwrap();
+    let ens =
+        StochasticBatch::new(DirectMethod::new()).with_seed(31).run(&model, &[8.0], 600).unwrap();
     let fano = ens.stats.variance[0][1] / ens.stats.mean[0][1];
     let theory = 1.0 + k_tl / (g_m + g_p);
-    assert!(
-        (fano - theory).abs() < 0.9,
-        "Fano {fano:.2} vs theory {theory:.2}"
-    );
+    assert!((fano - theory).abs() < 0.9, "Fano {fano:.2} vs theory {theory:.2}");
     // And the mRNA itself is Poisson: Fano ≈ 1.
     let fano_m = ens.stats.variance[0][0] / ens.stats.mean[0][0];
     assert!((fano_m - 1.0).abs() < 0.35, "mRNA Fano {fano_m:.2}");
@@ -84,8 +78,5 @@ fn tau_leaping_matches_ssa_cheaply() {
     assert!(rel < 0.03, "means differ by {rel:.3}");
     let ssa_steps: u64 = ssa.trajectories.iter().map(|t| t.steps).sum();
     let tau_steps: u64 = tau.trajectories.iter().map(|t| t.steps).sum();
-    assert!(
-        tau_steps * 20 < ssa_steps,
-        "tau {tau_steps} steps vs ssa {ssa_steps}"
-    );
+    assert!(tau_steps * 20 < ssa_steps, "tau {tau_steps} steps vs ssa {ssa_steps}");
 }

@@ -63,7 +63,11 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Benchmarks `f` under `id` within this group.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
         let label = format!("{}/{}", self.name, id);
         run_benchmark(&label, self.criterion.sample_size, self.criterion.test_mode, &mut f);
         self
@@ -134,7 +138,12 @@ fn time_once<F: FnMut(&mut Bencher)>(f: &mut F, iters: u64) -> Duration {
     b.elapsed
 }
 
-fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, test_mode: bool, f: &mut F) {
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    label: &str,
+    sample_size: usize,
+    test_mode: bool,
+    f: &mut F,
+) {
     if test_mode {
         time_once(f, 1);
         println!("test {label} ... ok (bench smoke)");
@@ -216,9 +225,7 @@ mod tests {
         {
             let mut g = c.benchmark_group("g");
             g.bench_function("one", |b| b.iter(|| ran += 1));
-            g.bench_with_input(BenchmarkId::new("two", 42), &42, |b, x| {
-                b.iter(|| black_box(*x))
-            });
+            g.bench_with_input(BenchmarkId::new("two", 42), &42, |b, x| b.iter(|| black_box(*x)));
             g.finish();
         }
         assert!(ran >= 1);

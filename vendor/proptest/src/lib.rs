@@ -296,9 +296,9 @@ where
 {
     // Seed from the property name so distinct properties explore distinct
     // streams but every run of the same property is identical.
-    let seed = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-        (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3)
-    });
+    let seed = name
+        .bytes()
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3));
     let mut rng = TestRng::new(seed);
     for case in 0..config.cases {
         let value = strategy.generate(&mut rng);
