@@ -62,6 +62,42 @@ pub fn relative_distance(sim: &Solution, target: &Solution, observed: &[usize]) 
 /// moves away from them.
 pub const FAILURE_FITNESS: f64 = 1e12;
 
+/// What an analysis does with batch members whose simulation failed.
+///
+/// With fault containment in the engines, a failed member is an itemized
+/// per-member outcome rather than an aborted batch — the analysis layer
+/// chooses how the hole shows up in its own results.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum FailedMemberPolicy {
+    /// Leave the member out: `NaN` in sweep grids, [`FAILURE_FITNESS`] in
+    /// estimation (so the swarm steers away). This is the historical
+    /// behavior and the default.
+    #[default]
+    Skip,
+    /// Substitute a fixed value for the member's metric or fitness —
+    /// useful when downstream statistics cannot tolerate `NaN`, or when a
+    /// failure should count as a known-bad score rather than a hole.
+    Penalize(f64),
+}
+
+impl FailedMemberPolicy {
+    /// The value a failed member contributes to a sweep grid.
+    pub fn grid_value(self) -> f64 {
+        match self {
+            FailedMemberPolicy::Skip => f64::NAN,
+            FailedMemberPolicy::Penalize(v) => v,
+        }
+    }
+
+    /// The fitness a failed member receives during estimation.
+    pub fn fitness(self) -> f64 {
+        match self {
+            FailedMemberPolicy::Skip => FAILURE_FITNESS,
+            FailedMemberPolicy::Penalize(v) => v,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

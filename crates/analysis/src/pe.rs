@@ -7,7 +7,7 @@
 //! target time series. The experiment compares the same estimation run
 //! priced on different engines.
 
-use crate::fitness::{relative_distance, FAILURE_FITNESS};
+use crate::fitness::{relative_distance, FailedMemberPolicy};
 use crate::pso::{fst_pso, Objective, PsoConfig, PsoResult};
 use paraspace_core::{SimulationJob, Simulator};
 use paraspace_rbm::{Parameterization, ReactionBasedModel};
@@ -31,6 +31,9 @@ pub struct EstimationProblem<'a> {
     pub time_points: Vec<f64>,
     /// Solver options for candidate evaluation.
     pub options: SolverOptions,
+    /// How failed candidate simulations are scored. [`FailedMemberPolicy::Skip`]
+    /// (the default) assigns [`crate::fitness::FAILURE_FITNESS`].
+    pub failed_members: FailedMemberPolicy,
 }
 
 /// Outcome of a calibration run.
@@ -83,7 +86,7 @@ impl Objective for EngineObjective<'_, '_> {
             .iter()
             .map(|o| match &o.solution {
                 Ok(sol) => relative_distance(sol, &self.problem.target, &self.problem.observed),
-                Err(_) => FAILURE_FITNESS,
+                Err(_) => self.problem.failed_members.fitness(),
             })
             .collect()
     }
@@ -94,6 +97,7 @@ impl Objective for EngineObjective<'_, '_> {
 /// # Example
 ///
 /// ```
+/// use paraspace_analysis::fitness::FailedMemberPolicy;
 /// use paraspace_analysis::pe::{estimate, EstimationProblem};
 /// use paraspace_analysis::pso::PsoConfig;
 /// use paraspace_core::{CpuEngine, CpuSolverKind, SimulationJob, Simulator};
@@ -118,6 +122,7 @@ impl Objective for EngineObjective<'_, '_> {
 ///     target,
 ///     time_points: times,
 ///     options: SolverOptions::default(),
+///     failed_members: FailedMemberPolicy::Skip,
 /// };
 /// let r = estimate(&problem, &engine, &PsoConfig { iterations: 25, ..Default::default() });
 /// assert!((r.rate_constants[0] - 2.0).abs() < 0.2);
@@ -194,6 +199,7 @@ mod tests {
             target,
             time_points: times,
             options: SolverOptions::default(),
+            failed_members: FailedMemberPolicy::default(),
         };
         let engine = CpuEngine::new(CpuSolverKind::Lsoda);
         let cfg = PsoConfig { iterations: 40, seed: 3, ..Default::default() };
@@ -218,6 +224,7 @@ mod tests {
             target,
             time_points: times,
             options: SolverOptions::default(),
+            failed_members: FailedMemberPolicy::default(),
         };
         let cfg = PsoConfig { iterations: 8, swarm_size: Some(32), seed: 1, ..Default::default() };
         let cpu = estimate(&problem, &CpuEngine::new(CpuSolverKind::Lsoda), &cfg);

@@ -7,6 +7,7 @@
 //! reduces each trajectory to the scalar the sweep reports (final value,
 //! oscillation amplitude, …).
 
+use crate::fitness::FailedMemberPolicy;
 use paraspace_core::{SimError, SimulationJob, Simulator};
 use paraspace_rbm::{Parameterization, ReactionBasedModel};
 use paraspace_solvers::{Solution, SolverOptions};
@@ -155,12 +156,19 @@ pub struct Psa2d {
     axis2: Axis,
     batch_size: usize,
     options: SolverOptions,
+    failed: FailedMemberPolicy,
 }
 
 impl Psa2d {
     /// A sweep over the two axes with the published 512 batch size.
     pub fn new(axis1: Axis, axis2: Axis) -> Self {
-        Psa2d { axis1, axis2, batch_size: DEFAULT_BATCH, options: SolverOptions::default() }
+        Psa2d {
+            axis1,
+            axis2,
+            batch_size: DEFAULT_BATCH,
+            options: SolverOptions::default(),
+            failed: FailedMemberPolicy::default(),
+        }
     }
 
     /// Overrides the batch size (builder style).
@@ -175,11 +183,18 @@ impl Psa2d {
         self
     }
 
+    /// Overrides the failed-member policy (builder style). The default,
+    /// [`FailedMemberPolicy::Skip`], leaves `NaN` at failed grid points.
+    pub fn failed_members(mut self, policy: FailedMemberPolicy) -> Self {
+        self.failed = policy;
+        self
+    }
+
     /// Runs the sweep.
     ///
     /// `parameterize(u, v)` maps a grid point to a parameterization of
     /// `model`; `metric` reduces each trajectory; failed members yield
-    /// `NaN`.
+    /// the configured [`FailedMemberPolicy`] value (`NaN` by default).
     ///
     /// # Errors
     ///
@@ -218,9 +233,10 @@ impl Psa2d {
             simulated_ns += result.timing.simulated_total_ns;
             simulations += job.batch_size();
             for (&(i, j), outcome) in chunk.iter().zip(&result.outcomes) {
-                if let Ok(sol) = &outcome.solution {
-                    values[i][j] = metric(sol);
-                }
+                values[i][j] = match &outcome.solution {
+                    Ok(sol) => metric(sol),
+                    Err(_) => self.failed.grid_value(),
+                };
             }
         }
         Ok(Psa2dResult {
@@ -361,6 +377,36 @@ mod tests {
         for &(k, v) in &out {
             assert!((v - (-k).exp()).abs() < 1e-4);
         }
+    }
+
+    #[test]
+    fn failed_member_policy_controls_the_grid_hole() {
+        // A 1-step cap fails every member; Skip leaves NaN (the default),
+        // Penalize substitutes the sentinel.
+        let m = decay_model();
+        let engine = CpuEngine::new(CpuSolverKind::Lsoda);
+        let axes = (Axis::linear("u", 1.0, 2.0, 2), Axis::linear("v", 1.0, 2.0, 2));
+        let starved = paraspace_solvers::SolverOptions {
+            max_steps: 1,
+            ..paraspace_solvers::SolverOptions::default()
+        };
+        let run = |policy: FailedMemberPolicy| {
+            Psa2d::new(axes.0.clone(), axes.1.clone())
+                .options(starved.clone())
+                .failed_members(policy)
+                .run(
+                    &m,
+                    |u, v| Parameterization::new().with_rate_constants(vec![u * v]),
+                    vec![1.0],
+                    &engine,
+                    |sol| sol.state_at(0)[0],
+                )
+                .unwrap()
+        };
+        let skipped = run(FailedMemberPolicy::Skip);
+        assert!(skipped.values.iter().flatten().all(|v| v.is_nan()));
+        let penalized = run(FailedMemberPolicy::Penalize(-1.0));
+        assert!(penalized.values.iter().flatten().all(|&v| v == -1.0));
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! dynamics are produced with the true constants, and the same FST-PSO
 //! calibration is run against both engines.
 
+use paraspace_analysis::fitness::FailedMemberPolicy;
 use paraspace_analysis::pe::{estimate, EstimationProblem};
 use paraspace_analysis::pso::PsoConfig;
 use paraspace_bench::{fmt_ns, full_scale};
@@ -68,6 +69,7 @@ fn main() {
         target,
         time_points: times,
         options: opts,
+        failed_members: FailedMemberPolicy::default(),
     };
     let cfg = PsoConfig { iterations, seed: 17, ..Default::default() };
 

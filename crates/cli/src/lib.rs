@@ -14,7 +14,7 @@
 
 use paraspace_core::{
     recommend_engine, CoarseEngine, CpuEngine, CpuSolverKind, FineCoarseEngine, FineEngine,
-    SimulationJob, Simulator,
+    RecoveryPolicy, SimulationJob, Simulator,
 };
 use paraspace_rbm::{biosimware, sbgen::SbGen, sbml, Parameterization};
 use paraspace_solvers::SolverOptions;
@@ -42,6 +42,10 @@ pub enum Command {
         atol: f64,
         /// Host worker threads (1 = sequential, 0 = all cores).
         threads: usize,
+        /// Tolerance-relaxation retries for members that fail (0 = off).
+        max_retries: usize,
+        /// Per-member attempted-step budget (deterministic deadline).
+        member_budget: Option<usize>,
     },
     /// Convert between formats.
     Convert {
@@ -111,6 +115,7 @@ paraspace-cli — accelerated analysis of biological parameter spaces
 USAGE:
   paraspace-cli simulate <model_dir> [--engine NAME] [--out DIR] [--batch N]
                            [--rtol X] [--atol X] [--threads N]
+                           [--max-retries N] [--member-budget STEPS]
   paraspace-cli convert <from> <to>          (BioSimWare dir ↔ .xml)
   paraspace-cli generate --species N --reactions M [--seed S] <out_dir>
   paraspace-cli recommend --species N --reactions M --sims S
@@ -119,7 +124,13 @@ USAGE:
 ENGINES: fine-coarse (default) | coarse | fine | lsoda | vode
 
 --threads runs the batch numerics on N host workers (default 1; 0 = one per
-core). Results are bitwise identical at any thread count.";
+core). Results are bitwise identical at any thread count.
+
+Failed members never abort a batch: each failure is contained, itemized in
+the health summary, and written as a .err file. --max-retries N re-runs a
+failed member up to N times with 10x-relaxed tolerances (default 0 = off);
+--member-budget caps the attempted integration steps any one member may
+spend across all retries, so a pathological member cannot stall the batch.";
 
 fn parse_flag<T: std::str::FromStr>(
     args: &[String],
@@ -151,6 +162,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let mut rtol = 1e-6;
             let mut atol = 1e-12;
             let mut threads = 1usize;
+            let mut max_retries = 0usize;
+            let mut member_budget = None;
             let mut i = 1;
             while i < args.len() {
                 match args[i].as_str() {
@@ -167,6 +180,10 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     "--rtol" => rtol = parse_flag(args, &mut i, "--rtol")?,
                     "--atol" => atol = parse_flag(args, &mut i, "--atol")?,
                     "--threads" => threads = parse_flag(args, &mut i, "--threads")?,
+                    "--max-retries" => max_retries = parse_flag(args, &mut i, "--max-retries")?,
+                    "--member-budget" => {
+                        member_budget = Some(parse_flag(args, &mut i, "--member-budget")?)
+                    }
                     other if !other.starts_with("--") && model_dir.is_none() => {
                         model_dir = Some(PathBuf::from(other));
                     }
@@ -183,6 +200,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 rtol,
                 atol,
                 threads,
+                max_retries,
+                member_budget,
             })
         }
         "convert" => {
@@ -243,13 +262,23 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
     }
 }
 
-fn engine_by_name(name: &str, threads: usize) -> Result<Box<dyn Simulator>, CliError> {
+fn engine_by_name(
+    name: &str,
+    threads: usize,
+    recovery: RecoveryPolicy,
+) -> Result<Box<dyn Simulator>, CliError> {
     Ok(match name {
-        "fine-coarse" => Box::new(FineCoarseEngine::new().with_threads(threads)),
-        "coarse" => Box::new(CoarseEngine::new().with_threads(threads)),
-        "fine" => Box::new(FineEngine::new().with_threads(threads)),
-        "lsoda" => Box::new(CpuEngine::new(CpuSolverKind::Lsoda).with_threads(threads)),
-        "vode" => Box::new(CpuEngine::new(CpuSolverKind::Vode).with_threads(threads)),
+        "fine-coarse" => {
+            Box::new(FineCoarseEngine::new().with_threads(threads).with_recovery(recovery))
+        }
+        "coarse" => Box::new(CoarseEngine::new().with_threads(threads).with_recovery(recovery)),
+        "fine" => Box::new(FineEngine::new().with_threads(threads).with_recovery(recovery)),
+        "lsoda" => Box::new(
+            CpuEngine::new(CpuSolverKind::Lsoda).with_threads(threads).with_recovery(recovery),
+        ),
+        "vode" => Box::new(
+            CpuEngine::new(CpuSolverKind::Vode).with_threads(threads).with_recovery(recovery),
+        ),
         other => return Err(CliError(format!("unknown engine {other:?}"))),
     })
 }
@@ -316,7 +345,17 @@ pub fn execute(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), CliErr
             }
             Ok(())
         }
-        Command::Simulate { model_dir, engine, out_dir, batch, rtol, atol, threads } => {
+        Command::Simulate {
+            model_dir,
+            engine,
+            out_dir,
+            batch,
+            rtol,
+            atol,
+            threads,
+            max_retries,
+            member_budget,
+        } => {
             let model = biosimware::read_dir(model_dir)?;
             let time_points = biosimware::read_time_points(model_dir)
                 .unwrap_or_else(|_| vec![1.0, 2.0, 5.0, 10.0]);
@@ -335,7 +374,12 @@ pub fn execute(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), CliErr
                     ..SolverOptions::default()
                 })
                 .build()?;
-            let engine = engine_by_name(engine, *threads)?;
+            let recovery = RecoveryPolicy {
+                max_relaxations: *max_retries,
+                step_budget: *member_budget,
+                ..RecoveryPolicy::default()
+            };
+            let engine = engine_by_name(engine, *threads, recovery)?;
             let result = engine.run(&job)?;
 
             let out_path = out_dir.clone().unwrap_or_else(|| model_dir.join("out"));
@@ -367,6 +411,7 @@ pub fn execute(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), CliErr
                 result.timing.simulated_io_ns / 1e6,
                 result.timing.host_wall,
             )?;
+            writeln!(out, "health: {}", result.health)?;
             writeln!(out, "dynamics written to {}", out_path.display())?;
             Ok(())
         }
@@ -390,11 +435,23 @@ mod tests {
 
     #[test]
     fn parse_simulate_defaults_and_flags() {
-        let cmd =
-            parse(&argv("simulate /tmp/model --engine lsoda --batch 8 --rtol 1e-4 --threads 4"))
-                .unwrap();
+        let cmd = parse(&argv(
+            "simulate /tmp/model --engine lsoda --batch 8 --rtol 1e-4 --threads 4 \
+             --max-retries 3 --member-budget 5000",
+        ))
+        .unwrap();
         match cmd {
-            Command::Simulate { model_dir, engine, batch, rtol, atol, out_dir, threads } => {
+            Command::Simulate {
+                model_dir,
+                engine,
+                batch,
+                rtol,
+                atol,
+                out_dir,
+                threads,
+                max_retries,
+                member_budget,
+            } => {
                 assert_eq!(model_dir, PathBuf::from("/tmp/model"));
                 assert_eq!(engine, "lsoda");
                 assert_eq!(batch, 8);
@@ -402,6 +459,15 @@ mod tests {
                 assert_eq!(atol, 1e-12);
                 assert_eq!(out_dir, None);
                 assert_eq!(threads, 4);
+                assert_eq!(max_retries, 3);
+                assert_eq!(member_budget, Some(5000));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        match parse(&argv("simulate /tmp/model")).unwrap() {
+            Command::Simulate { max_retries, member_budget, .. } => {
+                assert_eq!(max_retries, 0, "retries default off");
+                assert_eq!(member_budget, None, "no default step budget");
             }
             other => panic!("wrong parse: {other:?}"),
         }
@@ -451,6 +517,8 @@ mod tests {
                 rtol: 1e-6,
                 atol: 1e-12,
                 threads: 2,
+                max_retries: 0,
+                member_budget: None,
             },
             &mut log,
         )
@@ -459,6 +527,7 @@ mod tests {
         assert_eq!(outputs.len(), 4, "one dynamics file per simulation");
         let text = String::from_utf8(log).unwrap();
         assert!(text.contains("4/4 simulations ok"), "log: {text}");
+        assert!(text.contains("health: 4/4 ok"), "log: {text}");
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -488,7 +557,7 @@ mod tests {
 
     #[test]
     fn unknown_engine_is_reported() {
-        let err = match engine_by_name("quantum", 1) {
+        let err = match engine_by_name("quantum", 1, RecoveryPolicy::default()) {
             Err(e) => e,
             Ok(_) => panic!("unknown engine must be rejected"),
         };

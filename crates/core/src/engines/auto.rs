@@ -7,6 +7,7 @@
 //! the winning engine, recording which one ran.
 
 use crate::engines::{BatchResult, Simulator};
+use crate::recovery::RecoveryPolicy;
 use crate::{
     recommend_engine, CoarseEngine, CpuEngine, CpuSolverKind, EngineKind, FineCoarseEngine,
     FineEngine, SimError, SimulationJob,
@@ -38,6 +39,7 @@ use crate::{
 #[derive(Debug, Clone)]
 pub struct AutoEngine {
     threads: usize,
+    recovery: RecoveryPolicy,
 }
 
 impl Default for AutoEngine {
@@ -49,7 +51,7 @@ impl Default for AutoEngine {
 impl AutoEngine {
     /// Creates the auto-selecting engine with default sub-engines.
     pub fn new() -> Self {
-        AutoEngine { threads: 1 }
+        AutoEngine { threads: 1, recovery: RecoveryPolicy::default() }
     }
 
     /// Sets the host worker-thread count forwarded to whichever engine the
@@ -57,6 +59,13 @@ impl AutoEngine {
     /// worker per available core.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Sets the failed-member recovery policy forwarded to whichever engine
+    /// the job dispatches to (builder style).
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = recovery;
         self
     }
 
@@ -73,12 +82,20 @@ impl Simulator for AutoEngine {
 
     fn run(&self, job: &SimulationJob) -> Result<BatchResult, SimError> {
         match self.selection(job) {
-            EngineKind::Cpu => {
-                CpuEngine::new(CpuSolverKind::Lsoda).with_threads(self.threads).run(job)
+            EngineKind::Cpu => CpuEngine::new(CpuSolverKind::Lsoda)
+                .with_threads(self.threads)
+                .with_recovery(self.recovery)
+                .run(job),
+            EngineKind::Coarse => {
+                CoarseEngine::new().with_threads(self.threads).with_recovery(self.recovery).run(job)
             }
-            EngineKind::Coarse => CoarseEngine::new().with_threads(self.threads).run(job),
-            EngineKind::Fine => FineEngine::new().with_threads(self.threads).run(job),
-            EngineKind::FineCoarse => FineCoarseEngine::new().with_threads(self.threads).run(job),
+            EngineKind::Fine => {
+                FineEngine::new().with_threads(self.threads).with_recovery(self.recovery).run(job)
+            }
+            EngineKind::FineCoarse => FineCoarseEngine::new()
+                .with_threads(self.threads)
+                .with_recovery(self.recovery)
+                .run(job),
         }
     }
 }

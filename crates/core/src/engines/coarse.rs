@@ -10,9 +10,9 @@
 //! disappears from the large-model cells.
 
 use crate::engines::{
-    outcome_and_stats, output_bytes, solve_members, BatchResult, BatchTiming, SimOutcome,
-    Simulator, IO_BYTES_PER_NS,
+    output_bytes, BatchHealth, BatchResult, BatchTiming, SimOutcome, Simulator, IO_BYTES_PER_NS,
 };
+use crate::recovery::{solve_members_recovered, RecoveryPolicy};
 use crate::{SimError, SimulationJob, WorkEstimate};
 use paraspace_exec::Executor;
 use paraspace_solvers::{Lsoda, OdeSolver};
@@ -51,6 +51,7 @@ pub struct CoarseEngine {
     /// When `false`, forces all traffic to global memory (ablation A4).
     use_memory_hierarchy: bool,
     executor: Executor,
+    recovery: RecoveryPolicy,
 }
 
 impl Default for CoarseEngine {
@@ -67,6 +68,7 @@ impl CoarseEngine {
             threads_per_block: 32,
             use_memory_hierarchy: true,
             executor: Executor::sequential(),
+            recovery: RecoveryPolicy::default(),
         }
     }
 
@@ -81,6 +83,12 @@ impl CoarseEngine {
     /// Overrides the device (builder style).
     pub fn with_device(mut self, config: DeviceConfig) -> Self {
         self.device_config = config;
+        self
+    }
+
+    /// Overrides the failed-member recovery policy (builder style).
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = recovery;
         self
     }
 
@@ -127,12 +135,25 @@ impl Simulator for CoarseEngine {
 
         let mut outcomes = Vec::with_capacity(batch);
         let mut thread_work = Vec::with_capacity(batch);
+        let mut health = BatchHealth::default();
         // Solves run on the worker pool; the per-member memory placement and
-        // work accounting below folds in member order on this thread.
+        // work accounting below folds in member order on this thread. Each
+        // member runs under panic containment and the recovery ladder; a
+        // retry's steps land in the same device thread's work, so retries
+        // are billed inside the coarse kernel.
         let members: Vec<usize> = (0..batch).collect();
-        let results = solve_members(&self.executor, job, &solver, &members);
-        for result in results {
-            let (solution, stats) = outcome_and_stats(result);
+        let results = solve_members_recovered(
+            &self.executor,
+            job,
+            &members,
+            (&solver, solver.name()),
+            None,
+            |_| false,
+            &self.recovery,
+        );
+        for rs in results {
+            let (solution, stats) = (rs.solution, rs.stats);
+            health.observe(&solution, &rs.log);
             let work = WorkEstimate::from_stats(job.odes(), &stats, job.time_points().len());
             // The state vector's share of state traffic can live in shared
             // memory; Nordsieck history and scratch stay global.
@@ -166,7 +187,7 @@ impl Simulator for CoarseEngine {
                 solution,
                 stiff: false,
                 rerouted: false,
-                solver: solver.name(),
+                solver: rs.solver,
             });
         }
 
@@ -201,6 +222,7 @@ impl Simulator for CoarseEngine {
                 simulated_io_ns: timeline.time_tagged_ns("io"),
             },
             lanes: None,
+            health,
         })
     }
 }

@@ -1,9 +1,9 @@
 //! The sequential CPU baselines (LSODA / VODE).
 
 use crate::engines::{
-    outcome_and_stats, output_bytes, solve_members, BatchResult, BatchTiming, SimOutcome,
-    Simulator, IO_BYTES_PER_NS,
+    output_bytes, BatchHealth, BatchResult, BatchTiming, SimOutcome, Simulator, IO_BYTES_PER_NS,
 };
+use crate::recovery::{solve_members_recovered, RecoveryPolicy};
 use crate::{CpuCostModel, SimError, SimulationJob, WorkEstimate};
 use paraspace_exec::Executor;
 use paraspace_solvers::{Lsoda, OdeSolver, Vode};
@@ -43,12 +43,18 @@ pub struct CpuEngine {
     kind: CpuSolverKind,
     cost_model: CpuCostModel,
     executor: Executor,
+    recovery: RecoveryPolicy,
 }
 
 impl CpuEngine {
     /// An engine with the published workstation's cost model.
     pub fn new(kind: CpuSolverKind) -> Self {
-        CpuEngine { kind, cost_model: CpuCostModel::default(), executor: Executor::sequential() }
+        CpuEngine {
+            kind,
+            cost_model: CpuCostModel::default(),
+            executor: Executor::sequential(),
+            recovery: RecoveryPolicy::default(),
+        }
     }
 
     /// Sets the host worker-thread count used to run the batch numerics
@@ -64,6 +70,12 @@ impl CpuEngine {
     /// Overrides the CPU cost model (builder style).
     pub fn with_cost_model(mut self, cost_model: CpuCostModel) -> Self {
         self.cost_model = cost_model;
+        self
+    }
+
+    /// Overrides the failed-member recovery policy (builder style).
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = recovery;
         self
     }
 
@@ -92,17 +104,29 @@ impl Simulator for CpuEngine {
 
         let mut outcomes = Vec::with_capacity(job.batch_size());
         let mut work = WorkEstimate::default();
+        let mut health = BatchHealth::default();
         // Solves run on the worker pool; the f64 work accumulation folds in
-        // member order on this thread, keeping totals bitwise stable.
+        // member order on this thread, keeping totals bitwise stable. Each
+        // member runs under panic containment and the recovery ladder (the
+        // CPU baseline has no implicit fallback to reroute to, so only the
+        // relaxation rungs apply).
         let members: Vec<usize> = (0..job.batch_size()).collect();
-        for result in solve_members(&self.executor, job, solver, &members) {
-            let (solution, stats) = outcome_and_stats(result);
-            work.absorb(&WorkEstimate::from_stats(job.odes(), &stats, job.time_points().len()));
+        for rs in solve_members_recovered(
+            &self.executor,
+            job,
+            &members,
+            (solver, solver.name()),
+            None,
+            |_| false,
+            &self.recovery,
+        ) {
+            work.absorb(&WorkEstimate::from_stats(job.odes(), &rs.stats, job.time_points().len()));
+            health.observe(&rs.solution, &rs.log);
             outcomes.push(SimOutcome {
-                solution,
+                solution: rs.solution,
                 stiff: false,
                 rerouted: false,
-                solver: solver.name(),
+                solver: rs.solver,
             });
         }
 
@@ -119,6 +143,7 @@ impl Simulator for CpuEngine {
                 simulated_io_ns: io_ns,
             },
             lanes: None,
+            health,
         })
     }
 }

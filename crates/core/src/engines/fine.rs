@@ -23,13 +23,14 @@
 //! the worker-thread count.
 
 use crate::engines::{
-    outcome_and_stats, output_bytes, solve_member_pooled, BatchResult, BatchTiming, SimOutcome,
-    Simulator, IO_BYTES_PER_NS,
+    output_bytes, BatchHealth, BatchResult, BatchTiming, SimOutcome, Simulator, IO_BYTES_PER_NS,
 };
+use crate::recovery::{continue_ladder, solve_member_recovered, RecoveryPolicy};
 use crate::{RbmBatchSystem, SimError, SimulationJob, WorkEstimate, STIFFNESS_THRESHOLD};
 use paraspace_exec::Executor;
 use paraspace_solvers::{
-    Bdf, Dopri5Batch, LaneReport, OdeSolver, Rkf45, SolverError, SolverScratch, StepStats,
+    Bdf, Dopri5, Dopri5Batch, LaneReport, Rkf45, SolveFailure, SolverError, SolverScratch,
+    StepStats,
 };
 use paraspace_vgpu::{
     Device, DeviceConfig, DpModel, KernelLaunch, LaneGroupStats, MemorySpace, ThreadWork,
@@ -71,6 +72,7 @@ pub struct FineEngine {
     device_config: DeviceConfig,
     executor: Executor,
     lane_width: Option<usize>,
+    recovery: RecoveryPolicy,
 }
 
 impl Default for FineEngine {
@@ -86,6 +88,7 @@ impl FineEngine {
             device_config: DeviceConfig::titan_x(),
             executor: Executor::sequential(),
             lane_width: None,
+            recovery: RecoveryPolicy::default(),
         }
     }
 
@@ -100,6 +103,12 @@ impl FineEngine {
     /// Overrides the device (builder style).
     pub fn with_device(mut self, config: DeviceConfig) -> Self {
         self.device_config = config;
+        self
+    }
+
+    /// Overrides the failed-member recovery policy (builder style).
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = recovery;
         self
     }
 
@@ -157,39 +166,39 @@ impl FineEngine {
         // its serialize-everything weakness) bitwise at any thread count.
         let dp = DpModel::default();
         let results = self.executor.map_with(job.batch_size(), SolverScratch::new, |scratch, i| {
-            // Non-stiff attempt first; switch to BDF1 on a stiffness-shaped
-            // failure (the published switching pair).
-            let mut solver_used: &'static str = rkf.name();
-            let (mut solution, mut stats) =
-                outcome_and_stats(solve_member_pooled(job, i, &rkf, scratch));
-            if let Err(e) = &solution {
-                if reroutable(e) {
-                    // The failed non-stiff attempt's work is still billed,
-                    // then the stiff solver re-runs the member.
-                    solver_used = "bdf1";
-                    let (retry, retry_stats) =
-                        outcome_and_stats(solve_member_pooled(job, i, &bdf1, scratch));
-                    solution = retry;
-                    stats.absorb(&retry_stats);
-                }
-            }
+            // Non-stiff attempt first; the recovery ladder reroutes a
+            // stiffness-shaped failure to BDF1 (the published switching
+            // pair), then climbs any configured relaxation rungs. Every
+            // attempt's work lands in the member's stats, so retries are
+            // billed on the modeled timeline.
+            let rs = solve_member_recovered(
+                job,
+                i,
+                (&rkf, "rkf45"),
+                Some((&bdf1, "bdf1")),
+                reroutable,
+                &self.recovery,
+                scratch,
+            );
             let mut shard = TimelineShard::new();
-            self.bill_scalar_member(&mut shard, job, i, &stats, &dp, n);
-            (solution, solver_used, shard)
+            self.bill_scalar_member(&mut shard, job, i, &rs.stats, &dp, n);
+            (rs, shard)
         });
 
         let mut outcomes = Vec::with_capacity(job.batch_size());
-        for (solution, solver_used, shard) in results {
+        let mut health = BatchHealth::default();
+        for (rs, shard) in results {
             device.absorb_shard(shard);
+            health.observe(&rs.solution, &rs.log);
             outcomes.push(SimOutcome {
-                solution,
+                solution: rs.solution,
                 stiff: false,
-                rerouted: false,
-                solver: solver_used,
+                rerouted: rs.log.rerouted,
+                solver: rs.solver,
             });
         }
 
-        self.finish(job, device, outcomes, start, None)
+        self.finish(job, device, outcomes, start, None, health)
     }
 
     /// The lane-batched path: lockstep DOPRI5 over lane-groups, with
@@ -216,24 +225,33 @@ impl FineEngine {
         });
 
         let mut outcomes = Vec::with_capacity(batch);
-        for (group_outcomes, report, shard) in groups {
+        let mut health = BatchHealth::default();
+        for (group_outcomes, report, shard, group_health) in groups {
             device.record_lane_group(&LaneGroupStats {
                 width: report.width,
                 lockstep_iters: report.lockstep_iters,
                 lane_steps: report.lane_steps,
             });
             device.absorb_shard(shard);
+            health.absorb(&group_health);
             outcomes.extend(group_outcomes);
         }
 
         let lanes = Some(device.lane_accounting());
-        self.finish(job, device, outcomes, start, lanes)
+        self.finish(job, device, outcomes, start, lanes, health)
     }
 
     /// Solves members `lo..hi` as one lane-group of width `width`:
     /// Jacobian-diagonal triage, lockstep integration of the non-stiff
     /// members, scalar BDF1 for triaged/rerouted ones, and the group's
     /// device billing — all on a worker-private shard.
+    ///
+    /// Fault-planned members are **evicted** from the lockstep group at
+    /// assembly and solved scalar under panic containment: a lane that
+    /// panics mid-sweep would otherwise tear down its whole group, and a
+    /// faulted lane's injected call ordinals would shift with lane packing.
+    /// Eviction keeps both the blast radius and the fault schedule
+    /// per-member.
     #[allow(clippy::too_many_arguments)]
     fn solve_lane_group(
         &self,
@@ -244,26 +262,31 @@ impl FineEngine {
         width: usize,
         scratch: &mut SolverScratch,
         dp: &DpModel,
-    ) -> (Vec<SimOutcome>, LaneReport, TimelineShard) {
+    ) -> (Vec<SimOutcome>, LaneReport, TimelineShard, BatchHealth) {
         let odes = job.odes();
         let n = odes.n_species();
         let bdf1 = Bdf::with_max_order(1);
+        let dopri5 = Dopri5::new();
         let count = hi - lo;
+        let mut health = BatchHealth::default();
 
         // P2-style triage on the analytic Jacobian diagonal at t = 0:
         // members whose fastest local decay already exceeds the published
         // threshold skip the lockstep group and go straight to BDF1, so one
         // stiff member cannot drag a whole group through tiny steps.
         let mut stiff = vec![false; count];
+        let mut evicted = vec![false; count];
         let mut diag = vec![0.0; n];
         for (slot, i) in (lo..hi).enumerate() {
             let (x0, k) = job.member(i);
             odes.jacobian_diag_batch(1, x0, k, &mut diag);
             let fastest = diag.iter().fold(0.0f64, |a, &d| a.max(d.abs()));
             stiff[slot] = fastest >= STIFFNESS_THRESHOLD;
+            evicted[slot] = !stiff[slot] && job.fault_plan().faults_for(i).is_some();
         }
 
-        let lane_members: Vec<usize> = (lo..hi).filter(|&i| !stiff[i - lo]).collect();
+        let lane_members: Vec<usize> =
+            (lo..hi).filter(|&i| !stiff[i - lo] && !evicted[i - lo]).collect();
         let mut report = LaneReport { width, ..LaneReport::default() };
         let mut lane_results = Vec::new();
         if !lane_members.is_empty() {
@@ -335,46 +358,84 @@ impl FineEngine {
         }
 
         // Merge lane results with the scalar-solved members in member
-        // order; triaged and rerouted members are billed like the scalar
-        // baseline (their own per-member kernel + per-step launches).
+        // order; triaged, evicted, and rerouted members are billed like the
+        // scalar baseline (their own per-member kernel + per-step launches).
         let mut outcomes = Vec::with_capacity(count);
         let mut lane_iter = lane_results.into_iter();
         for (slot, i) in (lo..hi).enumerate() {
             if stiff[slot] {
-                let (solution, stats) =
-                    outcome_and_stats(solve_member_pooled(job, i, &bdf1, scratch));
-                self.bill_scalar_member(&mut shard, job, i, &stats, dp, n);
+                let rs = solve_member_recovered(
+                    job,
+                    i,
+                    (&bdf1, "bdf1"),
+                    None,
+                    |_| false,
+                    &self.recovery,
+                    scratch,
+                );
+                self.bill_scalar_member(&mut shard, job, i, &rs.stats, dp, n);
+                health.observe(&rs.solution, &rs.log);
                 outcomes.push(SimOutcome {
-                    solution,
+                    solution: rs.solution,
                     stiff: true,
                     rerouted: false,
-                    solver: "bdf1",
+                    solver: rs.solver,
                 });
                 continue;
             }
-            let (solution, _lane_stats) =
-                outcome_and_stats(lane_iter.next().expect("one lane result per non-stiff member"));
-            match solution {
-                Err(e) if reroutable(&e) => {
-                    let (retry, retry_stats) =
-                        outcome_and_stats(solve_member_pooled(job, i, &bdf1, scratch));
-                    self.bill_scalar_member(&mut shard, job, i, &retry_stats, dp, n);
-                    outcomes.push(SimOutcome {
-                        solution: retry,
-                        stiff: false,
-                        rerouted: true,
-                        solver: "bdf1",
-                    });
-                }
-                other => outcomes.push(SimOutcome {
-                    solution: other,
+            if evicted[slot] {
+                let rs = solve_member_recovered(
+                    job,
+                    i,
+                    (&dopri5, "dopri5"),
+                    Some((&bdf1, "bdf1")),
+                    reroutable,
+                    &self.recovery,
+                    scratch,
+                );
+                self.bill_scalar_member(&mut shard, job, i, &rs.stats, dp, n);
+                health.evicted_lanes += 1;
+                health.observe(&rs.solution, &rs.log);
+                outcomes.push(SimOutcome {
+                    solution: rs.solution,
                     stiff: false,
-                    rerouted: false,
-                    solver: "dopri5-lanes",
-                }),
+                    rerouted: rs.log.rerouted,
+                    solver: rs.solver,
+                });
+                continue;
             }
+            let first = lane_iter.next().expect("one lane result per non-stiff member");
+            // The lane attempt's work was already billed in the group-wide
+            // kernel above, so the ladder continues from a zero-stats copy
+            // of the failure; only genuine retries bill a scalar kernel.
+            let first = match first {
+                Ok(sol) => Ok(sol),
+                Err(f) => Err(SolveFailure { error: f.error, stats: StepStats::default() }),
+            };
+            let rs = continue_ladder(
+                job,
+                i,
+                first,
+                "dopri5-lanes",
+                (&dopri5, "dopri5"),
+                Some((&bdf1, "bdf1")),
+                reroutable,
+                &self.recovery,
+                self.recovery.base_options(job),
+                scratch,
+            );
+            if rs.log.attempts > 1 {
+                self.bill_scalar_member(&mut shard, job, i, &rs.stats, dp, n);
+            }
+            health.observe(&rs.solution, &rs.log);
+            outcomes.push(SimOutcome {
+                solution: rs.solution,
+                stiff: false,
+                rerouted: rs.log.rerouted,
+                solver: rs.solver,
+            });
         }
-        (outcomes, report, shard)
+        (outcomes, report, shard, health)
     }
 
     /// Prices one scalar-solved member the published-baseline way: species
@@ -422,6 +483,7 @@ impl FineEngine {
         outcomes: Vec<SimOutcome>,
         start: Instant,
         lanes: Option<paraspace_vgpu::LaneAccounting>,
+        health: BatchHealth,
     ) -> Result<BatchResult, SimError> {
         let out_bytes = output_bytes(job, &outcomes);
         device.record_host_phase("io::d2h", out_bytes as f64 / PCIE_BYTES_PER_NS);
@@ -438,6 +500,7 @@ impl FineEngine {
                 simulated_io_ns: timeline.time_tagged_ns("io"),
             },
             lanes,
+            health,
         })
     }
 }

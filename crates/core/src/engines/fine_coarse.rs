@@ -20,12 +20,15 @@
 //! useful batch sizes near 2048.
 
 use crate::engines::{
-    outcome_and_stats, output_bytes, solve_members, BatchResult, BatchTiming, SimOutcome,
-    Simulator, IO_BYTES_PER_NS,
+    outcome_and_stats, output_bytes, BatchHealth, BatchResult, BatchTiming, SimOutcome, Simulator,
+    IO_BYTES_PER_NS,
 };
+use crate::recovery::{contained_attempt, continue_ladder, RecoveryLog, RecoveryPolicy};
 use crate::{classify_batch_with_threshold, SimError, SimulationJob, WorkEstimate};
 use paraspace_exec::Executor;
-use paraspace_solvers::{Dopri5, OdeSolver, Radau5, SolverError, StepStats};
+use paraspace_solvers::{
+    Dopri5, OdeSolver, Radau5, SolveFailure, SolverError, SolverScratch, StepStats,
+};
 use paraspace_vgpu::{
     ChildLaunch, Device, DeviceConfig, DpModel, KernelLaunch, MemorySpace, ThreadWork,
 };
@@ -63,6 +66,7 @@ pub struct FineCoarseEngine {
     threads_per_block: usize,
     stiffness_threshold: f64,
     executor: Executor,
+    recovery: RecoveryPolicy,
 }
 
 impl Default for FineCoarseEngine {
@@ -80,6 +84,7 @@ impl FineCoarseEngine {
             threads_per_block: 32,
             stiffness_threshold: crate::STIFFNESS_THRESHOLD,
             executor: Executor::sequential(),
+            recovery: RecoveryPolicy::default(),
         }
     }
 
@@ -111,6 +116,12 @@ impl FineCoarseEngine {
         self
     }
 
+    /// Overrides the failed-member recovery policy (builder style).
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
     /// Runs one solver phase (P3 or P4) over `members`, filling `slots`,
     /// and returns the members that failed with a re-routable error.
     #[allow(clippy::too_many_arguments)]
@@ -122,6 +133,7 @@ impl FineCoarseEngine {
         solver: &dyn OdeSolver,
         members: &[usize],
         slots: &mut [Option<(Result<paraspace_solvers::Solution, SolverError>, &'static str)>],
+        logs: &mut [RecoveryLog],
         reroutable: bool,
     ) -> Vec<usize> {
         if members.is_empty() {
@@ -137,13 +149,21 @@ impl FineCoarseEngine {
         // Workers solve members into index-ordered slots; everything below
         // the solve — timeline accounting, work accumulation, re-route
         // decisions — folds on this thread in member order, so the batch
-        // result is bitwise identical at any thread count.
-        let results = solve_members(&self.executor, job, solver, members);
+        // result is bitwise identical at any thread count. Each attempt
+        // runs under panic containment: a panicking member becomes an
+        // `Internal` failure (never re-routable — it would panic again on
+        // the other solver too) instead of tearing down the phase.
+        let opts = self.recovery.base_options(job);
+        let results = self.executor.map_with(members.len(), SolverScratch::new, |scratch, idx| {
+            contained_attempt(job, members[idx], solver, &opts, scratch)
+        });
         for (idx, result) in results.into_iter().enumerate() {
             let i = members[idx];
             // Failed members are billed for the work they actually did
             // before failing (SolveFailure carries the partial counters).
             let (solution, stats) = outcome_and_stats(result);
+            logs[i].attempts += 1;
+            logs[i].panicked |= matches!(solution, Err(SolverError::Internal { .. }));
             let rounds = launch_rounds(&stats);
             total_rounds += rounds;
             total_steps_max = total_steps_max.max(stats.steps as u64);
@@ -260,10 +280,21 @@ impl Simulator for FineCoarseEngine {
         let mut slots: Vec<
             Option<(Result<paraspace_solvers::Solution, SolverError>, &'static str)>,
         > = (0..batch).map(|_| None).collect();
+        let mut logs = vec![RecoveryLog::default(); batch];
         let nonstiff: Vec<usize> = (0..batch).filter(|&i| !classes[i].stiff).collect();
         let stiff: Vec<usize> = (0..batch).filter(|&i| classes[i].stiff).collect();
-        let rerouted =
-            self.run_phase(job, &device, "p3_dopri5", &Dopri5::new(), &nonstiff, &mut slots, true);
+        let dopri5 = Dopri5::new();
+        let radau5 = Radau5::new();
+        let rerouted = self.run_phase(
+            job,
+            &device,
+            "p3_dopri5",
+            &dopri5,
+            &nonstiff,
+            &mut slots,
+            &mut logs,
+            self.recovery.reroute,
+        );
 
         // P4: RADAU5 over stiff + re-routed members.
         let mut p4_members = stiff;
@@ -272,17 +303,71 @@ impl Simulator for FineCoarseEngine {
             let mut v = vec![false; batch];
             for &i in &rerouted {
                 v[i] = true;
+                logs[i].rerouted = true;
             }
             v
         };
-        self.run_phase(job, &device, "p4_radau5", &Radau5::new(), &p4_members, &mut slots, false);
+        self.run_phase(
+            job,
+            &device,
+            "p4_radau5",
+            &radau5,
+            &p4_members,
+            &mut slots,
+            &mut logs,
+            false,
+        );
+
+        // Relaxation pass: members still failing after P4 climb the
+        // tolerance-relaxation rungs of the ladder on the solver that last
+        // ran them (sequential, member order — the pass is rare and must
+        // stay deterministic). Their P3/P4 work is already billed above, so
+        // the ladder starts from a zero-stats copy of the failure and only
+        // genuine retries bill launch rounds.
+        if self.recovery.max_relaxations > 0 {
+            let mut scratch = SolverScratch::new();
+            for i in 0..batch {
+                let Some((Err(_), _)) = slots[i].as_ref() else { continue };
+                let (first_err, first_name) = slots[i].take().expect("slot checked above");
+                let on_radau = classes[i].stiff || rerouted_set[i];
+                let retry: (&dyn OdeSolver, &'static str) =
+                    if on_radau { (&radau5, "radau5") } else { (&dopri5, "dopri5") };
+                let first =
+                    first_err.map_err(|e| SolveFailure { error: e, stats: StepStats::default() });
+                let rs = continue_ladder(
+                    job,
+                    i,
+                    first,
+                    first_name,
+                    retry,
+                    None,
+                    |_| false,
+                    &self.recovery,
+                    self.recovery.base_options(job),
+                    &mut scratch,
+                );
+                if rs.log.attempts > 1 {
+                    device.record_host_phase(
+                        "integrate::relax_retries",
+                        launch_rounds(&rs.stats) as f64 * self.device_config.kernel_launch_ns,
+                    );
+                }
+                logs[i].attempts += rs.log.attempts - 1;
+                logs[i].relaxations += rs.log.relaxations;
+                logs[i].panicked |= rs.log.panicked;
+                slots[i] = Some((rs.solution, rs.solver));
+            }
+        }
 
         // Assemble outcomes.
+        let mut health = BatchHealth::default();
         let outcomes: Vec<SimOutcome> = slots
             .into_iter()
             .enumerate()
             .map(|(i, slot)| {
                 let (solution, solver) = slot.expect("every member handled by P3 or P4");
+                logs[i].recovered = solution.is_ok() && logs[i].attempts > 1;
+                health.observe(&solution, &logs[i]);
                 SimOutcome { solution, stiff: classes[i].stiff, rerouted: rerouted_set[i], solver }
             })
             .collect();
@@ -303,6 +388,7 @@ impl Simulator for FineCoarseEngine {
                 simulated_io_ns: timeline.time_tagged_ns("io"),
             },
             lanes: None,
+            health,
         })
     }
 }

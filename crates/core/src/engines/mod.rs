@@ -12,10 +12,13 @@ pub use cpu::{CpuEngine, CpuSolverKind};
 pub use fine::FineEngine;
 pub use fine_coarse::FineCoarseEngine;
 
+use crate::recovery::RecoveryLog;
 use crate::{SimError, SimulationJob};
-use paraspace_exec::Executor;
-use paraspace_solvers::{Solution, SolveFailure, SolverError, SolverScratch, StepStats};
+use paraspace_solvers::{
+    ChaosSystem, Solution, SolveFailure, SolverError, SolverOptions, SolverScratch, StepStats,
+};
 use paraspace_vgpu::LaneAccounting;
+use std::fmt;
 use std::time::Duration;
 
 /// Host-side I/O throughput used to price output serialization (bytes/ns);
@@ -71,6 +74,183 @@ pub struct BatchTiming {
     pub simulated_io_ns: f64,
 }
 
+/// Failed members counted by [`SolverError`] variant.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FailureCounts {
+    /// [`SolverError::MaxStepsExceeded`] failures.
+    pub max_steps_exceeded: usize,
+    /// [`SolverError::StepSizeUnderflow`] failures.
+    pub step_size_underflow: usize,
+    /// [`SolverError::NonlinearSolveFailed`] failures.
+    pub nonlinear_solve_failed: usize,
+    /// [`SolverError::SingularIterationMatrix`] failures.
+    pub singular_iteration_matrix: usize,
+    /// [`SolverError::NonFiniteState`] failures.
+    pub non_finite_state: usize,
+    /// [`SolverError::StiffnessDetected`] failures (terminal, i.e. not
+    /// cured by a reroute).
+    pub stiffness_detected: usize,
+    /// [`SolverError::StepBudgetExhausted`] failures.
+    pub step_budget_exhausted: usize,
+    /// [`SolverError::InvalidInput`] failures.
+    pub invalid_input: usize,
+    /// [`SolverError::Internal`] failures (contained panics).
+    pub internal: usize,
+    /// Failures of variants this build does not know by name.
+    pub other: usize,
+}
+
+impl FailureCounts {
+    fn record(&mut self, e: &SolverError) {
+        match e {
+            SolverError::MaxStepsExceeded { .. } => self.max_steps_exceeded += 1,
+            SolverError::StepSizeUnderflow { .. } => self.step_size_underflow += 1,
+            SolverError::NonlinearSolveFailed { .. } => self.nonlinear_solve_failed += 1,
+            SolverError::SingularIterationMatrix { .. } => self.singular_iteration_matrix += 1,
+            SolverError::NonFiniteState { .. } => self.non_finite_state += 1,
+            SolverError::StiffnessDetected { .. } => self.stiffness_detected += 1,
+            SolverError::StepBudgetExhausted { .. } => self.step_budget_exhausted += 1,
+            SolverError::InvalidInput { .. } => self.invalid_input += 1,
+            SolverError::Internal { .. } => self.internal += 1,
+            _ => self.other += 1,
+        }
+    }
+
+    fn absorb(&mut self, other: &FailureCounts) {
+        self.max_steps_exceeded += other.max_steps_exceeded;
+        self.step_size_underflow += other.step_size_underflow;
+        self.nonlinear_solve_failed += other.nonlinear_solve_failed;
+        self.singular_iteration_matrix += other.singular_iteration_matrix;
+        self.non_finite_state += other.non_finite_state;
+        self.stiffness_detected += other.stiffness_detected;
+        self.step_budget_exhausted += other.step_budget_exhausted;
+        self.invalid_input += other.invalid_input;
+        self.internal += other.internal;
+        self.other += other.other;
+    }
+
+    /// Total failed members.
+    pub fn total(&self) -> usize {
+        self.max_steps_exceeded
+            + self.step_size_underflow
+            + self.nonlinear_solve_failed
+            + self.singular_iteration_matrix
+            + self.non_finite_state
+            + self.stiffness_detected
+            + self.step_budget_exhausted
+            + self.invalid_input
+            + self.internal
+            + self.other
+    }
+}
+
+/// Aggregate fault/recovery accounting for one batch run.
+///
+/// Built on the calling thread in member-index order from per-member
+/// recovery logs, so it is bitwise identical at any worker-thread count
+/// and lane width — chaos tests assert equality on the whole struct.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchHealth {
+    /// Batch members observed.
+    pub members: usize,
+    /// Members whose final outcome is a trajectory.
+    pub succeeded: usize,
+    /// Terminal failures by taxonomy.
+    pub failed: FailureCounts,
+    /// Total retry attempts beyond each member's first (reroutes and
+    /// relaxations both count).
+    pub retries_attempted: usize,
+    /// Members whose final success came from a retry.
+    pub retries_succeeded: usize,
+    /// Members rerouted from the explicit to the implicit solver.
+    pub reroutes: usize,
+    /// Tolerance-relaxation retries performed across the batch.
+    pub relaxations: usize,
+    /// Fault-planned members evicted from lockstep lane groups and solved
+    /// scalar (lane path only).
+    pub evicted_lanes: usize,
+    /// Panics contained to a single member's outcome.
+    pub panics_contained: usize,
+}
+
+impl BatchHealth {
+    /// Folds one member's final solution and recovery log into the tally.
+    pub(crate) fn observe(&mut self, solution: &Result<Solution, SolverError>, log: &RecoveryLog) {
+        self.members += 1;
+        match solution {
+            Ok(_) => self.succeeded += 1,
+            Err(e) => self.failed.record(e),
+        }
+        self.retries_attempted += log.attempts.saturating_sub(1);
+        if log.recovered {
+            self.retries_succeeded += 1;
+        }
+        if log.rerouted {
+            self.reroutes += 1;
+        }
+        self.relaxations += log.relaxations;
+        if log.panicked {
+            self.panics_contained += 1;
+        }
+    }
+
+    /// Folds a partial tally (one lane-group's health) into this one.
+    pub(crate) fn absorb(&mut self, other: &BatchHealth) {
+        self.members += other.members;
+        self.succeeded += other.succeeded;
+        self.failed.absorb(&other.failed);
+        self.retries_attempted += other.retries_attempted;
+        self.retries_succeeded += other.retries_succeeded;
+        self.reroutes += other.reroutes;
+        self.relaxations += other.relaxations;
+        self.evicted_lanes += other.evicted_lanes;
+        self.panics_contained += other.panics_contained;
+    }
+}
+
+impl fmt::Display for BatchHealth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{} ok", self.succeeded, self.members)?;
+        let fc = &self.failed;
+        if fc.total() > 0 {
+            let mut parts = Vec::new();
+            for (count, label) in [
+                (fc.max_steps_exceeded, "max-steps"),
+                (fc.step_size_underflow, "underflow"),
+                (fc.nonlinear_solve_failed, "nonlinear"),
+                (fc.singular_iteration_matrix, "singular"),
+                (fc.non_finite_state, "non-finite"),
+                (fc.stiffness_detected, "stiff"),
+                (fc.step_budget_exhausted, "budget"),
+                (fc.invalid_input, "invalid"),
+                (fc.internal, "internal"),
+                (fc.other, "other"),
+            ] {
+                if count > 0 {
+                    parts.push(format!("{count} {label}"));
+                }
+            }
+            write!(f, ", {} failed ({})", fc.total(), parts.join(", "))?;
+        }
+        if self.retries_attempted > 0 {
+            write!(f, "; retries {}/{} recovered", self.retries_succeeded, self.retries_attempted)?;
+        }
+        if self.reroutes > 0 {
+            write!(f, "; {} rerouted", self.reroutes)?;
+        }
+        if self.relaxations > 0 {
+            write!(f, "; {} relaxations", self.relaxations)?;
+        }
+        if self.evicted_lanes > 0 {
+            write!(f, "; {} lane evictions", self.evicted_lanes)?;
+        }
+        if self.panics_contained > 0 {
+            write!(f, "; {} panics contained", self.panics_contained)?;
+        }
+        Ok(())
+    }
+}
+
 /// The result of running a batch.
 #[derive(Debug)]
 pub struct BatchResult {
@@ -83,6 +263,8 @@ pub struct BatchResult {
     /// Lane occupancy/divergence accounting, for engines that ran the
     /// lane-batched lockstep path (`None` for scalar execution).
     pub lanes: Option<LaneAccounting>,
+    /// Fault and recovery accounting for the whole batch.
+    pub health: BatchHealth,
 }
 
 impl BatchResult {
@@ -108,37 +290,30 @@ impl BatchResult {
     }
 }
 
-/// Runs `solver` on member `i` of `job`, drawing working storage from a
-/// worker-owned scratch pool (shared by all engines).
-pub(crate) fn solve_member_pooled(
+/// Runs `solver` on member `i` of `job` under the given solver options,
+/// drawing working storage from a worker-owned scratch pool (shared by all
+/// engines). Explicit options let retry ladders relax tolerances or
+/// escalate step budgets per attempt.
+///
+/// If the job's fault plan targets member `i`, its RHS is wrapped in a
+/// [`ChaosSystem`] — each attempt gets a fresh wrapper, so a retried member
+/// deterministically re-experiences its injected faults.
+pub(crate) fn solve_member_pooled_opts(
     job: &SimulationJob,
     i: usize,
     solver: &dyn paraspace_solvers::OdeSolver,
+    options: &SolverOptions,
     scratch: &mut SolverScratch,
 ) -> Result<Solution, SolveFailure> {
     let (x0, k) = job.member(i);
     let sys = crate::RbmOdeSystem::new(job.odes(), k.to_vec());
-    solver.solve_pooled(&sys, 0.0, x0, job.time_points(), job.options(), scratch)
-}
-
-/// Solves `members` of `job` on the executor's worker pool and returns the
-/// per-member results **in `members` order**.
-///
-/// Each worker owns one [`SolverScratch`], so steady-state integration
-/// allocates nothing per step regardless of how members are distributed.
-/// Workers do nothing but the numerics: every order-sensitive reduction
-/// (timeline accounting, f64 accumulation) stays with the caller, which
-/// folds this vector in index order — making the batch result bitwise
-/// identical at any thread count.
-pub(crate) fn solve_members(
-    executor: &Executor,
-    job: &SimulationJob,
-    solver: &dyn paraspace_solvers::OdeSolver,
-    members: &[usize],
-) -> Vec<Result<Solution, SolveFailure>> {
-    executor.map_with(members.len(), SolverScratch::new, |scratch, idx| {
-        solve_member_pooled(job, members[idx], solver, scratch)
-    })
+    match job.fault_plan().faults_for(i) {
+        Some(faults) => {
+            let sys = ChaosSystem::new(sys, faults.to_vec());
+            solver.solve_pooled(&sys, 0.0, x0, job.time_points(), options, scratch)
+        }
+        None => solver.solve_pooled(&sys, 0.0, x0, job.time_points(), options, scratch),
+    }
 }
 
 /// Splits a member result into the caller-facing outcome and the work the

@@ -2,7 +2,7 @@
 
 use crate::SimError;
 use paraspace_rbm::{CompiledOdes, Parameterization, ReactionBasedModel};
-use paraspace_solvers::{Solution, SolverOptions};
+use paraspace_solvers::{FaultPlan, Solution, SolverOptions};
 
 /// A batch simulation job: the unit of work every engine consumes.
 ///
@@ -32,6 +32,7 @@ pub struct SimulationJob<'a> {
     batch: Vec<(Vec<f64>, Vec<f64>)>, // resolved (x0, k) per member
     time_points: Vec<f64>,
     options: SolverOptions,
+    fault_plan: FaultPlan,
 }
 
 impl<'a> SimulationJob<'a> {
@@ -42,6 +43,7 @@ impl<'a> SimulationJob<'a> {
             parameterizations: Vec::new(),
             time_points: Vec::new(),
             options: SolverOptions::default(),
+            fault_plan: FaultPlan::new(),
         }
     }
 
@@ -76,6 +78,11 @@ impl<'a> SimulationJob<'a> {
         &self.options
     }
 
+    /// The deterministic fault-injection plan (empty for normal jobs).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.fault_plan
+    }
+
     /// Serializes one trajectory in the tab-separated dynamics format the
     /// original tool writes (phase P5); engines charge its cost as I/O.
     pub fn serialize_dynamics(&self, solution: &Solution) -> String {
@@ -99,6 +106,7 @@ pub struct JobBuilder<'a> {
     parameterizations: Vec<Parameterization>,
     time_points: Vec<f64>,
     options: SolverOptions,
+    fault_plan: FaultPlan,
 }
 
 impl<'a> JobBuilder<'a> {
@@ -134,13 +142,26 @@ impl<'a> JobBuilder<'a> {
         self
     }
 
+    /// Attaches a deterministic fault-injection plan: engines wrap each
+    /// covered member's system in a
+    /// [`ChaosSystem`](paraspace_solvers::ChaosSystem) and evict covered
+    /// members from lockstep lane groups, so the containment and recovery
+    /// machinery can be exercised reproducibly (builder style).
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
     /// Validates, compiles the ODEs (phase P1) and resolves the batch.
     ///
     /// # Errors
     ///
     /// [`SimError::Model`] on validation/compilation failure;
-    /// [`SimError::InvalidJob`] for an empty batch, empty or non-increasing
-    /// time points, or non-positive tolerances.
+    /// [`SimError::InvalidJob`] for an empty batch, empty time points, time
+    /// points that are non-finite or not strictly increasing (a single
+    /// leading `0.0` is allowed; `t = 0` is always sampled as the initial
+    /// state), non-finite or non-positive tolerances, or members whose
+    /// resolved initial state or rate constants are non-finite.
     pub fn build(self) -> Result<SimulationJob<'a>, SimError> {
         let odes = self.model.compile()?;
         if self.parameterizations.is_empty() {
@@ -153,31 +174,67 @@ impl<'a> JobBuilder<'a> {
                 message: "at least one sampling time point required".into(),
             });
         }
-        let mut prev = 0.0;
+        // Strictly increasing, finite, non-negative; an optional leading
+        // zero is the only place t = 0 may appear. NaN fails every
+        // comparison, so each point is checked for finiteness explicitly —
+        // the historical `t <= prev` test let NaN (and a stray 0.0
+        // anywhere) slip through to the solvers.
+        let mut prev: Option<f64> = None;
         for &t in &self.time_points {
-            if t <= prev && t != 0.0 {
+            if !t.is_finite() {
+                return Err(SimError::InvalidJob {
+                    message: format!("time points must be finite (saw {t})"),
+                });
+            }
+            let ok = match prev {
+                None => t >= 0.0,
+                Some(p) => t > p,
+            };
+            if !ok {
                 return Err(SimError::InvalidJob {
                     message: format!(
-                        "time points must be increasing and non-negative (saw {t} after {prev})"
+                        "time points must be strictly increasing and non-negative \
+                         (saw {t} after {})",
+                        prev.map_or("start".to_string(), |p| p.to_string())
                     ),
                 });
             }
-            prev = t;
+            prev = Some(t);
         }
-        if self.options.rel_tol <= 0.0 || self.options.abs_tol <= 0.0 {
-            return Err(SimError::InvalidJob { message: "tolerances must be positive".into() });
+        // `!(x > 0)` (rather than `x <= 0`) also rejects NaN tolerances.
+        if !(self.options.rel_tol > 0.0
+            && self.options.rel_tol.is_finite()
+            && self.options.abs_tol > 0.0
+            && self.options.abs_tol.is_finite())
+        {
+            return Err(SimError::InvalidJob {
+                message: "tolerances must be positive and finite".into(),
+            });
         }
         let batch = self
             .parameterizations
             .iter()
             .map(|p| p.resolve(self.model))
             .collect::<Result<Vec<_>, _>>()?;
+        for (i, (x0, k)) in batch.iter().enumerate() {
+            if let Some(v) = x0.iter().find(|v| !v.is_finite()) {
+                return Err(SimError::InvalidJob {
+                    message: format!("member {i} has a non-finite initial state ({v})"),
+                });
+            }
+            if let Some(v) = k.iter().find(|v| !v.is_finite()) {
+                return Err(SimError::InvalidJob {
+                    message: format!("member {i} has a non-finite rate constant ({v})"),
+                });
+            }
+        }
         Ok(SimulationJob {
             model: self.model,
             odes,
             batch,
             time_points: self.time_points,
             options: self.options,
+            fault_plan: self.fault_plan,
         })
     }
 }
@@ -235,6 +292,94 @@ mod tests {
             .build()
             .unwrap_err();
         assert!(matches!(err, SimError::InvalidJob { .. }));
+    }
+
+    #[test]
+    fn nan_time_point_rejected() {
+        // NaN fails every comparison, so the historical `t <= prev` check
+        // let it through to the solvers.
+        let m = model();
+        let err = SimulationJob::builder(&m)
+            .time_points(vec![1.0, f64::NAN, 2.0])
+            .replicate(1)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("finite"), "{err}");
+        let err = SimulationJob::builder(&m)
+            .time_points(vec![f64::INFINITY])
+            .replicate(1)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SimError::InvalidJob { .. }));
+    }
+
+    #[test]
+    fn duplicate_and_stray_zero_time_points_rejected() {
+        let m = model();
+        // Duplicates are not strictly increasing.
+        for times in [vec![1.0, 1.0], vec![0.0, 0.0], vec![1.0, 0.0, 2.0], vec![-1.0]] {
+            let err = SimulationJob::builder(&m)
+                .time_points(times.clone())
+                .replicate(1)
+                .build()
+                .unwrap_err();
+            assert!(matches!(err, SimError::InvalidJob { .. }), "{times:?} must be rejected");
+        }
+        // A single leading zero is explicitly allowed.
+        let job =
+            SimulationJob::builder(&m).time_points(vec![0.0, 1.0]).replicate(1).build().unwrap();
+        assert_eq!(job.time_points(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn non_finite_tolerances_rejected() {
+        let m = model();
+        for (rel, abs) in
+            [(f64::NAN, 1e-12), (1e-6, f64::NAN), (f64::INFINITY, 1e-12), (0.0, 1e-12)]
+        {
+            let opts = SolverOptions { rel_tol: rel, abs_tol: abs, ..SolverOptions::default() };
+            let err = SimulationJob::builder(&m)
+                .time_points(vec![1.0])
+                .replicate(1)
+                .options(opts)
+                .build()
+                .unwrap_err();
+            assert!(
+                err.to_string().contains("tolerances"),
+                "rel={rel} abs={abs} must be rejected, got {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn non_finite_member_inputs_rejected() {
+        let m = model();
+        let err = SimulationJob::builder(&m)
+            .time_points(vec![1.0])
+            .parameterization(Parameterization::new().with_rate_constants(vec![f64::NAN]))
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("rate constant"), "{err}");
+        let err = SimulationJob::builder(&m)
+            .time_points(vec![1.0])
+            .parameterization(Parameterization::new().with_initial_state(vec![f64::INFINITY, 0.0]))
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("initial state"), "{err}");
+    }
+
+    #[test]
+    fn fault_plan_rides_on_the_job() {
+        use paraspace_solvers::FaultSpec;
+        let m = model();
+        let job = SimulationJob::builder(&m)
+            .time_points(vec![1.0])
+            .replicate(4)
+            .fault_plan(FaultPlan::new().with_fault(2, FaultSpec::nan_at_time(0.5)))
+            .build()
+            .unwrap();
+        assert!(job.fault_plan().faults_for(2).is_some());
+        assert!(job.fault_plan().faults_for(0).is_none());
     }
 
     #[test]

@@ -55,17 +55,23 @@ mod cost;
 mod engines;
 mod error;
 mod job;
+mod recovery;
 mod select;
 mod stiffness;
 mod system;
 
 pub use cost::{CpuCostModel, WorkEstimate};
 pub use engines::{
-    AutoEngine, BatchResult, BatchTiming, CoarseEngine, CpuEngine, CpuSolverKind, FineCoarseEngine,
-    FineEngine, SimOutcome, Simulator,
+    AutoEngine, BatchHealth, BatchResult, BatchTiming, CoarseEngine, CpuEngine, CpuSolverKind,
+    FailureCounts, FineCoarseEngine, FineEngine, SimOutcome, Simulator,
 };
 pub use error::SimError;
 pub use job::{JobBuilder, SimulationJob};
+/// Deterministic fault-injection vocabulary, re-exported so batch callers
+/// can build a [`SimulationJob`] fault plan without importing the solver
+/// crate directly.
+pub use paraspace_solvers::{ChaosSystem, FaultKind, FaultPlan, FaultSpec, FaultTrigger};
+pub use recovery::{RecoveryLog, RecoveryPolicy};
 pub use select::{recommend_engine, EngineKind};
 pub use stiffness::{
     classify_batch, classify_batch_with_threshold, StiffnessClass, STIFFNESS_THRESHOLD,

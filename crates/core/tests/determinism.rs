@@ -9,9 +9,10 @@
 
 use paraspace_core::{
     AutoEngine, BatchResult, CoarseEngine, CpuEngine, CpuSolverKind, FineCoarseEngine, FineEngine,
-    SimulationJob, Simulator,
+    RecoveryPolicy, SimulationJob, Simulator,
 };
 use paraspace_rbm::{perturbed_batch, Parameterization, Reaction, ReactionBasedModel};
+use paraspace_solvers::SolverOptions;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -74,6 +75,7 @@ fn assert_identical(reference: &BatchResult, parallel: &BatchResult, label: &str
         reference.timing.simulated_io_ns, parallel.timing.simulated_io_ns,
         "{label}: simulated I/O time"
     );
+    assert_eq!(reference.health, parallel.health, "{label}: batch health");
 }
 
 #[test]
@@ -171,6 +173,62 @@ fn auto_engine_forwards_threads_deterministically() {
     let reference = AutoEngine::new().run(&job).unwrap();
     let parallel = AutoEngine::new().with_threads(4).run(&job).unwrap();
     assert_identical(&reference, &parallel, "auto, 4 threads");
+}
+
+#[test]
+fn batches_with_failed_and_retried_members_stay_deterministic() {
+    // A step cap tight enough that members fail at the default tolerances
+    // and climb the relaxation ladder. The retry sequence is part of the
+    // batch result, so it must also be bitwise identical at any thread
+    // count (and, for the fine engine, any lane width).
+    let m = reversible_model();
+    let mut rng = StdRng::seed_from_u64(11);
+    let job = SimulationJob::builder(&m)
+        .time_points(vec![4.0])
+        .parameterizations(perturbed_batch(&m, 10, &mut rng))
+        .options(SolverOptions { max_steps: 40, ..SolverOptions::default() })
+        .build()
+        .unwrap();
+    let policy = RecoveryPolicy { max_relaxations: 3, ..RecoveryPolicy::default() };
+
+    let reference = CpuEngine::new(CpuSolverKind::Lsoda).with_recovery(policy).run(&job).unwrap();
+    assert!(
+        reference.health.retries_attempted > 0,
+        "the step cap must force at least one retry: {:?}",
+        reference.health
+    );
+    for threads in [1, 2, 4, 8] {
+        let parallel = CpuEngine::new(CpuSolverKind::Lsoda)
+            .with_recovery(policy)
+            .with_threads(threads)
+            .run(&job)
+            .unwrap();
+        assert_identical(&reference, &parallel, &format!("cpu retries, {threads} threads"));
+    }
+
+    // The scalar fine path exercises the reroute + relaxation rungs: RKF45
+    // needs ~33 steps to t = 4 at the default tolerances, so a 25-step cap
+    // forces the ladder (the lockstep DOPRI5 finishes under 40, hence the
+    // tighter cap and the pinned width).
+    let mut rng = StdRng::seed_from_u64(12);
+    let fine_job = SimulationJob::builder(&m)
+        .time_points(vec![4.0])
+        .parameterizations(perturbed_batch(&m, 10, &mut rng))
+        .options(SolverOptions { max_steps: 25, ..SolverOptions::default() })
+        .build()
+        .unwrap();
+    let fine_ref =
+        FineEngine::new().with_lane_width(1).with_recovery(policy).run(&fine_job).unwrap();
+    assert!(fine_ref.health.retries_attempted > 0, "fine engine must also retry");
+    for threads in [1, 2, 4, 8] {
+        let parallel = FineEngine::new()
+            .with_lane_width(1)
+            .with_recovery(policy)
+            .with_threads(threads)
+            .run(&fine_job)
+            .unwrap();
+        assert_identical(&fine_ref, &parallel, &format!("fine retries, {threads} threads"));
+    }
 }
 
 #[test]

@@ -26,6 +26,20 @@
 //! (or `n <= 1`) the executor runs inline on the calling thread — no pool,
 //! no spawn — which is exactly the legacy sequential path.
 //!
+//! # Fault containment
+//!
+//! Batches at parameter-space scale contain hostile members — divergent
+//! parameterizations, panicking user systems — and one poisoned item must
+//! not sink the other thousand. [`Executor::try_map_with`] runs every item
+//! under [`std::panic::catch_unwind`] and returns a per-index
+//! `Result<T, ItemPanic>`: panicking items yield a failed slot carrying the
+//! index and the panic payload, all other slots complete normally, and a
+//! worker whose private state may have been corrupted by the unwind
+//! rebuilds it before claiming the next index. [`Executor::map_with`] is a
+//! thin wrapper that resumes the first (lowest-index) panic on the calling
+//! thread, so the abort-on-panic contract survives but the diagnostic now
+//! names the faulting index.
+//!
 //! # Example
 //!
 //! ```
@@ -37,8 +51,9 @@
 //! assert_eq!(seq.map(1000, square), par.map(1000, square));
 //! ```
 
+use std::cell::UnsafeCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// Default chunk of indices claimed per counter fetch.
 ///
@@ -46,6 +61,75 @@ use std::sync::Mutex;
 /// finest granularity gives the best load balance and the counter is
 /// nowhere near contended.
 const CLAIM_CHUNK: usize = 1;
+
+/// A contained panic from one work item.
+///
+/// Carries the item index and the stringified panic payload so callers can
+/// report *which* member of a batch faulted and why, instead of aborting
+/// the whole run with an opaque poisoned-lock message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ItemPanic {
+    /// The index of the work item that panicked.
+    pub index: usize,
+    /// The panic payload, stringified (`&str` and `String` payloads are
+    /// preserved verbatim; anything else becomes a placeholder).
+    pub message: String,
+}
+
+impl std::fmt::Display for ItemPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "work item {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for ItemPanic {}
+
+/// Stringifies a `catch_unwind` payload (`&str` and `String` payloads are
+/// preserved verbatim; anything else becomes a placeholder). Shared with
+/// callers that run their own member-level containment.
+pub fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// An index-addressed result slot written by exactly one worker.
+///
+/// The executor's claim protocol (a shared atomic cursor handing out
+/// disjoint indices) guarantees each slot is written at most once, by the
+/// worker that claimed its index, and read only after `thread::scope` has
+/// joined every worker — so plain `UnsafeCell` storage is sound and the
+/// slot cannot be poisoned by a worker panic the way a `Mutex` can.
+struct Slot<T>(UnsafeCell<Option<T>>);
+
+impl<T> Slot<T> {
+    fn empty() -> Self {
+        Slot(UnsafeCell::new(None))
+    }
+
+    /// Writes the slot's value.
+    ///
+    /// # Safety
+    ///
+    /// The caller must be the unique claimant of this slot's index: no
+    /// other thread may access the slot until the writing thread has been
+    /// joined.
+    unsafe fn fill(&self, value: T) {
+        *self.0.get() = Some(value);
+    }
+
+    fn into_inner(self) -> Option<T> {
+        self.0.into_inner()
+    }
+}
+
+// SAFETY: slots are written by at most one worker (disjoint-index claims)
+// and read only after scope join, which provides the happens-before edge.
+unsafe impl<T: Send> Sync for Slot<T> {}
 
 /// A deterministic batch executor over a fixed number of worker threads.
 ///
@@ -87,6 +171,12 @@ impl Executor {
 
     /// Runs `f(i)` for every `i in 0..n` and returns the results in index
     /// order.
+    ///
+    /// # Panics
+    ///
+    /// If any item panics, the first (lowest-index) panic is resumed on the
+    /// calling thread after all items have run; see
+    /// [`map_with`](Executor::map_with).
     pub fn map<T, F>(&self, n: usize, f: F) -> Vec<T>
     where
         T: Send,
@@ -102,7 +192,40 @@ impl Executor {
     /// `init` runs once per worker, on that worker's thread. The returned
     /// vector is in index order regardless of which worker computed which
     /// index.
+    ///
+    /// # Panics
+    ///
+    /// If any item panics, every other item still runs to completion and
+    /// the lowest-index panic is then re-raised on the calling thread with
+    /// the faulting index in the message. Callers that must survive
+    /// hostile items use [`try_map_with`](Executor::try_map_with).
     pub fn map_with<S, T, I, F>(&self, n: usize, init: I, f: F) -> Vec<T>
+    where
+        T: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) -> T + Sync,
+    {
+        let mut out = Vec::with_capacity(n);
+        for result in self.try_map_with(n, init, f) {
+            match result {
+                Ok(value) => out.push(value),
+                Err(fault) => panic!("{fault}"),
+            }
+        }
+        out
+    }
+
+    /// The fault-contained variant of [`map_with`](Executor::map_with):
+    /// every item runs under [`catch_unwind`], and the slot of a panicking
+    /// item holds an [`ItemPanic`] (index + payload message) instead of
+    /// aborting the batch.
+    ///
+    /// A worker whose item panicked rebuilds its private state with `init`
+    /// before claiming the next index, since the unwind may have left the
+    /// state half-mutated. Slot order and values remain bitwise
+    /// deterministic across thread counts: which items fault and what they
+    /// return depends only on `f` and the index.
+    pub fn try_map_with<S, T, I, F>(&self, n: usize, init: I, f: F) -> Vec<Result<T, ItemPanic>>
     where
         T: Send,
         I: Fn() -> S + Sync,
@@ -111,14 +234,22 @@ impl Executor {
         let workers = self.threads.min(n);
         if workers <= 1 {
             let mut state = init();
-            return (0..n).map(|i| f(&mut state, i)).collect();
+            return (0..n)
+                .map(|i| {
+                    let attempt = catch_unwind(AssertUnwindSafe(|| f(&mut state, i)));
+                    attempt.map_err(|payload| {
+                        state = init();
+                        ItemPanic { index: i, message: payload_message(payload.as_ref()) }
+                    })
+                })
+                .collect();
         }
 
         // Each worker claims indices from the shared cursor and deposits
         // results into the index-addressed slot vector; the calling thread
         // reassembles in order afterwards.
         let cursor = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let slots: Vec<Slot<Result<T, ItemPanic>>> = (0..n).map(|_| Slot::empty()).collect();
 
         std::thread::scope(|scope| {
             for _ in 0..workers {
@@ -131,8 +262,14 @@ impl Executor {
                         }
                         let end = (start + CLAIM_CHUNK).min(n);
                         for (i, slot) in slots.iter().enumerate().take(end).skip(start) {
-                            let value = f(&mut state, i);
-                            *slot.lock().expect("result slot poisoned") = Some(value);
+                            let attempt = catch_unwind(AssertUnwindSafe(|| f(&mut state, i)));
+                            let result = attempt.map_err(|payload| {
+                                state = init();
+                                ItemPanic { index: i, message: payload_message(payload.as_ref()) }
+                            });
+                            // SAFETY: index `i` was claimed by this worker
+                            // alone; the slot is read only after scope join.
+                            unsafe { slot.fill(result) };
                         }
                     }
                 });
@@ -141,11 +278,7 @@ impl Executor {
 
         slots
             .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("result slot poisoned")
-                    .expect("every index visited exactly once")
-            })
+            .map(|slot| slot.into_inner().expect("every index visited exactly once"))
             .collect()
     }
 }
@@ -229,5 +362,110 @@ mod tests {
             })
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn map_with_panic_names_the_faulting_index() {
+        for threads in [1, 4] {
+            let exec = Executor::new(threads);
+            let result = std::panic::catch_unwind(|| {
+                exec.map(16, |i| {
+                    if i == 11 {
+                        panic!("poisoned member");
+                    }
+                    i
+                })
+            });
+            let payload = result.expect_err("panic must propagate");
+            let message = payload_message(payload.as_ref());
+            assert!(
+                message.contains("work item 11") && message.contains("poisoned member"),
+                "threads={threads}: {message}"
+            );
+        }
+    }
+
+    #[test]
+    fn try_map_with_contains_panics_per_index() {
+        for threads in [1, 2, 4, 8] {
+            let exec = Executor::new(threads);
+            let out = exec.try_map_with(
+                64,
+                || 0usize,
+                |calls, i| {
+                    *calls += 1;
+                    if i % 13 == 5 {
+                        panic!("fault at {i}");
+                    }
+                    i * 2
+                },
+            );
+            assert_eq!(out.len(), 64, "threads={threads}");
+            for (i, slot) in out.iter().enumerate() {
+                if i % 13 == 5 {
+                    let fault = slot.as_ref().expect_err("injected panic must be contained");
+                    assert_eq!(fault.index, i);
+                    assert_eq!(fault.message, format!("fault at {i}"));
+                } else {
+                    assert_eq!(slot.as_ref().unwrap(), &(i * 2), "threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn try_map_with_is_bitwise_stable_across_thread_counts() {
+        let work = |state: &mut u64, i: usize| {
+            *state += 1;
+            if i == 9 || i == 40 {
+                panic!("chaos {i}");
+            }
+            let mut acc = i as f64 + 0.5;
+            for _ in 0..500 {
+                acc = (acc * 1.000_3).cos().abs() + 1e-6;
+            }
+            acc.to_bits()
+        };
+        let reference = Executor::sequential().try_map_with(48, || 0u64, work);
+        for threads in [2, 4, 8] {
+            let got = Executor::new(threads).try_map_with(48, || 0u64, work);
+            assert_eq!(got, reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn worker_state_is_rebuilt_after_a_contained_panic() {
+        // The panicking item increments its private counter before dying;
+        // the rebuild must discard that increment, so a subsequent item on
+        // the same worker sees fresh state. Observable deterministically on
+        // the sequential path.
+        let out = Executor::sequential().try_map_with(
+            4,
+            || 0usize,
+            |calls, i| {
+                *calls += 1;
+                if i == 1 {
+                    panic!("die with dirty state");
+                }
+                *calls
+            },
+        );
+        assert_eq!(out[0], Ok(1));
+        assert!(out[1].is_err());
+        // Item 2 runs on rebuilt state: its counter restarts at 1.
+        assert_eq!(out[2], Ok(1));
+        assert_eq!(out[3], Ok(2));
+    }
+
+    #[test]
+    fn item_panic_display_and_payload_forms() {
+        let fault = ItemPanic { index: 3, message: "bad".into() };
+        assert_eq!(fault.to_string(), "work item 3 panicked: bad");
+        let out = Executor::sequential().try_map_with(
+            1,
+            || (),
+            |(), _| -> usize { std::panic::panic_any(42usize) },
+        );
+        assert_eq!(out[0].as_ref().unwrap_err().message, "<non-string panic payload>");
     }
 }

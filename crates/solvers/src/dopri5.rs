@@ -66,6 +66,12 @@ pub(crate) const FAC_MIN_INV: f64 = 5.0; // 1/0.2: max shrink factor denominator
 pub(crate) const FAC_MAX_INV: f64 = 0.1; // 1/10: max growth factor denominator
 pub(crate) const STIFF_THRESHOLD: f64 = 3.25;
 pub(crate) const STIFF_STRIKES: usize = 15;
+// Consecutive non-finite rejections before the step is declared
+// unsalvageable. Each rejection shrinks h by 10×; a state that is still
+// non-finite after this many shrinks is NaN/Inf independent of h, which
+// step reduction can never fix — fail fast as `NonFiniteState` instead of
+// grinding h down to the underflow threshold.
+pub(crate) const NONFINITE_STRIKES: usize = 5;
 
 /// The DOPRI5 solver.
 ///
@@ -211,9 +217,19 @@ impl Dopri5 {
         let mut steps_since_sample = 0usize;
         let mut stiff_strikes = 0usize;
         let mut nonstiff_strikes = 0usize;
+        let mut nonfinite_strikes = 0usize;
         let mut last_rejected = false;
 
         loop {
+            if let Some(budget) = options.step_budget {
+                if sol.stats.steps >= budget {
+                    sol.stats.stiffness_detected |= stiff_strikes > 0;
+                    return Err(SolveFailure {
+                        error: SolverError::StepBudgetExhausted { t, budget },
+                        stats: sol.stats,
+                    });
+                }
+            }
             if steps_since_sample >= options.max_steps {
                 sol.stats.stiffness_detected |= stiff_strikes > 0;
                 return Err(SolveFailure {
@@ -288,7 +304,8 @@ impl Dopri5 {
                 sol.stats.rejected += 1;
                 h *= 0.1;
                 last_rejected = true;
-                if h <= f64::MIN_POSITIVE * 1e4 {
+                nonfinite_strikes += 1;
+                if nonfinite_strikes >= NONFINITE_STRIKES || h <= f64::MIN_POSITIVE * 1e4 {
                     return Err(SolveFailure {
                         error: SolverError::NonFiniteState { t },
                         stats: sol.stats,
@@ -296,6 +313,7 @@ impl Dopri5 {
                 }
                 continue;
             }
+            nonfinite_strikes = 0;
 
             // PI controller.
             let fac11 = err.powf(EXPO1);

@@ -33,7 +33,7 @@ use crate::batch::{BatchOdeSystem, BatchState};
 use crate::dopri5::{
     A21, A31, A32, A41, A42, A43, A51, A52, A53, A54, A61, A62, A63, A64, A65, A71, A73, A74, A75,
     A76, BETA, C2, C3, C4, C5, D1, D3, D4, D5, D6, D7, E1, E3, E4, E5, E6, E7, EXPO1, FAC_MAX_INV,
-    FAC_MIN_INV, SAFETY, STIFF_STRIKES, STIFF_THRESHOLD,
+    FAC_MIN_INV, NONFINITE_STRIKES, SAFETY, STIFF_STRIKES, STIFF_THRESHOLD,
 };
 use crate::system::check_inputs;
 use crate::{Solution, SolveFailure, SolverError, SolverOptions, SolverScratch, StepStats};
@@ -154,6 +154,7 @@ struct LaneCtl {
     last_rejected: bool,
     stiff_strikes: usize,
     nonstiff_strikes: usize,
+    nonfinite_strikes: usize,
 }
 
 /// The lockstep lane-batched DOPRI5 solver.
@@ -334,6 +335,7 @@ fn solve_group_impl(
                     last_rejected: false,
                     stiff_strikes: 0,
                     nonstiff_strikes: 0,
+                    nonfinite_strikes: 0,
                 });
                 fresh.push(lane);
                 break;
@@ -413,7 +415,11 @@ fn solve_group_impl(
         for lane in 0..lanes {
             let mut park: Option<SolverError> = None;
             if let Some(c) = ctl[lane].as_mut() {
-                if c.steps_since_sample >= options.max_steps {
+                if options.step_budget.is_some_and(|budget| c.sol.stats.steps >= budget) {
+                    let budget = options.step_budget.expect("checked above");
+                    c.sol.stats.stiffness_detected |= c.stiff_strikes > 0;
+                    park = Some(SolverError::StepBudgetExhausted { t: t[lane], budget });
+                } else if c.steps_since_sample >= options.max_steps {
                     c.sol.stats.stiffness_detected |= c.stiff_strikes > 0;
                     park = Some(SolverError::MaxStepsExceeded {
                         t: t[lane],
@@ -623,10 +629,14 @@ fn solve_group_impl(
                     c.sol.stats.rejected += 1;
                     h[lane] *= 0.1;
                     c.last_rejected = true;
-                    if h[lane] <= f64::MIN_POSITIVE * 1e4 {
+                    c.nonfinite_strikes += 1;
+                    if c.nonfinite_strikes >= NONFINITE_STRIKES
+                        || h[lane] <= f64::MIN_POSITIVE * 1e4
+                    {
                         park = Some(Park::Fail(SolverError::NonFiniteState { t: t[lane] }));
                     }
                 } else {
+                    c.nonfinite_strikes = 0;
                     // PI controller.
                     let fac11 = err.powf(EXPO1);
                     let fac =

@@ -60,9 +60,29 @@ pub enum SolverError {
         /// Time at which stiffness was diagnosed.
         t: f64,
     },
+    /// The per-member total-step budget
+    /// ([`SolverOptions::step_budget`](crate::SolverOptions::step_budget))
+    /// was exhausted before the integration finished. Unlike
+    /// [`MaxStepsExceeded`](SolverError::MaxStepsExceeded) (a per-interval
+    /// cap that a stiffness reroute may cure), a spent budget is final: the
+    /// recovery ladder never retries it with the same budget, so no single
+    /// member can stall a batch.
+    StepBudgetExhausted {
+        /// Time reached when the budget ran out.
+        t: f64,
+        /// The total-step budget that was exhausted.
+        budget: usize,
+    },
     /// Caller-provided inputs were malformed.
     InvalidInput {
         /// Description of the problem.
+        message: String,
+    },
+    /// An internal fault — typically a panic contained by the batch
+    /// executor — surfaced as a per-member outcome instead of aborting the
+    /// run.
+    Internal {
+        /// The contained panic payload or fault description.
         message: String,
     },
 }
@@ -76,8 +96,9 @@ impl SolverError {
             | SolverError::NonlinearSolveFailed { t, .. }
             | SolverError::SingularIterationMatrix { t }
             | SolverError::NonFiniteState { t }
-            | SolverError::StiffnessDetected { t } => Some(t),
-            SolverError::InvalidInput { .. } => None,
+            | SolverError::StiffnessDetected { t }
+            | SolverError::StepBudgetExhausted { t, .. } => Some(t),
+            SolverError::InvalidInput { .. } | SolverError::Internal { .. } => None,
         }
     }
 }
@@ -99,7 +120,11 @@ impl fmt::Display for SolverError {
             SolverError::StiffnessDetected { t } => {
                 write!(f, "problem diagnosed as stiff at t = {t}; use an implicit solver")
             }
+            SolverError::StepBudgetExhausted { t, budget } => {
+                write!(f, "member step budget of {budget} exhausted at t = {t}")
+            }
             SolverError::InvalidInput { message } => write!(f, "invalid input: {message}"),
+            SolverError::Internal { message } => write!(f, "internal fault: {message}"),
         }
     }
 }

@@ -39,6 +39,7 @@
 //! ```
 
 mod batch;
+mod chaos;
 mod dopri5;
 mod dopri5_batch;
 mod error;
@@ -52,6 +53,7 @@ mod solution;
 mod system;
 
 pub use batch::{BatchOdeSystem, BatchState};
+pub use chaos::{ChaosSystem, FaultKind, FaultPlan, FaultSpec, FaultTrigger};
 pub use dopri5::Dopri5;
 pub use dopri5_batch::{Dopri5Batch, LaneReport};
 pub use error::{SolveFailure, SolverError};

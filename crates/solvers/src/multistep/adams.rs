@@ -55,6 +55,14 @@ where
     let mut buf = vec![0.0; n];
     let mut steps_since_sample = 0usize;
     while next_sample < sample_times.len() {
+        if let Some(budget) = options.step_budget {
+            if sol.stats.steps >= budget {
+                return Err(SolveFailure {
+                    error: SolverError::StepBudgetExhausted { t: core.time(), budget },
+                    stats: sol.stats,
+                });
+            }
+        }
         if steps_since_sample >= options.max_steps {
             return Err(SolveFailure {
                 error: SolverError::MaxStepsExceeded {

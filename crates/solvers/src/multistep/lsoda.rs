@@ -111,7 +111,7 @@ impl OdeSolver for Lsoda {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::FnSystem;
+    use crate::{FnSystem, SolverError};
 
     fn opts() -> SolverOptions {
         SolverOptions::default()
@@ -168,5 +168,23 @@ mod tests {
         let o = SolverOptions { max_steps: 200_000, ..opts() };
         let sol = Lsoda::new().solve(&sys, 0.0, &[0.0], &[2.0], &o).unwrap();
         assert!((sol.state_at(0)[0] - 2.0f64.cos()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn step_budget_is_a_hard_deadline() {
+        // The budget caps *total* attempted steps across all sampling
+        // intervals, unlike max_steps which resets per sample.
+        let sys = FnSystem::new(2, |_t, y, d| {
+            d[0] = -y[0] + y[1];
+            d[1] = y[0] - 2.0 * y[1];
+        });
+        let o = SolverOptions { step_budget: Some(5), ..opts() };
+        let err = Lsoda::new().solve(&sys, 0.0, &[1.0, 0.0], &[5.0, 10.0], &o).unwrap_err();
+        assert!(
+            matches!(err.error, SolverError::StepBudgetExhausted { budget: 5, .. }),
+            "{}",
+            err.error
+        );
+        assert!(err.stats.steps <= 5 + 1, "budget must bound work: {} steps", err.stats.steps);
     }
 }

@@ -30,6 +30,14 @@ pub struct SolverOptions {
     /// Check for stiffness every this many accepted steps (explicit
     /// solvers); `0` disables detection.
     pub stiffness_check_interval: usize,
+    /// Total attempted-step budget for the whole integration; `None` means
+    /// unlimited. Unlike [`max_steps`](SolverOptions::max_steps) (per
+    /// sampling interval), this is a hard deterministic deadline across
+    /// all intervals, checked in the explicit step loops (DOPRI5 scalar
+    /// and lane-batched, RKF45) so one pathological member cannot stall a
+    /// batch. Exceeding it fails with
+    /// [`SolverError::StepBudgetExhausted`](crate::SolverError::StepBudgetExhausted).
+    pub step_budget: Option<usize>,
 }
 
 impl Default for SolverOptions {
@@ -41,6 +49,7 @@ impl Default for SolverOptions {
             max_step: f64::INFINITY,
             max_steps: 10_000,
             stiffness_check_interval: 1000,
+            step_budget: None,
         }
     }
 }

@@ -308,6 +308,14 @@ impl Radau5 {
         options.error_scale(&ws.y, &mut ws.scale);
 
         'steps: loop {
+            if let Some(budget) = options.step_budget {
+                if sol.stats.steps >= budget {
+                    return Err(SolveFailure {
+                        error: SolverError::StepBudgetExhausted { t, budget },
+                        stats: sol.stats,
+                    });
+                }
+            }
             if steps_since_sample >= options.max_steps {
                 return Err(SolveFailure {
                     error: SolverError::MaxStepsExceeded { t, max_steps: options.max_steps },
@@ -671,6 +679,18 @@ mod tests {
 
     fn opts() -> SolverOptions {
         SolverOptions::default()
+    }
+
+    #[test]
+    fn step_budget_is_a_hard_deadline() {
+        let o = SolverOptions { step_budget: Some(5), ..opts() };
+        let err =
+            Radau5::new().solve(&robertson(), 0.0, &[1.0, 0.0, 0.0], &[40.0], &o).unwrap_err();
+        assert!(
+            matches!(err.error, SolverError::StepBudgetExhausted { budget: 5, .. }),
+            "{}",
+            err.error
+        );
     }
 
     /// Robertson's problem: the canonical stiff benchmark.

@@ -74,6 +74,14 @@ impl OdeSolver for Rk4 {
         for &ts in sample_times {
             let mut steps_this_interval = 0usize;
             while t < ts {
+                if let Some(budget) = options.step_budget {
+                    if sol.stats.steps >= budget {
+                        return Err(SolveFailure {
+                            error: SolverError::StepBudgetExhausted { t, budget },
+                            stats: sol.stats,
+                        });
+                    }
+                }
                 if steps_this_interval >= options.max_steps {
                     return Err(SolveFailure {
                         error: SolverError::MaxStepsExceeded { t, max_steps: options.max_steps },

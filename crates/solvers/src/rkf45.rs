@@ -7,6 +7,7 @@
 //! by clamping the step, which is exactly the behavioural difference from
 //! [`crate::Dopri5`] the comparison experiments expose.
 
+use crate::dopri5::NONFINITE_STRIKES;
 use crate::system::check_inputs;
 use crate::{
     initial_step_size, OdeSolver, OdeSystem, Solution, SolveFailure, SolverError, SolverOptions,
@@ -105,6 +106,7 @@ impl OdeSolver for Rkf45 {
             .initial_step
             .unwrap_or_else(|| initial_step_size(&system, t, &y, &k[0], 1.0, 4, options));
         sol.stats.rhs_evals += usize::from(options.initial_step.is_none());
+        let mut nonfinite_strikes = 0usize;
 
         for &ts in sample_times {
             if ts <= t {
@@ -114,6 +116,14 @@ impl OdeSolver for Rkf45 {
             }
             let mut steps_this_interval = 0usize;
             while t < ts {
+                if let Some(budget) = options.step_budget {
+                    if sol.stats.steps >= budget {
+                        return Err(SolveFailure {
+                            error: SolverError::StepBudgetExhausted { t, budget },
+                            stats: sol.stats,
+                        });
+                    }
+                }
                 if steps_this_interval >= options.max_steps {
                     return Err(SolveFailure {
                         error: SolverError::MaxStepsExceeded { t, max_steps: options.max_steps },
@@ -176,7 +186,8 @@ impl OdeSolver for Rkf45 {
                 if !err.is_finite() || !y_new.iter().all(|v| v.is_finite()) {
                     sol.stats.rejected += 1;
                     h = h_try * 0.1;
-                    if h <= f64::MIN_POSITIVE * 1e4 {
+                    nonfinite_strikes += 1;
+                    if nonfinite_strikes >= NONFINITE_STRIKES || h <= f64::MIN_POSITIVE * 1e4 {
                         return Err(SolveFailure {
                             error: SolverError::NonFiniteState { t },
                             stats: sol.stats,
@@ -184,6 +195,7 @@ impl OdeSolver for Rkf45 {
                     }
                     continue;
                 }
+                nonfinite_strikes = 0;
 
                 if err <= 1.0 {
                     sol.stats.accepted += 1;

@@ -6,6 +6,7 @@
 //! cargo run --release --example calibrate
 //! ```
 
+use paraspace_analysis::fitness::FailedMemberPolicy;
 use paraspace_analysis::pe::{estimate, EstimationProblem};
 use paraspace_analysis::pso::PsoConfig;
 use paraspace_core::{FineCoarseEngine, SimulationJob, Simulator};
@@ -42,6 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         target,
         time_points: times,
         options: SolverOptions::default(),
+        failed_members: FailedMemberPolicy::default(),
     };
     let cfg = PsoConfig { iterations: 60, seed: 5, ..Default::default() };
     println!("calibrating 3 hidden constants with FST-PSO ({} generations)...", cfg.iterations);
