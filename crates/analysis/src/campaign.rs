@@ -1,0 +1,534 @@
+//! Durable campaign execution: crash-safe checkpoint/resume for the
+//! analysis drivers.
+//!
+//! A *campaign* is a long-running parameter-space analysis (a sweep, a
+//! Sobol evaluation, an estimation run) decomposed into deterministic,
+//! numbered **shards** — one engine batch each. Before any shard executes,
+//! a [`CampaignManifest`] describing the world (model digest, axis/plan
+//! digests, engine configuration) is written atomically to the checkpoint
+//! directory; each completed shard is then appended to a checksummed
+//! write-ahead journal. Killing the process at any point — including
+//! `kill -9` mid-shard — loses at most the shards whose records had not
+//! reached the log; on restart the journal is replayed, committed shards
+//! are skipped, and the remainder re-executes. Because every engine is
+//! bitwise deterministic, the resumed campaign's final grid, outputs, and
+//! billed simulated time are byte-identical to an uninterrupted run.
+//!
+//! Resume refuses a mismatched world: any difference between the on-disk
+//! manifest and the one the caller reconstructs (different model, axes,
+//! engine, thread count, lane width, shard size…) is a
+//! [`JournalError::ManifestMismatch`], not a silent wrong answer.
+//!
+//! Validation failures are *shard outcomes*, not campaign killers: a shard
+//! whose job is rejected before reaching a solver (non-finite member, bad
+//! grid) is journaled as an invalid shard and its grid cells take the
+//! configured failed-member value, while the rest of the campaign proceeds.
+
+use paraspace_core::{CancelToken, SimError, SimulationJob, Simulator};
+use paraspace_journal::codec::{Dec, Enc};
+use paraspace_journal::{fnv64, CampaignManifest, Journal, JournalError};
+use paraspace_rbm::{sbml, Parameterization, ReactionBasedModel};
+use paraspace_solvers::{Solution, SolverOptions};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Where and how a campaign checkpoints.
+#[derive(Debug, Clone, Default)]
+pub struct Checkpoint {
+    dir: PathBuf,
+    cancel: CancelToken,
+    world: BTreeMap<String, String>,
+}
+
+impl Checkpoint {
+    /// Checkpoints into `dir` (created if missing).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Checkpoint { dir: dir.into(), cancel: CancelToken::new(), world: BTreeMap::new() }
+    }
+
+    /// Installs the cooperative cancellation token the campaign polls at
+    /// shard boundaries (builder style). The same token should be handed
+    /// to the engine via `with_cancel` so in-flight batch members drain.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
+    /// Adds a world-defining field to the manifest (builder style) —
+    /// engine name, thread count, lane width, anything that changes the
+    /// bytes a shard produces. Resume refuses a checkpoint whose manifest
+    /// disagrees on any field.
+    pub fn with_world(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.world.insert(key.into(), value.into());
+        self
+    }
+
+    /// The checkpoint directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The cancellation token shards poll.
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
+    }
+
+    /// Merges the world fields into `manifest` (as `world.<key>` entries).
+    /// Drivers that manage their own journal call this before opening it;
+    /// [`run_journaled`] applies it automatically.
+    #[must_use]
+    pub fn apply_world(&self, mut manifest: CampaignManifest) -> CampaignManifest {
+        for (k, v) in &self.world {
+            manifest = manifest.with_field(format!("world.{k}"), v.clone());
+        }
+        manifest
+    }
+}
+
+/// Why a durable campaign stopped before producing a result.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CampaignError {
+    /// A non-recoverable engine/job failure (validation failures are
+    /// journaled as shard outcomes instead and do not surface here).
+    Sim(SimError),
+    /// The checkpoint could not be read, written, or matched.
+    Journal(JournalError),
+    /// The cancellation token tripped; completed shards are committed and
+    /// a later run with the same checkpoint resumes exactly.
+    Interrupted {
+        /// Shards committed to the journal so far.
+        completed: u64,
+        /// Total shards in the campaign.
+        shards: u64,
+    },
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::Sim(e) => write!(f, "campaign failed: {e}"),
+            CampaignError::Journal(e) => write!(f, "campaign checkpoint: {e}"),
+            CampaignError::Interrupted { completed, shards } => {
+                write!(f, "campaign interrupted: {completed}/{shards} shards checkpointed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CampaignError::Sim(e) => Some(e),
+            CampaignError::Journal(e) => Some(e),
+            CampaignError::Interrupted { .. } => None,
+        }
+    }
+}
+
+impl From<SimError> for CampaignError {
+    fn from(e: SimError) -> Self {
+        CampaignError::Sim(e)
+    }
+}
+
+impl From<JournalError> for CampaignError {
+    fn from(e: JournalError) -> Self {
+        CampaignError::Journal(e)
+    }
+}
+
+/// What the journal found when a campaign (re)started.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardReport {
+    /// Whether an existing checkpoint was resumed.
+    pub resumed: bool,
+    /// Shards recovered from the journal (skipped this run).
+    pub recovered: u64,
+    /// Shards executed by this run.
+    pub executed: u64,
+    /// Torn/corrupt journal bytes truncated on open.
+    pub truncated_bytes: u64,
+}
+
+/// Runs `shards` numbered shard executions under the write-ahead journal:
+/// committed shards are returned from the journal without re-executing,
+/// the rest run through `execute` and are committed as they finish. The
+/// returned payloads are in shard order, so callers reassemble results
+/// with a deterministic in-order fold.
+///
+/// # Errors
+///
+/// [`CampaignError::Journal`] on checkpoint I/O or manifest mismatch,
+/// [`CampaignError::Interrupted`] when the cancellation token trips at a
+/// shard boundary (completed shards remain committed), or whatever fatal
+/// error `execute` returns.
+pub fn run_journaled<F>(
+    checkpoint: &Checkpoint,
+    manifest: CampaignManifest,
+    mut execute: F,
+) -> Result<(Vec<Vec<u8>>, ShardReport), CampaignError>
+where
+    F: FnMut(u64) -> Result<Vec<u8>, CampaignError>,
+{
+    let manifest = checkpoint.apply_world(manifest);
+    let shards = manifest.shards();
+    let (mut journal, open) = Journal::open_or_create(&checkpoint.dir, &manifest)?;
+    let mut report = ShardReport {
+        resumed: open.resumed,
+        recovered: open.committed,
+        executed: 0,
+        truncated_bytes: open.truncated_bytes,
+    };
+    let mut payloads = Vec::with_capacity(shards as usize);
+    for shard in 0..shards {
+        if let Some(p) = journal.get(shard) {
+            payloads.push(p.to_vec());
+            continue;
+        }
+        if checkpoint.cancel.is_cancelled() {
+            journal.sync()?;
+            return Err(CampaignError::Interrupted { completed: journal.committed(), shards });
+        }
+        let payload = match execute(shard) {
+            Ok(p) => p,
+            Err(CampaignError::Sim(SimError::Cancelled)) => {
+                // The engine drained in-flight members and discarded the
+                // partial batch; the shard is simply not committed.
+                journal.sync()?;
+                return Err(CampaignError::Interrupted { completed: journal.committed(), shards });
+            }
+            Err(e) => return Err(e),
+        };
+        journal.commit(shard, &payload)?;
+        report.executed += 1;
+        payloads.push(payload);
+    }
+    journal.sync()?;
+    Ok((payloads, report))
+}
+
+/// A digest of a model's full dynamics (species, initial state, kinetics),
+/// via its canonical SBML serialization — the model identity a campaign
+/// manifest pins.
+#[must_use]
+pub fn model_digest(model: &ReactionBasedModel) -> u64 {
+    fnv64(sbml::to_string(model).as_bytes())
+}
+
+/// A digest of an `f64` sequence by exact IEEE-754 bits.
+#[must_use]
+pub fn f64s_digest(values: &[f64]) -> u64 {
+    let mut enc = Enc::new();
+    enc.put_f64_slice(values);
+    fnv64(&enc.finish())
+}
+
+/// A digest of the solver options a campaign runs under.
+#[must_use]
+pub fn options_digest(options: &SolverOptions) -> u64 {
+    let mut enc = Enc::new();
+    enc.put_f64(options.rel_tol)
+        .put_f64(options.abs_tol)
+        .put_u64(options.max_steps as u64)
+        .put_f64(options.initial_step.unwrap_or(f64::NAN));
+    fnv64(&enc.finish())
+}
+
+/// One journaled metric shard: either the metric values for each item of
+/// the shard (plus its billed simulated time), or a validation failure
+/// that was journaled as the shard's outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricShard {
+    /// Metric value per shard item, in item order (empty for invalid
+    /// shards — the driver substitutes its failed-member value).
+    pub values: Vec<f64>,
+    /// Simulated engine time billed by this shard (ns).
+    pub simulated_ns: f64,
+    /// Simulations executed by this shard.
+    pub simulations: u64,
+    /// `Some(message)` when the shard's job was rejected before reaching
+    /// a solver (the validation error, preserved for post-mortems).
+    pub invalid: Option<String>,
+}
+
+impl MetricShard {
+    /// A successfully executed shard.
+    #[must_use]
+    pub fn ok(values: Vec<f64>, simulated_ns: f64, simulations: u64) -> Self {
+        MetricShard { values, simulated_ns, simulations, invalid: None }
+    }
+
+    /// A shard whose job failed validation; `items` cells take the failed
+    /// value downstream.
+    #[must_use]
+    pub fn invalid(message: impl Into<String>) -> Self {
+        MetricShard {
+            values: Vec::new(),
+            simulated_ns: 0.0,
+            simulations: 0,
+            invalid: Some(message.into()),
+        }
+    }
+
+    /// Serializes the shard payload (deterministic bytes: exact f64 bits).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut enc = Enc::new();
+        match &self.invalid {
+            None => {
+                enc.put_u32(0);
+            }
+            Some(msg) => {
+                enc.put_u32(1).put_str(msg);
+            }
+        }
+        enc.put_f64_slice(&self.values).put_f64(self.simulated_ns).put_u64(self.simulations);
+        enc.finish()
+    }
+
+    /// Deserializes a shard payload.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::MalformedPayload`] on truncated or corrupt bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Self, JournalError> {
+        let mut dec = Dec::new(bytes);
+        let invalid = match dec.u32()? {
+            0 => None,
+            1 => Some(dec.str()?.to_string()),
+            tag => {
+                return Err(JournalError::MalformedPayload {
+                    message: format!("unknown metric-shard tag {tag}"),
+                })
+            }
+        };
+        let values = dec.f64_vec()?;
+        let simulated_ns = dec.f64()?;
+        let simulations = dec.u64()?;
+        dec.expect_exhausted()?;
+        Ok(MetricShard { values, simulated_ns, simulations, invalid })
+    }
+}
+
+/// Output of a durable point-set evaluation (the Sobol driver's engine
+/// loop): per-point metric values plus the campaign accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalOutputs {
+    /// One metric value per evaluation point, in plan order.
+    pub outputs: Vec<f64>,
+    /// Total simulated engine time (ns), folded in shard order.
+    pub simulated_ns: f64,
+    /// Total simulations executed (including recovered shards).
+    pub simulations: usize,
+    /// What the journal recovered and executed.
+    pub report: ShardReport,
+}
+
+/// Durably evaluates a fixed point set (e.g. a Saltelli design) through an
+/// engine: points are chunked into `shard_size` batches, each batch is one
+/// journaled shard, and a restarted run skips committed shards. Failed
+/// members yield `NaN`; shards whose job fails validation are journaled as
+/// invalid outcomes (all their points `NaN`) instead of killing the
+/// campaign. Outputs, counts, and billed time are byte-identical to an
+/// uninterrupted run.
+///
+/// `kind` names the campaign in the manifest (e.g. `"sobol"`), keeping
+/// checkpoints from different drivers mutually exclusive.
+///
+/// # Errors
+///
+/// As [`run_journaled`]: checkpoint I/O/mismatch, interruption at a shard
+/// boundary, or a fatal engine error.
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_points_durable<P, M>(
+    kind: &str,
+    model: &ReactionBasedModel,
+    points: &[Vec<f64>],
+    mut to_param: P,
+    time_points: &[f64],
+    options: &SolverOptions,
+    engine: &dyn Simulator,
+    mut metric: M,
+    shard_size: usize,
+    checkpoint: &Checkpoint,
+) -> Result<EvalOutputs, CampaignError>
+where
+    P: FnMut(&[f64]) -> Parameterization,
+    M: FnMut(&Solution) -> f64,
+{
+    let shard_size = shard_size.max(1);
+    let chunks: Vec<&[Vec<f64>]> = points.chunks(shard_size).collect();
+    let mut points_enc = Enc::new();
+    for p in points {
+        points_enc.put_f64_slice(p);
+    }
+    let manifest = CampaignManifest::new(kind, chunks.len() as u64)
+        .with_digest("model", model_digest(model))
+        .with_digest("points", fnv64(&points_enc.finish()))
+        .with_digest("times", f64s_digest(time_points))
+        .with_digest("options", options_digest(options))
+        .with_field("shard_size", shard_size.to_string());
+
+    let (payloads, report) = run_journaled(checkpoint, manifest, |shard| {
+        let chunk = chunks[shard as usize];
+        let batch: Vec<Parameterization> = chunk.iter().map(|p| to_param(p)).collect();
+        let job = match SimulationJob::builder(model)
+            .time_points(time_points.to_vec())
+            .parameterizations(batch)
+            .options(options.clone())
+            .build()
+        {
+            Ok(job) => job,
+            Err(e @ SimError::InvalidJob { .. }) => {
+                return Ok(MetricShard::invalid(e.to_string()).encode());
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let result = engine.run(&job)?;
+        let values: Vec<f64> = result
+            .outcomes
+            .iter()
+            .map(|o| match &o.solution {
+                Ok(sol) => metric(sol),
+                Err(_) => f64::NAN,
+            })
+            .collect();
+        Ok(MetricShard::ok(values, result.timing.simulated_total_ns, job.batch_size() as u64)
+            .encode())
+    })?;
+
+    let mut outputs = Vec::with_capacity(points.len());
+    let mut simulated_ns = 0.0;
+    let mut simulations = 0usize;
+    for (chunk, payload) in chunks.iter().zip(&payloads) {
+        let shard = MetricShard::decode(payload)?;
+        if shard.invalid.is_some() {
+            outputs.extend(std::iter::repeat_n(f64::NAN, chunk.len()));
+        } else {
+            outputs.extend_from_slice(&shard.values);
+        }
+        simulated_ns += shard.simulated_ns;
+        simulations += shard.simulations as usize;
+    }
+    Ok(EvalOutputs { outputs, simulated_ns, simulations, report })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("paraspace_campaign_{tag}_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn metric_shard_round_trips_exactly() {
+        let s = MetricShard::ok(vec![1.5, f64::NAN, -0.0, 1e-300], 123.456, 4);
+        let d = MetricShard::decode(&s.encode()).unwrap();
+        assert_eq!(d.values.len(), 4);
+        for (a, b) in s.values.iter().zip(&d.values) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(d.simulated_ns.to_bits(), s.simulated_ns.to_bits());
+        assert_eq!(d.simulations, 4);
+        assert_eq!(d.invalid, None);
+
+        let inv = MetricShard::invalid("member 3 has a non-finite initial state");
+        let d = MetricShard::decode(&inv.encode()).unwrap();
+        assert_eq!(d.invalid.as_deref(), Some("member 3 has a non-finite initial state"));
+        assert!(d.values.is_empty());
+    }
+
+    #[test]
+    fn run_journaled_skips_committed_shards_on_resume() {
+        let dir = temp_dir("skip");
+        let manifest = CampaignManifest::new("test", 4).with_digest("d", 7);
+        let cp = Checkpoint::new(&dir).with_world("engine", "fake");
+        let mut executed = Vec::new();
+        let (payloads, report) = run_journaled(&cp, manifest.clone(), |s| {
+            executed.push(s);
+            Ok(vec![s as u8; 3])
+        })
+        .unwrap();
+        assert_eq!(executed, vec![0, 1, 2, 3]);
+        assert_eq!(payloads.len(), 4);
+        assert!(!report.resumed);
+        assert_eq!(report.executed, 4);
+
+        // Second run: everything recovered, nothing executes.
+        let mut executed = Vec::new();
+        let (payloads2, report2) = run_journaled(&cp, manifest, |s| {
+            executed.push(s);
+            Ok(vec![0])
+        })
+        .unwrap();
+        assert!(executed.is_empty(), "committed shards must not re-execute");
+        assert_eq!(payloads2, payloads);
+        assert!(report2.resumed);
+        assert_eq!(report2.recovered, 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cancellation_checkpoints_and_resume_completes() {
+        let dir = temp_dir("cancel");
+        let manifest = CampaignManifest::new("test", 5);
+        let cancel = CancelToken::new();
+        let cp = Checkpoint::new(&dir).with_cancel(cancel.clone());
+        let err = run_journaled(&cp, manifest.clone(), |s| {
+            if s == 2 {
+                cancel.cancel(); // trips *after* shard 2 commits
+            }
+            Ok(vec![s as u8])
+        })
+        .unwrap_err();
+        match err {
+            CampaignError::Interrupted { completed, shards } => {
+                assert_eq!(completed, 3);
+                assert_eq!(shards, 5);
+            }
+            other => panic!("expected Interrupted, got {other}"),
+        }
+
+        let cp = Checkpoint::new(&dir); // fresh token
+        let (payloads, report) = run_journaled(&cp, manifest, |s| Ok(vec![s as u8])).unwrap();
+        assert_eq!(report.recovered, 3);
+        assert_eq!(report.executed, 2);
+        assert_eq!(payloads, vec![vec![0], vec![1], vec![2], vec![3], vec![4]]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn world_mismatch_refuses_resume() {
+        let dir = temp_dir("world");
+        let manifest = CampaignManifest::new("test", 1);
+        let cp = Checkpoint::new(&dir).with_world("threads", "1");
+        run_journaled(&cp, manifest.clone(), |_| Ok(vec![1])).unwrap();
+
+        let cp8 = Checkpoint::new(&dir).with_world("threads", "8");
+        let err = run_journaled(&cp8, manifest, |_| Ok(vec![1])).unwrap_err();
+        match err {
+            CampaignError::Journal(JournalError::ManifestMismatch { field, .. }) => {
+                assert_eq!(field, "world.threads");
+            }
+            other => panic!("expected ManifestMismatch, got {other}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn digests_are_stable_and_sensitive() {
+        let a = f64s_digest(&[1.0, 2.0]);
+        assert_eq!(a, f64s_digest(&[1.0, 2.0]));
+        assert_ne!(a, f64s_digest(&[1.0, 2.0000000001]));
+        let o = SolverOptions::default();
+        let mut o2 = SolverOptions::default();
+        o2.rel_tol *= 10.0;
+        assert_ne!(options_digest(&o), options_digest(&o2));
+    }
+}

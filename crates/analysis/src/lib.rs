@@ -20,7 +20,13 @@
 //!
 //! [`throughput`] provides the time-budget accounting used by the published
 //! "how many simulations fit in 24 hours" comparisons.
+//!
+//! [`campaign`] makes all three durable: a campaign decomposes into
+//! deterministic numbered shards journaled in a crash-safe checkpoint
+//! directory, so a killed run resumes exactly where it stopped and
+//! reproduces the uninterrupted result byte for byte.
 
+pub mod campaign;
 pub mod fitness;
 pub mod oscillation;
 pub mod pe;

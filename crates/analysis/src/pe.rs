@@ -7,9 +7,14 @@
 //! target time series. The experiment compares the same estimation run
 //! priced on different engines.
 
+use crate::campaign::{
+    f64s_digest, model_digest, options_digest, CampaignError, Checkpoint, ShardReport,
+};
 use crate::fitness::{relative_distance, FailedMemberPolicy};
-use crate::pso::{fst_pso, Objective, PsoConfig, PsoResult};
-use paraspace_core::{SimulationJob, Simulator};
+use crate::pso::{fst_pso, heuristic_swarm_size, Objective, PsoConfig, PsoResult};
+use paraspace_core::{SimError, SimulationJob, Simulator};
+use paraspace_journal::codec::{Dec, Enc};
+use paraspace_journal::{fnv64, CampaignManifest, Journal};
 use paraspace_rbm::{Parameterization, ReactionBasedModel};
 use paraspace_solvers::{Solution, SolverOptions};
 
@@ -66,8 +71,19 @@ impl EngineObjective<'_, '_> {
     }
 }
 
-impl Objective for EngineObjective<'_, '_> {
-    fn evaluate_batch(&mut self, xs: &[Vec<f64>]) -> Vec<f64> {
+/// One swarm generation's engine accounting, kept separate from the
+/// running totals so the durable path can journal the *per-generation*
+/// values exactly (a difference of accumulated sums would not round-trip).
+struct GenerationEval {
+    fitness: Vec<f64>,
+    simulated_ns: f64,
+    simulations: usize,
+}
+
+impl EngineObjective<'_, '_> {
+    /// Runs one generation through the engine, surfacing the error so the
+    /// durable path can checkpoint on cancellation instead of panicking.
+    fn run_generation(&mut self, xs: &[Vec<f64>]) -> Result<GenerationEval, SimError> {
         let batch: Vec<Parameterization> = xs
             .iter()
             .map(|x| Parameterization::new().with_rate_constants(self.constants_for(x)))
@@ -76,19 +92,29 @@ impl Objective for EngineObjective<'_, '_> {
             .time_points(self.problem.time_points.clone())
             .parameterizations(batch)
             .options(self.problem.options.clone())
-            .build()
-            .expect("estimation job must be well-formed");
-        let result = self.engine.run(&job).expect("engine failure is a configuration bug");
-        self.simulated_ns += result.timing.simulated_total_ns;
-        self.simulations += job.batch_size();
-        result
-            .outcomes
-            .iter()
-            .map(|o| match &o.solution {
-                Ok(sol) => relative_distance(sol, &self.problem.target, &self.problem.observed),
-                Err(_) => self.problem.failed_members.fitness(),
-            })
-            .collect()
+            .build()?;
+        let result = self.engine.run(&job)?;
+        Ok(GenerationEval {
+            fitness: result
+                .outcomes
+                .iter()
+                .map(|o| match &o.solution {
+                    Ok(sol) => relative_distance(sol, &self.problem.target, &self.problem.observed),
+                    Err(_) => self.problem.failed_members.fitness(),
+                })
+                .collect(),
+            simulated_ns: result.timing.simulated_total_ns,
+            simulations: job.batch_size(),
+        })
+    }
+}
+
+impl Objective for EngineObjective<'_, '_> {
+    fn evaluate_batch(&mut self, xs: &[Vec<f64>]) -> Vec<f64> {
+        let g = self.run_generation(xs).expect("engine failure is a configuration bug");
+        self.simulated_ns += g.simulated_ns;
+        self.simulations += g.simulations;
+        g.fitness
     }
 }
 
@@ -161,6 +187,200 @@ pub fn estimate(
         simulations: objective.simulations,
         optimization,
     }
+}
+
+/// The generation-journaling wrapper: committed generations replay their
+/// journaled fitness bits without touching the engine (PSO is
+/// deterministic given the seed and the fitness history, so the swarm
+/// trajectory reproduces exactly); uncommitted generations run the engine
+/// and commit before returning. On cancellation the wrapper goes inert —
+/// remaining generations return zeros without running the engine, and the
+/// whole (discarded) result is replaced by
+/// [`CampaignError::Interrupted`].
+struct DurableObjective<'x, 'p, 'a> {
+    inner: EngineObjective<'p, 'a>,
+    journal: &'x mut Journal,
+    cancel: paraspace_core::CancelToken,
+    generation: u64,
+    simulated_ns: f64,
+    simulations: usize,
+    executed: u64,
+    interrupted: bool,
+    fatal: Option<CampaignError>,
+}
+
+impl DurableObjective<'_, '_, '_> {
+    fn encode_generation(g: &GenerationEval) -> Vec<u8> {
+        let mut enc = Enc::new();
+        enc.put_f64_slice(&g.fitness).put_f64(g.simulated_ns).put_u64(g.simulations as u64);
+        enc.finish()
+    }
+
+    fn decode_generation(payload: &[u8]) -> Result<GenerationEval, CampaignError> {
+        let mut dec = Dec::new(payload);
+        let fitness = dec.f64_vec()?;
+        let simulated_ns = dec.f64()?;
+        let simulations = dec.u64()? as usize;
+        dec.expect_exhausted()?;
+        Ok(GenerationEval { fitness, simulated_ns, simulations })
+    }
+}
+
+impl Objective for DurableObjective<'_, '_, '_> {
+    fn evaluate_batch(&mut self, xs: &[Vec<f64>]) -> Vec<f64> {
+        let gen = self.generation;
+        self.generation += 1;
+        if self.interrupted || self.fatal.is_some() {
+            return vec![0.0; xs.len()];
+        }
+        let eval = if let Some(payload) = self.journal.get(gen) {
+            match Self::decode_generation(payload) {
+                Ok(e) => e,
+                Err(e) => {
+                    self.fatal = Some(e);
+                    return vec![0.0; xs.len()];
+                }
+            }
+        } else {
+            if self.cancel.is_cancelled() {
+                self.interrupted = true;
+                return vec![0.0; xs.len()];
+            }
+            match self.inner.run_generation(xs) {
+                Ok(e) => {
+                    if let Err(err) = self.journal.commit(gen, &Self::encode_generation(&e)) {
+                        self.fatal = Some(err.into());
+                        return vec![0.0; xs.len()];
+                    }
+                    self.executed += 1;
+                    e
+                }
+                Err(SimError::Cancelled) => {
+                    self.interrupted = true;
+                    return vec![0.0; xs.len()];
+                }
+                Err(e) => {
+                    self.fatal = Some(e.into());
+                    return vec![0.0; xs.len()];
+                }
+            }
+        };
+        self.simulated_ns += eval.simulated_ns;
+        self.simulations += eval.simulations;
+        eval.fitness
+    }
+}
+
+/// Calibrates like [`estimate`], durably: each swarm generation is one
+/// journaled shard (the per-member fitness bits plus the generation's
+/// billed time), so a killed estimation resumes mid-swarm and reproduces
+/// the uninterrupted trajectory, estimate, and billed time bitwise. The
+/// manifest pins the model, bounds, target, seed, swarm size, and
+/// generation count — resume refuses a mismatched world.
+///
+/// # Errors
+///
+/// [`CampaignError::Journal`] on checkpoint I/O or world mismatch,
+/// [`CampaignError::Interrupted`] when the checkpoint's token trips at a
+/// generation boundary, or [`CampaignError::Sim`] for fatal engine/job
+/// failures (an estimation's jobs come from its own bounds, so a
+/// validation failure is a configuration error, not a shard outcome).
+///
+/// # Panics
+///
+/// Panics if `problem.unknown` and `problem.log_bounds` disagree in
+/// length.
+pub fn estimate_durable(
+    problem: &EstimationProblem<'_>,
+    engine: &dyn Simulator,
+    config: &PsoConfig,
+    checkpoint: &Checkpoint,
+) -> Result<(EstimationResult, ShardReport), CampaignError> {
+    assert_eq!(
+        problem.unknown.len(),
+        problem.log_bounds.len(),
+        "one bound pair per unknown constant"
+    );
+    let swarm = config.swarm_size.unwrap_or_else(|| heuristic_swarm_size(problem.log_bounds.len()));
+
+    let mut bounds_enc = Enc::new();
+    for &(lo, hi) in &problem.log_bounds {
+        bounds_enc.put_f64(lo).put_f64(hi);
+    }
+    let mut unknown_enc = Enc::new();
+    for &u in &problem.unknown {
+        unknown_enc.put_u64(u as u64);
+    }
+    let mut observed_enc = Enc::new();
+    for &o in &problem.observed {
+        observed_enc.put_u64(o as u64);
+    }
+    let mut target_enc = Enc::new();
+    for t in 0..problem.time_points.len() {
+        target_enc.put_f64_slice(problem.target.state_at(t));
+    }
+    let manifest = checkpoint.apply_world(
+        CampaignManifest::new("pe", config.iterations as u64)
+            .with_digest("model", model_digest(problem.model))
+            .with_digest("bounds", fnv64(&bounds_enc.finish()))
+            .with_digest("unknown", fnv64(&unknown_enc.finish()))
+            .with_digest("observed", fnv64(&observed_enc.finish()))
+            .with_digest("target", fnv64(&target_enc.finish()))
+            .with_digest("times", f64s_digest(&problem.time_points))
+            .with_digest("options", options_digest(&problem.options))
+            .with_field("seed", config.seed.to_string())
+            .with_field("swarm", swarm.to_string()),
+    );
+    let (mut journal, open) = Journal::open_or_create(checkpoint.dir(), &manifest)?;
+
+    let mut durable = DurableObjective {
+        inner: EngineObjective { problem, engine, simulated_ns: 0.0, simulations: 0 },
+        journal: &mut journal,
+        cancel: checkpoint.cancel_token().clone(),
+        generation: 0,
+        simulated_ns: 0.0,
+        simulations: 0,
+        executed: 0,
+        interrupted: false,
+        fatal: None,
+    };
+    let optimization = {
+        // `fst_pso` takes the objective by value; lend it mutably so the
+        // journal and accounting survive the run.
+        struct Shim<'y, 'x, 'p, 'a>(&'y mut DurableObjective<'x, 'p, 'a>);
+        impl Objective for Shim<'_, '_, '_, '_> {
+            fn evaluate_batch(&mut self, xs: &[Vec<f64>]) -> Vec<f64> {
+                self.0.evaluate_batch(xs)
+            }
+        }
+        fst_pso(&problem.log_bounds, config, Shim(&mut durable))
+    };
+    let (simulated_ns, simulations, executed) =
+        (durable.simulated_ns, durable.simulations, durable.executed);
+    let (interrupted, fatal) = (durable.interrupted, durable.fatal);
+    if let Some(e) = fatal {
+        return Err(e);
+    }
+    journal.sync()?;
+    if interrupted {
+        return Err(CampaignError::Interrupted {
+            completed: journal.committed(),
+            shards: config.iterations as u64,
+        });
+    }
+    let mut k = problem.model.rate_constants();
+    for (&idx, &lv) in problem.unknown.iter().zip(&optimization.best_position) {
+        k[idx] = 10f64.powf(lv);
+    }
+    Ok((
+        EstimationResult { rate_constants: k, simulated_ns, simulations, optimization },
+        ShardReport {
+            resumed: open.resumed,
+            recovered: open.committed,
+            executed,
+            truncated_bytes: open.truncated_bytes,
+        },
+    ))
 }
 
 #[cfg(test)]

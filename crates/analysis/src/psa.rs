@@ -7,8 +7,14 @@
 //! reduces each trajectory to the scalar the sweep reports (final value,
 //! oscillation amplitude, …).
 
+use crate::campaign::{
+    f64s_digest, model_digest, options_digest, run_journaled, CampaignError, Checkpoint,
+    MetricShard, ShardReport,
+};
 use crate::fitness::FailedMemberPolicy;
 use paraspace_core::{SimError, SimulationJob, Simulator};
+use paraspace_journal::codec::Enc;
+use paraspace_journal::{fnv64, CampaignManifest};
 use paraspace_rbm::{Parameterization, ReactionBasedModel};
 use paraspace_solvers::{Solution, SolverOptions};
 
@@ -40,9 +46,11 @@ impl Axis {
     ///
     /// # Panics
     ///
-    /// Panics if `points < 2` or `hi <= lo`.
+    /// Panics if `points < 2`, either bound is non-finite (NaN or ±∞ would
+    /// poison every grid point downstream), or `hi <= lo`.
     pub fn linear(name: impl Into<String>, lo: f64, hi: f64, points: usize) -> Self {
         assert!(points >= 2, "axis needs at least two points");
+        assert!(lo.is_finite() && hi.is_finite(), "axis bounds must be finite");
         assert!(hi > lo, "axis bounds must be increasing");
         let step = (hi - lo) / (points - 1) as f64;
         Axis { name: name.into(), values: (0..points).map(|i| lo + step * i as f64).collect() }
@@ -52,9 +60,11 @@ impl Axis {
     ///
     /// # Panics
     ///
-    /// Panics if `points < 2`, `lo <= 0`, or `hi <= lo`.
+    /// Panics if `points < 2`, either bound is non-finite (NaN or ±∞ would
+    /// poison every grid point downstream), `lo <= 0`, or `hi <= lo`.
     pub fn logarithmic(name: impl Into<String>, lo: f64, hi: f64, points: usize) -> Self {
         assert!(points >= 2, "axis needs at least two points");
+        assert!(lo.is_finite() && hi.is_finite(), "axis bounds must be finite");
         assert!(lo > 0.0 && hi > lo, "log axis needs 0 < lo < hi");
         let (llo, lhi) = (lo.ln(), hi.ln());
         let step = (lhi - llo) / (points - 1) as f64;
@@ -67,6 +77,15 @@ impl Axis {
     /// The grid values.
     pub fn values(&self) -> &[f64] {
         &self.values
+    }
+
+    /// A digest of the axis identity (name plus exact grid-value bits),
+    /// used to pin the axis in a durable campaign manifest.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        let mut enc = Enc::new();
+        enc.put_str(&self.name).put_f64_slice(&self.values);
+        fnv64(&enc.finish())
     }
 
     /// Number of grid points.
@@ -248,6 +267,111 @@ impl Psa2d {
             host_wall: start.elapsed(),
         })
     }
+
+    /// Runs the sweep durably: the grid decomposes into numbered shards
+    /// (one batch each), every completed shard is committed to the
+    /// checkpoint's write-ahead journal, and a restarted run skips the
+    /// committed shards. The final grid, simulation counts, and billed
+    /// simulated time are byte-identical to an uninterrupted [`Psa2d::run`]
+    /// at the same batch size.
+    ///
+    /// Shards whose job fails validation ([`SimError::InvalidJob`]) are
+    /// journaled as invalid shard outcomes — their grid cells take the
+    /// configured [`FailedMemberPolicy`] value — rather than killing the
+    /// campaign.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::Journal`] on checkpoint I/O or world mismatch,
+    /// [`CampaignError::Interrupted`] when the checkpoint's cancellation
+    /// token trips (re-run with the same checkpoint to resume), or
+    /// [`CampaignError::Sim`] for fatal engine failures.
+    pub fn run_durable<P, M>(
+        &self,
+        model: &ReactionBasedModel,
+        mut parameterize: P,
+        time_points: Vec<f64>,
+        engine: &dyn Simulator,
+        mut metric: M,
+        checkpoint: &Checkpoint,
+    ) -> Result<(Psa2dResult, ShardReport), CampaignError>
+    where
+        P: FnMut(f64, f64) -> Parameterization,
+        M: FnMut(&Solution) -> f64,
+    {
+        let start = std::time::Instant::now();
+        let grid: Vec<(usize, usize)> = (0..self.axis1.len())
+            .flat_map(|i| (0..self.axis2.len()).map(move |j| (i, j)))
+            .collect();
+        let chunks: Vec<&[(usize, usize)]> = grid.chunks(self.batch_size).collect();
+        let manifest = CampaignManifest::new("psa2d", chunks.len() as u64)
+            .with_digest("model", model_digest(model))
+            .with_digest("axis1", self.axis1.digest())
+            .with_digest("axis2", self.axis2.digest())
+            .with_digest("times", f64s_digest(&time_points))
+            .with_digest("options", options_digest(&self.options))
+            .with_field("batch", self.batch_size.to_string());
+
+        let (payloads, report) = run_journaled(checkpoint, manifest, |shard| {
+            let chunk = chunks[shard as usize];
+            let batch: Vec<Parameterization> = chunk
+                .iter()
+                .map(|&(i, j)| parameterize(self.axis1.values()[i], self.axis2.values()[j]))
+                .collect();
+            let job = match SimulationJob::builder(model)
+                .time_points(time_points.clone())
+                .parameterizations(batch)
+                .options(self.options.clone())
+                .build()
+            {
+                Ok(job) => job,
+                Err(e @ SimError::InvalidJob { .. }) => {
+                    return Ok(MetricShard::invalid(e.to_string()).encode());
+                }
+                Err(e) => return Err(e.into()),
+            };
+            let result = engine.run(&job)?;
+            let values: Vec<f64> = result
+                .outcomes
+                .iter()
+                .map(|o| match &o.solution {
+                    Ok(sol) => metric(sol),
+                    Err(_) => self.failed.grid_value(),
+                })
+                .collect();
+            Ok(MetricShard::ok(values, result.timing.simulated_total_ns, job.batch_size() as u64)
+                .encode())
+        })?;
+
+        let mut values = vec![vec![f64::NAN; self.axis2.len()]; self.axis1.len()];
+        let mut simulated_ns = 0.0;
+        let mut simulations = 0usize;
+        for (chunk, payload) in chunks.iter().zip(&payloads) {
+            let shard = MetricShard::decode(payload)?;
+            if shard.invalid.is_some() {
+                for &(i, j) in *chunk {
+                    values[i][j] = self.failed.grid_value();
+                }
+            } else {
+                for (&(i, j), &v) in chunk.iter().zip(&shard.values) {
+                    values[i][j] = v;
+                }
+            }
+            simulated_ns += shard.simulated_ns;
+            simulations += shard.simulations as usize;
+        }
+        Ok((
+            Psa2dResult {
+                axis1: self.axis1.clone(),
+                axis2: self.axis2.clone(),
+                values,
+                simulations,
+                simulated_ns,
+                host_wall: start.elapsed(),
+            },
+            report,
+        ))
+    }
 }
 
 /// A one-dimensional sweep: each axis value becomes one batch member,
@@ -314,6 +438,32 @@ mod tests {
     #[should_panic(expected = "at least two points")]
     fn single_point_axis_rejected() {
         let _ = Axis::linear("x", 0.0, 1.0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "axis bounds must be finite")]
+    fn nan_linear_bound_rejected() {
+        let _ = Axis::linear("x", f64::NAN, 1.0, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "axis bounds must be finite")]
+    fn infinite_linear_bound_rejected() {
+        let _ = Axis::linear("x", 0.0, f64::INFINITY, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "axis bounds must be finite")]
+    fn non_finite_log_bound_rejected() {
+        let _ = Axis::logarithmic("k", f64::NAN, 1.0, 3);
+    }
+
+    #[test]
+    fn axis_digest_is_identity_sensitive() {
+        let a = Axis::linear("x", 0.0, 1.0, 5);
+        assert_eq!(a.digest(), Axis::linear("x", 0.0, 1.0, 5).digest());
+        assert_ne!(a.digest(), Axis::linear("y", 0.0, 1.0, 5).digest(), "name matters");
+        assert_ne!(a.digest(), Axis::linear("x", 0.0, 1.0, 6).digest(), "grid matters");
     }
 
     #[test]

@@ -1,0 +1,424 @@
+//! Crash-resume exactness for durable campaigns: a campaign interrupted at
+//! an arbitrary point (shard boundary or mid-shard) and resumed must
+//! reproduce the uninterrupted run's grid, counts, and billed simulated
+//! time byte for byte — across worker-thread counts and lane widths — and
+//! a torn journal tail must be detected, truncated, and re-executed.
+
+use paraspace_analysis::campaign::{
+    evaluate_points_durable, CampaignError, Checkpoint, MetricShard,
+};
+use paraspace_analysis::fitness::FailedMemberPolicy;
+use paraspace_analysis::pe::{estimate, estimate_durable, EstimationProblem};
+use paraspace_analysis::psa::{Axis, Psa2d, Psa2dResult};
+use paraspace_analysis::pso::PsoConfig;
+use paraspace_core::{CancelToken, CpuEngine, CpuSolverKind, FineEngine, SimulationJob, Simulator};
+use paraspace_rbm::{Parameterization, Reaction, ReactionBasedModel};
+use paraspace_solvers::SolverOptions;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("paraspace_durab_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn model() -> ReactionBasedModel {
+    let mut m = ReactionBasedModel::new();
+    let a = m.add_species("A", 1.0);
+    let b = m.add_species("B", 0.2);
+    m.add_reaction(Reaction::mass_action(&[(a, 1)], &[(b, 1)], 0.8)).unwrap();
+    m.add_reaction(Reaction::mass_action(&[(b, 1)], &[(a, 1)], 0.3)).unwrap();
+    m
+}
+
+fn sweep() -> Psa2d {
+    Psa2d::new(Axis::linear("u", 0.5, 2.0, 4), Axis::linear("v", 0.5, 1.5, 4)).batch_size(3)
+}
+
+fn run_sweep_durable(
+    engine: &dyn Simulator,
+    checkpoint: &Checkpoint,
+) -> Result<Psa2dResult, CampaignError> {
+    let m = model();
+    sweep()
+        .run_durable(
+            &m,
+            |u, v| Parameterization::new().with_rate_constants(vec![u * v, 0.3]),
+            vec![0.5, 1.0],
+            engine,
+            |sol| sol.state_at(1)[0],
+            checkpoint,
+        )
+        .map(|(r, _)| r)
+}
+
+fn assert_bitwise_equal(a: &Psa2dResult, b: &Psa2dResult, tag: &str) {
+    assert_eq!(a.simulations, b.simulations, "{tag}: simulation counts");
+    assert_eq!(
+        a.simulated_ns.to_bits(),
+        b.simulated_ns.to_bits(),
+        "{tag}: billed simulated time must be bit-identical"
+    );
+    for (ra, rb) in a.values.iter().zip(&b.values) {
+        for (x, y) in ra.iter().zip(rb) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{tag}: grid value must be bit-identical");
+        }
+    }
+}
+
+/// Where the interruption lands relative to a shard.
+#[derive(Clone, Copy)]
+enum Trip {
+    /// Token trips after a shard's engine run, inside the metric closure:
+    /// the shard still commits and the next boundary check interrupts.
+    ShardBoundary,
+    /// Token trips while the shard's batch is being assembled, before its
+    /// engine run: the engine (sharing the token) returns
+    /// `SimError::Cancelled` mid-shard and the partial shard is discarded.
+    MidShard,
+}
+
+/// Interrupt a durable sweep, resume it, and compare with the
+/// uninterrupted run — for one engine configuration and trip point.
+fn kill_resume_case(
+    engine_factory: &dyn Fn(CancelToken) -> Box<dyn Simulator>,
+    trip: Trip,
+    tag: &str,
+) {
+    // Uninterrupted baseline (its own checkpoint dir).
+    let base_dir = temp_dir(&format!("{tag}_base"));
+    let baseline =
+        run_sweep_durable(engine_factory(CancelToken::new()).as_ref(), &Checkpoint::new(&base_dir))
+            .unwrap();
+
+    let dir = temp_dir(tag);
+    let cancel = CancelToken::new();
+    let cp = Checkpoint::new(&dir).with_cancel(cancel.clone());
+    let m = model();
+    let built = AtomicUsize::new(0);
+    let measured = AtomicUsize::new(0);
+    let err = sweep()
+        .run_durable(
+            &m,
+            |u, v| {
+                if matches!(trip, Trip::MidShard) && built.fetch_add(1, Ordering::Relaxed) == 4 {
+                    cancel.cancel();
+                }
+                Parameterization::new().with_rate_constants(vec![u * v, 0.3])
+            },
+            vec![0.5, 1.0],
+            engine_factory(cancel.clone()).as_ref(),
+            |sol| {
+                if matches!(trip, Trip::ShardBoundary)
+                    && measured.fetch_add(1, Ordering::Relaxed) == 4
+                {
+                    cancel.cancel();
+                }
+                sol.state_at(1)[0]
+            },
+            &cp,
+        )
+        .unwrap_err();
+    match err {
+        CampaignError::Interrupted { completed, shards } => {
+            assert!(completed >= 1 && completed < shards, "{tag}: partial progress expected");
+        }
+        other => panic!("{tag}: expected interruption, got {other}"),
+    }
+
+    // Resume with a fresh token in the same directory.
+    let resumed =
+        run_sweep_durable(engine_factory(CancelToken::new()).as_ref(), &Checkpoint::new(&dir))
+            .unwrap();
+    assert_bitwise_equal(&baseline, &resumed, tag);
+
+    std::fs::remove_dir_all(&base_dir).ok();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn kill_and_resume_is_exact_across_threads_and_widths() {
+    for &threads in &[1usize, 8] {
+        for (trip, trip_tag) in [(Trip::ShardBoundary, "edge"), (Trip::MidShard, "mid")] {
+            let tag = format!("cpu_t{threads}_{trip_tag}");
+            kill_resume_case(
+                &move |c| {
+                    Box::new(
+                        CpuEngine::new(CpuSolverKind::Lsoda).with_threads(threads).with_cancel(c),
+                    )
+                },
+                trip,
+                &tag,
+            );
+        }
+    }
+    for &width in &[2usize, 8] {
+        for (trip, trip_tag) in [(Trip::ShardBoundary, "edge"), (Trip::MidShard, "mid")] {
+            let tag = format!("fine_w{width}_{trip_tag}");
+            kill_resume_case(
+                &move |c| Box::new(FineEngine::new().with_lane_width(width).with_cancel(c)),
+                trip,
+                &tag,
+            );
+        }
+    }
+}
+
+#[test]
+fn results_agree_across_host_thread_counts() {
+    // The same campaign executed at different host thread counts produces
+    // bit-identical grids — host parallelism is untracked in the manifest
+    // world precisely because it cannot affect the output bytes.
+    let dir1 = temp_dir("agree_t1");
+    let dir8 = temp_dir("agree_t8");
+    let r1 = run_sweep_durable(
+        &FineEngine::new().with_lane_width(4).with_threads(1),
+        &Checkpoint::new(&dir1),
+    )
+    .unwrap();
+    let r8 = run_sweep_durable(
+        &FineEngine::new().with_lane_width(4).with_threads(8),
+        &Checkpoint::new(&dir8),
+    )
+    .unwrap();
+    assert_bitwise_equal(&r1, &r8, "threads 1 vs 8");
+    std::fs::remove_dir_all(&dir1).ok();
+    std::fs::remove_dir_all(&dir8).ok();
+}
+
+#[test]
+fn torn_journal_tail_is_truncated_and_reexecuted() {
+    let dir = temp_dir("torn");
+    let engine = CpuEngine::new(CpuSolverKind::Lsoda);
+    let baseline = run_sweep_durable(&engine, &Checkpoint::new(&dir)).unwrap();
+
+    // Tear the last record: chop 7 bytes off the log, as a crash mid-write
+    // would.
+    let log = dir.join("shards.log");
+    let len = std::fs::metadata(&log).unwrap().len();
+    let f = std::fs::OpenOptions::new().write(true).open(&log).unwrap();
+    f.set_len(len - 7).unwrap();
+    drop(f);
+
+    let resumed = run_sweep_durable(&engine, &Checkpoint::new(&dir)).unwrap();
+    assert_bitwise_equal(&baseline, &resumed, "torn tail");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn world_change_refuses_checkpoint() {
+    let dir = temp_dir("refuse");
+    let engine = CpuEngine::new(CpuSolverKind::Lsoda);
+    run_sweep_durable(&engine, &Checkpoint::new(&dir).with_world("engine", "lsoda-cpu")).unwrap();
+    let err = run_sweep_durable(&engine, &Checkpoint::new(&dir).with_world("engine", "fine"))
+        .unwrap_err();
+    assert!(
+        matches!(err, CampaignError::Journal(_)),
+        "mismatched world must refuse resume, got {err}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn invalid_shard_is_journaled_not_fatal() {
+    // Poison one grid point with a NaN rate constant: its whole shard is
+    // journaled as an invalid outcome, the campaign completes, and the
+    // affected cells take the failed-member value.
+    let dir = temp_dir("invalid");
+    let m = model();
+    let (result, report) =
+        Psa2d::new(Axis::linear("u", 0.5, 2.0, 2), Axis::linear("v", 0.5, 1.5, 2))
+            .batch_size(2)
+            .failed_members(FailedMemberPolicy::Penalize(-7.0))
+            .run_durable(
+                &m,
+                |u, v| {
+                    let k = if u > 1.9 && v > 1.4 { f64::NAN } else { u * v };
+                    Parameterization::new().with_rate_constants(vec![k, 0.3])
+                },
+                vec![1.0],
+                &CpuEngine::new(CpuSolverKind::Lsoda),
+                |sol| sol.state_at(0)[0],
+                &Checkpoint::new(&dir),
+            )
+            .unwrap();
+    assert_eq!(report.executed, 2);
+    // Shard 1 = grid points (1,0), (1,1) — the poisoned shard.
+    assert_eq!(result.value(1, 0), -7.0);
+    assert_eq!(result.value(1, 1), -7.0);
+    assert!(result.value(0, 0).is_finite() && result.value(0, 0) != -7.0);
+
+    // The journal preserves the validation message for post-mortems: scan
+    // the raw log records (shard u64, len u32, payload, checksum u64) and
+    // decode each payload as a MetricShard.
+    let bytes = std::fs::read(dir.join("shards.log")).unwrap();
+    let mut invalid_seen = false;
+    let mut pos = 0usize;
+    while pos + 12 <= bytes.len() {
+        let len = u32::from_le_bytes(bytes[pos + 8..pos + 12].try_into().unwrap()) as usize;
+        let payload = &bytes[pos + 12..pos + 12 + len];
+        if let Ok(shard) = MetricShard::decode(payload) {
+            invalid_seen |= shard.invalid.is_some();
+        }
+        pos += 12 + len + 8;
+    }
+    assert!(invalid_seen, "validation error must be preserved in the journal");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sobol_evaluation_resumes_exactly() {
+    let m = model();
+    let points: Vec<Vec<f64>> = (0..10).map(|i| vec![0.5 + 0.1 * i as f64]).collect();
+    let opts = SolverOptions::default();
+    let engine = CpuEngine::new(CpuSolverKind::Lsoda);
+    let eval = |cp: &Checkpoint| {
+        evaluate_points_durable(
+            "sobol",
+            &m,
+            &points,
+            |p| Parameterization::new().with_rate_constants(vec![p[0], 0.3]),
+            &[1.0],
+            &opts,
+            &engine,
+            |sol| sol.state_at(0)[0],
+            4,
+            cp,
+        )
+    };
+    let base_dir = temp_dir("sobol_base");
+    let baseline = eval(&Checkpoint::new(&base_dir)).unwrap();
+    assert_eq!(baseline.outputs.len(), 10);
+    assert_eq!(baseline.simulations, 10);
+
+    // Interrupt after the first shard commits.
+    let dir = temp_dir("sobol_kill");
+    let cancel = CancelToken::new();
+    let counted = AtomicUsize::new(0);
+    let err = evaluate_points_durable(
+        "sobol",
+        &m,
+        &points,
+        |p| {
+            if counted.fetch_add(1, Ordering::Relaxed) == 5 {
+                cancel.cancel();
+            }
+            Parameterization::new().with_rate_constants(vec![p[0], 0.3])
+        },
+        &[1.0],
+        &opts,
+        &engine,
+        |sol| sol.state_at(0)[0],
+        4,
+        &Checkpoint::new(&dir).with_cancel(cancel.clone()),
+    )
+    .unwrap_err();
+    assert!(matches!(err, CampaignError::Interrupted { .. }));
+
+    let resumed = eval(&Checkpoint::new(&dir)).unwrap();
+    assert!(resumed.report.resumed);
+    assert!(resumed.report.recovered >= 1);
+    for (a, b) in baseline.outputs.iter().zip(&resumed.outputs) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+    assert_eq!(baseline.simulated_ns.to_bits(), resumed.simulated_ns.to_bits());
+    std::fs::remove_dir_all(&base_dir).ok();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn estimation_resumes_mid_swarm_exactly() {
+    let truth = {
+        let mut m = ReactionBasedModel::new();
+        let a = m.add_species("A", 1.0);
+        m.add_reaction(Reaction::mass_action(&[(a, 1)], &[], 1.7)).unwrap();
+        m
+    };
+    let times = vec![0.5, 1.0, 2.0];
+    let engine = CpuEngine::new(CpuSolverKind::Lsoda);
+    let target = {
+        let job =
+            SimulationJob::builder(&truth).time_points(times.clone()).replicate(1).build().unwrap();
+        engine.run(&job).unwrap().outcomes.remove(0).solution.unwrap()
+    };
+    let problem = EstimationProblem {
+        model: &truth,
+        unknown: vec![0],
+        log_bounds: vec![(-1.0, 1.0)],
+        observed: vec![0],
+        target,
+        time_points: times,
+        options: SolverOptions::default(),
+        failed_members: FailedMemberPolicy::default(),
+    };
+    let cfg = PsoConfig { iterations: 10, swarm_size: Some(8), seed: 9, ..Default::default() };
+
+    // Reference: the plain (non-durable) estimator.
+    let plain = estimate(&problem, &engine, &cfg);
+
+    // Uninterrupted durable run matches the plain run bitwise.
+    let base_dir = temp_dir("pe_base");
+    let (durable, report) =
+        estimate_durable(&problem, &engine, &cfg, &Checkpoint::new(&base_dir)).unwrap();
+    assert!(!report.resumed);
+    assert_eq!(report.executed, 10);
+    assert_eq!(plain.optimization, durable.optimization, "identical swarm trajectory");
+    assert_eq!(plain.simulated_ns.to_bits(), durable.simulated_ns.to_bits());
+    assert_eq!(plain.rate_constants, durable.rate_constants);
+
+    // Interrupt mid-swarm (after generation 3 commits), then resume. The
+    // tripping wrapper counts engine runs — one per PSO generation — and
+    // trips the checkpoint token after the fourth.
+    struct TripAfter<'e> {
+        inner: &'e dyn Simulator,
+        cancel: CancelToken,
+        runs: AtomicUsize,
+        after: usize,
+    }
+    impl Simulator for TripAfter<'_> {
+        fn name(&self) -> &'static str {
+            self.inner.name()
+        }
+        fn run(
+            &self,
+            job: &SimulationJob,
+        ) -> Result<paraspace_core::BatchResult, paraspace_core::SimError> {
+            let r = self.inner.run(job)?;
+            if self.runs.fetch_add(1, Ordering::Relaxed) + 1 == self.after {
+                self.cancel.cancel();
+            }
+            Ok(r)
+        }
+    }
+    let dir = temp_dir("pe_kill");
+    let cancel = CancelToken::new();
+    let tripping =
+        TripAfter { inner: &engine, cancel: cancel.clone(), runs: AtomicUsize::new(0), after: 4 };
+    let err = estimate_durable(
+        &problem,
+        &tripping,
+        &cfg,
+        &Checkpoint::new(&dir).with_cancel(cancel.clone()),
+    )
+    .unwrap_err();
+    match err {
+        CampaignError::Interrupted { completed, shards } => {
+            assert_eq!(completed, 4);
+            assert_eq!(shards, 10);
+        }
+        other => panic!("expected Interrupted, got {other}"),
+    }
+
+    let (resumed, report) =
+        estimate_durable(&problem, &engine, &cfg, &Checkpoint::new(&dir)).unwrap();
+    assert!(report.resumed);
+    assert_eq!(report.recovered, 4);
+    assert_eq!(report.executed, 6);
+    assert_eq!(plain.optimization, resumed.optimization, "resume must replay exactly");
+    assert_eq!(plain.simulated_ns.to_bits(), resumed.simulated_ns.to_bits());
+    assert_eq!(plain.rate_constants, resumed.rate_constants);
+
+    std::fs::remove_dir_all(&base_dir).ok();
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,191 @@
+//! Journaling overhead of durable campaigns: the same 2-D sweep executed
+//! plain (`Psa2d::run`) and durably (`Psa2d::run_durable` with a fresh
+//! checkpoint directory per repetition, so every shard is journaled) across
+//! shard granularities. Writes the machine-readable comparison to
+//! `results/BENCH_durability.json` (relative to the workspace root).
+//!
+//! The durability layer's budget is < 2% wall overhead at shard
+//! granularities of at least one lane group (8 members); the JSON records
+//! the measured overhead per granularity so regressions are visible.
+//!
+//! Exactness is asserted here too: the durable run must reproduce the plain
+//! run's grid and billed simulated time bitwise, so the sweep doubles as an
+//! end-to-end check that journaling is observation-free.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paraspace_analysis::campaign::Checkpoint;
+use paraspace_analysis::psa::{Axis, Psa2d, Psa2dResult};
+use paraspace_core::FineEngine;
+use paraspace_rbm::Parameterization;
+use std::path::Path;
+use std::time::Instant;
+
+const GRID: (usize, usize) = (16, 8); // 128 grid points
+
+struct Row {
+    shard_size: usize,
+    reps: usize,
+    plain_best_ns: f64,
+    durable_best_ns: f64,
+    overhead_pct: f64,
+}
+
+fn sweep_pair(shard_size: usize) -> (Psa2d, FineEngine) {
+    let sweep =
+        Psa2d::new(Axis::linear("u", 0.5, 2.0, GRID.0), Axis::logarithmic("v", 0.1, 10.0, GRID.1))
+            .batch_size(shard_size);
+    (sweep, FineEngine::new().with_lane_width(8))
+}
+
+fn run_plain(sweep: &Psa2d, engine: &FineEngine) -> Psa2dResult {
+    let model = paraspace_models::autophagy::model(0.0, 1e-7);
+    sweep
+        .run(
+            &model,
+            |u, v| {
+                Parameterization::new().with_initial_state(
+                    model.initial_state().iter().map(|x| x * u * v.clamp(0.1, 10.0)).collect(),
+                )
+            },
+            vec![1.0, 2.0],
+            engine,
+            |sol| sol.state_at(1)[0],
+        )
+        .expect("plain sweep")
+}
+
+fn run_durable(sweep: &Psa2d, engine: &FineEngine, dir: &Path) -> Psa2dResult {
+    let model = paraspace_models::autophagy::model(0.0, 1e-7);
+    sweep
+        .run_durable(
+            &model,
+            |u, v| {
+                Parameterization::new().with_initial_state(
+                    model.initial_state().iter().map(|x| x * u * v.clamp(0.1, 10.0)).collect(),
+                )
+            },
+            vec![1.0, 2.0],
+            engine,
+            |sol| sol.state_at(1)[0],
+            &Checkpoint::new(dir),
+        )
+        .expect("durable sweep")
+        .0
+}
+
+fn overhead(c: &mut Criterion) {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let (shard_sizes, reps): (Vec<usize>, usize) =
+        if test_mode { (vec![8], 1) } else { (vec![8, 32, 128], 5) };
+
+    let scratch = std::env::temp_dir().join(format!("paraspace_bench_dur_{}", std::process::id()));
+    std::fs::remove_dir_all(&scratch).ok();
+
+    let mut rows: Vec<Row> = Vec::new();
+    for &shard_size in &shard_sizes {
+        let (sweep, engine) = sweep_pair(shard_size);
+        // Warm-up + exactness: durable must reproduce plain bitwise.
+        let reference = run_plain(&sweep, &engine);
+        let ckpt = scratch.join(format!("warm_{shard_size}"));
+        let durable = run_durable(&sweep, &engine, &ckpt);
+        assert_eq!(
+            reference.simulated_ns.to_bits(),
+            durable.simulated_ns.to_bits(),
+            "journaling must not perturb billed simulated time"
+        );
+        for (ra, rb) in reference.values.iter().zip(&durable.values) {
+            for (a, b) in ra.iter().zip(rb) {
+                assert_eq!(a.to_bits(), b.to_bits(), "journaling must not perturb the grid");
+            }
+        }
+
+        let mut plain_best = f64::INFINITY;
+        let mut durable_best = f64::INFINITY;
+        for rep in 0..reps {
+            let t0 = Instant::now();
+            let r = run_plain(&sweep, &engine);
+            plain_best = plain_best.min(t0.elapsed().as_nanos() as f64);
+            assert_eq!(r.simulations, GRID.0 * GRID.1);
+
+            // A fresh checkpoint directory per repetition: every shard is
+            // journaled (no replays), so this measures full write-ahead cost.
+            let dir = scratch.join(format!("rep_{shard_size}_{rep}"));
+            let t0 = Instant::now();
+            let r = run_durable(&sweep, &engine, &dir);
+            durable_best = durable_best.min(t0.elapsed().as_nanos() as f64);
+            assert_eq!(r.simulations, GRID.0 * GRID.1);
+        }
+        rows.push(Row {
+            shard_size,
+            reps,
+            plain_best_ns: plain_best,
+            durable_best_ns: durable_best,
+            overhead_pct: (durable_best - plain_best) / plain_best * 100.0,
+        });
+    }
+    std::fs::remove_dir_all(&scratch).ok();
+
+    if !test_mode {
+        write_json(&rows);
+    }
+
+    // Surface one representative granularity through the criterion reporter.
+    let mid = shard_sizes[shard_sizes.len() / 2];
+    let (sweep, engine) = sweep_pair(mid);
+    let mut group = c.benchmark_group(format!("durability_shard{mid}"));
+    group.bench_function("plain", |b| b.iter(|| run_plain(&sweep, &engine)));
+    let mut n = 0usize;
+    group.bench_with_input(BenchmarkId::new("durable", mid), &mid, |b, _| {
+        b.iter(|| {
+            n += 1;
+            let dir = std::env::temp_dir()
+                .join(format!("paraspace_bench_dur_crit_{}_{n}", std::process::id()));
+            let r = run_durable(&sweep, &engine, &dir);
+            std::fs::remove_dir_all(&dir).ok();
+            r
+        })
+    });
+    group.finish();
+}
+
+fn write_json(rows: &[Row]) {
+    let mut body = String::from("{\n");
+    body.push_str("  \"bench\": \"durability\",\n");
+    body.push_str("  \"engine\": \"fine\",\n");
+    body.push_str(&format!(
+        "  \"grid\": {{\"axis1\": {}, \"axis2\": {}, \"time_points\": 2}},\n",
+        GRID.0, GRID.1
+    ));
+    body.push_str(
+        "  \"note\": \"wall time of the same 2-D sweep plain vs. write-ahead journaled \
+         (fresh checkpoint per rep, all shards executed and committed); budget is < 2% \
+         overhead at shard granularity >= one lane group (8 members)\",\n",
+    );
+    body.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"shard_size\": {}, \"reps\": {}, \"plain_best_ns\": {:.0}, \
+             \"durable_best_ns\": {:.0}, \"overhead_pct\": {:.3}}}{}\n",
+            r.shard_size,
+            r.reps,
+            r.plain_best_ns,
+            r.durable_best_ns,
+            r.overhead_pct,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    body.push_str("  ]\n}\n");
+
+    let out_dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    std::fs::create_dir_all(&out_dir).expect("create results dir");
+    let out = out_dir.join("BENCH_durability.json");
+    std::fs::write(&out, body).expect("write BENCH_durability.json");
+    println!("wrote {}", out.display());
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = overhead
+}
+criterion_main!(benches);

@@ -12,16 +12,22 @@
 //! * `recommend` — print the published engine recommendation for a
 //!   (species, reactions, simulations) triple.
 
-use paraspace_core::{
-    recommend_engine, CoarseEngine, CpuEngine, CpuSolverKind, FineCoarseEngine, FineEngine,
-    RecoveryPolicy, SimulationJob, Simulator,
+use paraspace_analysis::campaign::{
+    f64s_digest, model_digest, options_digest, run_journaled, CampaignError, Checkpoint,
 };
+pub use paraspace_core::CancelToken;
+use paraspace_core::{
+    recommend_engine, taxonomy, CoarseEngine, CpuEngine, CpuSolverKind, FineCoarseEngine,
+    FineEngine, RecoveryPolicy, SimOutcome, SimulationJob, Simulator,
+};
+use paraspace_journal::codec::{Dec, Enc};
+use paraspace_journal::{CampaignManifest, JournalError, MANIFEST_FILE};
 use paraspace_rbm::{biosimware, sbgen::SbGen, sbml, Parameterization};
 use paraspace_solvers::SolverOptions;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -46,6 +52,15 @@ pub enum Command {
         max_retries: usize,
         /// Per-member attempted-step budget (deterministic deadline).
         member_budget: Option<usize>,
+        /// Checkpoint directory for durable (killable/resumable) execution.
+        checkpoint_dir: Option<PathBuf>,
+        /// Members per journaled shard on the durable path.
+        shard_size: usize,
+    },
+    /// Resume an interrupted durable `simulate` from its checkpoint.
+    Resume {
+        /// The `--checkpoint-dir` of the interrupted run.
+        checkpoint_dir: PathBuf,
     },
     /// Convert between formats.
     Convert {
@@ -108,6 +123,18 @@ impl From<std::io::Error> for CliError {
     }
 }
 
+impl From<JournalError> for CliError {
+    fn from(e: JournalError) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+impl From<CampaignError> for CliError {
+    fn from(e: CampaignError) -> Self {
+        CliError(e.to_string())
+    }
+}
+
 /// The usage text.
 pub const USAGE: &str = "\
 paraspace-cli — accelerated analysis of biological parameter spaces
@@ -116,6 +143,8 @@ USAGE:
   paraspace-cli simulate <model_dir> [--engine NAME] [--out DIR] [--batch N]
                            [--rtol X] [--atol X] [--threads N]
                            [--max-retries N] [--member-budget STEPS]
+                           [--checkpoint-dir DIR] [--shard-size N]
+  paraspace-cli resume <checkpoint_dir>
   paraspace-cli convert <from> <to>          (BioSimWare dir ↔ .xml)
   paraspace-cli generate --species N --reactions M [--seed S] <out_dir>
   paraspace-cli recommend --species N --reactions M --sims S
@@ -127,10 +156,19 @@ ENGINES: fine-coarse (default) | coarse | fine | lsoda | vode
 core). Results are bitwise identical at any thread count.
 
 Failed members never abort a batch: each failure is contained, itemized in
-the health summary, and written as a .err file. --max-retries N re-runs a
-failed member up to N times with 10x-relaxed tolerances (default 0 = off);
+the health summary, and written as a .err file (with the member's full
+recovery log and failure taxonomy). --max-retries N re-runs a failed member
+up to N times with 10x-relaxed tolerances (default 0 = off);
 --member-budget caps the attempted integration steps any one member may
-spend across all retries, so a pathological member cannot stall the batch.";
+spend across all retries, so a pathological member cannot stall the batch.
+
+--checkpoint-dir makes the run durable: the batch decomposes into numbered
+shards (--shard-size members each, default 64), every completed shard is
+committed to a write-ahead journal in DIR, Ctrl-C drains in-flight work and
+checkpoints, and `paraspace-cli resume DIR` continues from the last
+committed shard. Output files are written only once all shards commit and
+are byte-identical to an uninterrupted run. Resume refuses a checkpoint
+whose model, tolerances, engine, or thread configuration changed.";
 
 fn parse_flag<T: std::str::FromStr>(
     args: &[String],
@@ -164,6 +202,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let mut threads = 1usize;
             let mut max_retries = 0usize;
             let mut member_budget = None;
+            let mut checkpoint_dir = None;
+            let mut shard_size = DEFAULT_SHARD_SIZE;
             let mut i = 1;
             while i < args.len() {
                 match args[i].as_str() {
@@ -184,6 +224,14 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     "--member-budget" => {
                         member_budget = Some(parse_flag(args, &mut i, "--member-budget")?)
                     }
+                    "--checkpoint-dir" => {
+                        checkpoint_dir =
+                            Some(PathBuf::from(args.get(i + 1).cloned().ok_or_else(|| {
+                                CliError("--checkpoint-dir needs a value".into())
+                            })?))
+                            .inspect(|_| i += 1)
+                    }
+                    "--shard-size" => shard_size = parse_flag(args, &mut i, "--shard-size")?,
                     other if !other.starts_with("--") && model_dir.is_none() => {
                         model_dir = Some(PathBuf::from(other));
                     }
@@ -202,7 +250,15 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 threads,
                 max_retries,
                 member_budget,
+                checkpoint_dir,
+                shard_size,
             })
+        }
+        "resume" => {
+            if args.len() != 2 {
+                return Err(CliError("resume needs exactly <checkpoint_dir>".into()));
+            }
+            Ok(Command::Resume { checkpoint_dir: PathBuf::from(&args[1]) })
         }
         "convert" => {
             if args.len() != 3 {
@@ -262,33 +318,134 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
     }
 }
 
+/// Members per journaled shard unless `--shard-size` overrides it.
+pub const DEFAULT_SHARD_SIZE: usize = 64;
+
 fn engine_by_name(
     name: &str,
     threads: usize,
     recovery: RecoveryPolicy,
+    cancel: &CancelToken,
 ) -> Result<Box<dyn Simulator>, CliError> {
+    let cancel = cancel.clone();
     Ok(match name {
-        "fine-coarse" => {
-            Box::new(FineCoarseEngine::new().with_threads(threads).with_recovery(recovery))
-        }
-        "coarse" => Box::new(CoarseEngine::new().with_threads(threads).with_recovery(recovery)),
-        "fine" => Box::new(FineEngine::new().with_threads(threads).with_recovery(recovery)),
+        "fine-coarse" => Box::new(
+            FineCoarseEngine::new()
+                .with_threads(threads)
+                .with_recovery(recovery)
+                .with_cancel(cancel),
+        ),
+        "coarse" => Box::new(
+            CoarseEngine::new().with_threads(threads).with_recovery(recovery).with_cancel(cancel),
+        ),
+        "fine" => Box::new(
+            FineEngine::new().with_threads(threads).with_recovery(recovery).with_cancel(cancel),
+        ),
         "lsoda" => Box::new(
-            CpuEngine::new(CpuSolverKind::Lsoda).with_threads(threads).with_recovery(recovery),
+            CpuEngine::new(CpuSolverKind::Lsoda)
+                .with_threads(threads)
+                .with_recovery(recovery)
+                .with_cancel(cancel),
         ),
         "vode" => Box::new(
-            CpuEngine::new(CpuSolverKind::Vode).with_threads(threads).with_recovery(recovery),
+            CpuEngine::new(CpuSolverKind::Vode)
+                .with_threads(threads)
+                .with_recovery(recovery)
+                .with_cancel(cancel),
         ),
         other => return Err(CliError(format!("unknown engine {other:?}"))),
     })
 }
 
+/// The enriched `.err` report for a failed member: the error itself plus the
+/// full recovery log (attempt ladder, reroutes, tolerance relaxations) and
+/// the failure-taxonomy label the batch health summary counts it under.
+fn error_report(o: &SimOutcome) -> String {
+    let e = o.solution.as_ref().expect_err("error_report is only called for failed members");
+    format!(
+        "error: {e}\ntaxonomy: {}\nsolver: {}\nattempts: {}\nrelaxations: {}\nrerouted: {}\nrecovered: {}\npanicked: {}\n",
+        taxonomy(e),
+        o.solver,
+        o.log.attempts,
+        o.log.relaxations,
+        o.log.rerouted,
+        o.log.recovered,
+        o.log.panicked,
+    )
+}
+
+/// One member's journaled artifact: the exact bytes its output file will
+/// hold (`body`), plus the taxonomy label for failed members (empty for
+/// successes) so a resumed run reprints the same failure summary.
+struct MemberRecord {
+    ok: bool,
+    label: String,
+    body: String,
+}
+
+/// Per-shard journal payload: the member artifacts plus the shard's billed
+/// simulated-time split, so replayed shards bill identically.
+struct ShardOutcome {
+    members: Vec<MemberRecord>,
+    total_ns: f64,
+    integration_ns: f64,
+    io_ns: f64,
+}
+
+impl ShardOutcome {
+    fn encode(&self) -> Vec<u8> {
+        let mut enc = Enc::new();
+        enc.put_u32(self.members.len() as u32);
+        for m in &self.members {
+            enc.put_u32(u32::from(m.ok)).put_str(&m.label).put_str(&m.body);
+        }
+        enc.put_f64(self.total_ns).put_f64(self.integration_ns).put_f64(self.io_ns);
+        enc.finish()
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self, JournalError> {
+        let mut dec = Dec::new(bytes);
+        let n = dec.u32()?;
+        let mut members = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let ok = dec.u32()? != 0;
+            let label = dec.str()?.to_string();
+            let body = dec.str()?.to_string();
+            members.push(MemberRecord { ok, label, body });
+        }
+        let total_ns = dec.f64()?;
+        let integration_ns = dec.f64()?;
+        let io_ns = dec.f64()?;
+        dec.expect_exhausted()?;
+        Ok(ShardOutcome { members, total_ns, integration_ns, io_ns })
+    }
+}
+
 /// Executes a parsed command, writing human-readable progress to `out`.
+///
+/// Equivalent to [`execute_with_cancel`] with a fresh (never-tripped)
+/// cancellation token.
 ///
 /// # Errors
 ///
 /// Any I/O, parse, or engine failure, with a user-facing message.
 pub fn execute(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    execute_with_cancel(cmd, out, &CancelToken::new())
+}
+
+/// Executes a parsed command under a cancellation token (the binary wires
+/// SIGINT to it). On the durable path a tripped token drains in-flight
+/// work, checkpoints, and returns an "interrupted" error naming the resume
+/// command.
+///
+/// # Errors
+///
+/// Any I/O, parse, or engine failure, with a user-facing message.
+pub fn execute_with_cancel(
+    cmd: &Command,
+    out: &mut dyn std::io::Write,
+    cancel: &CancelToken,
+) -> Result<(), CliError> {
     match cmd {
         Command::Help => {
             writeln!(out, "{USAGE}")?;
@@ -345,6 +502,9 @@ pub fn execute(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), CliErr
             }
             Ok(())
         }
+        Command::Simulate { checkpoint_dir: Some(dir), .. } => {
+            simulate_durable(cmd, dir, out, cancel)
+        }
         Command::Simulate {
             model_dir,
             engine,
@@ -355,6 +515,7 @@ pub fn execute(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), CliErr
             threads,
             max_retries,
             member_budget,
+            ..
         } => {
             let model = biosimware::read_dir(model_dir)?;
             let time_points = biosimware::read_time_points(model_dir)
@@ -379,7 +540,7 @@ pub fn execute(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), CliErr
                 step_budget: *member_budget,
                 ..RecoveryPolicy::default()
             };
-            let engine = engine_by_name(engine, *threads, recovery)?;
+            let engine = engine_by_name(engine, *threads, recovery, cancel)?;
             let result = engine.run(&job)?;
 
             let out_path = out_dir.clone().unwrap_or_else(|| model_dir.join("out"));
@@ -392,10 +553,10 @@ pub fn execute(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), CliErr
                             job.serialize_dynamics(sol),
                         )?;
                     }
-                    Err(e) => {
+                    Err(_) => {
                         std::fs::write(
                             out_path.join(format!("dynamics_{i:05}.err")),
-                            e.to_string(),
+                            error_report(o),
                         )?;
                     }
                 }
@@ -415,7 +576,238 @@ pub fn execute(cmd: &Command, out: &mut dyn std::io::Write) -> Result<(), CliErr
             writeln!(out, "dynamics written to {}", out_path.display())?;
             Ok(())
         }
+        Command::Resume { checkpoint_dir } => {
+            let manifest = CampaignManifest::read(&checkpoint_dir.join(MANIFEST_FILE))?;
+            if manifest.kind() != "cli-simulate" {
+                return Err(CliError(format!(
+                    "checkpoint at {} is a {:?} campaign, not a CLI simulate run",
+                    checkpoint_dir.display(),
+                    manifest.kind()
+                )));
+            }
+            let field = |key: &str| {
+                manifest
+                    .field(key)
+                    .map(str::to_string)
+                    .ok_or_else(|| CliError(format!("checkpoint manifest is missing {key:?}")))
+            };
+            fn parse_field<T: std::str::FromStr>(key: &str, v: String) -> Result<T, CliError> {
+                v.parse().map_err(|_| CliError(format!("malformed manifest field {key:?}: {v:?}")))
+            }
+            let out_dir = field("out_dir")?;
+            let member_budget = match field("member_budget")?.as_str() {
+                "none" => None,
+                v => Some(parse_field("member_budget", v.to_string())?),
+            };
+            let cmd = Command::Simulate {
+                model_dir: PathBuf::from(field("model_dir")?),
+                engine: field("world.engine")?,
+                out_dir: if out_dir.is_empty() { None } else { Some(PathBuf::from(out_dir)) },
+                batch: parse_field("batch", field("batch")?)?,
+                rtol: parse_field("rtol", field("rtol")?)?,
+                atol: parse_field("atol", field("atol")?)?,
+                threads: parse_field("world.threads", field("world.threads")?)?,
+                max_retries: parse_field("max_retries", field("max_retries")?)?,
+                member_budget,
+                checkpoint_dir: Some(checkpoint_dir.clone()),
+                shard_size: parse_field("shard_size", field("shard_size")?)?,
+            };
+            execute_with_cancel(&cmd, out, cancel)
+        }
     }
+}
+
+/// The durable `simulate` path: decompose the batch into numbered shards,
+/// journal each completed shard's artifacts (output-file bytes and billed
+/// time) in the checkpoint directory, and write the output files only once
+/// every shard has committed — so a killed run resumes from the last
+/// committed shard and produces byte-identical artifacts.
+fn simulate_durable(
+    cmd: &Command,
+    dir: &Path,
+    out: &mut dyn std::io::Write,
+    cancel: &CancelToken,
+) -> Result<(), CliError> {
+    let Command::Simulate {
+        model_dir,
+        engine: engine_name,
+        out_dir,
+        batch,
+        rtol,
+        atol,
+        threads,
+        max_retries,
+        member_budget,
+        shard_size,
+        ..
+    } = cmd
+    else {
+        unreachable!("simulate_durable is only called for Simulate commands");
+    };
+    let shard_size = (*shard_size).max(1);
+    let model = biosimware::read_dir(model_dir)?;
+    let time_points =
+        biosimware::read_time_points(model_dir).unwrap_or_else(|_| vec![1.0, 2.0, 5.0, 10.0]);
+    let mut parameterizations = biosimware::read_parameterizations(&model, model_dir)?;
+    if parameterizations.is_empty() {
+        parameterizations = (0..*batch).map(|_| Parameterization::new()).collect();
+    }
+    let n_sims = parameterizations.len();
+    let options = SolverOptions {
+        rel_tol: *rtol,
+        abs_tol: *atol,
+        max_steps: 100_000,
+        ..SolverOptions::default()
+    };
+    let recovery = RecoveryPolicy {
+        max_relaxations: *max_retries,
+        step_budget: *member_budget,
+        ..RecoveryPolicy::default()
+    };
+    let engine = engine_by_name(engine_name, *threads, recovery, cancel)?;
+
+    let chunks: Vec<&[Parameterization]> = parameterizations.chunks(shard_size).collect();
+    let manifest = CampaignManifest::new("cli-simulate", chunks.len() as u64)
+        .with_digest("model", model_digest(&model))
+        .with_digest("times", f64s_digest(&time_points))
+        .with_digest("options", options_digest(&options))
+        .with_field("model_dir", model_dir.display().to_string())
+        .with_field(
+            "out_dir",
+            out_dir.as_ref().map(|p| p.display().to_string()).unwrap_or_default(),
+        )
+        .with_field("batch", batch.to_string())
+        .with_field("rtol", rtol.to_string())
+        .with_field("atol", atol.to_string())
+        .with_field("max_retries", max_retries.to_string())
+        .with_field("member_budget", member_budget.map_or("none".to_string(), |b| b.to_string()))
+        .with_field("shard_size", shard_size.to_string());
+    let checkpoint = Checkpoint::new(dir)
+        .with_cancel(cancel.clone())
+        .with_world("engine", engine_name.clone())
+        .with_world("threads", threads.to_string());
+
+    let journaled = run_journaled(&checkpoint, manifest, |shard| {
+        let chunk = chunks[shard as usize];
+        let job = match SimulationJob::builder(&model)
+            .time_points(time_points.clone())
+            .parameterizations(chunk.to_vec())
+            .options(options.clone())
+            .build()
+        {
+            Ok(job) => job,
+            Err(e @ paraspace_core::SimError::InvalidJob { .. }) => {
+                // A shard that fails validation is journaled as a shard of
+                // failed members instead of killing the campaign.
+                let msg = format!(
+                    "error: {e}\ntaxonomy: invalid\nsolver: -\nattempts: 0\nrelaxations: 0\nrerouted: false\nrecovered: false\npanicked: false\n"
+                );
+                let members = chunk
+                    .iter()
+                    .map(|_| MemberRecord { ok: false, label: "invalid".into(), body: msg.clone() })
+                    .collect();
+                return Ok(ShardOutcome {
+                    members,
+                    total_ns: 0.0,
+                    integration_ns: 0.0,
+                    io_ns: 0.0,
+                }
+                .encode());
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let result = engine.run(&job)?;
+        let members = result
+            .outcomes
+            .iter()
+            .map(|o| match &o.solution {
+                Ok(sol) => MemberRecord {
+                    ok: true,
+                    label: String::new(),
+                    body: job.serialize_dynamics(sol),
+                },
+                Err(e) => MemberRecord {
+                    ok: false,
+                    label: taxonomy(e).to_string(),
+                    body: error_report(o),
+                },
+            })
+            .collect();
+        Ok(ShardOutcome {
+            members,
+            total_ns: result.timing.simulated_total_ns,
+            integration_ns: result.timing.simulated_integration_ns,
+            io_ns: result.timing.simulated_io_ns,
+        }
+        .encode())
+    });
+    let (payloads, report) = match journaled {
+        Ok(r) => r,
+        Err(CampaignError::Interrupted { completed, shards }) => {
+            writeln!(
+                out,
+                "interrupted: {completed}/{shards} shards committed to {}",
+                dir.display()
+            )?;
+            return Err(CliError(format!(
+                "interrupted — resume with `paraspace-cli resume {}`",
+                dir.display()
+            )));
+        }
+        Err(e) => return Err(e.into()),
+    };
+
+    // Every shard is committed: materialize the artifacts.
+    let out_path = out_dir.clone().unwrap_or_else(|| model_dir.join("out"));
+    std::fs::create_dir_all(&out_path)?;
+    let mut ok_count = 0usize;
+    let mut total_ns = 0.0f64;
+    let mut integration_ns = 0.0f64;
+    let mut io_ns = 0.0f64;
+    let mut label_counts: std::collections::BTreeMap<String, usize> = Default::default();
+    let mut index = 0usize;
+    for payload in &payloads {
+        let shard = ShardOutcome::decode(payload)?;
+        for m in &shard.members {
+            let ext = if m.ok { "tsv" } else { "err" };
+            std::fs::write(out_path.join(format!("dynamics_{index:05}.{ext}")), &m.body)?;
+            if m.ok {
+                ok_count += 1;
+            } else {
+                *label_counts.entry(m.label.clone()).or_default() += 1;
+            }
+            index += 1;
+        }
+        total_ns += shard.total_ns;
+        integration_ns += shard.integration_ns;
+        io_ns += shard.io_ns;
+    }
+    writeln!(
+        out,
+        "{engine_name} (durable): {ok_count}/{n_sims} simulations ok; simulated {:.3} ms (integration {:.3} ms, i/o {:.3} ms)",
+        total_ns / 1e6,
+        integration_ns / 1e6,
+        io_ns / 1e6,
+    )?;
+    if !label_counts.is_empty() {
+        let parts: Vec<String> =
+            label_counts.iter().map(|(label, n)| format!("{label} x{n}")).collect();
+        writeln!(out, "failures: {}", parts.join(", "))?;
+    }
+    writeln!(
+        out,
+        "checkpoint: {} shards ({} replayed, {} executed{})",
+        report.recovered + report.executed,
+        report.recovered,
+        report.executed,
+        if report.truncated_bytes > 0 {
+            format!(", {} torn bytes truncated", report.truncated_bytes)
+        } else {
+            String::new()
+        },
+    )?;
+    writeln!(out, "dynamics written to {}", out_path.display())?;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -437,7 +829,7 @@ mod tests {
     fn parse_simulate_defaults_and_flags() {
         let cmd = parse(&argv(
             "simulate /tmp/model --engine lsoda --batch 8 --rtol 1e-4 --threads 4 \
-             --max-retries 3 --member-budget 5000",
+             --max-retries 3 --member-budget 5000 --checkpoint-dir /tmp/ckpt --shard-size 16",
         ))
         .unwrap();
         match cmd {
@@ -451,6 +843,8 @@ mod tests {
                 threads,
                 max_retries,
                 member_budget,
+                checkpoint_dir,
+                shard_size,
             } => {
                 assert_eq!(model_dir, PathBuf::from("/tmp/model"));
                 assert_eq!(engine, "lsoda");
@@ -461,16 +855,32 @@ mod tests {
                 assert_eq!(threads, 4);
                 assert_eq!(max_retries, 3);
                 assert_eq!(member_budget, Some(5000));
+                assert_eq!(checkpoint_dir, Some(PathBuf::from("/tmp/ckpt")));
+                assert_eq!(shard_size, 16);
             }
             other => panic!("wrong parse: {other:?}"),
         }
         match parse(&argv("simulate /tmp/model")).unwrap() {
-            Command::Simulate { max_retries, member_budget, .. } => {
+            Command::Simulate {
+                max_retries, member_budget, checkpoint_dir, shard_size, ..
+            } => {
                 assert_eq!(max_retries, 0, "retries default off");
                 assert_eq!(member_budget, None, "no default step budget");
+                assert_eq!(checkpoint_dir, None, "durable path is opt-in");
+                assert_eq!(shard_size, DEFAULT_SHARD_SIZE);
             }
             other => panic!("wrong parse: {other:?}"),
         }
+    }
+
+    #[test]
+    fn parse_resume() {
+        assert_eq!(
+            parse(&argv("resume /tmp/ckpt")).unwrap(),
+            Command::Resume { checkpoint_dir: PathBuf::from("/tmp/ckpt") }
+        );
+        assert!(parse(&argv("resume")).is_err());
+        assert!(parse(&argv("resume /a /b")).is_err());
     }
 
     #[test]
@@ -519,6 +929,8 @@ mod tests {
                 threads: 2,
                 max_retries: 0,
                 member_budget: None,
+                checkpoint_dir: None,
+                shard_size: DEFAULT_SHARD_SIZE,
             },
             &mut log,
         )
@@ -557,11 +969,177 @@ mod tests {
 
     #[test]
     fn unknown_engine_is_reported() {
-        let err = match engine_by_name("quantum", 1, RecoveryPolicy::default()) {
+        let err = match engine_by_name("quantum", 1, RecoveryPolicy::default(), &CancelToken::new())
+        {
             Err(e) => e,
             Ok(_) => panic!("unknown engine must be rejected"),
         };
         assert!(err.to_string().contains("quantum"));
+    }
+
+    fn simulate_cmd(model_dir: &Path, checkpoint: Option<PathBuf>, batch: usize) -> Command {
+        Command::Simulate {
+            model_dir: model_dir.to_path_buf(),
+            engine: "lsoda".into(),
+            out_dir: None,
+            batch,
+            rtol: 1e-6,
+            atol: 1e-12,
+            threads: 2,
+            max_retries: 0,
+            member_budget: None,
+            checkpoint_dir: checkpoint,
+            shard_size: 2,
+        }
+    }
+
+    fn read_outputs(out_dir: &Path) -> std::collections::BTreeMap<String, Vec<u8>> {
+        std::fs::read_dir(out_dir)
+            .unwrap()
+            .map(|e| {
+                let e = e.unwrap();
+                (e.file_name().to_string_lossy().into_owned(), std::fs::read(e.path()).unwrap())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn durable_simulate_matches_plain_and_resumes_after_interrupt() {
+        let base = std::env::temp_dir().join(format!("paraspace_cli_dur_{}", std::process::id()));
+        std::fs::remove_dir_all(&base).ok();
+        let model_a = base.join("model_a");
+        let model_b = base.join("model_b");
+        let mut log = Vec::new();
+        for m in [&model_a, &model_b] {
+            execute(
+                &Command::Generate { species: 6, reactions: 8, seed: 3, out_dir: m.clone() },
+                &mut log,
+            )
+            .unwrap();
+        }
+
+        // Plain run on model A, durable run on the identical model B: the
+        // dynamics artifacts must be byte-identical.
+        execute(&simulate_cmd(&model_a, None, 5), &mut log).unwrap();
+        let ckpt = base.join("ckpt");
+        execute(&simulate_cmd(&model_b, Some(ckpt.clone()), 5), &mut log).unwrap();
+        let plain = read_outputs(&model_a.join("out"));
+        let durable = read_outputs(&model_b.join("out"));
+        assert_eq!(plain.len(), 5);
+        assert_eq!(plain, durable, "durable artifacts must be byte-identical to plain");
+
+        // Interrupt a fresh durable run with a pre-tripped token (as SIGINT
+        // before the first shard would), then resume: identical artifacts.
+        let model_c = base.join("model_c");
+        execute(
+            &Command::Generate { species: 6, reactions: 8, seed: 3, out_dir: model_c.clone() },
+            &mut log,
+        )
+        .unwrap();
+        let ckpt_c = base.join("ckpt_c");
+        let tripped = CancelToken::new();
+        tripped.cancel();
+        let err = execute_with_cancel(
+            &simulate_cmd(&model_c, Some(ckpt_c.clone()), 5),
+            &mut log,
+            &tripped,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("resume"), "interruption names the resume command: {err}");
+        assert!(!model_c.join("out").exists(), "no artifacts before all shards commit");
+        execute(&Command::Resume { checkpoint_dir: ckpt_c.clone() }, &mut log).unwrap();
+        assert_eq!(plain, read_outputs(&model_c.join("out")));
+        let text = String::from_utf8(log).unwrap();
+        assert!(text.contains("interrupted: 0/3 shards committed"), "log: {text}");
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn durable_simulate_survives_torn_journal_tail() {
+        let base = std::env::temp_dir().join(format!("paraspace_cli_torn_{}", std::process::id()));
+        std::fs::remove_dir_all(&base).ok();
+        let model = base.join("model");
+        let ckpt = base.join("ckpt");
+        let mut log = Vec::new();
+        execute(
+            &Command::Generate { species: 6, reactions: 8, seed: 5, out_dir: model.clone() },
+            &mut log,
+        )
+        .unwrap();
+        execute(&simulate_cmd(&model, Some(ckpt.clone()), 6), &mut log).unwrap();
+        let baseline = read_outputs(&model.join("out"));
+
+        // Tear the journal tail and wipe the outputs; the re-run truncates
+        // the torn record, re-executes that shard, and reproduces the
+        // artifacts byte for byte.
+        let log_file = ckpt.join(paraspace_journal::LOG_FILE);
+        let len = std::fs::metadata(&log_file).unwrap().len();
+        std::fs::OpenOptions::new().write(true).open(&log_file).unwrap().set_len(len - 5).unwrap();
+        std::fs::remove_dir_all(model.join("out")).unwrap();
+        execute(&simulate_cmd(&model, Some(ckpt.clone()), 6), &mut log).unwrap();
+        assert_eq!(baseline, read_outputs(&model.join("out")));
+        let text = String::from_utf8(log).unwrap();
+        assert!(text.contains("torn bytes truncated"), "log: {text}");
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn resume_refuses_changed_world() {
+        let base = std::env::temp_dir().join(format!("paraspace_cli_world_{}", std::process::id()));
+        std::fs::remove_dir_all(&base).ok();
+        let model = base.join("model");
+        let ckpt = base.join("ckpt");
+        let mut log = Vec::new();
+        execute(
+            &Command::Generate { species: 5, reactions: 6, seed: 2, out_dir: model.clone() },
+            &mut log,
+        )
+        .unwrap();
+        execute(&simulate_cmd(&model, Some(ckpt.clone()), 4), &mut log).unwrap();
+
+        // Re-running the same checkpoint with a different engine must be
+        // refused — the journaled bytes belong to a different world.
+        let mut changed = simulate_cmd(&model, Some(ckpt.clone()), 4);
+        if let Command::Simulate { engine, .. } = &mut changed {
+            *engine = "fine".into();
+        }
+        let err = execute(&changed, &mut log).unwrap_err();
+        assert!(err.to_string().contains("engine"), "mismatch names the field: {err}");
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn err_files_carry_recovery_log_and_taxonomy() {
+        // A nonsensical tolerance forces every member to fail; the .err
+        // artifacts must carry the full recovery log and taxonomy label.
+        let base = std::env::temp_dir().join(format!("paraspace_cli_err_{}", std::process::id()));
+        std::fs::remove_dir_all(&base).ok();
+        let model = base.join("model");
+        let mut log = Vec::new();
+        execute(
+            &Command::Generate { species: 6, reactions: 8, seed: 3, out_dir: model.clone() },
+            &mut log,
+        )
+        .unwrap();
+        let mut cmd = simulate_cmd(&model, None, 2);
+        if let Command::Simulate { rtol, atol, max_retries, .. } = &mut cmd {
+            // Keep tolerances valid but impossible to satisfy within the
+            // step ceiling by shrinking them to the representable floor.
+            *rtol = 1e-300;
+            *atol = 1e-305;
+            *max_retries = 1;
+        }
+        execute(&cmd, &mut log).unwrap();
+        let outputs = read_outputs(&model.join("out"));
+        let err_file = outputs.iter().find(|(name, _)| name.ends_with(".err"));
+        if let Some((name, bytes)) = err_file {
+            let text = String::from_utf8_lossy(bytes);
+            for key in ["error:", "taxonomy:", "solver:", "attempts:", "relaxations:", "rerouted:"]
+            {
+                assert!(text.contains(key), "{name} missing {key:?}: {text}");
+            }
+        }
+        std::fs::remove_dir_all(&base).ok();
     }
 
     #[test]

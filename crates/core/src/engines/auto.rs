@@ -12,6 +12,7 @@ use crate::{
     recommend_engine, CoarseEngine, CpuEngine, CpuSolverKind, EngineKind, FineCoarseEngine,
     FineEngine, SimError, SimulationJob,
 };
+use paraspace_exec::CancelToken;
 
 /// A simulator that picks the recommended engine per job.
 ///
@@ -40,6 +41,7 @@ use crate::{
 pub struct AutoEngine {
     threads: usize,
     recovery: RecoveryPolicy,
+    cancel: CancelToken,
 }
 
 impl Default for AutoEngine {
@@ -51,7 +53,7 @@ impl Default for AutoEngine {
 impl AutoEngine {
     /// Creates the auto-selecting engine with default sub-engines.
     pub fn new() -> Self {
-        AutoEngine { threads: 1, recovery: RecoveryPolicy::default() }
+        AutoEngine { threads: 1, recovery: RecoveryPolicy::default(), cancel: CancelToken::new() }
     }
 
     /// Sets the host worker-thread count forwarded to whichever engine the
@@ -66,6 +68,13 @@ impl AutoEngine {
     /// the job dispatches to (builder style).
     pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
         self.recovery = recovery;
+        self
+    }
+
+    /// Installs a cooperative cancellation token forwarded to whichever
+    /// engine the job dispatches to (builder style).
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
         self
     }
 
@@ -85,16 +94,22 @@ impl Simulator for AutoEngine {
             EngineKind::Cpu => CpuEngine::new(CpuSolverKind::Lsoda)
                 .with_threads(self.threads)
                 .with_recovery(self.recovery)
+                .with_cancel(self.cancel.clone())
                 .run(job),
-            EngineKind::Coarse => {
-                CoarseEngine::new().with_threads(self.threads).with_recovery(self.recovery).run(job)
-            }
-            EngineKind::Fine => {
-                FineEngine::new().with_threads(self.threads).with_recovery(self.recovery).run(job)
-            }
+            EngineKind::Coarse => CoarseEngine::new()
+                .with_threads(self.threads)
+                .with_recovery(self.recovery)
+                .with_cancel(self.cancel.clone())
+                .run(job),
+            EngineKind::Fine => FineEngine::new()
+                .with_threads(self.threads)
+                .with_recovery(self.recovery)
+                .with_cancel(self.cancel.clone())
+                .run(job),
             EngineKind::FineCoarse => FineCoarseEngine::new()
                 .with_threads(self.threads)
                 .with_recovery(self.recovery)
+                .with_cancel(self.cancel.clone())
                 .run(job),
         }
     }

@@ -14,7 +14,7 @@ use crate::engines::{
 };
 use crate::recovery::{solve_members_recovered, RecoveryPolicy};
 use crate::{SimError, SimulationJob, WorkEstimate};
-use paraspace_exec::Executor;
+use paraspace_exec::{CancelToken, Executor};
 use paraspace_solvers::{Lsoda, OdeSolver};
 use paraspace_vgpu::{Device, DeviceConfig, KernelLaunch, MemorySpace, ThreadWork};
 use std::time::Instant;
@@ -52,6 +52,7 @@ pub struct CoarseEngine {
     use_memory_hierarchy: bool,
     executor: Executor,
     recovery: RecoveryPolicy,
+    cancel: CancelToken,
 }
 
 impl Default for CoarseEngine {
@@ -69,6 +70,7 @@ impl CoarseEngine {
             use_memory_hierarchy: true,
             executor: Executor::sequential(),
             recovery: RecoveryPolicy::default(),
+            cancel: CancelToken::new(),
         }
     }
 
@@ -89,6 +91,14 @@ impl CoarseEngine {
     /// Overrides the failed-member recovery policy (builder style).
     pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
         self.recovery = recovery;
+        self
+    }
+
+    /// Installs a cooperative cancellation token (builder style). When the
+    /// token trips mid-batch, in-flight members drain, [`Simulator::run`]
+    /// returns [`SimError::Cancelled`], and partial results are discarded.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
         self
     }
 
@@ -150,7 +160,8 @@ impl Simulator for CoarseEngine {
             None,
             |_| false,
             &self.recovery,
-        );
+            &self.cancel,
+        )?;
         for rs in results {
             let (solution, stats) = (rs.solution, rs.stats);
             health.observe(&solution, &rs.log);
@@ -188,6 +199,7 @@ impl Simulator for CoarseEngine {
                 stiff: false,
                 rerouted: false,
                 solver: rs.solver,
+                log: rs.log,
             });
         }
 

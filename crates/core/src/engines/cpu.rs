@@ -5,7 +5,7 @@ use crate::engines::{
 };
 use crate::recovery::{solve_members_recovered, RecoveryPolicy};
 use crate::{CpuCostModel, SimError, SimulationJob, WorkEstimate};
-use paraspace_exec::Executor;
+use paraspace_exec::{CancelToken, Executor};
 use paraspace_solvers::{Lsoda, OdeSolver, Vode};
 use std::time::Instant;
 
@@ -38,12 +38,13 @@ pub enum CpuSolverKind {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct CpuEngine {
     kind: CpuSolverKind,
     cost_model: CpuCostModel,
     executor: Executor,
     recovery: RecoveryPolicy,
+    cancel: CancelToken,
 }
 
 impl CpuEngine {
@@ -54,6 +55,7 @@ impl CpuEngine {
             cost_model: CpuCostModel::default(),
             executor: Executor::sequential(),
             recovery: RecoveryPolicy::default(),
+            cancel: CancelToken::new(),
         }
     }
 
@@ -76,6 +78,15 @@ impl CpuEngine {
     /// Overrides the failed-member recovery policy (builder style).
     pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
         self.recovery = recovery;
+        self
+    }
+
+    /// Installs a cooperative cancellation token (builder style). When the
+    /// token trips mid-batch, in-flight members drain, [`Simulator::run`]
+    /// returns [`SimError::Cancelled`], and partial results are discarded
+    /// — re-running the batch later reproduces it bitwise.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
         self
     }
 
@@ -119,7 +130,8 @@ impl Simulator for CpuEngine {
             None,
             |_| false,
             &self.recovery,
-        ) {
+            &self.cancel,
+        )? {
             work.absorb(&WorkEstimate::from_stats(job.odes(), &rs.stats, job.time_points().len()));
             health.observe(&rs.solution, &rs.log);
             outcomes.push(SimOutcome {
@@ -127,6 +139,7 @@ impl Simulator for CpuEngine {
                 stiff: false,
                 rerouted: false,
                 solver: rs.solver,
+                log: rs.log,
             });
         }
 

@@ -27,7 +27,7 @@ use crate::engines::{
 };
 use crate::recovery::{continue_ladder, solve_member_recovered, RecoveryPolicy};
 use crate::{RbmBatchSystem, SimError, SimulationJob, WorkEstimate, STIFFNESS_THRESHOLD};
-use paraspace_exec::Executor;
+use paraspace_exec::{CancelToken, Executor};
 use paraspace_solvers::{
     Bdf, Dopri5, Dopri5Batch, LaneReport, Rkf45, SolveFailure, SolverError, SolverScratch,
     StepStats,
@@ -73,6 +73,7 @@ pub struct FineEngine {
     executor: Executor,
     lane_width: Option<usize>,
     recovery: RecoveryPolicy,
+    cancel: CancelToken,
 }
 
 impl Default for FineEngine {
@@ -89,6 +90,7 @@ impl FineEngine {
             executor: Executor::sequential(),
             lane_width: None,
             recovery: RecoveryPolicy::default(),
+            cancel: CancelToken::new(),
         }
     }
 
@@ -109,6 +111,15 @@ impl FineEngine {
     /// Overrides the failed-member recovery policy (builder style).
     pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
         self.recovery = recovery;
+        self
+    }
+
+    /// Installs a cooperative cancellation token (builder style). When the
+    /// token trips mid-batch, in-flight members (or lane-groups) drain,
+    /// [`Simulator::run`] returns [`SimError::Cancelled`], and partial
+    /// results are discarded.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
         self
     }
 
@@ -165,29 +176,38 @@ impl FineEngine {
         // simulation-index order, reproducing the sequential timeline (and
         // its serialize-everything weakness) bitwise at any thread count.
         let dp = DpModel::default();
-        let results = self.executor.map_with(job.batch_size(), SolverScratch::new, |scratch, i| {
-            // Non-stiff attempt first; the recovery ladder reroutes a
-            // stiffness-shaped failure to BDF1 (the published switching
-            // pair), then climbs any configured relaxation rungs. Every
-            // attempt's work lands in the member's stats, so retries are
-            // billed on the modeled timeline.
-            let rs = solve_member_recovered(
-                job,
-                i,
-                (&rkf, "rkf45"),
-                Some((&bdf1, "bdf1")),
-                reroutable,
-                &self.recovery,
-                scratch,
-            );
-            let mut shard = TimelineShard::new();
-            self.bill_scalar_member(&mut shard, job, i, &rs.stats, &dp, n);
-            (rs, shard)
-        });
+        let results = self.executor.try_map_with_cancel(
+            job.batch_size(),
+            &self.cancel,
+            SolverScratch::new,
+            |scratch, i| {
+                // Non-stiff attempt first; the recovery ladder reroutes a
+                // stiffness-shaped failure to BDF1 (the published switching
+                // pair), then climbs any configured relaxation rungs. Every
+                // attempt's work lands in the member's stats, so retries are
+                // billed on the modeled timeline.
+                let rs = solve_member_recovered(
+                    job,
+                    i,
+                    (&rkf, "rkf45"),
+                    Some((&bdf1, "bdf1")),
+                    reroutable,
+                    &self.recovery,
+                    scratch,
+                );
+                let mut shard = TimelineShard::new();
+                self.bill_scalar_member(&mut shard, job, i, &rs.stats, &dp, n);
+                (rs, shard)
+            },
+        )?;
 
         let mut outcomes = Vec::with_capacity(job.batch_size());
         let mut health = BatchHealth::default();
-        for (rs, shard) in results {
+        for result in results {
+            // The ladder contains member panics; an executor-level fault
+            // would be a bug in the ladder itself, so resume it like the
+            // historical map_with did.
+            let (rs, shard) = result.unwrap_or_else(|fault| panic!("{fault}"));
             device.absorb_shard(shard);
             health.observe(&rs.solution, &rs.log);
             outcomes.push(SimOutcome {
@@ -195,6 +215,7 @@ impl FineEngine {
                 stiff: false,
                 rerouted: rs.log.rerouted,
                 solver: rs.solver,
+                log: rs.log,
             });
         }
 
@@ -218,15 +239,22 @@ impl FineEngine {
         let dp = DpModel::default();
         let group_capacity = width * MEMBERS_PER_LANE;
         let n_groups = batch.div_ceil(group_capacity);
-        let groups = self.executor.map_with(n_groups, SolverScratch::new, |scratch, g| {
-            let lo = g * group_capacity;
-            let hi = ((g + 1) * group_capacity).min(batch);
-            self.solve_lane_group(job, g, lo, hi, width, scratch, &dp)
-        });
+        let groups = self.executor.try_map_with_cancel(
+            n_groups,
+            &self.cancel,
+            SolverScratch::new,
+            |scratch, g| {
+                let lo = g * group_capacity;
+                let hi = ((g + 1) * group_capacity).min(batch);
+                self.solve_lane_group(job, g, lo, hi, width, scratch, &dp)
+            },
+        )?;
 
         let mut outcomes = Vec::with_capacity(batch);
         let mut health = BatchHealth::default();
-        for (group_outcomes, report, shard, group_health) in groups {
+        for group in groups {
+            let (group_outcomes, report, shard, group_health) =
+                group.unwrap_or_else(|fault| panic!("{fault}"));
             device.record_lane_group(&LaneGroupStats {
                 width: report.width,
                 lockstep_iters: report.lockstep_iters,
@@ -380,6 +408,7 @@ impl FineEngine {
                     stiff: true,
                     rerouted: false,
                     solver: rs.solver,
+                    log: rs.log,
                 });
                 continue;
             }
@@ -401,6 +430,7 @@ impl FineEngine {
                     stiff: false,
                     rerouted: rs.log.rerouted,
                     solver: rs.solver,
+                    log: rs.log,
                 });
                 continue;
             }
@@ -433,6 +463,7 @@ impl FineEngine {
                 stiff: false,
                 rerouted: rs.log.rerouted,
                 solver: rs.solver,
+                log: rs.log,
             });
         }
         (outcomes, report, shard, health)

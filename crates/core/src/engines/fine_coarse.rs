@@ -25,7 +25,7 @@ use crate::engines::{
 };
 use crate::recovery::{contained_attempt, continue_ladder, RecoveryLog, RecoveryPolicy};
 use crate::{classify_batch_with_threshold, SimError, SimulationJob, WorkEstimate};
-use paraspace_exec::Executor;
+use paraspace_exec::{CancelToken, Cancelled, Executor};
 use paraspace_solvers::{
     Dopri5, OdeSolver, Radau5, SolveFailure, SolverError, SolverScratch, StepStats,
 };
@@ -67,6 +67,7 @@ pub struct FineCoarseEngine {
     stiffness_threshold: f64,
     executor: Executor,
     recovery: RecoveryPolicy,
+    cancel: CancelToken,
 }
 
 impl Default for FineCoarseEngine {
@@ -85,6 +86,7 @@ impl FineCoarseEngine {
             stiffness_threshold: crate::STIFFNESS_THRESHOLD,
             executor: Executor::sequential(),
             recovery: RecoveryPolicy::default(),
+            cancel: CancelToken::new(),
         }
     }
 
@@ -122,8 +124,17 @@ impl FineCoarseEngine {
         self
     }
 
+    /// Installs a cooperative cancellation token (builder style). When the
+    /// token trips mid-batch, in-flight members drain, [`Simulator::run`]
+    /// returns [`SimError::Cancelled`], and partial results are discarded.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
     /// Runs one solver phase (P3 or P4) over `members`, filling `slots`,
-    /// and returns the members that failed with a re-routable error.
+    /// and returns the members that failed with a re-routable error (or
+    /// `Err(Cancelled)` if the token tripped before the phase completed).
     #[allow(clippy::too_many_arguments)]
     fn run_phase(
         &self,
@@ -135,9 +146,9 @@ impl FineCoarseEngine {
         slots: &mut [Option<(Result<paraspace_solvers::Solution, SolverError>, &'static str)>],
         logs: &mut [RecoveryLog],
         reroutable: bool,
-    ) -> Vec<usize> {
+    ) -> Result<Vec<usize>, Cancelled> {
         if members.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let n = job.odes().n_species();
         let mut failed = Vec::new();
@@ -154,11 +165,17 @@ impl FineCoarseEngine {
         // `Internal` failure (never re-routable — it would panic again on
         // the other solver too) instead of tearing down the phase.
         let opts = self.recovery.base_options(job);
-        let results = self.executor.map_with(members.len(), SolverScratch::new, |scratch, idx| {
-            contained_attempt(job, members[idx], solver, &opts, scratch)
-        });
+        let results = self.executor.try_map_with_cancel(
+            members.len(),
+            &self.cancel,
+            SolverScratch::new,
+            |scratch, idx| contained_attempt(job, members[idx], solver, &opts, scratch),
+        )?;
         for (idx, result) in results.into_iter().enumerate() {
             let i = members[idx];
+            // contained_attempt already catches member panics, so an
+            // executor-level fault is a bug in the attempt plumbing itself.
+            let result = result.unwrap_or_else(|fault| panic!("{fault}"));
             // Failed members are billed for the work they actually did
             // before failing (SolveFailure carries the partial counters).
             let (solution, stats) = outcome_and_stats(result);
@@ -221,7 +238,7 @@ impl FineCoarseEngine {
                     repeats: rounds_avg,
                 });
         device.launch(&launch);
-        failed
+        Ok(failed)
     }
 }
 
@@ -294,7 +311,7 @@ impl Simulator for FineCoarseEngine {
             &mut slots,
             &mut logs,
             self.recovery.reroute,
-        );
+        )?;
 
         // P4: RADAU5 over stiff + re-routed members.
         let mut p4_members = stiff;
@@ -316,7 +333,7 @@ impl Simulator for FineCoarseEngine {
             &mut slots,
             &mut logs,
             false,
-        );
+        )?;
 
         // Relaxation pass: members still failing after P4 climb the
         // tolerance-relaxation rungs of the ladder on the solver that last
@@ -368,7 +385,13 @@ impl Simulator for FineCoarseEngine {
                 let (solution, solver) = slot.expect("every member handled by P3 or P4");
                 logs[i].recovered = solution.is_ok() && logs[i].attempts > 1;
                 health.observe(&solution, &logs[i]);
-                SimOutcome { solution, stiff: classes[i].stiff, rerouted: rerouted_set[i], solver }
+                SimOutcome {
+                    solution,
+                    stiff: classes[i].stiff,
+                    rerouted: rerouted_set[i],
+                    solver,
+                    log: std::mem::take(&mut logs[i]),
+                }
             })
             .collect();
 

@@ -57,6 +57,10 @@ pub struct SimOutcome {
     pub rerouted: bool,
     /// Name of the solver that produced the final result.
     pub solver: &'static str,
+    /// What the recovery ladder did for this member (attempt count,
+    /// reroutes, tolerance relaxations, contained panics) — the per-member
+    /// record post-mortems need without a rerun.
+    pub log: RecoveryLog,
 }
 
 /// The two clocks and their integration/I-O split.
@@ -98,6 +102,25 @@ pub struct FailureCounts {
     pub internal: usize,
     /// Failures of variants this build does not know by name.
     pub other: usize,
+}
+
+/// The short taxonomy label used for a [`SolverError`] in health lines,
+/// failure tallies, and CLI `.err` post-mortems — the same vocabulary
+/// [`BatchHealth`]'s `Display` prints, so logs and aggregates correlate.
+#[must_use]
+pub fn taxonomy(e: &SolverError) -> &'static str {
+    match e {
+        SolverError::MaxStepsExceeded { .. } => "max-steps",
+        SolverError::StepSizeUnderflow { .. } => "underflow",
+        SolverError::NonlinearSolveFailed { .. } => "nonlinear",
+        SolverError::SingularIterationMatrix { .. } => "singular",
+        SolverError::NonFiniteState { .. } => "non-finite",
+        SolverError::StiffnessDetected { .. } => "stiff",
+        SolverError::StepBudgetExhausted { .. } => "budget",
+        SolverError::InvalidInput { .. } => "invalid",
+        SolverError::Internal { .. } => "internal",
+        _ => "other",
+    }
 }
 
 impl FailureCounts {

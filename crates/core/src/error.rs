@@ -23,6 +23,12 @@ pub enum SimError {
     /// A solver failure at a stage with no fallback (used by engines that
     /// must produce a single reference trajectory).
     Solver(SolverError),
+    /// The batch was cooperatively cancelled before completion (SIGINT,
+    /// checkpoint shutdown); partial results were discarded. Because
+    /// batches are deterministic and idempotent, the caller can simply
+    /// re-run the batch later — durable campaign drivers re-execute
+    /// uncommitted shards on resume.
+    Cancelled,
 }
 
 impl fmt::Display for SimError {
@@ -31,6 +37,7 @@ impl fmt::Display for SimError {
             SimError::Model(e) => write!(f, "model error: {e}"),
             SimError::InvalidJob { message } => write!(f, "invalid job: {message}"),
             SimError::Solver(e) => write!(f, "solver error: {e}"),
+            SimError::Cancelled => write!(f, "batch cancelled before completion"),
         }
     }
 }
@@ -40,8 +47,14 @@ impl Error for SimError {
         match self {
             SimError::Model(e) => Some(e),
             SimError::Solver(e) => Some(e),
-            SimError::InvalidJob { .. } => None,
+            SimError::InvalidJob { .. } | SimError::Cancelled => None,
         }
+    }
+}
+
+impl From<paraspace_exec::Cancelled> for SimError {
+    fn from(_: paraspace_exec::Cancelled) -> Self {
+        SimError::Cancelled
     }
 }
 

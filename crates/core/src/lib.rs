@@ -62,11 +62,14 @@ mod system;
 
 pub use cost::{CpuCostModel, WorkEstimate};
 pub use engines::{
-    AutoEngine, BatchHealth, BatchResult, BatchTiming, CoarseEngine, CpuEngine, CpuSolverKind,
-    FailureCounts, FineCoarseEngine, FineEngine, SimOutcome, Simulator,
+    taxonomy, AutoEngine, BatchHealth, BatchResult, BatchTiming, CoarseEngine, CpuEngine,
+    CpuSolverKind, FailureCounts, FineCoarseEngine, FineEngine, SimOutcome, Simulator,
 };
 pub use error::SimError;
 pub use job::{JobBuilder, SimulationJob};
+/// Cooperative cancellation vocabulary, re-exported so engine callers can
+/// wire a token without importing the executor crate directly.
+pub use paraspace_exec::{CancelToken, Cancelled};
 /// Deterministic fault-injection vocabulary, re-exported so batch callers
 /// can build a [`SimulationJob`] fault plan without importing the solver
 /// crate directly.

@@ -21,7 +21,7 @@
 
 use crate::engines::{outcome_and_stats, solve_member_pooled_opts};
 use crate::SimulationJob;
-use paraspace_exec::{payload_message, Executor};
+use paraspace_exec::{payload_message, CancelToken, Cancelled, Executor};
 use paraspace_solvers::{
     OdeSolver, Solution, SolveFailure, SolverError, SolverOptions, SolverScratch, StepStats,
 };
@@ -244,13 +244,16 @@ pub(crate) fn continue_ladder(
 }
 
 /// Runs the recovery ladder for `members` on the executor's worker pool,
-/// returning results **in `members` order**.
+/// returning results **in `members` order**, or `Err(Cancelled)` if
+/// `cancel` tripped before every member completed (in-flight members
+/// drain; partial results are discarded).
 ///
 /// Member-level containment inside [`solve_member_recovered`] normally
-/// keeps panics from reaching the executor; `try_map_with` backstops the
-/// remainder (a panic in the ladder itself), converting an executor-level
-/// [`paraspace_exec::ItemPanic`] into an `Internal` outcome for that
-/// member instead of resuming the unwind.
+/// keeps panics from reaching the executor; `try_map_with_cancel`
+/// backstops the remainder (a panic in the ladder itself), converting an
+/// executor-level [`paraspace_exec::ItemPanic`] into an `Internal` outcome
+/// for that member instead of resuming the unwind.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn solve_members_recovered(
     executor: &Executor,
     job: &SimulationJob,
@@ -259,9 +262,10 @@ pub(crate) fn solve_members_recovered(
     fallback: Option<(&dyn OdeSolver, &'static str)>,
     reroutable: fn(&SolverError) -> bool,
     policy: &RecoveryPolicy,
-) -> Vec<RecoveredSolve> {
-    executor
-        .try_map_with(members.len(), SolverScratch::new, |scratch, idx| {
+    cancel: &CancelToken,
+) -> Result<Vec<RecoveredSolve>, Cancelled> {
+    Ok(executor
+        .try_map_with_cancel(members.len(), cancel, SolverScratch::new, |scratch, idx| {
             solve_member_recovered(
                 job,
                 members[idx],
@@ -271,7 +275,7 @@ pub(crate) fn solve_members_recovered(
                 policy,
                 scratch,
             )
-        })
+        })?
         .into_iter()
         .map(|r| {
             r.unwrap_or_else(|fault| RecoveredSolve {
@@ -281,7 +285,7 @@ pub(crate) fn solve_members_recovered(
                 log: RecoveryLog { attempts: 1, panicked: true, ..RecoveryLog::default() },
             })
         })
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]

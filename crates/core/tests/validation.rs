@@ -1,0 +1,138 @@
+//! Property tests for job validation (phase P1): randomly generated invalid
+//! time grids, tolerances, and initial states must be rejected by
+//! [`SimulationJob::build`] — before any solver runs — with
+//! [`SimError::InvalidJob`], never a panic and never a solver-level error.
+
+use paraspace_core::{SimError, SimulationJob};
+use paraspace_rbm::{Parameterization, Reaction, ReactionBasedModel};
+use paraspace_solvers::SolverOptions;
+use proptest::prelude::*;
+
+fn model() -> ReactionBasedModel {
+    let mut m = ReactionBasedModel::new();
+    let a = m.add_species("A", 1.0);
+    let b = m.add_species("B", 0.5);
+    m.add_reaction(Reaction::mass_action(&[(a, 1)], &[(b, 1)], 0.7)).unwrap();
+    m
+}
+
+/// Builds a strictly increasing grid, then corrupts one entry so the grid
+/// is invalid in a randomly chosen way.
+fn corrupt_grid(mut times: Vec<f64>, idx: usize, mode: u8) -> Vec<f64> {
+    let i = idx % times.len();
+    match mode % 4 {
+        0 => times[i] = f64::NAN,
+        1 => times[i] = f64::INFINITY,
+        2 => {
+            // Duplicate a neighbour: breaks strict monotonicity.
+            let j = if i == 0 { 1 % times.len() } else { i - 1 };
+            times[i] = times[j];
+        }
+        _ => times[i] = -times[i].abs() - 1.0,
+    }
+    times
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    /// Any grid corrupted with a NaN, infinity, duplicate, or negative
+    /// entry is rejected at build time.
+    #[test]
+    fn invalid_time_grids_are_rejected(
+        n in 2usize..12,
+        step in 0.01f64..2.0,
+        idx in 0usize..12,
+        mode in 0u8..4,
+    ) {
+        let times: Vec<f64> = (1..=n).map(|i| i as f64 * step).collect();
+        let times = corrupt_grid(times, idx, mode);
+        let m = model();
+        let err = SimulationJob::builder(&m)
+            .time_points(times.clone())
+            .replicate(1)
+            .build()
+            .expect_err("corrupt grid must not build");
+        prop_assert!(
+            matches!(err, SimError::InvalidJob { .. }),
+            "{times:?} produced {err:?}"
+        );
+    }
+
+    /// Non-positive or non-finite tolerances never reach a solver.
+    #[test]
+    fn invalid_tolerances_are_rejected(
+        pick in 0u8..5,
+        mag in 1e-12f64..1e6,
+        which in 0u8..3,
+    ) {
+        let bad = match pick {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            2 => f64::NEG_INFINITY,
+            3 => 0.0,
+            _ => -mag,
+        };
+        let mut opts = SolverOptions::default();
+        if which != 0 { opts.rel_tol = bad; }
+        if which != 1 { opts.abs_tol = bad; }
+        let m = model();
+        let err = SimulationJob::builder(&m)
+            .time_points(vec![1.0])
+            .replicate(1)
+            .options(opts)
+            .build()
+            .expect_err("invalid tolerance must not build");
+        prop_assert!(matches!(err, SimError::InvalidJob { .. }), "{bad} produced {err:?}");
+    }
+
+    /// A member whose resolved initial state or rate constants contain a
+    /// non-finite value is rejected, regardless of where it sits in the
+    /// batch or which slot is poisoned.
+    #[test]
+    fn non_finite_members_are_rejected(
+        batch in 1usize..6,
+        poison in 0usize..6,
+        slot in 0usize..2,
+        pick in 0u8..3,
+    ) {
+        let bad = match pick {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            _ => f64::NEG_INFINITY,
+        };
+        let m = model();
+        let mut builder = SimulationJob::builder(&m).time_points(vec![1.0]);
+        let poison = poison % batch;
+        for i in 0..batch {
+            let p = if i == poison {
+                if slot == 0 {
+                    Parameterization::new().with_initial_state(vec![bad, 0.5])
+                } else {
+                    Parameterization::new().with_rate_constants(vec![bad])
+                }
+            } else {
+                Parameterization::new()
+            };
+            builder = builder.parameterization(p);
+        }
+        let err = builder.build().expect_err("poisoned member must not build");
+        prop_assert!(matches!(err, SimError::InvalidJob { .. }), "{bad} produced {err:?}");
+    }
+
+    /// Sanity inverse: a clean randomized grid and batch always builds.
+    #[test]
+    fn valid_jobs_always_build(
+        n in 1usize..10,
+        step in 0.01f64..2.0,
+        batch in 1usize..5,
+    ) {
+        let times: Vec<f64> = (1..=n).map(|i| i as f64 * step).collect();
+        let m = model();
+        let job = SimulationJob::builder(&m)
+            .time_points(times)
+            .replicate(batch)
+            .build();
+        prop_assert!(job.is_ok(), "{:?}", job.err());
+    }
+}

@@ -40,6 +40,19 @@
 //! thread, so the abort-on-panic contract survives but the diagnostic now
 //! names the faulting index.
 //!
+//! # Cooperative cancellation
+//!
+//! Durable campaigns must be killable without aborting members mid-step: a
+//! SIGINT should drain the simulations already claimed by workers and then
+//! stop cleanly, leaving the batch either wholly observed or wholly
+//! discarded. [`Executor::try_map_with_cancel`] takes a shared
+//! [`CancelToken`] and checks it at *item boundaries*: once the token
+//! trips, workers stop claiming new indices, in-flight items run to
+//! completion, and the call returns `Err(`[`Cancelled`]`)` with every
+//! partial result dropped. Because batches are deterministic and
+//! idempotent, a discarded batch simply re-executes on resume — which is
+//! the property the journal layer's exact-resume guarantee is built on.
+//!
 //! # Example
 //!
 //! ```
@@ -53,7 +66,8 @@
 
 use std::cell::UnsafeCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Default chunk of indices claimed per counter fetch.
 ///
@@ -96,6 +110,62 @@ pub fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
         "<non-string panic payload>".to_string()
     }
 }
+
+/// A shared flag requesting cooperative shutdown of batch work.
+///
+/// Clones share one flag (it is an `Arc` of an atomic), so a single token
+/// can be handed to every engine in a campaign and tripped once — from a
+/// signal handler, a watchdog thread, or a test harness. Setting the flag
+/// is async-signal-safe (a relaxed atomic store, no allocation, no locks),
+/// which is what lets a SIGINT handler trip it directly.
+///
+/// The executor checks the token only *between* items: work that has
+/// already been claimed runs to completion, so no member is ever observed
+/// half-integrated.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, untripped token.
+    #[must_use]
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// A token view over an external flag (e.g. a `static` set by a signal
+    /// handler).
+    #[must_use]
+    pub fn from_flag(flag: Arc<AtomicBool>) -> Self {
+        CancelToken { flag }
+    }
+
+    /// Request cancellation. Idempotent, async-signal-safe, and visible to
+    /// every clone of this token.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// True once cancellation has been requested.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// The batch was cancelled before every item completed; all partial
+/// results were discarded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cancelled;
+
+impl std::fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "batch cancelled before completion")
+    }
+}
+
+impl std::error::Error for Cancelled {}
 
 /// An index-addressed result slot written by exactly one worker.
 ///
@@ -231,18 +301,59 @@ impl Executor {
         I: Fn() -> S + Sync,
         F: Fn(&mut S, usize) -> T + Sync,
     {
+        self.try_map_with_cancel(n, &CancelToken::new(), init, f)
+            .expect("a fresh token is never cancelled")
+    }
+
+    /// The cancellable variant of [`try_map_with`](Executor::try_map_with).
+    ///
+    /// Workers consult `cancel` before claiming each index. Once the token
+    /// trips, no further items start; items already in flight *drain* —
+    /// they run to completion rather than being aborted mid-integration —
+    /// and the whole batch then returns `Err(Cancelled)` with every
+    /// partial result discarded. Batches are deterministic, so a discarded
+    /// batch re-executes identically later; returning partial output would
+    /// instead leak a nondeterministic subset (which indices completed
+    /// depends on claim timing).
+    ///
+    /// When the batch completes before the token trips, the result is
+    /// exactly that of `try_map_with` — bitwise deterministic across
+    /// thread counts. A token that is already tripped on entry yields
+    /// `Err(Cancelled)` without running anything (`n == 0` still succeeds
+    /// with an empty vector).
+    pub fn try_map_with_cancel<S, T, I, F>(
+        &self,
+        n: usize,
+        cancel: &CancelToken,
+        init: I,
+        f: F,
+    ) -> Result<Vec<Result<T, ItemPanic>>, Cancelled>
+    where
+        T: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) -> T + Sync,
+    {
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        if cancel.is_cancelled() {
+            return Err(Cancelled);
+        }
         let workers = self.threads.min(n);
         if workers <= 1 {
             let mut state = init();
-            return (0..n)
-                .map(|i| {
-                    let attempt = catch_unwind(AssertUnwindSafe(|| f(&mut state, i)));
-                    attempt.map_err(|payload| {
-                        state = init();
-                        ItemPanic { index: i, message: payload_message(payload.as_ref()) }
-                    })
-                })
-                .collect();
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                if cancel.is_cancelled() {
+                    return Err(Cancelled);
+                }
+                let attempt = catch_unwind(AssertUnwindSafe(|| f(&mut state, i)));
+                out.push(attempt.map_err(|payload| {
+                    state = init();
+                    ItemPanic { index: i, message: payload_message(payload.as_ref()) }
+                }));
+            }
+            return Ok(out);
         }
 
         // Each worker claims indices from the shared cursor and deposits
@@ -256,6 +367,9 @@ impl Executor {
                 scope.spawn(|| {
                     let mut state = init();
                     loop {
+                        if cancel.is_cancelled() {
+                            break;
+                        }
                         let start = cursor.fetch_add(CLAIM_CHUNK, Ordering::Relaxed);
                         if start >= n {
                             break;
@@ -276,10 +390,17 @@ impl Executor {
             }
         });
 
-        slots
-            .into_iter()
-            .map(|slot| slot.into_inner().expect("every index visited exactly once"))
-            .collect()
+        let mut out = Vec::with_capacity(n);
+        for slot in slots {
+            match slot.into_inner() {
+                Some(result) => out.push(result),
+                // An empty slot means a worker observed the cancellation
+                // before claiming this index; the batch is incomplete and
+                // every partial result is discarded.
+                None => return Err(Cancelled),
+            }
+        }
+        Ok(out)
     }
 }
 
@@ -455,6 +576,93 @@ mod tests {
         // Item 2 runs on rebuilt state: its counter restarts at 1.
         assert_eq!(out[2], Ok(1));
         assert_eq!(out[3], Ok(2));
+    }
+
+    #[test]
+    fn pre_tripped_token_runs_nothing() {
+        for threads in [1, 4] {
+            let token = CancelToken::new();
+            token.cancel();
+            let ran = AtomicUsize::new(0);
+            let result = Executor::new(threads).try_map_with_cancel(
+                32,
+                &token,
+                || (),
+                |(), i| {
+                    ran.fetch_add(1, Ordering::Relaxed);
+                    i
+                },
+            );
+            assert_eq!(result, Err(Cancelled), "threads={threads}");
+            assert_eq!(ran.load(Ordering::Relaxed), 0, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_batch_succeeds_even_when_cancelled() {
+        let token = CancelToken::new();
+        token.cancel();
+        let result = Executor::new(4).try_map_with_cancel(0, &token, || (), |(), i: usize| i);
+        assert_eq!(result, Ok(Vec::new()));
+    }
+
+    #[test]
+    fn untripped_token_matches_try_map_with_bitwise() {
+        let work = |state: &mut u64, i: usize| {
+            *state += 1;
+            if i == 5 {
+                panic!("fault");
+            }
+            ((i as f64 + 0.25).sqrt()).to_bits()
+        };
+        for threads in [1, 2, 8] {
+            let exec = Executor::new(threads);
+            let plain = exec.try_map_with(24, || 0u64, work);
+            let cancellable =
+                exec.try_map_with_cancel(24, &CancelToken::new(), || 0u64, work).unwrap();
+            assert_eq!(plain, cancellable, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn mid_batch_cancellation_discards_partials_and_drains_in_flight() {
+        // The token trips partway through; the call must return Err and the
+        // item that trips it must still run to completion (drain), which we
+        // observe via the side counter.
+        for threads in [1, 2, 8] {
+            let token = CancelToken::new();
+            let completed = AtomicUsize::new(0);
+            let result = Executor::new(threads).try_map_with_cancel(
+                64,
+                &token,
+                || (),
+                |(), i| {
+                    if i == 3 {
+                        token.cancel();
+                    }
+                    // Work *after* the trip still executes: cancellation is
+                    // only observed at item boundaries. The sleep gives the
+                    // flag store ample time to reach every worker before the
+                    // batch could exhaust.
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                    completed.fetch_add(1, Ordering::Relaxed);
+                    i
+                },
+            );
+            assert_eq!(result, Err(Cancelled), "threads={threads}");
+            let done = completed.load(Ordering::Relaxed);
+            assert!((1..64).contains(&done), "threads={threads}: {done} items drained");
+        }
+    }
+
+    #[test]
+    fn token_clones_share_one_flag() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!b.is_cancelled());
+        a.cancel();
+        assert!(b.is_cancelled());
+        assert_eq!(Cancelled.to_string(), "batch cancelled before completion");
     }
 
     #[test]

@@ -1,0 +1,167 @@
+//! Crash-safe campaign durability: a write-ahead manifest plus an
+//! append-only shard journal.
+//!
+//! The paper's headline workloads — PSA-2D maps, Sobol sensitivity tables,
+//! parameter-estimation runs — are hour-scale campaigns of millions of
+//! *independent* member simulations. Independence is what makes them
+//! checkpointable at near-zero cost: a campaign decomposes into
+//! deterministic numbered **shards** (one engine batch each), and the only
+//! state worth persisting is the set of completed shard results. This crate
+//! provides exactly that, and nothing engine-specific:
+//!
+//! * [`CampaignManifest`] — the write-ahead description of the campaign
+//!   (model digest, job/axis spec digest, engine and thread/width
+//!   configuration, recovery policy, shard decomposition), written
+//!   atomically via tempfile+rename **before** any shard executes, so a
+//!   resume can refuse to continue into a mismatched world;
+//! * [`Journal`] — an append-only shard log with per-record checksums.
+//!   Records are framed and FNV-64-checksummed; on open, a torn tail
+//!   (partial record from a crash mid-append) or a corrupted record is
+//!   detected, reported, and **truncated** — never trusted — so the
+//!   affected shard simply re-executes;
+//! * [`codec`] — little-endian payload encode/decode helpers so campaign
+//!   drivers persist f64 results **bit-exactly** (resume must reproduce
+//!   the uninterrupted run byte for byte, which rules out decimal
+//!   round-trips).
+//!
+//! The durability contract is *re-execution, not redo logging*: a commit
+//! that never reached the disk is equivalent to the shard never having
+//! run, because shards are deterministic and idempotent. [`Journal::commit`]
+//! therefore writes and flushes each record but leaves `fsync` to the
+//! explicit [`Journal::sync`] checkpoints (end of campaign, cooperative
+//! cancellation), keeping the steady-state overhead to one buffered write
+//! per shard.
+//!
+//! # Example
+//!
+//! ```
+//! use paraspace_journal::{CampaignManifest, Journal};
+//!
+//! let dir = std::env::temp_dir().join(format!("journal_doc_{}", std::process::id()));
+//! let manifest = CampaignManifest::new("doc-campaign", 4)
+//!     .with_field("engine", "fine")
+//!     .with_digest("model", 0xfeed);
+//! let (mut journal, report) = Journal::open_or_create(&dir, &manifest).unwrap();
+//! assert!(!report.resumed);
+//! journal.commit(0, b"shard zero result").unwrap();
+//!
+//! // A later process resumes: shard 0 is already committed.
+//! let (mut journal, report) = Journal::open_or_create(&dir, &manifest).unwrap();
+//! assert!(report.resumed);
+//! assert_eq!(journal.get(0), Some(&b"shard zero result"[..]));
+//! assert!(journal.get(1).is_none());
+//! # std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+mod manifest;
+mod shards;
+
+pub mod codec;
+
+pub use manifest::CampaignManifest;
+pub use shards::{Journal, OpenReport, LOG_FILE, MANIFEST_FILE};
+
+use std::fmt;
+
+/// The 64-bit FNV-1a hash — the record checksum and the digest primitive
+/// campaign drivers use to fingerprint models and job specs.
+///
+/// Not cryptographic: the journal defends against crashes and bit rot, not
+/// adversaries. What matters is that the digest is cheap, dependency-free,
+/// and stable across platforms and runs.
+#[must_use]
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Durability-layer failures.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum JournalError {
+    /// Underlying filesystem failure.
+    Io(std::io::Error),
+    /// The on-disk manifest does not parse as a campaign manifest.
+    MalformedManifest {
+        /// What was wrong.
+        message: String,
+    },
+    /// The on-disk manifest describes a different campaign than the one
+    /// being resumed — continuing would silently mix two worlds.
+    ManifestMismatch {
+        /// The manifest key that differs.
+        field: String,
+        /// Value recorded when the campaign started.
+        on_disk: String,
+        /// Value the resuming process expects.
+        expected: String,
+    },
+    /// A payload failed to decode (journal written by an incompatible
+    /// version, or a caller bug).
+    MalformedPayload {
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal I/O error: {e}"),
+            JournalError::MalformedManifest { message } => {
+                write!(f, "malformed campaign manifest: {message}")
+            }
+            JournalError::ManifestMismatch { field, on_disk, expected } => write!(
+                f,
+                "checkpoint belongs to a different campaign: {field} was {on_disk:?} \
+                 but this run expects {expected:?}"
+            ),
+            JournalError::MalformedPayload { message } => {
+                write!(f, "malformed shard payload: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JournalError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv64_matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn error_display_names_the_mismatched_field() {
+        let e = JournalError::ManifestMismatch {
+            field: "engine".into(),
+            on_disk: "fine".into(),
+            expected: "coarse".into(),
+        };
+        let text = e.to_string();
+        assert!(text.contains("engine") && text.contains("fine") && text.contains("coarse"));
+    }
+}

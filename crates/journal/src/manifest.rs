@@ -1,0 +1,313 @@
+//! The write-ahead campaign manifest.
+//!
+//! The manifest is the durability layer's *refusal mechanism*: it pins every
+//! input that influences the campaign's bitwise output (model digest, job or
+//! axis spec digest, engine name, thread count, lane width, recovery policy,
+//! shard decomposition) before the first shard executes. On resume the
+//! expected manifest is rebuilt from the live command line and compared
+//! field-for-field against the on-disk copy; any difference aborts the
+//! resume with [`JournalError::ManifestMismatch`] rather than silently
+//! splicing shards from two different worlds into one result.
+//!
+//! The format is a line-oriented `key=value` text file with a version
+//! header. Values are escaped so arbitrary strings (paths, engine specs)
+//! round-trip; keys are sorted on write so the file itself is deterministic.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+use crate::JournalError;
+
+/// Magic first line of a manifest file; bump the version if the shard
+/// record framing or payload conventions ever change incompatibly.
+const HEADER: &str = "paraspace-campaign-manifest v1";
+
+/// Write-ahead description of a campaign: everything that must match for a
+/// resume to be sound.
+///
+/// Construct with [`CampaignManifest::new`], attach the world-defining
+/// fields with [`with_field`](Self::with_field) /
+/// [`with_digest`](Self::with_digest), then hand it to
+/// [`Journal::open_or_create`](crate::Journal::open_or_create), which writes
+/// it atomically on first open and verifies it on every subsequent open.
+///
+/// Two manifests are considered the same campaign iff the kind, shard
+/// count, and *every* key/value pair agree — an on-disk manifest with an
+/// extra or missing key is also a mismatch, so adding a new world-defining
+/// field to a driver automatically invalidates older checkpoints instead of
+/// resuming them under wrong assumptions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignManifest {
+    kind: String,
+    shards: u64,
+    fields: BTreeMap<String, String>,
+}
+
+impl CampaignManifest {
+    /// Start a manifest for a campaign of `shards` deterministic shards.
+    ///
+    /// `kind` names the driver ("psa2d", "sobol", "pe", "cli-sweep", …);
+    /// resuming a checkpoint directory with a different driver is refused.
+    pub fn new(kind: impl Into<String>, shards: u64) -> Self {
+        CampaignManifest { kind: kind.into(), shards, fields: BTreeMap::new() }
+    }
+
+    /// Pin a world-defining string field (engine name, threads, lane width,
+    /// recovery-policy knobs, shard size…). Later writes to the same key
+    /// overwrite earlier ones.
+    #[must_use]
+    pub fn with_field(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.fields.insert(key.into(), value.into());
+        self
+    }
+
+    /// Pin a 64-bit digest (model digest, spec digest) as a hex field.
+    #[must_use]
+    pub fn with_digest(self, key: impl Into<String>, digest: u64) -> Self {
+        self.with_field(key, format!("{digest:016x}"))
+    }
+
+    /// Driver kind recorded at creation.
+    #[must_use]
+    pub fn kind(&self) -> &str {
+        &self.kind
+    }
+
+    /// Total number of shards in the campaign's fixed decomposition.
+    #[must_use]
+    pub fn shards(&self) -> u64 {
+        self.shards
+    }
+
+    /// Look up a pinned field.
+    #[must_use]
+    pub fn field(&self, key: &str) -> Option<&str> {
+        self.fields.get(key).map(String::as_str)
+    }
+
+    /// Render the manifest to its canonical text form (sorted keys).
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(HEADER);
+        out.push('\n');
+        out.push_str(&format!("kind={}\n", escape(&self.kind)));
+        out.push_str(&format!("shards={}\n", self.shards));
+        for (k, v) in &self.fields {
+            out.push_str(&format!("field.{}={}\n", escape(k), escape(v)));
+        }
+        out
+    }
+
+    /// Parse the canonical text form.
+    pub fn from_text(text: &str) -> Result<Self, JournalError> {
+        let mut lines = text.lines();
+        match lines.next() {
+            Some(h) if h == HEADER => {}
+            Some(h) => {
+                return Err(JournalError::MalformedManifest {
+                    message: format!("unrecognized header {h:?}"),
+                })
+            }
+            None => return Err(JournalError::MalformedManifest { message: "empty file".into() }),
+        }
+        let mut kind = None;
+        let mut shards = None;
+        let mut fields = BTreeMap::new();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) = line.split_once('=').ok_or_else(|| {
+                JournalError::MalformedManifest { message: format!("line without '=': {line:?}") }
+            })?;
+            match key {
+                "kind" => kind = Some(unescape(value)?),
+                "shards" => {
+                    shards =
+                        Some(value.parse::<u64>().map_err(|e| JournalError::MalformedManifest {
+                            message: format!("bad shard count {value:?}: {e}"),
+                        })?)
+                }
+                _ => {
+                    let name = key.strip_prefix("field.").ok_or_else(|| {
+                        JournalError::MalformedManifest {
+                            message: format!("unrecognized key {key:?}"),
+                        }
+                    })?;
+                    fields.insert(unescape(name)?, unescape(value)?);
+                }
+            }
+        }
+        let kind =
+            kind.ok_or_else(|| JournalError::MalformedManifest { message: "missing kind".into() })?;
+        let shards = shards.ok_or_else(|| JournalError::MalformedManifest {
+            message: "missing shard count".into(),
+        })?;
+        Ok(CampaignManifest { kind, shards, fields })
+    }
+
+    /// Atomically write the manifest to `path` (tempfile in the same
+    /// directory, flush, fsync, rename) so a crash mid-write can never leave
+    /// a half-manifest that a later resume would misread.
+    pub fn write_atomic(&self, path: &Path) -> Result<(), JournalError> {
+        let dir = path.parent().ok_or_else(|| {
+            JournalError::Io(std::io::Error::other("manifest path has no parent directory"))
+        })?;
+        let tmp = dir.join(format!(".manifest.tmp.{}", std::process::id()));
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(self.to_text().as_bytes())?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Read and parse a manifest from `path`.
+    pub fn read(path: &Path) -> Result<Self, JournalError> {
+        let text = fs::read_to_string(path)?;
+        Self::from_text(&text)
+    }
+
+    /// Check that `self` (the on-disk manifest) describes the same campaign
+    /// as `expected` (rebuilt by the resuming process). Reports the first
+    /// differing field.
+    pub fn verify_matches(&self, expected: &Self) -> Result<(), JournalError> {
+        let mismatch = |field: &str, on_disk: String, want: String| {
+            Err(JournalError::ManifestMismatch {
+                field: field.to_string(),
+                on_disk,
+                expected: want,
+            })
+        };
+        if self.kind != expected.kind {
+            return mismatch("kind", self.kind.clone(), expected.kind.clone());
+        }
+        if self.shards != expected.shards {
+            return mismatch("shards", self.shards.to_string(), expected.shards.to_string());
+        }
+        for (k, want) in &expected.fields {
+            match self.fields.get(k) {
+                Some(have) if have == want => {}
+                Some(have) => return mismatch(k, have.clone(), want.clone()),
+                None => return mismatch(k, "<absent>".into(), want.clone()),
+            }
+        }
+        for k in self.fields.keys() {
+            if !expected.fields.contains_key(k) {
+                return mismatch(k, self.fields[k].clone(), "<absent>".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Escape `=`, newlines, and backslashes so arbitrary values survive the
+/// line-oriented format.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '=' => out.push_str("\\e"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> Result<String, JournalError> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('e') => out.push('='),
+            other => {
+                return Err(JournalError::MalformedManifest {
+                    message: format!("bad escape \\{other:?} in {s:?}"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CampaignManifest {
+        CampaignManifest::new("psa2d", 17)
+            .with_field("engine", "fine")
+            .with_field("threads", "8")
+            .with_field("path", "a=b\nweird\\value")
+            .with_digest("model", 0xdead_beef_cafe_f00d)
+    }
+
+    #[test]
+    fn text_round_trip_is_exact() {
+        let m = sample();
+        let parsed = CampaignManifest::from_text(&m.to_text()).unwrap();
+        assert_eq!(parsed, m);
+        // Canonical form is stable (sorted keys) so re-rendering is identical.
+        assert_eq!(parsed.to_text(), m.to_text());
+    }
+
+    #[test]
+    fn verify_accepts_identical_and_names_first_difference() {
+        let m = sample();
+        m.verify_matches(&m.clone()).unwrap();
+
+        let other = sample().with_field("engine", "coarse");
+        let err = m.verify_matches(&other).unwrap_err();
+        match err {
+            JournalError::ManifestMismatch { field, on_disk, expected } => {
+                assert_eq!(field, "engine");
+                assert_eq!(on_disk, "fine");
+                assert_eq!(expected, "coarse");
+            }
+            e => panic!("unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn extra_or_missing_fields_are_mismatches() {
+        let m = sample();
+        let extra = sample().with_field("lane_width", "8");
+        assert!(m.verify_matches(&extra).is_err());
+        assert!(extra.verify_matches(&m).is_err());
+    }
+
+    #[test]
+    fn malformed_text_is_rejected() {
+        assert!(CampaignManifest::from_text("").is_err());
+        assert!(CampaignManifest::from_text("not a manifest\nkind=x\nshards=1\n").is_err());
+        let no_shards = format!("{HEADER}\nkind=x\n");
+        assert!(CampaignManifest::from_text(&no_shards).is_err());
+        let bad_key = format!("{HEADER}\nkind=x\nshards=1\nbogus=1\n");
+        assert!(CampaignManifest::from_text(&bad_key).is_err());
+    }
+
+    #[test]
+    fn atomic_write_then_read() {
+        let dir = std::env::temp_dir().join(format!("manifest_test_{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("manifest");
+        let m = sample();
+        m.write_atomic(&path).unwrap();
+        assert_eq!(CampaignManifest::read(&path).unwrap(), m);
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,408 @@
+//! The append-only shard journal.
+//!
+//! One record per completed shard, appended to `shards.log` inside the
+//! checkpoint directory. Record framing (all integers little-endian):
+//!
+//! ```text
+//! [u64 shard_id][u32 payload_len][payload bytes][u64 fnv64(shard_id ‖ len ‖ payload)]
+//! ```
+//!
+//! The checksum covers the header *and* the payload, so a record that was
+//! torn anywhere — mid-header, mid-payload, mid-checksum — fails
+//! verification. On open the log is scanned front to back; the first
+//! record that is short or fails its checksum marks the torn tail, and the
+//! file is truncated to the last good byte. Everything behind the
+//! truncation point is trusted (it was written before the crash and checks
+//! out); everything at or after it is treated as never-executed and the
+//! driver re-runs those shards. Duplicate shard ids are tolerated
+//! first-wins: a crash between "commit" and "driver notices the commit"
+//! can legitimately re-append a shard, and determinism makes the copies
+//! byte-identical anyway.
+
+use std::collections::HashMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::{fnv64, CampaignManifest, JournalError};
+
+/// File name of the campaign manifest inside a checkpoint directory.
+pub const MANIFEST_FILE: &str = "manifest";
+/// File name of the append-only shard log inside a checkpoint directory.
+pub const LOG_FILE: &str = "shards.log";
+
+/// Per-record size ceiling (64 MiB): far above any real shard payload, low
+/// enough that a corrupted length field can't drive a multi-gigabyte read.
+const MAX_PAYLOAD: u32 = 64 << 20;
+
+/// What [`Journal::open_or_create`] found on disk.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OpenReport {
+    /// True if an existing checkpoint was opened (manifest verified),
+    /// false if a fresh campaign directory was initialized.
+    pub resumed: bool,
+    /// Number of intact shard records recovered from the log.
+    pub committed: u64,
+    /// Bytes of torn/corrupt tail truncated from the log, if any. A crash
+    /// mid-append leaves a partial record; it is cut off and the shard
+    /// re-executes.
+    pub truncated_bytes: u64,
+}
+
+/// Append-only, checksummed shard journal bound to a checkpoint directory.
+///
+/// Created (or re-opened) via [`Journal::open_or_create`]; shards are
+/// persisted with [`commit`](Self::commit) and queried with
+/// [`get`](Self::get) / [`is_committed`](Self::is_committed).
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+    path: PathBuf,
+    records: HashMap<u64, Vec<u8>>,
+    shards: u64,
+}
+
+impl Journal {
+    /// Open the checkpoint directory at `dir`, creating it (and writing
+    /// `manifest` atomically) if this is a fresh campaign.
+    ///
+    /// On resume the on-disk manifest is verified against `expected`
+    /// field-for-field; a mismatch returns
+    /// [`JournalError::ManifestMismatch`] and leaves the checkpoint
+    /// untouched. The shard log is scanned, a torn tail (crash mid-append)
+    /// is truncated, and intact records are loaded into memory for
+    /// [`get`](Self::get).
+    pub fn open_or_create(
+        dir: &Path,
+        expected: &CampaignManifest,
+    ) -> Result<(Self, OpenReport), JournalError> {
+        fs::create_dir_all(dir)?;
+        let manifest_path = dir.join(MANIFEST_FILE);
+        let log_path = dir.join(LOG_FILE);
+
+        let resumed = manifest_path.exists();
+        if resumed {
+            let on_disk = CampaignManifest::read(&manifest_path)?;
+            on_disk.verify_matches(expected)?;
+        } else {
+            expected.write_atomic(&manifest_path)?;
+        }
+
+        let (records, good_len, total_len) = scan_log(&log_path)?;
+        let truncated = total_len - good_len;
+        if truncated > 0 {
+            let f = OpenOptions::new().write(true).open(&log_path)?;
+            f.set_len(good_len)?;
+            f.sync_all()?;
+        }
+
+        let file = OpenOptions::new().create(true).append(true).open(&log_path)?;
+        let committed = records.len() as u64;
+        let journal = Journal { file, path: log_path, records, shards: expected.shards() };
+        Ok((journal, OpenReport { resumed, committed, truncated_bytes: truncated }))
+    }
+
+    /// Total shard count declared by the manifest.
+    #[must_use]
+    pub fn shards(&self) -> u64 {
+        self.shards
+    }
+
+    /// Number of shards currently committed.
+    #[must_use]
+    pub fn committed(&self) -> u64 {
+        self.records.len() as u64
+    }
+
+    /// True once every declared shard is committed.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.committed() == self.shards
+    }
+
+    /// True if `shard` already has a committed record (skip it on resume).
+    #[must_use]
+    pub fn is_committed(&self, shard: u64) -> bool {
+        self.records.contains_key(&shard)
+    }
+
+    /// Committed payload for `shard`, if any.
+    #[must_use]
+    pub fn get(&self, shard: u64) -> Option<&[u8]> {
+        self.records.get(&shard).map(Vec::as_slice)
+    }
+
+    /// Append a shard record and flush it to the OS.
+    ///
+    /// Re-committing an already-committed shard is a no-op (first wins):
+    /// shards are deterministic, so a duplicate would be byte-identical.
+    /// Durability note: `commit` flushes but does not `fsync`; a record
+    /// lost to a power failure is indistinguishable from the shard never
+    /// having run, and simply re-executes on resume. Call
+    /// [`sync`](Self::sync) at checkpoint boundaries (cancellation,
+    /// completion) to force bytes to stable storage.
+    pub fn commit(&mut self, shard: u64, payload: &[u8]) -> Result<(), JournalError> {
+        if self.records.contains_key(&shard) {
+            return Ok(());
+        }
+        if payload.len() > MAX_PAYLOAD as usize {
+            return Err(JournalError::Io(std::io::Error::other(format!(
+                "shard {shard} payload of {} bytes exceeds the {MAX_PAYLOAD}-byte record limit",
+                payload.len()
+            ))));
+        }
+        let mut record = Vec::with_capacity(8 + 4 + payload.len() + 8);
+        record.extend_from_slice(&shard.to_le_bytes());
+        record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        record.extend_from_slice(payload);
+        let checksum = fnv64(&record);
+        record.extend_from_slice(&checksum.to_le_bytes());
+        self.file.write_all(&record)?;
+        self.file.flush()?;
+        self.records.insert(shard, payload.to_vec());
+        Ok(())
+    }
+
+    /// Force all committed records to stable storage (`fsync`).
+    pub fn sync(&mut self) -> Result<(), JournalError> {
+        self.file.sync_all()?;
+        Ok(())
+    }
+
+    /// Path of the underlying shard log (for diagnostics and tests).
+    #[must_use]
+    pub fn log_path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Scan the shard log, returning the intact records, the byte offset of the
+/// end of the last intact record, and the file's total length.
+#[allow(clippy::type_complexity)]
+fn scan_log(path: &Path) -> Result<(HashMap<u64, Vec<u8>>, u64, u64), JournalError> {
+    let mut records = HashMap::new();
+    let bytes = match fs::File::open(path) {
+        Ok(mut f) => {
+            let mut buf = Vec::new();
+            f.read_to_end(&mut buf)?;
+            buf
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(e.into()),
+    };
+    let total = bytes.len() as u64;
+    let mut pos = 0usize;
+    let mut good = 0u64;
+    loop {
+        let rest = &bytes[pos..];
+        if rest.is_empty() {
+            break;
+        }
+        if rest.len() < 12 {
+            break; // torn header
+        }
+        let shard = u64::from_le_bytes(rest[0..8].try_into().unwrap());
+        let len = u32::from_le_bytes(rest[8..12].try_into().unwrap());
+        if len > MAX_PAYLOAD {
+            break; // corrupt length field
+        }
+        let len = len as usize;
+        if rest.len() < 12 + len + 8 {
+            break; // torn payload or checksum
+        }
+        let body = &rest[..12 + len];
+        let stored = u64::from_le_bytes(rest[12 + len..12 + len + 8].try_into().unwrap());
+        if fnv64(body) != stored {
+            break; // corrupt record: distrust it and everything after
+        }
+        records.entry(shard).or_insert_with(|| body[12..].to_vec());
+        pos += 12 + len + 8;
+        good = pos as u64;
+    }
+    Ok((records, good, total))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("paraspace_journal_{tag}_{}", std::process::id()));
+        fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn manifest(shards: u64) -> CampaignManifest {
+        CampaignManifest::new("test", shards).with_field("engine", "cpu")
+    }
+
+    #[test]
+    fn fresh_create_commit_reopen() {
+        let dir = tmp_dir("fresh");
+        let m = manifest(3);
+        let (mut j, rep) = Journal::open_or_create(&dir, &m).unwrap();
+        assert_eq!(rep, OpenReport { resumed: false, committed: 0, truncated_bytes: 0 });
+        j.commit(0, b"alpha").unwrap();
+        j.commit(2, b"gamma").unwrap();
+        j.sync().unwrap();
+        drop(j);
+
+        let (j, rep) = Journal::open_or_create(&dir, &m).unwrap();
+        assert!(rep.resumed);
+        assert_eq!(rep.committed, 2);
+        assert_eq!(rep.truncated_bytes, 0);
+        assert_eq!(j.get(0), Some(&b"alpha"[..]));
+        assert!(j.get(1).is_none());
+        assert_eq!(j.get(2), Some(&b"gamma"[..]));
+        assert!(!j.is_complete());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn duplicate_commit_is_first_wins_noop() {
+        let dir = tmp_dir("dup");
+        let m = manifest(1);
+        let (mut j, _) = Journal::open_or_create(&dir, &m).unwrap();
+        j.commit(0, b"first").unwrap();
+        let len_after_first = fs::metadata(j.log_path()).unwrap().len();
+        j.commit(0, b"second").unwrap();
+        assert_eq!(fs::metadata(j.log_path()).unwrap().len(), len_after_first);
+        assert_eq!(j.get(0), Some(&b"first"[..]));
+        assert!(j.is_complete());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_prefix_survives() {
+        let dir = tmp_dir("torn");
+        let m = manifest(4);
+        let (mut j, _) = Journal::open_or_create(&dir, &m).unwrap();
+        j.commit(0, b"keep me").unwrap();
+        j.commit(1, b"also keep").unwrap();
+        j.commit(2, b"about to be torn").unwrap();
+        j.sync().unwrap();
+        let log = j.log_path().to_path_buf();
+        drop(j);
+
+        // Simulate a crash mid-append of shard 2: cut the file inside the
+        // last record (drop its checksum plus a few payload bytes).
+        let full = fs::metadata(&log).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&log).unwrap();
+        f.set_len(full - 11).unwrap();
+        drop(f);
+
+        let (j, rep) = Journal::open_or_create(&dir, &m).unwrap();
+        assert!(rep.resumed);
+        assert_eq!(rep.committed, 2);
+        assert!(rep.truncated_bytes > 0);
+        assert_eq!(j.get(0), Some(&b"keep me"[..]));
+        assert_eq!(j.get(1), Some(&b"also keep"[..]));
+        assert!(j.get(2).is_none(), "torn record must not be trusted");
+        // The file itself was repaired: reopening again reports no truncation.
+        drop(j);
+        let (_, rep2) = Journal::open_or_create(&dir, &m).unwrap();
+        assert_eq!(rep2.truncated_bytes, 0);
+        assert_eq!(rep2.committed, 2);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupted_record_invalidates_itself_and_the_tail() {
+        let dir = tmp_dir("corrupt");
+        let m = manifest(3);
+        let (mut j, _) = Journal::open_or_create(&dir, &m).unwrap();
+        j.commit(0, b"good").unwrap();
+        let end_of_first = fs::metadata(j.log_path()).unwrap().len();
+        j.commit(1, b"to be flipped").unwrap();
+        j.commit(2, b"behind the corruption").unwrap();
+        let log = j.log_path().to_path_buf();
+        drop(j);
+
+        // Flip one payload byte inside record 1.
+        let mut bytes = fs::read(&log).unwrap();
+        let idx = end_of_first as usize + 12 + 3;
+        bytes[idx] ^= 0xff;
+        fs::write(&log, &bytes).unwrap();
+
+        let (j, rep) = Journal::open_or_create(&dir, &m).unwrap();
+        assert_eq!(rep.committed, 1, "only the record before the corruption survives");
+        assert!(rep.truncated_bytes > 0);
+        assert_eq!(j.get(0), Some(&b"good"[..]));
+        assert!(j.get(1).is_none());
+        assert!(j.get(2).is_none(), "records after a corrupt one are re-executed, not trusted");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tail_cut_at_every_byte_boundary_recovers_a_clean_prefix() {
+        // Exhaustive torn-tail sweep: whatever byte the crash lands on, the
+        // scan must recover exactly the records wholly before the cut.
+        let dir = tmp_dir("sweep");
+        let m = manifest(3);
+        let (mut j, _) = Journal::open_or_create(&dir, &m).unwrap();
+        let payloads: [&[u8]; 3] = [b"r0", b"record one", b"the third record"];
+        let mut boundaries = vec![0u64];
+        for (i, p) in payloads.iter().enumerate() {
+            j.commit(i as u64, p).unwrap();
+            boundaries.push(fs::metadata(j.log_path()).unwrap().len());
+        }
+        let log = j.log_path().to_path_buf();
+        let pristine = fs::read(&log).unwrap();
+        drop(j);
+
+        for cut in 0..=pristine.len() as u64 {
+            fs::write(&log, &pristine).unwrap();
+            let f = OpenOptions::new().write(true).open(&log).unwrap();
+            f.set_len(cut).unwrap();
+            drop(f);
+            let expected_records = boundaries.iter().filter(|&&b| b <= cut && b > 0).count() as u64;
+            let (j, rep) = Journal::open_or_create(&dir, &m).unwrap();
+            assert_eq!(rep.committed, expected_records, "cut at byte {cut}");
+            for (i, p) in payloads.iter().enumerate() {
+                let committed = boundaries[i + 1] <= cut;
+                assert_eq!(j.get(i as u64), committed.then_some(*p), "cut at byte {cut}");
+            }
+            drop(j);
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mismatched_manifest_refuses_resume() {
+        let dir = tmp_dir("mismatch");
+        let m = manifest(2);
+        let (mut j, _) = Journal::open_or_create(&dir, &m).unwrap();
+        j.commit(0, b"x").unwrap();
+        drop(j);
+
+        let other_engine = CampaignManifest::new("test", 2).with_field("engine", "fine");
+        match Journal::open_or_create(&dir, &other_engine) {
+            Err(JournalError::ManifestMismatch { field, .. }) => assert_eq!(field, "engine"),
+            other => panic!("expected manifest mismatch, got {other:?}"),
+        }
+        let other_shards = manifest(5);
+        assert!(matches!(
+            Journal::open_or_create(&dir, &other_shards),
+            Err(JournalError::ManifestMismatch { .. })
+        ));
+        // The original manifest still resumes fine.
+        let (j, rep) = Journal::open_or_create(&dir, &m).unwrap();
+        assert!(rep.resumed);
+        assert_eq!(j.get(0), Some(&b"x"[..]));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_payloads_and_large_ids_round_trip() {
+        let dir = tmp_dir("edge");
+        let m = manifest(u64::MAX);
+        let (mut j, _) = Journal::open_or_create(&dir, &m).unwrap();
+        j.commit(u64::MAX - 1, b"").unwrap();
+        drop(j);
+        let (j, rep) = Journal::open_or_create(&dir, &m).unwrap();
+        assert_eq!(rep.committed, 1);
+        assert_eq!(j.get(u64::MAX - 1), Some(&b""[..]));
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -44,7 +44,8 @@ use crate::radau5::RadauWorkspace;
 
 /// Pooled working storage for all solver families in this crate.
 ///
-/// One instance per worker thread; see the [module docs](self).
+/// One instance per worker thread; see the module docs for the pooling
+/// contract (bitwise identity with fresh-workspace solves).
 #[derive(Default)]
 pub struct SolverScratch {
     pub(crate) dopri: DopriScratch,

@@ -15,6 +15,8 @@
 //! * [`analysis`] — PSA, Sobol SA, PSO/FST-PSO parameter estimation;
 //! * [`stochastic`] — SSA and tau-leaping with a coarse-grained batch
 //!   engine (the stochastic half of the GPU-simulator landscape);
+//! * [`journal`] — crash-safe campaign durability (write-ahead manifest,
+//!   append-only shard journal, exact resume);
 //! * [`models`] — the evaluation models (classics, autophagy analogue,
 //!   metabolic HK-isoform network);
 //! * [`linalg`] — the dense real/complex kernels underneath.
@@ -38,6 +40,7 @@
 
 pub use paraspace_analysis as analysis;
 pub use paraspace_core as engine;
+pub use paraspace_journal as journal;
 pub use paraspace_linalg as linalg;
 pub use paraspace_models as models;
 pub use paraspace_rbm as rbm;

@@ -239,7 +239,7 @@ pub mod collection {
 
     use super::{Strategy, TestRng};
 
-    /// Admissible length specifications for [`vec`].
+    /// Admissible length specifications for [`vec()`](crate::collection::vec).
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,
@@ -270,7 +270,7 @@ pub mod collection {
         VecStrategy { element, size: size.into() }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`](crate::collection::vec).
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
