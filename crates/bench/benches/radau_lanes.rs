@@ -1,0 +1,321 @@
+//! Stiff lane-width throughput sweep: lockstep Radau IIA lanes vs the
+//! scalar stiff triage, on two stiff RBM shapes.
+//!
+//! Two models cover the two cost regimes of the batched simplified-Newton
+//! kernel:
+//!
+//! * `metabolic` — 114 species × 226 reactions; the dense per-lane LU
+//!   factorizations dominate, so the sweep shows how the SoA layout
+//!   behaves when the factor working set outgrows cache;
+//! * `autophagy-stiff` — the autophagy analogue at `scale = 0.05`
+//!   (12 species × 333 reactions) with every kinetic constant boosted
+//!   ×10⁴ so the batch classifies stiff; the CSR flux/Jacobian sweeps
+//!   dominate, the regime where lockstep SoA batching pays.
+//!
+//! Columns per model × batch size:
+//!
+//! * `bdf1-scalar` — scalar BDF1 per member, the pre-lockstep stiff
+//!   triage destination (the baseline the acceptance bar is judged
+//!   against);
+//! * `radau5-scalar` — scalar Radau IIA per member, the honest
+//!   like-for-like method comparison;
+//! * `radau5-lanes` at widths 1 / 4 / 8 — the lockstep batched
+//!   simplified-Newton kernel with per-lane LU reuse.
+//!
+//! The width-4 warm-up run is asserted bitwise identical to the scalar
+//! Radau trajectories in-loop, so the sweep doubles as an end-to-end
+//! lockstep-correctness check, and every member is asserted to classify
+//! stiff under the fine engine's triage so the comparison really covers
+//! the stiff path. Results go to `results/BENCH_radau_lanes.json`
+//! (relative to the workspace root).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paraspace_core::{classify_batch, RbmBatchSystem, RbmOdeSystem, SimulationJob};
+use paraspace_models::{autophagy, metabolic};
+use paraspace_rbm::{perturbed_batch, CompiledOdes, ReactionBasedModel};
+use paraspace_solvers::{
+    Bdf, OdeSolver, Radau5, Radau5Batch, Solution, SolverOptions, SolverScratch,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::Path;
+use std::time::Instant;
+
+const WIDTHS: [usize; 3] = [1, 4, 8];
+const TIME_POINTS: [f64; 2] = [1.0, 2.0];
+
+struct Row {
+    model: &'static str,
+    batch: usize,
+    column: &'static str,
+    lane_width: usize,
+    reps: usize,
+    mean_wall_ns: f64,
+    best_wall_ns: f64,
+    sims_per_sec_best: f64,
+    speedup_vs_triage: f64,
+    speedup_vs_scalar_radau: f64,
+}
+
+/// One member's resolved `(x0, k)` pair, kept alive for the borrow-based
+/// batch-system queue.
+struct Member {
+    x0: Vec<f64>,
+    k: Vec<f64>,
+}
+
+/// The autophagy analogue shrunk to `scale = 0.05` with the satellite
+/// padding constants boosted ×10⁴ (the 5 oscillator-core reactions keep
+/// their native speed). The fast, stable satellite relaxation modes
+/// against the slow core oscillation are the classic stiff structure:
+/// past the engine's stiffness threshold, yet steppable at the core's
+/// pace, while the network stays small enough that the CSR flux sweeps
+/// (not the LU factors) dominate.
+fn autophagy_stiff() -> ReactionBasedModel {
+    let mut m = autophagy::scaled_model(1e4, 1e-6, 0.05);
+    for i in 5..m.n_reactions() {
+        let k = m.reactions()[i].rate_constant();
+        m.reaction_mut(i).set_rate_constant(k * 1e4);
+    }
+    m
+}
+
+fn scalar_column(
+    solver: &dyn OdeSolver,
+    odes: &CompiledOdes,
+    members: &[Member],
+    opts: &SolverOptions,
+    scratch: &mut SolverScratch,
+) -> Vec<Solution> {
+    members
+        .iter()
+        .map(|m| {
+            let sys = RbmOdeSystem::new(odes, m.k.clone());
+            solver
+                .solve_pooled(&sys, 0.0, &m.x0, &TIME_POINTS, opts, scratch)
+                .expect("stiff member must integrate")
+        })
+        .collect()
+}
+
+fn lane_column(
+    width: usize,
+    odes: &CompiledOdes,
+    members: &[Member],
+    opts: &SolverOptions,
+    scratch: &mut SolverScratch,
+) -> Vec<Solution> {
+    let mut sys = RbmBatchSystem::new(odes, width);
+    for m in members {
+        sys.push_member(&m.x0, &m.k);
+    }
+    let (results, _) = Radau5Batch::new().solve_group(&mut sys, 0.0, &TIME_POINTS, opts, scratch);
+    results.into_iter().map(|r| r.expect("stiff member must integrate")).collect()
+}
+
+fn resolve_members(model: &ReactionBasedModel, batch: usize, rng: &mut StdRng) -> Vec<Member> {
+    perturbed_batch(model, batch, rng)
+        .iter()
+        .map(|p| {
+            let (x0, k) = p.resolve(model).expect("resolve member");
+            Member { x0, k }
+        })
+        .collect()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn sweep_model(
+    rows: &mut Vec<Row>,
+    name: &'static str,
+    model: &ReactionBasedModel,
+    batches: &[usize],
+    reps: usize,
+    opts: &SolverOptions,
+    rng: &mut StdRng,
+) {
+    let odes = model.compile().expect("compile network");
+    let bdf1 = Bdf::with_max_order(1);
+    let radau5 = Radau5::new();
+
+    for &batch in batches {
+        let params = perturbed_batch(model, batch, rng);
+        // The sweep's claim is about the stiff path: every perturbed
+        // member must still classify stiff under the engine triage.
+        let job = SimulationJob::builder(model)
+            .time_points(TIME_POINTS.to_vec())
+            .parameterizations(params.clone())
+            .options(opts.clone())
+            .build()
+            .expect("job");
+        assert!(
+            classify_batch(&job).iter().all(|c| c.stiff),
+            "{name} batch {batch}: every member must classify stiff"
+        );
+        let members: Vec<Member> = params
+            .iter()
+            .map(|p| {
+                let (x0, k) = p.resolve(model).expect("resolve member");
+                Member { x0, k }
+            })
+            .collect();
+
+        let mut scratch = SolverScratch::new();
+        // Scalar Radau is the bitwise reference for the lockstep check.
+        let reference = scalar_column(&radau5, &odes, &members, opts, &mut scratch);
+        {
+            let warm = lane_column(4, &odes, &members, opts, &mut scratch);
+            for (i, (a, b)) in reference.iter().zip(&warm).enumerate() {
+                assert_eq!(a.times, b.times, "{name} member {i}: lane sample times drifted");
+                assert_eq!(
+                    a.states, b.states,
+                    "{name} member {i}: lanes not bitwise == scalar Radau"
+                );
+            }
+        }
+
+        // Time every column, then derive the speedups against the two
+        // scalar anchors.
+        let mut time_column =
+            |run: &mut dyn FnMut(&mut SolverScratch) -> Vec<Solution>| -> (f64, f64) {
+                let mut total = 0.0f64;
+                let mut best = f64::INFINITY;
+                for _ in 0..reps {
+                    let t0 = Instant::now();
+                    let out = run(&mut scratch);
+                    let ns = t0.elapsed().as_nanos() as f64;
+                    assert_eq!(out.len(), batch, "one solution per member");
+                    total += ns;
+                    best = best.min(ns);
+                }
+                (total / reps as f64, best)
+            };
+
+        let mut timed: Vec<(&'static str, usize, f64, f64)> = Vec::new();
+        timed.push({
+            let (mean, best) = time_column(&mut |s| scalar_column(&bdf1, &odes, &members, opts, s));
+            ("bdf1-scalar", 1, mean, best)
+        });
+        timed.push({
+            let (mean, best) =
+                time_column(&mut |s| scalar_column(&radau5, &odes, &members, opts, s));
+            ("radau5-scalar", 1, mean, best)
+        });
+        for &width in &WIDTHS {
+            let (mean, best) = time_column(&mut |s| lane_column(width, &odes, &members, opts, s));
+            timed.push(("radau5-lanes", width, mean, best));
+        }
+
+        let triage_best = timed[0].3;
+        let radau_best = timed[1].3;
+        for (column, lane_width, mean, best) in timed {
+            rows.push(Row {
+                model: name,
+                batch,
+                column,
+                lane_width,
+                reps,
+                mean_wall_ns: mean,
+                best_wall_ns: best,
+                sims_per_sec_best: batch as f64 / (best / 1e9),
+                speedup_vs_triage: triage_best / best,
+                speedup_vs_scalar_radau: radau_best / best,
+            });
+        }
+    }
+}
+
+fn sweep(c: &mut Criterion) {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let (batches, reps): (Vec<usize>, usize) =
+        if test_mode { (vec![8], 1) } else { (vec![32, 128], 3) };
+
+    let opts = SolverOptions { max_steps: 200_000, ..SolverOptions::default() };
+    let metabolic = metabolic::model();
+    let autophagy = autophagy_stiff();
+    let mut rng = StdRng::seed_from_u64(0x5717FF);
+
+    let mut rows: Vec<Row> = Vec::new();
+    sweep_model(&mut rows, "metabolic", &metabolic, &batches, reps, &opts, &mut rng);
+    sweep_model(&mut rows, "autophagy-stiff", &autophagy, &batches, reps, &opts, &mut rng);
+
+    if !test_mode {
+        write_json(&rows);
+        // The acceptance bar for the lockstep stiff path: width 8 beats
+        // the scalar-triage baseline by >= 1.5x on every swept batch.
+        for r in rows.iter().filter(|r| r.column == "radau5-lanes" && r.lane_width == 8) {
+            assert!(
+                r.speedup_vs_triage >= 1.5,
+                "{} batch {}: width-8 speedup vs scalar triage is {:.3}, below the 1.5x bar",
+                r.model,
+                r.batch,
+                r.speedup_vs_triage
+            );
+        }
+    }
+
+    // Surface the small-model sweep through the criterion reporter (the
+    // full matrix is in the JSON).
+    let small = batches[0];
+    let odes = autophagy.compile().expect("compile network");
+    let members = resolve_members(&autophagy, small, &mut rng);
+    let mut group = c.benchmark_group(format!("radau_lanes_autophagy_batch{small}"));
+    group.sample_size(10);
+    for width in WIDTHS {
+        group.bench_with_input(BenchmarkId::new("width", width), &width, |b, &w| {
+            let mut scratch = SolverScratch::new();
+            b.iter(|| lane_column(w, &odes, &members, &opts, &mut scratch))
+        });
+    }
+    group.finish();
+}
+
+fn write_json(rows: &[Row]) {
+    let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut body = String::from("{\n");
+    body.push_str("  \"bench\": \"radau_lanes\",\n");
+    body.push_str(
+        "  \"models\": {\"metabolic\": {\"species\": 114, \"reactions\": 226}, \
+         \"autophagy-stiff\": {\"species\": 12, \"reactions\": 333, \"rate_boost\": 1e4}},\n",
+    );
+    body.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
+    body.push_str(
+        "  \"note\": \"wall time of the stiff batch numerics; bdf1-scalar is the pre-lockstep \
+         scalar triage destination, radau5-scalar the like-for-like scalar method, radau5-lanes \
+         the lockstep batched simplified-Newton kernel; speedups compare best wall times within \
+         the same model and batch size\",\n",
+    );
+    body.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"model\": \"{}\", \"batch\": {}, \"column\": \"{}\", \"lane_width\": {}, \
+             \"reps\": {}, \"mean_wall_ns\": {:.0}, \"best_wall_ns\": {:.0}, \
+             \"sims_per_sec_best\": {:.2}, \"speedup_vs_triage\": {:.3}, \
+             \"speedup_vs_scalar_radau\": {:.3}}}{}\n",
+            r.model,
+            r.batch,
+            r.column,
+            r.lane_width,
+            r.reps,
+            r.mean_wall_ns,
+            r.best_wall_ns,
+            r.sims_per_sec_best,
+            r.speedup_vs_triage,
+            r.speedup_vs_scalar_radau,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    body.push_str("  ]\n}\n");
+
+    let out_dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    std::fs::create_dir_all(&out_dir).expect("create results dir");
+    let out = out_dir.join("BENCH_radau_lanes.json");
+    std::fs::write(&out, body).expect("write BENCH_radau_lanes.json");
+    println!("wrote {}", out.display());
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = sweep
+}
+criterion_main!(benches);

@@ -21,6 +21,16 @@
 //! barrier), and the vgpu device records the resulting lane occupancy.
 //! Per-member trajectories are bitwise independent of the lane width and
 //! the worker-thread count.
+//!
+//! Stiffness triage no longer demotes members to scalar solves: members
+//! whose Jacobian diagonal at `t = 0` crosses the published threshold form
+//! a **second lane-group class** integrated by the lockstep
+//! [`Radau5Batch`] kernel — batched simplified-Newton over one real and
+//! one complex lane-batched LU per lane, with the scalar RADAU5
+//! Jacobian-/factorization-reuse policy applied per lane. Stiff members
+//! thus get the same `L`-fold host-launch amortization as non-stiff ones,
+//! and their trajectories are bitwise identical to scalar [`Radau5`]
+//! solves at any width.
 
 use crate::engines::{
     output_bytes, BatchHealth, BatchResult, BatchTiming, SimOutcome, Simulator, IO_BYTES_PER_NS,
@@ -29,8 +39,8 @@ use crate::recovery::{continue_ladder, solve_member_recovered, RecoveryPolicy};
 use crate::{RbmBatchSystem, SimError, SimulationJob, WorkEstimate, STIFFNESS_THRESHOLD};
 use paraspace_exec::{CancelToken, Executor};
 use paraspace_solvers::{
-    Bdf, Dopri5, Dopri5Batch, LaneReport, Rkf45, SolveFailure, SolverError, SolverScratch,
-    StepStats,
+    Bdf, Dopri5, Dopri5Batch, LaneReport, Radau5, Radau5Batch, Rkf45, SolveFailure, SolverError,
+    SolverScratch, StepStats,
 };
 use paraspace_vgpu::{
     Device, DeviceConfig, DpModel, KernelLaunch, LaneGroupStats, MemorySpace, ThreadWork,
@@ -253,13 +263,20 @@ impl FineEngine {
         let mut outcomes = Vec::with_capacity(batch);
         let mut health = BatchHealth::default();
         for group in groups {
-            let (group_outcomes, report, shard, group_health) =
+            let (group_outcomes, report, stiff_report, shard, group_health) =
                 group.unwrap_or_else(|fault| panic!("{fault}"));
             device.record_lane_group(&LaneGroupStats {
                 width: report.width,
                 lockstep_iters: report.lockstep_iters,
                 lane_steps: report.lane_steps,
             });
+            if let Some(sr) = stiff_report {
+                device.record_lane_group(&LaneGroupStats {
+                    width: sr.width,
+                    lockstep_iters: sr.lockstep_iters,
+                    lane_steps: sr.lane_steps,
+                });
+            }
             device.absorb_shard(shard);
             health.absorb(&group_health);
             outcomes.extend(group_outcomes);
@@ -270,11 +287,12 @@ impl FineEngine {
     }
 
     /// Solves members `lo..hi` as one lane-group of width `width`:
-    /// Jacobian-diagonal triage, lockstep integration of the non-stiff
-    /// members, scalar BDF1 for triaged/rerouted ones, and the group's
-    /// device billing — all on a worker-private shard.
+    /// Jacobian-diagonal triage into **two lockstep classes** — non-stiff
+    /// members integrate under [`Dopri5Batch`], stiff members under
+    /// [`Radau5Batch`] — plus the group's device billing, all on a
+    /// worker-private shard.
     ///
-    /// Fault-planned members are **evicted** from the lockstep group at
+    /// Fault-planned members are **evicted** from both lockstep classes at
     /// assembly and solved scalar under panic containment: a lane that
     /// panics mid-sweep would otherwise tear down its whole group, and a
     /// faulted lane's injected call ordinals would shift with lane packing.
@@ -290,18 +308,21 @@ impl FineEngine {
         width: usize,
         scratch: &mut SolverScratch,
         dp: &DpModel,
-    ) -> (Vec<SimOutcome>, LaneReport, TimelineShard, BatchHealth) {
+    ) -> (Vec<SimOutcome>, LaneReport, Option<LaneReport>, TimelineShard, BatchHealth) {
         let odes = job.odes();
         let n = odes.n_species();
         let bdf1 = Bdf::with_max_order(1);
         let dopri5 = Dopri5::new();
+        let radau5 = Radau5::new();
         let count = hi - lo;
         let mut health = BatchHealth::default();
 
         // P2-style triage on the analytic Jacobian diagonal at t = 0:
         // members whose fastest local decay already exceeds the published
-        // threshold skip the lockstep group and go straight to BDF1, so one
-        // stiff member cannot drag a whole group through tiny steps.
+        // threshold route to the stiff lockstep class (lane-batched RADAU5)
+        // instead of the explicit one, so one stiff member cannot drag a
+        // DOPRI5 group through tiny steps — and a crowd of stiff members no
+        // longer serializes into scalar solves.
         let mut stiff = vec![false; count];
         let mut evicted = vec![false; count];
         let mut diag = vec![0.0; n];
@@ -310,11 +331,13 @@ impl FineEngine {
             odes.jacobian_diag_batch(1, x0, k, &mut diag);
             let fastest = diag.iter().fold(0.0f64, |a, &d| a.max(d.abs()));
             stiff[slot] = fastest >= STIFFNESS_THRESHOLD;
-            evicted[slot] = !stiff[slot] && job.fault_plan().faults_for(i).is_some();
+            evicted[slot] = job.fault_plan().faults_for(i).is_some();
         }
 
         let lane_members: Vec<usize> =
             (lo..hi).filter(|&i| !stiff[i - lo] && !evicted[i - lo]).collect();
+        let stiff_members: Vec<usize> =
+            (lo..hi).filter(|&i| stiff[i - lo] && !evicted[i - lo]).collect();
         let mut report = LaneReport { width, ..LaneReport::default() };
         let mut lane_results = Vec::new();
         if !lane_members.is_empty() {
@@ -332,6 +355,25 @@ impl FineEngine {
             );
             lane_results = res;
             report = rep;
+        }
+
+        let mut stiff_report = None;
+        let mut stiff_results = Vec::new();
+        if !stiff_members.is_empty() {
+            let mut sys = RbmBatchSystem::new(odes, width);
+            for &i in &stiff_members {
+                let (x0, k) = job.member(i);
+                sys.push_member(x0, k);
+            }
+            let (res, rep) = Radau5Batch::new().solve_group(
+                &mut sys,
+                0.0,
+                job.time_points(),
+                job.options(),
+                scratch,
+            );
+            stiff_results = res;
+            stiff_report = Some(rep);
         }
 
         let mut shard = TimelineShard::new();
@@ -385,49 +427,126 @@ impl FineEngine {
             );
         }
 
+        // The stiff class is billed the same way: one wide kernel for the
+        // whole lockstep RADAU5 group (its Newton sweeps and batched LU
+        // solves all happen inside one launch per lockstep tick), plus host
+        // launch latency once per tick — where the pre-lane design paid
+        // per-member, per-step launches for every stiff member.
+        if let Some(sr) = &stiff_report {
+            let mut lane_stats = StepStats::default();
+            for r in &stiff_results {
+                match r {
+                    Ok(s) => lane_stats.absorb(&s.stats),
+                    Err(f) => lane_stats.absorb(&f.stats),
+                }
+            }
+            let work = WorkEstimate::from_stats(odes, &lane_stats, job.time_points().len());
+            let group_stats = LaneGroupStats {
+                width: sr.width,
+                lockstep_iters: sr.lockstep_iters,
+                lane_steps: sr.lane_steps,
+            };
+            let threads = (n * width).max(1);
+            let tpb = threads.clamp(1, 128);
+            let blocks = threads.div_ceil(tpb).max(1);
+            let threads_total = (tpb * blocks) as u64;
+            let flops = ((work.flops as f64 * group_stats.divergence_factor()) as u64).max(1);
+            let per_thread = ThreadWork::new()
+                .with_flops((flops / threads_total).max(1))
+                .with_read(
+                    MemorySpace::CachedGlobal,
+                    ((work.state_bytes + work.structure_bytes) / threads_total).max(1),
+                )
+                .with_global_write((work.output_bytes / threads_total).max(1));
+            shard.launch(
+                &self.device_config,
+                dp,
+                &KernelLaunch::uniform(
+                    format!("integrate::radau_lane_group{g}"),
+                    blocks,
+                    tpb,
+                    per_thread,
+                )
+                .with_registers(48),
+            );
+            let launches = (sr.lockstep_iters * KERNELS_PER_STEP).saturating_sub(1);
+            shard.record_host_phase(
+                "integrate::step_launches",
+                launches as f64 * self.device_config.kernel_launch_ns,
+            );
+        }
+
         // Merge lane results with the scalar-solved members in member
-        // order; triaged, evicted, and rerouted members are billed like the
-        // scalar baseline (their own per-member kernel + per-step launches).
+        // order; evicted and rerouted members are billed like the scalar
+        // baseline (their own per-member kernel + per-step launches).
         let mut outcomes = Vec::with_capacity(count);
         let mut lane_iter = lane_results.into_iter();
+        let mut stiff_iter = stiff_results.into_iter();
         for (slot, i) in (lo..hi).enumerate() {
-            if stiff[slot] {
-                let rs = solve_member_recovered(
-                    job,
-                    i,
-                    (&bdf1, "bdf1"),
-                    None,
-                    |_| false,
-                    &self.recovery,
-                    scratch,
-                );
-                self.bill_scalar_member(&mut shard, job, i, &rs.stats, dp, n);
-                health.observe(&rs.solution, &rs.log);
-                outcomes.push(SimOutcome {
-                    solution: rs.solution,
-                    stiff: true,
-                    rerouted: false,
-                    solver: rs.solver,
-                    log: rs.log,
-                });
-                continue;
-            }
             if evicted[slot] {
-                let rs = solve_member_recovered(
-                    job,
-                    i,
-                    (&dopri5, "dopri5"),
-                    Some((&bdf1, "bdf1")),
-                    reroutable,
-                    &self.recovery,
-                    scratch,
-                );
+                // Stiff evicted members go straight to scalar RADAU5 (the
+                // bitwise twin of their would-be lane), so a fault plan
+                // never changes which method a member runs under.
+                let rs = if stiff[slot] {
+                    solve_member_recovered(
+                        job,
+                        i,
+                        (&radau5, "radau5"),
+                        None,
+                        |_| false,
+                        &self.recovery,
+                        scratch,
+                    )
+                } else {
+                    solve_member_recovered(
+                        job,
+                        i,
+                        (&dopri5, "dopri5"),
+                        Some((&bdf1, "bdf1")),
+                        reroutable,
+                        &self.recovery,
+                        scratch,
+                    )
+                };
                 self.bill_scalar_member(&mut shard, job, i, &rs.stats, dp, n);
                 health.evicted_lanes += 1;
                 health.observe(&rs.solution, &rs.log);
                 outcomes.push(SimOutcome {
                     solution: rs.solution,
-                    stiff: false,
+                    stiff: stiff[slot],
+                    rerouted: rs.log.rerouted,
+                    solver: rs.solver,
+                    log: rs.log,
+                });
+                continue;
+            }
+            if stiff[slot] {
+                let first = stiff_iter.next().expect("one lane result per stiff member");
+                // The lane attempt was billed in the group-wide RADAU5
+                // kernel; the ladder continues from a zero-stats copy.
+                let first = match first {
+                    Ok(sol) => Ok(sol),
+                    Err(f) => Err(SolveFailure { error: f.error, stats: StepStats::default() }),
+                };
+                let rs = continue_ladder(
+                    job,
+                    i,
+                    first,
+                    "radau5-lanes",
+                    (&radau5, "radau5"),
+                    None,
+                    |_| false,
+                    &self.recovery,
+                    self.recovery.base_options(job),
+                    scratch,
+                );
+                if rs.log.attempts > 1 {
+                    self.bill_scalar_member(&mut shard, job, i, &rs.stats, dp, n);
+                }
+                health.observe(&rs.solution, &rs.log);
+                outcomes.push(SimOutcome {
+                    solution: rs.solution,
+                    stiff: true,
                     rerouted: rs.log.rerouted,
                     solver: rs.solver,
                     log: rs.log,
@@ -466,7 +585,7 @@ impl FineEngine {
                 log: rs.log,
             });
         }
-        (outcomes, report, shard, health)
+        (outcomes, report, stiff_report, shard, health)
     }
 
     /// Prices one scalar-solved member the published-baseline way: species
@@ -694,7 +813,7 @@ mod tests {
     }
 
     #[test]
-    fn stiff_members_are_triaged_out_of_lane_groups() {
+    fn stiff_members_form_radau_lane_groups() {
         let m = model();
         let job = SimulationJob::builder(&m)
             .time_points(vec![1.0])
@@ -705,10 +824,40 @@ mod tests {
             .unwrap();
         let r = FineEngine::new().run(&job).unwrap();
         assert_eq!(r.outcomes[0].solver, "dopri5-lanes");
-        assert_eq!(r.outcomes[1].solver, "bdf1");
+        assert_eq!(r.outcomes[1].solver, "radau5-lanes");
         assert!(r.outcomes[1].stiff);
         assert!(r.outcomes[1].solution.is_ok());
         assert_eq!(r.outcomes[2].solver, "dopri5-lanes");
+    }
+
+    #[test]
+    fn stiff_lane_members_are_bitwise_identical_to_scalar_radau() {
+        use paraspace_solvers::{OdeSolver, Radau5, SolverScratch};
+        let m = model();
+        let mut b = SimulationJob::builder(&m).time_points(vec![0.5, 1.0]);
+        for i in 0..6 {
+            b = b.parameterization(
+                Parameterization::new()
+                    .with_rate_constants(vec![2e5 + 1e4 * i as f64, 3e5 + 2e4 * i as f64]),
+            );
+        }
+        let job = b.build().unwrap();
+        let r4 = FineEngine::new().with_lane_width(4).run(&job).unwrap();
+        let r8 = FineEngine::new().with_lane_width(8).with_threads(4).run(&job).unwrap();
+        let mut scratch = SolverScratch::new();
+        for i in 0..job.batch_size() {
+            assert_eq!(r4.outcomes[i].solver, "radau5-lanes");
+            assert!(r4.outcomes[i].stiff);
+            let (x0, k) = job.member(i);
+            let sys = crate::RbmOdeSystem::new(job.odes(), k.to_vec());
+            let reference = Radau5::new()
+                .solve_pooled(&sys, 0.0, x0, job.time_points(), job.options(), &mut scratch)
+                .unwrap();
+            let a = r4.outcomes[i].solution.as_ref().unwrap();
+            let b = r8.outcomes[i].solution.as_ref().unwrap();
+            assert_eq!(a.states, reference.states, "member {i}: width 4 vs scalar");
+            assert_eq!(b.states, reference.states, "member {i}: width 8 vs scalar");
+        }
     }
 
     #[test]

@@ -24,13 +24,14 @@ use crate::engines::{
     IO_BYTES_PER_NS,
 };
 use crate::recovery::{contained_attempt, continue_ladder, RecoveryLog, RecoveryPolicy};
-use crate::{classify_batch_with_threshold, SimError, SimulationJob, WorkEstimate};
+use crate::{classify_batch_with_threshold, RbmBatchSystem, SimError, SimulationJob, WorkEstimate};
 use paraspace_exec::{CancelToken, Cancelled, Executor};
 use paraspace_solvers::{
-    Dopri5, OdeSolver, Radau5, SolveFailure, SolverError, SolverScratch, StepStats,
+    Dopri5, OdeSolver, Radau5, Radau5Batch, SolveFailure, SolverError, SolverScratch, StepStats,
 };
 use paraspace_vgpu::{
-    ChildLaunch, Device, DeviceConfig, DpModel, KernelLaunch, MemorySpace, ThreadWork,
+    ChildLaunch, Device, DeviceConfig, DpModel, KernelLaunch, LaneGroupStats, MemorySpace,
+    ThreadWork,
 };
 use std::time::Instant;
 
@@ -39,6 +40,9 @@ const PCIE_BYTES_PER_NS: f64 = 8.0;
 /// Parent-thread control-flow flops per solver step (loop bookkeeping,
 /// step-size control on the coarse thread).
 const PARENT_FLOPS_PER_STEP: u64 = 30;
+/// Lane width of the lockstep P4 RADAU5 group (results are bitwise
+/// independent of this; it only shapes the modeled kernel).
+const P4_LANE_WIDTH: usize = 8;
 
 /// The fine+coarse engine.
 ///
@@ -240,6 +244,94 @@ impl FineCoarseEngine {
         device.launch(&launch);
         Ok(failed)
     }
+
+    /// The lane-batched P4: all of `members` integrate as lockstep RADAU5
+    /// lane-groups ([`Radau5Batch`] over the SoA adapter) instead of one
+    /// scalar solve per stiff member. Each parent thread now carries a
+    /// whole lane-group, and one child round per lockstep tick serves all
+    /// `L` lanes — the per-tick dynamic-parallelism overhead is amortized
+    /// `L`-fold, which is exactly where the scalar P4 lost its budget on
+    /// stiff-heavy batches. Results are bitwise identical to scalar
+    /// [`Radau5`] per member.
+    fn run_p4_lanes(
+        &self,
+        job: &SimulationJob,
+        device: &Device,
+        members: &[usize],
+        slots: &mut [Option<(Result<paraspace_solvers::Solution, SolverError>, &'static str)>],
+        logs: &mut [RecoveryLog],
+    ) {
+        let n = job.odes().n_species();
+        let width = P4_LANE_WIDTH;
+        let mut sys = RbmBatchSystem::new(job.odes(), width);
+        for &i in members {
+            let (x0, k) = job.member(i);
+            sys.push_member(x0, k);
+        }
+        let mut scratch = SolverScratch::new();
+        let (results, report) = Radau5Batch::new().solve_group(
+            &mut sys,
+            0.0,
+            job.time_points(),
+            job.options(),
+            &mut scratch,
+        );
+
+        let mut lane_stats = StepStats::default();
+        for r in &results {
+            match r {
+                Ok(s) => lane_stats.absorb(&s.stats),
+                Err(f) => lane_stats.absorb(&f.stats),
+            }
+        }
+        let phase_work = WorkEstimate::from_stats(job.odes(), &lane_stats, job.time_points().len());
+        let group_stats = LaneGroupStats {
+            width: report.width,
+            lockstep_iters: report.lockstep_iters,
+            lane_steps: report.lane_steps,
+        };
+
+        // Parent grid: one thread per lane-group worth of members; child
+        // grid: species × lanes threads, one round per lockstep tick, flops
+        // inflated by the divergence factor (masked lanes burn issue slots).
+        let tpb = self.threads_per_block;
+        let blocks = members.len().div_ceil(width).div_ceil(tpb).max(1);
+        let parent = ThreadWork::new()
+            .with_flops(report.lockstep_iters * PARENT_FLOPS_PER_STEP)
+            .with_syncs(report.lockstep_iters);
+        let child_threads = (n * width).max(1);
+        let child_tpb = child_threads.clamp(1, 128);
+        let child_blocks = child_threads.div_ceil(child_tpb).max(1);
+        let child_threads_total = (child_tpb * child_blocks) as u64;
+        let rounds = report.lockstep_iters.max(1);
+        let flops = ((phase_work.flops as f64 * group_stats.divergence_factor()) as u64).max(1);
+        let launch = KernelLaunch::uniform("integrate::p4_radau_lanes", blocks, tpb, parent)
+            .with_registers(64)
+            .with_child(ChildLaunch {
+                blocks: child_blocks,
+                threads_per_block: child_tpb,
+                work: ThreadWork::new()
+                    .with_flops((flops / child_threads_total / rounds).max(1))
+                    .with_read(
+                        MemorySpace::CachedGlobal,
+                        ((phase_work.state_bytes + phase_work.structure_bytes)
+                            / child_threads_total
+                            / rounds)
+                            .max(1),
+                    )
+                    .with_global_write(phase_work.output_bytes / child_threads_total / rounds),
+                repeats: rounds,
+            });
+        device.launch(&launch);
+
+        for (idx, r) in results.into_iter().enumerate() {
+            let i = members[idx];
+            logs[i].attempts += 1;
+            let (solution, _stats) = outcome_and_stats(r);
+            logs[i].panicked |= matches!(solution, Err(SolverError::Internal { .. }));
+            slots[i] = Some((solution, "radau5-lanes"));
+        }
+    }
 }
 
 /// How many child-grid launch rounds one simulation's integration issued:
@@ -324,16 +416,36 @@ impl Simulator for FineCoarseEngine {
             }
             v
         };
-        self.run_phase(
-            job,
-            &device,
-            "p4_radau5",
-            &radau5,
-            &p4_members,
-            &mut slots,
-            &mut logs,
-            false,
-        )?;
+        // Mass-action batches with two or more clean stiff members run P4
+        // as lockstep RADAU5 lane-groups; fault-planned members stay on the
+        // scalar path so an injected panic (and its per-call fault
+        // ordinals) cannot touch a whole group.
+        let (p4_lane, p4_scalar): (Vec<usize>, Vec<usize>) =
+            p4_members.iter().copied().partition(|&i| job.fault_plan().faults_for(i).is_none());
+        if job.odes().supports_lane_batch() && p4_lane.len() >= 2 {
+            self.run_p4_lanes(job, &device, &p4_lane, &mut slots, &mut logs);
+            self.run_phase(
+                job,
+                &device,
+                "p4_radau5",
+                &radau5,
+                &p4_scalar,
+                &mut slots,
+                &mut logs,
+                false,
+            )?;
+        } else {
+            self.run_phase(
+                job,
+                &device,
+                "p4_radau5",
+                &radau5,
+                &p4_members,
+                &mut slots,
+                &mut logs,
+                false,
+            )?;
+        }
 
         // Relaxation pass: members still failing after P4 climb the
         // tolerance-relaxation rungs of the ladder on the solver that last
@@ -472,6 +584,37 @@ mod tests {
         // The stiff member still reaches the right equilibrium A/(A+B) = ½.
         let s = r.outcomes[1].solution.as_ref().unwrap();
         assert!((s.state_at(0)[0] - 0.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn stiff_crowds_run_p4_in_lockstep_lanes() {
+        use paraspace_solvers::SolverScratch;
+        let m = reversible_model();
+        let mut b = SimulationJob::builder(&m).time_points(vec![0.5, 1.0]);
+        for i in 0..5 {
+            b = b.parameterization(
+                Parameterization::new()
+                    .with_rate_constants(vec![1e5 + 5e3 * i as f64, 2e5 + 1e4 * i as f64]),
+            );
+        }
+        let job = b.build().unwrap();
+        let r = FineCoarseEngine::new().run(&job).unwrap();
+        let mut scratch = SolverScratch::new();
+        for i in 0..job.batch_size() {
+            assert!(r.outcomes[i].stiff);
+            assert_eq!(r.outcomes[i].solver, "radau5-lanes");
+            // Bitwise identical to the scalar RADAU5 twin.
+            let (x0, k) = job.member(i);
+            let sys = crate::RbmOdeSystem::new(job.odes(), k.to_vec());
+            let reference = Radau5::new()
+                .solve_pooled(&sys, 0.0, x0, job.time_points(), job.options(), &mut scratch)
+                .unwrap();
+            assert_eq!(
+                r.outcomes[i].solution.as_ref().unwrap().states,
+                reference.states,
+                "member {i}"
+            );
+        }
     }
 
     #[test]

@@ -252,6 +252,17 @@ impl BatchOdeSystem for RbmBatchSystem<'_> {
             dydt.as_mut_slice(),
         );
     }
+
+    fn supports_jacobian_batch(&self) -> bool {
+        // Mass-action networks (the only ones this adapter accepts) have the
+        // batched analytic Jacobian; it is exact, so the scalar path's
+        // `has_analytic_jacobian` contract carries over lane by lane.
+        true
+    }
+
+    fn jacobian_batch(&mut self, _t: &[f64], y: &BatchState, jac: &mut [f64]) {
+        self.odes.jacobian_batch(self.lanes, y.as_slice(), &self.k_lanes, jac);
+    }
 }
 
 #[cfg(test)]

@@ -19,8 +19,8 @@ use paraspace_core::{
     BatchResult, CpuEngine, CpuSolverKind, FaultPlan, FaultSpec, FineCoarseEngine, FineEngine,
     RbmOdeSystem, RecoveryPolicy, SimulationJob, Simulator,
 };
-use paraspace_rbm::{perturbed_batch, Reaction, ReactionBasedModel};
-use paraspace_solvers::{Dopri5, OdeSolver, SolverError, SolverOptions};
+use paraspace_rbm::{perturbed_batch, Parameterization, Reaction, ReactionBasedModel};
+use paraspace_solvers::{ChaosSystem, Dopri5, OdeSolver, Radau5, SolverError, SolverOptions};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -200,6 +200,109 @@ fn evicted_members_match_direct_scalar_solves() {
         let lane = r.outcomes[i].solution.as_ref().unwrap();
         assert_eq!(lane.states, direct.states, "member {i}: lane vs direct scalar");
     }
+}
+
+/// A 16-member all-stiff batch whose three faulted members fire *inside*
+/// RADAU5's simplified-Newton iterations (the fault triggers hit the
+/// Newton stage sweeps' RHS evaluations, not explicit RK stages).
+fn stiff_chaos_job(m: &ReactionBasedModel) -> SimulationJob<'_> {
+    let mut b = SimulationJob::builder(m).time_points(vec![0.5, 1.0]);
+    for i in 0..16 {
+        b = b.parameterization(
+            Parameterization::new()
+                .with_rate_constants(vec![1e5 + 3e3 * i as f64, 2e5 + 2e3 * i as f64]),
+        );
+    }
+    b.fault_plan(
+        FaultPlan::new()
+            .with_fault(3, FaultSpec::nan_at_time(0.2))
+            .with_fault(7, FaultSpec::panic_at_time(0.3))
+            .with_fault(12, FaultSpec::stall_at_time(0.1)),
+    )
+    .build()
+    .unwrap()
+}
+
+#[test]
+fn stiff_faults_fire_inside_radau_newton_and_are_evicted() {
+    // Faulted stiff members are evicted from their RADAU5 lane groups and
+    // re-experience their faults under scalar RADAU5; every member —
+    // faulted or clean — must bitwise-match a direct scalar RADAU5 solve
+    // of the same member, and the whole run must be thread-deterministic.
+    let m = model();
+    let job = stiff_chaos_job(&m);
+    let r = FineEngine::new().with_lane_width(8).with_recovery(policy()).run(&job).unwrap();
+    assert_eq!(r.outcomes.len(), 16);
+    assert_eq!(r.health.evicted_lanes, 3, "all fault-planned stiff members are evicted");
+    assert!(
+        matches!(&r.outcomes[7].solution, Err(SolverError::Internal { message }) if message.contains("chaos")),
+        "panic member must be contained: {:?}",
+        r.outcomes[7].solution
+    );
+    assert!(
+        matches!(&r.outcomes[12].solution, Err(SolverError::StepBudgetExhausted { .. })),
+        "stall member must exhaust its budget: {:?}",
+        r.outcomes[12].solution
+    );
+    let opts = SolverOptions { step_budget: Some(4000), ..job.options().clone() };
+    for i in 0..16 {
+        assert!(r.outcomes[i].stiff, "member {i} must classify stiff");
+        let (x0, k) = job.member(i);
+        let sys = RbmOdeSystem::new(job.odes(), k.to_vec());
+        let direct = match job.fault_plan().faults_for(i) {
+            Some(faults) if i != 7 => Radau5::new().solve(
+                &ChaosSystem::new(sys, faults.to_vec()),
+                0.0,
+                x0,
+                job.time_points(),
+                &opts,
+            ),
+            Some(_) => continue, // the panic member has no direct solve to compare
+            None => Radau5::new().solve(&sys, 0.0, x0, job.time_points(), &opts),
+        };
+        match (&r.outcomes[i].solution, direct) {
+            (Ok(lane), Ok(scalar)) => {
+                assert_eq!(lane.states, scalar.states, "member {i}: lane vs direct scalar");
+                assert_eq!(lane.stats, scalar.stats, "member {i}: stats");
+            }
+            (Err(lane), Err(scalar)) => {
+                assert_eq!(lane.to_string(), scalar.error.to_string(), "member {i}: failure");
+            }
+            (lane, direct) => {
+                panic!("member {i}: outcome class differs: {lane:?} vs {direct:?}")
+            }
+        }
+    }
+    for threads in [2, 8] {
+        let rt = FineEngine::new()
+            .with_lane_width(8)
+            .with_recovery(policy())
+            .with_threads(threads)
+            .run(&job)
+            .unwrap();
+        assert_bitwise(&r, &rt, &format!("stiff chaos, {threads} threads"));
+    }
+}
+
+#[test]
+fn stiff_chaos_retries_refault_identically() {
+    // Recovery retries of a faulted stiff member get a fresh ChaosSystem
+    // wrapper per attempt, so the re-fault is deterministic: two full runs
+    // (and two different lane widths) produce identical failures and
+    // identical trajectories everywhere.
+    let m = model();
+    let job = stiff_chaos_job(&m);
+    let policy = RecoveryPolicy { max_relaxations: 2, ..policy() };
+    let a = FineEngine::new().with_lane_width(8).with_recovery(policy).run(&job).unwrap();
+    let b = FineEngine::new().with_lane_width(8).with_recovery(policy).run(&job).unwrap();
+    assert_bitwise(&a, &b, "stiff chaos retries, repeated runs");
+    let c = FineEngine::new().with_lane_width(4).with_recovery(policy).run(&job).unwrap();
+    assert_outcomes_bitwise(&a, &c, "stiff chaos retries, w8 vs w4");
+    assert!(
+        a.health.retries_attempted > 0,
+        "the relaxation rungs must engage on the faulted members: {:?}",
+        a.health
+    );
 }
 
 #[test]

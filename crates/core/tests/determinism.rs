@@ -26,8 +26,8 @@ fn reversible_model() -> ReactionBasedModel {
 }
 
 /// A batch that exercises every path: perturbed non-stiff members, one
-/// strongly stiff member (P2 → RADAU5 in fine-coarse, BDF1 retry in fine),
-/// and enough members that 4 workers all get work.
+/// strongly stiff member (P2 → RADAU5 in fine-coarse, lockstep RADAU5 in
+/// fine), and enough members that 4 workers all get work.
 fn mixed_job(m: &ReactionBasedModel) -> SimulationJob<'_> {
     let mut rng = StdRng::seed_from_u64(42);
     let mut params = perturbed_batch(m, 11, &mut rng);
@@ -37,6 +37,20 @@ fn mixed_job(m: &ReactionBasedModel) -> SimulationJob<'_> {
         .parameterizations(params)
         .build()
         .unwrap()
+}
+
+/// A stiff-dominated batch: every member crosses the stiffness threshold,
+/// with enough parameter spread that lanes genuinely diverge in step size
+/// and Jacobian-refresh cadence.
+fn stiff_job(m: &ReactionBasedModel) -> SimulationJob<'_> {
+    let mut b = SimulationJob::builder(m).time_points(vec![0.25, 0.5, 1.0, 2.0]);
+    for i in 0..10 {
+        b = b.parameterization(
+            Parameterization::new()
+                .with_rate_constants(vec![1e5 + 2.5e4 * i as f64, 2e5 + 1.5e4 * i as f64]),
+        );
+    }
+    b.build().unwrap()
 }
 
 /// Asserts two batch results are identical in every observable except host
@@ -107,8 +121,8 @@ fn fine_engine_is_bitwise_deterministic_across_thread_counts() {
     let job = mixed_job(&m);
     let reference = FineEngine::new().run(&job).unwrap();
     assert!(
-        reference.outcomes.iter().any(|o| o.solver == "bdf1"),
-        "batch must exercise the BDF1 retry path"
+        reference.outcomes.iter().any(|o| o.solver == "radau5-lanes"),
+        "batch must exercise the stiff lockstep path"
     );
     for threads in [1, 2, 4] {
         let parallel = FineEngine::new().with_threads(threads).run(&job).unwrap();
@@ -129,6 +143,10 @@ fn fine_engine_lane_trajectories_are_bitwise_identical_across_lane_widths() {
         reference.outcomes.iter().any(|o| o.solver == "dopri5-lanes"),
         "batch must exercise the lockstep path"
     );
+    assert!(
+        reference.outcomes.iter().any(|o| o.solver == "radau5-lanes"),
+        "mixed batch must also exercise the stiff lockstep path"
+    );
     for width in [3, 4, 8] {
         let other = FineEngine::new().with_lane_width(width).run(&job).unwrap();
         for (i, (r, p)) in reference.outcomes.iter().zip(&other.outcomes).enumerate() {
@@ -142,6 +160,46 @@ fn fine_engine_lane_trajectories_are_bitwise_identical_across_lane_widths() {
                     assert_eq!(a.to_string(), b.to_string(), "width {width}: member {i}")
                 }
                 _ => panic!("width {width}: member {i} outcome class changed"),
+            }
+        }
+    }
+}
+
+#[test]
+fn stiff_batch_lockstep_radau_is_bitwise_identical_to_scalar_at_any_width() {
+    // Every lane width × thread count must reproduce the direct scalar
+    // RADAU5 solve of each member exactly — trajectories, sample times,
+    // and every work counter. This is the stiff twin of the DOPRI5 lane
+    // guarantee: lane packing, compaction order, and host parallelism must
+    // never leak into the numerics.
+    use paraspace_core::RbmOdeSystem;
+    use paraspace_solvers::{OdeSolver, Radau5, SolverScratch};
+
+    let m = reversible_model();
+    let job = stiff_job(&m);
+    let mut scratch = SolverScratch::new();
+    let reference: Vec<_> = (0..job.batch_size())
+        .map(|i| {
+            let (x0, k) = job.member(i);
+            let sys = RbmOdeSystem::new(job.odes(), k.to_vec());
+            Radau5::new()
+                .solve_pooled(&sys, 0.0, x0, job.time_points(), job.options(), &mut scratch)
+                .unwrap()
+        })
+        .collect();
+
+    for width in [2, 4, 8] {
+        for threads in [1, 8] {
+            let r =
+                FineEngine::new().with_lane_width(width).with_threads(threads).run(&job).unwrap();
+            for (i, expected) in reference.iter().enumerate() {
+                let label = format!("width {width}, {threads} threads, member {i}");
+                assert!(r.outcomes[i].stiff, "{label}: must classify stiff");
+                assert_eq!(r.outcomes[i].solver, "radau5-lanes", "{label}");
+                let sol = r.outcomes[i].solution.as_ref().unwrap();
+                assert_eq!(sol.times, expected.times, "{label}: sample times");
+                assert_eq!(sol.states, expected.states, "{label}: trajectory");
+                assert_eq!(sol.stats, expected.stats, "{label}: step statistics");
             }
         }
     }

@@ -1,0 +1,579 @@
+//! Lane-batched LU factorization: the SoA "getrfBatched/getrsBatched"
+//! substrate the lockstep Radau IIA kernel hands its per-lane iteration
+//! matrices to.
+//!
+//! Storage is structure-of-arrays with lane-minor layout: element `(i, j)`
+//! of lane `l` lives at `(i·n + j)·L + l`, so the elimination inner loops
+//! sweep contiguous `f64` runs across lanes — one cache line serves a
+//! register-width of lanes, the same shape the batched RHS kernels use.
+//!
+//! Per lane, the factorization and substitution replicate [`LuFactor`] /
+//! [`CluFactor`] **branch for branch**: the strict-`>` partial-pivot search,
+//! the `max == 0.0` singularity test, the full-row swap, and the
+//! `m != 0.0` elimination guard (which matters bitwise when a row holds
+//! infinities: `0 × ∞ = NaN`). A lane factored here and solved with
+//! [`BatchLuFactor::solve_lanes`] therefore produces bit-identical results
+//! to routing that lane's matrix through the scalar path — the property the
+//! lockstep solver's determinism contract rests on.
+//!
+//! Lanes are *masked*: `factor` touches only the lanes the caller selects,
+//! leaving every other lane's stored factorization (and pivot sequence)
+//! intact. That is how the Radau kernel reuses a lane's LU across steps
+//! while refactoring its neighbours.
+
+use crate::Complex64;
+
+/// Lane-batched LU factorization of real `n × n` systems.
+///
+/// # Example
+///
+/// ```
+/// use paraspace_linalg::BatchLuFactor;
+///
+/// // Two lanes: lane 0 holds [[2,1],[1,3]], lane 1 the identity.
+/// let mut lu = BatchLuFactor::new(2, 2);
+/// let m = lu.matrix_mut();
+/// let idx = |i: usize, j: usize, l: usize| (i * 2 + j) * 2 + l;
+/// m[idx(0, 0, 0)] = 2.0;
+/// m[idx(0, 1, 0)] = 1.0;
+/// m[idx(1, 0, 0)] = 1.0;
+/// m[idx(1, 1, 0)] = 3.0;
+/// m[idx(0, 0, 1)] = 1.0;
+/// m[idx(1, 1, 1)] = 1.0;
+/// lu.factor(&[true, true]);
+/// assert!(!lu.is_singular(0) && !lu.is_singular(1));
+/// let mut b = vec![3.0, 7.0, 4.0, -2.0]; // n × L block: b = (3, 4) | (7, -2)
+/// lu.solve_lanes(&mut b, &[true, true]);
+/// assert!((b[0] - 1.0).abs() < 1e-12 && (b[2] - 1.0).abs() < 1e-12); // lane 0: x = (1, 1)
+/// assert_eq!((b[1], b[3]), (7.0, -2.0)); // lane 1 solved against I
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BatchLuFactor {
+    n: usize,
+    lanes: usize,
+    /// `(i·n + j)·L + l`: matrix entries before `factor`, the packed `L`/`U`
+    /// factors after (unit diagonal of `L` implicit).
+    lu: Vec<f64>,
+    /// Pivot swap sequence per lane (LAPACK `ipiv` style): at step `k`, lane
+    /// `l` exchanged row `k` with row `pivots[k·L + l]`.
+    pivots: Vec<usize>,
+    singular: Vec<bool>,
+}
+
+impl BatchLuFactor {
+    /// Zeroed storage for `lanes` systems of dimension `n`.
+    pub fn new(n: usize, lanes: usize) -> Self {
+        BatchLuFactor {
+            n,
+            lanes,
+            lu: vec![0.0; n * n * lanes],
+            pivots: vec![0; n * lanes],
+            singular: vec![false; lanes],
+        }
+    }
+
+    /// Re-targets the storage to `n × n × lanes`, zero-filling. A no-op when
+    /// the shape already matches (stored factorizations are kept).
+    pub fn ensure(&mut self, n: usize, lanes: usize) {
+        if self.n == n && self.lanes == lanes {
+            return;
+        }
+        self.n = n;
+        self.lanes = lanes;
+        self.lu.clear();
+        self.lu.resize(n * n * lanes, 0.0);
+        self.pivots.clear();
+        self.pivots.resize(n * lanes, 0);
+        self.singular.clear();
+        self.singular.resize(lanes, false);
+    }
+
+    /// System dimension `n`.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Lane width `L`.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Mutable SoA matrix storage (`(i·n + j)·L + l`). Callers build the
+    /// next matrices **only in the lane columns they are about to
+    /// [`factor`](Self::factor)**; other lanes' columns hold live
+    /// factorizations that must not be disturbed.
+    pub fn matrix_mut(&mut self) -> &mut [f64] {
+        &mut self.lu
+    }
+
+    /// Whether lane `l`'s last factorization hit an exactly-zero pivot
+    /// column.
+    pub fn is_singular(&self, l: usize) -> bool {
+        self.singular[l]
+    }
+
+    /// Factors the masked lanes in place, replicating the scalar
+    /// [`LuFactor::new`](crate::LuFactor::new) operation sequence per lane.
+    /// Unmasked lanes are untouched. Singular lanes are flagged (check
+    /// [`is_singular`](Self::is_singular)) and their storage left partially
+    /// eliminated; they must not be solved against.
+    pub fn factor(&mut self, mask: &[bool]) {
+        assert_eq!(mask.len(), self.lanes, "mask length");
+        let (n, lanes) = (self.n, self.lanes);
+        let a = &mut self.lu;
+        for (l, &m) in mask.iter().enumerate() {
+            if m {
+                self.singular[l] = false;
+            }
+        }
+        let idx = |i: usize, j: usize, l: usize| (i * n + j) * lanes + l;
+        for k in 0..n {
+            for l in 0..lanes {
+                if !mask[l] || self.singular[l] {
+                    continue;
+                }
+                // Partial pivoting: pick the largest |a[i][k]| for i >= k.
+                let mut piv = k;
+                let mut max = a[idx(k, k, l)].abs();
+                for i in (k + 1)..n {
+                    let v = a[idx(i, k, l)].abs();
+                    if v > max {
+                        max = v;
+                        piv = i;
+                    }
+                }
+                if max == 0.0 {
+                    self.singular[l] = true;
+                    continue;
+                }
+                self.pivots[k * lanes + l] = piv;
+                if piv != k {
+                    // Swap the full rows; the permutation acts on b at solve
+                    // time.
+                    for j in 0..n {
+                        a.swap(idx(k, j, l), idx(piv, j, l));
+                    }
+                }
+                let pivot = a[idx(k, k, l)];
+                for i in (k + 1)..n {
+                    let m = a[idx(i, k, l)] / pivot;
+                    a[idx(i, k, l)] = m;
+                    if m != 0.0 {
+                        for j in (k + 1)..n {
+                            let u = a[idx(k, j, l)];
+                            a[idx(i, j, l)] -= m * u;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Solves `A_l x_l = b_l` in place for every masked, non-singular lane.
+    /// `b` is an `n × L` SoA block (`component i`, lane `l` ⇒ `i·L + l`).
+    /// Per lane this replays the pivot swaps then substitutes, exactly as
+    /// [`LuFactor::solve_in_place`](crate::LuFactor::solve_in_place) does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != n·L` or `mask.len() != L`.
+    pub fn solve_lanes(&self, b: &mut [f64], mask: &[bool]) {
+        let (n, lanes) = (self.n, self.lanes);
+        assert_eq!(b.len(), n * lanes, "right-hand-side block length");
+        assert_eq!(mask.len(), lanes, "mask length");
+        let lu = &self.lu;
+        let idx = |i: usize, j: usize, l: usize| (i * n + j) * lanes + l;
+        for l in 0..lanes {
+            if !mask[l] || self.singular[l] {
+                continue;
+            }
+            // Replay the factorization's row exchanges on b (P b).
+            for k in 0..n {
+                let p = self.pivots[k * lanes + l];
+                b.swap(k * lanes + l, p * lanes + l);
+            }
+            // Forward: L y = P b (unit diagonal).
+            for i in 1..n {
+                let mut acc = b[i * lanes + l];
+                for j in 0..i {
+                    acc -= lu[idx(i, j, l)] * b[j * lanes + l];
+                }
+                b[i * lanes + l] = acc;
+            }
+            // Backward: U x = y.
+            for i in (0..n).rev() {
+                let mut acc = b[i * lanes + l];
+                for j in (i + 1)..n {
+                    acc -= lu[idx(i, j, l)] * b[j * lanes + l];
+                }
+                b[i * lanes + l] = acc / lu[idx(i, i, l)];
+            }
+        }
+    }
+}
+
+/// Lane-batched LU factorization of complex `n × n` systems, mirroring
+/// [`BatchLuFactor`] over [`Complex64`] — the complex Newton system of the
+/// lockstep Radau IIA kernel. Pivoting uses `|·|²` exactly as
+/// [`CluFactor`](crate::CluFactor) does.
+#[derive(Debug, Clone, Default)]
+pub struct BatchCluFactor {
+    n: usize,
+    lanes: usize,
+    lu: Vec<Complex64>,
+    pivots: Vec<usize>,
+    singular: Vec<bool>,
+}
+
+impl BatchCluFactor {
+    /// Zeroed storage for `lanes` systems of dimension `n`.
+    pub fn new(n: usize, lanes: usize) -> Self {
+        BatchCluFactor {
+            n,
+            lanes,
+            lu: vec![Complex64::ZERO; n * n * lanes],
+            pivots: vec![0; n * lanes],
+            singular: vec![false; lanes],
+        }
+    }
+
+    /// Re-targets the storage to `n × n × lanes`, zero-filling. A no-op when
+    /// the shape already matches.
+    pub fn ensure(&mut self, n: usize, lanes: usize) {
+        if self.n == n && self.lanes == lanes {
+            return;
+        }
+        self.n = n;
+        self.lanes = lanes;
+        self.lu.clear();
+        self.lu.resize(n * n * lanes, Complex64::ZERO);
+        self.pivots.clear();
+        self.pivots.resize(n * lanes, 0);
+        self.singular.clear();
+        self.singular.resize(lanes, false);
+    }
+
+    /// System dimension `n`.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Lane width `L`.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Mutable SoA matrix storage (`(i·n + j)·L + l`); see
+    /// [`BatchLuFactor::matrix_mut`] for the masked-build contract.
+    pub fn matrix_mut(&mut self) -> &mut [Complex64] {
+        &mut self.lu
+    }
+
+    /// Whether lane `l`'s last factorization hit a vanished pivot column.
+    pub fn is_singular(&self, l: usize) -> bool {
+        self.singular[l]
+    }
+
+    /// Factors the masked lanes in place; see [`BatchLuFactor::factor`].
+    pub fn factor(&mut self, mask: &[bool]) {
+        assert_eq!(mask.len(), self.lanes, "mask length");
+        let (n, lanes) = (self.n, self.lanes);
+        let a = &mut self.lu;
+        for (l, &m) in mask.iter().enumerate() {
+            if m {
+                self.singular[l] = false;
+            }
+        }
+        let idx = |i: usize, j: usize, l: usize| (i * n + j) * lanes + l;
+        for k in 0..n {
+            for l in 0..lanes {
+                if !mask[l] || self.singular[l] {
+                    continue;
+                }
+                let mut piv = k;
+                let mut max = a[idx(k, k, l)].abs_sq();
+                for i in (k + 1)..n {
+                    let v = a[idx(i, k, l)].abs_sq();
+                    if v > max {
+                        max = v;
+                        piv = i;
+                    }
+                }
+                if max == 0.0 {
+                    self.singular[l] = true;
+                    continue;
+                }
+                self.pivots[k * lanes + l] = piv;
+                if piv != k {
+                    for j in 0..n {
+                        a.swap(idx(k, j, l), idx(piv, j, l));
+                    }
+                }
+                let pivot = a[idx(k, k, l)];
+                for i in (k + 1)..n {
+                    let m = a[idx(i, k, l)] / pivot;
+                    a[idx(i, k, l)] = m;
+                    if m != Complex64::ZERO {
+                        for j in (k + 1)..n {
+                            let u = a[idx(k, j, l)];
+                            let v = a[idx(i, j, l)] - m * u;
+                            a[idx(i, j, l)] = v;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Solves `A_l x_l = b_l` in place for every masked, non-singular lane;
+    /// `b` is an `n × L` SoA block of [`Complex64`]. See
+    /// [`BatchLuFactor::solve_lanes`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != n·L` or `mask.len() != L`.
+    pub fn solve_lanes(&self, b: &mut [Complex64], mask: &[bool]) {
+        let (n, lanes) = (self.n, self.lanes);
+        assert_eq!(b.len(), n * lanes, "right-hand-side block length");
+        assert_eq!(mask.len(), lanes, "mask length");
+        let lu = &self.lu;
+        let idx = |i: usize, j: usize, l: usize| (i * n + j) * lanes + l;
+        for l in 0..lanes {
+            if !mask[l] || self.singular[l] {
+                continue;
+            }
+            for k in 0..n {
+                let p = self.pivots[k * lanes + l];
+                b.swap(k * lanes + l, p * lanes + l);
+            }
+            for i in 1..n {
+                let mut acc = b[i * lanes + l];
+                for j in 0..i {
+                    acc -= lu[idx(i, j, l)] * b[j * lanes + l];
+                }
+                b[i * lanes + l] = acc;
+            }
+            for i in (0..n).rev() {
+                let mut acc = b[i * lanes + l];
+                for j in (i + 1)..n {
+                    acc -= lu[idx(i, j, l)] * b[j * lanes + l];
+                }
+                b[i * lanes + l] = acc / lu[idx(i, i, l)];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CMatrix, CluFactor, LuFactor, Matrix};
+
+    /// Deterministic pseudo-random values (no rand dependency here).
+    fn rng(seed: u64) -> impl FnMut() -> f64 {
+        let mut state = seed;
+        move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        }
+    }
+
+    fn fill_lane(batch: &mut BatchLuFactor, l: usize, m: &Matrix) {
+        let (n, lanes) = (batch.dim(), batch.lanes());
+        let s = batch.matrix_mut();
+        for i in 0..n {
+            for j in 0..n {
+                s[(i * n + j) * lanes + l] = m[(i, j)];
+            }
+        }
+    }
+
+    #[test]
+    fn batched_factor_and_solve_are_bitwise_equal_to_scalar() {
+        let n = 7;
+        for lanes in [1usize, 2, 4, 8] {
+            let mut next = rng(0x9e3779b97f4a7c15 ^ lanes as u64);
+            let mats: Vec<Matrix> = (0..lanes)
+                .map(|_| Matrix::from_fn(n, n, |i, j| next() + if i == j { 3.0 } else { 0.0 }))
+                .collect();
+            let rhs: Vec<Vec<f64>> = (0..lanes).map(|_| (0..n).map(|_| next()).collect()).collect();
+
+            let mut batch = BatchLuFactor::new(n, lanes);
+            for (l, m) in mats.iter().enumerate() {
+                fill_lane(&mut batch, l, m);
+            }
+            let mask = vec![true; lanes];
+            batch.factor(&mask);
+            let mut b = vec![0.0; n * lanes];
+            for (l, r) in rhs.iter().enumerate() {
+                for i in 0..n {
+                    b[i * lanes + l] = r[i];
+                }
+            }
+            batch.solve_lanes(&mut b, &mask);
+
+            for (l, m) in mats.iter().enumerate() {
+                let scalar = LuFactor::new(m.clone()).unwrap();
+                let mut x = rhs[l].clone();
+                scalar.solve_in_place(&mut x);
+                for i in 0..n {
+                    assert_eq!(
+                        b[i * lanes + l].to_bits(),
+                        x[i].to_bits(),
+                        "lanes={lanes} lane={l} i={i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn complex_batched_factor_matches_scalar_bitwise() {
+        let n = 5;
+        let lanes = 4;
+        let mut next = rng(0x51_7c_c1_b7_27_22_0a_95);
+        let mats: Vec<CMatrix> = (0..lanes)
+            .map(|_| {
+                let mut m = CMatrix::zeros(n, n);
+                for i in 0..n {
+                    for j in 0..n {
+                        m[(i, j)] = Complex64::new(next() + if i == j { 2.5 } else { 0.0 }, next());
+                    }
+                }
+                m
+            })
+            .collect();
+        let rhs: Vec<Vec<Complex64>> =
+            (0..lanes).map(|_| (0..n).map(|_| Complex64::new(next(), next())).collect()).collect();
+
+        let mut batch = BatchCluFactor::new(n, lanes);
+        {
+            let s = batch.matrix_mut();
+            for (l, m) in mats.iter().enumerate() {
+                for i in 0..n {
+                    for j in 0..n {
+                        s[(i * n + j) * lanes + l] = m[(i, j)];
+                    }
+                }
+            }
+        }
+        let mask = vec![true; lanes];
+        batch.factor(&mask);
+        let mut b = vec![Complex64::ZERO; n * lanes];
+        for (l, r) in rhs.iter().enumerate() {
+            for i in 0..n {
+                b[i * lanes + l] = r[i];
+            }
+        }
+        batch.solve_lanes(&mut b, &mask);
+
+        for (l, m) in mats.iter().enumerate() {
+            let scalar = CluFactor::new(m.clone()).unwrap();
+            let mut x = rhs[l].clone();
+            scalar.solve_in_place(&mut x);
+            for i in 0..n {
+                let got = b[i * lanes + l];
+                assert_eq!(got.re.to_bits(), x[i].re.to_bits(), "lane={l} i={i} (re)");
+                assert_eq!(got.im.to_bits(), x[i].im.to_bits(), "lane={l} i={i} (im)");
+            }
+        }
+    }
+
+    #[test]
+    fn masked_refactor_preserves_other_lanes() {
+        let n = 4;
+        let lanes = 3;
+        let mut next = rng(42);
+        let mats: Vec<Matrix> = (0..lanes)
+            .map(|_| Matrix::from_fn(n, n, |i, j| next() + ((i == j) as u64 as f64) * 4.0))
+            .collect();
+        let mut batch = BatchLuFactor::new(n, lanes);
+        for (l, m) in mats.iter().enumerate() {
+            fill_lane(&mut batch, l, m);
+        }
+        batch.factor(&[true, true, true]);
+
+        // Refactor lane 1 only against a new matrix; lanes 0 and 2 must
+        // still solve against their original systems, bit for bit.
+        let fresh = Matrix::from_fn(n, n, |i, j| if i == j { 9.0 } else { 0.25 });
+        fill_lane(&mut batch, 1, &fresh);
+        batch.factor(&[false, true, false]);
+
+        let rhs: Vec<f64> = (0..n).map(|i| 1.0 + i as f64).collect();
+        let mut b = vec![0.0; n * lanes];
+        for l in 0..lanes {
+            for i in 0..n {
+                b[i * lanes + l] = rhs[i];
+            }
+        }
+        batch.solve_lanes(&mut b, &[true, true, true]);
+        for (l, m) in [(0usize, &mats[0]), (1, &fresh), (2, &mats[2])] {
+            let scalar = LuFactor::new(m.clone()).unwrap();
+            let mut x = rhs.clone();
+            scalar.solve_in_place(&mut x);
+            for i in 0..n {
+                assert_eq!(b[i * lanes + l].to_bits(), x[i].to_bits(), "lane={l} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn singular_lane_is_flagged_without_poisoning_neighbours() {
+        let n = 3;
+        let lanes = 2;
+        let mut batch = BatchLuFactor::new(n, lanes);
+        // Lane 0: singular (two identical rows). Lane 1: well conditioned.
+        let singular = Matrix::from_rows(&[&[1.0, 2.0, 0.0], &[2.0, 4.0, 0.0], &[0.0, 0.0, 1.0]]);
+        let good = Matrix::from_fn(n, n, |i, j| if i == j { 2.0 } else { 0.5 });
+        fill_lane(&mut batch, 0, &singular);
+        fill_lane(&mut batch, 1, &good);
+        batch.factor(&[true, true]);
+        assert!(batch.is_singular(0));
+        assert!(!batch.is_singular(1));
+        assert!(matches!(LuFactor::new(singular), Err(crate::LinalgError::Singular { pivot: 1 })));
+
+        let mut b = vec![1.0, 1.0, 2.0, 2.0, 3.0, 3.0];
+        batch.solve_lanes(&mut b, &[true, true]);
+        // Lane 0 untouched (singular lanes are skipped)...
+        assert_eq!(b[0], 1.0);
+        // ...lane 1 solved correctly.
+        let scalar = LuFactor::new(good).unwrap();
+        let mut x = vec![1.0, 2.0, 3.0];
+        scalar.solve_in_place(&mut x);
+        for i in 0..n {
+            assert_eq!(b[i * lanes + 1].to_bits(), x[i].to_bits());
+        }
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry_per_lane() {
+        let n = 2;
+        let lanes = 2;
+        let mut batch = BatchLuFactor::new(n, lanes);
+        let m = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        fill_lane(&mut batch, 0, &m);
+        fill_lane(&mut batch, 1, &m);
+        batch.factor(&[true, true]);
+        let mut b = vec![5.0, 5.0, 7.0, 7.0];
+        batch.solve_lanes(&mut b, &[true, true]);
+        assert_eq!(&b, &[7.0, 7.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn ensure_is_idempotent_and_reshapes() {
+        let mut batch = BatchLuFactor::new(2, 2);
+        batch.matrix_mut()[0] = 1.0;
+        batch.ensure(2, 2); // no-op: contents kept
+        assert_eq!(batch.matrix_mut()[0], 1.0);
+        batch.ensure(3, 4);
+        assert_eq!(batch.dim(), 3);
+        assert_eq!(batch.lanes(), 4);
+        assert!(batch.matrix_mut().iter().all(|&v| v == 0.0));
+        let mut c = BatchCluFactor::new(2, 2);
+        c.ensure(3, 4);
+        assert_eq!(c.dim(), 3);
+        assert_eq!(c.lanes(), 4);
+    }
+}

@@ -34,6 +34,7 @@
 //! # }
 //! ```
 
+mod batch_lu;
 mod complex;
 mod eigen;
 mod error;
@@ -42,6 +43,7 @@ mod lu;
 mod matrix;
 mod norms;
 
+pub use batch_lu::{BatchCluFactor, BatchLuFactor};
 pub use complex::Complex64;
 pub use eigen::{
     dominant_eigenvalue_estimate, gershgorin_bound, power_iteration, PowerIterationResult,

@@ -402,6 +402,69 @@ impl CompiledOdes {
         }
     }
 
+    /// Lane-batched full analytic Jacobian for the lockstep Radau kernel:
+    /// `jac[(s·N + j)·L + l] = ∂(dX_s/dt)/∂X_j` for lane `l`.
+    ///
+    /// Layouts as in [`fluxes_batch`](Self::fluxes_batch) (`x` an `N×L`
+    /// species block, `k` an `M×L` reaction block); `jac` is an `N×N×L`
+    /// SoA block, lane-minor like everything else. The term-CSR walk and
+    /// the mass-action flux-derivative arithmetic mirror
+    /// [`jacobian_with`](Self::jacobian_with) accumulation-for-accumulation
+    /// per lane, so each lane's Jacobian is bitwise identical to the scalar
+    /// evaluation with that lane's state and constants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model is not pure mass-action (check
+    /// [`supports_lane_batch`](Self::supports_lane_batch)) or buffer
+    /// lengths do not match.
+    pub fn jacobian_batch(&self, lanes: usize, x: &[f64], k: &[f64], jac: &mut [f64]) {
+        assert!(self.all_mass_action, "lane-batched Jacobian covers mass-action kinetics only");
+        let n = self.n_species;
+        assert_eq!(x.len(), n * lanes, "state block length");
+        assert_eq!(k.len(), self.n_reactions * lanes, "rate-constant block length");
+        assert_eq!(jac.len(), n * n * lanes, "jacobian block length");
+        jac.fill(0.0);
+        for s in 0..n {
+            let lo = self.term_offsets[s] as usize;
+            let hi = self.term_offsets[s + 1] as usize;
+            for p in lo..hi {
+                let r = self.term_reactions[p] as usize;
+                let coeff = self.term_coeffs[p];
+                let rlo = self.reactant_offsets[r] as usize;
+                let rhi = self.reactant_offsets[r + 1] as usize;
+                for q in rlo..rhi {
+                    let j = self.reactant_species[q] as usize;
+                    let aw = self.reactant_orders[q];
+                    let out = &mut jac[(s * n + j) * lanes..][..lanes];
+                    // Mass-action ∂flux_r/∂x_j, inlined per lane exactly as
+                    // Kinetics::flux_derivative computes it (same factor
+                    // order over the reactant list).
+                    for l in 0..lanes {
+                        let d = if aw == 0 {
+                            0.0
+                        } else {
+                            let mut d = k[r * lanes + l]
+                                * aw as f64
+                                * crate::kinetics::int_pow(x[j * lanes + l], aw - 1);
+                            for q2 in rlo..rhi {
+                                if q2 != q {
+                                    let j2 = self.reactant_species[q2] as usize;
+                                    d *= crate::kinetics::int_pow(
+                                        x[j2 * lanes + l],
+                                        self.reactant_orders[q2],
+                                    );
+                                }
+                            }
+                            d
+                        };
+                        out[l] += coeff * d;
+                    }
+                }
+            }
+        }
+    }
+
     /// Analytic Jacobian `J[s][j] = ∂(dX_s/dt)/∂X_j` with the baked
     /// constants, written into `jac`.
     ///
@@ -753,6 +816,43 @@ mod tests {
                     diag[s * lanes + l],
                     jac[(s, s)]
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn jacobian_batch_is_bitwise_equal_to_scalar_per_lane() {
+        // Lotka–Volterra plus a second-order dimerization so the derivative
+        // path with aw > 1 and multi-reactant products is exercised.
+        let mut m = ReactionBasedModel::new();
+        let x = m.add_species("X", 1.0);
+        let y = m.add_species("Y", 0.5);
+        let z = m.add_species("Z", 0.2);
+        m.add_reaction(Reaction::mass_action(&[(x, 1)], &[(x, 2)], 2.0)).unwrap();
+        m.add_reaction(Reaction::mass_action(&[(x, 1), (y, 1)], &[(y, 2)], 1.5)).unwrap();
+        m.add_reaction(Reaction::mass_action(&[(y, 2)], &[(z, 1)], 0.7)).unwrap();
+        m.add_reaction(Reaction::mass_action(&[(z, 1)], &[], 0.8)).unwrap();
+        let odes = m.compile().unwrap();
+        let n = 3;
+        for lanes in [1, 2, 4, 8] {
+            let x = soa_block(&[1.2, 0.7, 0.3], lanes);
+            let k = soa_block(&[2.0, 1.5, 0.7, 0.8], lanes);
+            let mut jb = vec![0.0; n * n * lanes];
+            odes.jacobian_batch(lanes, &x, &k, &mut jb);
+            for l in 0..lanes {
+                let xl = lane_of(&x, lanes, l);
+                let kl = lane_of(&k, lanes, l);
+                let mut jac = Matrix::zeros(n, n);
+                odes.jacobian_with(&xl, &kl, &mut jac);
+                for s in 0..n {
+                    for j in 0..n {
+                        assert_eq!(
+                            jb[(s * n + j) * lanes + l].to_bits(),
+                            jac[(s, j)].to_bits(),
+                            "lanes={lanes} lane={l} J[{s}][{j}]"
+                        );
+                    }
+                }
             }
         }
     }

@@ -154,6 +154,29 @@ pub trait BatchOdeSystem {
     /// cross-lane reductions), which is what makes per-member results
     /// bitwise independent of lane width.
     fn rhs_batch(&mut self, t: &[f64], y: &BatchState, dydt: &mut BatchState);
+
+    /// Whether [`jacobian_batch`](Self::jacobian_batch) is implemented.
+    ///
+    /// The implicit lockstep solver ([`Radau5Batch`](crate::Radau5Batch))
+    /// requires it; explicit solvers never call it, so implementors that
+    /// only feed `Dopri5Batch` can ignore both methods.
+    fn supports_jacobian_batch(&self) -> bool {
+        false
+    }
+
+    /// Evaluates the full analytic Jacobian of every lane into `jac`, an
+    /// `n × n × L` SoA block: `∂f_i/∂y_j` of lane `l` at
+    /// `(i·n + j)·L + l`. Lane independence and per-lane bitwise identity
+    /// with the scalar Jacobian are required exactly as for
+    /// [`rhs_batch`](Self::rhs_batch).
+    ///
+    /// The default panics; implementors advertising
+    /// [`supports_jacobian_batch`](Self::supports_jacobian_batch) must
+    /// override it.
+    fn jacobian_batch(&mut self, t: &[f64], y: &BatchState, jac: &mut [f64]) {
+        let _ = (t, y, jac);
+        panic!("this BatchOdeSystem does not implement jacobian_batch");
+    }
 }
 
 #[cfg(test)]

@@ -780,8 +780,9 @@ fn solve_group_impl(
 
 /// The per-lane strided equivalent of
 /// [`weighted_rms_norm`]: identical summation order over components.
+/// Shared with the lockstep Radau kernel.
 #[inline]
-fn lane_wrms(x: &[f64], w: &[f64], n: usize, lanes: usize, lane: usize) -> f64 {
+pub(crate) fn lane_wrms(x: &[f64], w: &[f64], n: usize, lanes: usize, lane: usize) -> f64 {
     if n == 0 {
         return 0.0;
     }

@@ -46,6 +46,7 @@ mod error;
 mod multistep;
 mod options;
 mod radau5;
+mod radau5_batch;
 mod rk4;
 mod rkf45;
 mod scratch;
@@ -60,6 +61,7 @@ pub use error::{SolveFailure, SolverError};
 pub use multistep::{AdamsMoulton, Bdf, Lsoda, MethodFamily, Vode};
 pub use options::SolverOptions;
 pub use radau5::Radau5;
+pub use radau5_batch::Radau5Batch;
 pub use rk4::Rk4;
 pub use rkf45::Rkf45;
 pub use scratch::SolverScratch;

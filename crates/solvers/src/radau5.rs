@@ -24,49 +24,50 @@ use crate::{
 };
 use paraspace_linalg::{weighted_rms_norm, CMatrix, CluFactor, Complex64, LuFactor, Matrix};
 
-// Collocation nodes.
-fn sq6() -> f64 {
-    6.0f64.sqrt()
-}
+// Collocation-node radical √6 and the inverse eigenvalues of the Radau IIA
+// coefficient matrix A, hoisted to compile-time constants shared with the
+// lane-batched kernel ([`crate::Radau5Batch`]). The literals are the exact
+// shortest-round-trip decimal forms of the values the old per-call helpers
+// (`6.0f64.sqrt()` and the cube-root eigenvalue derivation) produced, so
+// hoisting changes no result bit anywhere; `constant_bit_patterns_are_pinned`
+// below proves it.
+pub(crate) const SQ6: f64 = 2.449489742783178;
+/// γ = U1: the real inverse eigenvalue (E1 carries γ/h on its diagonal).
+pub(crate) const U1: f64 = 3.6378342527444962;
+/// α of the complex inverse-eigenvalue pair α ± iβ, already divided by |λ|².
+pub(crate) const ALPH: f64 = 2.6810828736277523;
+/// β of the complex inverse-eigenvalue pair α ± iβ, already divided by |λ|².
+pub(crate) const BETA: f64 = 3.0504301992474105;
 
-// Inverse eigenvalues of the Radau IIA coefficient matrix A.
-fn eigen_constants() -> (f64, f64, f64) {
-    let c81 = 81.0f64.powf(1.0 / 3.0);
-    let c9 = 9.0f64.powf(1.0 / 3.0);
-    let u1 = 30.0 / (6.0 + c81 - c9);
-    let alph = (12.0 - c81 + c9) / 60.0;
-    let beta = (c81 + c9) * 3.0f64.sqrt() / 60.0;
-    let cno = alph * alph + beta * beta;
-    (u1, alph / cno, beta / cno)
-}
-
-// Transformation matrices T, T⁻¹ (Hairer & Wanner, radau5.f).
-const T11: f64 = 0.09123239487089295;
-const T12: f64 = -0.1412552950209542;
-const T13: f64 = -0.030029194105147424;
-const T21: f64 = 0.241717932707107;
-const T22: f64 = 0.204_129_352_293_799_93;
-const T23: f64 = 0.3829421127572619;
-const T31: f64 = 0.966048182615093;
+// Transformation matrices T, T⁻¹ (Hairer & Wanner, radau5.f); shared with
+// the lane-batched kernel.
+pub(crate) const T11: f64 = 0.09123239487089295;
+pub(crate) const T12: f64 = -0.1412552950209542;
+pub(crate) const T13: f64 = -0.030029194105147424;
+pub(crate) const T21: f64 = 0.241717932707107;
+pub(crate) const T22: f64 = 0.204_129_352_293_799_93;
+pub(crate) const T23: f64 = 0.3829421127572619;
+pub(crate) const T31: f64 = 0.966048182615093;
 // T32 = 1, T33 = 0.
-const TI11: f64 = 4.325579890063155;
-const TI12: f64 = 0.3391992518158099;
-const TI13: f64 = 0.541_770_539_935_874_9;
-const TI21: f64 = -4.178718591551905;
-const TI22: f64 = -0.327_682_820_761_062_4;
-const TI23: f64 = 0.476_623_554_500_550_44;
-const TI31: f64 = -0.502_872_634_945_786_9;
-const TI32: f64 = 2.571926949855605;
-const TI33: f64 = -0.596_039_204_828_224_9;
+pub(crate) const TI11: f64 = 4.325579890063155;
+pub(crate) const TI12: f64 = 0.3391992518158099;
+pub(crate) const TI13: f64 = 0.541_770_539_935_874_9;
+pub(crate) const TI21: f64 = -4.178718591551905;
+pub(crate) const TI22: f64 = -0.327_682_820_761_062_4;
+pub(crate) const TI23: f64 = 0.476_623_554_500_550_44;
+pub(crate) const TI31: f64 = -0.502_872_634_945_786_9;
+pub(crate) const TI32: f64 = 2.571926949855605;
+pub(crate) const TI33: f64 = -0.596_039_204_828_224_9;
 
-// Controller constants (radau5.f defaults).
-const NIT: usize = 7;
-const SAFE: f64 = 0.9;
-const THET: f64 = 0.001;
-const FACL: f64 = 5.0; // max shrink: h/5
-const FACR: f64 = 0.125; // max growth: h/0.125 = 8h
-const QUOT1: f64 = 1.0;
-const QUOT2: f64 = 1.2;
+// Controller constants (radau5.f defaults); shared with the lane-batched
+// kernel.
+pub(crate) const NIT: usize = 7;
+pub(crate) const SAFE: f64 = 0.9;
+pub(crate) const THET: f64 = 0.001;
+pub(crate) const FACL: f64 = 5.0; // max shrink: h/5
+pub(crate) const FACR: f64 = 0.125; // max growth: h/0.125 = 8h
+pub(crate) const QUOT1: f64 = 1.0;
+pub(crate) const QUOT2: f64 = 1.2;
 
 /// The RADAU5 solver.
 ///
@@ -191,9 +192,8 @@ impl RadauWorkspace {
     /// Evaluates the collocation polynomial at `s = (t − t_accepted)/h_used`
     /// (`s ∈ [−1, 0]` interpolates, `s > 0` extrapolates) into `out`.
     fn eval_cont(&self, s: f64, out: &mut [f64]) {
-        let sq6 = sq6();
-        let c1 = (4.0 - sq6) / 10.0;
-        let c2 = (4.0 + sq6) / 10.0;
+        let c1 = (4.0 - SQ6) / 10.0;
+        let c2 = (4.0 + SQ6) / 10.0;
         let c1m1 = c1 - 1.0;
         let c2m1 = c2 - 1.0;
         for i in 0..self.n {
@@ -259,14 +259,13 @@ impl Radau5 {
             None => return Ok(sol),
         };
 
-        let sq6 = sq6();
-        let c1 = (4.0 - sq6) / 10.0;
-        let c2 = (4.0 + sq6) / 10.0;
+        let c1 = (4.0 - SQ6) / 10.0;
+        let c2 = (4.0 + SQ6) / 10.0;
         let c1mc2 = c1 - c2;
-        let dd1 = -(13.0 + 7.0 * sq6) / 3.0;
-        let dd2 = (-13.0 + 7.0 * sq6) / 3.0;
+        let dd1 = -(13.0 + 7.0 * SQ6) / 3.0;
+        let dd2 = (-13.0 + 7.0 * SQ6) / 3.0;
         let dd3 = -1.0 / 3.0;
-        let (u1, alph, beta) = eigen_constants();
+        let (u1, alph, beta) = (U1, ALPH, BETA);
 
         let mut t = t0;
         ws.y.copy_from_slice(y0);
@@ -679,6 +678,32 @@ mod tests {
 
     fn opts() -> SolverOptions {
         SolverOptions::default()
+    }
+
+    #[test]
+    fn constant_bit_patterns_are_pinned() {
+        // The hoisted constants must carry the exact bit patterns the old
+        // per-call helpers computed, or hoisting would perturb every Radau
+        // trajectory. Recompute the originals here and compare bits.
+        let sq6 = 6.0f64.sqrt();
+        assert_eq!(SQ6.to_bits(), sq6.to_bits(), "SQ6 drifted: {SQ6:?} vs {sq6:?}");
+
+        let c81 = 81.0f64.powf(1.0 / 3.0);
+        let c9 = 9.0f64.powf(1.0 / 3.0);
+        let u1 = 30.0 / (6.0 + c81 - c9);
+        let alph = (12.0 - c81 + c9) / 60.0;
+        let beta = (c81 + c9) * 3.0f64.sqrt() / 60.0;
+        let cno = alph * alph + beta * beta;
+        assert_eq!(U1.to_bits(), u1.to_bits(), "U1 drifted: {U1:?} vs {u1:?}");
+        assert_eq!(ALPH.to_bits(), (alph / cno).to_bits(), "ALPH drifted");
+        assert_eq!(BETA.to_bits(), (beta / cno).to_bits(), "BETA drifted");
+
+        // Absolute anchors so a change to both sides of the recomputation
+        // (e.g. a libm sqrt change) cannot silently re-pin the constants.
+        assert_eq!(SQ6.to_bits(), 0x4003988e1409212e);
+        assert_eq!(U1.to_bits(), 0x400d1a48d83e731e);
+        assert_eq!(ALPH.to_bits(), 0x400572db93e0c672);
+        assert_eq!(BETA.to_bits(), 0x40086747f2c3fcb5);
     }
 
     #[test]

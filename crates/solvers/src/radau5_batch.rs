@@ -1,0 +1,1546 @@
+//! Lockstep Radau IIA (order 5) over a lane-group with batched
+//! simplified-Newton and per-lane LU reuse.
+//!
+//! [`Radau5Batch`] advances all `L` lanes of a [`BatchOdeSystem`] through
+//! the same 3-stage Radau IIA step machinery simultaneously. One *lockstep
+//! tick* executes one simplified-Newton iteration for every lane currently
+//! inside a Newton solve — three lane-wide
+//! [`rhs_batch`](BatchOdeSystem::rhs_batch) stage sweeps plus one masked
+//! real and one masked complex batched-LU substitution
+//! ([`BatchLuFactor`] / [`BatchCluFactor`], the getrs-style substrate the
+//! scalar [`Radau5`](crate::Radau5) docs promise) — while every piece of
+//! *control* state stays per-lane: step size, Newton convergence rate `θ`,
+//! Jacobian / factorization reuse decisions, the Gustafsson controller
+//! memory, error acceptance, and sample delivery each evolve independently
+//! per lane. Lanes at different Newton iteration counts share the same
+//! sweeps; a lane whose iteration converged runs its error estimate and
+//! accept/reject logic in the same tick, then re-enters step start, where
+//! masked lane-wide sweeps rebuild only the Jacobians
+//! ([`jacobian_batch`](BatchOdeSystem::jacobian_batch)) and LU
+//! factorizations of the lanes whose `θ` or step ratio demands it — every
+//! other lane keeps its factorization, exactly like the scalar reuse
+//! policy.
+//!
+//! # Numerical contract
+//!
+//! Per-member results are **bitwise identical** to the scalar
+//! [`Radau5`](crate::Radau5) solve of the same member, at any lane width —
+//! the same contract [`Dopri5Batch`](crate::Dopri5Batch) upholds, and by
+//! the same two invariants: every per-lane arithmetic expression here
+//! mirrors the scalar implementation operation-for-operation (including the
+//! elimination branch guards inside the batched LU kernels), and no
+//! expression mixes values from two lanes. One caveat follows from the
+//! batched Jacobian: this kernel requires
+//! [`supports_jacobian_batch`](BatchOdeSystem::supports_jacobian_batch)
+//! and charges it as *analytic* (no finite-difference RHS surcharge), so
+//! the scalar twin of a member must also have an analytic Jacobian for
+//! work counters to agree — true for every mass-action network the engines
+//! route here.
+//!
+//! Masked (parked or never-bound) lanes still flow through the stage
+//! arithmetic with whatever state they last held; their results are
+//! discarded, and the masked LU kernels skip them outright so a retired
+//! lane's garbage can never raise a spurious singularity.
+
+use crate::batch::{BatchOdeSystem, BatchState};
+use crate::dopri5_batch::{lane_wrms, LaneReport};
+use crate::radau5::{
+    ALPH, BETA, FACL, FACR, NIT, QUOT1, QUOT2, SAFE, SQ6, T11, T12, T13, T21, T22, T23, T31, THET,
+    TI11, TI12, TI13, TI21, TI22, TI23, TI31, TI32, TI33, U1,
+};
+use crate::system::check_inputs;
+use crate::{Solution, SolveFailure, SolverError, SolverOptions, SolverScratch, StepStats};
+use paraspace_linalg::{BatchCluFactor, BatchLuFactor, Complex64};
+
+/// Pooled working storage for one lockstep Radau lane-group integration:
+/// SoA blocks for the state, stage values, transformed Newton variables and
+/// residuals, the dense-output polynomial, per-lane Jacobian storage, the
+/// two batched LU factorizations, and per-lane control vectors.
+#[derive(Debug, Default)]
+pub(crate) struct RadauBatchScratch {
+    y: BatchState,
+    f0: BatchState,
+    z1: BatchState,
+    z2: BatchState,
+    z3: BatchState,
+    w1: BatchState,
+    w2: BatchState,
+    w3: BatchState,
+    f1: BatchState,
+    f2: BatchState,
+    f3: BatchState,
+    stage: BatchState,
+    tmp: BatchState,
+    err_v: BatchState,
+    f_ref: BatchState,
+    scale: BatchState,
+    probe_y: BatchState,
+    probe_f: BatchState,
+    rhs_real: BatchState,
+    rhs_cplx: Vec<Complex64>,
+    cont0: BatchState,
+    cont1: BatchState,
+    cont2: BatchState,
+    cont3: BatchState,
+    /// Per-lane Jacobians, `(i·n + j)·L + l`; refreshed lanes copy their
+    /// column out of `jac_probe` so untouched lanes keep their stored `J`.
+    jac_lanes: Vec<f64>,
+    jac_probe: Vec<f64>,
+    lu_real: BatchLuFactor,
+    lu_cplx: BatchCluFactor,
+    member_buf: Vec<f64>,
+    aux_y: Vec<f64>,
+    aux_f: Vec<f64>,
+    aux_sc: Vec<f64>,
+    aux_d: Vec<f64>,
+    sample_buf: Vec<f64>,
+    t: Vec<f64>,
+    h: Vec<f64>,
+    t_stage: Vec<f64>,
+    fac1v: Vec<f64>,
+    alphnv: Vec<f64>,
+    betanv: Vec<f64>,
+    dyno_acc: Vec<f64>,
+    err_norm: Vec<f64>,
+    jac_mask: Vec<bool>,
+    factor_mask: Vec<bool>,
+    newton_mask: Vec<bool>,
+    conv_mask: Vec<bool>,
+    refine_mask: Vec<bool>,
+    refresh_mask: Vec<bool>,
+}
+
+impl RadauBatchScratch {
+    /// Sizes every buffer for dimension `n` × `lanes` lanes (stale contents
+    /// are harmless: live lanes fully rewrite their columns before reads).
+    fn ensure(&mut self, n: usize, lanes: usize) {
+        for b in [
+            &mut self.y,
+            &mut self.f0,
+            &mut self.z1,
+            &mut self.z2,
+            &mut self.z3,
+            &mut self.w1,
+            &mut self.w2,
+            &mut self.w3,
+            &mut self.f1,
+            &mut self.f2,
+            &mut self.f3,
+            &mut self.stage,
+            &mut self.tmp,
+            &mut self.err_v,
+            &mut self.f_ref,
+            &mut self.scale,
+            &mut self.probe_y,
+            &mut self.probe_f,
+            &mut self.rhs_real,
+            &mut self.cont0,
+            &mut self.cont1,
+            &mut self.cont2,
+            &mut self.cont3,
+        ] {
+            if b.dim() != n || b.lanes() != lanes {
+                b.resize(n, lanes);
+            }
+        }
+        self.rhs_cplx.clear();
+        self.rhs_cplx.resize(n * lanes, Complex64::ZERO);
+        self.jac_lanes.resize(n * n * lanes, 0.0);
+        self.jac_probe.resize(n * n * lanes, 0.0);
+        self.lu_real.ensure(n, lanes);
+        self.lu_cplx.ensure(n, lanes);
+        for v in [
+            &mut self.member_buf,
+            &mut self.aux_y,
+            &mut self.aux_f,
+            &mut self.aux_sc,
+            &mut self.aux_d,
+            &mut self.sample_buf,
+        ] {
+            v.resize(n, 0.0);
+        }
+        for v in [
+            &mut self.t,
+            &mut self.h,
+            &mut self.t_stage,
+            &mut self.fac1v,
+            &mut self.alphnv,
+            &mut self.betanv,
+            &mut self.dyno_acc,
+            &mut self.err_norm,
+        ] {
+            v.resize(lanes, 0.0);
+        }
+        for v in [
+            &mut self.jac_mask,
+            &mut self.factor_mask,
+            &mut self.newton_mask,
+            &mut self.conv_mask,
+            &mut self.refine_mask,
+            &mut self.refresh_mask,
+        ] {
+            v.clear();
+            v.resize(lanes, false);
+        }
+    }
+}
+
+/// Per-lane control state: everything the scalar RADAU5 keeps in local
+/// variables for its single trajectory, plus the lane's position inside the
+/// step state machine (between ticks a lane is either at *step start* or
+/// mid-Newton).
+struct LaneCtl {
+    member: usize,
+    sol: Solution,
+    next_sample: usize,
+    steps_since_sample: usize,
+    need_jacobian: bool,
+    need_factor: bool,
+    first: bool,
+    last_rejected: bool,
+    faccon: f64,
+    hacc: f64,
+    erracc: f64,
+    singular_retries: usize,
+    newton_failures: usize,
+    have_cont: bool,
+    cont_h: f64,
+    in_newton: bool,
+    newt: usize,
+    newton_iters: usize,
+    theta: f64,
+    dyno_old: f64,
+    thq_old: f64,
+}
+
+/// The lockstep lane-batched RADAU5 solver.
+///
+/// # Example
+///
+/// Integrating several decay rates of the same stiff one-species network in
+/// lockstep (see [`BatchOdeSystem`] for the system contract; the implicit
+/// kernel additionally requires
+/// [`jacobian_batch`](BatchOdeSystem::jacobian_batch)):
+///
+/// ```
+/// use paraspace_solvers::{
+///     BatchOdeSystem, BatchState, Radau5Batch, SolverOptions, SolverScratch,
+/// };
+///
+/// struct Decays {
+///     rates: Vec<f64>,
+///     bound: Vec<f64>,
+/// }
+///
+/// impl BatchOdeSystem for Decays {
+///     fn dim(&self) -> usize { 1 }
+///     fn lanes(&self) -> usize { self.bound.len() }
+///     fn members(&self) -> usize { self.rates.len() }
+///     fn initial_state(&self, _member: usize, y0: &mut [f64]) { y0[0] = 1.0; }
+///     fn bind_lane(&mut self, lane: usize, member: usize) {
+///         self.bound[lane] = self.rates[member];
+///     }
+///     fn rhs_batch(&mut self, _t: &[f64], y: &BatchState, dydt: &mut BatchState) {
+///         for l in 0..self.bound.len() {
+///             dydt.set(0, l, -self.bound[l] * y.at(0, l));
+///         }
+///     }
+///     fn supports_jacobian_batch(&self) -> bool { true }
+///     fn jacobian_batch(&mut self, _t: &[f64], _y: &BatchState, jac: &mut [f64]) {
+///         for l in 0..self.bound.len() {
+///             jac[l] = -self.bound[l];
+///         }
+///     }
+/// }
+///
+/// let mut sys = Decays { rates: vec![0.5, 1.0, 2.0], bound: vec![0.0; 2] };
+/// let (results, report) = Radau5Batch::new().solve_group(
+///     &mut sys, 0.0, &[1.0], &SolverOptions::default(), &mut SolverScratch::new(),
+/// );
+/// for (m, r) in results.iter().enumerate() {
+///     let sol = r.as_ref().unwrap();
+///     let exact = (-sys.rates[m]).exp();
+///     assert!((sol.state_at(0)[0] - exact).abs() < 1e-6);
+/// }
+/// assert_eq!(report.width, 2);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Radau5Batch {
+    _private: (),
+}
+
+impl Radau5Batch {
+    /// Creates the solver.
+    pub fn new() -> Self {
+        Radau5Batch { _private: () }
+    }
+
+    /// The solver's name for engine reporting.
+    pub fn name(&self) -> &'static str {
+        "radau5-lanes"
+    }
+
+    /// Integrates every member of `system`'s queue, `system.lanes()` at a
+    /// time, sampling each at `sample_times`.
+    ///
+    /// Returns one result per member (index-aligned with the member queue)
+    /// plus the group's lane-occupancy accounting
+    /// ([`LaneReport::lockstep_iters`] counts Newton-iteration ticks here).
+    /// Member failures are per-lane: one diverging member parks with its
+    /// error while the rest of the group continues.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `system` does not advertise
+    /// [`supports_jacobian_batch`](BatchOdeSystem::supports_jacobian_batch).
+    pub fn solve_group(
+        &self,
+        system: &mut dyn BatchOdeSystem,
+        t0: f64,
+        sample_times: &[f64],
+        options: &SolverOptions,
+        scratch: &mut SolverScratch,
+    ) -> (Vec<Result<Solution, SolveFailure>>, LaneReport) {
+        assert!(
+            system.supports_jacobian_batch(),
+            "Radau5Batch requires a BatchOdeSystem with an analytic jacobian_batch"
+        );
+        solve_group_impl(system, t0, sample_times, options, &mut scratch.radau_batch)
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn solve_group_impl(
+    system: &mut dyn BatchOdeSystem,
+    t0: f64,
+    sample_times: &[f64],
+    options: &SolverOptions,
+    ws: &mut RadauBatchScratch,
+) -> (Vec<Result<Solution, SolveFailure>>, LaneReport) {
+    let n = system.dim();
+    let lanes = system.lanes();
+    let members = system.members();
+    assert!(lanes >= 1, "lane width must be at least 1");
+    let mut report = LaneReport { width: lanes, ..LaneReport::default() };
+    let mut results: Vec<Option<Result<Solution, SolveFailure>>> =
+        (0..members).map(|_| None).collect();
+
+    ws.ensure(n, lanes);
+    let RadauBatchScratch {
+        y,
+        f0,
+        z1,
+        z2,
+        z3,
+        w1,
+        w2,
+        w3,
+        f1,
+        f2,
+        f3,
+        stage,
+        tmp,
+        err_v,
+        f_ref,
+        scale,
+        probe_y,
+        probe_f,
+        rhs_real,
+        rhs_cplx,
+        cont0,
+        cont1,
+        cont2,
+        cont3,
+        jac_lanes,
+        jac_probe,
+        lu_real,
+        lu_cplx,
+        member_buf,
+        aux_y,
+        aux_f,
+        aux_sc,
+        aux_d,
+        sample_buf,
+        t,
+        h,
+        t_stage,
+        fac1v,
+        alphnv,
+        betanv,
+        dyno_acc,
+        err_norm,
+        jac_mask,
+        factor_mask,
+        newton_mask,
+        conv_mask,
+        refine_mask,
+        refresh_mask,
+    } = ws;
+
+    // Method constants derived exactly as the scalar preamble derives them.
+    let c1 = (4.0 - SQ6) / 10.0;
+    let c2 = (4.0 + SQ6) / 10.0;
+    let c1mc2 = c1 - c2;
+    let dd1 = -(13.0 + 7.0 * SQ6) / 3.0;
+    let dd2 = (-13.0 + 7.0 * SQ6) / 3.0;
+    let dd3 = -1.0 / 3.0;
+    let c1m1 = c1 - 1.0;
+    let c2m1 = c2 - 1.0;
+    let uround = f64::EPSILON;
+    let fnewt = (10.0 * uround / options.rel_tol).max(0.03f64.min(options.rel_tol.sqrt()));
+
+    // Up-front validation, one member at a time (mirrors the scalar
+    // preamble; invalid members never occupy a lane).
+    for (m, slot) in results.iter_mut().enumerate() {
+        system.initial_state(m, member_buf);
+        if let Err(error) = check_inputs(n, member_buf, t0, sample_times, options) {
+            *slot = Some(Err(SolveFailure { error, stats: StepStats::default() }));
+        }
+    }
+
+    let t_end = match sample_times.last() {
+        Some(&te) => te,
+        None => {
+            // No samples requested: every valid member is an empty success.
+            let out = results
+                .into_iter()
+                .map(|r| r.unwrap_or_else(|| Ok(Solution::with_capacity(0))))
+                .collect();
+            return (out, report);
+        }
+    };
+
+    let mut ctl: Vec<Option<LaneCtl>> = (0..lanes).map(|_| None).collect();
+    let mut next_member = 0usize;
+
+    loop {
+        // --- Lane compaction: bind pending members into free lanes. ---
+        let mut fresh: Vec<usize> = Vec::new();
+        for lane in 0..lanes {
+            if ctl[lane].is_some() {
+                continue;
+            }
+            while next_member < members {
+                let m = next_member;
+                next_member += 1;
+                if results[m].is_some() {
+                    continue; // failed validation
+                }
+                system.initial_state(m, member_buf);
+                let mut sol = Solution::with_capacity(sample_times.len());
+                sol.stats.rhs_evals += 1; // f(t0, y0), evaluated lane-wide below
+                let mut next_sample = 0;
+                while next_sample < sample_times.len() && sample_times[next_sample] <= t0 {
+                    sol.times.push(sample_times[next_sample]);
+                    sol.states.push(member_buf.clone());
+                    next_sample += 1;
+                }
+                if next_sample == sample_times.len() {
+                    results[m] = Some(Ok(sol)); // every sample was at/before t0
+                    continue;
+                }
+                system.bind_lane(lane, m);
+                y.scatter_lane(lane, member_buf);
+                t[lane] = t0;
+                h[lane] = 0.0;
+                ctl[lane] = Some(LaneCtl {
+                    member: m,
+                    sol,
+                    next_sample,
+                    steps_since_sample: 0,
+                    need_jacobian: true,
+                    need_factor: true,
+                    first: true,
+                    last_rejected: false,
+                    faccon: 1.0,
+                    hacc: 0.0, // finalized after hinit
+                    erracc: 1e-2,
+                    singular_retries: 0,
+                    newton_failures: 0,
+                    have_cont: false,
+                    cont_h: 0.0,
+                    in_newton: false,
+                    newt: 0,
+                    newton_iters: 0,
+                    theta: 2.0 * THET,
+                    dyno_old: 0.0,
+                    thq_old: 0.0,
+                });
+                fresh.push(lane);
+                break;
+            }
+        }
+
+        // --- Initialize fresh lanes: f0 seed + Hairer hinit (order 3). ---
+        if !fresh.is_empty() {
+            // One sweep computes f(t0, y0) for every fresh lane; live lanes'
+            // stored f0 stays untouched (the sweep output goes to a
+            // temporary block).
+            system.rhs_batch(t, y, probe_f);
+            report.refill_sweeps += 1;
+            for &lane in &fresh {
+                f0.copy_lane_from(probe_f, lane);
+            }
+            if let Some(h0) = options.initial_step {
+                for &lane in &fresh {
+                    h[lane] = h0;
+                }
+            } else {
+                // Lane-wise `initial_step_size` at error-estimator order 3:
+                // same arithmetic, with the Euler probe batched into a
+                // single sweep for all fresh lanes.
+                probe_y.as_mut_slice().copy_from_slice(y.as_slice());
+                t_stage.copy_from_slice(t);
+                for &lane in &fresh {
+                    y.gather_lane(lane, aux_y);
+                    f0.gather_lane(lane, aux_f);
+                    for i in 0..n {
+                        aux_sc[i] = options.abs_tol + options.rel_tol * aux_y[i].abs();
+                    }
+                    let d0 = paraspace_linalg::weighted_rms_norm(aux_y, aux_sc);
+                    let d1 = paraspace_linalg::weighted_rms_norm(aux_f, aux_sc);
+                    let h0 = if d0 < 1e-5 || d1 < 1e-5 { 1e-6 } else { 0.01 * (d0 / d1) };
+                    let h0 = h0.min(options.max_step);
+                    for i in 0..n {
+                        aux_d[i] = aux_y[i] + h0 * aux_f[i];
+                    }
+                    probe_y.scatter_lane(lane, aux_d);
+                    t_stage[lane] = t[lane] + h0;
+                    h[lane] = h0; // provisional; finalized after the probe
+                }
+                system.rhs_batch(t_stage, probe_y, probe_f);
+                report.refill_sweeps += 1;
+                for &lane in &fresh {
+                    let h0 = h[lane];
+                    y.gather_lane(lane, aux_y);
+                    f0.gather_lane(lane, aux_f);
+                    for i in 0..n {
+                        aux_sc[i] = options.abs_tol + options.rel_tol * aux_y[i].abs();
+                    }
+                    probe_f.gather_lane(lane, aux_d);
+                    for i in 0..n {
+                        aux_d[i] -= aux_f[i];
+                    }
+                    let d1 = paraspace_linalg::weighted_rms_norm(aux_f, aux_sc);
+                    let d2 = paraspace_linalg::weighted_rms_norm(aux_d, aux_sc) / h0;
+                    let dmax = d1.max(d2);
+                    let h1 = if dmax <= 1e-15 {
+                        (h0 * 1e-3).max(1e-6)
+                    } else {
+                        (0.01 / dmax).powf(1.0 / 4.0)
+                    };
+                    h[lane] = (100.0 * h0).min(h1).min(options.max_step);
+                    let c = ctl[lane].as_mut().expect("fresh lane is bound");
+                    c.sol.stats.rhs_evals += 1;
+                }
+            }
+            // Post-hinit clamp, Gustafsson memory seed, and error scale
+            // (the scalar preamble's tail).
+            for &lane in &fresh {
+                h[lane] = h[lane].min(options.max_step).min(t_end - t[lane]);
+                let c = ctl[lane].as_mut().expect("fresh lane is bound");
+                c.hacc = h[lane];
+                let (yv, sc) = (y.as_slice(), scale.as_mut_slice());
+                for i in 0..n {
+                    let il = i * lanes + lane;
+                    sc[il] = options.abs_tol + options.rel_tol * yv[il].abs();
+                }
+            }
+        }
+
+        if ctl.iter().all(|c| c.is_none()) {
+            break; // no live lanes and no pending members
+        }
+
+        // --- Per-lane pre-step control for lanes at step start (mirrors
+        // the scalar loop head; mid-Newton lanes skip it). ---
+        for lane in 0..lanes {
+            let mut park: Option<SolverError> = None;
+            if let Some(c) = ctl[lane].as_mut() {
+                if !c.in_newton {
+                    if options.step_budget.is_some_and(|budget| c.sol.stats.steps >= budget) {
+                        let budget = options.step_budget.expect("checked above");
+                        park = Some(SolverError::StepBudgetExhausted { t: t[lane], budget });
+                    } else if c.steps_since_sample >= options.max_steps {
+                        park = Some(SolverError::MaxStepsExceeded {
+                            t: t[lane],
+                            max_steps: options.max_steps,
+                        });
+                    } else {
+                        h[lane] = h[lane].min(options.max_step).min(t_end - t[lane]);
+                        if h[lane] <= uround * t[lane].abs().max(1.0) {
+                            park = Some(SolverError::StepSizeUnderflow { t: t[lane] });
+                        }
+                    }
+                }
+            }
+            if let Some(error) = park {
+                let c = ctl[lane].take().expect("parked lane was live");
+                results[c.member] = Some(Err(SolveFailure { error, stats: c.sol.stats }));
+                h[lane] = 0.0;
+            }
+        }
+        if ctl.iter().all(|c| c.is_none()) {
+            continue; // refill (or terminate) at the loop head
+        }
+
+        // --- Masked Jacobian refresh: one lane-wide sweep, columns copied
+        // out only for the lanes that asked. ---
+        let mut any_jac = false;
+        for lane in 0..lanes {
+            jac_mask[lane] = ctl[lane].as_ref().is_some_and(|c| !c.in_newton && c.need_jacobian);
+            any_jac |= jac_mask[lane];
+        }
+        if any_jac {
+            system.jacobian_batch(t, y, jac_probe);
+            for lane in 0..lanes {
+                if !jac_mask[lane] {
+                    continue;
+                }
+                for e in 0..n * n {
+                    jac_lanes[e * lanes + lane] = jac_probe[e * lanes + lane];
+                }
+                let c = ctl[lane].as_mut().expect("jacobian lane is live");
+                c.sol.stats.jacobian_evals += 1;
+                c.need_jacobian = false;
+                c.need_factor = true;
+            }
+        }
+
+        // --- Masked factorization: build E1 = γ/h·I − J and
+        // E2 = (α+iβ)/h·I − J in the requesting lanes' columns only, then
+        // factor them batched. ---
+        let mut any_factor = false;
+        for lane in 0..lanes {
+            factor_mask[lane] = ctl[lane].as_ref().is_some_and(|c| !c.in_newton && c.need_factor);
+            any_factor |= factor_mask[lane];
+        }
+        if any_factor {
+            {
+                let m1 = lu_real.matrix_mut();
+                for lane in 0..lanes {
+                    if !factor_mask[lane] {
+                        continue;
+                    }
+                    let fac1 = U1 / h[lane];
+                    for i in 0..n {
+                        for j in 0..n {
+                            let e = (i * n + j) * lanes + lane;
+                            m1[e] = -jac_lanes[e];
+                        }
+                        m1[(i * n + i) * lanes + lane] += fac1;
+                    }
+                }
+            }
+            lu_real.factor(factor_mask);
+            {
+                let m2 = lu_cplx.matrix_mut();
+                for lane in 0..lanes {
+                    if !factor_mask[lane] {
+                        continue;
+                    }
+                    let alphn = ALPH / h[lane];
+                    let betan = BETA / h[lane];
+                    for i in 0..n {
+                        for j in 0..n {
+                            let e = (i * n + j) * lanes + lane;
+                            m2[e] = Complex64::new(-jac_lanes[e], 0.0);
+                        }
+                        m2[(i * n + i) * lanes + lane] += Complex64::new(alphn, betan);
+                    }
+                }
+            }
+            lu_cplx.factor(factor_mask);
+            for lane in 0..lanes {
+                if !factor_mask[lane] {
+                    continue;
+                }
+                let mut park: Option<SolverError> = None;
+                {
+                    let c = ctl[lane].as_mut().expect("factor lane is live");
+                    if lu_real.is_singular(lane) || lu_cplx.is_singular(lane) {
+                        c.singular_retries += 1;
+                        if c.singular_retries > 8 {
+                            park = Some(SolverError::SingularIterationMatrix { t: t[lane] });
+                        } else {
+                            // Halve h and retry from step start next tick
+                            // (the scalar path's `continue 'steps`, which
+                            // re-runs the pre-step checks first).
+                            h[lane] *= 0.5;
+                        }
+                    } else {
+                        c.sol.stats.lu_decompositions += 2;
+                        c.singular_retries = 0;
+                        c.need_factor = false;
+                    }
+                }
+                if let Some(error) = park {
+                    let c = ctl[lane].take().expect("parked lane was live");
+                    results[c.member] = Some(Err(SolveFailure { error, stats: c.sol.stats }));
+                    h[lane] = 0.0;
+                }
+            }
+        }
+
+        // --- Newton start: lanes at step start with a valid factorization
+        // initialize z, w and the iteration bookkeeping. ---
+        for lane in 0..lanes {
+            let Some(c) = ctl[lane].as_mut() else { continue };
+            if c.in_newton || c.need_factor {
+                continue; // mid-Newton, or waiting out a singular retry
+            }
+            if c.first || !c.have_cont {
+                let (z1v, z2v, z3v) = (z1.as_mut_slice(), z2.as_mut_slice(), z3.as_mut_slice());
+                let (w1v, w2v, w3v) = (w1.as_mut_slice(), w2.as_mut_slice(), w3.as_mut_slice());
+                for i in 0..n {
+                    let il = i * lanes + lane;
+                    z1v[il] = 0.0;
+                    z2v[il] = 0.0;
+                    z3v[il] = 0.0;
+                    w1v[il] = 0.0;
+                    w2v[il] = 0.0;
+                    w3v[il] = 0.0;
+                }
+            } else {
+                // Extrapolate the previous collocation polynomial.
+                let ratio = h[lane] / c.cont_h;
+                let (c0v, c1v, c2v, c3v) =
+                    (cont0.as_slice(), cont1.as_slice(), cont2.as_slice(), cont3.as_slice());
+                for (ci, which) in [(c1, 0usize), (c2, 1), (1.0, 2)] {
+                    let s_eval = ci * ratio;
+                    let zv = match which {
+                        0 => z1.as_mut_slice(),
+                        1 => z2.as_mut_slice(),
+                        _ => z3.as_mut_slice(),
+                    };
+                    for i in 0..n {
+                        let il = i * lanes + lane;
+                        let q = c0v[il]
+                            + s_eval
+                                * (c1v[il]
+                                    + (s_eval - c2m1) * (c2v[il] + (s_eval - c1m1) * c3v[il]));
+                        zv[il] = q - c0v[il];
+                    }
+                }
+                let (z1v, z2v, z3v) = (z1.as_slice(), z2.as_slice(), z3.as_slice());
+                let (w1v, w2v, w3v) = (w1.as_mut_slice(), w2.as_mut_slice(), w3.as_mut_slice());
+                for i in 0..n {
+                    let il = i * lanes + lane;
+                    w1v[il] = TI11 * z1v[il] + TI12 * z2v[il] + TI13 * z3v[il];
+                    w2v[il] = TI21 * z1v[il] + TI22 * z2v[il] + TI23 * z3v[il];
+                    w3v[il] = TI31 * z1v[il] + TI32 * z2v[il] + TI33 * z3v[il];
+                }
+            }
+            c.faccon = c.faccon.max(uround).powf(0.8);
+            c.theta = 2.0 * THET; // pessimistic until measured
+            c.dyno_old = 0.0;
+            c.thq_old = 0.0;
+            c.newt = 0;
+            c.newton_iters = 0;
+            c.in_newton = true;
+        }
+
+        // --- The lockstep Newton iteration: three lane-wide stage sweeps,
+        // two masked batched solves, per-lane convergence control. Lanes may
+        // sit at different iteration counts; the arithmetic is identical. ---
+        let mut n_newton = 0u64;
+        for lane in 0..lanes {
+            newton_mask[lane] = ctl[lane].as_ref().is_some_and(|c| c.in_newton);
+            n_newton += u64::from(newton_mask[lane]);
+        }
+        if n_newton == 0 {
+            continue; // every live lane is waiting out a singular retry
+        }
+        report.lockstep_iters += 1;
+        report.lane_steps += n_newton;
+
+        for lane in 0..lanes {
+            if !newton_mask[lane] {
+                continue;
+            }
+            let c = ctl[lane].as_mut().expect("newton lane is live");
+            c.newton_iters = c.newt + 1;
+            c.sol.stats.rhs_evals += 3;
+            c.sol.stats.nonlinear_iters += 1;
+            c.sol.stats.linear_solves += 2;
+        }
+
+        // Stage right-hand sides.
+        {
+            let (yv, zv) = (y.as_slice(), z1.as_slice());
+            let st = stage.as_mut_slice();
+            for s in 0..n {
+                let b = s * lanes;
+                for l in 0..lanes {
+                    st[b + l] = yv[b + l] + zv[b + l];
+                }
+            }
+            for l in 0..lanes {
+                t_stage[l] = t[l] + c1 * h[l];
+            }
+        }
+        system.rhs_batch(t_stage, stage, f1);
+        {
+            let (yv, zv) = (y.as_slice(), z2.as_slice());
+            let st = stage.as_mut_slice();
+            for s in 0..n {
+                let b = s * lanes;
+                for l in 0..lanes {
+                    st[b + l] = yv[b + l] + zv[b + l];
+                }
+            }
+            for l in 0..lanes {
+                t_stage[l] = t[l] + c2 * h[l];
+            }
+        }
+        system.rhs_batch(t_stage, stage, f2);
+        {
+            let (yv, zv) = (y.as_slice(), z3.as_slice());
+            let st = stage.as_mut_slice();
+            for s in 0..n {
+                let b = s * lanes;
+                for l in 0..lanes {
+                    st[b + l] = yv[b + l] + zv[b + l];
+                }
+            }
+            for l in 0..lanes {
+                t_stage[l] = t[l] + h[l];
+            }
+        }
+        system.rhs_batch(t_stage, stage, f3);
+
+        // Transformed residuals, lane-wide.
+        for l in 0..lanes {
+            fac1v[l] = U1 / h[l];
+            alphnv[l] = ALPH / h[l];
+            betanv[l] = BETA / h[l];
+        }
+        {
+            let (f1v, f2v, f3v) = (f1.as_slice(), f2.as_slice(), f3.as_slice());
+            let (w1v, w2v, w3v) = (w1.as_slice(), w2.as_slice(), w3.as_slice());
+            let rr = rhs_real.as_mut_slice();
+            for s in 0..n {
+                let b = s * lanes;
+                for l in 0..lanes {
+                    let fw1 = TI11 * f1v[b + l] + TI12 * f2v[b + l] + TI13 * f3v[b + l];
+                    let fw2 = TI21 * f1v[b + l] + TI22 * f2v[b + l] + TI23 * f3v[b + l];
+                    let fw3 = TI31 * f1v[b + l] + TI32 * f2v[b + l] + TI33 * f3v[b + l];
+                    rr[b + l] = fw1 - fac1v[l] * w1v[b + l];
+                    rhs_cplx[b + l] = Complex64::new(
+                        fw2 - (alphnv[l] * w2v[b + l] - betanv[l] * w3v[b + l]),
+                        fw3 - (alphnv[l] * w3v[b + l] + betanv[l] * w2v[b + l]),
+                    );
+                }
+            }
+        }
+        lu_real.solve_lanes(rhs_real.as_mut_slice(), newton_mask);
+        lu_cplx.solve_lanes(rhs_cplx, newton_mask);
+
+        // Update w and accumulate the displacement norm, lane-wide.
+        {
+            let rr = rhs_real.as_slice();
+            let (w1v, w2v, w3v) = (w1.as_mut_slice(), w2.as_mut_slice(), w3.as_mut_slice());
+            let sc = scale.as_slice();
+            dyno_acc.fill(0.0);
+            for s in 0..n {
+                let b = s * lanes;
+                for l in 0..lanes {
+                    let d1 = rr[b + l];
+                    let d2 = rhs_cplx[b + l].re;
+                    let d3 = rhs_cplx[b + l].im;
+                    w1v[b + l] += d1;
+                    w2v[b + l] += d2;
+                    w3v[b + l] += d3;
+                    let sv = sc[b + l];
+                    dyno_acc[l] += (d1 / sv).powi(2) + (d2 / sv).powi(2) + (d3 / sv).powi(2);
+                }
+            }
+        }
+        // Back-transform to z, lane-wide.
+        {
+            let (w1v, w2v, w3v) = (w1.as_slice(), w2.as_slice(), w3.as_slice());
+            let (z1v, z2v, z3v) = (z1.as_mut_slice(), z2.as_mut_slice(), z3.as_mut_slice());
+            for s in 0..n {
+                let b = s * lanes;
+                for l in 0..lanes {
+                    z1v[b + l] = T11 * w1v[b + l] + T12 * w2v[b + l] + T13 * w3v[b + l];
+                    z2v[b + l] = T21 * w1v[b + l] + T22 * w2v[b + l] + T23 * w3v[b + l];
+                    z3v[b + l] = T31 * w1v[b + l] + w2v[b + l];
+                }
+            }
+        }
+
+        // Per-lane convergence control (the scalar iteration's tail).
+        for lane in 0..lanes {
+            conv_mask[lane] = false;
+            if !newton_mask[lane] {
+                continue;
+            }
+            let mut park: Option<SolverError> = None;
+            {
+                let c = ctl[lane].as_mut().expect("newton lane is live");
+                let dyno = (dyno_acc[lane] / (3 * n) as f64).sqrt();
+                enum Outcome {
+                    Continue,
+                    Converged,
+                    Failed,
+                }
+                let mut outcome = Outcome::Continue;
+                if !dyno.is_finite() {
+                    outcome = Outcome::Failed; // divergence handled below
+                } else {
+                    let mut broke = false;
+                    if c.newt > 0 {
+                        let thq = dyno / c.dyno_old.max(f64::MIN_POSITIVE);
+                        c.theta = if c.newt == 1 { thq } else { (thq * c.thq_old).sqrt() };
+                        c.thq_old = thq;
+                        if c.theta < 0.99 {
+                            c.faccon = c.theta / (1.0 - c.theta);
+                            let remaining = (NIT - 1 - c.newt) as i32;
+                            let dyth = c.faccon * dyno * c.theta.powi(remaining) / fnewt;
+                            if dyth >= 1.0 {
+                                broke = true; // predicted to miss the tolerance
+                            }
+                        } else {
+                            broke = true; // diverging
+                        }
+                    }
+                    if broke {
+                        outcome = Outcome::Failed;
+                    } else {
+                        c.dyno_old = dyno.max(uround);
+                        if c.faccon * dyno <= fnewt && c.newt > 0 {
+                            outcome = Outcome::Converged;
+                        } else if c.newt == 0 && dyno <= 1e-1 * fnewt {
+                            // First iteration can also converge immediately.
+                            outcome = Outcome::Converged;
+                        } else if c.newt + 1 >= NIT {
+                            outcome = Outcome::Failed; // iteration budget spent
+                        }
+                    }
+                }
+                match outcome {
+                    Outcome::Continue => c.newt += 1,
+                    Outcome::Converged => {
+                        c.newton_failures = 0;
+                        c.in_newton = false;
+                        conv_mask[lane] = true;
+                    }
+                    Outcome::Failed => {
+                        // Newton failed: fresh Jacobian if stale, halve the
+                        // step, retry from step start.
+                        c.newton_failures += 1;
+                        if c.newton_failures > 20 {
+                            park = Some(SolverError::NonlinearSolveFailed {
+                                t: t[lane],
+                                failures: c.newton_failures,
+                            });
+                        } else {
+                            c.sol.stats.rejected += 1;
+                            c.sol.stats.steps += 1;
+                            c.steps_since_sample += 1;
+                            c.need_jacobian = true; // conservative: rebuild at current y
+                            c.need_factor = true;
+                            h[lane] *= 0.5;
+                            c.have_cont = false;
+                            c.in_newton = false;
+                        }
+                    }
+                }
+            }
+            if let Some(error) = park {
+                let c = ctl[lane].take().expect("parked lane was live");
+                results[c.member] = Some(Err(SolveFailure { error, stats: c.sol.stats }));
+                h[lane] = 0.0;
+            }
+        }
+
+        // --- Error estimate for the lanes that converged this tick:
+        // err = || E1⁻¹ (f0 + Σ ddᵢ zᵢ / h) ||, masked batched solve. ---
+        let any_conv = conv_mask.iter().any(|&m| m);
+        if any_conv {
+            {
+                let (z1v, z2v, z3v) = (z1.as_slice(), z2.as_slice(), z3.as_slice());
+                let f0v = f0.as_slice();
+                let (tv, ev) = (tmp.as_mut_slice(), err_v.as_mut_slice());
+                for lane in 0..lanes {
+                    if !conv_mask[lane] {
+                        continue;
+                    }
+                    let hee1 = dd1 / h[lane];
+                    let hee2 = dd2 / h[lane];
+                    let hee3 = dd3 / h[lane];
+                    for i in 0..n {
+                        let il = i * lanes + lane;
+                        tv[il] = hee1 * z1v[il] + hee2 * z2v[il] + hee3 * z3v[il];
+                        ev[il] = tv[il] + f0v[il];
+                    }
+                }
+            }
+            lu_real.solve_lanes(err_v.as_mut_slice(), conv_mask);
+            let mut any_refine = false;
+            for lane in 0..lanes {
+                refine_mask[lane] = false;
+                if !conv_mask[lane] {
+                    continue;
+                }
+                let c = ctl[lane].as_mut().expect("converged lane is live");
+                c.sol.stats.linear_solves += 1;
+                err_norm[lane] =
+                    lane_wrms(err_v.as_slice(), scale.as_slice(), n, lanes, lane).max(1e-10);
+                refine_mask[lane] = err_norm[lane] >= 1.0 && (c.first || c.last_rejected);
+                any_refine |= refine_mask[lane];
+            }
+            if any_refine {
+                // Refined estimate: evaluate f at the corrected point.
+                {
+                    let (yv, ev) = (y.as_slice(), err_v.as_slice());
+                    let st = stage.as_mut_slice();
+                    for lane in 0..lanes {
+                        if !refine_mask[lane] {
+                            continue;
+                        }
+                        for i in 0..n {
+                            let il = i * lanes + lane;
+                            st[il] = yv[il] + ev[il];
+                        }
+                    }
+                    t_stage.copy_from_slice(t);
+                }
+                system.rhs_batch(t_stage, stage, f_ref);
+                {
+                    let (fv, tv) = (f_ref.as_slice(), tmp.as_slice());
+                    let ev = err_v.as_mut_slice();
+                    for lane in 0..lanes {
+                        if !refine_mask[lane] {
+                            continue;
+                        }
+                        for i in 0..n {
+                            let il = i * lanes + lane;
+                            ev[il] = fv[il] + tv[il];
+                        }
+                    }
+                }
+                lu_real.solve_lanes(err_v.as_mut_slice(), refine_mask);
+                for lane in 0..lanes {
+                    if !refine_mask[lane] {
+                        continue;
+                    }
+                    let c = ctl[lane].as_mut().expect("refining lane is live");
+                    c.sol.stats.rhs_evals += 1;
+                    c.sol.stats.linear_solves += 1;
+                    err_norm[lane] =
+                        lane_wrms(err_v.as_slice(), scale.as_slice(), n, lanes, lane).max(1e-10);
+                }
+            }
+        }
+
+        // --- Per-lane acceptance, Gustafsson controller, dense output,
+        // sampling, and the Jacobian/LU reuse policy. ---
+        for lane in 0..lanes {
+            refresh_mask[lane] = false;
+            if !conv_mask[lane] {
+                continue;
+            }
+            enum Park {
+                Done,
+                Fail(SolverError),
+            }
+            let mut park: Option<Park> = None;
+            {
+                let c = ctl[lane].as_mut().expect("converged lane is live");
+                c.sol.stats.steps += 1;
+                c.steps_since_sample += 1;
+                let err = err_norm[lane];
+
+                // Step-size proposal (radau5's controller).
+                let fac = SAFE.min(
+                    SAFE * (1.0 + 2.0 * NIT as f64) / (c.newton_iters as f64 + 2.0 * NIT as f64),
+                );
+                let mut quot = (err.powf(0.25) / fac).clamp(FACR, FACL);
+                let mut h_new = h[lane] / quot;
+
+                if err < 1.0 {
+                    // Accept.
+                    c.sol.stats.accepted += 1;
+                    if !c.first {
+                        // Gustafsson predictive controller.
+                        let facgus = ((c.hacc / h[lane]) * (err * err / c.erracc).powf(0.25)
+                            / SAFE)
+                            .clamp(FACR, FACL);
+                        quot = quot.max(facgus);
+                        h_new = h[lane] / quot;
+                    }
+                    c.hacc = h[lane];
+                    c.erracc = err.max(1e-2);
+
+                    // Dense-output coefficients from the collocation
+                    // polynomial, this lane's columns only.
+                    {
+                        let yv = y.as_slice();
+                        let (z1v, z2v, z3v) = (z1.as_slice(), z2.as_slice(), z3.as_slice());
+                        let (c0v, c1v, c2v, c3v) = (
+                            cont0.as_mut_slice(),
+                            cont1.as_mut_slice(),
+                            cont2.as_mut_slice(),
+                            cont3.as_mut_slice(),
+                        );
+                        for i in 0..n {
+                            let il = i * lanes + lane;
+                            let y_new = yv[il] + z3v[il];
+                            c0v[il] = y_new;
+                            let c1_term = (z2v[il] - z3v[il]) / c2m1;
+                            let ak = (z1v[il] - z2v[il]) / c1mc2;
+                            let mut acont3 = z1v[il] / c1;
+                            acont3 = (ak - acont3) / c2;
+                            let c2_term = (ak - c1_term) / c1m1;
+                            c1v[il] = c1_term;
+                            c2v[il] = c2_term;
+                            c3v[il] = c2_term - acont3;
+                        }
+                    }
+                    c.cont_h = h[lane];
+                    c.have_cont = true;
+
+                    let t_new = t[lane] + h[lane];
+                    // Serve samples inside (t, t_new].
+                    {
+                        let (c0v, c1v, c2v, c3v) = (
+                            cont0.as_slice(),
+                            cont1.as_slice(),
+                            cont2.as_slice(),
+                            cont3.as_slice(),
+                        );
+                        while c.next_sample < sample_times.len()
+                            && sample_times[c.next_sample] <= t_new
+                        {
+                            let ts = sample_times[c.next_sample];
+                            let sv = ((ts - t_new) / h[lane]).clamp(-1.0, 0.0);
+                            for i in 0..n {
+                                let il = i * lanes + lane;
+                                sample_buf[i] = c0v[il]
+                                    + sv * (c1v[il]
+                                        + (sv - c2m1) * (c2v[il] + (sv - c1m1) * c3v[il]));
+                            }
+                            c.sol.times.push(ts);
+                            c.sol.states.push(sample_buf.clone());
+                            c.next_sample += 1;
+                            c.steps_since_sample = 0;
+                        }
+                    }
+
+                    // Advance the state (stiffly accurate: y_new = y + z3).
+                    {
+                        let z3v = z3.as_slice();
+                        let yv = y.as_mut_slice();
+                        for i in 0..n {
+                            let il = i * lanes + lane;
+                            yv[il] += z3v[il];
+                        }
+                    }
+                    let finite = (0..n).all(|i| y.as_slice()[i * lanes + lane].is_finite());
+                    if !finite {
+                        park = Some(Park::Fail(SolverError::NonFiniteState { t: t_new }));
+                    } else {
+                        t[lane] = t_new;
+                        if c.next_sample == sample_times.len() {
+                            park = Some(Park::Done);
+                        } else {
+                            // f0 refresh is deferred to one lane-wide sweep
+                            // below; the reuse policy is pure control state.
+                            refresh_mask[lane] = true;
+                            c.need_jacobian = c.theta > THET;
+                            let quot_ratio = h_new / h[lane];
+                            if !c.need_jacobian && (QUOT1..=QUOT2).contains(&quot_ratio) {
+                                h_new = h[lane]; // keep the factorization
+                            } else {
+                                c.need_factor = true;
+                            }
+                            if h_new > options.max_step {
+                                c.need_factor = true;
+                            }
+                            h[lane] = h_new;
+                            c.first = false;
+                            c.last_rejected = false;
+                        }
+                    }
+                } else {
+                    // Reject.
+                    c.sol.stats.rejected += 1;
+                    c.last_rejected = true;
+                    h[lane] = if c.first { 0.1 * h[lane] } else { h_new };
+                    c.need_factor = true;
+                    if c.theta > THET {
+                        c.need_jacobian = true;
+                    }
+                }
+            }
+            if let Some(p) = park {
+                let c = ctl[lane].take().expect("parked lane was live");
+                results[c.member] = Some(match p {
+                    Park::Done => Ok(c.sol),
+                    Park::Fail(error) => Err(SolveFailure { error, stats: c.sol.stats }),
+                });
+                h[lane] = 0.0;
+            }
+        }
+
+        // --- Deferred f0 refresh for accepted, still-running lanes: one
+        // lane-wide sweep at the new (t, y), then per-lane error scale. ---
+        if refresh_mask.iter().any(|&m| m) {
+            system.rhs_batch(t, y, probe_f);
+            for lane in 0..lanes {
+                if !refresh_mask[lane] {
+                    continue;
+                }
+                f0.copy_lane_from(probe_f, lane);
+                let c = ctl[lane].as_mut().expect("refreshed lane is live");
+                c.sol.stats.rhs_evals += 1;
+                let (yv, sc) = (y.as_slice(), scale.as_mut_slice());
+                for i in 0..n {
+                    let il = i * lanes + lane;
+                    sc[il] = options.abs_tol + options.rel_tol * yv[il].abs();
+                }
+            }
+        }
+    }
+
+    let out = results
+        .into_iter()
+        .enumerate()
+        .map(|(m, r)| r.unwrap_or_else(|| panic!("member {m} never scheduled")))
+        .collect();
+    (out, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{OdeSolver, OdeSystem, Radau5};
+    use paraspace_linalg::Matrix;
+
+    /// A family of van der Pol oscillators: member `m` has its own
+    /// stiffness parameter `μ_m`, so lanes genuinely diverge in step size,
+    /// Newton iteration count, and Jacobian-refresh cadence.
+    ///
+    ///   dy0/dt = y1
+    ///   dy1/dt = μ·((1 − y0²)·y1) − y0
+    struct VdpFamily {
+        mus: Vec<f64>,
+        y0s: Vec<[f64; 2]>,
+        bound: Vec<f64>,
+    }
+
+    impl VdpFamily {
+        fn new(mus: Vec<f64>, lanes: usize) -> Self {
+            let y0s = mus.iter().enumerate().map(|(i, _)| [2.0 + i as f64 * 0.0625, 0.0]).collect();
+            VdpFamily { mus, y0s, bound: vec![0.0; lanes] }
+        }
+
+        /// The scalar twin of member `m`, with identical arithmetic and an
+        /// analytic Jacobian (as the batch kernel requires).
+        fn scalar(&self, m: usize) -> (VdpScalar, [f64; 2]) {
+            (VdpScalar { mu: self.mus[m] }, self.y0s[m])
+        }
+    }
+
+    struct VdpScalar {
+        mu: f64,
+    }
+
+    impl OdeSystem for VdpScalar {
+        fn dim(&self) -> usize {
+            2
+        }
+        fn rhs(&self, _t: f64, y: &[f64], d: &mut [f64]) {
+            d[0] = y[1];
+            d[1] = self.mu * ((1.0 - y[0] * y[0]) * y[1]) - y[0];
+        }
+        fn jacobian(&self, _t: f64, y: &[f64], jac: &mut Matrix) {
+            jac[(0, 0)] = 0.0;
+            jac[(0, 1)] = 1.0;
+            jac[(1, 0)] = self.mu * (-2.0 * y[0] * y[1]) - 1.0;
+            jac[(1, 1)] = self.mu * (1.0 - y[0] * y[0]);
+        }
+        fn has_analytic_jacobian(&self) -> bool {
+            true
+        }
+    }
+
+    impl BatchOdeSystem for VdpFamily {
+        fn dim(&self) -> usize {
+            2
+        }
+        fn lanes(&self) -> usize {
+            self.bound.len()
+        }
+        fn members(&self) -> usize {
+            self.mus.len()
+        }
+        fn initial_state(&self, member: usize, y0: &mut [f64]) {
+            y0.copy_from_slice(&self.y0s[member]);
+        }
+        fn bind_lane(&mut self, lane: usize, member: usize) {
+            self.bound[lane] = self.mus[member];
+        }
+        fn rhs_batch(&mut self, _t: &[f64], y: &BatchState, dydt: &mut BatchState) {
+            let lanes = self.bound.len();
+            let (yv, dv) = (y.as_slice(), dydt.as_mut_slice());
+            for l in 0..lanes {
+                let mu = self.bound[l];
+                dv[l] = yv[lanes + l];
+                dv[lanes + l] = mu * ((1.0 - yv[l] * yv[l]) * yv[lanes + l]) - yv[l];
+            }
+        }
+        fn supports_jacobian_batch(&self) -> bool {
+            true
+        }
+        fn jacobian_batch(&mut self, _t: &[f64], y: &BatchState, jac: &mut [f64]) {
+            let lanes = self.bound.len();
+            let yv = y.as_slice();
+            for l in 0..lanes {
+                let mu = self.bound[l];
+                jac[l] = 0.0;
+                jac[lanes + l] = 1.0;
+                jac[2 * lanes + l] = mu * (-2.0 * yv[l] * yv[lanes + l]) - 1.0;
+                jac[3 * lanes + l] = mu * (1.0 - yv[l] * yv[l]);
+            }
+        }
+    }
+
+    fn opts() -> SolverOptions {
+        SolverOptions::default()
+    }
+
+    fn sample_grid() -> Vec<f64> {
+        vec![0.25, 0.5, 1.0, 2.0]
+    }
+
+    /// Stiffness spread: mildly to severely stiff members in one group.
+    fn mu_spread(count: usize) -> Vec<f64> {
+        (0..count).map(|i| 5.0 + 23.0 * i as f64).collect()
+    }
+
+    #[test]
+    fn lockstep_is_bitwise_identical_to_scalar_at_any_width() {
+        let mus = mu_spread(10);
+        let times = sample_grid();
+        let proto = VdpFamily::new(mus.clone(), 1);
+        let reference: Vec<Solution> = (0..mus.len())
+            .map(|m| {
+                let (sys, y0) = proto.scalar(m);
+                Radau5::new().solve(&sys, 0.0, &y0, &times, &opts()).unwrap()
+            })
+            .collect();
+        // The reference solves must themselves exercise the reuse policy,
+        // or this test would not cover the masked refresh machinery.
+        assert!(reference.iter().any(|s| s.stats.jacobian_evals < s.stats.steps));
+        assert!(reference
+            .iter()
+            .any(|s| s.stats.lu_decompositions < 2 * (s.stats.accepted + s.stats.rejected)));
+        for width in [1, 2, 4, 8] {
+            let mut family = VdpFamily::new(mus.clone(), width);
+            let (results, report) = Radau5Batch::new().solve_group(
+                &mut family,
+                0.0,
+                &times,
+                &opts(),
+                &mut SolverScratch::new(),
+            );
+            assert_eq!(report.width, width);
+            for (m, r) in results.iter().enumerate() {
+                let sol = r.as_ref().expect("member must succeed");
+                assert_eq!(sol.times, reference[m].times, "width={width} member={m}");
+                assert_eq!(sol.states, reference[m].states, "width={width} member={m}");
+                assert_eq!(sol.stats, reference[m].stats, "width={width} member={m}");
+            }
+        }
+    }
+
+    #[test]
+    fn lane_compaction_keeps_group_busy() {
+        // 13 members through 4 lanes: compaction must schedule all of them.
+        let mut family = VdpFamily::new(mu_spread(13), 4);
+        let times = sample_grid();
+        let (results, report) = Radau5Batch::new().solve_group(
+            &mut family,
+            0.0,
+            &times,
+            &opts(),
+            &mut SolverScratch::new(),
+        );
+        assert!(results.iter().all(|r| r.is_ok()));
+        assert!(report.lockstep_iters > 0);
+        assert!(report.lane_steps <= report.width as u64 * report.lockstep_iters);
+        assert!(report.occupancy() > 0.0 && report.occupancy() <= 1.0);
+        // Refill sweeps happened (initial fill plus at least one refill
+        // round), each costing 2 sweeps under automatic hinit.
+        assert!(report.refill_sweeps >= 4);
+    }
+
+    #[test]
+    fn failing_member_parks_without_poisoning_the_group() {
+        // A brutal step budget makes the stiffer members fail while the
+        // mildest finishes; outcomes must match the scalar path member for
+        // member, stats included.
+        let mus = vec![1.0, 400.0, 900.0, 2.0];
+        let o = SolverOptions { step_budget: Some(45), ..opts() };
+        let times = sample_grid();
+        let proto = VdpFamily::new(mus.clone(), 1);
+        let reference: Vec<Result<Solution, SolveFailure>> = (0..mus.len())
+            .map(|m| {
+                let (sys, y0) = proto.scalar(m);
+                Radau5::new().solve(&sys, 0.0, &y0, &times, &o)
+            })
+            .collect();
+        assert!(reference.iter().any(|r| r.is_err()), "budget must bite some member");
+        assert!(reference.iter().any(|r| r.is_ok()), "some member must finish");
+        let mut family = VdpFamily::new(mus.clone(), 2);
+        let (results, _) =
+            Radau5Batch::new().solve_group(&mut family, 0.0, &times, &o, &mut SolverScratch::new());
+        for (m, (got, want)) in results.iter().zip(reference.iter()).enumerate() {
+            match (got, want) {
+                (Ok(g), Ok(w)) => {
+                    assert_eq!(g.states, w.states, "member={m}");
+                    assert_eq!(g.stats, w.stats, "member={m}");
+                }
+                (Err(g), Err(w)) => {
+                    assert_eq!(
+                        std::mem::discriminant(&g.error),
+                        std::mem::discriminant(&w.error),
+                        "member={m}: {:?} vs {:?}",
+                        g.error,
+                        w.error
+                    );
+                    assert_eq!(g.stats, w.stats, "member={m}");
+                }
+                _ => panic!("member {m}: outcome kind differs from scalar"),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_sample_times_yield_empty_solutions() {
+        let mut family = VdpFamily::new(vec![5.0, 10.0, 20.0], 2);
+        let (results, report) = Radau5Batch::new().solve_group(
+            &mut family,
+            0.0,
+            &[],
+            &opts(),
+            &mut SolverScratch::new(),
+        );
+        assert_eq!(results.len(), 3);
+        assert!(results.iter().all(|r| r.as_ref().is_ok_and(|s| s.is_empty())));
+        assert_eq!(report.lockstep_iters, 0);
+    }
+
+    #[test]
+    fn samples_at_t0_deliver_initial_state() {
+        let mut family = VdpFamily::new(vec![5.0, 10.0], 2);
+        let (results, _) = Radau5Batch::new().solve_group(
+            &mut family,
+            0.0,
+            &[0.0, 0.5],
+            &opts(),
+            &mut SolverScratch::new(),
+        );
+        for (m, r) in results.iter().enumerate() {
+            let sol = r.as_ref().unwrap();
+            assert_eq!(sol.state_at(0)[0], 2.0 + m as f64 * 0.0625);
+        }
+    }
+
+    #[test]
+    fn invalid_member_fails_alone() {
+        let mut family = VdpFamily::new(vec![5.0, 10.0, 20.0], 2);
+        family.y0s[1] = [f64::NAN, 0.0];
+        let times = sample_grid();
+        let (results, _) = Radau5Batch::new().solve_group(
+            &mut family,
+            0.0,
+            &times,
+            &opts(),
+            &mut SolverScratch::new(),
+        );
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1].as_ref().unwrap_err().error, SolverError::InvalidInput { .. }));
+        assert!(results[2].is_ok());
+    }
+
+    #[test]
+    fn scratch_reuse_is_bitwise_stable() {
+        // Two back-to-back groups through the same scratch must match two
+        // fresh-scratch runs exactly — including the reused BatchLu storage.
+        let times = sample_grid();
+        let mut scratch = SolverScratch::new();
+        let run = |scratch: &mut SolverScratch, mus: Vec<f64>| {
+            let mut family = VdpFamily::new(mus, 4);
+            Radau5Batch::new().solve_group(&mut family, 0.0, &times, &opts(), scratch).0
+        };
+        let a1 = run(&mut scratch, mu_spread(5));
+        let a2 = run(&mut scratch, vec![3.0, 70.0]);
+        let b1 = run(&mut SolverScratch::new(), mu_spread(5));
+        let b2 = run(&mut SolverScratch::new(), vec![3.0, 70.0]);
+        let unwrap_all = |v: Vec<Result<Solution, SolveFailure>>| -> Vec<Solution> {
+            v.into_iter().map(|r| r.unwrap()).collect()
+        };
+        assert_eq!(unwrap_all(a1), unwrap_all(b1));
+        assert_eq!(unwrap_all(a2), unwrap_all(b2));
+    }
+
+    #[test]
+    fn fixed_initial_step_is_honored() {
+        let o = SolverOptions { initial_step: Some(1e-3), ..opts() };
+        let times = sample_grid();
+        let proto = VdpFamily::new(vec![5.0, 40.0], 1);
+        let reference: Vec<Solution> = (0..2)
+            .map(|m| {
+                let (sys, y0) = proto.scalar(m);
+                Radau5::new().solve(&sys, 0.0, &y0, &times, &o).unwrap()
+            })
+            .collect();
+        let mut family = VdpFamily::new(vec![5.0, 40.0], 2);
+        let (results, report) =
+            Radau5Batch::new().solve_group(&mut family, 0.0, &times, &o, &mut SolverScratch::new());
+        for (m, r) in results.iter().enumerate() {
+            let sol = r.as_ref().unwrap();
+            assert_eq!(sol.states, reference[m].states, "member={m}");
+            assert_eq!(sol.stats, reference[m].stats, "member={m}");
+        }
+        // Fixed h0 skips the hinit probe: exactly one sweep per fill round.
+        assert_eq!(report.refill_sweeps, 1);
+    }
+
+    #[test]
+    fn systems_without_jacobian_batch_are_rejected() {
+        struct NoJac;
+        impl BatchOdeSystem for NoJac {
+            fn dim(&self) -> usize {
+                1
+            }
+            fn lanes(&self) -> usize {
+                1
+            }
+            fn members(&self) -> usize {
+                1
+            }
+            fn initial_state(&self, _member: usize, y0: &mut [f64]) {
+                y0[0] = 1.0;
+            }
+            fn bind_lane(&mut self, _lane: usize, _member: usize) {}
+            fn rhs_batch(&mut self, _t: &[f64], y: &BatchState, dydt: &mut BatchState) {
+                dydt.set(0, 0, -y.at(0, 0));
+            }
+        }
+        let result = std::panic::catch_unwind(|| {
+            Radau5Batch::new().solve_group(
+                &mut NoJac,
+                0.0,
+                &[1.0],
+                &opts(),
+                &mut SolverScratch::new(),
+            )
+        });
+        assert!(result.is_err(), "missing jacobian_batch must be rejected loudly");
+    }
+}

@@ -41,6 +41,7 @@ use crate::dopri5_batch::DopriBatchScratch;
 use crate::multistep::core::NordsieckCore;
 use crate::multistep::MethodFamily;
 use crate::radau5::RadauWorkspace;
+use crate::radau5_batch::RadauBatchScratch;
 
 /// Pooled working storage for all solver families in this crate.
 ///
@@ -51,6 +52,7 @@ pub struct SolverScratch {
     pub(crate) dopri: DopriScratch,
     pub(crate) dopri_batch: DopriBatchScratch,
     pub(crate) radau: Option<RadauWorkspace>,
+    pub(crate) radau_batch: RadauBatchScratch,
     pub(crate) nordsieck: Option<NordsieckCore>,
 }
 

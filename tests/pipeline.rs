@@ -133,7 +133,9 @@ fn mixed_batch_routing() {
     assert_eq!(r.success_count(), 4);
     assert!(!r.outcomes[0].stiff && !r.outcomes[1].stiff);
     assert!(r.outcomes[3].stiff);
-    assert_eq!(r.outcomes[3].solver, "radau5");
+    // Two members classify stiff, so P4 runs them as a lockstep Radau
+    // lane group rather than scalar solves.
+    assert_eq!(r.outcomes[3].solver, "radau5-lanes");
     // Equilibrium A/(A+B): k_back/(k_fwd + k_back) = 1/3 for every member.
     for o in &r.outcomes {
         let s = o.solution.as_ref().expect("sol");
