@@ -48,6 +48,10 @@ pub enum Command {
         atol: f64,
         /// Host worker threads (1 = sequential, 0 = all cores).
         threads: usize,
+        /// Lockstep lane width: `None` autotunes per model, `Some(n)` pins
+        /// it (`1` forces the scalar path). Results are bitwise identical
+        /// at any setting.
+        lane_width: Option<usize>,
         /// Tolerance-relaxation retries for members that fail (0 = off).
         max_retries: usize,
         /// Per-member attempted-step budget (deterministic deadline).
@@ -142,6 +146,7 @@ paraspace-cli — accelerated analysis of biological parameter spaces
 USAGE:
   paraspace-cli simulate <model_dir> [--engine NAME] [--out DIR] [--batch N]
                            [--rtol X] [--atol X] [--threads N]
+                           [--lane-width auto|N]
                            [--max-retries N] [--member-budget STEPS]
                            [--checkpoint-dir DIR] [--shard-size N]
   paraspace-cli resume <checkpoint_dir>
@@ -154,6 +159,12 @@ ENGINES: fine-coarse (default) | coarse | fine | lsoda | vode
 
 --threads runs the batch numerics on N host workers (default 1; 0 = one per
 core). Results are bitwise identical at any thread count.
+
+--lane-width controls the lockstep lane grouping of the fine and fine-coarse
+engines: `auto` (default) prices each model's flux-vs-LU cost ratio and
+factor working set to pick a width per model, while an explicit N pins it
+(1 forces the scalar path). Other engines ignore the flag. Results are
+bitwise identical at any width.
 
 Failed members never abort a batch: each failure is contained, itemized in
 the health summary, and written as a .err file (with the member's full
@@ -168,7 +179,8 @@ committed to a write-ahead journal in DIR, Ctrl-C drains in-flight work and
 checkpoints, and `paraspace-cli resume DIR` continues from the last
 committed shard. Output files are written only once all shards commit and
 are byte-identical to an uninterrupted run. Resume refuses a checkpoint
-whose model, tolerances, engine, or thread configuration changed.";
+whose model, tolerances, engine, thread, or lane-width configuration
+changed.";
 
 fn parse_flag<T: std::str::FromStr>(
     args: &[String],
@@ -200,6 +212,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let mut rtol = 1e-6;
             let mut atol = 1e-12;
             let mut threads = 1usize;
+            let mut lane_width = None;
             let mut max_retries = 0usize;
             let mut member_budget = None;
             let mut checkpoint_dir = None;
@@ -220,6 +233,23 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     "--rtol" => rtol = parse_flag(args, &mut i, "--rtol")?,
                     "--atol" => atol = parse_flag(args, &mut i, "--atol")?,
                     "--threads" => threads = parse_flag(args, &mut i, "--threads")?,
+                    "--lane-width" => {
+                        i += 1;
+                        let v = args
+                            .get(i)
+                            .ok_or_else(|| CliError("--lane-width needs a value".into()))?;
+                        lane_width = match v.as_str() {
+                            "auto" => None,
+                            v => Some(v.parse::<usize>().ok().filter(|w| *w >= 1).ok_or_else(
+                                || {
+                                    CliError(format!(
+                                        "invalid value for --lane-width: {v:?} \
+                                         (expected `auto` or a width >= 1)"
+                                    ))
+                                },
+                            )?),
+                        };
+                    }
                     "--max-retries" => max_retries = parse_flag(args, &mut i, "--max-retries")?,
                     "--member-budget" => {
                         member_budget = Some(parse_flag(args, &mut i, "--member-budget")?)
@@ -248,6 +278,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 rtol,
                 atol,
                 threads,
+                lane_width,
                 max_retries,
                 member_budget,
                 checkpoint_dir,
@@ -324,23 +355,35 @@ pub const DEFAULT_SHARD_SIZE: usize = 64;
 fn engine_by_name(
     name: &str,
     threads: usize,
+    lane_width: Option<usize>,
     recovery: RecoveryPolicy,
     cancel: &CancelToken,
 ) -> Result<Box<dyn Simulator>, CliError> {
     let cancel = cancel.clone();
+    // `--lane-width` only reaches the lockstep engines; the coarse and CPU
+    // engines have no lane schedule to pin.
     Ok(match name {
-        "fine-coarse" => Box::new(
-            FineCoarseEngine::new()
+        "fine-coarse" => {
+            let mut engine = FineCoarseEngine::new()
                 .with_threads(threads)
                 .with_recovery(recovery)
-                .with_cancel(cancel),
-        ),
+                .with_cancel(cancel);
+            if let Some(w) = lane_width {
+                engine = engine.with_lane_width(w);
+            }
+            Box::new(engine)
+        }
         "coarse" => Box::new(
             CoarseEngine::new().with_threads(threads).with_recovery(recovery).with_cancel(cancel),
         ),
-        "fine" => Box::new(
-            FineEngine::new().with_threads(threads).with_recovery(recovery).with_cancel(cancel),
-        ),
+        "fine" => {
+            let mut engine =
+                FineEngine::new().with_threads(threads).with_recovery(recovery).with_cancel(cancel);
+            if let Some(w) = lane_width {
+                engine = engine.with_lane_width(w);
+            }
+            Box::new(engine)
+        }
         "lsoda" => Box::new(
             CpuEngine::new(CpuSolverKind::Lsoda)
                 .with_threads(threads)
@@ -513,6 +556,7 @@ pub fn execute_with_cancel(
             rtol,
             atol,
             threads,
+            lane_width,
             max_retries,
             member_budget,
             ..
@@ -540,7 +584,7 @@ pub fn execute_with_cancel(
                 step_budget: *member_budget,
                 ..RecoveryPolicy::default()
             };
-            let engine = engine_by_name(engine, *threads, recovery, cancel)?;
+            let engine = engine_by_name(engine, *threads, *lane_width, recovery, cancel)?;
             let result = engine.run(&job)?;
 
             let out_path = out_dir.clone().unwrap_or_else(|| model_dir.join("out"));
@@ -599,6 +643,10 @@ pub fn execute_with_cancel(
                 "none" => None,
                 v => Some(parse_field("member_budget", v.to_string())?),
             };
+            let lane_width = match field("world.lane_width")?.as_str() {
+                "auto" => None,
+                v => Some(parse_field("world.lane_width", v.to_string())?),
+            };
             let cmd = Command::Simulate {
                 model_dir: PathBuf::from(field("model_dir")?),
                 engine: field("world.engine")?,
@@ -607,6 +655,7 @@ pub fn execute_with_cancel(
                 rtol: parse_field("rtol", field("rtol")?)?,
                 atol: parse_field("atol", field("atol")?)?,
                 threads: parse_field("world.threads", field("world.threads")?)?,
+                lane_width,
                 max_retries: parse_field("max_retries", field("max_retries")?)?,
                 member_budget,
                 checkpoint_dir: Some(checkpoint_dir.clone()),
@@ -636,6 +685,7 @@ fn simulate_durable(
         rtol,
         atol,
         threads,
+        lane_width,
         max_retries,
         member_budget,
         shard_size,
@@ -664,7 +714,7 @@ fn simulate_durable(
         step_budget: *member_budget,
         ..RecoveryPolicy::default()
     };
-    let engine = engine_by_name(engine_name, *threads, recovery, cancel)?;
+    let engine = engine_by_name(engine_name, *threads, *lane_width, recovery, cancel)?;
 
     let chunks: Vec<&[Parameterization]> = parameterizations.chunks(shard_size).collect();
     let manifest = CampaignManifest::new("cli-simulate", chunks.len() as u64)
@@ -685,7 +735,8 @@ fn simulate_durable(
     let checkpoint = Checkpoint::new(dir)
         .with_cancel(cancel.clone())
         .with_world("engine", engine_name.clone())
-        .with_world("threads", threads.to_string());
+        .with_world("threads", threads.to_string())
+        .with_world("lane_width", lane_width.map_or_else(|| "auto".to_string(), |w| w.to_string()));
 
     let journaled = run_journaled(&checkpoint, manifest, |shard| {
         let chunk = chunks[shard as usize];
@@ -829,7 +880,8 @@ mod tests {
     fn parse_simulate_defaults_and_flags() {
         let cmd = parse(&argv(
             "simulate /tmp/model --engine lsoda --batch 8 --rtol 1e-4 --threads 4 \
-             --max-retries 3 --member-budget 5000 --checkpoint-dir /tmp/ckpt --shard-size 16",
+             --lane-width 4 --max-retries 3 --member-budget 5000 --checkpoint-dir /tmp/ckpt \
+             --shard-size 16",
         ))
         .unwrap();
         match cmd {
@@ -841,6 +893,7 @@ mod tests {
                 atol,
                 out_dir,
                 threads,
+                lane_width,
                 max_retries,
                 member_budget,
                 checkpoint_dir,
@@ -853,6 +906,7 @@ mod tests {
                 assert_eq!(atol, 1e-12);
                 assert_eq!(out_dir, None);
                 assert_eq!(threads, 4);
+                assert_eq!(lane_width, Some(4));
                 assert_eq!(max_retries, 3);
                 assert_eq!(member_budget, Some(5000));
                 assert_eq!(checkpoint_dir, Some(PathBuf::from("/tmp/ckpt")));
@@ -862,8 +916,14 @@ mod tests {
         }
         match parse(&argv("simulate /tmp/model")).unwrap() {
             Command::Simulate {
-                max_retries, member_budget, checkpoint_dir, shard_size, ..
+                lane_width,
+                max_retries,
+                member_budget,
+                checkpoint_dir,
+                shard_size,
+                ..
             } => {
+                assert_eq!(lane_width, None, "lane width defaults to auto");
                 assert_eq!(max_retries, 0, "retries default off");
                 assert_eq!(member_budget, None, "no default step budget");
                 assert_eq!(checkpoint_dir, None, "durable path is opt-in");
@@ -871,6 +931,23 @@ mod tests {
             }
             other => panic!("wrong parse: {other:?}"),
         }
+    }
+
+    #[test]
+    fn parse_lane_width_auto_and_errors() {
+        match parse(&argv("simulate /tmp/model --lane-width auto")).unwrap() {
+            Command::Simulate { lane_width, .. } => assert_eq!(lane_width, None),
+            other => panic!("wrong parse: {other:?}"),
+        }
+        match parse(&argv("simulate /tmp/model --lane-width 1")).unwrap() {
+            Command::Simulate { lane_width, .. } => {
+                assert_eq!(lane_width, Some(1), "1 pins the scalar path")
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        assert!(parse(&argv("simulate /tmp/model --lane-width 0")).is_err());
+        assert!(parse(&argv("simulate /tmp/model --lane-width wide")).is_err());
+        assert!(parse(&argv("simulate /tmp/model --lane-width")).is_err());
     }
 
     #[test]
@@ -927,6 +1004,7 @@ mod tests {
                 rtol: 1e-6,
                 atol: 1e-12,
                 threads: 2,
+                lane_width: None,
                 max_retries: 0,
                 member_budget: None,
                 checkpoint_dir: None,
@@ -969,8 +1047,13 @@ mod tests {
 
     #[test]
     fn unknown_engine_is_reported() {
-        let err = match engine_by_name("quantum", 1, RecoveryPolicy::default(), &CancelToken::new())
-        {
+        let err = match engine_by_name(
+            "quantum",
+            1,
+            None,
+            RecoveryPolicy::default(),
+            &CancelToken::new(),
+        ) {
             Err(e) => e,
             Ok(_) => panic!("unknown engine must be rejected"),
         };
@@ -986,6 +1069,7 @@ mod tests {
             rtol: 1e-6,
             atol: 1e-12,
             threads: 2,
+            lane_width: None,
             max_retries: 0,
             member_budget: None,
             checkpoint_dir: checkpoint,
@@ -1105,6 +1189,16 @@ mod tests {
         }
         let err = execute(&changed, &mut log).unwrap_err();
         assert!(err.to_string().contains("engine"), "mismatch names the field: {err}");
+
+        // Pinning a different lane width is likewise a different world (it
+        // changes the billed schedule even though trajectories are bitwise
+        // identical).
+        let mut repinned = simulate_cmd(&model, Some(ckpt.clone()), 4);
+        if let Command::Simulate { lane_width, .. } = &mut repinned {
+            *lane_width = Some(2);
+        }
+        let err = execute(&repinned, &mut log).unwrap_err();
+        assert!(err.to_string().contains("lane_width"), "mismatch names the field: {err}");
         std::fs::remove_dir_all(&base).ok();
     }
 

@@ -8,7 +8,7 @@ use paraspace_solvers::StepStats;
 /// Average flop multiplier of a complex LU relative to a real one; the
 /// RADAU5 counters lump one real + one complex decomposition as 2, so the
 /// average factor per counted decomposition is (1 + 4)/2.
-const COMPLEX_LU_AVG_FACTOR: f64 = 2.5;
+pub(crate) const COMPLEX_LU_AVG_FACTOR: f64 = 2.5;
 /// Step-control overhead per attempted step, in flops per state component
 /// (error norms, scale vectors, controller arithmetic).
 const STEP_CONTROL_FLOPS_PER_DIM: u64 = 12;

@@ -52,8 +52,6 @@ use std::time::Instant;
 const KERNELS_PER_STEP: u64 = 8;
 /// Host↔device transfer throughput in bytes/ns.
 const PCIE_BYTES_PER_NS: f64 = 8.0;
-/// Lane width auto-selected when the model supports the batched flux pass.
-const AUTO_LANE_WIDTH: usize = 8;
 /// Members queued per lane slot: a group of width `L` services up to
 /// `4·L` members via lane compaction, so early finishers hand their lane
 /// to a pending member instead of idling it.
@@ -135,9 +133,10 @@ impl FineEngine {
 
     /// Pins the lane width (builder style): `1` forces the scalar
     /// published-baseline path, larger values run lockstep lane-groups of
-    /// that width. Without this, the engine auto-selects
-    /// (`8` for mass-action batches of two or more members, scalar
-    /// otherwise). Per-member results are bitwise identical at any width.
+    /// that width. Without this, the engine autotunes the width per model
+    /// from its flux-vs-LU cost split ([`crate::auto_lane_width`]) for
+    /// mass-action batches of two or more members, scalar otherwise.
+    /// Per-member results are bitwise identical at any width.
     pub fn with_lane_width(mut self, width: usize) -> Self {
         self.lane_width = Some(width.max(1));
         self
@@ -149,20 +148,7 @@ impl FineEngine {
     /// when the model mixes kinetics the batched flux pass does not cover,
     /// rather than asserting deep inside the lane path.
     fn resolved_lane_width(&self, job: &SimulationJob) -> usize {
-        let requested = self.lane_width.unwrap_or(AUTO_LANE_WIDTH);
-        if requested <= 1 || job.batch_size() < 2 {
-            return 1;
-        }
-        if !job.odes().supports_lane_batch() {
-            if std::env::var("PARASPACE_DEBUG").map(|v| v == "1").unwrap_or(false) {
-                eprintln!(
-                    "fine: model mixes kinetics the lane-batched flux pass does not cover; \
-                     using the scalar path"
-                );
-            }
-            return 1;
-        }
-        requested
+        crate::lanes::resolve_lane_width(self.lane_width, job, "fine", false)
     }
 
     /// The published scalar baseline: one simulation at a time, species

@@ -40,9 +40,6 @@ const PCIE_BYTES_PER_NS: f64 = 8.0;
 /// Parent-thread control-flow flops per solver step (loop bookkeeping,
 /// step-size control on the coarse thread).
 const PARENT_FLOPS_PER_STEP: u64 = 30;
-/// Lane width of the lockstep P4 RADAU5 group (results are bitwise
-/// independent of this; it only shapes the modeled kernel).
-const P4_LANE_WIDTH: usize = 8;
 
 /// The fine+coarse engine.
 ///
@@ -70,6 +67,7 @@ pub struct FineCoarseEngine {
     threads_per_block: usize,
     stiffness_threshold: f64,
     executor: Executor,
+    lane_width: Option<usize>,
     recovery: RecoveryPolicy,
     cancel: CancelToken,
 }
@@ -89,9 +87,22 @@ impl FineCoarseEngine {
             threads_per_block: 32,
             stiffness_threshold: crate::STIFFNESS_THRESHOLD,
             executor: Executor::sequential(),
+            lane_width: None,
             recovery: RecoveryPolicy::default(),
             cancel: CancelToken::new(),
         }
+    }
+
+    /// Pins the P4 lockstep lane width (builder style): `1` forces the
+    /// scalar P4 path, larger values run lockstep RADAU5 lane-groups of
+    /// that width. Without this, the engine autotunes the width per model
+    /// ([`crate::auto_lane_width`]) through the same resolver as
+    /// [`crate::FineEngine`]. Per-member results are bitwise identical at
+    /// any width (it only shapes the modeled kernel and the LU working
+    /// set).
+    pub fn with_lane_width(mut self, width: usize) -> Self {
+        self.lane_width = Some(width.max(1));
+        self
     }
 
     /// Sets the host worker-thread count used to run the batch numerics
@@ -253,16 +264,17 @@ impl FineCoarseEngine {
     /// `L`-fold, which is exactly where the scalar P4 lost its budget on
     /// stiff-heavy batches. Results are bitwise identical to scalar
     /// [`Radau5`] per member.
+    #[allow(clippy::too_many_arguments)]
     fn run_p4_lanes(
         &self,
         job: &SimulationJob,
         device: &Device,
         members: &[usize],
+        width: usize,
         slots: &mut [Option<(Result<paraspace_solvers::Solution, SolverError>, &'static str)>],
         logs: &mut [RecoveryLog],
     ) {
         let n = job.odes().n_species();
-        let width = P4_LANE_WIDTH;
         let mut sys = RbmBatchSystem::new(job.odes(), width);
         for &i in members {
             let (x0, k) = job.member(i);
@@ -419,11 +431,13 @@ impl Simulator for FineCoarseEngine {
         // Mass-action batches with two or more clean stiff members run P4
         // as lockstep RADAU5 lane-groups; fault-planned members stay on the
         // scalar path so an injected panic (and its per-call fault
-        // ordinals) cannot touch a whole group.
+        // ordinals) cannot touch a whole group. The width comes from the
+        // same per-model resolver as the fine engine's lane path.
         let (p4_lane, p4_scalar): (Vec<usize>, Vec<usize>) =
             p4_members.iter().copied().partition(|&i| job.fault_plan().faults_for(i).is_none());
-        if job.odes().supports_lane_batch() && p4_lane.len() >= 2 {
-            self.run_p4_lanes(job, &device, &p4_lane, &mut slots, &mut logs);
+        let p4_width = crate::lanes::resolve_lane_width(self.lane_width, job, "fine-coarse", true);
+        if p4_width > 1 && p4_lane.len() >= 2 {
+            self.run_p4_lanes(job, &device, &p4_lane, p4_width, &mut slots, &mut logs);
             self.run_phase(
                 job,
                 &device,

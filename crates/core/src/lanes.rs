@@ -1,0 +1,233 @@
+//! Per-model lane-width autotuning for the lockstep engines.
+//!
+//! The lockstep lane path amortizes host-launch latency and structure
+//! decoding `L`-fold, so wider is better — **until** the per-lane working
+//! set of the stiff class's Newton machinery stops fitting cache. The
+//! dominant term there is the pair of iteration-matrix factorizations
+//! (one real + one complex LU per lane): a dense factorization streams
+//! `n²` reals and `n²` complex values per lane per refresh, which at
+//! `n = 114` and `L = 8` is ~2.3 MB of live factor state — far past L2 —
+//! and the measured lane benches show exactly that cliff (the lockstep
+//! path drops to ~0.6× scalar RADAU5 on the 114-species metabolic model
+//! at width 8 while winning 40–50× on flux-dominated models).
+//!
+//! [`auto_lane_width`] prices that trade per model instead of hardcoding
+//! one width for every network:
+//!
+//! 1. **Flux-dominated models** (per-step RHS + Jacobian work ≥ LU work)
+//!    keep the full width: the LU working set is small where flux work
+//!    dominates, and width amortizes both.
+//! 2. **LU-dominated models** are width-limited so the *factor storage*
+//!    of one lane-group — real + complex values over however many entries
+//!    the selected factorization path actually stores (the symbolic
+//!    sparse fill pattern when [`SymbolicLu::prefers_sparse`] holds,
+//!    dense `n²` otherwise) — stays inside a fixed cache budget.
+//!
+//! The returned width only ever *narrows* the schedule; it never changes
+//! any trajectory (per-member results are bitwise independent of lane
+//! width by the lockstep solvers' contract), so tuning is purely a
+//! throughput decision and `--lane-width N` remains a safe manual
+//! override.
+
+use crate::cost::COMPLEX_LU_AVG_FACTOR;
+use paraspace_linalg::{LuFactor, SymbolicLu};
+use paraspace_rbm::CompiledOdes;
+
+/// Widest lane-group the engines schedule.
+pub(crate) const MAX_LANE_WIDTH: usize = 8;
+
+/// Cache budget for one lane-group's live factor values (real + complex),
+/// sized to a conservative per-core L2 slice. Crossing it is where the
+/// lane benches measured the dense-LU cliff.
+const FACTOR_CACHE_BUDGET_BYTES: usize = 256 * 1024;
+
+/// Bytes of factor state per structural entry per lane: one `f64` (real
+/// E1 factor) + one `Complex64` (complex E2 factor).
+const FACTOR_BYTES_PER_ENTRY: usize = 8 + 16;
+
+/// The lane width the lockstep engines should run `odes` at, from the
+/// model's flux-cost-vs-LU-cost ratio and factorization working set.
+///
+/// Returns a power of two in `1..=8`. `1` means lockstep lanes do not pay
+/// for this model — either the batched flux pass cannot cover it (mixed
+/// kinetics) or the LU working set swamps the cache at any width (the
+/// measured regime where even width-1 lanes trail scalar RADAU5). How `1`
+/// is honored is engine-specific: the fine-coarse engine routes stiff
+/// members to its scalar RADAU5 P4 path, while the fine engine — whose
+/// width-1 semantics is the published RKF45→BDF1 baseline, a different
+/// method — floors the *tuned* width at 2 (see
+/// [`resolve_lane_width`]). Deterministic per model — it reads only
+/// compiled-model structure, never timings.
+///
+/// # Example
+///
+/// ```
+/// use paraspace_core::auto_lane_width;
+/// use paraspace_rbm::{Reaction, ReactionBasedModel};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut m = ReactionBasedModel::new();
+/// let a = m.add_species("A", 1.0);
+/// m.add_reaction(Reaction::mass_action(&[(a, 1)], &[], 1.0))?;
+/// // Tiny flux-dominated model: full width.
+/// assert_eq!(auto_lane_width(&m.compile()?), 8);
+/// # Ok(())
+/// # }
+/// ```
+pub fn auto_lane_width(odes: &CompiledOdes) -> usize {
+    if !odes.supports_lane_batch() {
+        return 1;
+    }
+    let n = odes.n_species();
+    // Per-step work split: one RHS + one Jacobian evaluation against one
+    // real + one complex factorization (the same averaging the cost model
+    // applies to RADAU5's lumped LU counter).
+    let flux_flops = (odes.rhs_flops() + odes.jacobian_flops()) as f64;
+    let lu_flops = LuFactor::flops(n) as f64 * (1.0 + COMPLEX_LU_AVG_FACTOR);
+    if lu_flops <= flux_flops {
+        return MAX_LANE_WIDTH;
+    }
+    // LU-dominated: bound the lane-group's factor working set by the cache
+    // budget, counting the entries the stiff path will actually store.
+    let sym = SymbolicLu::analyze(&odes.jacobian_sparsity());
+    let entries = if sym.prefers_sparse() { sym.nnz() } else { n * n };
+    let bytes_per_lane = entries * FACTOR_BYTES_PER_ENTRY;
+    let mut width = MAX_LANE_WIDTH;
+    while width > 1 && bytes_per_lane * width > FACTOR_CACHE_BUDGET_BYTES {
+        width /= 2;
+    }
+    width
+}
+
+/// The width a lockstep engine actually runs `job` at: the pinned width if
+/// the caller set one, otherwise [`auto_lane_width`] — with the shared
+/// fallbacks to the scalar path (`1`) for sub-2 batches and for models the
+/// batched flux pass does not cover. Both lockstep engines route through
+/// this resolver so `--lane-width auto|N` means the same thing everywhere.
+///
+/// `scalar_stiff_radau` says whether the engine's width-1 route solves
+/// stiff members with scalar RADAU5 (true for the fine-coarse P4 phase).
+/// When it does not (the fine engine's width 1 is the published
+/// RKF45→BDF1 baseline), an autotuned `1` is floored to `2` so an
+/// LU-dominated model narrows the lanes instead of silently switching
+/// stiff members to a first-order method. An explicitly pinned `1` is
+/// honored as the documented baseline semantics either way.
+pub(crate) fn resolve_lane_width(
+    pinned: Option<usize>,
+    job: &crate::SimulationJob,
+    engine: &str,
+    scalar_stiff_radau: bool,
+) -> usize {
+    if job.batch_size() < 2 {
+        return 1;
+    }
+    if !job.odes().supports_lane_batch() {
+        if pinned.is_none_or(|w| w > 1)
+            && std::env::var("PARASPACE_DEBUG").map(|v| v == "1").unwrap_or(false)
+        {
+            eprintln!(
+                "{engine}: model mixes kinetics the lane-batched flux pass does not cover; \
+                 using the scalar path"
+            );
+        }
+        return 1;
+    }
+    match pinned {
+        Some(w) => w.max(1),
+        None => {
+            let tuned = auto_lane_width(job.odes());
+            if tuned == 1 && !scalar_stiff_radau {
+                2
+            } else {
+                tuned
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paraspace_rbm::{Reaction, ReactionBasedModel};
+
+    fn chain_model(n_species: usize, reactions_per_species: usize) -> CompiledOdes {
+        let mut m = ReactionBasedModel::new();
+        let ids: Vec<_> = (0..n_species).map(|i| m.add_species(format!("S{i}"), 1.0)).collect();
+        for s in 0..n_species.saturating_sub(1) {
+            for _ in 0..reactions_per_species {
+                m.add_reaction(Reaction::mass_action(&[(ids[s], 1)], &[(ids[s + 1], 1)], 1.0))
+                    .unwrap();
+            }
+        }
+        m.compile().unwrap()
+    }
+
+    #[test]
+    fn small_models_keep_full_width() {
+        // The determinism suite's 2-species stiff rows must be unaffected.
+        assert_eq!(auto_lane_width(&chain_model(2, 1)), MAX_LANE_WIDTH);
+    }
+
+    #[test]
+    fn reaction_dense_models_keep_full_width() {
+        // Many reactions per species: flux work dominates the LU.
+        assert_eq!(auto_lane_width(&chain_model(12, 40)), MAX_LANE_WIDTH);
+    }
+
+    #[test]
+    fn large_sparse_chains_narrow() {
+        // One reaction per species at n = 114: LU-dominated, and even the
+        // sparse working set cannot justify width 8's cache pressure...
+        let w = auto_lane_width(&chain_model(114, 1));
+        assert!(w < MAX_LANE_WIDTH, "got {w}");
+        assert!(w >= 1);
+        // ...but the choice is deterministic.
+        assert_eq!(w, auto_lane_width(&chain_model(114, 1)));
+    }
+
+    #[test]
+    fn autotuned_width_one_is_engine_aware() {
+        // A 114-species single chain is LU-dominated past the cache budget
+        // at every width, so the tuner answers 1...
+        let mut m = ReactionBasedModel::new();
+        let ids: Vec<_> = (0..114).map(|i| m.add_species(format!("S{i}"), 1.0)).collect();
+        for s in 0..113 {
+            m.add_reaction(Reaction::mass_action(&[(ids[s], 1)], &[(ids[s + 1], 1)], 1.0)).unwrap();
+        }
+        assert_eq!(auto_lane_width(&m.compile().unwrap()), 1);
+        let job =
+            crate::SimulationJob::builder(&m).time_points(vec![1.0]).replicate(8).build().unwrap();
+        // ...which fine-coarse honors (its width-1 stiff route is scalar
+        // RADAU5) while the fine engine floors to 2 (its width-1 route is
+        // the RKF45→BDF1 baseline, a different method).
+        assert_eq!(resolve_lane_width(None, &job, "fine-coarse", true), 1);
+        assert_eq!(resolve_lane_width(None, &job, "fine", false), 2);
+        // A pinned 1 always selects the engine's documented scalar path.
+        assert_eq!(resolve_lane_width(Some(1), &job, "fine", false), 1);
+        assert_eq!(resolve_lane_width(Some(1), &job, "fine-coarse", true), 1);
+    }
+
+    #[test]
+    fn non_mass_action_models_are_scalar() {
+        use paraspace_rbm::Kinetics;
+        let mut m = ReactionBasedModel::new();
+        let s = m.add_species("S", 1.0);
+        let p = m.add_species("P", 0.0);
+        m.add_reaction(Reaction::with_kinetics(
+            &[(s, 1)],
+            &[(p, 1)],
+            1.0,
+            Kinetics::MichaelisMenten { km: 0.5 },
+        ))
+        .unwrap();
+        assert_eq!(auto_lane_width(&m.compile().unwrap()), 1);
+    }
+
+    #[test]
+    fn width_is_a_power_of_two_in_range() {
+        for (n, r) in [(2, 1), (12, 3), (40, 1), (114, 1), (200, 1)] {
+            let w = auto_lane_width(&chain_model(n, r));
+            assert!((1..=MAX_LANE_WIDTH).contains(&w) && w.is_power_of_two(), "n={n} w={w}");
+        }
+    }
+}

@@ -55,6 +55,7 @@ mod cost;
 mod engines;
 mod error;
 mod job;
+mod lanes;
 mod recovery;
 mod select;
 mod stiffness;
@@ -67,6 +68,7 @@ pub use engines::{
 };
 pub use error::SimError;
 pub use job::{JobBuilder, SimulationJob};
+pub use lanes::auto_lane_width;
 /// Cooperative cancellation vocabulary, re-exported so engine callers can
 /// wire a token without importing the executor crate directly.
 pub use paraspace_exec::{CancelToken, Cancelled};

@@ -206,6 +206,44 @@ fn stiff_batch_lockstep_radau_is_bitwise_identical_to_scalar_at_any_width() {
 }
 
 #[test]
+fn autotuned_lane_width_leaves_stiff_rows_unchanged() {
+    // With no pinned width, both lockstep engines resolve the lane width
+    // through the per-model autotuner. Whatever it picks, the stiff rows
+    // must stay exactly what the direct scalar RADAU5 solve produces —
+    // the autotuner is a throughput decision, never a numerics change.
+    use paraspace_core::RbmOdeSystem;
+    use paraspace_solvers::{OdeSolver, Radau5, SolverScratch};
+
+    let m = reversible_model();
+    let job = stiff_job(&m);
+    let mut scratch = SolverScratch::new();
+    let reference: Vec<_> = (0..job.batch_size())
+        .map(|i| {
+            let (x0, k) = job.member(i);
+            let sys = RbmOdeSystem::new(job.odes(), k.to_vec());
+            Radau5::new()
+                .solve_pooled(&sys, 0.0, x0, job.time_points(), job.options(), &mut scratch)
+                .unwrap()
+        })
+        .collect();
+
+    for threads in [1, 8] {
+        let fine = FineEngine::new().with_threads(threads).run(&job).unwrap();
+        let fine_coarse = FineCoarseEngine::new().with_threads(threads).run(&job).unwrap();
+        for (i, expected) in reference.iter().enumerate() {
+            for (engine, r) in [("fine", &fine), ("fine-coarse", &fine_coarse)] {
+                let label = format!("{engine} autotuned, {threads} threads, member {i}");
+                assert!(r.outcomes[i].stiff, "{label}: must classify stiff");
+                let sol = r.outcomes[i].solution.as_ref().unwrap();
+                assert_eq!(sol.times, expected.times, "{label}: sample times");
+                assert_eq!(sol.states, expected.states, "{label}: trajectory");
+                assert_eq!(sol.stats, expected.stats, "{label}: step statistics");
+            }
+        }
+    }
+}
+
+#[test]
 fn cpu_engines_are_bitwise_deterministic_across_thread_counts() {
     let m = reversible_model();
     let job = mixed_job(&m);

@@ -30,8 +30,9 @@ use crate::Complex64;
 /// ```
 /// use paraspace_linalg::BatchLuFactor;
 ///
+/// # fn main() -> Result<(), paraspace_linalg::LinalgError> {
 /// // Two lanes: lane 0 holds [[2,1],[1,3]], lane 1 the identity.
-/// let mut lu = BatchLuFactor::new(2, 2);
+/// let mut lu = BatchLuFactor::new(2, 2, 2)?;
 /// let m = lu.matrix_mut();
 /// let idx = |i: usize, j: usize, l: usize| (i * 2 + j) * 2 + l;
 /// m[idx(0, 0, 0)] = 2.0;
@@ -46,6 +47,8 @@ use crate::Complex64;
 /// lu.solve_lanes(&mut b, &[true, true]);
 /// assert!((b[0] - 1.0).abs() < 1e-12 && (b[2] - 1.0).abs() < 1e-12); // lane 0: x = (1, 1)
 /// assert_eq!((b[1], b[3]), (7.0, -2.0)); // lane 1 solved against I
+/// # Ok(())
+/// # }
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct BatchLuFactor {
@@ -61,20 +64,41 @@ pub struct BatchLuFactor {
 }
 
 impl BatchLuFactor {
-    /// Zeroed storage for `lanes` systems of dimension `n`.
-    pub fn new(n: usize, lanes: usize) -> Self {
-        BatchLuFactor {
+    /// Zeroed storage for `lanes` systems of `rows × cols` shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotSquare`](crate::LinalgError::NotSquare)
+    /// when `rows != cols` (LU factorization needs a square system, the same
+    /// contract as the scalar [`LuFactor::new`](crate::LuFactor::new)) and
+    /// [`LinalgError::EmptyBatch`](crate::LinalgError::EmptyBatch) when
+    /// `lanes == 0`.
+    pub fn new(rows: usize, cols: usize, lanes: usize) -> Result<Self, crate::LinalgError> {
+        if rows != cols {
+            return Err(crate::LinalgError::NotSquare { rows, cols });
+        }
+        if lanes == 0 {
+            return Err(crate::LinalgError::EmptyBatch);
+        }
+        let n = rows;
+        Ok(BatchLuFactor {
             n,
             lanes,
             lu: vec![0.0; n * n * lanes],
             pivots: vec![0; n * lanes],
             singular: vec![false; lanes],
-        }
+        })
     }
 
     /// Re-targets the storage to `n × n × lanes`, zero-filling. A no-op when
     /// the shape already matches (stored factorizations are kept).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lanes == 0` (the fallible construction path is
+    /// [`new`](Self::new)).
     pub fn ensure(&mut self, n: usize, lanes: usize) {
+        assert!(lanes > 0, "batched factor requires at least one lane");
         if self.n == n && self.lanes == lanes {
             return;
         }
@@ -226,20 +250,38 @@ pub struct BatchCluFactor {
 }
 
 impl BatchCluFactor {
-    /// Zeroed storage for `lanes` systems of dimension `n`.
-    pub fn new(n: usize, lanes: usize) -> Self {
-        BatchCluFactor {
+    /// Zeroed storage for `lanes` systems of `rows × cols` shape.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`BatchLuFactor::new`]:
+    /// [`NotSquare`](crate::LinalgError::NotSquare) for `rows != cols`,
+    /// [`EmptyBatch`](crate::LinalgError::EmptyBatch) for `lanes == 0`.
+    pub fn new(rows: usize, cols: usize, lanes: usize) -> Result<Self, crate::LinalgError> {
+        if rows != cols {
+            return Err(crate::LinalgError::NotSquare { rows, cols });
+        }
+        if lanes == 0 {
+            return Err(crate::LinalgError::EmptyBatch);
+        }
+        let n = rows;
+        Ok(BatchCluFactor {
             n,
             lanes,
             lu: vec![Complex64::ZERO; n * n * lanes],
             pivots: vec![0; n * lanes],
             singular: vec![false; lanes],
-        }
+        })
     }
 
     /// Re-targets the storage to `n × n × lanes`, zero-filling. A no-op when
     /// the shape already matches.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lanes == 0`.
     pub fn ensure(&mut self, n: usize, lanes: usize) {
+        assert!(lanes > 0, "batched factor requires at least one lane");
         if self.n == n && self.lanes == lanes {
             return;
         }
@@ -400,7 +442,7 @@ mod tests {
                 .collect();
             let rhs: Vec<Vec<f64>> = (0..lanes).map(|_| (0..n).map(|_| next()).collect()).collect();
 
-            let mut batch = BatchLuFactor::new(n, lanes);
+            let mut batch = BatchLuFactor::new(n, n, lanes).unwrap();
             for (l, m) in mats.iter().enumerate() {
                 fill_lane(&mut batch, l, m);
             }
@@ -448,7 +490,7 @@ mod tests {
         let rhs: Vec<Vec<Complex64>> =
             (0..lanes).map(|_| (0..n).map(|_| Complex64::new(next(), next())).collect()).collect();
 
-        let mut batch = BatchCluFactor::new(n, lanes);
+        let mut batch = BatchCluFactor::new(n, n, lanes).unwrap();
         {
             let s = batch.matrix_mut();
             for (l, m) in mats.iter().enumerate() {
@@ -489,7 +531,7 @@ mod tests {
         let mats: Vec<Matrix> = (0..lanes)
             .map(|_| Matrix::from_fn(n, n, |i, j| next() + ((i == j) as u64 as f64) * 4.0))
             .collect();
-        let mut batch = BatchLuFactor::new(n, lanes);
+        let mut batch = BatchLuFactor::new(n, n, lanes).unwrap();
         for (l, m) in mats.iter().enumerate() {
             fill_lane(&mut batch, l, m);
         }
@@ -523,7 +565,7 @@ mod tests {
     fn singular_lane_is_flagged_without_poisoning_neighbours() {
         let n = 3;
         let lanes = 2;
-        let mut batch = BatchLuFactor::new(n, lanes);
+        let mut batch = BatchLuFactor::new(n, n, lanes).unwrap();
         // Lane 0: singular (two identical rows). Lane 1: well conditioned.
         let singular = Matrix::from_rows(&[&[1.0, 2.0, 0.0], &[2.0, 4.0, 0.0], &[0.0, 0.0, 1.0]]);
         let good = Matrix::from_fn(n, n, |i, j| if i == j { 2.0 } else { 0.5 });
@@ -551,7 +593,7 @@ mod tests {
     fn pivoting_handles_zero_leading_entry_per_lane() {
         let n = 2;
         let lanes = 2;
-        let mut batch = BatchLuFactor::new(n, lanes);
+        let mut batch = BatchLuFactor::new(n, n, lanes).unwrap();
         let m = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
         fill_lane(&mut batch, 0, &m);
         fill_lane(&mut batch, 1, &m);
@@ -562,8 +604,23 @@ mod tests {
     }
 
     #[test]
+    fn non_square_and_zero_lane_batches_are_rejected() {
+        use crate::LinalgError;
+        assert!(matches!(
+            BatchLuFactor::new(3, 2, 4),
+            Err(LinalgError::NotSquare { rows: 3, cols: 2 })
+        ));
+        assert!(matches!(BatchLuFactor::new(3, 3, 0), Err(LinalgError::EmptyBatch)));
+        assert!(matches!(
+            BatchCluFactor::new(2, 5, 1),
+            Err(LinalgError::NotSquare { rows: 2, cols: 5 })
+        ));
+        assert!(matches!(BatchCluFactor::new(4, 4, 0), Err(LinalgError::EmptyBatch)));
+    }
+
+    #[test]
     fn ensure_is_idempotent_and_reshapes() {
-        let mut batch = BatchLuFactor::new(2, 2);
+        let mut batch = BatchLuFactor::new(2, 2, 2).unwrap();
         batch.matrix_mut()[0] = 1.0;
         batch.ensure(2, 2); // no-op: contents kept
         assert_eq!(batch.matrix_mut()[0], 1.0);
@@ -571,7 +628,7 @@ mod tests {
         assert_eq!(batch.dim(), 3);
         assert_eq!(batch.lanes(), 4);
         assert!(batch.matrix_mut().iter().all(|&v| v == 0.0));
-        let mut c = BatchCluFactor::new(2, 2);
+        let mut c = BatchCluFactor::new(2, 2, 2).unwrap();
         c.ensure(3, 4);
         assert_eq!(c.dim(), 3);
         assert_eq!(c.lanes(), 4);

@@ -44,6 +44,8 @@ pub enum LinalgError {
         /// Number of iterations performed.
         iterations: usize,
     },
+    /// A batched operation was asked for zero lanes.
+    EmptyBatch,
 }
 
 impl fmt::Display for LinalgError {
@@ -60,6 +62,9 @@ impl fmt::Display for LinalgError {
             }
             LinalgError::NoConvergence { iterations } => {
                 write!(f, "iteration failed to converge after {iterations} iterations")
+            }
+            LinalgError::EmptyBatch => {
+                write!(f, "batched operation requires at least one lane")
             }
         }
     }
@@ -78,6 +83,7 @@ mod tests {
             LinalgError::NotSquare { rows: 2, cols: 5 }.to_string(),
             LinalgError::DimensionMismatch { expected: 4, actual: 7 }.to_string(),
             LinalgError::NoConvergence { iterations: 100 }.to_string(),
+            LinalgError::EmptyBatch.to_string(),
         ];
         for m in &msgs {
             assert!(!m.is_empty());

@@ -14,6 +14,10 @@
 //! * [`LuFactor`] / [`CluFactor`] — LU decomposition with partial pivoting
 //!   plus forward/backward substitution, and a batched driver used by the
 //!   virtual-GPU engines as the cuBLAS substitute,
+//! * [`SparsityPattern`] / [`SymbolicLu`] / [`BatchSparseLuFactor`] /
+//!   [`BatchSparseCluFactor`] — KLU-style symbolic-once / numeric-per-lane
+//!   sparse batched LU for structurally fixed Jacobians (mass-action
+//!   networks), bitwise-compatible with the dense lane kernels,
 //! * norms (including the weighted RMS norm used for local error control),
 //! * dominant-eigenvalue estimation (Gershgorin bound and power iteration)
 //!   used by the stiffness-detection phase of the batch simulator,
@@ -42,6 +46,7 @@ mod jacobian;
 mod lu;
 mod matrix;
 mod norms;
+mod sparse;
 
 pub use batch_lu::{BatchCluFactor, BatchLuFactor};
 pub use complex::Complex64;
@@ -53,3 +58,6 @@ pub use jacobian::{finite_difference_jacobian, finite_difference_jacobian_into};
 pub use lu::{batched_lu, CluFactor, LuFactor};
 pub use matrix::{CMatrix, Matrix};
 pub use norms::{inf_norm, l1_norm, l2_norm, rms_norm, weighted_rms_norm};
+pub use sparse::{
+    min_degree_ordering, BatchSparseCluFactor, BatchSparseLuFactor, SparsityPattern, SymbolicLu,
+};

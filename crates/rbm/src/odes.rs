@@ -513,6 +513,27 @@ impl CompiledOdes {
         }
     }
 
+    /// The structural sparsity pattern of the Jacobian, fixed by
+    /// stoichiometry at compile time: `J[s][j]` can be nonzero only when
+    /// some reaction contributing to species `s` has species `j` among its
+    /// reactants. The pattern holds for **every** state, parameterization,
+    /// and kinetic law (saturating fluxes also depend only on their
+    /// reactant species), which is what lets a symbolic factorization be
+    /// computed once per model and reused across all lanes and Newton
+    /// refreshes.
+    pub fn jacobian_sparsity(&self) -> paraspace_linalg::SparsityPattern {
+        let entries = (0..self.n_species).flat_map(|s| {
+            let lo = self.term_offsets[s] as usize;
+            let hi = self.term_offsets[s + 1] as usize;
+            self.term_reactions[lo..hi].iter().flat_map(move |&r| {
+                let rlo = self.reactant_offsets[r as usize] as usize;
+                let rhi = self.reactant_offsets[r as usize + 1] as usize;
+                self.reactant_species[rlo..rhi].iter().map(move |&j| (s, j as usize))
+            })
+        });
+        paraspace_linalg::SparsityPattern::from_entries(self.n_species, entries)
+    }
+
     /// Approximate floating-point operation count of one right-hand-side
     /// evaluation; the virtual-GPU cost model charges kernels with this.
     pub fn rhs_flops(&self) -> u64 {
@@ -722,6 +743,34 @@ mod tests {
                 assert!((jac[(i, j)] - fd[(i, j)]).abs() < 1e-5);
             }
         }
+    }
+
+    #[test]
+    fn jacobian_sparsity_covers_every_analytic_nonzero() {
+        let (_, odes) = lotka_volterra();
+        let p = odes.jacobian_sparsity();
+        assert_eq!(p.dim(), 2);
+        let x = [1.3, 0.4];
+        let mut jac = Matrix::zeros(2, 2);
+        odes.jacobian(0.0, &x, &mut jac);
+        for i in 0..2 {
+            for j in 0..2 {
+                if jac[(i, j)] != 0.0 {
+                    assert!(p.contains(i, j), "nonzero J[{i}][{j}] outside pattern");
+                }
+            }
+        }
+        // Catalysts enter the flux but not the net stoichiometry: the
+        // pattern must still include the catalyst column.
+        let mut m = ReactionBasedModel::new();
+        let a = m.add_species("A", 1.0);
+        let e = m.add_species("E", 0.5);
+        let b = m.add_species("B", 0.0);
+        m.add_reaction(Reaction::mass_action(&[(a, 1), (e, 1)], &[(b, 1), (e, 1)], 2.0)).unwrap();
+        let cat = m.compile().unwrap().jacobian_sparsity();
+        assert!(cat.contains(0, 1), "∂(dA/dt)/∂E must be structural");
+        assert!(cat.contains(2, 0) && cat.contains(2, 1));
+        assert!(!cat.contains(1, 0), "catalyst has no net term, so row E is empty");
     }
 
     #[test]
