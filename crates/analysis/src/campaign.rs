@@ -93,6 +93,9 @@ pub enum CampaignError {
     /// A non-recoverable engine/job failure (validation failures are
     /// journaled as shard outcomes instead and do not surface here).
     Sim(SimError),
+    /// A non-recoverable stochastic ensemble failure (per-replicate
+    /// propensity failures are journaled as shard outcomes instead).
+    Stochastic(paraspace_stochastic::StochasticError),
     /// The checkpoint could not be read, written, or matched.
     Journal(JournalError),
     /// The cancellation token tripped; completed shards are committed and
@@ -109,6 +112,7 @@ impl fmt::Display for CampaignError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CampaignError::Sim(e) => write!(f, "campaign failed: {e}"),
+            CampaignError::Stochastic(e) => write!(f, "ensemble campaign failed: {e}"),
             CampaignError::Journal(e) => write!(f, "campaign checkpoint: {e}"),
             CampaignError::Interrupted { completed, shards } => {
                 write!(f, "campaign interrupted: {completed}/{shards} shards checkpointed")
@@ -121,6 +125,7 @@ impl std::error::Error for CampaignError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CampaignError::Sim(e) => Some(e),
+            CampaignError::Stochastic(e) => Some(e),
             CampaignError::Journal(e) => Some(e),
             CampaignError::Interrupted { .. } => None,
         }

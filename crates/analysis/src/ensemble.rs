@@ -1,0 +1,348 @@
+//! Durable stochastic ensemble campaigns: crash-safe checkpoint/resume
+//! for replicate ensembles, on the same write-ahead shard journal the
+//! deterministic drivers use.
+//!
+//! An ensemble of `R` replicates is decomposed into numbered shards of
+//! `shard_size` consecutive replicates. Because every replicate's RNG
+//! stream is a pure function of `(seed, member, replicate)` — the
+//! counter-based [`CounterRng`](paraspace_stochastic::CounterRng) layout —
+//! a shard `lo..hi` produces bitwise the replicates the uninterrupted run
+//! would, so a killed campaign resumes to *byte-identical* artifacts. The
+//! manifest pins everything that changes shard bytes: model digest, sample
+//! times, seed, member, lane width, simulator, shard size. Host thread
+//! count is deliberately **not** part of the world — scheduling is
+//! invisible in the bytes, so a campaign checkpointed on one machine can
+//! resume with a different thread count and still reassemble identically.
+
+use crate::campaign::{
+    f64s_digest, model_digest, run_journaled, CampaignError, Checkpoint, ShardReport,
+};
+use paraspace_journal::codec::{Dec, Enc};
+use paraspace_journal::{CampaignManifest, JournalError};
+use paraspace_rbm::ReactionBasedModel;
+use paraspace_stochastic::{
+    EnsembleStats, StochasticBatch, StochasticError, StochasticSimulator, StochasticTrajectory,
+};
+
+/// One journaled ensemble shard: the outcomes of a consecutive replicate
+/// range, plus the simulated device time the shard billed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnsembleShard {
+    /// Per-replicate outcomes, in replicate order within the shard.
+    pub outcomes: Vec<Result<StochasticTrajectory, StochasticError>>,
+    /// Simulated device time billed by this shard (ns).
+    pub simulated_ns: f64,
+}
+
+impl EnsembleShard {
+    /// Serializes the shard (deterministic bytes: exact f64/u64 values).
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::MalformedPayload`] if an outcome carries an error
+    /// the batch engine cannot produce per-replicate (model errors are
+    /// fatal before sharding starts, so only propensity failures are
+    /// journal-able).
+    pub fn encode(&self) -> Result<Vec<u8>, JournalError> {
+        let mut enc = Enc::new();
+        enc.put_u64(self.outcomes.len() as u64);
+        for outcome in &self.outcomes {
+            match outcome {
+                Ok(tr) => {
+                    enc.put_u32(0);
+                    enc.put_f64_slice(&tr.times);
+                    let n = tr.states.first().map_or(0, Vec::len);
+                    enc.put_u64(n as u64);
+                    for state in &tr.states {
+                        for &c in state {
+                            enc.put_u64(c);
+                        }
+                    }
+                    enc.put_u64(tr.firings).put_u64(tr.steps);
+                }
+                Err(StochasticError::BadPropensity { reaction, value, t, step }) => {
+                    enc.put_u32(1)
+                        .put_u64(*reaction as u64)
+                        .put_f64(*value)
+                        .put_f64(*t)
+                        .put_u64(*step);
+                }
+                Err(other) => {
+                    return Err(JournalError::MalformedPayload {
+                        message: format!("non-journalable replicate outcome: {other}"),
+                    });
+                }
+            }
+        }
+        enc.put_f64(self.simulated_ns);
+        Ok(enc.finish())
+    }
+
+    /// Deserializes a shard payload.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::MalformedPayload`] on truncated or corrupt bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Self, JournalError> {
+        let mut dec = Dec::new(bytes);
+        let count = dec.u64()? as usize;
+        let mut outcomes = Vec::with_capacity(count);
+        for _ in 0..count {
+            match dec.u32()? {
+                0 => {
+                    let times = dec.f64_vec()?;
+                    let n = dec.u64()? as usize;
+                    let mut states = Vec::with_capacity(times.len());
+                    for _ in 0..times.len() {
+                        let mut state = Vec::with_capacity(n);
+                        for _ in 0..n {
+                            state.push(dec.u64()?);
+                        }
+                        states.push(state);
+                    }
+                    let firings = dec.u64()?;
+                    let steps = dec.u64()?;
+                    outcomes.push(Ok(StochasticTrajectory { times, states, firings, steps }));
+                }
+                1 => {
+                    let reaction = dec.u64()? as usize;
+                    let value = dec.f64()?;
+                    let t = dec.f64()?;
+                    let step = dec.u64()?;
+                    outcomes.push(Err(StochasticError::BadPropensity { reaction, value, t, step }));
+                }
+                tag => {
+                    return Err(JournalError::MalformedPayload {
+                        message: format!("unknown ensemble-shard tag {tag}"),
+                    })
+                }
+            }
+        }
+        let simulated_ns = dec.f64()?;
+        dec.expect_exhausted()?;
+        Ok(EnsembleShard { outcomes, simulated_ns })
+    }
+}
+
+/// Output of a durable ensemble campaign.
+#[derive(Debug)]
+pub struct EnsembleOutputs {
+    /// Per-replicate outcomes, in replicate order (recovered shards and
+    /// freshly executed shards are indistinguishable).
+    pub outcomes: Vec<Result<StochasticTrajectory, StochasticError>>,
+    /// Ensemble statistics over the successful replicates.
+    pub stats: EnsembleStats,
+    /// Total simulated device time (ns), folded in shard order.
+    pub simulated_ns: f64,
+    /// What the journal recovered and executed.
+    pub report: ShardReport,
+}
+
+/// Runs a replicate ensemble durably: replicates are chunked into
+/// `shard_size` journaled shards; a restarted run skips committed shards
+/// and produces byte-identical outcomes, statistics, and billed time.
+/// Per-replicate propensity failures are shard *outcomes* (journaled and
+/// reassembled), not campaign killers.
+///
+/// # Errors
+///
+/// [`CampaignError::Journal`] on checkpoint I/O or a mismatched world,
+/// [`CampaignError::Interrupted`] when the checkpoint's cancellation token
+/// trips at a shard boundary, or a fatal model/ensemble error from the
+/// batch engine.
+pub fn run_ensemble_durable<S: StochasticSimulator + Sync>(
+    model: &ReactionBasedModel,
+    times: &[f64],
+    replicates: usize,
+    batch: &StochasticBatch<S>,
+    shard_size: usize,
+    checkpoint: &Checkpoint,
+) -> Result<EnsembleOutputs, CampaignError> {
+    let shard_size = shard_size.max(1);
+    let shards = replicates.div_ceil(shard_size).max(1) as u64;
+    let manifest = CampaignManifest::new("ensemble", shards)
+        .with_digest("model", model_digest(model))
+        .with_digest("times", f64s_digest(times))
+        .with_field("simulator", batch.simulator().name().to_string())
+        .with_field("seed", batch.seed().to_string())
+        .with_field("member", batch.member().to_string())
+        .with_field(
+            "lane_width",
+            batch.lane_width().map_or_else(|| "auto".to_string(), |w| w.to_string()),
+        )
+        .with_field("replicates", replicates.to_string())
+        .with_field("shard_size", shard_size.to_string());
+
+    let (payloads, report) = run_journaled(checkpoint, manifest, |shard| {
+        let lo = shard as usize * shard_size;
+        let hi = (lo + shard_size).min(replicates);
+        let result = batch.run_range(model, times, lo..hi).map_err(CampaignError::Stochastic)?;
+        EnsembleShard { outcomes: result.outcomes, simulated_ns: result.simulated_ns }
+            .encode()
+            .map_err(CampaignError::Journal)
+    })?;
+
+    let mut outcomes = Vec::with_capacity(replicates);
+    let mut simulated_ns = 0.0;
+    for payload in &payloads {
+        let shard = EnsembleShard::decode(payload)?;
+        outcomes.extend(shard.outcomes);
+        simulated_ns += shard.simulated_ns;
+    }
+    let stats = EnsembleStats::from_outcomes(times, model.n_species(), &outcomes);
+    Ok(EnsembleOutputs { outcomes, stats, simulated_ns, report })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paraspace_core::CancelToken;
+    use paraspace_rbm::Reaction;
+    use paraspace_stochastic::TauLeaping;
+    use std::path::PathBuf;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("paraspace_ensemble_{tag}_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn isomerization() -> ReactionBasedModel {
+        let mut m = ReactionBasedModel::new();
+        let a = m.add_species("A", 30_000.0);
+        let b = m.add_species("B", 0.0);
+        m.add_reaction(Reaction::mass_action(&[(a, 1)], &[(b, 1)], 2.0)).unwrap();
+        m.add_reaction(Reaction::mass_action(&[(b, 1)], &[(a, 1)], 1.0)).unwrap();
+        m
+    }
+
+    #[test]
+    fn ensemble_shard_round_trips_exactly() {
+        let shard = EnsembleShard {
+            outcomes: vec![
+                Ok(StochasticTrajectory {
+                    times: vec![0.5, 1.0],
+                    states: vec![vec![7, 3], vec![5, 5]],
+                    firings: 12,
+                    steps: 9,
+                }),
+                Err(StochasticError::BadPropensity {
+                    reaction: 1,
+                    value: f64::NAN,
+                    t: 0.25,
+                    step: 4,
+                }),
+            ],
+            simulated_ns: 321.75,
+        };
+        let decoded = EnsembleShard::decode(&shard.encode().unwrap()).unwrap();
+        assert_eq!(decoded, shard);
+    }
+
+    #[test]
+    fn durable_ensemble_matches_direct_run_and_resumes_identically() {
+        let dir = temp_dir("resume");
+        let model = isomerization();
+        let times = [0.2, 0.5];
+        let batch = StochasticBatch::new(TauLeaping::new()).with_seed(77).with_threads(2);
+        let direct = batch.run(&model, &times, 23).unwrap();
+
+        // Interrupt after shard 1 commits.
+        let cancel = CancelToken::new();
+        let cp = Checkpoint::new(&dir).with_cancel(cancel.clone());
+        let counting = std::cell::Cell::new(0u32);
+        let err = {
+            let model = &model;
+            let batch2 = batch.clone();
+            run_journaled(
+                &cp,
+                cp.apply_world(
+                    CampaignManifest::new("ensemble", 3)
+                        .with_digest("model", model_digest(model))
+                        .with_digest("times", f64s_digest(&times))
+                        .with_field("simulator", "tau-leaping")
+                        .with_field("seed", "77")
+                        .with_field("member", "0")
+                        .with_field("lane_width", "auto")
+                        .with_field("replicates", "23")
+                        .with_field("shard_size", "8"),
+                ),
+                |shard| {
+                    counting.set(counting.get() + 1);
+                    if counting.get() == 2 {
+                        cancel.cancel();
+                    }
+                    let lo = shard as usize * 8;
+                    let hi = (lo + 8).min(23);
+                    let r = batch2.run_range(model, &times, lo..hi).unwrap();
+                    EnsembleShard { outcomes: r.outcomes, simulated_ns: r.simulated_ns }
+                        .encode()
+                        .map_err(CampaignError::Journal)
+                },
+            )
+            .unwrap_err()
+        };
+        assert!(matches!(err, CampaignError::Interrupted { completed: 2, shards: 3 }), "{err}");
+
+        // Resume with a *different thread count*: scheduling is not part
+        // of the world, and the bytes must still match the direct run.
+        let cp = Checkpoint::new(&dir);
+        let resumed =
+            run_ensemble_durable(&model, &times, 23, &batch.clone().with_threads(8), 8, &cp)
+                .unwrap();
+        assert!(resumed.report.resumed);
+        assert_eq!(resumed.report.recovered, 2);
+        assert_eq!(resumed.report.executed, 1);
+        assert_eq!(resumed.outcomes, direct.outcomes, "resume must be byte-identical");
+        assert_eq!(resumed.stats, direct.stats);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mismatched_seed_refuses_resume() {
+        let dir = temp_dir("world");
+        let model = isomerization();
+        let times = [0.1];
+        let batch = StochasticBatch::new(TauLeaping::new()).with_seed(1);
+        run_ensemble_durable(&model, &times, 6, &batch, 4, &Checkpoint::new(&dir)).unwrap();
+        let err = run_ensemble_durable(
+            &model,
+            &times,
+            6,
+            &batch.clone().with_seed(2),
+            4,
+            &Checkpoint::new(&dir),
+        )
+        .unwrap_err();
+        match err {
+            CampaignError::Journal(JournalError::ManifestMismatch { field, .. }) => {
+                assert_eq!(field, "seed");
+            }
+            other => panic!("expected ManifestMismatch, got {other}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replicate_failures_are_journaled_outcomes_not_campaign_killers() {
+        use paraspace_stochastic::{StochFault, StochFaultPlan};
+        let dir = temp_dir("faults");
+        let model = isomerization();
+        let times = [0.2];
+        let batch = StochasticBatch::new(TauLeaping::new())
+            .with_seed(5)
+            .with_faults(StochFaultPlan::new().poison(3, StochFault::nan(0, 1)));
+        let out =
+            run_ensemble_durable(&model, &times, 10, &batch, 4, &Checkpoint::new(&dir)).unwrap();
+        assert!(matches!(out.outcomes[3], Err(StochasticError::BadPropensity { reaction: 0, .. })));
+        assert_eq!(out.outcomes.iter().filter(|o| o.is_ok()).count(), 9);
+        // And the journaled failure reassembles identically on resume.
+        let again =
+            run_ensemble_durable(&model, &times, 10, &batch, 4, &Checkpoint::new(&dir)).unwrap();
+        assert!(again.report.resumed);
+        assert_eq!(again.report.executed, 0);
+        assert_eq!(again.outcomes, out.outcomes);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -44,8 +44,8 @@ fn main() {
             .with_seed(0xE5)
             .run(&model, &times, r)
             .expect("tau ensemble");
-        let ssa_events: u64 = ssa.trajectories.iter().map(|t| t.steps).sum();
-        let tau_steps: u64 = tau.trajectories.iter().map(|t| t.steps).sum();
+        let ssa_events: u64 = ssa.trajectories().iter().map(|t| t.steps).sum();
+        let tau_steps: u64 = tau.trajectories().iter().map(|t| t.steps).sum();
         println!(
             "{:>10} {:>16} {:>16} {:>12} {:>12}",
             r,

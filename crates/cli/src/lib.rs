@@ -15,6 +15,7 @@
 use paraspace_analysis::campaign::{
     f64s_digest, model_digest, options_digest, run_journaled, CampaignError, Checkpoint,
 };
+use paraspace_analysis::ensemble::run_ensemble_durable;
 pub use paraspace_core::CancelToken;
 use paraspace_core::{
     recommend_engine, taxonomy, CoarseEngine, CpuEngine, CpuSolverKind, FineCoarseEngine,
@@ -24,6 +25,10 @@ use paraspace_journal::codec::{Dec, Enc};
 use paraspace_journal::{CampaignManifest, JournalError, MANIFEST_FILE};
 use paraspace_rbm::{biosimware, sbgen::SbGen, sbml, Parameterization};
 use paraspace_solvers::SolverOptions;
+use paraspace_stochastic::{
+    DirectMethod, EnsembleStats, StochasticBatch, StochasticError, StochasticSimulator,
+    StochasticTrajectory, TauLeaping,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt;
@@ -61,7 +66,33 @@ pub enum Command {
         /// Members per journaled shard on the durable path.
         shard_size: usize,
     },
-    /// Resume an interrupted durable `simulate` from its checkpoint.
+    /// Run a stochastic replicate ensemble of a model directory.
+    Ensemble {
+        /// BioSimWare model directory.
+        model_dir: PathBuf,
+        /// Simulator name (`tau-leaping`, `ssa`).
+        simulator: String,
+        /// Output directory (default: `<model_dir>/ensemble`).
+        out_dir: Option<PathBuf>,
+        /// Replicate count.
+        replicates: usize,
+        /// Campaign seed keying the counter-based replicate streams.
+        seed: u64,
+        /// Campaign member index keying the replicate streams.
+        member: u64,
+        /// Host worker threads (1 = sequential, 0 = all cores).
+        threads: usize,
+        /// Lockstep lane width for tau-leaping: `None` autotunes per
+        /// model, `Some(n)` pins it (`1` forces the scalar path).
+        /// Replicate trajectories are bitwise identical at any setting.
+        lane_width: Option<usize>,
+        /// Checkpoint directory for durable (killable/resumable) runs.
+        checkpoint_dir: Option<PathBuf>,
+        /// Replicates per journaled shard on the durable path.
+        shard_size: usize,
+    },
+    /// Resume an interrupted durable `simulate` or `ensemble` from its
+    /// checkpoint.
     Resume {
         /// The `--checkpoint-dir` of the interrupted run.
         checkpoint_dir: PathBuf,
@@ -133,6 +164,12 @@ impl From<JournalError> for CliError {
     }
 }
 
+impl From<StochasticError> for CliError {
+    fn from(e: StochasticError) -> Self {
+        CliError(e.to_string())
+    }
+}
+
 impl From<CampaignError> for CliError {
     fn from(e: CampaignError) -> Self {
         CliError(e.to_string())
@@ -148,6 +185,10 @@ USAGE:
                            [--rtol X] [--atol X] [--threads N]
                            [--lane-width auto|N]
                            [--max-retries N] [--member-budget STEPS]
+                           [--checkpoint-dir DIR] [--shard-size N]
+  paraspace-cli ensemble <model_dir> [--simulator NAME] [--replicates N]
+                           [--seed S] [--member M] [--threads N]
+                           [--lane-width auto|N] [--out DIR]
                            [--checkpoint-dir DIR] [--shard-size N]
   paraspace-cli resume <checkpoint_dir>
   paraspace-cli convert <from> <to>          (BioSimWare dir ↔ .xml)
@@ -172,6 +213,16 @@ recovery log and failure taxonomy). --max-retries N re-runs a failed member
 up to N times with 10x-relaxed tolerances (default 0 = off);
 --member-budget caps the attempted integration steps any one member may
 spend across all retries, so a pathological member cannot stall the batch.
+
+`ensemble` runs --replicates stochastic realizations (default 100) of the
+model. SIMULATORS: tau-leaping (default, lockstep lane groups on
+mass-action models) | ssa (exact direct method, scalar). Every replicate
+draws from a counter-based RNG stream keyed by (--seed, --member,
+replicate index), so trajectories are bitwise identical at any lane width,
+thread count, or shard decomposition; per-replicate trajectories, failed
+replicates (.err), and ensemble mean/variance are written to --out.
+NOTE: seeds that predate the counter-based streams reproduce different
+ensembles (the old layout seeded replicate i with seed+i).
 
 --checkpoint-dir makes the run durable: the batch decomposes into numbered
 shards (--shard-size members each, default 64), every completed shard is
@@ -281,6 +332,79 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 lane_width,
                 max_retries,
                 member_budget,
+                checkpoint_dir,
+                shard_size,
+            })
+        }
+        "ensemble" => {
+            let mut model_dir = None;
+            let mut simulator = "tau-leaping".to_string();
+            let mut out_dir = None;
+            let mut replicates = 100usize;
+            let mut seed = 0u64;
+            let mut member = 0u64;
+            let mut threads = 1usize;
+            let mut lane_width = None;
+            let mut checkpoint_dir = None;
+            let mut shard_size = DEFAULT_SHARD_SIZE;
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--simulator" => simulator = parse_flag(args, &mut i, "--simulator")?,
+                    "--out" => {
+                        out_dir = Some(PathBuf::from(
+                            args.get(i + 1)
+                                .cloned()
+                                .ok_or_else(|| CliError("--out needs a value".into()))?,
+                        ))
+                        .inspect(|_| i += 1)
+                    }
+                    "--replicates" => replicates = parse_flag(args, &mut i, "--replicates")?,
+                    "--seed" => seed = parse_flag(args, &mut i, "--seed")?,
+                    "--member" => member = parse_flag(args, &mut i, "--member")?,
+                    "--threads" => threads = parse_flag(args, &mut i, "--threads")?,
+                    "--lane-width" => {
+                        i += 1;
+                        let v = args
+                            .get(i)
+                            .ok_or_else(|| CliError("--lane-width needs a value".into()))?;
+                        lane_width = match v.as_str() {
+                            "auto" => None,
+                            v => Some(v.parse::<usize>().ok().filter(|w| *w >= 1).ok_or_else(
+                                || {
+                                    CliError(format!(
+                                        "invalid value for --lane-width: {v:?} \
+                                         (expected `auto` or a width >= 1)"
+                                    ))
+                                },
+                            )?),
+                        };
+                    }
+                    "--checkpoint-dir" => {
+                        checkpoint_dir =
+                            Some(PathBuf::from(args.get(i + 1).cloned().ok_or_else(|| {
+                                CliError("--checkpoint-dir needs a value".into())
+                            })?))
+                            .inspect(|_| i += 1)
+                    }
+                    "--shard-size" => shard_size = parse_flag(args, &mut i, "--shard-size")?,
+                    other if !other.starts_with("--") && model_dir.is_none() => {
+                        model_dir = Some(PathBuf::from(other));
+                    }
+                    other => return Err(CliError(format!("unexpected argument {other:?}"))),
+                }
+                i += 1;
+            }
+            Ok(Command::Ensemble {
+                model_dir: model_dir
+                    .ok_or_else(|| CliError("ensemble needs a model directory".into()))?,
+                simulator,
+                out_dir,
+                replicates,
+                seed,
+                member,
+                threads,
+                lane_width,
                 checkpoint_dir,
                 shard_size,
             })
@@ -620,11 +744,45 @@ pub fn execute_with_cancel(
             writeln!(out, "dynamics written to {}", out_path.display())?;
             Ok(())
         }
+        Command::Ensemble {
+            model_dir,
+            simulator,
+            out_dir,
+            replicates,
+            seed,
+            member,
+            threads,
+            lane_width,
+            checkpoint_dir,
+            shard_size,
+        } => {
+            let cfg = EnsembleConfig {
+                model_dir,
+                out_dir: out_dir.as_ref(),
+                replicates: *replicates,
+                seed: *seed,
+                member: *member,
+                threads: *threads,
+                lane_width: *lane_width,
+                checkpoint_dir: checkpoint_dir.as_ref(),
+                shard_size: *shard_size,
+            };
+            match simulator.as_str() {
+                "tau-leaping" => run_ensemble(TauLeaping::new(), &cfg, out, cancel),
+                "ssa" => run_ensemble(DirectMethod::new(), &cfg, out, cancel),
+                other => Err(CliError(format!(
+                    "unknown simulator {other:?} (expected `tau-leaping` or `ssa`)"
+                ))),
+            }
+        }
         Command::Resume { checkpoint_dir } => {
             let manifest = CampaignManifest::read(&checkpoint_dir.join(MANIFEST_FILE))?;
+            if manifest.kind() == "ensemble" {
+                return resume_ensemble(checkpoint_dir, &manifest, out, cancel);
+            }
             if manifest.kind() != "cli-simulate" {
                 return Err(CliError(format!(
-                    "checkpoint at {} is a {:?} campaign, not a CLI simulate run",
+                    "checkpoint at {} is a {:?} campaign, not a CLI simulate or ensemble run",
                     checkpoint_dir.display(),
                     manifest.kind()
                 )));
@@ -664,6 +822,212 @@ pub fn execute_with_cancel(
             execute_with_cancel(&cmd, out, cancel)
         }
     }
+}
+
+/// The `ensemble` command's resolved configuration (shared by the fresh
+/// and resumed paths).
+struct EnsembleConfig<'a> {
+    model_dir: &'a Path,
+    out_dir: Option<&'a PathBuf>,
+    replicates: usize,
+    seed: u64,
+    member: u64,
+    threads: usize,
+    lane_width: Option<usize>,
+    checkpoint_dir: Option<&'a PathBuf>,
+    shard_size: usize,
+}
+
+/// Writes the per-replicate trajectory/error files and the ensemble
+/// mean/variance tables. Pure function of the outcomes, so durable and
+/// plain runs (and resumed runs) produce byte-identical artifacts.
+fn write_ensemble_outputs(
+    out_path: &Path,
+    model: &paraspace_rbm::ReactionBasedModel,
+    outcomes: &[Result<StochasticTrajectory, StochasticError>],
+    stats: &EnsembleStats,
+) -> Result<(), CliError> {
+    std::fs::create_dir_all(out_path)?;
+    let header: String = std::iter::once("t".to_string())
+        .chain(model.species().iter().map(|s| s.name.clone()))
+        .collect::<Vec<_>>()
+        .join("\t");
+    for (i, outcome) in outcomes.iter().enumerate() {
+        match outcome {
+            Ok(tr) => {
+                let mut body = String::with_capacity(64 * tr.times.len());
+                body.push_str(&header);
+                body.push('\n');
+                for (t, state) in tr.times.iter().zip(&tr.states) {
+                    body.push_str(&format!("{t:.6e}"));
+                    for &c in state {
+                        body.push_str(&format!("\t{c}"));
+                    }
+                    body.push('\n');
+                }
+                std::fs::write(out_path.join(format!("replicate_{i:05}.tsv")), body)?;
+            }
+            Err(e) => {
+                std::fs::write(
+                    out_path.join(format!("replicate_{i:05}.err")),
+                    format!("error: {e}\n"),
+                )?;
+            }
+        }
+    }
+    for (name, table) in
+        [("ensemble_mean.tsv", &stats.mean), ("ensemble_variance.tsv", &stats.variance)]
+    {
+        let mut body = String::new();
+        body.push_str(&header);
+        body.push('\n');
+        for (t, row) in stats.times.iter().zip(table.iter()) {
+            body.push_str(&format!("{t:.6e}"));
+            for v in row {
+                body.push_str(&format!("\t{v:.6e}"));
+            }
+            body.push('\n');
+        }
+        std::fs::write(out_path.join(name), body)?;
+    }
+    Ok(())
+}
+
+/// Runs the `ensemble` command for a concrete simulator, on the plain or
+/// durable path.
+fn run_ensemble<S: StochasticSimulator + Sync>(
+    simulator: S,
+    cfg: &EnsembleConfig<'_>,
+    out: &mut dyn std::io::Write,
+    cancel: &CancelToken,
+) -> Result<(), CliError> {
+    let name = simulator.name();
+    let model = biosimware::read_dir(cfg.model_dir)?;
+    let times =
+        biosimware::read_time_points(cfg.model_dir).unwrap_or_else(|_| vec![1.0, 2.0, 5.0, 10.0]);
+    let out_path = cfg.out_dir.cloned().unwrap_or_else(|| cfg.model_dir.join("ensemble"));
+    let batch = StochasticBatch::new(simulator)
+        .with_seed(cfg.seed)
+        .with_member(cfg.member)
+        .with_threads(cfg.threads)
+        .with_lane_width(cfg.lane_width);
+
+    match cfg.checkpoint_dir {
+        None => {
+            let start = std::time::Instant::now();
+            let result = batch.run(&model, &times, cfg.replicates)?;
+            write_ensemble_outputs(&out_path, &model, &result.outcomes, &result.stats)?;
+            let ok = result.outcomes.iter().filter(|o| o.is_ok()).count();
+            writeln!(
+                out,
+                "{name} ensemble: {ok}/{} replicates ok; lane width {}; simulated {:.3} ms; host wall {:.1?}",
+                cfg.replicates,
+                result.lane_width,
+                result.simulated_ns / 1e6,
+                start.elapsed(),
+            )?;
+            if let Some(lanes) = &result.lanes {
+                writeln!(
+                    out,
+                    "lanes: {} groups, occupancy {:.1}%, divergence {:.2}x",
+                    lanes.groups,
+                    lanes.occupancy() * 100.0,
+                    lanes.divergence_factor(),
+                )?;
+            }
+        }
+        Some(dir) => {
+            let checkpoint = Checkpoint::new(dir)
+                .with_cancel(cancel.clone())
+                .with_world("model_dir", cfg.model_dir.display().to_string())
+                .with_world(
+                    "out_dir",
+                    cfg.out_dir.map(|p| p.display().to_string()).unwrap_or_default(),
+                )
+                .with_world("threads", cfg.threads.to_string());
+            let result = match run_ensemble_durable(
+                &model,
+                &times,
+                cfg.replicates,
+                &batch,
+                cfg.shard_size,
+                &checkpoint,
+            ) {
+                Ok(r) => r,
+                Err(CampaignError::Interrupted { completed, shards }) => {
+                    writeln!(
+                        out,
+                        "interrupted: {completed}/{shards} shards committed to {}",
+                        dir.display()
+                    )?;
+                    return Err(CliError(format!(
+                        "interrupted — resume with `paraspace-cli resume {}`",
+                        dir.display()
+                    )));
+                }
+                Err(e) => return Err(e.into()),
+            };
+            write_ensemble_outputs(&out_path, &model, &result.outcomes, &result.stats)?;
+            let ok = result.outcomes.iter().filter(|o| o.is_ok()).count();
+            writeln!(
+                out,
+                "{name} ensemble (durable): {ok}/{} replicates ok; simulated {:.3} ms",
+                cfg.replicates,
+                result.simulated_ns / 1e6,
+            )?;
+            writeln!(
+                out,
+                "checkpoint: {} shards ({} replayed, {} executed{})",
+                result.report.recovered + result.report.executed,
+                result.report.recovered,
+                result.report.executed,
+                if result.report.truncated_bytes > 0 {
+                    format!(", {} torn bytes truncated", result.report.truncated_bytes)
+                } else {
+                    String::new()
+                },
+            )?;
+        }
+    }
+    writeln!(out, "ensemble written to {}", out_path.display())?;
+    Ok(())
+}
+
+/// Reconstructs and re-executes an `ensemble` command from its checkpoint
+/// manifest.
+fn resume_ensemble(
+    checkpoint_dir: &Path,
+    manifest: &CampaignManifest,
+    out: &mut dyn std::io::Write,
+    cancel: &CancelToken,
+) -> Result<(), CliError> {
+    let field = |key: &str| {
+        manifest
+            .field(key)
+            .map(str::to_string)
+            .ok_or_else(|| CliError(format!("checkpoint manifest is missing {key:?}")))
+    };
+    fn parse_field<T: std::str::FromStr>(key: &str, v: String) -> Result<T, CliError> {
+        v.parse().map_err(|_| CliError(format!("malformed manifest field {key:?}: {v:?}")))
+    }
+    let out_dir = field("world.out_dir")?;
+    let lane_width = match field("lane_width")?.as_str() {
+        "auto" => None,
+        v => Some(parse_field("lane_width", v.to_string())?),
+    };
+    let cmd = Command::Ensemble {
+        model_dir: PathBuf::from(field("world.model_dir")?),
+        simulator: field("simulator")?,
+        out_dir: if out_dir.is_empty() { None } else { Some(PathBuf::from(out_dir)) },
+        replicates: parse_field("replicates", field("replicates")?)?,
+        seed: parse_field("seed", field("seed")?)?,
+        member: parse_field("member", field("member")?)?,
+        threads: parse_field("world.threads", field("world.threads")?)?,
+        lane_width,
+        checkpoint_dir: Some(checkpoint_dir.to_path_buf()),
+        shard_size: parse_field("shard_size", field("shard_size")?)?,
+    };
+    execute_with_cancel(&cmd, out, cancel)
 }
 
 /// The durable `simulate` path: decompose the batch into numbered shards,
@@ -951,6 +1315,52 @@ mod tests {
     }
 
     #[test]
+    fn parse_ensemble_defaults_and_flags() {
+        let cmd = parse(&argv(
+            "ensemble /tmp/model --simulator ssa --replicates 256 --seed 9 --member 2 \
+             --threads 4 --lane-width 8 --out /tmp/ens --checkpoint-dir /tmp/ck --shard-size 32",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Ensemble {
+                model_dir: PathBuf::from("/tmp/model"),
+                simulator: "ssa".into(),
+                out_dir: Some(PathBuf::from("/tmp/ens")),
+                replicates: 256,
+                seed: 9,
+                member: 2,
+                threads: 4,
+                lane_width: Some(8),
+                checkpoint_dir: Some(PathBuf::from("/tmp/ck")),
+                shard_size: 32,
+            }
+        );
+        match parse(&argv("ensemble /tmp/model")).unwrap() {
+            Command::Ensemble {
+                simulator,
+                replicates,
+                seed,
+                member,
+                lane_width,
+                shard_size,
+                ..
+            } => {
+                assert_eq!(simulator, "tau-leaping", "lockstep lanes are the default");
+                assert_eq!(replicates, 100);
+                assert_eq!(seed, 0);
+                assert_eq!(member, 0);
+                assert_eq!(lane_width, None, "lane width defaults to auto");
+                assert_eq!(shard_size, DEFAULT_SHARD_SIZE);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        assert!(parse(&argv("ensemble")).is_err());
+        assert!(parse(&argv("ensemble /m --replicates nope")).is_err());
+        assert!(parse(&argv("ensemble /m --lane-width 0")).is_err());
+    }
+
+    #[test]
     fn parse_resume() {
         assert_eq!(
             parse(&argv("resume /tmp/ckpt")).unwrap(),
@@ -1233,6 +1643,98 @@ mod tests {
                 assert!(text.contains(key), "{name} missing {key:?}: {text}");
             }
         }
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    fn ensemble_cmd(model_dir: &Path, checkpoint: Option<PathBuf>, threads: usize) -> Command {
+        Command::Ensemble {
+            model_dir: model_dir.to_path_buf(),
+            simulator: "tau-leaping".into(),
+            out_dir: None,
+            replicates: 7,
+            seed: 11,
+            member: 0,
+            threads,
+            lane_width: None,
+            checkpoint_dir: checkpoint,
+            shard_size: 3,
+        }
+    }
+
+    #[test]
+    fn ensemble_end_to_end_writes_replicates_and_stats() {
+        let base = std::env::temp_dir().join(format!("paraspace_cli_ens_{}", std::process::id()));
+        std::fs::remove_dir_all(&base).ok();
+        let model = base.join("model");
+        let mut log = Vec::new();
+        execute(
+            &Command::Generate { species: 5, reactions: 6, seed: 8, out_dir: model.clone() },
+            &mut log,
+        )
+        .unwrap();
+        execute(&ensemble_cmd(&model, None, 2), &mut log).unwrap();
+        let out_dir = model.join("ensemble");
+        let names: std::collections::BTreeSet<String> = std::fs::read_dir(&out_dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert!(names.contains("replicate_00000.tsv"));
+        assert!(names.contains("replicate_00006.tsv"));
+        assert!(names.contains("ensemble_mean.tsv"));
+        assert!(names.contains("ensemble_variance.tsv"));
+        let text = String::from_utf8(log).unwrap();
+        assert!(text.contains("7/7 replicates ok"), "log: {text}");
+
+        // SSA takes the scalar path on the same model and also succeeds.
+        let mut ssa = ensemble_cmd(&model, None, 1);
+        if let Command::Ensemble { simulator, out_dir, .. } = &mut ssa {
+            *simulator = "ssa".into();
+            *out_dir = Some(base.join("ssa_out"));
+        }
+        let mut log = Vec::new();
+        execute(&ssa, &mut log).unwrap();
+        assert!(String::from_utf8(log).unwrap().contains("ssa ensemble: 7/7"));
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn durable_ensemble_resumes_to_identical_artifacts() {
+        let base =
+            std::env::temp_dir().join(format!("paraspace_cli_ensdur_{}", std::process::id()));
+        std::fs::remove_dir_all(&base).ok();
+        let model = base.join("model");
+        let mut log = Vec::new();
+        execute(
+            &Command::Generate { species: 5, reactions: 6, seed: 8, out_dir: model.clone() },
+            &mut log,
+        )
+        .unwrap();
+        // Plain run is the byte-level reference.
+        execute(&ensemble_cmd(&model, None, 2), &mut log).unwrap();
+        let reference = read_outputs(&model.join("ensemble"));
+        std::fs::remove_dir_all(model.join("ensemble")).unwrap();
+
+        // Interrupt a durable run before the first shard, then resume with
+        // the stored configuration: artifacts must match the plain run.
+        let ckpt = base.join("ckpt");
+        let tripped = CancelToken::new();
+        tripped.cancel();
+        let err =
+            execute_with_cancel(&ensemble_cmd(&model, Some(ckpt.clone()), 2), &mut log, &tripped)
+                .unwrap_err();
+        assert!(err.to_string().contains("resume"), "{err}");
+        execute(&Command::Resume { checkpoint_dir: ckpt.clone() }, &mut log).unwrap();
+        assert_eq!(reference, read_outputs(&model.join("ensemble")));
+        let text = String::from_utf8_lossy(&log).into_owned();
+        assert!(text.contains("ensemble (durable)"), "log: {text}");
+
+        // A different seed on the same checkpoint is a different world.
+        let mut reseeded = ensemble_cmd(&model, Some(ckpt.clone()), 2);
+        if let Command::Ensemble { seed, .. } = &mut reseeded {
+            *seed = 12;
+        }
+        let err = execute(&reseeded, &mut log).unwrap_err();
+        assert!(err.to_string().contains("seed"), "mismatch names the field: {err}");
         std::fs::remove_dir_all(&base).ok();
     }
 

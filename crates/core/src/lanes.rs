@@ -31,7 +31,7 @@
 
 use crate::cost::COMPLEX_LU_AVG_FACTOR;
 use paraspace_linalg::{LuFactor, SymbolicLu};
-use paraspace_rbm::CompiledOdes;
+use paraspace_rbm::{CompiledOdes, ReactionBasedModel};
 
 /// Widest lane-group the engines schedule.
 pub(crate) const MAX_LANE_WIDTH: usize = 8;
@@ -56,7 +56,7 @@ const FACTOR_BYTES_PER_ENTRY: usize = 8 + 16;
 /// members to its scalar RADAU5 P4 path, while the fine engine — whose
 /// width-1 semantics is the published RKF45→BDF1 baseline, a different
 /// method — floors the *tuned* width at 2 (see
-/// [`resolve_lane_width`]). Deterministic per model — it reads only
+/// `resolve_lane_width`). Deterministic per model — it reads only
 /// compiled-model structure, never timings.
 ///
 /// # Example
@@ -97,6 +97,80 @@ pub fn auto_lane_width(odes: &CompiledOdes) -> usize {
         width /= 2;
     }
     width
+}
+
+/// Tau-leaping's published relative-change tolerance, mirrored here so the
+/// stochastic tuner prices the leap/SSA mode split the same way the
+/// simulator decides it.
+const TAU_EPSILON: f64 = 0.03;
+
+/// The Cao bound's SSA-fallback threshold (leaps covering fewer expected
+/// events than this run as exact events).
+const TAU_SSA_THRESHOLD: f64 = 10.0;
+
+/// The lane width the lockstep *stochastic* path should run `model` at,
+/// from a propensity-vs-sampling cost split.
+///
+/// A tau-leaping tick divides into a vectorizable half — the batched
+/// propensity evaluation and Cao tau-selection sweeps, which lanes
+/// amortize — and a per-lane sampling tail (Poisson draws, the τ-halving
+/// rejection loop, the exact-SSA fallback) that stays scalar no matter
+/// the width. Which half dominates is set by the *leap/SSA mode split*:
+/// the Cao bound admits leaps covering `≈ ε·x/2` expected events, so
+/// models with large populations run leap-dominated ticks (sweep-bound →
+/// wide lanes pay) while near-critical populations degenerate into
+/// per-event SSA fallbacks (sampling-bound, divergent → wide lanes only
+/// add swept-but-idle slots). Unlike the stiff ODE path there is no
+/// factor-cache cliff — the SoA count state is `n·L` words — so the tuner
+/// prices only that mode split, from the model's initial counts:
+///
+/// * `ε·x̄/2 ≥ 10` (the SSA threshold): leap-dominated, full width 8;
+/// * `ε·x̄/2 ≥ 1`: mixed mode, width 4;
+/// * below that: SSA-dominated, width 2;
+/// * non-mass-action kinetics: `1` — the falling-factorial propensities
+///   are only faithful for mass action, so the batch engine routes these
+///   to its scalar path.
+///
+/// `x̄` is the mean initial count over initially populated species.
+/// Deterministic per model, and like [`auto_lane_width`] it only ever
+/// narrows the schedule: per-replicate trajectories are bitwise
+/// independent of lane width by the lockstep kernel's contract, so
+/// `--lane-width N` stays a safe manual override.
+///
+/// # Example
+///
+/// ```
+/// use paraspace_core::auto_stoch_lane_width;
+/// use paraspace_rbm::{Reaction, ReactionBasedModel};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut m = ReactionBasedModel::new();
+/// let a = m.add_species("A", 100_000.0);
+/// m.add_reaction(Reaction::mass_action(&[(a, 1)], &[], 1.0))?;
+/// // Large population: leap-dominated, full width.
+/// assert_eq!(auto_stoch_lane_width(&m), 8);
+/// # Ok(())
+/// # }
+/// ```
+pub fn auto_stoch_lane_width(model: &ReactionBasedModel) -> usize {
+    if model.reactions().iter().any(|r| !r.kinetics().is_mass_action()) {
+        return 1;
+    }
+    let counts: Vec<f64> =
+        model.initial_state().iter().map(|&x| x.max(0.0).round()).filter(|&x| x > 0.0).collect();
+    if counts.is_empty() {
+        // Nothing populated: every tick is an SSA-or-source event.
+        return 2;
+    }
+    let mean = counts.iter().sum::<f64>() / counts.len() as f64;
+    let leap_events = TAU_EPSILON * mean / 2.0;
+    if leap_events >= TAU_SSA_THRESHOLD {
+        MAX_LANE_WIDTH
+    } else if leap_events >= 1.0 {
+        4
+    } else {
+        2
+    }
 }
 
 /// The width a lockstep engine actually runs `job` at: the pinned width if
@@ -205,6 +279,45 @@ mod tests {
         // A pinned 1 always selects the engine's documented scalar path.
         assert_eq!(resolve_lane_width(Some(1), &job, "fine", false), 1);
         assert_eq!(resolve_lane_width(Some(1), &job, "fine-coarse", true), 1);
+    }
+
+    #[test]
+    fn stoch_width_follows_the_leap_ssa_mode_split() {
+        let decay = |x0: f64| {
+            let mut m = ReactionBasedModel::new();
+            let a = m.add_species("A", x0);
+            m.add_reaction(Reaction::mass_action(&[(a, 1)], &[], 1.0)).unwrap();
+            m
+        };
+        // ε·x̄/2 = 1500: leap-dominated, sweeps amortize across full lanes.
+        assert_eq!(auto_stoch_lane_width(&decay(100_000.0)), MAX_LANE_WIDTH);
+        // ε·x̄/2 = 1.5: mixed leap/SSA ticks.
+        assert_eq!(auto_stoch_lane_width(&decay(100.0)), 4);
+        // ε·x̄/2 = 0.15: pure SSA fallback, per-lane sampling dominates.
+        assert_eq!(auto_stoch_lane_width(&decay(10.0)), 2);
+        // Deterministic.
+        assert_eq!(auto_stoch_lane_width(&decay(100.0)), auto_stoch_lane_width(&decay(100.0)));
+    }
+
+    #[test]
+    fn stoch_width_is_scalar_for_non_mass_action_kinetics() {
+        use paraspace_rbm::Kinetics;
+        let mut m = ReactionBasedModel::new();
+        let s = m.add_species("S", 100_000.0);
+        let p = m.add_species("P", 0.0);
+        m.add_reaction(Reaction::with_kinetics(
+            &[(s, 1)],
+            &[(p, 1)],
+            1.0,
+            Kinetics::MichaelisMenten { km: 0.5 },
+        ))
+        .unwrap();
+        assert_eq!(auto_stoch_lane_width(&m), 1);
+        // An unpopulated model still gets a (narrow) lane schedule.
+        let mut empty = ReactionBasedModel::new();
+        let a = empty.add_species("A", 0.0);
+        empty.add_reaction(Reaction::mass_action(&[], &[(a, 1)], 3.0)).unwrap();
+        assert_eq!(auto_stoch_lane_width(&empty), 2);
     }
 
     #[test]

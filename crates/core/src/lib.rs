@@ -68,7 +68,7 @@ pub use engines::{
 };
 pub use error::SimError;
 pub use job::{JobBuilder, SimulationJob};
-pub use lanes::auto_lane_width;
+pub use lanes::{auto_lane_width, auto_stoch_lane_width};
 /// Cooperative cancellation vocabulary, re-exported so engine callers can
 /// wire a token without importing the executor crate directly.
 pub use paraspace_exec::{CancelToken, Cancelled};

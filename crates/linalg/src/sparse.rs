@@ -456,7 +456,7 @@ fn with_diagonal(pattern: &SparsityPattern) -> SparsityPattern {
 /// Values live in SoA element-major layout (`entry e`, lane `l` ⇒
 /// `e·L + l`); masking, the singular-lane contract, and the per-lane
 /// bitwise equivalence to [`BatchLuFactor`](crate::BatchLuFactor) are
-/// documented in the [module docs](self).
+/// documented in the module docs of `sparse`.
 ///
 /// # Example
 ///
@@ -573,7 +573,7 @@ impl BatchSparseLuFactor {
 
     /// Factors the masked lanes in place over the shared pattern,
     /// replicating the dense kernel's per-lane operation sequence (see the
-    /// [module docs](self)). Unmasked lanes keep their stored
+    /// module docs of `sparse`). Unmasked lanes keep their stored
     /// factorizations; singular lanes are flagged and must not be solved
     /// against.
     pub fn factor(&mut self, mask: &[bool]) {

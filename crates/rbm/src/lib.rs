@@ -68,6 +68,7 @@ mod odes;
 mod parameterization;
 pub mod sbgen;
 pub mod sbml;
+mod stoich;
 
 pub use conservation::{conservation_laws, conserved_quantities};
 pub use error::RbmError;
@@ -75,3 +76,4 @@ pub use kinetics::Kinetics;
 pub use model::{Reaction, ReactionBasedModel, Species, SpeciesId};
 pub use odes::CompiledOdes;
 pub use parameterization::{perturb_constants, perturbed_batch, Parameterization};
+pub use stoich::CompiledStoich;

@@ -1,17 +1,47 @@
-//! The coarse-grained stochastic batch engine (cuTauLeaping-class).
+//! The stochastic ensemble engine (cuTauLeaping-class).
 //!
 //! Stochastic analyses need *ensembles*: hundreds or thousands of
-//! replicates of the same model. Exactly like the deterministic coarse
-//! engine, one virtual device thread runs one replicate; heterogeneous
-//! event counts across replicates become warp divergence. The batch
-//! returns ensemble statistics (per-species mean and variance at each
-//! sample time) plus the simulated device time.
+//! replicates of the same model. Exactly like the deterministic engines,
+//! one virtual device thread runs one replicate; heterogeneous event
+//! counts across replicates become warp divergence. On the host the
+//! engine runs two routes:
+//!
+//! * the **lane-group path** — simulators exposing a lockstep kernel
+//!   ([`TauLeaping`](crate::TauLeaping) via [`TauLeapBatch`]) run
+//!   replicates in SoA lane groups with batched propensity/tau sweeps,
+//!   scheduled across the `exec` worker pool one group per item;
+//! * the **scalar path** — everything else (the exact
+//!   [`DirectMethod`](crate::DirectMethod), non-mass-action models whose
+//!   falling-factorial propensities the batched kernel is gated off, and
+//!   replicates evicted from lane groups by a chaos fault plan) runs one
+//!   replicate per item.
+//!
+//! Every replicate draws from its own counter-based [`CounterRng`] stream
+//! keyed by `(seed, member, replicate)` — see the [`rng`](crate::rng)
+//! stream-layout docs — so both routes produce bitwise-identical
+//! trajectories at any lane width, packing order, or thread count, and a
+//! shard `run_range(lo..hi)` reproduces exactly the replicates the full
+//! run would. The batch returns per-replicate outcomes, ensemble
+//! statistics (per-species mean and variance at each sample time, over
+//! the successful replicates), lane-occupancy accounting, and the
+//! simulated device time.
 
-use crate::{StochasticSimulator, StochasticTrajectory};
-use paraspace_rbm::{RbmError, ReactionBasedModel};
-use paraspace_vgpu::{Device, DeviceConfig, KernelLaunch, MemorySpace, ThreadWork};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::chaos::StochFaultPlan;
+use crate::rng::CounterRng;
+use crate::{
+    initial_counts, PropensityTable, StochasticError, StochasticSimulator, StochasticTrajectory,
+};
+use paraspace_exec::Executor;
+use paraspace_rbm::ReactionBasedModel;
+use paraspace_vgpu::{
+    Device, DeviceConfig, KernelLaunch, LaneAccounting, LaneGroupStats, MemorySpace, ThreadWork,
+};
+use std::ops::Range;
+
+/// Lane-group capacity multiplier: each executor work item carries up to
+/// `CAPACITY_LANES · width` replicates, compacted through `width` lanes
+/// (the same 4·L grouping the deterministic fine engine schedules).
+const CAPACITY_LANES: usize = 4;
 
 /// Ensemble statistics at the sampled time points.
 #[derive(Debug, Clone, PartialEq)]
@@ -24,20 +54,77 @@ pub struct EnsembleStats {
     pub variance: Vec<Vec<f64>>,
 }
 
+impl EnsembleStats {
+    /// Computes per-species mean and unbiased variance at each sample time
+    /// over the *successful* outcomes. Deterministic: the accumulation
+    /// order is replicate order, so reassembled shards produce bitwise the
+    /// same statistics as an uninterrupted run.
+    #[must_use]
+    pub fn from_outcomes(
+        times: &[f64],
+        n_species: usize,
+        outcomes: &[Result<StochasticTrajectory, StochasticError>],
+    ) -> Self {
+        let ok: Vec<&StochasticTrajectory> =
+            outcomes.iter().filter_map(|o| o.as_ref().ok()).collect();
+        let k = ok.len();
+        let mut mean = vec![vec![0.0; n_species]; times.len()];
+        let mut variance = vec![vec![0.0; n_species]; times.len()];
+        for t in 0..times.len() {
+            for s in 0..n_species {
+                let vals: Vec<f64> = ok.iter().map(|tr| tr.states[t][s] as f64).collect();
+                let mu = if k > 0 { vals.iter().sum::<f64>() / k as f64 } else { 0.0 };
+                mean[t][s] = mu;
+                variance[t][s] = if k > 1 {
+                    vals.iter().map(|v| (v - mu).powi(2)).sum::<f64>() / (k - 1) as f64
+                } else {
+                    0.0
+                };
+            }
+        }
+        EnsembleStats { times: times.to_vec(), mean, variance }
+    }
+}
+
 /// Result of a stochastic batch run.
 #[derive(Debug)]
 pub struct StochasticBatchResult {
-    /// Per-replicate trajectories.
-    pub trajectories: Vec<StochasticTrajectory>,
-    /// Ensemble statistics.
+    /// Per-replicate outcomes, in replicate order: a trajectory, or the
+    /// typed error that retired the replicate (propensity hardening,
+    /// injected faults). One failed replicate never poisons its
+    /// neighbours.
+    pub outcomes: Vec<Result<StochasticTrajectory, StochasticError>>,
+    /// Ensemble statistics over the successful replicates.
     pub stats: EnsembleStats,
+    /// Lane-group occupancy/divergence accounting (`None` when the whole
+    /// ensemble ran the scalar path).
+    pub lanes: Option<LaneAccounting>,
+    /// The lane width the run resolved (1 = scalar path).
+    pub lane_width: usize,
     /// Simulated device time (ns).
     pub simulated_ns: f64,
     /// Real host time.
     pub host_wall: std::time::Duration,
 }
 
-/// The coarse-grained stochastic batch runner.
+impl StochasticBatchResult {
+    /// The successful trajectories, in replicate order.
+    pub fn trajectories(&self) -> Vec<&StochasticTrajectory> {
+        self.outcomes.iter().filter_map(|o| o.as_ref().ok()).collect()
+    }
+
+    /// The failed replicates as `(replicate index, error)`, in replicate
+    /// order. Indices are relative to the run's range.
+    pub fn failures(&self) -> Vec<(usize, &StochasticError)> {
+        self.outcomes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, o)| o.as_ref().err().map(|e| (i, e)))
+            .collect()
+    }
+}
+
+/// The stochastic ensemble runner.
 ///
 /// # Example
 ///
@@ -61,23 +148,69 @@ pub struct StochasticBatch<S> {
     simulator: S,
     device_config: DeviceConfig,
     seed: u64,
+    member: u64,
+    threads: usize,
+    lane_width: Option<usize>,
+    faults: StochFaultPlan,
     threads_per_block: usize,
 }
 
-impl<S: StochasticSimulator> StochasticBatch<S> {
+impl<S: StochasticSimulator + Sync> StochasticBatch<S> {
     /// A batch runner on the published GPU.
     pub fn new(simulator: S) -> Self {
         StochasticBatch {
             simulator,
             device_config: DeviceConfig::titan_x(),
             seed: 0,
+            member: 0,
+            threads: 1,
+            lane_width: None,
+            faults: StochFaultPlan::new(),
             threads_per_block: 32,
         }
     }
 
-    /// Sets the ensemble's base RNG seed (replicate `i` uses `seed + i`).
+    /// Sets the ensemble's campaign seed. Replicate `i` draws from the
+    /// counter-based stream keyed by `(seed, member, i)` —
+    /// [`CounterRng::replicate_stream`] — regardless of how the run is
+    /// scheduled. (Before the counter-based layout, replicate `i` was
+    /// seeded sequentially with `seed + i`; old seeds reproduce different
+    /// ensembles. See the [`CounterRng`] migration note.)
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Sets the campaign member (parameterization) index keying the RNG
+    /// streams (default 0).
+    pub fn with_member(mut self, member: u64) -> Self {
+        self.member = member;
+        self
+    }
+
+    /// Sets the host worker-thread count (default 1; 0 = one per core).
+    /// Pure scheduling: results are bitwise identical at any thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Pins the lane width for the lockstep path (default: the
+    /// `auto_stoch_lane_width` propensity-vs-sampling tuner). `1` forces
+    /// the scalar path. Pure scheduling: per-replicate trajectories are
+    /// bitwise independent of the width.
+    pub fn with_lane_width(mut self, width: Option<usize>) -> Self {
+        self.lane_width = width;
+        self
+    }
+
+    /// Installs a deterministic fault plan (replicate indices are
+    /// absolute, i.e. relative to replicate 0 of the full ensemble).
+    /// Afflicted replicates are evicted from lane groups and run the
+    /// scalar path, where the poison trips the propensity hardening into
+    /// a contained per-replicate error.
+    pub fn with_faults(mut self, faults: StochFaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 
@@ -87,34 +220,170 @@ impl<S: StochasticSimulator> StochasticBatch<S> {
         self
     }
 
+    /// The simulator this batch drives.
+    pub fn simulator(&self) -> &S {
+        &self.simulator
+    }
+
+    /// The campaign seed keying the replicate streams.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The campaign member index keying the replicate streams.
+    pub fn member(&self) -> u64 {
+        self.member
+    }
+
+    /// The pinned lane width, if any (`None` = autotuned per model).
+    pub fn lane_width(&self) -> Option<usize> {
+        self.lane_width
+    }
+
+    /// The host worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
     /// Runs `replicates` realizations and aggregates them.
     ///
     /// # Errors
     ///
     /// Model-validation failures; an empty ensemble is rejected.
+    /// Per-replicate failures are *contained* in
+    /// [`StochasticBatchResult::outcomes`], not returned here.
     pub fn run(
         &self,
         model: &ReactionBasedModel,
         times: &[f64],
         replicates: usize,
-    ) -> Result<StochasticBatchResult, RbmError> {
-        if replicates == 0 {
-            return Err(RbmError::Parse {
-                context: "stochastic batch".into(),
-                message: "at least one replicate required".into(),
-            });
+    ) -> Result<StochasticBatchResult, StochasticError> {
+        self.run_range(model, times, 0..replicates)
+    }
+
+    /// Runs the replicate range `range` of the (conceptually unbounded)
+    /// ensemble: replicate `i` of the full ensemble is bitwise identical
+    /// whether it arrives via `run(n)` or any shard decomposition into
+    /// `run_range` calls — the property the durable campaign layer builds
+    /// on.
+    ///
+    /// # Errors
+    ///
+    /// Model-validation failures; an empty range is rejected.
+    pub fn run_range(
+        &self,
+        model: &ReactionBasedModel,
+        times: &[f64],
+        range: Range<usize>,
+    ) -> Result<StochasticBatchResult, StochasticError> {
+        if range.is_empty() {
+            return Err(StochasticError::EmptyEnsemble);
         }
+        model.validate()?;
         let start = std::time::Instant::now();
         let device = Device::new(self.device_config.clone());
+        let table = PropensityTable::new(model);
+        let x0 = initial_counts(model);
+        let replicates = range.len();
 
-        // Functional pass: run every replicate on the host.
-        let mut trajectories = Vec::with_capacity(replicates);
-        for i in 0..replicates {
-            let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(i as u64));
-            // Decorrelate nearby seeds.
-            let _ = rng.gen::<u64>();
-            trajectories.push(self.simulator.simulate(model, times, &mut rng)?);
+        // Resolve the lane schedule: a lockstep kernel, a usable width,
+        // and mass-action kinetics (the only kinetics the batched
+        // falling-factorial pass is faithful for).
+        let kernel = self.simulator.lane_kernel();
+        let width =
+            self.lane_width.unwrap_or_else(|| paraspace_core::auto_stoch_lane_width(model)).max(1);
+        let lane_path = kernel.is_some() && width >= 2 && table.stoich().all_mass_action();
+        if kernel.is_some() && !lane_path && self.lane_width.is_none_or(|w| w > 1) {
+            debug_log(&format!(
+                "stochastic batch: model outside the lane-batched propensity pass; \
+                 running {} scalar",
+                self.simulator.name()
+            ));
         }
+
+        // Partition the range into deterministic work units: lane groups
+        // of up to 4·width replicates, with fault-planned replicates
+        // evicted to scalar units (mirroring the ODE engines' eviction of
+        // chaos-planned members from lane groups).
+        enum Unit {
+            Lane(Vec<usize>),
+            Scalar(usize),
+        }
+        let mut units: Vec<Unit> = Vec::new();
+        if lane_path {
+            let capacity = CAPACITY_LANES * width;
+            let mut group: Vec<usize> = Vec::with_capacity(capacity);
+            for abs in range.clone() {
+                if self.faults.afflicts(abs) {
+                    units.push(Unit::Scalar(abs));
+                    continue;
+                }
+                group.push(abs);
+                if group.len() == capacity {
+                    units.push(Unit::Lane(std::mem::take(&mut group)));
+                }
+            }
+            if !group.is_empty() {
+                units.push(Unit::Lane(group));
+            }
+        } else {
+            units.extend(range.clone().map(Unit::Scalar));
+        }
+
+        // Execute: one unit per executor item; per-replicate streams make
+        // the unit decomposition invisible in the results.
+        type UnitResult =
+            Vec<(usize, Result<StochasticTrajectory, StochasticError>, Option<TauLeapGroup>)>;
+        let executor = Executor::new(self.threads);
+        let unit_results: Vec<UnitResult> = executor.map(units.len(), |u| match &units[u] {
+            Unit::Scalar(abs) => {
+                let mut rng = CounterRng::replicate_stream(self.seed, self.member, *abs as u64);
+                let out = self.simulator.simulate_counts(
+                    &table,
+                    &x0,
+                    times,
+                    &mut rng,
+                    self.faults.faults_for(*abs),
+                );
+                vec![(*abs, out, None)]
+            }
+            Unit::Lane(group) => {
+                let streams: Vec<CounterRng> = group
+                    .iter()
+                    .map(|&abs| CounterRng::replicate_stream(self.seed, self.member, abs as u64))
+                    .collect();
+                let kernel = kernel.as_ref().expect("lane path implies kernel");
+                let (outs, report) = kernel.run(&table, &x0, times, width, &streams);
+                group
+                    .iter()
+                    .zip(outs)
+                    .enumerate()
+                    .map(|(k, (&abs, out))| {
+                        // Attach the group report to its first member.
+                        let rep = (k == 0).then_some(TauLeapGroup(report));
+                        (abs, out, rep)
+                    })
+                    .collect()
+            }
+        });
+
+        // Collect outcomes in replicate order and bill lane groups.
+        let mut outcomes: Vec<Option<Result<StochasticTrajectory, StochasticError>>> =
+            (0..replicates).map(|_| None).collect();
+        let mut groups = 0u64;
+        for (abs, out, group) in unit_results.into_iter().flatten() {
+            if let Some(TauLeapGroup(report)) = group {
+                device.record_lane_group(&LaneGroupStats {
+                    width: report.width,
+                    lockstep_iters: report.lockstep_iters,
+                    lane_steps: report.lane_steps,
+                });
+                groups += 1;
+            }
+            outcomes[abs - range.start] = Some(out);
+        }
+        let outcomes: Vec<Result<StochasticTrajectory, StochasticError>> =
+            outcomes.into_iter().map(|o| o.expect("every replicate resolved")).collect();
 
         // Device pass: one thread per replicate; per-thread work from the
         // replicate's own event count (divergence across the warp).
@@ -122,13 +391,14 @@ impl<S: StochasticSimulator> StochasticBatch<S> {
         let m = model.n_reactions();
         let per_event_flops = (2 * m + n) as u64; // propensities + selection
         let per_event_bytes = (m + n) as u64 * 8;
-        let mut work: Vec<ThreadWork> = trajectories
+        let mut work: Vec<ThreadWork> = outcomes
             .iter()
-            .map(|tr| {
-                ThreadWork::new()
+            .map(|out| match out {
+                Ok(tr) => ThreadWork::new()
                     .with_flops(tr.steps * per_event_flops)
                     .with_read(MemorySpace::CachedGlobal, tr.steps * per_event_bytes)
-                    .with_global_write(times.len() as u64 * n as u64 * 8)
+                    .with_global_write(times.len() as u64 * n as u64 * 8),
+                Err(_) => ThreadWork::new(),
             })
             .collect();
         let tpb = self.threads_per_block;
@@ -144,34 +414,30 @@ impl<S: StochasticSimulator> StochasticBatch<S> {
             .with_registers(48),
         );
 
-        // Ensemble statistics.
-        let mut mean = vec![vec![0.0; n]; times.len()];
-        let mut variance = vec![vec![0.0; n]; times.len()];
-        for t in 0..times.len() {
-            for s in 0..n {
-                let vals: Vec<f64> = trajectories.iter().map(|tr| tr.states[t][s] as f64).collect();
-                let mu = vals.iter().sum::<f64>() / replicates as f64;
-                mean[t][s] = mu;
-                variance[t][s] = if replicates > 1 {
-                    vals.iter().map(|v| (v - mu).powi(2)).sum::<f64>() / (replicates - 1) as f64
-                } else {
-                    0.0
-                };
-            }
-        }
         Ok(StochasticBatchResult {
-            trajectories,
-            stats: EnsembleStats { times: times.to_vec(), mean, variance },
+            stats: EnsembleStats::from_outcomes(times, n, &outcomes),
+            outcomes,
+            lanes: (groups > 0).then(|| device.lane_accounting()),
+            lane_width: if lane_path { width } else { 1 },
             simulated_ns: device.elapsed_ns(),
             host_wall: start.elapsed(),
         })
     }
 }
 
+/// Wrapper keeping the per-unit result tuple readable.
+struct TauLeapGroup(crate::tau_batch::TauLeapReport);
+
+fn debug_log(message: &str) {
+    if std::env::var("PARASPACE_DEBUG").map(|v| v == "1").unwrap_or(false) {
+        eprintln!("{message}");
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{DirectMethod, TauLeaping};
+    use crate::{DirectMethod, StochFault, TauLeaping};
     use paraspace_rbm::{Reaction, ReactionBasedModel};
 
     fn decay(x0: f64) -> ReactionBasedModel {
@@ -205,11 +471,11 @@ mod tests {
         let batch = StochasticBatch::new(DirectMethod::new()).with_seed(1);
         let a = batch.run(&m, &[0.5], 16).unwrap();
         let b = batch.run(&m, &[0.5], 16).unwrap();
-        for (x, y) in a.trajectories.iter().zip(&b.trajectories) {
+        for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
             assert_eq!(x, y, "same seed ⇒ same ensemble");
         }
         let distinct: std::collections::HashSet<u64> =
-            a.trajectories.iter().map(|t| t.states[0][0]).collect();
+            a.trajectories().iter().map(|t| t.states[0][0]).collect();
         assert!(distinct.len() > 3, "replicates must vary");
     }
 
@@ -245,6 +511,117 @@ mod tests {
     #[test]
     fn zero_replicates_rejected() {
         let m = decay(10.0);
-        assert!(StochasticBatch::new(DirectMethod::new()).run(&m, &[1.0], 0).is_err());
+        assert!(matches!(
+            StochasticBatch::new(DirectMethod::new()).run(&m, &[1.0], 0),
+            Err(StochasticError::EmptyEnsemble)
+        ));
+    }
+
+    #[test]
+    fn lane_path_engages_for_tau_leaping_and_reports_occupancy() {
+        let m = decay(100_000.0);
+        let r = StochasticBatch::new(TauLeaping::new()).with_seed(5).run(&m, &[0.5], 32).unwrap();
+        assert!(r.lane_width >= 2, "large populations autotune wide lanes");
+        let lanes = r.lanes.expect("lane path must record groups");
+        assert!(lanes.groups > 0);
+        assert!(lanes.occupancy() > 0.0 && lanes.occupancy() <= 1.0);
+        // SSA has no lockstep kernel: scalar path, no lane accounting.
+        let ssa =
+            StochasticBatch::new(DirectMethod::new()).with_seed(5).run(&m, &[0.5], 8).unwrap();
+        assert!(ssa.lanes.is_none());
+        assert_eq!(ssa.lane_width, 1);
+    }
+
+    #[test]
+    fn lane_and_scalar_paths_are_bitwise_identical() {
+        let m = decay(50_000.0);
+        let batch = StochasticBatch::new(TauLeaping::new()).with_seed(11);
+        let widths = [1usize, 2, 4, 8];
+        let runs: Vec<_> = widths
+            .iter()
+            .map(|&w| batch.clone().with_lane_width(Some(w)).run(&m, &[0.2, 0.5], 13).unwrap())
+            .collect();
+        for (w, r) in widths.iter().zip(&runs).skip(1) {
+            assert_eq!(r.outcomes, runs[0].outcomes, "width {w} vs scalar");
+            assert_eq!(r.stats, runs[0].stats, "stats width {w}");
+        }
+        assert_eq!(runs[0].lane_width, 1);
+        assert!(runs[0].lanes.is_none(), "pinned width 1 is the scalar path");
+    }
+
+    #[test]
+    fn thread_count_is_invisible_in_results() {
+        let m = decay(30_000.0);
+        let base = StochasticBatch::new(TauLeaping::new()).with_seed(13);
+        let one = base.clone().with_threads(1).run(&m, &[0.3], 40).unwrap();
+        let eight = base.clone().with_threads(8).run(&m, &[0.3], 40).unwrap();
+        assert_eq!(one.outcomes, eight.outcomes);
+        assert_eq!(one.stats, eight.stats);
+    }
+
+    #[test]
+    fn sharded_ranges_reassemble_the_full_ensemble() {
+        let m = decay(20_000.0);
+        let batch = StochasticBatch::new(TauLeaping::new()).with_seed(17);
+        let full = batch.run(&m, &[0.4], 24).unwrap();
+        let mut stitched = Vec::new();
+        for lo in (0..24).step_by(7) {
+            let hi = (lo + 7).min(24);
+            stitched.extend(batch.run_range(&m, &[0.4], lo..hi).unwrap().outcomes);
+        }
+        assert_eq!(full.outcomes, stitched, "shard decomposition must be invisible");
+    }
+
+    #[test]
+    fn fault_planned_replicates_are_evicted_and_contained() {
+        let m = decay(60_000.0);
+        let clean = StochasticBatch::new(TauLeaping::new()).with_seed(19);
+        let faulty =
+            clean.clone().with_faults(StochFaultPlan::new().poison(5, StochFault::nan(0, 2)));
+        let a = clean.run(&m, &[0.2], 12).unwrap();
+        let b = faulty.run(&m, &[0.2], 12).unwrap();
+        assert!(
+            matches!(b.outcomes[5], Err(StochasticError::BadPropensity { reaction: 0, .. })),
+            "poisoned replicate fails typed: {:?}",
+            b.outcomes[5]
+        );
+        for i in (0..12).filter(|&i| i != 5) {
+            assert_eq!(a.outcomes[i], b.outcomes[i], "replicate {i} must be untouched");
+        }
+        // Deterministic containment: the retry re-faults identically.
+        let c = faulty.run(&m, &[0.2], 12).unwrap();
+        assert_eq!(b.outcomes, c.outcomes);
+    }
+
+    #[test]
+    fn member_index_separates_campaign_streams() {
+        let m = decay(5_000.0);
+        let base = StochasticBatch::new(TauLeaping::new()).with_seed(23);
+        let m0 = base.clone().with_member(0).run(&m, &[0.3], 8).unwrap();
+        let m1 = base.clone().with_member(1).run(&m, &[0.3], 8).unwrap();
+        assert_ne!(m0.outcomes, m1.outcomes, "members must decorrelate");
+    }
+
+    #[test]
+    fn non_mass_action_models_fall_back_to_scalar_lanes() {
+        use paraspace_rbm::Kinetics;
+        let mut m = ReactionBasedModel::new();
+        let s = m.add_species("S", 50_000.0);
+        let p = m.add_species("P", 0.0);
+        m.add_reaction(Reaction::with_kinetics(
+            &[(s, 1)],
+            &[(p, 1)],
+            1.0,
+            Kinetics::MichaelisMenten { km: 0.5 },
+        ))
+        .unwrap();
+        let r = StochasticBatch::new(TauLeaping::new())
+            .with_seed(29)
+            .with_lane_width(Some(8))
+            .run(&m, &[0.1], 6)
+            .unwrap();
+        assert_eq!(r.lane_width, 1, "gated off the lane path");
+        assert!(r.lanes.is_none());
+        assert!(r.outcomes.iter().all(Result::is_ok));
     }
 }

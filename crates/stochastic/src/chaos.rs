@@ -1,0 +1,131 @@
+//! Deterministic fault injection for the stochastic simulators.
+//!
+//! The deterministic engines exercise their recovery ladder with
+//! `paraspace_solvers::chaos` (NaN/panic/stall faults at a time or RHS
+//! ordinal). The stochastic half gets the same treatment at its natural
+//! seam: the propensity evaluation. A [`StochFault`] poisons one
+//! reaction's propensity to NaN at a chosen *evaluation ordinal* of one
+//! replicate; the hardened simulators catch the NaN as a typed
+//! [`StochasticError::BadPropensity`](crate::StochasticError::BadPropensity)
+//! before tau selection or event selection can consume it.
+//!
+//! Faults are deterministic by construction — the ordinal counter is part
+//! of the replicate's own loop, and the counter-based RNG gives the
+//! replicate the same draw sequence on every rerun — so a retried
+//! replicate re-faults identically, exactly like the latching
+//! `ChaosSystem` faults on the ODE side. The batch engine evicts
+//! fault-planned replicates from lane groups and runs them on the scalar
+//! path, mirroring the lockstep ODE engines' eviction discipline: one
+//! poisoned replicate becomes one contained per-replicate error while
+//! every other replicate's trajectory stays bitwise unchanged.
+
+use std::collections::BTreeMap;
+
+/// One injected propensity fault: at the `at_eval`-th propensity
+/// evaluation (0-based) of the afflicted replicate, reaction `reaction`'s
+/// propensity becomes NaN.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StochFault {
+    /// Reaction whose propensity is poisoned.
+    pub reaction: usize,
+    /// Evaluation ordinal (0-based) at which the poison lands.
+    pub at_eval: u64,
+}
+
+impl StochFault {
+    /// A NaN poison on `reaction` at evaluation ordinal `at_eval`.
+    pub fn nan(reaction: usize, at_eval: u64) -> Self {
+        StochFault { reaction, at_eval }
+    }
+}
+
+/// A deterministic fault plan for an ensemble: replicate index → faults.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StochFaultPlan {
+    faults: BTreeMap<usize, Vec<StochFault>>,
+}
+
+impl StochFaultPlan {
+    /// An empty plan (no faults).
+    pub fn new() -> Self {
+        StochFaultPlan::default()
+    }
+
+    /// Adds a fault for `replicate` (builder style).
+    pub fn poison(mut self, replicate: usize, fault: StochFault) -> Self {
+        self.faults.entry(replicate).or_default().push(fault);
+        self
+    }
+
+    /// The faults planned for `replicate` (empty slice if none).
+    pub fn faults_for(&self, replicate: usize) -> &[StochFault] {
+        self.faults.get(&replicate).map_or(&[], Vec::as_slice)
+    }
+
+    /// Whether `replicate` has any planned fault (lane-group eviction
+    /// predicate).
+    pub fn afflicts(&self, replicate: usize) -> bool {
+        self.faults.contains_key(&replicate)
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The afflicted replicate indices, ascending.
+    pub fn replicates(&self) -> impl Iterator<Item = usize> + '_ {
+        self.faults.keys().copied()
+    }
+}
+
+/// Applies the faults due at evaluation ordinal `eval` to a freshly
+/// evaluated propensity vector. Returns `true` if anything was poisoned.
+pub(crate) fn apply_faults(faults: &[StochFault], eval: u64, a: &mut [f64]) -> bool {
+    let mut hit = false;
+    for f in faults {
+        if f.at_eval == eval && f.reaction < a.len() {
+            a[f.reaction] = f64::NAN;
+            hit = true;
+        }
+    }
+    hit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_is_per_replicate_and_ordered() {
+        let plan = StochFaultPlan::new()
+            .poison(7, StochFault::nan(0, 3))
+            .poison(2, StochFault::nan(1, 0))
+            .poison(7, StochFault::nan(2, 5));
+        assert!(plan.afflicts(7) && plan.afflicts(2) && !plan.afflicts(3));
+        assert_eq!(plan.faults_for(7).len(), 2);
+        assert_eq!(plan.faults_for(3), &[]);
+        assert_eq!(plan.replicates().collect::<Vec<_>>(), vec![2, 7]);
+        assert!(!plan.is_empty());
+        assert!(StochFaultPlan::new().is_empty());
+    }
+
+    #[test]
+    fn faults_land_only_at_their_ordinal() {
+        let faults = [StochFault::nan(1, 2)];
+        let mut a = [1.0, 2.0, 3.0];
+        assert!(!apply_faults(&faults, 1, &mut a));
+        assert_eq!(a, [1.0, 2.0, 3.0]);
+        assert!(apply_faults(&faults, 2, &mut a));
+        assert!(a[1].is_nan());
+        assert_eq!((a[0], a[2]), (1.0, 3.0));
+    }
+
+    #[test]
+    fn out_of_range_reactions_are_ignored() {
+        let faults = [StochFault::nan(9, 0)];
+        let mut a = [1.0];
+        assert!(!apply_faults(&faults, 0, &mut a));
+        assert_eq!(a, [1.0]);
+    }
+}

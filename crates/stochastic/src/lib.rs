@@ -15,9 +15,22 @@
 //! * [`TauLeaping`] — the approximate accelerated method with the
 //!   Cao–Gillespie–Petzold adaptive step selection and an SSA fallback for
 //!   near-critical populations;
-//! * [`StochasticBatch`] — a coarse-grained batch engine (one virtual
-//!   device thread per replicate, the cuTauLeaping design) returning
-//!   ensemble statistics and simulated device time.
+//! * [`TauLeapBatch`] — the lockstep lane kernel: `L` replicates advance
+//!   through tau-leaping in SoA lanes with batched propensity evaluation
+//!   and tau selection, per-lane trajectories bitwise equal to the scalar
+//!   simulator;
+//! * [`StochasticBatch`] — the ensemble engine (one virtual device thread
+//!   per replicate, the cuTauLeaping design): counter-based per-replicate
+//!   RNG streams ([`CounterRng`]), a lane-group path with scalar fallback,
+//!   host-parallel execution, and ensemble statistics plus simulated
+//!   device time.
+//!
+//! Determinism is the load-bearing contract: every replicate's RNG stream
+//! is a pure function of `(seed, member, replicate)`, so trajectories are
+//! bitwise identical across lane widths, lane packing orders, thread
+//! counts, and shard decompositions — which is what lets ensembles flow
+//! through the executor pool, the vgpu lane accounting, and the durable
+//! campaign journal unchanged.
 //!
 //! The stochastic and deterministic views agree where theory says they
 //! must: for linear networks the SSA ensemble mean follows the ODE
@@ -46,18 +59,26 @@
 //! ```
 
 mod batch;
+mod chaos;
+mod error;
 mod propensity;
+mod rng;
 mod sampling;
 mod ssa;
 mod tau;
+mod tau_batch;
 
 pub use batch::{EnsembleStats, StochasticBatch, StochasticBatchResult};
+pub use chaos::{StochFault, StochFaultPlan};
+pub use error::StochasticError;
 pub use propensity::{propensities, PropensityTable};
+pub use rng::CounterRng;
 pub use sampling::poisson;
 pub use ssa::DirectMethod;
 pub use tau::TauLeaping;
+pub use tau_batch::{TauLeapBatch, TauLeapReport};
 
-use paraspace_rbm::{RbmError, ReactionBasedModel};
+use paraspace_rbm::ReactionBasedModel;
 use rand::Rng;
 
 /// A sampled stochastic trajectory: integer molecule counts per species at
@@ -96,18 +117,51 @@ pub trait StochasticSimulator {
     ///
     /// # Errors
     ///
-    /// Model-validation failures ([`RbmError`]).
+    /// Model-validation failures and hardening trips
+    /// ([`StochasticError::BadPropensity`] on non-finite or negative
+    /// propensities).
     fn simulate<R: Rng + ?Sized>(
         &self,
         model: &ReactionBasedModel,
         times: &[f64],
         rng: &mut R,
-    ) -> Result<StochasticTrajectory, RbmError>
+    ) -> Result<StochasticTrajectory, StochasticError>
+    where
+        Self: Sized,
+    {
+        model.validate()?;
+        let table = PropensityTable::new(model);
+        let x0 = initial_counts(model);
+        self.simulate_counts(&table, &x0, times, rng, &[])
+    }
+
+    /// The low-level entry the batch engine uses: simulate from explicit
+    /// initial counts against a prebuilt table, with deterministic fault
+    /// injection (`faults` poison chosen propensity evaluations; see
+    /// [`StochFault`]). [`simulate`](Self::simulate) wraps this with
+    /// model validation and an empty fault list.
+    fn simulate_counts<R: Rng + ?Sized>(
+        &self,
+        table: &PropensityTable,
+        x0: &[u64],
+        times: &[f64],
+        rng: &mut R,
+        faults: &[StochFault],
+    ) -> Result<StochasticTrajectory, StochasticError>
     where
         Self: Sized;
+
+    /// The lockstep lane kernel for this simulator, if it has one.
+    /// Returning `Some` lets [`StochasticBatch`] run lane groups; the
+    /// kernel's per-lane trajectories must be bitwise equal to
+    /// [`simulate_counts`](Self::simulate_counts) with the same stream.
+    fn lane_kernel(&self) -> Option<TauLeapBatch> {
+        None
+    }
 }
 
-/// Rounds a model's initial concentrations to molecule counts.
-pub(crate) fn initial_counts(model: &ReactionBasedModel) -> Vec<u64> {
+/// Rounds a model's initial concentrations to molecule counts — the
+/// state-vector convention every simulator in this crate starts from.
+pub fn initial_counts(model: &ReactionBasedModel) -> Vec<u64> {
     model.initial_state().iter().map(|&x| x.max(0.0).round() as u64).collect()
 }

@@ -4,21 +4,22 @@
 //! uses falling factorials: `a = c·x` (first order), `a = c·x·y`
 //! (bimolecular, distinct species), `a = c·x·(x−1)/2` (dimerization),
 //! `a = c` (zeroth order) — the combinatorial counts of reactant tuples.
+//!
+//! Since the lane-batched stochastic path landed, the compiled structure
+//! itself lives in `paraspace_rbm` as [`CompiledStoich`] (next to the
+//! deterministic `CompiledOdes`, which the lane engines share the same
+//! way); [`PropensityTable`] wraps it and keeps this crate's historical
+//! API. The batched kernels are reachable through
+//! [`stoich`](PropensityTable::stoich).
 
-use paraspace_rbm::ReactionBasedModel;
+use paraspace_rbm::{CompiledStoich, ReactionBasedModel};
 
 /// The compiled stochastic view of a model: per-reaction reactant orders
 /// and net state changes, in flat arrays (the same shape the deterministic
 /// engines use, so a device kernel walks identical structures).
 #[derive(Debug, Clone, PartialEq)]
 pub struct PropensityTable {
-    n_species: usize,
-    /// Per reaction: `(species, order)` reactant entries.
-    reactants: Vec<Vec<(usize, u32)>>,
-    /// Per reaction: `(species, net change)` entries.
-    net: Vec<Vec<(usize, i64)>>,
-    /// Stochastic rate constants.
-    rates: Vec<f64>,
+    stoich: CompiledStoich,
 }
 
 impl PropensityTable {
@@ -26,67 +27,28 @@ impl PropensityTable {
     /// used directly as stochastic constants (volume factors are the
     /// modeler's responsibility, as in the original tools).
     pub fn new(model: &ReactionBasedModel) -> Self {
-        let reactants: Vec<Vec<(usize, u32)>> =
-            model.reactions().iter().map(|r| r.reactants().to_vec()).collect();
-        let net = model
-            .reactions()
-            .iter()
-            .map(|r| {
-                let mut entries: Vec<(usize, i64)> = Vec::new();
-                for &(s, a) in r.reactants() {
-                    entries.push((s, -(a as i64)));
-                }
-                for &(s, b) in r.products() {
-                    match entries.iter_mut().find(|(sp, _)| *sp == s) {
-                        Some((_, c)) => *c += b as i64,
-                        None => entries.push((s, b as i64)),
-                    }
-                }
-                entries.retain(|&(_, c)| c != 0);
-                entries
-            })
-            .collect();
-        PropensityTable {
-            n_species: model.n_species(),
-            reactants,
-            net,
-            rates: model.rate_constants(),
-        }
+        PropensityTable { stoich: CompiledStoich::new(model) }
+    }
+
+    /// The underlying compiled stoichiometry (scalar *and* lane-batched
+    /// kernels).
+    pub fn stoich(&self) -> &CompiledStoich {
+        &self.stoich
     }
 
     /// Number of reactions.
     pub fn n_reactions(&self) -> usize {
-        self.rates.len()
+        self.stoich.n_reactions()
     }
 
     /// Number of species.
     pub fn n_species(&self) -> usize {
-        self.n_species
+        self.stoich.n_species()
     }
 
     /// The propensity of reaction `r` at state `x`.
     pub fn propensity(&self, r: usize, x: &[u64]) -> f64 {
-        let mut a = self.rates[r];
-        for &(s, order) in &self.reactants[r] {
-            let n = x[s];
-            match order {
-                1 => a *= n as f64,
-                2 => a *= n as f64 * n.saturating_sub(1) as f64 / 2.0,
-                o => {
-                    // General falling factorial / o! for higher orders.
-                    let mut c = 1.0;
-                    for k in 0..o as u64 {
-                        c *= n.saturating_sub(k) as f64;
-                    }
-                    let mut fact = 1.0;
-                    for k in 2..=o as u64 {
-                        fact *= k as f64;
-                    }
-                    a *= c / fact;
-                }
-            }
-        }
-        a
+        self.stoich.propensity(r, x)
     }
 
     /// Writes all propensities into `out` and returns their sum.
@@ -95,54 +57,31 @@ impl PropensityTable {
     ///
     /// Panics if `out.len() != n_reactions`.
     pub fn propensities_into(&self, x: &[u64], out: &mut [f64]) -> f64 {
-        assert_eq!(out.len(), self.n_reactions());
-        let mut total = 0.0;
-        for r in 0..self.n_reactions() {
-            let a = self.propensity(r, x);
-            out[r] = a;
-            total += a;
-        }
-        total
+        self.stoich.propensities_into(x, out)
     }
 
     /// Applies one firing of reaction `r` to state `x`; returns `false`
     /// (leaving `x` untouched) if any population would go negative.
     pub fn fire(&self, r: usize, x: &mut [u64]) -> bool {
-        self.apply(r, 1, x)
+        self.stoich.apply(r, 1, x)
     }
 
     /// Applies `count` firings of reaction `r` at once (tau-leaping);
     /// returns `false` and leaves `x` untouched if that would drive a
     /// population negative.
     pub fn apply(&self, r: usize, count: u64, x: &mut [u64]) -> bool {
-        // Check first.
-        for &(s, c) in &self.net[r] {
-            if c < 0 {
-                let need = (-c) as u64 * count;
-                if x[s] < need {
-                    return false;
-                }
-            }
-        }
-        for &(s, c) in &self.net[r] {
-            if c < 0 {
-                x[s] -= (-c) as u64 * count;
-            } else {
-                x[s] += c as u64 * count;
-            }
-        }
-        true
+        self.stoich.apply(r, count, x)
     }
 
     /// Net change of species `s` per firing of reaction `r` (0 if
     /// untouched).
     pub fn net_change(&self, r: usize, s: usize) -> i64 {
-        self.net[r].iter().find(|&&(sp, _)| sp == s).map_or(0, |&(_, c)| c)
+        self.stoich.net_change(r, s)
     }
 
     /// Whether reaction `r` consumes any molecules (sources never do).
     pub fn consumes(&self, r: usize) -> bool {
-        self.net[r].iter().any(|&(_, c)| c < 0)
+        self.stoich.consumes(r)
     }
 }
 
@@ -232,5 +171,14 @@ mod tests {
         let t = PropensityTable::new(&model());
         assert!(!t.consumes(0));
         assert!(t.consumes(1));
+    }
+
+    #[test]
+    fn wrapper_delegates_to_compiled_stoich() {
+        let t = PropensityTable::new(&model());
+        let x = [10u64, 5, 0];
+        for r in 0..t.n_reactions() {
+            assert_eq!(t.propensity(r, &x).to_bits(), t.stoich().propensity(r, &x).to_bits());
+        }
     }
 }

@@ -4,7 +4,11 @@ use rand::Rng;
 
 /// Samples a Poisson(λ) variate.
 ///
-/// Knuth's multiplication method for small means; for `λ ≥ 30` the PA
+/// Inversion by sequential CDF search for small means — exact, and it
+/// consumes exactly **one** uniform per variate where Knuth's
+/// multiplication method draws `λ + 1` in expectation (the draws are the
+/// expensive part of the leaping hot loop: every uniform is a counter
+/// mix, and a leap samples one variate per reaction). For `λ ≥ 30` the PA
 /// normal-approximation with continuity correction (error negligible
 /// against tau-leaping's own O(τ²) bias, and what GPU implementations of
 /// tau-leaping typically ship).
@@ -27,15 +31,23 @@ pub fn poisson<R: Rng + ?Sized>(lambda: f64, rng: &mut R) -> u64 {
         return 0;
     }
     if lambda < 30.0 {
-        // Knuth: count multiplications until the product drops below e^-λ.
-        let limit = (-lambda).exp();
-        let mut product: f64 = rng.gen();
-        let mut count = 0u64;
-        while product > limit {
-            product *= rng.gen::<f64>();
-            count += 1;
+        // Inversion: one uniform, then walk the CDF. `p` decays
+        // geometrically past k ≈ λ, so the underflow guard bounds the
+        // walk even when `u` lands in the last representable sliver of
+        // the tail.
+        let u: f64 = rng.gen();
+        let mut p = (-lambda).exp();
+        let mut f = p;
+        let mut k = 0u64;
+        while u > f {
+            k += 1;
+            p *= lambda / k as f64;
+            f += p;
+            if p < f64::MIN_POSITIVE {
+                break;
+            }
         }
-        count
+        k
     } else {
         // Normal approximation N(λ, λ) with continuity correction.
         let z = standard_normal(rng);

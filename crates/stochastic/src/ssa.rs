@@ -1,8 +1,9 @@
 //! Gillespie's direct-method stochastic simulation algorithm.
 
+use crate::chaos::{apply_faults, StochFault};
+use crate::error::validate_propensities;
 use crate::propensity::PropensityTable;
-use crate::{initial_counts, StochasticSimulator, StochasticTrajectory};
-use paraspace_rbm::{RbmError, ReactionBasedModel};
+use crate::{StochasticError, StochasticSimulator, StochasticTrajectory};
 use rand::Rng;
 
 /// The exact SSA: at each event, the waiting time is exponential with rate
@@ -43,17 +44,18 @@ impl StochasticSimulator for DirectMethod {
         "ssa"
     }
 
-    fn simulate<R: Rng + ?Sized>(
+    fn simulate_counts<R: Rng + ?Sized>(
         &self,
-        model: &ReactionBasedModel,
+        table: &PropensityTable,
+        x0: &[u64],
         times: &[f64],
         rng: &mut R,
-    ) -> Result<StochasticTrajectory, RbmError> {
-        model.validate()?;
-        let table = PropensityTable::new(model);
-        let mut x = initial_counts(model);
+        faults: &[StochFault],
+    ) -> Result<StochasticTrajectory, StochasticError> {
+        let mut x = x0.to_vec();
         let mut a = vec![0.0; table.n_reactions()];
         let mut t = 0.0f64;
+        let mut evals = 0u64;
         let mut traj = StochasticTrajectory {
             times: Vec::with_capacity(times.len()),
             states: Vec::with_capacity(times.len()),
@@ -64,6 +66,9 @@ impl StochasticSimulator for DirectMethod {
         for &ts in times {
             while t < ts {
                 let a0 = table.propensities_into(&x, &mut a);
+                apply_faults(faults, evals, &mut a);
+                evals += 1;
+                validate_propensities(&a, t, traj.steps)?;
                 if a0 <= 0.0 {
                     // Absorbing state: nothing can fire anymore.
                     t = ts;
@@ -100,7 +105,8 @@ impl StochasticSimulator for DirectMethod {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use paraspace_rbm::Reaction;
+    use crate::{initial_counts, StochFault};
+    use paraspace_rbm::{Reaction, ReactionBasedModel};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -180,5 +186,18 @@ mod tests {
             / n as f64;
         let exact = 200.0 * (-t).exp();
         assert!((mean - exact).abs() < 3.0, "ensemble mean {mean} vs ODE {exact}");
+    }
+
+    #[test]
+    fn ssa_is_hardened_against_poisoned_propensities() {
+        let m = immigration_death(5.0, 0.5, 10.0);
+        let table = PropensityTable::new(&m);
+        let x0 = initial_counts(&m);
+        let faults = [StochFault::nan(1, 2)];
+        let mut rng = StdRng::seed_from_u64(5);
+        let err = DirectMethod::new()
+            .simulate_counts(&table, &x0, &[5.0], &mut rng, &faults)
+            .unwrap_err();
+        assert!(matches!(err, StochasticError::BadPropensity { reaction: 1, .. }), "{err:?}");
     }
 }

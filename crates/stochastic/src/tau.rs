@@ -7,10 +7,12 @@
 //! would drive a population negative, the simulator falls back to SSA
 //! steps — the standard hybrid safeguard.
 
+use crate::chaos::{apply_faults, StochFault};
+use crate::error::validate_propensities;
 use crate::propensity::PropensityTable;
 use crate::sampling::poisson;
-use crate::{initial_counts, StochasticSimulator, StochasticTrajectory};
-use paraspace_rbm::{RbmError, ReactionBasedModel};
+use crate::tau_batch::TauLeapBatch;
+use crate::{StochasticError, StochasticSimulator, StochasticTrajectory};
 use rand::Rng;
 
 /// The tau-leaping simulator.
@@ -103,17 +105,18 @@ impl StochasticSimulator for TauLeaping {
         "tau-leaping"
     }
 
-    fn simulate<R: Rng + ?Sized>(
+    fn simulate_counts<R: Rng + ?Sized>(
         &self,
-        model: &ReactionBasedModel,
+        table: &PropensityTable,
+        x0: &[u64],
         times: &[f64],
         rng: &mut R,
-    ) -> Result<StochasticTrajectory, RbmError> {
-        model.validate()?;
-        let table = PropensityTable::new(model);
-        let mut x = initial_counts(model);
+        faults: &[StochFault],
+    ) -> Result<StochasticTrajectory, StochasticError> {
+        let mut x = x0.to_vec();
         let mut a = vec![0.0; table.n_reactions()];
         let mut t = 0.0f64;
+        let mut evals = 0u64;
         let mut traj = StochasticTrajectory {
             times: Vec::with_capacity(times.len()),
             states: Vec::with_capacity(times.len()),
@@ -124,11 +127,14 @@ impl StochasticSimulator for TauLeaping {
         for &ts in times {
             while t < ts {
                 let a0 = table.propensities_into(&x, &mut a);
+                apply_faults(faults, evals, &mut a);
+                evals += 1;
+                validate_propensities(&a, t, traj.steps)?;
                 if a0 <= 0.0 {
                     t = ts;
                     break;
                 }
-                let tau = self.select_tau(&table, &x, &a).min(ts - t);
+                let tau = self.select_tau(table, &x, &a).min(ts - t);
 
                 if tau * a0 < self.ssa_threshold {
                     // Exact fallback: a handful of SSA events.
@@ -186,12 +192,17 @@ impl StochasticSimulator for TauLeaping {
         }
         Ok(traj)
     }
+
+    fn lane_kernel(&self) -> Option<TauLeapBatch> {
+        Some(TauLeapBatch::with_params(self.epsilon, self.ssa_threshold))
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::DirectMethod;
+    use crate::chaos::StochFault;
+    use crate::{initial_counts, DirectMethod};
     use paraspace_rbm::{Reaction, ReactionBasedModel};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -283,5 +294,44 @@ mod tests {
             TauLeaping::new().with_epsilon(eps).simulate(&m, &[1.0], &mut rng).unwrap().steps
         };
         assert!(run(0.1) < run(0.01), "looser epsilon must take fewer leaps");
+    }
+
+    #[test]
+    fn overflowing_propensity_is_a_typed_error() {
+        // A finite-but-huge rate constant passes model validation, then
+        // overflows to +∞ in the very first propensity evaluation; the
+        // hardening layer must catch it before `select_tau` sees it.
+        let m = decay(1000.0, f64::MAX);
+        let mut rng = StdRng::seed_from_u64(7);
+        let err = TauLeaping::new().simulate(&m, &[1.0], &mut rng).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                StochasticError::BadPropensity { reaction: 0, value: f64::INFINITY, step: 0, .. }
+            ),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn injected_fault_trips_at_its_ordinal_deterministically() {
+        let m = decay(100_000.0, 1.0);
+        let table = PropensityTable::new(&m);
+        let x0 = initial_counts(&m);
+        let faults = [StochFault::nan(0, 4)];
+        let run = || {
+            let mut rng = StdRng::seed_from_u64(8);
+            TauLeaping::new().simulate_counts(&table, &x0, &[1.0], &mut rng, &faults)
+        };
+        let (a, b) = (run().unwrap_err(), run().unwrap_err());
+        assert_eq!(a, b, "retries must re-fault identically");
+        match a {
+            StochasticError::BadPropensity { reaction, value, step, .. } => {
+                assert_eq!(reaction, 0);
+                assert!(value.is_nan());
+                assert!(step <= 4, "each evaluation commits at most one step, got {step}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 }

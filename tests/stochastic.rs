@@ -76,7 +76,7 @@ fn tau_leaping_matches_ssa_cheaply() {
     let rel = (ssa.stats.mean[0][0] - tau.stats.mean[0][0]).abs() / ssa.stats.mean[0][0];
     // ε = 0.03 leaping tolerates O(ε) bias; 8 replicates add sampling noise.
     assert!(rel < 0.03, "means differ by {rel:.3}");
-    let ssa_steps: u64 = ssa.trajectories.iter().map(|t| t.steps).sum();
-    let tau_steps: u64 = tau.trajectories.iter().map(|t| t.steps).sum();
+    let ssa_steps: u64 = ssa.trajectories().iter().map(|t| t.steps).sum();
+    let tau_steps: u64 = tau.trajectories().iter().map(|t| t.steps).sum();
     assert!(tau_steps * 20 < ssa_steps, "tau {tau_steps} steps vs ssa {ssa_steps}");
 }
