@@ -105,6 +105,9 @@ pub enum CampaignError {
         completed: u64,
         /// Total shards in the campaign.
         shards: u64,
+        /// The checkpoint directory holding the committed shards — where
+        /// `resume` must be pointed.
+        checkpoint_dir: PathBuf,
     },
 }
 
@@ -114,8 +117,13 @@ impl fmt::Display for CampaignError {
             CampaignError::Sim(e) => write!(f, "campaign failed: {e}"),
             CampaignError::Stochastic(e) => write!(f, "ensemble campaign failed: {e}"),
             CampaignError::Journal(e) => write!(f, "campaign checkpoint: {e}"),
-            CampaignError::Interrupted { completed, shards } => {
-                write!(f, "campaign interrupted: {completed}/{shards} shards checkpointed")
+            CampaignError::Interrupted { completed, shards, checkpoint_dir } => {
+                write!(
+                    f,
+                    "campaign interrupted: {completed}/{shards} shards checkpointed in \
+                     {} — point `resume` at that directory to continue",
+                    checkpoint_dir.display()
+                )
             }
         }
     }
@@ -194,7 +202,11 @@ where
         }
         if checkpoint.cancel.is_cancelled() {
             journal.sync()?;
-            return Err(CampaignError::Interrupted { completed: journal.committed(), shards });
+            return Err(CampaignError::Interrupted {
+                completed: journal.committed(),
+                shards,
+                checkpoint_dir: checkpoint.dir.clone(),
+            });
         }
         let payload = match execute(shard) {
             Ok(p) => p,
@@ -202,7 +214,11 @@ where
                 // The engine drained in-flight members and discarded the
                 // partial batch; the shard is simply not committed.
                 journal.sync()?;
-                return Err(CampaignError::Interrupted { completed: journal.committed(), shards });
+                return Err(CampaignError::Interrupted {
+                    completed: journal.committed(),
+                    shards,
+                    checkpoint_dir: checkpoint.dir.clone(),
+                });
             }
             Err(e) => return Err(e),
         };
@@ -492,13 +508,19 @@ mod tests {
             Ok(vec![s as u8])
         })
         .unwrap_err();
-        match err {
-            CampaignError::Interrupted { completed, shards } => {
-                assert_eq!(completed, 3);
-                assert_eq!(shards, 5);
+        match &err {
+            CampaignError::Interrupted { completed, shards, checkpoint_dir } => {
+                assert_eq!(*completed, 3);
+                assert_eq!(*shards, 5);
+                assert_eq!(checkpoint_dir, &dir, "the error must name the checkpoint");
             }
             other => panic!("expected Interrupted, got {other}"),
         }
+        // The display tells the user where to point `resume`.
+        let text = err.to_string();
+        assert!(text.contains("3/5"), "{text}");
+        assert!(text.contains(dir.to_str().unwrap()), "display must include the dir: {text}");
+        assert!(text.contains("resume"), "{text}");
 
         let cp = Checkpoint::new(&dir); // fresh token
         let (payloads, report) = run_journaled(&cp, manifest, |s| Ok(vec![s as u8])).unwrap();

@@ -283,7 +283,7 @@ mod tests {
             )
             .unwrap_err()
         };
-        assert!(matches!(err, CampaignError::Interrupted { completed: 2, shards: 3 }), "{err}");
+        assert!(matches!(err, CampaignError::Interrupted { completed: 2, shards: 3, .. }), "{err}");
 
         // Resume with a *different thread count*: scheduling is not part
         // of the world, and the bytes must still match the direct run.

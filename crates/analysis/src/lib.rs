@@ -27,6 +27,7 @@
 //! reproduces the uninterrupted result byte for byte.
 
 pub mod campaign;
+pub mod dispatch;
 pub mod ensemble;
 pub mod fitness;
 pub mod oscillation;

@@ -366,6 +366,7 @@ pub fn estimate_durable(
         return Err(CampaignError::Interrupted {
             completed: journal.committed(),
             shards: config.iterations as u64,
+            checkpoint_dir: checkpoint.dir().to_path_buf(),
         });
     }
     let mut k = problem.model.rate_constants();

@@ -121,7 +121,7 @@ fn kill_resume_case(
         )
         .unwrap_err();
     match err {
-        CampaignError::Interrupted { completed, shards } => {
+        CampaignError::Interrupted { completed, shards, .. } => {
             assert!(completed >= 1 && completed < shards, "{tag}: partial progress expected");
         }
         other => panic!("{tag}: expected interruption, got {other}"),
@@ -403,7 +403,7 @@ fn estimation_resumes_mid_swarm_exactly() {
     )
     .unwrap_err();
     match err {
-        CampaignError::Interrupted { completed, shards } => {
+        CampaignError::Interrupted { completed, shards, .. } => {
             assert_eq!(completed, 4);
             assert_eq!(shards, 10);
         }
@@ -419,6 +419,116 @@ fn estimation_resumes_mid_swarm_exactly() {
     assert_eq!(plain.simulated_ns.to_bits(), resumed.simulated_ns.to_bits());
     assert_eq!(plain.rate_constants, resumed.rate_constants);
 
+    std::fs::remove_dir_all(&base_dir).ok();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Satellite: a cancellation landing while shard members are climbing the
+/// recovery retry ladder drains as `SimError::Cancelled` — the in-flight
+/// shard journals nothing, partial ladder work is discarded — and the
+/// resumed campaign is byte-identical to an uninterrupted ladder-heavy
+/// baseline.
+#[test]
+fn cancel_mid_retry_ladder_drains_without_journaling() {
+    use paraspace_core::RecoveryPolicy;
+
+    // A step budget far below what the default tolerances need, so every
+    // member fails its first attempt and climbs the relaxation rungs.
+    let ladder = RecoveryPolicy {
+        reroute: false,
+        max_relaxations: 4,
+        step_budget: Some(1),
+        budget_escalation: 4,
+        ..RecoveryPolicy::default()
+    };
+
+    // Positive control: with the rungs disabled the starved budget is
+    // terminal, proving the ladder is genuinely engaged below.
+    let starved = FineEngine::new()
+        .with_lane_width(1)
+        .with_recovery(RecoveryPolicy { max_relaxations: 0, ..ladder });
+    let control_dir = temp_dir("ladder_control");
+    let starved_result = run_sweep_durable(&starved, &Checkpoint::new(&control_dir)).unwrap();
+    assert!(
+        starved_result.values.iter().flatten().all(|v| v.is_nan()),
+        "a 1-step budget with no relaxation rungs must fail every member"
+    );
+
+    // Ladder-heavy uninterrupted baseline: every member needs the rungs
+    // (see control above) and every member is rescued by them.
+    let base_dir = temp_dir("ladder_base");
+    let baseline = run_sweep_durable(
+        &FineEngine::new().with_lane_width(1).with_recovery(ladder),
+        &Checkpoint::new(&base_dir),
+    )
+    .unwrap();
+    assert!(
+        baseline.values.iter().flatten().all(|v| v.is_finite()),
+        "the relaxation rungs must rescue every starved member"
+    );
+
+    // Interrupted run: the token trips while the second shard's batch is
+    // being assembled, so its engine run — whose members would all retry —
+    // drains as `SimError::Cancelled` before committing anything.
+    let dir = temp_dir("ladder_kill");
+    let cancel = CancelToken::new();
+    let cp = Checkpoint::new(&dir).with_cancel(cancel.clone());
+    let m = model();
+    let built = AtomicUsize::new(0);
+    let engine =
+        FineEngine::new().with_lane_width(1).with_recovery(ladder).with_cancel(cancel.clone());
+    let err = sweep()
+        .run_durable(
+            &m,
+            |u, v| {
+                if built.fetch_add(1, Ordering::Relaxed) == 4 {
+                    cancel.cancel();
+                }
+                Parameterization::new().with_rate_constants(vec![u * v, 0.3])
+            },
+            vec![0.5, 1.0],
+            &engine,
+            |sol| sol.state_at(1)[0],
+            &cp,
+        )
+        .unwrap_err();
+    let (completed, shards) = match err {
+        CampaignError::Interrupted { completed, shards, .. } => {
+            assert!(completed >= 1 && completed < shards, "partial progress expected");
+            (completed, shards)
+        }
+        other => panic!("expected Interrupted, got {other}"),
+    };
+
+    // Resume with a counting engine: exactly `shards - completed` shards
+    // re-execute, so the cancelled mid-ladder shard journaled nothing.
+    struct CountRuns<'e> {
+        inner: &'e dyn Simulator,
+        runs: AtomicUsize,
+    }
+    impl Simulator for CountRuns<'_> {
+        fn name(&self) -> &'static str {
+            self.inner.name()
+        }
+        fn run(
+            &self,
+            job: &SimulationJob,
+        ) -> Result<paraspace_core::BatchResult, paraspace_core::SimError> {
+            self.runs.fetch_add(1, Ordering::Relaxed);
+            self.inner.run(job)
+        }
+    }
+    let fresh = FineEngine::new().with_lane_width(1).with_recovery(ladder);
+    let counting = CountRuns { inner: &fresh, runs: AtomicUsize::new(0) };
+    let resumed = run_sweep_durable(&counting, &Checkpoint::new(&dir)).unwrap();
+    assert_eq!(
+        counting.runs.load(Ordering::Relaxed) as u64,
+        shards - completed,
+        "the interrupted run must not have journaled the drained shard"
+    );
+    assert_bitwise_equal(&baseline, &resumed, "ladder_kill");
+
+    std::fs::remove_dir_all(&control_dir).ok();
     std::fs::remove_dir_all(&base_dir).ok();
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -1,0 +1,258 @@
+//! Multi-worker dispatch scaling and fault overhead: the same metabolic
+//! parameter-space campaign executed single-process (`run_journaled`) and
+//! through the lease-based dispatcher (`run_dispatched`) at worker counts
+//! {1, 2, 4, 8}, plus one chaos row where a worker is SIGKILL-style
+//! killed mid-shard and its lease is expired and reassigned. Writes the
+//! machine-readable table to `results/BENCH_dispatch.json` (relative to
+//! the workspace root).
+//!
+//! Exactness is asserted on every row: the merged dispatched payloads must
+//! be byte-identical to the single-process reference — including the
+//! chaos row, where a shard executes twice and first-wins merge discards
+//! the duplicate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use paraspace_analysis::campaign::{run_journaled, CampaignError, Checkpoint};
+use paraspace_analysis::dispatch::{run_dispatched, DispatchConfig, WorkerChaos};
+use paraspace_core::{FineEngine, SimulationJob, Simulator};
+use paraspace_journal::codec::Enc;
+use paraspace_journal::lease::{LeaseConfig, RetryState};
+use paraspace_journal::CampaignManifest;
+use paraspace_rbm::Parameterization;
+use std::time::Instant;
+
+struct Row {
+    workers: usize,
+    chaos_kills: usize,
+    reps: usize,
+    best_ns: f64,
+    speedup_vs_single: f64,
+    reassignments: u64,
+    duplicate_records: u64,
+}
+
+/// One shard = one engine batch over scaled initial states of the
+/// metabolic model (114 species × 226 reactions).
+fn shard_payload(
+    engine: &FineEngine,
+    shard: u64,
+    members: usize,
+) -> Result<Vec<u8>, CampaignError> {
+    let model = paraspace_models::metabolic::model();
+    let params: Vec<Parameterization> = (0..members)
+        .map(|j| {
+            let scale = 0.9 + 0.02 * (shard as f64) + 0.01 * (j as f64);
+            Parameterization::new()
+                .with_initial_state(model.initial_state().iter().map(|x| x * scale).collect())
+        })
+        .collect();
+    let job = SimulationJob::builder(&model)
+        .time_points(vec![0.5, 1.0])
+        .parameterizations(params)
+        .build()
+        .map_err(CampaignError::Sim)?;
+    let result = engine.run(&job).map_err(CampaignError::Sim)?;
+    let mut enc = Enc::new();
+    enc.put_u64(shard).put_f64(result.timing.simulated_total_ns);
+    for outcome in &result.outcomes {
+        match &outcome.solution {
+            Ok(sol) => enc.put_u32(1).put_f64_slice(sol.state_at(1)),
+            Err(e) => enc.put_u32(0).put_str(&e.to_string()),
+        };
+    }
+    Ok(enc.finish())
+}
+
+fn poison(shard: u64, st: &RetryState) -> Vec<u8> {
+    let mut enc = Enc::new();
+    enc.put_u64(shard).put_u64(u64::MAX);
+    enc.put_str(&format!("quarantined: {}", st.reasons.join("; ")));
+    enc.finish()
+}
+
+fn config() -> DispatchConfig {
+    DispatchConfig {
+        lease: LeaseConfig {
+            ttl_ms: 500,
+            backoff_base_ms: 20,
+            backoff_cap_ms: 200,
+            max_worker_deaths: 3,
+        },
+        poll_ms: 5,
+    }
+}
+
+fn scaling(c: &mut Criterion) {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let (shards, members, worker_counts, reps): (u64, usize, Vec<usize>, usize) =
+        if test_mode { (4, 2, vec![2], 1) } else { (24, 4, vec![1, 2, 4, 8], 3) };
+
+    let scratch = std::env::temp_dir().join(format!("paraspace_bench_disp_{}", std::process::id()));
+    std::fs::remove_dir_all(&scratch).ok();
+
+    // One engine thread per worker: the worker count is the parallelism
+    // axis under measurement (on a multi-core host the dispatched rows
+    // scale; on a single-core host they document the protocol overhead).
+    let engine = FineEngine::new().with_threads(1).with_lane_width(4);
+    let manifest = || CampaignManifest::new("bench-dispatch", shards);
+
+    // Single-process reference: wall time and the byte-exact payloads every
+    // dispatched row is checked against.
+    let mut reference = Vec::new();
+    let mut single_best = f64::INFINITY;
+    for rep in 0..reps {
+        let dir = scratch.join(format!("ref_{rep}"));
+        let t0 = Instant::now();
+        let (payloads, _) = run_journaled(&Checkpoint::new(&dir), manifest(), |s| {
+            shard_payload(&engine, s, members)
+        })
+        .expect("reference campaign");
+        single_best = single_best.min(t0.elapsed().as_nanos() as f64);
+        reference = payloads;
+    }
+
+    let mut rows = Vec::new();
+    for &workers in &worker_counts {
+        let mut best = f64::INFINITY;
+        let mut last_report = None;
+        for rep in 0..reps {
+            let dir = scratch.join(format!("w{workers}_{rep}"));
+            let t0 = Instant::now();
+            let (payloads, report, _) = run_dispatched(
+                &Checkpoint::new(&dir),
+                manifest(),
+                workers,
+                &config(),
+                &[],
+                true,
+                |s, _| shard_payload(&engine, s, members),
+                poison,
+            )
+            .expect("dispatched campaign");
+            best = best.min(t0.elapsed().as_nanos() as f64);
+            assert_eq!(payloads, reference, "dispatched ({workers} workers) must be byte-exact");
+            last_report = Some(report);
+        }
+        let report = last_report.expect("at least one rep");
+        rows.push(Row {
+            workers,
+            chaos_kills: 0,
+            reps,
+            best_ns: best,
+            speedup_vs_single: single_best / best,
+            reassignments: report.reassignments,
+            duplicate_records: report.duplicate_records,
+        });
+    }
+
+    // Chaos row: one worker of four is killed holding its second shard
+    // (lease left behind); the campaign absorbs the death, reassigns, and
+    // still merges to the exact payloads.
+    {
+        let workers = if test_mode { 2 } else { 4 };
+        let mut best = f64::INFINITY;
+        let mut last_report = None;
+        for rep in 0..reps {
+            let dir = scratch.join(format!("chaos_{rep}"));
+            let chaos = vec![WorkerChaos { kill_at_ordinal: Some(1), ..WorkerChaos::default() }];
+            let t0 = Instant::now();
+            let (payloads, report, _) = run_dispatched(
+                &Checkpoint::new(&dir),
+                manifest(),
+                workers,
+                &config(),
+                &chaos,
+                true,
+                |s, _| shard_payload(&engine, s, members),
+                poison,
+            )
+            .expect("chaos campaign");
+            best = best.min(t0.elapsed().as_nanos() as f64);
+            assert_eq!(payloads, reference, "chaos-killed campaign must still be byte-exact");
+            assert!(report.reassignments >= 1, "the killed worker's shard must be reassigned");
+            last_report = Some(report);
+        }
+        let report = last_report.expect("at least one rep");
+        rows.push(Row {
+            workers,
+            chaos_kills: 1,
+            reps,
+            best_ns: best,
+            speedup_vs_single: single_best / best,
+            reassignments: report.reassignments,
+            duplicate_records: report.duplicate_records,
+        });
+    }
+    std::fs::remove_dir_all(&scratch).ok();
+
+    if !test_mode {
+        write_json(shards, members, single_best, &rows);
+    }
+
+    // Surface one representative configuration through criterion.
+    let mut group = c.benchmark_group("dispatch_metabolic");
+    group.sample_size(10);
+    let workers = if test_mode { 2 } else { 4 };
+    let mut n = 0usize;
+    group.bench_function(format!("workers{workers}"), |b| {
+        b.iter(|| {
+            n += 1;
+            let dir = std::env::temp_dir()
+                .join(format!("paraspace_bench_disp_crit_{}_{n}", std::process::id()));
+            let r = run_dispatched(
+                &Checkpoint::new(&dir),
+                manifest(),
+                workers,
+                &config(),
+                &[],
+                true,
+                |s, _| shard_payload(&engine, s, members),
+                poison,
+            );
+            std::fs::remove_dir_all(&dir).ok();
+            r.expect("dispatched campaign")
+        })
+    });
+    group.finish();
+}
+
+fn write_json(shards: u64, members: usize, single_best_ns: f64, rows: &[Row]) {
+    let mut body = String::from("{\n");
+    body.push_str("  \"bench\": \"dispatch\",\n");
+    body.push_str("  \"engine\": \"fine (1 thread per worker)\",\n");
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(0);
+    body.push_str(&format!("  \"host_cores\": {cores},\n"));
+    body.push_str("  \"model\": \"metabolic\",\n");
+    body.push_str(&format!("  \"shards\": {shards}, \"members_per_shard\": {members},\n"));
+    body.push_str(&format!("  \"single_process_best_ns\": {:.0},\n", single_best_ns));
+    body.push_str(
+        "  \"note\": \"lease-based multi-worker dispatch of the same campaign; every row's \
+merged payloads asserted byte-identical to the single-process journaled run; the chaos row \
+kills one worker mid-shard (lease orphaned, expired, reassigned)\",\n",
+    );
+    body.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"workers\": {}, \"chaos_kills\": {}, \"reps\": {}, \"best_ns\": {:.0}, \
+\"speedup_vs_single\": {:.3}, \"reassignments\": {}, \"duplicate_records\": {}}}{}\n",
+            r.workers,
+            r.chaos_kills,
+            r.reps,
+            r.best_ns,
+            r.speedup_vs_single,
+            r.reassignments,
+            r.duplicate_records,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    body.push_str("  ]\n}\n");
+
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/BENCH_dispatch.json");
+    std::fs::create_dir_all(path.parent().expect("results dir")).ok();
+    std::fs::write(&path, body).expect("write BENCH_dispatch.json");
+    eprintln!("wrote {}", path.display());
+}
+
+criterion_group!(benches, scaling);
+criterion_main!(benches);

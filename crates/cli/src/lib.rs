@@ -15,6 +15,9 @@
 use paraspace_analysis::campaign::{
     f64s_digest, model_digest, options_digest, run_journaled, CampaignError, Checkpoint,
 };
+use paraspace_analysis::dispatch::{
+    coordinate, worker_loop, DispatchConfig, TickDirective, WorkerChaos,
+};
 use paraspace_analysis::ensemble::run_ensemble_durable;
 pub use paraspace_core::CancelToken;
 use paraspace_core::{
@@ -22,7 +25,8 @@ use paraspace_core::{
     FineEngine, RecoveryPolicy, SimOutcome, SimulationJob, Simulator,
 };
 use paraspace_journal::codec::{Dec, Enc};
-use paraspace_journal::{CampaignManifest, JournalError, MANIFEST_FILE};
+use paraspace_journal::lease::RetryState;
+use paraspace_journal::{CampaignManifest, Journal, JournalError, MANIFEST_FILE};
 use paraspace_rbm::{biosimware, sbgen::SbGen, sbml, Parameterization};
 use paraspace_solvers::SolverOptions;
 use paraspace_stochastic::{
@@ -31,6 +35,7 @@ use paraspace_stochastic::{
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::cell::RefCell;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
@@ -65,6 +70,10 @@ pub enum Command {
         checkpoint_dir: Option<PathBuf>,
         /// Members per journaled shard on the durable path.
         shard_size: usize,
+        /// Worker processes on the durable path (0 = run shards in this
+        /// process; N spawns N `worker` child processes and coordinates
+        /// them — requires `--checkpoint-dir`).
+        workers: usize,
     },
     /// Run a stochastic replicate ensemble of a model directory.
     Ensemble {
@@ -96,6 +105,39 @@ pub enum Command {
     Resume {
         /// The `--checkpoint-dir` of the interrupted run.
         checkpoint_dir: PathBuf,
+        /// Worker processes for the resumed run (simulate campaigns only;
+        /// 0 = single-process). Worker count is not world-defining, so a
+        /// run may be resumed with any value.
+        workers: usize,
+    },
+    /// Attach to a shared checkpoint directory as one worker of a
+    /// multi-process `simulate` campaign: claim shard leases, execute them
+    /// through the engine pinned in the manifest, and append results to a
+    /// private journal segment for the coordinator to merge.
+    Worker {
+        /// The shared checkpoint directory of the campaign.
+        checkpoint_dir: PathBuf,
+        /// Worker id (unique per incarnation; default embeds the pid).
+        worker_id: Option<String>,
+        /// Chaos: die (no cleanup, lease left behind) while holding the
+        /// Nth claimed shard.
+        chaos_kill_at: Option<u64>,
+        /// Chaos: when the kill fires, first write a torn record to the
+        /// segment (crash mid-append).
+        chaos_torn_write: bool,
+        /// Chaos: stop heartbeating from the Nth claimed shard onward.
+        chaos_suppress_at: Option<u64>,
+    },
+    /// Run the coordinator for a `simulate` campaign checkpoint: merge
+    /// worker segments into the shard journal, expire dead workers'
+    /// leases, quarantine poisoned shards, and materialize the output
+    /// artifacts once every shard commits. Workers attach separately with
+    /// `worker`, or are spawned here with `--workers`.
+    Coordinate {
+        /// The shared checkpoint directory of the campaign.
+        checkpoint_dir: PathBuf,
+        /// Worker child processes to spawn (0 = attach-only).
+        workers: usize,
     },
     /// Convert between formats.
     Convert {
@@ -186,11 +228,14 @@ USAGE:
                            [--lane-width auto|N]
                            [--max-retries N] [--member-budget STEPS]
                            [--checkpoint-dir DIR] [--shard-size N]
+                           [--workers N]
   paraspace-cli ensemble <model_dir> [--simulator NAME] [--replicates N]
                            [--seed S] [--member M] [--threads N]
                            [--lane-width auto|N] [--out DIR]
                            [--checkpoint-dir DIR] [--shard-size N]
-  paraspace-cli resume <checkpoint_dir>
+  paraspace-cli resume <checkpoint_dir> [--workers N]
+  paraspace-cli worker <checkpoint_dir> [--worker-id ID]
+  paraspace-cli coordinate <checkpoint_dir> [--workers N]
   paraspace-cli convert <from> <to>          (BioSimWare dir ↔ .xml)
   paraspace-cli generate --species N --reactions M [--seed S] <out_dir>
   paraspace-cli recommend --species N --reactions M --sims S
@@ -231,7 +276,20 @@ checkpoints, and `paraspace-cli resume DIR` continues from the last
 committed shard. Output files are written only once all shards commit and
 are byte-identical to an uninterrupted run. Resume refuses a checkpoint
 whose model, tolerances, engine, thread, or lane-width configuration
-changed.";
+changed.
+
+--workers N turns a durable `simulate` into a fault-tolerant multi-process
+run: the parent becomes the coordinator and spawns N `worker` processes
+that claim shard leases against the shared checkpoint directory. A worker
+that is SIGKILLed, hangs, or stalls misses its heartbeat deadline; its
+shard is reassigned after a capped exponential backoff, and a shard that
+kills several distinct workers is quarantined (journaled as a poisoned
+outcome with its failure taxonomy; the campaign completes degraded).
+Workers may also be attached by hand (`paraspace-cli worker DIR`, e.g.
+from other terminals) against a `coordinate DIR` process. Artifacts are
+byte-identical to a single-process run at any worker count, crash
+pattern, or reassignment order. Worker count is not world-defining:
+resume with any --workers value.";
 
 fn parse_flag<T: std::str::FromStr>(
     args: &[String],
@@ -268,6 +326,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let mut member_budget = None;
             let mut checkpoint_dir = None;
             let mut shard_size = DEFAULT_SHARD_SIZE;
+            let mut workers = 0usize;
             let mut i = 1;
             while i < args.len() {
                 match args[i].as_str() {
@@ -313,12 +372,16 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                             .inspect(|_| i += 1)
                     }
                     "--shard-size" => shard_size = parse_flag(args, &mut i, "--shard-size")?,
+                    "--workers" => workers = parse_flag(args, &mut i, "--workers")?,
                     other if !other.starts_with("--") && model_dir.is_none() => {
                         model_dir = Some(PathBuf::from(other));
                     }
                     other => return Err(CliError(format!("unexpected argument {other:?}"))),
                 }
                 i += 1;
+            }
+            if workers > 0 && checkpoint_dir.is_none() {
+                return Err(CliError("--workers needs --checkpoint-dir".into()));
             }
             Ok(Command::Simulate {
                 model_dir: model_dir
@@ -334,6 +397,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 member_budget,
                 checkpoint_dir,
                 shard_size,
+                workers,
             })
         }
         "ensemble" => {
@@ -410,10 +474,77 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             })
         }
         "resume" => {
-            if args.len() != 2 {
-                return Err(CliError("resume needs exactly <checkpoint_dir>".into()));
+            let mut checkpoint_dir = None;
+            let mut workers = 0usize;
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--workers" => workers = parse_flag(args, &mut i, "--workers")?,
+                    other if !other.starts_with("--") && checkpoint_dir.is_none() => {
+                        checkpoint_dir = Some(PathBuf::from(other));
+                    }
+                    other => return Err(CliError(format!("unexpected argument {other:?}"))),
+                }
+                i += 1;
             }
-            Ok(Command::Resume { checkpoint_dir: PathBuf::from(&args[1]) })
+            Ok(Command::Resume {
+                checkpoint_dir: checkpoint_dir
+                    .ok_or_else(|| CliError("resume needs a checkpoint directory".into()))?,
+                workers,
+            })
+        }
+        "worker" => {
+            let mut checkpoint_dir = None;
+            let mut worker_id = None;
+            let mut chaos_kill_at = None;
+            let mut chaos_torn_write = false;
+            let mut chaos_suppress_at = None;
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--worker-id" => worker_id = Some(parse_flag(args, &mut i, "--worker-id")?),
+                    "--chaos-kill-at" => {
+                        chaos_kill_at = Some(parse_flag(args, &mut i, "--chaos-kill-at")?)
+                    }
+                    "--chaos-torn-write" => chaos_torn_write = true,
+                    "--chaos-suppress-at" => {
+                        chaos_suppress_at = Some(parse_flag(args, &mut i, "--chaos-suppress-at")?)
+                    }
+                    other if !other.starts_with("--") && checkpoint_dir.is_none() => {
+                        checkpoint_dir = Some(PathBuf::from(other));
+                    }
+                    other => return Err(CliError(format!("unexpected argument {other:?}"))),
+                }
+                i += 1;
+            }
+            Ok(Command::Worker {
+                checkpoint_dir: checkpoint_dir
+                    .ok_or_else(|| CliError("worker needs a checkpoint directory".into()))?,
+                worker_id,
+                chaos_kill_at,
+                chaos_torn_write,
+                chaos_suppress_at,
+            })
+        }
+        "coordinate" => {
+            let mut checkpoint_dir = None;
+            let mut workers = 0usize;
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--workers" => workers = parse_flag(args, &mut i, "--workers")?,
+                    other if !other.starts_with("--") && checkpoint_dir.is_none() => {
+                        checkpoint_dir = Some(PathBuf::from(other));
+                    }
+                    other => return Err(CliError(format!("unexpected argument {other:?}"))),
+                }
+                i += 1;
+            }
+            Ok(Command::Coordinate {
+                checkpoint_dir: checkpoint_dir
+                    .ok_or_else(|| CliError("coordinate needs a checkpoint directory".into()))?,
+                workers,
+            })
         }
         "convert" => {
             if args.len() != 3 {
@@ -669,8 +800,29 @@ pub fn execute_with_cancel(
             }
             Ok(())
         }
+        Command::Simulate { checkpoint_dir: Some(dir), workers, .. } if *workers > 0 => {
+            simulate_dispatched(cmd, dir, *workers, out, cancel)
+        }
         Command::Simulate { checkpoint_dir: Some(dir), .. } => {
             simulate_durable(cmd, dir, out, cancel)
+        }
+        Command::Worker {
+            checkpoint_dir,
+            worker_id,
+            chaos_kill_at,
+            chaos_torn_write,
+            chaos_suppress_at,
+        } => {
+            let chaos = WorkerChaos {
+                kill_at_ordinal: *chaos_kill_at,
+                torn_write_on_kill: *chaos_torn_write,
+                suppress_heartbeat_at: *chaos_suppress_at,
+                ..WorkerChaos::default()
+            };
+            run_worker(checkpoint_dir, worker_id.as_deref(), &chaos, out, cancel)
+        }
+        Command::Coordinate { checkpoint_dir, workers } => {
+            run_coordinator(checkpoint_dir, *workers, out, cancel)
         }
         Command::Simulate {
             model_dir,
@@ -775,7 +927,7 @@ pub fn execute_with_cancel(
                 ))),
             }
         }
-        Command::Resume { checkpoint_dir } => {
+        Command::Resume { checkpoint_dir, workers } => {
             let manifest = CampaignManifest::read(&checkpoint_dir.join(MANIFEST_FILE))?;
             if manifest.kind() == "ensemble" {
                 return resume_ensemble(checkpoint_dir, &manifest, out, cancel);
@@ -787,41 +939,55 @@ pub fn execute_with_cancel(
                     manifest.kind()
                 )));
             }
-            let field = |key: &str| {
-                manifest
-                    .field(key)
-                    .map(str::to_string)
-                    .ok_or_else(|| CliError(format!("checkpoint manifest is missing {key:?}")))
-            };
-            fn parse_field<T: std::str::FromStr>(key: &str, v: String) -> Result<T, CliError> {
-                v.parse().map_err(|_| CliError(format!("malformed manifest field {key:?}: {v:?}")))
-            }
-            let out_dir = field("out_dir")?;
-            let member_budget = match field("member_budget")?.as_str() {
-                "none" => None,
-                v => Some(parse_field("member_budget", v.to_string())?),
-            };
-            let lane_width = match field("world.lane_width")?.as_str() {
-                "auto" => None,
-                v => Some(parse_field("world.lane_width", v.to_string())?),
-            };
-            let cmd = Command::Simulate {
-                model_dir: PathBuf::from(field("model_dir")?),
-                engine: field("world.engine")?,
-                out_dir: if out_dir.is_empty() { None } else { Some(PathBuf::from(out_dir)) },
-                batch: parse_field("batch", field("batch")?)?,
-                rtol: parse_field("rtol", field("rtol")?)?,
-                atol: parse_field("atol", field("atol")?)?,
-                threads: parse_field("world.threads", field("world.threads")?)?,
-                lane_width,
-                max_retries: parse_field("max_retries", field("max_retries")?)?,
-                member_budget,
-                checkpoint_dir: Some(checkpoint_dir.clone()),
-                shard_size: parse_field("shard_size", field("shard_size")?)?,
-            };
+            let cmd = simulate_cmd_from_manifest(checkpoint_dir, &manifest, *workers)?;
             execute_with_cancel(&cmd, out, cancel)
         }
     }
+}
+
+/// Reconstructs the `simulate` command a `cli-simulate` checkpoint was
+/// created with, from its manifest fields — the single source of truth
+/// shared by `resume`, `worker`, and `coordinate`, so every attached
+/// process resolves the exact same world. `workers` is not world-defining
+/// and may differ between the original run and any resume.
+fn simulate_cmd_from_manifest(
+    checkpoint_dir: &Path,
+    manifest: &CampaignManifest,
+    workers: usize,
+) -> Result<Command, CliError> {
+    let field = |key: &str| {
+        manifest
+            .field(key)
+            .map(str::to_string)
+            .ok_or_else(|| CliError(format!("checkpoint manifest is missing {key:?}")))
+    };
+    fn parse_field<T: std::str::FromStr>(key: &str, v: String) -> Result<T, CliError> {
+        v.parse().map_err(|_| CliError(format!("malformed manifest field {key:?}: {v:?}")))
+    }
+    let out_dir = field("out_dir")?;
+    let member_budget = match field("member_budget")?.as_str() {
+        "none" => None,
+        v => Some(parse_field("member_budget", v.to_string())?),
+    };
+    let lane_width = match field("world.lane_width")?.as_str() {
+        "auto" => None,
+        v => Some(parse_field("world.lane_width", v.to_string())?),
+    };
+    Ok(Command::Simulate {
+        model_dir: PathBuf::from(field("model_dir")?),
+        engine: field("world.engine")?,
+        out_dir: if out_dir.is_empty() { None } else { Some(PathBuf::from(out_dir)) },
+        batch: parse_field("batch", field("batch")?)?,
+        rtol: parse_field("rtol", field("rtol")?)?,
+        atol: parse_field("atol", field("atol")?)?,
+        threads: parse_field("world.threads", field("world.threads")?)?,
+        lane_width,
+        max_retries: parse_field("max_retries", field("max_retries")?)?,
+        member_budget,
+        checkpoint_dir: Some(checkpoint_dir.to_path_buf()),
+        shard_size: parse_field("shard_size", field("shard_size")?)?,
+        workers,
+    })
 }
 
 /// The `ensemble` command's resolved configuration (shared by the fresh
@@ -954,11 +1120,11 @@ fn run_ensemble<S: StochasticSimulator + Sync>(
                 &checkpoint,
             ) {
                 Ok(r) => r,
-                Err(CampaignError::Interrupted { completed, shards }) => {
+                Err(CampaignError::Interrupted { completed, shards, checkpoint_dir }) => {
                     writeln!(
                         out,
                         "interrupted: {completed}/{shards} shards committed to {}",
-                        dir.display()
+                        checkpoint_dir.display()
                     )?;
                     return Err(CliError(format!(
                         "interrupted — resume with `paraspace-cli resume {}`",
@@ -1030,84 +1196,135 @@ fn resume_ensemble(
     execute_with_cancel(&cmd, out, cancel)
 }
 
-/// The durable `simulate` path: decompose the batch into numbered shards,
-/// journal each completed shard's artifacts (output-file bytes and billed
-/// time) in the checkpoint directory, and write the output files only once
-/// every shard has committed — so a killed run resumes from the last
-/// committed shard and produces byte-identical artifacts.
-fn simulate_durable(
-    cmd: &Command,
-    dir: &Path,
-    out: &mut dyn std::io::Write,
-    cancel: &CancelToken,
-) -> Result<(), CliError> {
-    let Command::Simulate {
-        model_dir,
-        engine: engine_name,
-        out_dir,
-        batch,
-        rtol,
-        atol,
-        threads,
-        lane_width,
-        max_retries,
-        member_budget,
-        shard_size,
-        ..
-    } = cmd
-    else {
-        unreachable!("simulate_durable is only called for Simulate commands");
-    };
-    let shard_size = (*shard_size).max(1);
-    let model = biosimware::read_dir(model_dir)?;
-    let time_points =
-        biosimware::read_time_points(model_dir).unwrap_or_else(|_| vec![1.0, 2.0, 5.0, 10.0]);
-    let mut parameterizations = biosimware::read_parameterizations(&model, model_dir)?;
-    if parameterizations.is_empty() {
-        parameterizations = (0..*batch).map(|_| Parameterization::new()).collect();
+/// Everything a durable `simulate` shard executor needs, resolved once.
+/// Shard payload bytes are a pure function of (world, shard id): the
+/// original process, the coordinator, and `worker` processes rebuilt from
+/// the manifest all execute shards through the same world, which is what
+/// makes multi-process artifacts byte-identical to single-process runs.
+struct SimulateWorld {
+    model: paraspace_rbm::ReactionBasedModel,
+    time_points: Vec<f64>,
+    parameterizations: Vec<Parameterization>,
+    options: SolverOptions,
+    recovery: RecoveryPolicy,
+    engine_name: String,
+    threads: usize,
+    lane_width: Option<usize>,
+    shard_size: usize,
+    model_dir: PathBuf,
+    out_dir: Option<PathBuf>,
+    manifest: CampaignManifest,
+}
+
+impl SimulateWorld {
+    /// Resolves a `Simulate` command: reads the model, expands the batch,
+    /// and pins the campaign manifest (digests plus resume fields).
+    fn load(cmd: &Command) -> Result<Self, CliError> {
+        let Command::Simulate {
+            model_dir,
+            engine: engine_name,
+            out_dir,
+            batch,
+            rtol,
+            atol,
+            threads,
+            lane_width,
+            max_retries,
+            member_budget,
+            shard_size,
+            ..
+        } = cmd
+        else {
+            unreachable!("SimulateWorld::load is only called for Simulate commands");
+        };
+        // Surface an unknown engine name before any checkpoint exists.
+        engine_by_name(engine_name, 1, None, RecoveryPolicy::default(), &CancelToken::new())?;
+        let shard_size = (*shard_size).max(1);
+        let model = biosimware::read_dir(model_dir)?;
+        let time_points =
+            biosimware::read_time_points(model_dir).unwrap_or_else(|_| vec![1.0, 2.0, 5.0, 10.0]);
+        let mut parameterizations = biosimware::read_parameterizations(&model, model_dir)?;
+        if parameterizations.is_empty() {
+            parameterizations = (0..*batch).map(|_| Parameterization::new()).collect();
+        }
+        let options = SolverOptions {
+            rel_tol: *rtol,
+            abs_tol: *atol,
+            max_steps: 100_000,
+            ..SolverOptions::default()
+        };
+        let recovery = RecoveryPolicy {
+            max_relaxations: *max_retries,
+            step_budget: *member_budget,
+            ..RecoveryPolicy::default()
+        };
+        let shards = parameterizations.chunks(shard_size).len() as u64;
+        let manifest = CampaignManifest::new("cli-simulate", shards)
+            .with_digest("model", model_digest(&model))
+            .with_digest("times", f64s_digest(&time_points))
+            .with_digest("options", options_digest(&options))
+            .with_field("model_dir", model_dir.display().to_string())
+            .with_field(
+                "out_dir",
+                out_dir.as_ref().map(|p| p.display().to_string()).unwrap_or_default(),
+            )
+            .with_field("batch", batch.to_string())
+            .with_field("rtol", rtol.to_string())
+            .with_field("atol", atol.to_string())
+            .with_field("max_retries", max_retries.to_string())
+            .with_field(
+                "member_budget",
+                member_budget.map_or("none".to_string(), |b| b.to_string()),
+            )
+            .with_field("shard_size", shard_size.to_string());
+        Ok(SimulateWorld {
+            model,
+            time_points,
+            parameterizations,
+            options,
+            recovery,
+            engine_name: engine_name.clone(),
+            threads: *threads,
+            lane_width: *lane_width,
+            shard_size,
+            model_dir: model_dir.clone(),
+            out_dir: out_dir.clone(),
+            manifest,
+        })
     }
-    let n_sims = parameterizations.len();
-    let options = SolverOptions {
-        rel_tol: *rtol,
-        abs_tol: *atol,
-        max_steps: 100_000,
-        ..SolverOptions::default()
-    };
-    let recovery = RecoveryPolicy {
-        max_relaxations: *max_retries,
-        step_budget: *member_budget,
-        ..RecoveryPolicy::default()
-    };
-    let engine = engine_by_name(engine_name, *threads, *lane_width, recovery, cancel)?;
 
-    let chunks: Vec<&[Parameterization]> = parameterizations.chunks(shard_size).collect();
-    let manifest = CampaignManifest::new("cli-simulate", chunks.len() as u64)
-        .with_digest("model", model_digest(&model))
-        .with_digest("times", f64s_digest(&time_points))
-        .with_digest("options", options_digest(&options))
-        .with_field("model_dir", model_dir.display().to_string())
-        .with_field(
-            "out_dir",
-            out_dir.as_ref().map(|p| p.display().to_string()).unwrap_or_default(),
-        )
-        .with_field("batch", batch.to_string())
-        .with_field("rtol", rtol.to_string())
-        .with_field("atol", atol.to_string())
-        .with_field("max_retries", max_retries.to_string())
-        .with_field("member_budget", member_budget.map_or("none".to_string(), |b| b.to_string()))
-        .with_field("shard_size", shard_size.to_string());
-    let checkpoint = Checkpoint::new(dir)
-        .with_cancel(cancel.clone())
-        .with_world("engine", engine_name.clone())
-        .with_world("threads", threads.to_string())
-        .with_world("lane_width", lane_width.map_or_else(|| "auto".to_string(), |w| w.to_string()));
+    /// The checkpoint with this world's manifest-defining fields attached.
+    fn checkpoint(&self, dir: &Path, cancel: &CancelToken) -> Checkpoint {
+        Checkpoint::new(dir)
+            .with_cancel(cancel.clone())
+            .with_world("engine", self.engine_name.clone())
+            .with_world("threads", self.threads.to_string())
+            .with_world(
+                "lane_width",
+                self.lane_width.map_or_else(|| "auto".to_string(), |w| w.to_string()),
+            )
+    }
 
-    let journaled = run_journaled(&checkpoint, manifest, |shard| {
-        let chunk = chunks[shard as usize];
-        let job = match SimulationJob::builder(&model)
-            .time_points(time_points.clone())
+    /// An engine wired to `cancel` (validated at [`load`](Self::load)).
+    fn engine(&self, cancel: &CancelToken) -> Box<dyn Simulator> {
+        engine_by_name(&self.engine_name, self.threads, self.lane_width, self.recovery, cancel)
+            .expect("engine name was validated when the world was loaded")
+    }
+
+    /// The parameterizations of one shard.
+    fn chunk(&self, shard: u64) -> &[Parameterization] {
+        self.parameterizations.chunks(self.shard_size).nth(shard as usize).unwrap_or(&[])
+    }
+
+    /// Executes one shard and encodes its journal payload — the shared
+    /// executor behind `run_journaled`, the coordinator, and every
+    /// attached worker.
+    fn shard_payload(&self, engine: &dyn Simulator, shard: u64) -> Result<Vec<u8>, CampaignError> {
+        let chunk = self.chunk(shard);
+        let job = match SimulationJob::builder(&self.model)
+            .time_points(self.time_points.clone())
             .parameterizations(chunk.to_vec())
-            .options(options.clone())
+            .options(self.options.clone())
             .build()
         {
             Ok(job) => job,
@@ -1155,14 +1372,105 @@ fn simulate_durable(
             io_ns: result.timing.simulated_io_ns,
         }
         .encode())
+    }
+
+    /// The journaled payload for a quarantined shard: every member fails
+    /// with the `quarantined` taxonomy and a report of the deaths that
+    /// condemned the shard, so the campaign completes degraded with the
+    /// failure visible in the ordinary `.err` artifacts.
+    fn poison_payload(&self, shard: u64, state: &RetryState) -> Vec<u8> {
+        let workers: Vec<&str> = state.workers.iter().map(String::as_str).collect();
+        let body = format!(
+            "error: shard {shard} quarantined after {} worker deaths by {} distinct workers\n\
+             taxonomy: quarantined\nworkers: {}\nreasons: {}\n",
+            state.deaths,
+            state.workers.len(),
+            workers.join(", "),
+            state.reasons.join(", "),
+        );
+        let members = self
+            .chunk(shard)
+            .iter()
+            .map(|_| MemberRecord { ok: false, label: "quarantined".into(), body: body.clone() })
+            .collect();
+        ShardOutcome { members, total_ns: 0.0, integration_ns: 0.0, io_ns: 0.0 }.encode()
+    }
+
+    /// Writes the per-member output files from committed shard payloads
+    /// and prints the batch summary. Pure function of the payloads, so
+    /// every execution mode materializes byte-identical artifacts.
+    fn materialize(
+        &self,
+        payloads: &[Vec<u8>],
+        label: &str,
+        out: &mut dyn std::io::Write,
+    ) -> Result<PathBuf, CliError> {
+        let out_path = self.out_dir.clone().unwrap_or_else(|| self.model_dir.join("out"));
+        std::fs::create_dir_all(&out_path)?;
+        let n_sims = self.parameterizations.len();
+        let mut ok_count = 0usize;
+        let mut total_ns = 0.0f64;
+        let mut integration_ns = 0.0f64;
+        let mut io_ns = 0.0f64;
+        let mut label_counts: std::collections::BTreeMap<String, usize> = Default::default();
+        let mut index = 0usize;
+        for payload in payloads {
+            let shard = ShardOutcome::decode(payload)?;
+            for m in &shard.members {
+                let ext = if m.ok { "tsv" } else { "err" };
+                std::fs::write(out_path.join(format!("dynamics_{index:05}.{ext}")), &m.body)?;
+                if m.ok {
+                    ok_count += 1;
+                } else {
+                    *label_counts.entry(m.label.clone()).or_default() += 1;
+                }
+                index += 1;
+            }
+            total_ns += shard.total_ns;
+            integration_ns += shard.integration_ns;
+            io_ns += shard.io_ns;
+        }
+        writeln!(
+            out,
+            "{label}: {ok_count}/{n_sims} simulations ok; simulated {:.3} ms (integration {:.3} ms, i/o {:.3} ms)",
+            total_ns / 1e6,
+            integration_ns / 1e6,
+            io_ns / 1e6,
+        )?;
+        if !label_counts.is_empty() {
+            let parts: Vec<String> =
+                label_counts.iter().map(|(label, n)| format!("{label} x{n}")).collect();
+            writeln!(out, "failures: {}", parts.join(", "))?;
+        }
+        Ok(out_path)
+    }
+}
+
+/// The durable `simulate` path: decompose the batch into numbered shards,
+/// journal each completed shard's artifacts (output-file bytes and billed
+/// time) in the checkpoint directory, and write the output files only once
+/// every shard has committed — so a killed run resumes from the last
+/// committed shard and produces byte-identical artifacts.
+fn simulate_durable(
+    cmd: &Command,
+    dir: &Path,
+    out: &mut dyn std::io::Write,
+    cancel: &CancelToken,
+) -> Result<(), CliError> {
+    let world = SimulateWorld::load(cmd)?;
+    let checkpoint = world.checkpoint(dir, cancel);
+    let engine = world.engine(cancel);
+
+    let journaled = run_journaled(&checkpoint, world.manifest.clone(), |shard| {
+        world.shard_payload(engine.as_ref(), shard)
     });
     let (payloads, report) = match journaled {
         Ok(r) => r,
-        Err(CampaignError::Interrupted { completed, shards }) => {
+        Err(CampaignError::Interrupted { completed, shards, checkpoint_dir }) => {
             writeln!(
                 out,
                 "interrupted: {completed}/{shards} shards committed to {}",
-                dir.display()
+                checkpoint_dir.display()
             )?;
             return Err(CliError(format!(
                 "interrupted — resume with `paraspace-cli resume {}`",
@@ -1173,42 +1481,8 @@ fn simulate_durable(
     };
 
     // Every shard is committed: materialize the artifacts.
-    let out_path = out_dir.clone().unwrap_or_else(|| model_dir.join("out"));
-    std::fs::create_dir_all(&out_path)?;
-    let mut ok_count = 0usize;
-    let mut total_ns = 0.0f64;
-    let mut integration_ns = 0.0f64;
-    let mut io_ns = 0.0f64;
-    let mut label_counts: std::collections::BTreeMap<String, usize> = Default::default();
-    let mut index = 0usize;
-    for payload in &payloads {
-        let shard = ShardOutcome::decode(payload)?;
-        for m in &shard.members {
-            let ext = if m.ok { "tsv" } else { "err" };
-            std::fs::write(out_path.join(format!("dynamics_{index:05}.{ext}")), &m.body)?;
-            if m.ok {
-                ok_count += 1;
-            } else {
-                *label_counts.entry(m.label.clone()).or_default() += 1;
-            }
-            index += 1;
-        }
-        total_ns += shard.total_ns;
-        integration_ns += shard.integration_ns;
-        io_ns += shard.io_ns;
-    }
-    writeln!(
-        out,
-        "{engine_name} (durable): {ok_count}/{n_sims} simulations ok; simulated {:.3} ms (integration {:.3} ms, i/o {:.3} ms)",
-        total_ns / 1e6,
-        integration_ns / 1e6,
-        io_ns / 1e6,
-    )?;
-    if !label_counts.is_empty() {
-        let parts: Vec<String> =
-            label_counts.iter().map(|(label, n)| format!("{label} x{n}")).collect();
-        writeln!(out, "failures: {}", parts.join(", "))?;
-    }
+    let label = format!("{} (durable)", world.engine_name);
+    let out_path = world.materialize(&payloads, &label, out)?;
     writeln!(
         out,
         "checkpoint: {} shards ({} replayed, {} executed{})",
@@ -1222,6 +1496,211 @@ fn simulate_durable(
         },
     )?;
     writeln!(out, "dynamics written to {}", out_path.display())?;
+    Ok(())
+}
+
+/// The multi-process durable `simulate` path: this process becomes the
+/// coordinator and spawns `workers` child `worker` processes against the
+/// checkpoint directory.
+fn simulate_dispatched(
+    cmd: &Command,
+    dir: &Path,
+    workers: usize,
+    out: &mut dyn std::io::Write,
+    cancel: &CancelToken,
+) -> Result<(), CliError> {
+    let world = SimulateWorld::load(cmd)?;
+    let checkpoint = world.checkpoint(dir, cancel);
+    coordinate_processes(&world, &checkpoint, workers, out)
+}
+
+/// The `coordinate` subcommand: rebuild the world from an existing
+/// checkpoint manifest and run the coordinator over it, optionally
+/// spawning worker children (others may attach with `worker`).
+fn run_coordinator(
+    dir: &Path,
+    workers: usize,
+    out: &mut dyn std::io::Write,
+    cancel: &CancelToken,
+) -> Result<(), CliError> {
+    let manifest = CampaignManifest::read(&dir.join(MANIFEST_FILE))?;
+    if manifest.kind() != "cli-simulate" {
+        return Err(CliError(format!(
+            "checkpoint at {} is a {:?} campaign; only `simulate` campaigns dispatch to workers",
+            dir.display(),
+            manifest.kind()
+        )));
+    }
+    let cmd = simulate_cmd_from_manifest(dir, &manifest, workers)?;
+    let world = SimulateWorld::load(&cmd)?;
+    let checkpoint = world.checkpoint(dir, cancel);
+    coordinate_processes(&world, &checkpoint, workers, out)
+}
+
+/// The coordinator over worker *processes*: write the manifest, spawn
+/// worker children running the `worker` subcommand against the same
+/// checkpoint directory, run the merge/expiry/quarantine loop, and
+/// materialize the artifacts once every shard commits. When every child
+/// has died and shards remain, a replacement is spawned (bounded), so a
+/// campaign survives SIGKILL of any or all of its workers.
+fn coordinate_processes(
+    world: &SimulateWorld,
+    checkpoint: &Checkpoint,
+    spawn_workers: usize,
+    out: &mut dyn std::io::Write,
+) -> Result<(), CliError> {
+    // The manifest must be on disk before the first child starts: workers
+    // rebuild their world from it.
+    let full_manifest = checkpoint.apply_world(world.manifest.clone());
+    drop(Journal::open_or_create(checkpoint.dir(), &full_manifest)?);
+
+    let spawn_child = |id: &str| -> std::io::Result<std::process::Child> {
+        std::process::Command::new(std::env::current_exe()?)
+            .arg("worker")
+            .arg(checkpoint.dir())
+            .arg("--worker-id")
+            .arg(id)
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null())
+            .spawn()
+    };
+    // Worker ids embed this coordinator's pid and a sequence number so
+    // every incarnation (including respawns and coordinator restarts) is
+    // unique — a successor reusing a dead worker's id would keep the dead
+    // worker's orphaned lease looking alive with its own heartbeats.
+    let pid = std::process::id();
+    let seq = std::cell::Cell::new(0u64);
+    let next_id = |prefix: &str| {
+        let n = seq.get();
+        seq.set(n + 1);
+        format!("{prefix}{n}-{pid}")
+    };
+    let children = RefCell::new(Vec::new());
+    for _ in 0..spawn_workers {
+        children.borrow_mut().push(spawn_child(&next_id("w"))?);
+    }
+    let respawned = std::cell::Cell::new(0u64);
+    let respawn_cap = (spawn_workers as u64).max(1) * 4;
+
+    let config = DispatchConfig::default();
+    let result = coordinate(
+        checkpoint,
+        world.manifest.clone(),
+        &config,
+        |shard, state| world.poison_payload(shard, state),
+        |status| {
+            let mut cs = children.borrow_mut();
+            cs.retain_mut(|c| !matches!(c.try_wait(), Ok(Some(_))));
+            if spawn_workers > 0 && cs.is_empty() && status.committed < status.shards {
+                if respawned.get() >= respawn_cap {
+                    return TickDirective::GiveUp;
+                }
+                respawned.set(respawned.get() + 1);
+                if let Ok(c) = spawn_child(&next_id("r")) {
+                    cs.push(c);
+                }
+            }
+            TickDirective::Continue
+        },
+    );
+
+    let mut cs = children.into_inner();
+    match result {
+        Ok((payloads, report)) => {
+            // Children observe completion through the shard log and exit
+            // on their own; reap them so none outlive the campaign.
+            for c in &mut cs {
+                let _ = c.wait();
+            }
+            let label = format!("{} (dispatched)", world.engine_name);
+            let out_path = world.materialize(&payloads, &label, out)?;
+            writeln!(
+                out,
+                "dispatch: {} shards ({} recovered, {} merged); {} reassignments; {} worker segments",
+                report.shards, report.recovered, report.merged, report.reassignments,
+                report.workers_seen,
+            )?;
+            if !report.quarantined.is_empty() {
+                writeln!(
+                    out,
+                    "quarantined shards {:?}: journaled as poisoned outcomes; campaign completed degraded",
+                    report.quarantined,
+                )?;
+            }
+            writeln!(out, "dynamics written to {}", out_path.display())?;
+            Ok(())
+        }
+        Err(CampaignError::Interrupted { completed, shards, checkpoint_dir }) => {
+            for c in &mut cs {
+                let _ = c.kill();
+                let _ = c.wait();
+            }
+            writeln!(
+                out,
+                "interrupted: {completed}/{shards} shards committed to {}",
+                checkpoint_dir.display()
+            )?;
+            Err(CliError(format!(
+                "interrupted — resume with `paraspace-cli resume {}`",
+                checkpoint.dir().display()
+            )))
+        }
+        Err(e) => {
+            for c in &mut cs {
+                let _ = c.kill();
+                let _ = c.wait();
+            }
+            Err(e.into())
+        }
+    }
+}
+
+/// The `worker` subcommand: rebuild the world from the shared checkpoint's
+/// manifest, verify it matches what the coordinator pinned, and run the
+/// lease claim/execute/commit loop until the campaign completes (or this
+/// worker is cancelled, killed by chaos, or loses its heartbeat).
+fn run_worker(
+    dir: &Path,
+    worker_id: Option<&str>,
+    chaos: &WorkerChaos,
+    out: &mut dyn std::io::Write,
+    cancel: &CancelToken,
+) -> Result<(), CliError> {
+    let on_disk = CampaignManifest::read(&dir.join(MANIFEST_FILE))?;
+    if on_disk.kind() != "cli-simulate" {
+        return Err(CliError(format!(
+            "checkpoint at {} is a {:?} campaign; only `simulate` campaigns dispatch to workers",
+            dir.display(),
+            on_disk.kind()
+        )));
+    }
+    let cmd = simulate_cmd_from_manifest(dir, &on_disk, 0)?;
+    let world = SimulateWorld::load(&cmd)?;
+    // Guard against a world that drifted since the manifest was written
+    // (model files edited under the checkpoint, tolerances changed, ...).
+    let expected = world.checkpoint(dir, cancel).apply_world(world.manifest.clone());
+    on_disk.verify_matches(&expected)?;
+
+    let id = worker_id.map_or_else(|| format!("pid{}", std::process::id()), str::to_string);
+    let config = DispatchConfig::default();
+    let report =
+        worker_loop(dir, &id, world.manifest.shards(), &config, cancel, chaos, |shard, token| {
+            let engine = world.engine(token);
+            world.shard_payload(engine.as_ref(), shard)
+        })?;
+    writeln!(
+        out,
+        "worker {id}: executed {} shards ({} leases lost to reassignment)",
+        report.executed, report.lost_leases,
+    )?;
+    if report.died {
+        return Err(CliError(format!(
+            "worker {id} presumed dead (heartbeat lost) — its shard will be reassigned"
+        )));
+    }
+    if report.cancelled {
+        writeln!(out, "worker {id}: cancelled; released its lease")?;
+    }
     Ok(())
 }
 
@@ -1262,6 +1741,7 @@ mod tests {
                 member_budget,
                 checkpoint_dir,
                 shard_size,
+                workers,
             } => {
                 assert_eq!(model_dir, PathBuf::from("/tmp/model"));
                 assert_eq!(engine, "lsoda");
@@ -1275,6 +1755,7 @@ mod tests {
                 assert_eq!(member_budget, Some(5000));
                 assert_eq!(checkpoint_dir, Some(PathBuf::from("/tmp/ckpt")));
                 assert_eq!(shard_size, 16);
+                assert_eq!(workers, 0);
             }
             other => panic!("wrong parse: {other:?}"),
         }
@@ -1364,7 +1845,11 @@ mod tests {
     fn parse_resume() {
         assert_eq!(
             parse(&argv("resume /tmp/ckpt")).unwrap(),
-            Command::Resume { checkpoint_dir: PathBuf::from("/tmp/ckpt") }
+            Command::Resume { checkpoint_dir: PathBuf::from("/tmp/ckpt"), workers: 0 }
+        );
+        assert_eq!(
+            parse(&argv("resume /tmp/ckpt --workers 4")).unwrap(),
+            Command::Resume { checkpoint_dir: PathBuf::from("/tmp/ckpt"), workers: 4 }
         );
         assert!(parse(&argv("resume")).is_err());
         assert!(parse(&argv("resume /a /b")).is_err());
@@ -1419,6 +1904,7 @@ mod tests {
                 member_budget: None,
                 checkpoint_dir: None,
                 shard_size: DEFAULT_SHARD_SIZE,
+                workers: 0,
             },
             &mut log,
         )
@@ -1484,6 +1970,7 @@ mod tests {
             member_budget: None,
             checkpoint_dir: checkpoint,
             shard_size: 2,
+            workers: 0,
         }
     }
 
@@ -1541,7 +2028,7 @@ mod tests {
         .unwrap_err();
         assert!(err.to_string().contains("resume"), "interruption names the resume command: {err}");
         assert!(!model_c.join("out").exists(), "no artifacts before all shards commit");
-        execute(&Command::Resume { checkpoint_dir: ckpt_c.clone() }, &mut log).unwrap();
+        execute(&Command::Resume { checkpoint_dir: ckpt_c.clone(), workers: 0 }, &mut log).unwrap();
         assert_eq!(plain, read_outputs(&model_c.join("out")));
         let text = String::from_utf8(log).unwrap();
         assert!(text.contains("interrupted: 0/3 shards committed"), "log: {text}");
@@ -1723,7 +2210,7 @@ mod tests {
             execute_with_cancel(&ensemble_cmd(&model, Some(ckpt.clone()), 2), &mut log, &tripped)
                 .unwrap_err();
         assert!(err.to_string().contains("resume"), "{err}");
-        execute(&Command::Resume { checkpoint_dir: ckpt.clone() }, &mut log).unwrap();
+        execute(&Command::Resume { checkpoint_dir: ckpt.clone(), workers: 0 }, &mut log).unwrap();
         assert_eq!(reference, read_outputs(&model.join("ensemble")));
         let text = String::from_utf8_lossy(&log).into_owned();
         assert!(text.contains("ensemble (durable)"), "log: {text}");

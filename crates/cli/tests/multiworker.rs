@@ -1,0 +1,163 @@
+//! Process-level exercises of the fault-tolerant dispatch path: real
+//! coordinator and worker OS processes against a shared checkpoint
+//! directory, compared byte-for-byte against single-process runs.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_paraspace-cli"))
+}
+
+fn run_ok(args: &[&str]) -> String {
+    let out = bin().args(args).output().expect("spawn paraspace-cli");
+    assert!(
+        out.status.success(),
+        "`paraspace-cli {}` failed\nstdout: {}\nstderr: {}",
+        args.join(" "),
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn read_outputs(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    std::fs::read_dir(dir)
+        .unwrap_or_else(|e| panic!("read {}: {e}", dir.display()))
+        .map(|e| {
+            let e = e.unwrap();
+            (e.file_name().to_string_lossy().into_owned(), std::fs::read(e.path()).unwrap())
+        })
+        .collect()
+}
+
+fn temp_base(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("paraspace_mw_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn generate(model: &Path) {
+    run_ok(&["generate", "--species", "6", "--reactions", "8", "--seed", "3", &path(model)]);
+}
+
+fn path(p: &Path) -> String {
+    p.display().to_string()
+}
+
+#[test]
+fn multiworker_simulate_is_byte_identical_to_single_process() {
+    let base = temp_base("identity");
+    let model_a = base.join("model_a");
+    let model_b = base.join("model_b");
+    generate(&model_a);
+    generate(&model_b);
+
+    let single = [
+        "simulate",
+        &path(&model_a),
+        "--engine",
+        "lsoda",
+        "--batch",
+        "12",
+        "--shard-size",
+        "1",
+        "--checkpoint-dir",
+        &path(&base.join("ckpt1")),
+    ];
+    run_ok(&single);
+
+    let multi = [
+        "simulate",
+        &path(&model_b),
+        "--engine",
+        "lsoda",
+        "--batch",
+        "12",
+        "--shard-size",
+        "1",
+        "--checkpoint-dir",
+        &path(&base.join("ckpt2")),
+        "--workers",
+        "3",
+    ];
+    let stdout = run_ok(&multi);
+    assert!(stdout.contains("dispatched"), "stdout: {stdout}");
+
+    let reference = read_outputs(&model_a.join("out"));
+    let dispatched = read_outputs(&model_b.join("out"));
+    assert_eq!(reference.len(), 12);
+    assert_eq!(
+        reference, dispatched,
+        "3-worker artifacts must be byte-identical to the single-process run"
+    );
+    std::fs::remove_dir_all(&base).ok();
+}
+
+#[test]
+fn chaos_killed_attached_worker_does_not_corrupt_the_campaign() {
+    let base = temp_base("chaos");
+    let model_a = base.join("model_a");
+    let model_b = base.join("model_b");
+    generate(&model_a);
+    generate(&model_b);
+
+    run_ok(&[
+        "simulate",
+        &path(&model_a),
+        "--engine",
+        "lsoda",
+        "--batch",
+        "12",
+        "--shard-size",
+        "1",
+        "--checkpoint-dir",
+        &path(&base.join("ckpt1")),
+    ]);
+
+    // Start a 1-worker dispatched campaign, then attach a chaos worker
+    // that dies (heartbeat and all, lease left behind) on its first claim.
+    // The coordinator must expire the orphaned lease, reassign the shard,
+    // and still finish with exact artifacts.
+    let ckpt2 = base.join("ckpt2");
+    let mut campaign = bin()
+        .args([
+            "simulate",
+            &path(&model_b),
+            "--engine",
+            "lsoda",
+            "--batch",
+            "12",
+            "--shard-size",
+            "1",
+            "--checkpoint-dir",
+            &path(&ckpt2),
+            "--workers",
+            "1",
+        ])
+        .spawn()
+        .expect("spawn campaign");
+
+    // The manifest appears once the coordinator initializes the journal.
+    let manifest = ckpt2.join("manifest");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !manifest.exists() {
+        assert!(Instant::now() < deadline, "manifest never appeared");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    // The chaos worker races the real worker for a lease; whether or not
+    // it wins one, the campaign must complete exactly (if it claimed and
+    // died, the shard is reassigned after its lease expires).
+    let _ = bin()
+        .args(["worker", &path(&ckpt2), "--worker-id", "chaos-1", "--chaos-kill-at", "0"])
+        .output()
+        .expect("run chaos worker");
+
+    let status = campaign.wait().expect("campaign exit status");
+    assert!(status.success(), "campaign must survive the chaos worker");
+    assert_eq!(read_outputs(&model_a.join("out")), read_outputs(&model_b.join("out")));
+    std::fs::remove_dir_all(&base).ok();
+}

@@ -66,7 +66,7 @@
 
 use std::cell::UnsafeCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Default chunk of indices claimed per counter fetch.
@@ -122,13 +122,34 @@ pub fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// The executor checks the token only *between* items: work that has
 /// already been claimed runs to completion, so no member is ever observed
 /// half-integrated.
-#[derive(Debug, Clone, Default)]
+///
+/// # Deadlines
+///
+/// A token can also carry a shared **deadline** (UNIX milliseconds): once
+/// the wall clock passes it, [`is_cancelled`](Self::is_cancelled) reports
+/// true exactly as if [`cancel`](Self::cancel) had been called. This is the
+/// lease-protocol hook — a dispatch worker arms the deadline at its lease's
+/// heartbeat horizon and its heartbeat thread keeps pushing it forward with
+/// [`extend_deadline_ms`](Self::extend_deadline_ms); if heartbeats stop
+/// (suppressed, stalled, or the thread died), in-flight work drains at the
+/// deadline instead of racing a coordinator that already presumed the
+/// worker dead. With no deadline armed the check stays a single relaxed
+/// atomic load (no clock read), so plain cancellation tokens pay nothing.
+#[derive(Debug, Clone)]
 pub struct CancelToken {
     flag: Arc<AtomicBool>,
+    /// Shared deadline in UNIX ms; `u64::MAX` means "no deadline".
+    deadline_ms: Arc<AtomicU64>,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken { flag: Arc::default(), deadline_ms: Arc::new(AtomicU64::new(u64::MAX)) }
+    }
 }
 
 impl CancelToken {
-    /// A fresh, untripped token.
+    /// A fresh, untripped token with no deadline.
     #[must_use]
     pub fn new() -> Self {
         CancelToken::default()
@@ -138,7 +159,7 @@ impl CancelToken {
     /// handler).
     #[must_use]
     pub fn from_flag(flag: Arc<AtomicBool>) -> Self {
-        CancelToken { flag }
+        CancelToken { flag, deadline_ms: Arc::new(AtomicU64::new(u64::MAX)) }
     }
 
     /// Request cancellation. Idempotent, async-signal-safe, and visible to
@@ -147,11 +168,50 @@ impl CancelToken {
         self.flag.store(true, Ordering::Relaxed);
     }
 
-    /// True once cancellation has been requested.
+    /// Arm (or move) the shared deadline: past `epoch_ms` the token reads
+    /// as cancelled. Visible to every clone.
+    pub fn set_deadline_ms(&self, epoch_ms: u64) {
+        self.deadline_ms.store(epoch_ms, Ordering::Relaxed);
+    }
+
+    /// Push the deadline forward, never backward — the heartbeat idiom: a
+    /// late extension must not resurrect an already-expired token.
+    pub fn extend_deadline_ms(&self, epoch_ms: u64) {
+        self.deadline_ms.fetch_max(epoch_ms, Ordering::Relaxed);
+    }
+
+    /// Disarm the deadline, leaving explicit cancellation in effect.
+    pub fn clear_deadline(&self) {
+        self.deadline_ms.store(u64::MAX, Ordering::Relaxed);
+    }
+
+    /// The armed deadline (UNIX ms), if any.
+    #[must_use]
+    pub fn deadline_ms(&self) -> Option<u64> {
+        match self.deadline_ms.load(Ordering::Relaxed) {
+            u64::MAX => None,
+            d => Some(d),
+        }
+    }
+
+    /// True once cancellation has been requested or an armed deadline has
+    /// passed.
     #[must_use]
     pub fn is_cancelled(&self) -> bool {
-        self.flag.load(Ordering::Relaxed)
+        if self.flag.load(Ordering::Relaxed) {
+            return true;
+        }
+        let deadline = self.deadline_ms.load(Ordering::Relaxed);
+        deadline != u64::MAX && unix_now_ms() >= deadline
     }
+}
+
+/// Milliseconds since the UNIX epoch — the clock deadlines are measured
+/// against (the same clock the journal's lease heartbeats use).
+#[must_use]
+pub fn unix_now_ms() -> u64 {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    SystemTime::now().duration_since(UNIX_EPOCH).unwrap_or_default().as_millis() as u64
 }
 
 /// The batch was cancelled before every item completed; all partial
@@ -663,6 +723,46 @@ mod tests {
         a.cancel();
         assert!(b.is_cancelled());
         assert_eq!(Cancelled.to_string(), "batch cancelled before completion");
+    }
+
+    #[test]
+    fn deadline_trips_and_extends_like_a_heartbeat() {
+        let token = CancelToken::new();
+        assert_eq!(token.deadline_ms(), None);
+
+        // A deadline far in the future does not trip the token.
+        let now = unix_now_ms();
+        token.set_deadline_ms(now + 60_000);
+        assert!(!token.is_cancelled());
+        assert_eq!(token.deadline_ms(), Some(now + 60_000));
+
+        // A deadline in the past reads as cancelled — on every clone.
+        let clone = token.clone();
+        token.set_deadline_ms(now.saturating_sub(1));
+        assert!(token.is_cancelled());
+        assert!(clone.is_cancelled());
+
+        // Heartbeat extension only moves the deadline forward.
+        token.set_deadline_ms(now + 60_000);
+        token.extend_deadline_ms(now + 30_000);
+        assert_eq!(token.deadline_ms(), Some(now + 60_000), "never backward");
+        token.extend_deadline_ms(now + 90_000);
+        assert_eq!(token.deadline_ms(), Some(now + 90_000));
+
+        // Disarming restores a plain cancellation token.
+        token.clear_deadline();
+        assert_eq!(token.deadline_ms(), None);
+        assert!(!token.is_cancelled());
+        token.cancel();
+        assert!(token.is_cancelled(), "explicit cancel survives clear_deadline");
+    }
+
+    #[test]
+    fn expired_deadline_drains_a_batch_as_cancelled() {
+        let token = CancelToken::new();
+        token.set_deadline_ms(unix_now_ms().saturating_sub(10));
+        let result = Executor::new(4).try_map_with_cancel(64, &token, || (), |(), i: usize| i);
+        assert_eq!(result, Err(Cancelled));
     }
 
     #[test]

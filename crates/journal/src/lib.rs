@@ -22,7 +22,11 @@
 //! * [`codec`] — little-endian payload encode/decode helpers so campaign
 //!   drivers persist f64 results **bit-exactly** (resume must reproduce
 //!   the uninterrupted run byte for byte, which rules out decimal
-//!   round-trips).
+//!   round-trips);
+//! * [`lease`] — the multi-process distribution contract layered on the
+//!   same checkpoint directory: atomic shard leases, worker heartbeats,
+//!   per-worker journal segments sharing the record framing of
+//!   `shards.log`, and the coordinator's retry/quarantine ledger.
 //!
 //! The durability contract is *re-execution, not redo logging*: a commit
 //! that never reached the disk is equivalent to the shard never having
@@ -54,9 +58,11 @@
 //! ```
 
 mod manifest;
+mod record;
 mod shards;
 
 pub mod codec;
+pub mod lease;
 
 pub use manifest::CampaignManifest;
 pub use shards::{Journal, OpenReport, LOG_FILE, MANIFEST_FILE};

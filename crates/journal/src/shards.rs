@@ -21,19 +21,16 @@
 
 use std::collections::HashMap;
 use std::fs::{self, File, OpenOptions};
-use std::io::{Read, Write};
+use std::io::Write;
 use std::path::{Path, PathBuf};
 
-use crate::{fnv64, CampaignManifest, JournalError};
+use crate::record;
+use crate::{CampaignManifest, JournalError};
 
 /// File name of the campaign manifest inside a checkpoint directory.
 pub const MANIFEST_FILE: &str = "manifest";
 /// File name of the append-only shard log inside a checkpoint directory.
 pub const LOG_FILE: &str = "shards.log";
-
-/// Per-record size ceiling (64 MiB): far above any real shard payload, low
-/// enough that a corrupted length field can't drive a multi-gigabyte read.
-const MAX_PAYLOAD: u32 = 64 << 20;
 
 /// What [`Journal::open_or_create`] found on disk.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -145,18 +142,7 @@ impl Journal {
         if self.records.contains_key(&shard) {
             return Ok(());
         }
-        if payload.len() > MAX_PAYLOAD as usize {
-            return Err(JournalError::Io(std::io::Error::other(format!(
-                "shard {shard} payload of {} bytes exceeds the {MAX_PAYLOAD}-byte record limit",
-                payload.len()
-            ))));
-        }
-        let mut record = Vec::with_capacity(8 + 4 + payload.len() + 8);
-        record.extend_from_slice(&shard.to_le_bytes());
-        record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        record.extend_from_slice(payload);
-        let checksum = fnv64(&record);
-        record.extend_from_slice(&checksum.to_le_bytes());
+        let record = record::frame(shard, payload)?;
         self.file.write_all(&record)?;
         self.file.flush()?;
         self.records.insert(shard, payload.to_vec());
@@ -176,48 +162,17 @@ impl Journal {
     }
 }
 
-/// Scan the shard log, returning the intact records, the byte offset of the
-/// end of the last intact record, and the file's total length.
+/// Scan the shard log, returning the intact records (first-wins on
+/// duplicate shard ids), the byte offset of the end of the last intact
+/// record, and the file's total length.
 #[allow(clippy::type_complexity)]
 fn scan_log(path: &Path) -> Result<(HashMap<u64, Vec<u8>>, u64, u64), JournalError> {
-    let mut records = HashMap::new();
-    let bytes = match fs::File::open(path) {
-        Ok(mut f) => {
-            let mut buf = Vec::new();
-            f.read_to_end(&mut buf)?;
-            buf
-        }
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
-        Err(e) => return Err(e.into()),
-    };
+    let bytes = record::read_log(path)?;
     let total = bytes.len() as u64;
-    let mut pos = 0usize;
-    let mut good = 0u64;
-    loop {
-        let rest = &bytes[pos..];
-        if rest.is_empty() {
-            break;
-        }
-        if rest.len() < 12 {
-            break; // torn header
-        }
-        let shard = u64::from_le_bytes(rest[0..8].try_into().unwrap());
-        let len = u32::from_le_bytes(rest[8..12].try_into().unwrap());
-        if len > MAX_PAYLOAD {
-            break; // corrupt length field
-        }
-        let len = len as usize;
-        if rest.len() < 12 + len + 8 {
-            break; // torn payload or checksum
-        }
-        let body = &rest[..12 + len];
-        let stored = u64::from_le_bytes(rest[12 + len..12 + len + 8].try_into().unwrap());
-        if fnv64(body) != stored {
-            break; // corrupt record: distrust it and everything after
-        }
-        records.entry(shard).or_insert_with(|| body[12..].to_vec());
-        pos += 12 + len + 8;
-        good = pos as u64;
+    let (ordered, good) = record::scan_bytes(&bytes);
+    let mut records = HashMap::new();
+    for (shard, payload) in ordered {
+        records.entry(shard).or_insert(payload);
     }
     Ok((records, good, total))
 }
