@@ -36,6 +36,17 @@
 //! therefore byte-identical to a single-process run regardless of worker
 //! count, crashes, or reassignment order — the durability suite proves
 //! this across workers × threads with chaos injection.
+//!
+//! **Transport-generic.** The coordinator loop never asks *how* a worker
+//! reached the lease directory: local threads, `worker <ckpt>` processes
+//! on a shared filesystem, and networked `worker --connect ADDR` processes
+//! (whose RPCs the `paraspace-transport` server translates into the same
+//! file operations) all look identical to [`coordinate`]. When a transport
+//! knows *why* a worker vanished it records a `leases/blame_<worker>` note;
+//! the expiry scan ledgers that taxonomy as the death reason instead of
+//! the generic `heartbeat-expired`, so quarantine records distinguish
+//! "connection lost" from "solver diverged" without this crate depending
+//! on any transport.
 
 use std::cell::RefCell;
 use std::collections::{BTreeSet, HashMap};
@@ -54,8 +65,12 @@ use crate::campaign::{CampaignError, Checkpoint};
 
 /// Scheduling knobs of the dispatch runtime. Like [`LeaseConfig`], nothing
 /// here is world-defining: these change when work happens, never what
-/// bytes a shard produces, so they stay out of the manifest and may differ
-/// between a run and its resume.
+/// bytes a shard produces. The timing knobs (`lease_ttl`, `retry_base`)
+/// are nonetheless journaled in the campaign manifest once a campaign is
+/// dispatched, because a resume that silently halves the TTL would turn
+/// live workers from the previous incarnation into false expiries —
+/// `resume` refuses mismatched timing the same way it refuses a mismatched
+/// model digest.
 #[derive(Debug, Clone)]
 pub struct DispatchConfig {
     /// Lease TTL, backoff schedule, and quarantine threshold.
@@ -293,7 +308,15 @@ where
                 let deaths = ledger.state(info.shard).map_or(0, |s| s.deaths) + 1;
                 let not_before = now + config.lease.backoff_ms(deaths);
                 let worker = if info.worker.is_empty() { "unknown" } else { &info.worker };
-                ledger.record_death(info.shard, worker, "heartbeat-expired", now, not_before)?;
+                // A transport (or any other observer) may have recorded
+                // *why* this worker went silent — connection lost, a
+                // worker-reported execution failure — as a blame note.
+                // Ledger that taxonomy instead of the generic reason, and
+                // consume the note so a later incarnation starts clean.
+                let reason =
+                    leases.read_blame(worker)?.unwrap_or_else(|| "heartbeat-expired".to_string());
+                ledger.record_death(info.shard, worker, &reason, now, not_before)?;
+                leases.clear_blame(worker)?;
                 report.reassignments += 1;
             }
             let not_before = ledger.state(info.shard).map_or(0, |s| s.not_before_ms);

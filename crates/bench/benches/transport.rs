@@ -1,0 +1,186 @@
+//! The transport tax: what shipping a shard over the networked lease
+//! protocol costs relative to journaling it through the shared
+//! filesystem. Three measurements:
+//!
+//! 1. `wire_frame_4k` — pure codec cost of one length-prefixed
+//!    checksummed frame round trip (no socket).
+//! 2. `file_campaign16` — a 16-shard campaign journaled locally (the
+//!    lower bound: `Journal::commit` per shard).
+//! 3. `net_campaign16` — the same 16 shards claimed, streamed, and
+//!    committed by a real `WorkerClient` over localhost TCP against a
+//!    `CoordinatorServer`, merged first-wins in this thread.
+//!
+//! The per-shard difference between (3) and (2) is the protocol's
+//! overhead budget: three RPC round trips (claim, record, commit) plus
+//! the server-side file ops it performs on the worker's behalf. Writes
+//! `results/BENCH_transport.json` with the table (skipped in `--test`
+//! smoke mode).
+
+use std::collections::HashMap;
+use std::io::Cursor;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use paraspace_core::CancelToken;
+use paraspace_journal::lease::{LeaseConfig, LeaseDir, SegmentReader, SEGMENTS_DIR};
+use paraspace_journal::{CampaignManifest, Journal};
+use paraspace_transport::client::{ClientOptions, WorkerClient};
+use paraspace_transport::server::{CoordinatorServer, ServerConfig};
+use paraspace_transport::wire::{read_frame, write_frame};
+
+const SHARDS: u64 = 16;
+const PAYLOAD_LEN: usize = 4096;
+
+fn payload_for(shard: u64) -> Vec<u8> {
+    (0..PAYLOAD_LEN).map(|i| (i as u64 * 31 + shard * 7) as u8).collect()
+}
+
+fn manifest() -> CampaignManifest {
+    CampaignManifest::new("bench-transport", SHARDS)
+}
+
+fn server_config() -> ServerConfig {
+    ServerConfig {
+        lease: LeaseConfig {
+            ttl_ms: 2_000,
+            backoff_base_ms: 20,
+            backoff_cap_ms: 200,
+            max_worker_deaths: 3,
+        },
+        poll_ms: 1,
+        idle_disconnect_ms: None,
+    }
+}
+
+fn scratch(tag: &str, n: usize) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("paraspace_bench_tp_{tag}_{}_{n}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The local lower bound: commit every payload straight into the journal.
+fn file_campaign(dir: &Path) {
+    let (mut journal, _) = Journal::open_or_create(dir, &manifest()).unwrap();
+    for shard in 0..SHARDS {
+        journal.commit(shard, &payload_for(shard)).unwrap();
+    }
+    journal.sync().unwrap();
+}
+
+/// The networked path: one worker over localhost TCP, merged here.
+fn net_campaign(dir: &Path) {
+    drop(Journal::open_or_create(dir, &manifest()).unwrap());
+    let mut server =
+        CoordinatorServer::start("127.0.0.1:0", dir, &manifest(), server_config()).unwrap();
+    let addr = server.local_addr().to_string();
+    let worker = std::thread::spawn(move || {
+        let (client, _) = WorkerClient::connect(&addr, "bench", ClientOptions::default()).unwrap();
+        let external = CancelToken::new();
+        client
+            .run(&external, |shard, _| Ok::<_, std::convert::Infallible>(payload_for(shard)))
+            .unwrap()
+    });
+    let (mut journal, _) = Journal::open_or_create(dir, &manifest()).unwrap();
+    let leases = LeaseDir::new(dir);
+    let mut readers: HashMap<String, SegmentReader> = HashMap::new();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while !journal.is_complete() {
+        assert!(Instant::now() < deadline, "merge loop timed out");
+        if let Ok(entries) = std::fs::read_dir(dir.join(SEGMENTS_DIR)) {
+            for entry in entries.filter_map(Result::ok) {
+                let name = entry.file_name().to_string_lossy().into_owned();
+                readers.entry(name).or_insert_with(|| SegmentReader::new(entry.path()));
+            }
+        }
+        for reader in readers.values_mut() {
+            for (shard, payload) in reader.poll().unwrap() {
+                if !journal.is_committed(shard) {
+                    journal.commit(shard, &payload).unwrap();
+                    leases.clear_done(shard).unwrap();
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    journal.sync().unwrap();
+    worker.join().unwrap();
+    server.shutdown();
+}
+
+fn best_ns(reps: usize, mut run: impl FnMut(usize) -> Duration) -> f64 {
+    (0..reps).map(|n| run(n).as_nanos() as f64).fold(f64::INFINITY, f64::min)
+}
+
+fn transport_tax(c: &mut Criterion) {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let reps = if test_mode { 1 } else { 5 };
+
+    let file_best = best_ns(reps, |n| {
+        let dir = scratch("file", n);
+        let t0 = Instant::now();
+        file_campaign(&dir);
+        let dt = t0.elapsed();
+        std::fs::remove_dir_all(&dir).ok();
+        dt
+    });
+    let net_best = best_ns(reps, |n| {
+        let dir = scratch("net", n);
+        let t0 = Instant::now();
+        net_campaign(&dir);
+        let dt = t0.elapsed();
+        std::fs::remove_dir_all(&dir).ok();
+        dt
+    });
+    let tax_per_shard_ns = (net_best - file_best) / SHARDS as f64;
+    println!(
+        "transport tax: file {:.2} ms, net {:.2} ms, {:+.3} ms/shard over {SHARDS} shards",
+        file_best / 1e6,
+        net_best / 1e6,
+        tax_per_shard_ns / 1e6,
+    );
+    if !test_mode {
+        let root = workspace_root();
+        std::fs::create_dir_all(root.join("results")).ok();
+        std::fs::write(
+            root.join("results/BENCH_transport.json"),
+            format!(
+                "{{\n  \"shards\": {SHARDS},\n  \"payload_len\": {PAYLOAD_LEN},\n  \
+                 \"reps\": {reps},\n  \"file_campaign_best_ns\": {file_best},\n  \
+                 \"net_campaign_best_ns\": {net_best},\n  \
+                 \"transport_tax_per_shard_ns\": {tax_per_shard_ns}\n}}\n"
+            ),
+        )
+        .ok();
+    }
+
+    let mut group = c.benchmark_group("transport");
+    group.sample_size(10);
+    let frame_payload = payload_for(0);
+    group.bench_function("wire_frame_4k", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(PAYLOAD_LEN + 32);
+            write_frame(&mut buf, 7, &frame_payload).unwrap();
+            read_frame(&mut Cursor::new(&buf[..])).unwrap()
+        })
+    });
+    let mut n = 0usize;
+    group.bench_function("net_campaign16", |b| {
+        b.iter(|| {
+            n += 1;
+            let dir = scratch("crit", n);
+            net_campaign(&dir);
+            std::fs::remove_dir_all(&dir).ok();
+        })
+    });
+    group.finish();
+}
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().unwrap()
+}
+
+criterion_group!(benches, transport_tax);
+criterion_main!(benches);

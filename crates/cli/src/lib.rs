@@ -16,7 +16,8 @@ use paraspace_analysis::campaign::{
     f64s_digest, model_digest, options_digest, run_journaled, CampaignError, Checkpoint,
 };
 use paraspace_analysis::dispatch::{
-    coordinate, worker_loop, DispatchConfig, TickDirective, WorkerChaos,
+    coordinate, pack_shards, uniform_shards, worker_loop, DispatchConfig, TickDirective,
+    WorkerChaos,
 };
 use paraspace_analysis::ensemble::run_ensemble_durable;
 pub use paraspace_core::CancelToken;
@@ -25,7 +26,7 @@ use paraspace_core::{
     FineEngine, RecoveryPolicy, SimOutcome, SimulationJob, Simulator,
 };
 use paraspace_journal::codec::{Dec, Enc};
-use paraspace_journal::lease::RetryState;
+use paraspace_journal::lease::{LeaseConfig, RetryState};
 use paraspace_journal::{CampaignManifest, Journal, JournalError, MANIFEST_FILE};
 use paraspace_rbm::{biosimware, sbgen::SbGen, sbml, Parameterization};
 use paraspace_solvers::SolverOptions;
@@ -33,6 +34,9 @@ use paraspace_stochastic::{
     DirectMethod, EnsembleStats, StochasticBatch, StochasticError, StochasticSimulator,
     StochasticTrajectory, TauLeaping,
 };
+use paraspace_transport::client::{ClientOptions, WorkerClient};
+use paraspace_transport::server::{CoordinatorServer, ServerConfig};
+use paraspace_transport::{TransportError, WorkerError};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::cell::RefCell;
@@ -74,6 +78,22 @@ pub enum Command {
         /// process; N spawns N `worker` child processes and coordinates
         /// them — requires `--checkpoint-dir`).
         workers: usize,
+        /// Cost-model shard packing (stiff members into small shards,
+        /// non-stiff into full shards). `None` = auto: packed when
+        /// `workers > 1`, uniform otherwise. Pinned in the manifest as
+        /// `shard_plan` — the plan defines which member lands in which
+        /// shard, so it is world-defining.
+        pack: Option<bool>,
+        /// Lease heartbeat TTL in milliseconds (journaled in the
+        /// manifest; `resume` refuses a mismatch).
+        lease_ttl: u64,
+        /// Reassignment retry-backoff base in milliseconds (journaled in
+        /// the manifest; `resume` refuses a mismatch).
+        retry_base: u64,
+        /// Serve the lease lifecycle to networked workers on this address
+        /// (e.g. `127.0.0.1:0`); spawned children connect over TCP
+        /// instead of sharing the checkpoint directory.
+        listen: Option<String>,
     },
     /// Run a stochastic replicate ensemble of a model directory.
     Ensemble {
@@ -115,8 +135,13 @@ pub enum Command {
     /// through the engine pinned in the manifest, and append results to a
     /// private journal segment for the coordinator to merge.
     Worker {
-        /// The shared checkpoint directory of the campaign.
-        checkpoint_dir: PathBuf,
+        /// The shared checkpoint directory of the campaign (filesystem
+        /// transport; omitted when `--connect` attaches over TCP).
+        checkpoint_dir: Option<PathBuf>,
+        /// Coordinator address to attach to over TCP (`HOST:PORT`). The
+        /// model directory named in the campaign manifest must be
+        /// readable at the same path on this machine.
+        connect: Option<String>,
         /// Worker id (unique per incarnation; default embeds the pid).
         worker_id: Option<String>,
         /// Chaos: die (no cleanup, lease left behind) while holding the
@@ -138,6 +163,10 @@ pub enum Command {
         checkpoint_dir: PathBuf,
         /// Worker child processes to spawn (0 = attach-only).
         workers: usize,
+        /// Serve the lease lifecycle to networked workers on this address
+        /// (e.g. `0.0.0.0:7700`); remote machines attach with
+        /// `worker --connect HOST:PORT`.
+        listen: Option<String>,
     },
     /// Convert between formats.
     Convert {
@@ -228,14 +257,17 @@ USAGE:
                            [--lane-width auto|N]
                            [--max-retries N] [--member-budget STEPS]
                            [--checkpoint-dir DIR] [--shard-size N]
-                           [--workers N]
+                           [--workers N] [--listen ADDR]
+                           [--pack-shards|--no-pack-shards]
+                           [--lease-ttl MS] [--retry-base MS]
   paraspace-cli ensemble <model_dir> [--simulator NAME] [--replicates N]
                            [--seed S] [--member M] [--threads N]
                            [--lane-width auto|N] [--out DIR]
                            [--checkpoint-dir DIR] [--shard-size N]
   paraspace-cli resume <checkpoint_dir> [--workers N]
   paraspace-cli worker <checkpoint_dir> [--worker-id ID]
-  paraspace-cli coordinate <checkpoint_dir> [--workers N]
+  paraspace-cli worker --connect HOST:PORT [--worker-id ID]
+  paraspace-cli coordinate <checkpoint_dir> [--workers N] [--listen ADDR]
   paraspace-cli convert <from> <to>          (BioSimWare dir ↔ .xml)
   paraspace-cli generate --species N --reactions M [--seed S] <out_dir>
   paraspace-cli recommend --species N --reactions M --sims S
@@ -289,7 +321,30 @@ Workers may also be attached by hand (`paraspace-cli worker DIR`, e.g.
 from other terminals) against a `coordinate DIR` process. Artifacts are
 byte-identical to a single-process run at any worker count, crash
 pattern, or reassignment order. Worker count is not world-defining:
-resume with any --workers value.";
+resume with any --workers value.
+
+--listen ADDR serves the same lease lifecycle over TCP: spawned children
+connect to the bound port instead of sharing the checkpoint directory,
+and remote machines attach with `paraspace-cli worker --connect
+HOST:PORT` (the model directory named in the manifest must be readable
+at the same path there). Transport is at-least-once with
+timeout/retry/backoff on every RPC; the merge stays exactly-once by
+determinism, so artifacts remain byte-identical under drops, duplicates,
+reconnects, and partitions. A partitioned worker keeps computing its
+claimed shard and replays unacknowledged records on reconnect; a worker
+silent past the TTL is presumed dead and its shard reassigned.
+
+--pack-shards packs stiff members into small shards and non-stiff
+members into full --shard-size shards (cost-model load balancing);
+--no-pack-shards forces uniform ascending chunks. Default: packed when
+--workers > 1, uniform otherwise. The plan is pinned in the manifest, so
+a resume keeps the original packing whatever its own flags.
+
+--lease-ttl MS (default 2000) and --retry-base MS (default 100) set the
+heartbeat deadline and the reassignment backoff base. Both are journaled
+in the manifest: a resume with different timing is refused, because a
+shorter TTL would turn the previous incarnation's live workers into
+false expiries.";
 
 fn parse_flag<T: std::str::FromStr>(
     args: &[String],
@@ -327,6 +382,10 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let mut checkpoint_dir = None;
             let mut shard_size = DEFAULT_SHARD_SIZE;
             let mut workers = 0usize;
+            let mut pack = None;
+            let mut lease_ttl = DEFAULT_LEASE_TTL_MS;
+            let mut retry_base = DEFAULT_RETRY_BASE_MS;
+            let mut listen = None;
             let mut i = 1;
             while i < args.len() {
                 match args[i].as_str() {
@@ -373,6 +432,11 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     }
                     "--shard-size" => shard_size = parse_flag(args, &mut i, "--shard-size")?,
                     "--workers" => workers = parse_flag(args, &mut i, "--workers")?,
+                    "--pack-shards" => pack = Some(true),
+                    "--no-pack-shards" => pack = Some(false),
+                    "--lease-ttl" => lease_ttl = parse_flag(args, &mut i, "--lease-ttl")?,
+                    "--retry-base" => retry_base = parse_flag(args, &mut i, "--retry-base")?,
+                    "--listen" => listen = Some(parse_flag(args, &mut i, "--listen")?),
                     other if !other.starts_with("--") && model_dir.is_none() => {
                         model_dir = Some(PathBuf::from(other));
                     }
@@ -382,6 +446,12 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             }
             if workers > 0 && checkpoint_dir.is_none() {
                 return Err(CliError("--workers needs --checkpoint-dir".into()));
+            }
+            if listen.is_some() && checkpoint_dir.is_none() {
+                return Err(CliError("--listen needs --checkpoint-dir".into()));
+            }
+            if lease_ttl == 0 || retry_base == 0 {
+                return Err(CliError("--lease-ttl and --retry-base must be positive".into()));
             }
             Ok(Command::Simulate {
                 model_dir: model_dir
@@ -398,6 +468,10 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 checkpoint_dir,
                 shard_size,
                 workers,
+                pack,
+                lease_ttl,
+                retry_base,
+                listen,
             })
         }
         "ensemble" => {
@@ -495,6 +569,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         }
         "worker" => {
             let mut checkpoint_dir = None;
+            let mut connect = None;
             let mut worker_id = None;
             let mut chaos_kill_at = None;
             let mut chaos_torn_write = false;
@@ -502,6 +577,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let mut i = 1;
             while i < args.len() {
                 match args[i].as_str() {
+                    "--connect" => connect = Some(parse_flag(args, &mut i, "--connect")?),
                     "--worker-id" => worker_id = Some(parse_flag(args, &mut i, "--worker-id")?),
                     "--chaos-kill-at" => {
                         chaos_kill_at = Some(parse_flag(args, &mut i, "--chaos-kill-at")?)
@@ -517,9 +593,19 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 }
                 i += 1;
             }
+            if checkpoint_dir.is_none() && connect.is_none() {
+                return Err(CliError(
+                    "worker needs a checkpoint directory or --connect HOST:PORT".into(),
+                ));
+            }
+            if checkpoint_dir.is_some() && connect.is_some() {
+                return Err(CliError(
+                    "worker takes either a checkpoint directory or --connect, not both".into(),
+                ));
+            }
             Ok(Command::Worker {
-                checkpoint_dir: checkpoint_dir
-                    .ok_or_else(|| CliError("worker needs a checkpoint directory".into()))?,
+                checkpoint_dir,
+                connect,
                 worker_id,
                 chaos_kill_at,
                 chaos_torn_write,
@@ -529,10 +615,12 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         "coordinate" => {
             let mut checkpoint_dir = None;
             let mut workers = 0usize;
+            let mut listen = None;
             let mut i = 1;
             while i < args.len() {
                 match args[i].as_str() {
                     "--workers" => workers = parse_flag(args, &mut i, "--workers")?,
+                    "--listen" => listen = Some(parse_flag(args, &mut i, "--listen")?),
                     other if !other.starts_with("--") && checkpoint_dir.is_none() => {
                         checkpoint_dir = Some(PathBuf::from(other));
                     }
@@ -544,6 +632,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 checkpoint_dir: checkpoint_dir
                     .ok_or_else(|| CliError("coordinate needs a checkpoint directory".into()))?,
                 workers,
+                listen,
             })
         }
         "convert" => {
@@ -606,6 +695,119 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
 
 /// Members per journaled shard unless `--shard-size` overrides it.
 pub const DEFAULT_SHARD_SIZE: usize = 64;
+
+/// Lease heartbeat TTL unless `--lease-ttl` overrides it.
+pub const DEFAULT_LEASE_TTL_MS: u64 = 2000;
+
+/// Reassignment retry-backoff base unless `--retry-base` overrides it.
+pub const DEFAULT_RETRY_BASE_MS: u64 = 100;
+
+/// The most worker children one coordinator process tracks for SIGINT
+/// reaping. Spawns beyond this still run; they just rely on lease TTL
+/// expiry if the coordinator dies (the pre-registry behaviour).
+const MAX_REGISTERED_CHILDREN: usize = 64;
+
+/// Pids of live spawned worker children, published for the binary's
+/// SIGINT handler: a handler cannot touch `Child` handles, locks, or the
+/// allocator, but it can read this array and issue `kill(2)`. Slot value
+/// 0 means empty.
+static CHILD_PIDS: [std::sync::atomic::AtomicU32; MAX_REGISTERED_CHILDREN] =
+    [const { std::sync::atomic::AtomicU32::new(0) }; MAX_REGISTERED_CHILDREN];
+
+fn register_child(pid: u32) {
+    use std::sync::atomic::Ordering;
+    for slot in &CHILD_PIDS {
+        if slot.compare_exchange(0, pid, Ordering::Relaxed, Ordering::Relaxed).is_ok() {
+            return;
+        }
+    }
+}
+
+fn unregister_child(pid: u32) {
+    use std::sync::atomic::Ordering;
+    for slot in &CHILD_PIDS {
+        let _ = slot.compare_exchange(pid, 0, Ordering::Relaxed, Ordering::Relaxed);
+    }
+}
+
+/// SIGKILLs every registered worker child. Async-signal-safe (atomic
+/// loads plus the `kill` syscall, no allocation, no locks), so the
+/// binary's SIGINT handler calls it directly: a coordinator dying to
+/// Ctrl-C or a panic must not leave orphan workers holding leases until
+/// the TTL expires them one by one.
+pub fn kill_registered_children() {
+    #[cfg(unix)]
+    {
+        use std::sync::atomic::Ordering;
+        extern "C" {
+            fn kill(pid: i32, sig: i32) -> i32;
+        }
+        const SIGKILL: i32 = 9;
+        for slot in &CHILD_PIDS {
+            let pid = slot.load(Ordering::Relaxed);
+            if pid != 0 {
+                unsafe {
+                    kill(pid as i32, SIGKILL);
+                }
+            }
+        }
+    }
+}
+
+/// Spawned worker children, registered for SIGINT reaping on push and
+/// killed + reaped on drop — so a coordinator that panics (or returns
+/// any error path) never leaves orphans. The success path waits for the
+/// children first, making the drop's kill a no-op.
+struct Children {
+    inner: RefCell<Vec<std::process::Child>>,
+}
+
+impl Children {
+    fn new() -> Self {
+        Children { inner: RefCell::new(Vec::new()) }
+    }
+
+    fn push(&self, child: std::process::Child) {
+        register_child(child.id());
+        self.inner.borrow_mut().push(child);
+    }
+
+    /// Drops children that already exited from the registry and the list.
+    fn reap_exited(&self) {
+        self.inner.borrow_mut().retain_mut(|c| {
+            if matches!(c.try_wait(), Ok(Some(_))) {
+                unregister_child(c.id());
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    fn is_empty(&self) -> bool {
+        self.inner.borrow().is_empty()
+    }
+
+    /// Waits for every child to exit on its own (the success path:
+    /// children observe campaign completion through the shard log).
+    fn wait_all(&self) {
+        for c in self.inner.borrow_mut().iter_mut() {
+            let _ = c.wait();
+            unregister_child(c.id());
+        }
+        self.inner.borrow_mut().clear();
+    }
+}
+
+impl Drop for Children {
+    fn drop(&mut self) {
+        for c in self.inner.get_mut() {
+            unregister_child(c.id());
+            let _ = c.kill();
+            let _ = c.wait();
+        }
+    }
+}
 
 fn engine_by_name(
     name: &str,
@@ -800,29 +1002,38 @@ pub fn execute_with_cancel(
             }
             Ok(())
         }
-        Command::Simulate { checkpoint_dir: Some(dir), workers, .. } if *workers > 0 => {
-            simulate_dispatched(cmd, dir, *workers, out, cancel)
+        Command::Simulate { checkpoint_dir: Some(dir), workers, listen, .. }
+            if *workers > 0 || listen.is_some() =>
+        {
+            simulate_dispatched(cmd, dir, *workers, listen.as_deref(), out, cancel)
         }
         Command::Simulate { checkpoint_dir: Some(dir), .. } => {
             simulate_durable(cmd, dir, out, cancel)
         }
         Command::Worker {
             checkpoint_dir,
+            connect,
             worker_id,
             chaos_kill_at,
             chaos_torn_write,
             chaos_suppress_at,
         } => {
+            if let Some(addr) = connect {
+                return run_net_worker(addr, worker_id.as_deref(), out, cancel);
+            }
             let chaos = WorkerChaos {
                 kill_at_ordinal: *chaos_kill_at,
                 torn_write_on_kill: *chaos_torn_write,
                 suppress_heartbeat_at: *chaos_suppress_at,
                 ..WorkerChaos::default()
             };
-            run_worker(checkpoint_dir, worker_id.as_deref(), &chaos, out, cancel)
+            let dir = checkpoint_dir
+                .as_ref()
+                .ok_or_else(|| CliError("worker needs a checkpoint directory".into()))?;
+            run_worker(dir, worker_id.as_deref(), &chaos, out, cancel)
         }
-        Command::Coordinate { checkpoint_dir, workers } => {
-            run_coordinator(checkpoint_dir, *workers, out, cancel)
+        Command::Coordinate { checkpoint_dir, workers, listen } => {
+            run_coordinator(checkpoint_dir, *workers, listen.as_deref(), out, cancel)
         }
         Command::Simulate {
             model_dir,
@@ -973,6 +1184,18 @@ fn simulate_cmd_from_manifest(
         "auto" => None,
         v => Some(parse_field("world.lane_width", v.to_string())?),
     };
+    // Timing and packing are pinned in the manifest (checkpoints predating
+    // those fields read as the old defaults); the explicit `pack` keeps
+    // the original plan whatever worker count this invocation uses.
+    let lease_ttl = match manifest.field("lease_ttl") {
+        Some(v) => parse_field("lease_ttl", v.to_string())?,
+        None => DEFAULT_LEASE_TTL_MS,
+    };
+    let retry_base = match manifest.field("retry_base") {
+        Some(v) => parse_field("retry_base", v.to_string())?,
+        None => DEFAULT_RETRY_BASE_MS,
+    };
+    let pack = Some(manifest.field("shard_plan") == Some("packed"));
     Ok(Command::Simulate {
         model_dir: PathBuf::from(field("model_dir")?),
         engine: field("world.engine")?,
@@ -987,6 +1210,10 @@ fn simulate_cmd_from_manifest(
         checkpoint_dir: Some(checkpoint_dir.to_path_buf()),
         shard_size: parse_field("shard_size", field("shard_size")?)?,
         workers,
+        pack,
+        lease_ttl,
+        retry_base,
+        listen: None,
     })
 }
 
@@ -1210,7 +1437,12 @@ struct SimulateWorld {
     engine_name: String,
     threads: usize,
     lane_width: Option<usize>,
-    shard_size: usize,
+    /// Which original member indices each shard holds. Uniform ascending
+    /// chunks, or the cost-model packing of `pack_shards` — either way a
+    /// pure function of the world, pinned as the manifest's `shard_plan`.
+    plan: Vec<Vec<usize>>,
+    lease_ttl: u64,
+    retry_base: u64,
     model_dir: PathBuf,
     out_dir: Option<PathBuf>,
     manifest: CampaignManifest,
@@ -1232,6 +1464,10 @@ impl SimulateWorld {
             max_retries,
             member_budget,
             shard_size,
+            workers,
+            pack,
+            lease_ttl,
+            retry_base,
             ..
         } = cmd
         else {
@@ -1258,7 +1494,22 @@ impl SimulateWorld {
             step_budget: *member_budget,
             ..RecoveryPolicy::default()
         };
-        let shards = parameterizations.chunks(shard_size).len() as u64;
+        // The shard plan is world-defining (it decides which member's
+        // bytes land in which shard record), so it is resolved here and
+        // pinned in the manifest. Auto (`None`) packs only multi-worker
+        // runs, where evening out shard cost keeps N workers busy.
+        let packed = pack.unwrap_or(*workers > 1);
+        let plan = if packed {
+            let job = SimulationJob::builder(&model)
+                .time_points(time_points.clone())
+                .parameterizations(parameterizations.clone())
+                .options(options.clone())
+                .build()?;
+            pack_shards(&job, (shard_size / 4).max(1), shard_size)
+        } else {
+            uniform_shards(parameterizations.len(), shard_size)
+        };
+        let shards = plan.len() as u64;
         let manifest = CampaignManifest::new("cli-simulate", shards)
             .with_digest("model", model_digest(&model))
             .with_digest("times", f64s_digest(&time_points))
@@ -1276,7 +1527,10 @@ impl SimulateWorld {
                 "member_budget",
                 member_budget.map_or("none".to_string(), |b| b.to_string()),
             )
-            .with_field("shard_size", shard_size.to_string());
+            .with_field("shard_size", shard_size.to_string())
+            .with_field("shard_plan", if packed { "packed" } else { "uniform" })
+            .with_field("lease_ttl", lease_ttl.to_string())
+            .with_field("retry_base", retry_base.to_string());
         Ok(SimulateWorld {
             model,
             time_points,
@@ -1286,7 +1540,9 @@ impl SimulateWorld {
             engine_name: engine_name.clone(),
             threads: *threads,
             lane_width: *lane_width,
-            shard_size,
+            plan,
+            lease_ttl: *lease_ttl,
+            retry_base: *retry_base,
             model_dir: model_dir.clone(),
             out_dir: out_dir.clone(),
             manifest,
@@ -1311,9 +1567,28 @@ impl SimulateWorld {
             .expect("engine name was validated when the world was loaded")
     }
 
-    /// The parameterizations of one shard.
-    fn chunk(&self, shard: u64) -> &[Parameterization] {
-        self.parameterizations.chunks(self.shard_size).nth(shard as usize).unwrap_or(&[])
+    /// The original member indices of one shard, per the pinned plan.
+    fn members(&self, shard: u64) -> &[usize] {
+        self.plan.get(shard as usize).map_or(&[], Vec::as_slice)
+    }
+
+    /// The parameterizations of one shard, gathered by the plan.
+    fn chunk(&self, shard: u64) -> Vec<Parameterization> {
+        self.members(shard).iter().map(|&i| self.parameterizations[i].clone()).collect()
+    }
+
+    /// The dispatch runtime configured with this world's journaled
+    /// timing, so the coordinator and every worker (local or networked)
+    /// agree on heartbeat deadlines and backoff.
+    fn dispatch_config(&self) -> DispatchConfig {
+        DispatchConfig {
+            lease: LeaseConfig {
+                ttl_ms: self.lease_ttl,
+                backoff_base_ms: self.retry_base,
+                ..LeaseConfig::default()
+            },
+            ..DispatchConfig::default()
+        }
     }
 
     /// Executes one shard and encodes its journal payload — the shared
@@ -1323,7 +1598,7 @@ impl SimulateWorld {
         let chunk = self.chunk(shard);
         let job = match SimulationJob::builder(&self.model)
             .time_points(self.time_points.clone())
-            .parameterizations(chunk.to_vec())
+            .parameterizations(chunk.clone())
             .options(self.options.clone())
             .build()
         {
@@ -1389,7 +1664,7 @@ impl SimulateWorld {
             state.reasons.join(", "),
         );
         let members = self
-            .chunk(shard)
+            .members(shard)
             .iter()
             .map(|_| MemberRecord { ok: false, label: "quarantined".into(), body: body.clone() })
             .collect();
@@ -1413,10 +1688,21 @@ impl SimulateWorld {
         let mut integration_ns = 0.0f64;
         let mut io_ns = 0.0f64;
         let mut label_counts: std::collections::BTreeMap<String, usize> = Default::default();
-        let mut index = 0usize;
-        for payload in payloads {
+        for (shard_id, payload) in payloads.iter().enumerate() {
             let shard = ShardOutcome::decode(payload)?;
-            for m in &shard.members {
+            let members = self.members(shard_id as u64);
+            if shard.members.len() != members.len() {
+                return Err(CliError(format!(
+                    "shard {shard_id} payload holds {} members but the plan assigns {}",
+                    shard.members.len(),
+                    members.len(),
+                )));
+            }
+            // Each member's file is named by its *original* batch index —
+            // under a packed plan shards hold non-contiguous members, and
+            // the artifacts must land exactly where a uniform (or plain,
+            // non-durable) run would put them.
+            for (m, &index) in shard.members.iter().zip(members) {
                 let ext = if m.ok { "tsv" } else { "err" };
                 std::fs::write(out_path.join(format!("dynamics_{index:05}.{ext}")), &m.body)?;
                 if m.ok {
@@ -1424,7 +1710,6 @@ impl SimulateWorld {
                 } else {
                     *label_counts.entry(m.label.clone()).or_default() += 1;
                 }
-                index += 1;
             }
             total_ns += shard.total_ns;
             integration_ns += shard.integration_ns;
@@ -1506,12 +1791,13 @@ fn simulate_dispatched(
     cmd: &Command,
     dir: &Path,
     workers: usize,
+    listen: Option<&str>,
     out: &mut dyn std::io::Write,
     cancel: &CancelToken,
 ) -> Result<(), CliError> {
     let world = SimulateWorld::load(cmd)?;
     let checkpoint = world.checkpoint(dir, cancel);
-    coordinate_processes(&world, &checkpoint, workers, out)
+    coordinate_processes(&world, &checkpoint, workers, listen, out)
 }
 
 /// The `coordinate` subcommand: rebuild the world from an existing
@@ -1520,6 +1806,7 @@ fn simulate_dispatched(
 fn run_coordinator(
     dir: &Path,
     workers: usize,
+    listen: Option<&str>,
     out: &mut dyn std::io::Write,
     cancel: &CancelToken,
 ) -> Result<(), CliError> {
@@ -1534,7 +1821,7 @@ fn run_coordinator(
     let cmd = simulate_cmd_from_manifest(dir, &manifest, workers)?;
     let world = SimulateWorld::load(&cmd)?;
     let checkpoint = world.checkpoint(dir, cancel);
-    coordinate_processes(&world, &checkpoint, workers, out)
+    coordinate_processes(&world, &checkpoint, workers, listen, out)
 }
 
 /// The coordinator over worker *processes*: write the manifest, spawn
@@ -1547,17 +1834,45 @@ fn coordinate_processes(
     world: &SimulateWorld,
     checkpoint: &Checkpoint,
     spawn_workers: usize,
+    listen: Option<&str>,
     out: &mut dyn std::io::Write,
 ) -> Result<(), CliError> {
     // The manifest must be on disk before the first child starts: workers
     // rebuild their world from it.
     let full_manifest = checkpoint.apply_world(world.manifest.clone());
     drop(Journal::open_or_create(checkpoint.dir(), &full_manifest)?);
+    let config = world.dispatch_config();
+
+    // With --listen, bind the transport server *before* any child spawns
+    // so `--listen 127.0.0.1:0` can hand children the resolved port.
+    let mut server = match listen {
+        Some(addr) => {
+            let server = CoordinatorServer::start(
+                addr,
+                checkpoint.dir(),
+                &full_manifest,
+                ServerConfig {
+                    lease: config.lease.clone(),
+                    poll_ms: config.poll_ms,
+                    idle_disconnect_ms: None,
+                },
+            )
+            .map_err(|e| CliError(format!("cannot listen on {addr}: {e}")))?;
+            writeln!(out, "coordinator listening on {}", server.local_addr())?;
+            Some(server)
+        }
+        None => None,
+    };
+    let connect_addr = server.as_ref().map(|s| s.local_addr().to_string());
 
     let spawn_child = |id: &str| -> std::io::Result<std::process::Child> {
-        std::process::Command::new(std::env::current_exe()?)
-            .arg("worker")
-            .arg(checkpoint.dir())
+        let mut child = std::process::Command::new(std::env::current_exe()?);
+        child.arg("worker");
+        match &connect_addr {
+            Some(addr) => child.arg("--connect").arg(addr),
+            None => child.arg(checkpoint.dir()),
+        };
+        child
             .arg("--worker-id")
             .arg(id)
             .stdout(std::process::Stdio::null())
@@ -1575,42 +1890,41 @@ fn coordinate_processes(
         seq.set(n + 1);
         format!("{prefix}{n}-{pid}")
     };
-    let children = RefCell::new(Vec::new());
+    let children = Children::new();
     for _ in 0..spawn_workers {
-        children.borrow_mut().push(spawn_child(&next_id("w"))?);
+        children.push(spawn_child(&next_id("w"))?);
     }
     let respawned = std::cell::Cell::new(0u64);
     let respawn_cap = (spawn_workers as u64).max(1) * 4;
 
-    let config = DispatchConfig::default();
     let result = coordinate(
         checkpoint,
         world.manifest.clone(),
         &config,
         |shard, state| world.poison_payload(shard, state),
         |status| {
-            let mut cs = children.borrow_mut();
-            cs.retain_mut(|c| !matches!(c.try_wait(), Ok(Some(_))));
-            if spawn_workers > 0 && cs.is_empty() && status.committed < status.shards {
+            children.reap_exited();
+            if spawn_workers > 0 && children.is_empty() && status.committed < status.shards {
                 if respawned.get() >= respawn_cap {
                     return TickDirective::GiveUp;
                 }
                 respawned.set(respawned.get() + 1);
                 if let Ok(c) = spawn_child(&next_id("r")) {
-                    cs.push(c);
+                    children.push(c);
                 }
             }
             TickDirective::Continue
         },
     );
 
-    let mut cs = children.into_inner();
     match result {
         Ok((payloads, report)) => {
-            // Children observe completion through the shard log and exit
-            // on their own; reap them so none outlive the campaign.
-            for c in &mut cs {
-                let _ = c.wait();
+            // Children observe completion through the shard log (or the
+            // transport's campaign-complete reply) and exit on their own;
+            // wait so none outlive the campaign.
+            children.wait_all();
+            if let Some(server) = &mut server {
+                server.shutdown();
             }
             let label = format!("{} (dispatched)", world.engine_name);
             let out_path = world.materialize(&payloads, &label, out)?;
@@ -1631,10 +1945,7 @@ fn coordinate_processes(
             Ok(())
         }
         Err(CampaignError::Interrupted { completed, shards, checkpoint_dir }) => {
-            for c in &mut cs {
-                let _ = c.kill();
-                let _ = c.wait();
-            }
+            // `children` drops here: kill + reap every spawned worker.
             writeln!(
                 out,
                 "interrupted: {completed}/{shards} shards committed to {}",
@@ -1645,13 +1956,7 @@ fn coordinate_processes(
                 checkpoint.dir().display()
             )))
         }
-        Err(e) => {
-            for c in &mut cs {
-                let _ = c.kill();
-                let _ = c.wait();
-            }
-            Err(e.into())
-        }
+        Err(e) => Err(e.into()),
     }
 }
 
@@ -1682,7 +1987,7 @@ fn run_worker(
     on_disk.verify_matches(&expected)?;
 
     let id = worker_id.map_or_else(|| format!("pid{}", std::process::id()), str::to_string);
-    let config = DispatchConfig::default();
+    let config = world.dispatch_config();
     let report =
         worker_loop(dir, &id, world.manifest.shards(), &config, cancel, chaos, |shard, token| {
             let engine = world.engine(token);
@@ -1700,6 +2005,68 @@ fn run_worker(
     }
     if report.cancelled {
         writeln!(out, "worker {id}: cancelled; released its lease")?;
+    }
+    Ok(())
+}
+
+/// The `worker --connect` path: attach to a coordinator's transport
+/// server over TCP, rebuild the world from the handshake's manifest text
+/// (the model directory it names must be readable at the same path on
+/// this machine), verify it matches what the coordinator pinned, and run
+/// the networked claim → execute → stream → commit loop.
+fn run_net_worker(
+    addr: &str,
+    worker_id: Option<&str>,
+    out: &mut dyn std::io::Write,
+    cancel: &CancelToken,
+) -> Result<(), CliError> {
+    let id = worker_id.map_or_else(|| format!("pid{}", std::process::id()), str::to_string);
+    let (client, info) = WorkerClient::connect(addr, &id, ClientOptions::default())
+        .map_err(|e| CliError(format!("cannot reach coordinator at {addr}: {e}")))?;
+    let on_wire = CampaignManifest::from_text(&info.manifest_text)?;
+    if on_wire.kind() != "cli-simulate" {
+        return Err(CliError(format!(
+            "coordinator at {addr} serves a {:?} campaign; only `simulate` campaigns dispatch to workers",
+            on_wire.kind()
+        )));
+    }
+    // Rebuild the world from the streamed manifest exactly as a
+    // filesystem worker rebuilds it from the on-disk one, and hold it to
+    // the same drift check. The checkpoint path in the reconstructed
+    // command is never touched on this side of the wire.
+    let cmd = simulate_cmd_from_manifest(Path::new(""), &on_wire, 0)?;
+    let world = SimulateWorld::load(&cmd)?;
+    let expected = world.checkpoint(Path::new(""), cancel).apply_world(world.manifest.clone());
+    on_wire.verify_matches(&expected)?;
+
+    writeln!(
+        out,
+        "worker {id}: attached to {addr} ({} shards, lease ttl {} ms)",
+        world.manifest.shards(),
+        info.lease.ttl_ms,
+    )?;
+    let report = client
+        .run(cancel, |shard, token| {
+            let engine = world.engine(token);
+            world.shard_payload(engine.as_ref(), shard).map_err(|e| e.to_string())
+        })
+        .map_err(|e| match e {
+            WorkerError::Transport(t) => match t {
+                TransportError::Protocol(m) => CliError(format!("coordinator refused: {m}")),
+                t => CliError(format!(
+                    "lost the coordinator at {addr} ({t}); its lease will expire and the shard \
+                     will be reassigned"
+                )),
+            },
+            WorkerError::Execute(m) => CliError(format!("shard execution failed: {m}")),
+        })?;
+    writeln!(
+        out,
+        "worker {id}: executed {} shards ({} committed, {} leases lost, {} reconnects)",
+        report.executed, report.committed, report.lost_leases, report.reconnects,
+    )?;
+    if report.cancelled {
+        writeln!(out, "worker {id}: cancelled")?;
     }
     Ok(())
 }
@@ -1742,6 +2109,10 @@ mod tests {
                 checkpoint_dir,
                 shard_size,
                 workers,
+                pack,
+                lease_ttl,
+                retry_base,
+                listen,
             } => {
                 assert_eq!(model_dir, PathBuf::from("/tmp/model"));
                 assert_eq!(engine, "lsoda");
@@ -1756,6 +2127,10 @@ mod tests {
                 assert_eq!(checkpoint_dir, Some(PathBuf::from("/tmp/ckpt")));
                 assert_eq!(shard_size, 16);
                 assert_eq!(workers, 0);
+                assert_eq!(pack, None, "packing defaults to auto");
+                assert_eq!(lease_ttl, DEFAULT_LEASE_TTL_MS);
+                assert_eq!(retry_base, DEFAULT_RETRY_BASE_MS);
+                assert_eq!(listen, None);
             }
             other => panic!("wrong parse: {other:?}"),
         }
@@ -1776,6 +2151,53 @@ mod tests {
             }
             other => panic!("wrong parse: {other:?}"),
         }
+    }
+
+    #[test]
+    fn parse_transport_and_packing_flags() {
+        match parse(&argv(
+            "simulate /m --checkpoint-dir /c --workers 3 --listen 127.0.0.1:0 \
+             --pack-shards --lease-ttl 750 --retry-base 40",
+        ))
+        .unwrap()
+        {
+            Command::Simulate { workers, pack, lease_ttl, retry_base, listen, .. } => {
+                assert_eq!(workers, 3);
+                assert_eq!(pack, Some(true));
+                assert_eq!(lease_ttl, 750);
+                assert_eq!(retry_base, 40);
+                assert_eq!(listen, Some("127.0.0.1:0".into()));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        match parse(&argv("simulate /m --checkpoint-dir /c --workers 4 --no-pack-shards")).unwrap()
+        {
+            Command::Simulate { pack, .. } => assert_eq!(pack, Some(false)),
+            other => panic!("wrong parse: {other:?}"),
+        }
+        // Timing must be positive; --listen and --workers need a
+        // checkpoint to serve from.
+        assert!(parse(&argv("simulate /m --checkpoint-dir /c --lease-ttl 0")).is_err());
+        assert!(parse(&argv("simulate /m --checkpoint-dir /c --retry-base 0")).is_err());
+        assert!(parse(&argv("simulate /m --listen 127.0.0.1:0")).is_err());
+
+        match parse(&argv("coordinate /c --workers 2 --listen 0.0.0.0:7700")).unwrap() {
+            Command::Coordinate { workers, listen, .. } => {
+                assert_eq!(workers, 2);
+                assert_eq!(listen, Some("0.0.0.0:7700".into()));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        match parse(&argv("worker --connect host:7700 --worker-id w9")).unwrap() {
+            Command::Worker { checkpoint_dir, connect, worker_id, .. } => {
+                assert_eq!(checkpoint_dir, None);
+                assert_eq!(connect, Some("host:7700".into()));
+                assert_eq!(worker_id, Some("w9".into()));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        assert!(parse(&argv("worker")).is_err(), "needs a directory or --connect");
+        assert!(parse(&argv("worker /c --connect host:7700")).is_err(), "not both");
     }
 
     #[test]
@@ -1905,6 +2327,10 @@ mod tests {
                 checkpoint_dir: None,
                 shard_size: DEFAULT_SHARD_SIZE,
                 workers: 0,
+                pack: None,
+                lease_ttl: DEFAULT_LEASE_TTL_MS,
+                retry_base: DEFAULT_RETRY_BASE_MS,
+                listen: None,
             },
             &mut log,
         )
@@ -1971,6 +2397,10 @@ mod tests {
             checkpoint_dir: checkpoint,
             shard_size: 2,
             workers: 0,
+            pack: None,
+            lease_ttl: DEFAULT_LEASE_TTL_MS,
+            retry_base: DEFAULT_RETRY_BASE_MS,
+            listen: None,
         }
     }
 

@@ -16,10 +16,15 @@ use std::sync::{Arc, OnceLock};
 static CANCEL_FLAG: OnceLock<Arc<AtomicBool>> = OnceLock::new();
 
 extern "C" fn on_sigint(_signum: i32) {
-    // Async-signal-safe: one relaxed atomic store, no allocation, no locks.
+    // Async-signal-safe: relaxed atomic stores/loads and the kill
+    // syscall — no allocation, no locks.
     if let Some(flag) = CANCEL_FLAG.get() {
         flag.store(true, Ordering::Relaxed);
     }
+    // A coordinator's spawned workers die with it instead of lingering as
+    // orphans that keep heartbeating stale leases until the TTL reaps
+    // them; their claimed shards free immediately on the next expiry scan.
+    paraspace_cli::kill_registered_children();
 }
 
 /// Installs `on_sigint` as the SIGINT disposition via the libc `signal`

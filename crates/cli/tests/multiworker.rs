@@ -98,6 +98,88 @@ fn multiworker_simulate_is_byte_identical_to_single_process() {
 }
 
 #[test]
+fn networked_simulate_is_byte_identical_to_single_process() {
+    let base = temp_base("net_identity");
+    let model_a = base.join("model_a");
+    let model_b = base.join("model_b");
+    generate(&model_a);
+    generate(&model_b);
+
+    run_ok(&[
+        "simulate",
+        &path(&model_a),
+        "--engine",
+        "lsoda",
+        "--batch",
+        "12",
+        "--shard-size",
+        "2",
+        "--checkpoint-dir",
+        &path(&base.join("ckpt1")),
+    ]);
+
+    // The same campaign over localhost TCP: the coordinator binds an
+    // ephemeral port, the spawned workers attach with `--connect`, and
+    // segment records are streamed instead of file-journaled. The packed
+    // shard plan (auto for workers > 1) must not matter either: artifacts
+    // are named by original batch index.
+    let stdout = run_ok(&[
+        "simulate",
+        &path(&model_b),
+        "--engine",
+        "lsoda",
+        "--batch",
+        "12",
+        "--shard-size",
+        "2",
+        "--checkpoint-dir",
+        &path(&base.join("ckpt2")),
+        "--workers",
+        "2",
+        "--listen",
+        "127.0.0.1:0",
+        "--lease-ttl",
+        "1500",
+        "--retry-base",
+        "60",
+    ]);
+    assert!(stdout.contains("coordinator listening on 127.0.0.1:"), "stdout: {stdout}");
+    assert!(stdout.contains("dispatched"), "stdout: {stdout}");
+
+    let reference = read_outputs(&model_a.join("out"));
+    let networked = read_outputs(&model_b.join("out"));
+    assert_eq!(reference.len(), 12);
+    assert_eq!(
+        reference, networked,
+        "networked artifacts must be byte-identical to the single-process run"
+    );
+
+    // The campaign's timing knobs are journaled; resuming the finished
+    // checkpoint with different timing must be refused.
+    let out = bin()
+        .args([
+            "simulate",
+            &path(&model_b),
+            "--engine",
+            "lsoda",
+            "--batch",
+            "12",
+            "--shard-size",
+            "2",
+            "--checkpoint-dir",
+            &path(&base.join("ckpt2")),
+            "--lease-ttl",
+            "999",
+        ])
+        .output()
+        .expect("rerun with mismatched timing");
+    assert!(!out.status.success(), "mismatched --lease-ttl must be refused");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("lease_ttl"), "stderr: {stderr}");
+    std::fs::remove_dir_all(&base).ok();
+}
+
+#[test]
 fn chaos_killed_attached_worker_does_not_corrupt_the_campaign() {
     let base = temp_base("chaos");
     let model_a = base.join("model_a");

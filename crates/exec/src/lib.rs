@@ -180,6 +180,22 @@ impl CancelToken {
         self.deadline_ms.fetch_max(epoch_ms, Ordering::Relaxed);
     }
 
+    /// Expire the deadline immediately: the token reads as cancelled from
+    /// now on (on every clone), but unlike [`cancel`](Self::cancel) a later
+    /// [`clear_deadline`](Self::clear_deadline) or
+    /// [`set_deadline_ms`](Self::set_deadline_ms) can re-arm it. This is
+    /// the transport's cancel-on-disconnect hook: a networked worker that
+    /// *affirmatively* learns its lease was reassigned expires the token so
+    /// in-flight work drains at once, then re-arms it for the next shard.
+    /// (Mere silence never triggers this — a partitioned worker keeps
+    /// computing and replays its records on reconnect.)
+    pub fn expire_now(&self) {
+        // 0 is trivially <= unix_now_ms(), so is_cancelled() is true
+        // immediately; fetch_max in extend_deadline_ms cannot resurrect a
+        // live deadline here because we store, not max.
+        self.deadline_ms.store(0, Ordering::Relaxed);
+    }
+
     /// Disarm the deadline, leaving explicit cancellation in effect.
     pub fn clear_deadline(&self) {
         self.deadline_ms.store(u64::MAX, Ordering::Relaxed);
@@ -755,6 +771,23 @@ mod tests {
         assert!(!token.is_cancelled());
         token.cancel();
         assert!(token.is_cancelled(), "explicit cancel survives clear_deadline");
+    }
+
+    #[test]
+    fn expire_now_trips_immediately_but_is_rearmable() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        token.set_deadline_ms(unix_now_ms() + 60_000);
+        assert!(!token.is_cancelled());
+        token.expire_now();
+        assert!(token.is_cancelled());
+        assert!(clone.is_cancelled(), "visible on every clone");
+        // Unlike cancel(), the expiry is a deadline: the next shard's
+        // deadline re-arms the same token.
+        token.set_deadline_ms(unix_now_ms() + 60_000);
+        assert!(!token.is_cancelled());
+        token.clear_deadline();
+        assert!(!token.is_cancelled());
     }
 
     #[test]

@@ -20,6 +20,11 @@
 //!   worker's heartbeat is older than the TTL is **expired**: the worker
 //!   is presumed dead (SIGKILL, hang, stall) and the shard is eligible
 //!   for reassignment.
+//! * `leases/blame_<worker>` — an optional note (tempfile+rename) saying
+//!   *why* the worker should be presumed dead. Transports record blame on
+//!   connection loss or worker-reported quarantine so the coordinator's
+//!   expiry scan can ledger a transport-failure taxonomy instead of the
+//!   generic `heartbeat-expired`.
 //! * `segments/<worker>.log` — the worker's private append-only journal
 //!   segment, framed and checksummed exactly like `shards.log`. Only the
 //!   owning worker writes (and on open truncates the torn tail of) its
@@ -53,9 +58,11 @@ pub const SEGMENTS_DIR: &str = "segments";
 pub const RETRY_LOG: &str = "retries.log";
 
 /// Milliseconds since the UNIX epoch — the shared clock for heartbeat
-/// deadlines. Wall-clock is acceptable because every participant runs on
-/// one machine (ROADMAP item 3's multi-machine transport will need a
-/// coordinator-issued clock instead).
+/// deadlines. Wall-clock is acceptable because every timestamp that gets
+/// *compared* is written on the coordinator's machine: local workers share
+/// its filesystem (and clock), and for networked workers the transport
+/// server stamps heartbeats and lease grants on RPC receipt, so remote
+/// clocks never enter the expiry arithmetic.
 #[must_use]
 pub fn now_ms() -> u64 {
     SystemTime::now().duration_since(UNIX_EPOCH).unwrap_or_default().as_millis() as u64
@@ -64,8 +71,13 @@ pub fn now_ms() -> u64 {
 /// Timing and tolerance knobs for the lease protocol.
 ///
 /// None of these are world-defining: they change *when* work happens,
-/// never *what bytes* a shard produces, so they are deliberately excluded
-/// from the campaign manifest and may differ between a run and its resume.
+/// never *what bytes* a shard produces. They are nonetheless journaled in
+/// the campaign manifest (`lease_ttl`, `retry_base`) once a campaign is
+/// dispatched, because every participant — coordinator, local workers,
+/// networked workers — must agree on what "silence past TTL" means; a
+/// resume with different timing would judge liveness by different rules
+/// than the run it continues, so `resume` refuses mismatched timing the
+/// same way it refuses a mismatched model digest.
 #[derive(Debug, Clone)]
 pub struct LeaseConfig {
     /// A lease is expired once its worker's heartbeat (or, if newer, the
@@ -174,6 +186,10 @@ impl LeaseDir {
 
     fn heartbeat_path(&self, worker: &str) -> PathBuf {
         self.root.join(LEASES_DIR).join(format!("hb_{worker}"))
+    }
+
+    fn blame_path(&self, worker: &str) -> PathBuf {
+        self.root.join(LEASES_DIR).join(format!("blame_{worker}"))
     }
 
     /// Path of `worker`'s journal segment.
@@ -307,6 +323,57 @@ impl LeaseDir {
     /// claimable.
     pub fn is_claimed(&self, shard: u64) -> bool {
         self.lease_path(shard).exists() || self.done_path(shard).exists()
+    }
+
+    /// True if `shard` has a done marker (completed but not yet merged).
+    #[must_use]
+    pub fn is_done(&self, shard: u64) -> bool {
+        self.done_path(shard).exists()
+    }
+
+    /// The live lease on `shard`, if any. A torn lease file reads as an
+    /// empty worker with grant time 0, same as [`LeaseDir::list_leases`].
+    pub fn lease_info(&self, shard: u64) -> Result<Option<LeaseInfo>, JournalError> {
+        match fs::read(self.lease_path(shard)) {
+            Ok(bytes) => Ok(Some(parse_lease(shard, &bytes))),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Record *why* `worker` should be presumed dead (atomic
+    /// tempfile+rename; the latest note wins). Transports write blame notes
+    /// — `transport: connection lost`, a worker-reported quarantine reason —
+    /// so the coordinator's expiry scan can attach a failure taxonomy to
+    /// the death instead of the generic `heartbeat-expired`.
+    pub fn blame(&self, worker: &str, reason: &str) -> Result<(), JournalError> {
+        validate_worker_id(worker)?;
+        let path = self.blame_path(worker);
+        let tmp = self.root.join(LEASES_DIR).join(format!("blame_{worker}.tmp"));
+        let mut f = File::create(&tmp)?;
+        f.write_all(reason.as_bytes())?;
+        f.flush()?;
+        fs::rename(&tmp, &path)?;
+        Ok(())
+    }
+
+    /// The blame note for `worker`, if one was recorded.
+    pub fn read_blame(&self, worker: &str) -> Result<Option<String>, JournalError> {
+        match fs::read(self.blame_path(worker)) {
+            Ok(bytes) => Ok(Some(String::from_utf8_lossy(&bytes).into_owned())),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Remove `worker`'s blame note (after its death is ledgered, so a
+    /// later incarnation of the same worker id starts clean).
+    pub fn clear_blame(&self, worker: &str) -> Result<(), JournalError> {
+        match fs::remove_file(self.blame_path(worker)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e.into()),
+        }
     }
 
     /// Write `worker`'s heartbeat (atomic tempfile+rename, so a reader
@@ -674,6 +741,42 @@ mod tests {
         leases.beat("w0", 1).unwrap();
         let at = leases.last_heartbeat_ms("w0").unwrap().unwrap();
         assert!(at >= before && at <= now_ms() + 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn blame_notes_round_trip_and_clear() {
+        let dir = tmp_dir("blame");
+        let leases = LeaseDir::new(&dir);
+        leases.ensure().unwrap();
+        assert_eq!(leases.read_blame("w0").unwrap(), None);
+        leases.blame("w0", "transport: connection lost (read timeout)").unwrap();
+        leases.blame("w0", "transport: worker quarantined shard").unwrap();
+        assert_eq!(
+            leases.read_blame("w0").unwrap().as_deref(),
+            Some("transport: worker quarantined shard"),
+            "latest note wins"
+        );
+        leases.clear_blame("w0").unwrap();
+        leases.clear_blame("w0").unwrap(); // idempotent
+        assert_eq!(leases.read_blame("w0").unwrap(), None);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lease_info_reads_one_shard_without_listing() {
+        let dir = tmp_dir("info");
+        let leases = LeaseDir::new(&dir);
+        leases.ensure().unwrap();
+        assert_eq!(leases.lease_info(2).unwrap(), None);
+        let lease = leases.try_claim(2, "w3").unwrap().unwrap();
+        let info = leases.lease_info(2).unwrap().unwrap();
+        assert_eq!(info.worker, "w3");
+        assert_eq!(info.granted_at_ms, lease.granted_at_ms);
+        assert!(!leases.is_done(2));
+        leases.complete(&lease).unwrap();
+        assert!(leases.is_done(2));
+        assert_eq!(leases.lease_info(2).unwrap(), None);
         fs::remove_dir_all(&dir).ok();
     }
 

@@ -26,7 +26,10 @@
 //! * [`lease`] — the multi-process distribution contract layered on the
 //!   same checkpoint directory: atomic shard leases, worker heartbeats,
 //!   per-worker journal segments sharing the record framing of
-//!   `shards.log`, and the coordinator's retry/quarantine ledger.
+//!   `shards.log`, and the coordinator's retry/quarantine ledger;
+//! * [`record`] — the checksummed record framing shared by every
+//!   append-only log, exposed publicly so transports can stream segment
+//!   records that are byte-identical to file-journaled ones.
 //!
 //! The durability contract is *re-execution, not redo logging*: a commit
 //! that never reached the disk is equivalent to the shard never having
@@ -58,11 +61,11 @@
 //! ```
 
 mod manifest;
-mod record;
 mod shards;
 
 pub mod codec;
 pub mod lease;
+pub mod record;
 
 pub use manifest::CampaignManifest;
 pub use shards::{Journal, OpenReport, LOG_FILE, MANIFEST_FILE};

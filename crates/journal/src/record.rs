@@ -25,10 +25,10 @@ use crate::{fnv64, JournalError};
 
 /// Per-record size ceiling (64 MiB): far above any real shard payload, low
 /// enough that a corrupted length field can't drive a multi-gigabyte read.
-pub(crate) const MAX_PAYLOAD: u32 = 64 << 20;
+pub const MAX_PAYLOAD: u32 = 64 << 20;
 
 /// Frame one record: header, payload, trailing checksum.
-pub(crate) fn frame(id: u64, payload: &[u8]) -> Result<Vec<u8>, JournalError> {
+pub fn frame(id: u64, payload: &[u8]) -> Result<Vec<u8>, JournalError> {
     if payload.len() > MAX_PAYLOAD as usize {
         return Err(JournalError::Io(std::io::Error::other(format!(
             "record {id} payload of {} bytes exceeds the {MAX_PAYLOAD}-byte record limit",
@@ -47,7 +47,7 @@ pub(crate) fn frame(id: u64, payload: &[u8]) -> Result<Vec<u8>, JournalError> {
 /// Scan `bytes` front to back, returning the intact `(id, payload)` records
 /// in append order (duplicates preserved) and the byte offset one past the
 /// last intact record. Bytes at or after that offset are torn or corrupt.
-pub(crate) fn scan_bytes(bytes: &[u8]) -> (Vec<(u64, Vec<u8>)>, u64) {
+pub fn scan_bytes(bytes: &[u8]) -> (Vec<(u64, Vec<u8>)>, u64) {
     let mut records = Vec::new();
     let mut pos = 0usize;
     let mut good = 0u64;
@@ -79,7 +79,7 @@ pub(crate) fn scan_bytes(bytes: &[u8]) -> (Vec<(u64, Vec<u8>)>, u64) {
 
 /// Read a whole log file; a missing file reads as empty (a log that was
 /// never created holds no records).
-pub(crate) fn read_log(path: &Path) -> Result<Vec<u8>, JournalError> {
+pub fn read_log(path: &Path) -> Result<Vec<u8>, JournalError> {
     match fs::File::open(path) {
         Ok(mut f) => {
             let mut buf = Vec::new();

@@ -1,0 +1,412 @@
+//! The coordinator-side transport server.
+//!
+//! The server runs *inside* the coordinator process and is deliberately
+//! dumb: it holds no campaign logic, it just performs on a worker's
+//! behalf exactly the file operations a local worker would perform
+//! against the shared checkpoint directory — claim a lease file, rewrite
+//! a heartbeat, append a framed record to `segments/<worker>.log`, rename
+//! a lease to a done marker. The coordinator's merge/expiry/quarantine
+//! loop (`analysis::dispatch::coordinate`) therefore works unchanged: it
+//! cannot tell a networked worker from a local one, and a streamed
+//! segment record is byte-identical to a file-journaled one because the
+//! server appends the client's framed bytes verbatim.
+//!
+//! Every timestamp that matters — lease grants, heartbeats — is stamped
+//! with the server's clock on RPC receipt, so worker clocks never enter
+//! the expiry arithmetic.
+
+use std::collections::{BTreeSet, HashMap};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use paraspace_journal::lease::{Lease, LeaseConfig, LeaseDir, Segment, SegmentReader};
+use paraspace_journal::{record, CampaignManifest, LOG_FILE};
+
+use crate::wire::{
+    decode_request, encode_reply, read_frame, write_frame, ClaimOutcome, Reply, Request, NO_SHARD,
+    PROTOCOL_VERSION,
+};
+use crate::TransportError;
+
+/// Timing contract the server advertises to every worker in `HelloAck`.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Lease timing/tolerance — must match the coordinator loop's config
+    /// (both are built from the same manifest fields).
+    pub lease: LeaseConfig,
+    /// Coordinator poll cadence in ms, advertised as the workers'
+    /// idle-claim poll.
+    pub poll_ms: u64,
+    /// Drop a connection (and blame the worker) after this much silence;
+    /// defaults to 2× TTL when `None`.
+    pub idle_disconnect_ms: Option<u64>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig { lease: LeaseConfig::default(), poll_ms: 50, idle_disconnect_ms: None }
+    }
+}
+
+/// Per-worker server-side state: the segment file the server appends to
+/// on the worker's behalf, and the lease the worker currently holds.
+struct WorkerState {
+    seg: Segment,
+    /// Intact records in the segment (the worker's replay resume offset).
+    count: u64,
+    /// `(shard, granted_at_ms)` of the live lease granted to this worker.
+    lease: Option<(u64, u64)>,
+    /// Bumped on every Hello so a superseded connection's teardown cannot
+    /// blame a worker that already reconnected.
+    generation: u64,
+}
+
+/// Incremental view of the main journal's committed set (the server tails
+/// `shards.log` exactly like a local worker does).
+struct CommittedTail {
+    reader: SegmentReader,
+    set: BTreeSet<u64>,
+}
+
+struct Shared {
+    dir: LeaseDir,
+    manifest_text: String,
+    shards: u64,
+    config: ServerConfig,
+    committed: Mutex<CommittedTail>,
+    workers: Mutex<HashMap<String, WorkerState>>,
+    stop: AtomicBool,
+}
+
+impl Shared {
+    /// Refresh and return the committed count (merged shards).
+    fn committed_count(&self) -> Result<u64, TransportError> {
+        let mut tail = self.committed.lock().unwrap();
+        for (shard, _) in tail.reader.poll()? {
+            tail.set.insert(shard);
+        }
+        Ok(tail.set.len() as u64)
+    }
+
+    fn is_committed(&self, shard: u64) -> bool {
+        self.committed.lock().unwrap().set.contains(&shard)
+    }
+}
+
+/// A running transport server bound to one checkpoint directory.
+///
+/// Dropping (or [`shutdown`](Self::shutdown)) stops the accept loop and
+/// joins every connection handler.
+pub struct CoordinatorServer {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl CoordinatorServer {
+    /// Bind `listen` (e.g. `127.0.0.1:0` for an ephemeral port) and start
+    /// serving workers of the campaign journaled under `checkpoint_dir`.
+    /// The manifest must already be written (the coordinator writes it
+    /// before starting the server).
+    pub fn start(
+        listen: &str,
+        checkpoint_dir: &Path,
+        manifest: &CampaignManifest,
+        config: ServerConfig,
+    ) -> Result<Self, TransportError> {
+        let listener = TcpListener::bind(listen)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let dir = LeaseDir::new(checkpoint_dir);
+        dir.ensure()?;
+        let shared = Arc::new(Shared {
+            dir,
+            manifest_text: manifest.to_text(),
+            shards: manifest.shards(),
+            config,
+            committed: Mutex::new(CommittedTail {
+                reader: SegmentReader::new(checkpoint_dir.join(LOG_FILE)),
+                set: BTreeSet::new(),
+            }),
+            workers: Mutex::new(HashMap::new()),
+            stop: AtomicBool::new(false),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::Builder::new()
+            .name("paraspace-transport-accept".into())
+            .spawn(move || accept_loop(&listener, &accept_shared))
+            .map_err(TransportError::Io)?;
+        Ok(CoordinatorServer { addr, shared, accept: Some(accept) })
+    }
+
+    /// The bound address (resolves port 0 to the actual ephemeral port).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, close every connection, and join the handlers.
+    /// Idempotent.
+    pub fn shutdown(&mut self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for CoordinatorServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    while !shared.stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let conn_shared = Arc::clone(shared);
+                if let Ok(handle) = std::thread::Builder::new()
+                    .name("paraspace-transport-conn".into())
+                    .spawn(move || serve_conn(&conn_shared, stream))
+                {
+                    handlers.push(handle);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+        handlers.retain(|h| !h.is_finished());
+    }
+    for handle in handlers {
+        let _ = handle.join();
+    }
+}
+
+fn serve_conn(shared: &Arc<Shared>, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    // Short read timeout: the handler's idle/stop polling tick.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let _ = stream
+        .set_write_timeout(Some(Duration::from_millis(shared.config.lease.ttl_ms.max(1_000))));
+    let idle_limit = Duration::from_millis(
+        shared.config.idle_disconnect_ms.unwrap_or(2 * shared.config.lease.ttl_ms),
+    );
+    let mut ident: Option<(String, u64)> = None;
+    let mut last_frame = Instant::now();
+    let mut shutting_down = false;
+    let reason: String = loop {
+        if shared.stop.load(Ordering::Relaxed) {
+            shutting_down = true;
+            break "server shutdown".into();
+        }
+        match read_frame(&mut stream) {
+            Ok((seq, payload)) => {
+                last_frame = Instant::now();
+                let reply = match decode_request(&payload) {
+                    Ok(req) => handle_request(shared, &mut ident, req),
+                    Err(e) => break format!("undecodable request: {e}"),
+                };
+                if let Err(e) = write_frame(&mut stream, seq, &encode_reply(&reply)) {
+                    break format!("reply write failed: {e}");
+                }
+            }
+            Err(e) if e.is_timeout() => {
+                if last_frame.elapsed() > idle_limit {
+                    break "idle past the disconnect limit".into();
+                }
+            }
+            Err(TransportError::Closed) => break "peer closed the connection".into(),
+            Err(e) => break format!("{e}"),
+        }
+    };
+    // Teardown: blame the worker only if (a) this connection is still its
+    // latest one, (b) it holds a live lease (so the blame can actually be
+    // ledgered at expiry), (c) no richer blame (a worker-reported
+    // quarantine) is already recorded, and (d) we are not shutting down.
+    if shutting_down {
+        return;
+    }
+    let Some((worker, generation)) = ident else { return };
+    let workers = shared.workers.lock().unwrap();
+    let Some(state) = workers.get(&worker) else { return };
+    if state.generation != generation || state.lease.is_none() {
+        return;
+    }
+    if let Ok(None) = shared.dir.read_blame(&worker) {
+        let _ = shared.dir.blame(&worker, &format!("transport: connection lost ({reason})"));
+    }
+}
+
+fn handle_request(shared: &Arc<Shared>, ident: &mut Option<(String, u64)>, req: Request) -> Reply {
+    match try_handle(shared, ident, req) {
+        Ok(reply) => reply,
+        Err(e) => Reply::Error { message: e.to_string() },
+    }
+}
+
+fn try_handle(
+    shared: &Arc<Shared>,
+    ident: &mut Option<(String, u64)>,
+    req: Request,
+) -> Result<Reply, TransportError> {
+    match req {
+        Request::Hello { worker, version } => {
+            if version != PROTOCOL_VERSION {
+                return Ok(Reply::Error {
+                    message: format!(
+                        "protocol version mismatch: worker speaks v{version}, \
+                         coordinator speaks v{PROTOCOL_VERSION}"
+                    ),
+                });
+            }
+            // Count the intact records already in the segment (the replay
+            // resume offset), then open it for appending — Segment::open
+            // truncates any torn tail below that count.
+            let bytes = record::read_log(&shared.dir.segment_path(&worker))?;
+            let (records, _) = record::scan_bytes(&bytes);
+            let count = records.len() as u64;
+            let (seg, _) = Segment::open(&shared.dir, &worker)?;
+            shared.dir.clear_blame(&worker)?;
+            let mut workers = shared.workers.lock().unwrap();
+            let generation = workers.get(&worker).map_or(0, |s| s.generation + 1);
+            // A reconnecting worker keeps the lease it already holds.
+            let lease = workers.get(&worker).and_then(|s| s.lease);
+            workers.insert(worker.clone(), WorkerState { seg, count, lease, generation });
+            *ident = Some((worker, generation));
+            let cfg = &shared.config.lease;
+            Ok(Reply::HelloAck {
+                manifest_text: shared.manifest_text.clone(),
+                ttl_ms: cfg.ttl_ms,
+                backoff_base_ms: cfg.backoff_base_ms,
+                backoff_cap_ms: cfg.backoff_cap_ms,
+                max_worker_deaths: cfg.max_worker_deaths,
+                poll_ms: shared.config.poll_ms,
+                acked_records: count,
+            })
+        }
+        Request::Claim { worker } => {
+            let committed = shared.committed_count()?;
+            let mut workers = shared.workers.lock().unwrap();
+            let Some(state) = workers.get_mut(&worker) else {
+                return Ok(hello_first(&worker));
+            };
+            // Idempotent re-grant: if the worker's lease is still on disk
+            // and still its own, hand the same grant back (a retried Claim
+            // whose ack was lost must not claim a second shard).
+            if let Some((shard, granted_at_ms)) = state.lease {
+                match shared.dir.lease_info(shard)? {
+                    Some(info) if info.worker == worker && info.granted_at_ms == granted_at_ms => {
+                        return Ok(Reply::ClaimAck(ClaimOutcome::Granted { shard, granted_at_ms }));
+                    }
+                    _ => state.lease = None, // expired/reassigned/completed
+                }
+            }
+            for shard in 0..shared.shards {
+                if shared.is_committed(shard) {
+                    continue;
+                }
+                // try_claim stamps the grant with the server's clock and
+                // loses gracefully to existing leases and done markers.
+                if let Some(lease) = shared.dir.try_claim(shard, &worker)? {
+                    state.lease = Some((shard, lease.granted_at_ms));
+                    return Ok(Reply::ClaimAck(ClaimOutcome::Granted {
+                        shard,
+                        granted_at_ms: lease.granted_at_ms,
+                    }));
+                }
+            }
+            if committed >= shared.shards {
+                Ok(Reply::ClaimAck(ClaimOutcome::Complete))
+            } else {
+                Ok(Reply::ClaimAck(ClaimOutcome::NoneEligible { committed, shards: shared.shards }))
+            }
+        }
+        Request::Heartbeat { worker, counter, shard, granted_at_ms } => {
+            // Server clock: the beat is stamped on receipt.
+            shared.dir.beat(&worker, counter)?;
+            let committed = shared.committed_count()?;
+            let lease_ok = if shard == NO_SHARD {
+                true
+            } else {
+                match shared.dir.lease_info(shard)? {
+                    Some(info) => info.worker == worker && info.granted_at_ms == granted_at_ms,
+                    // Done/merged means the lease converted, not that it
+                    // was lost from under the worker.
+                    None => shared.dir.is_done(shard) || shared.is_committed(shard),
+                }
+            };
+            Ok(Reply::HeartbeatAck { committed, shards: shared.shards, lease_ok })
+        }
+        Request::SegmentRecord { worker, index, framed } => {
+            let mut workers = shared.workers.lock().unwrap();
+            let Some(state) = workers.get_mut(&worker) else {
+                return Ok(hello_first(&worker));
+            };
+            if index < state.count {
+                // Duplicate of a record we already hold (half-open retry):
+                // ack without a second append.
+                return Ok(Reply::RecordAck { total: state.count });
+            }
+            if index > state.count {
+                return Ok(Reply::Error {
+                    message: format!(
+                        "record index {index} skips ahead of the {} records held for {worker}",
+                        state.count
+                    ),
+                });
+            }
+            // The framed bytes must be exactly one intact record; they are
+            // appended verbatim so the segment stays byte-identical to one
+            // a local worker would have written.
+            let (records, good) = record::scan_bytes(&framed);
+            if records.len() != 1 || good as usize != framed.len() {
+                return Ok(Reply::Error {
+                    message: format!("record {index} from {worker} failed verification"),
+                });
+            }
+            let (shard, payload) = &records[0];
+            state.seg.append(*shard, payload)?;
+            state.count += 1;
+            Ok(Reply::RecordAck { total: state.count })
+        }
+        Request::Commit { worker, shard, granted_at_ms } => {
+            shared.committed_count()?;
+            let mut workers = shared.workers.lock().unwrap();
+            let Some(state) = workers.get_mut(&worker) else {
+                return Ok(hello_first(&worker));
+            };
+            // Idempotent: if a previous attempt's rename already happened
+            // (ack lost in flight), report success again.
+            let ok = if shared.dir.is_done(shard) || shared.is_committed(shard) {
+                true
+            } else {
+                shared.dir.complete(&Lease { shard, worker: worker.clone(), granted_at_ms })?
+            };
+            if state.lease.is_some_and(|(s, _)| s == shard) {
+                state.lease = None;
+            }
+            Ok(Reply::CommitAck { ok })
+        }
+        Request::Quarantine { worker, shard, reason } => {
+            // Record the taxonomy but leave the lease in place: silence
+            // past the TTL turns it into a ledgered death carrying this
+            // blame, which is what feeds the quarantine threshold.
+            shared
+                .dir
+                .blame(&worker, &format!("transport: shard {shard} failed on worker: {reason}"))?;
+            Ok(Reply::QuarantineAck)
+        }
+    }
+}
+
+fn hello_first(worker: &str) -> Reply {
+    Reply::Error { message: format!("worker {worker} must Hello before other requests") }
+}
