@@ -16,7 +16,11 @@
 //!   bootstrap confidence intervals;
 //! * **PE** — [`pso`]: particle swarm optimization, both the classical
 //!   parameterization and an FST-PSO-style self-tuning variant, with the
-//!   relative-distance fitness of [`fitness`].
+//!   relative-distance fitness of [`fitness`]; and [`gradient`]:
+//!   exact-gradient calibration on batched forward sensitivities
+//!   (projected L-BFGS and a PSO→L-BFGS hybrid) that reaches the swarm's
+//!   final loss with orders of magnitude fewer ODE solves, plus
+//!   derivative-based local sensitivity screening.
 //!
 //! [`throughput`] provides the time-budget accounting used by the published
 //! "how many simulations fit in 24 hours" comparisons.
@@ -30,6 +34,7 @@ pub mod campaign;
 pub mod dispatch;
 pub mod ensemble;
 pub mod fitness;
+pub mod gradient;
 pub mod oscillation;
 pub mod pe;
 pub mod psa;

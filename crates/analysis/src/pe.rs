@@ -7,14 +7,16 @@
 //! target time series. The experiment compares the same estimation run
 //! priced on different engines.
 
-use crate::campaign::{
-    f64s_digest, model_digest, options_digest, CampaignError, Checkpoint, ShardReport,
-};
+use crate::campaign::{CampaignError, Checkpoint, ShardReport};
 use crate::fitness::{relative_distance, FailedMemberPolicy};
+use crate::gradient::{
+    estimate_gradient, estimate_gradient_durable, gradient_config_digest, pe_manifest_base,
+    polish_gradient, polish_gradient_durable, GradientConfig,
+};
 use crate::pso::{fst_pso, heuristic_swarm_size, Objective, PsoConfig, PsoResult};
 use paraspace_core::{SimError, SimulationJob, Simulator};
 use paraspace_journal::codec::{Dec, Enc};
-use paraspace_journal::{fnv64, CampaignManifest, Journal};
+use paraspace_journal::{fnv64, Journal};
 use paraspace_rbm::{Parameterization, ReactionBasedModel};
 use paraspace_solvers::{Solution, SolverOptions};
 
@@ -166,17 +168,7 @@ pub fn estimate(
         "one bound pair per unknown constant"
     );
     let mut objective = EngineObjective { problem, engine, simulated_ns: 0.0, simulations: 0 };
-    let optimization = {
-        let obj = &mut objective;
-        // A small shim because `fst_pso` takes the objective by value.
-        struct Shim<'x, 'p, 'a>(&'x mut EngineObjective<'p, 'a>);
-        impl Objective for Shim<'_, '_, '_> {
-            fn evaluate_batch(&mut self, xs: &[Vec<f64>]) -> Vec<f64> {
-                self.0.evaluate_batch(xs)
-            }
-        }
-        fst_pso(&problem.log_bounds, config, Shim(obj))
-    };
+    let optimization = fst_pso(&problem.log_bounds, config, &mut objective);
     let mut k = problem.model.rate_constants();
     for (&idx, &lv) in problem.unknown.iter().zip(&optimization.best_position) {
         k[idx] = 10f64.powf(lv);
@@ -275,8 +267,10 @@ impl Objective for DurableObjective<'_, '_, '_> {
 /// journaled shard (the per-member fitness bits plus the generation's
 /// billed time), so a killed estimation resumes mid-swarm and reproduces
 /// the uninterrupted trajectory, estimate, and billed time bitwise. The
-/// manifest pins the model, bounds, target, seed, swarm size, and
-/// generation count — resume refuses a mismatched world.
+/// manifest pins the model, bounds, target, seed, swarm size, generation
+/// count, and the chosen optimizer with its full configuration — resume
+/// refuses a mismatched world (same contract as the executor's thread
+/// count and lane width).
 ///
 /// # Errors
 ///
@@ -303,31 +297,10 @@ pub fn estimate_durable(
     );
     let swarm = config.swarm_size.unwrap_or_else(|| heuristic_swarm_size(problem.log_bounds.len()));
 
-    let mut bounds_enc = Enc::new();
-    for &(lo, hi) in &problem.log_bounds {
-        bounds_enc.put_f64(lo).put_f64(hi);
-    }
-    let mut unknown_enc = Enc::new();
-    for &u in &problem.unknown {
-        unknown_enc.put_u64(u as u64);
-    }
-    let mut observed_enc = Enc::new();
-    for &o in &problem.observed {
-        observed_enc.put_u64(o as u64);
-    }
-    let mut target_enc = Enc::new();
-    for t in 0..problem.time_points.len() {
-        target_enc.put_f64_slice(problem.target.state_at(t));
-    }
     let manifest = checkpoint.apply_world(
-        CampaignManifest::new("pe", config.iterations as u64)
-            .with_digest("model", model_digest(problem.model))
-            .with_digest("bounds", fnv64(&bounds_enc.finish()))
-            .with_digest("unknown", fnv64(&unknown_enc.finish()))
-            .with_digest("observed", fnv64(&observed_enc.finish()))
-            .with_digest("target", fnv64(&target_enc.finish()))
-            .with_digest("times", f64s_digest(&problem.time_points))
-            .with_digest("options", options_digest(&problem.options))
+        pe_manifest_base(problem, config.iterations as u64)
+            .with_field("optimizer", "pso")
+            .with_digest("optimizer_config", pso_config_digest(config))
             .with_field("seed", config.seed.to_string())
             .with_field("swarm", swarm.to_string()),
     );
@@ -344,17 +317,7 @@ pub fn estimate_durable(
         interrupted: false,
         fatal: None,
     };
-    let optimization = {
-        // `fst_pso` takes the objective by value; lend it mutably so the
-        // journal and accounting survive the run.
-        struct Shim<'y, 'x, 'p, 'a>(&'y mut DurableObjective<'x, 'p, 'a>);
-        impl Objective for Shim<'_, '_, '_, '_> {
-            fn evaluate_batch(&mut self, xs: &[Vec<f64>]) -> Vec<f64> {
-                self.0.evaluate_batch(xs)
-            }
-        }
-        fst_pso(&problem.log_bounds, config, Shim(&mut durable))
-    };
+    let optimization = fst_pso(&problem.log_bounds, config, &mut durable);
     let (simulated_ns, simulations, executed) =
         (durable.simulated_ns, durable.simulations, durable.executed);
     let (interrupted, fatal) = (durable.interrupted, durable.fatal);
@@ -382,6 +345,176 @@ pub fn estimate_durable(
             truncated_bytes: open.truncated_bytes,
         },
     ))
+}
+
+/// A digest of a [`PsoConfig`] for campaign manifests: any change to the
+/// swarm hyperparameters changes the shard bytes, so resume must refuse
+/// it.
+#[must_use]
+pub fn pso_config_digest(config: &PsoConfig) -> u64 {
+    let mut enc = Enc::new();
+    enc.put_u64(config.swarm_size.map_or(0, |s| s as u64 + 1))
+        .put_u64(config.iterations as u64)
+        .put_u64(config.seed)
+        .put_f64(config.inertia)
+        .put_f64(config.cognitive)
+        .put_f64(config.social);
+    fnv64(&enc.finish())
+}
+
+/// Which search calibrates the unknowns — the dispatch behind the CLI's
+/// `pe --optimizer pso|lbfgs|hybrid`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Optimizer {
+    /// Derivative-free FST-PSO through a batch engine (the published
+    /// pipeline): robust, expensive — one ODE solve per particle per
+    /// generation.
+    Pso(PsoConfig),
+    /// Multi-start projected L-BFGS on exact forward-sensitivity
+    /// gradients: one augmented solve per evaluation, converging in tens
+    /// of solves on smooth basins.
+    Lbfgs(GradientConfig),
+    /// A short swarm to find the basin, then an L-BFGS polish from the
+    /// swarm's best — global robustness at gradient cost.
+    Hybrid {
+        /// The (short) global stage.
+        pso: PsoConfig,
+        /// The polish stage, started from the swarm's best position.
+        gradient: GradientConfig,
+    },
+}
+
+impl Optimizer {
+    /// Stable name for manifests, CLI flags, and result files.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Optimizer::Pso(_) => "pso",
+            Optimizer::Lbfgs(_) => "lbfgs",
+            Optimizer::Hybrid { .. } => "hybrid",
+        }
+    }
+
+    /// Digest of the full optimizer configuration for manifest pinning.
+    #[must_use]
+    pub fn config_digest(&self) -> u64 {
+        match self {
+            Optimizer::Pso(c) => pso_config_digest(c),
+            Optimizer::Lbfgs(c) => gradient_config_digest(c),
+            Optimizer::Hybrid { pso, gradient } => {
+                let mut enc = Enc::new();
+                enc.put_u64(pso_config_digest(pso)).put_u64(gradient_config_digest(gradient));
+                fnv64(&enc.finish())
+            }
+        }
+    }
+}
+
+/// Calibrates the unknown constants with the chosen [`Optimizer`]. The
+/// swarm stages run through `engine` (one simulation batch per
+/// generation); gradient stages run the host sensitivity integrators
+/// directly and count augmented solves in
+/// [`EstimationResult::simulations`].
+pub fn estimate_with(
+    problem: &EstimationProblem<'_>,
+    engine: &dyn Simulator,
+    optimizer: &Optimizer,
+) -> EstimationResult {
+    match optimizer {
+        Optimizer::Pso(config) => estimate(problem, engine, config),
+        Optimizer::Lbfgs(config) => estimate_gradient(problem, config),
+        Optimizer::Hybrid { pso, gradient } => {
+            let global = estimate(problem, engine, pso);
+            let polish = polish_gradient(problem, gradient, &global.optimization.best_position);
+            merge_stages(global, polish)
+        }
+    }
+}
+
+/// Calibrates durably with the chosen [`Optimizer`]; the manifest pins the
+/// optimizer and its full configuration, so `resume` refuses a checkpoint
+/// taken under a different optimizer (same contract as the executor's
+/// lane width and thread count). The hybrid journals its two stages into
+/// `pso/` and `gradient/` subdirectories of the checkpoint, each with its
+/// own manifest.
+///
+/// # Errors
+///
+/// As [`estimate_durable`] for swarm stages and
+/// [`crate::gradient::estimate_gradient_durable`] for gradient stages.
+pub fn estimate_durable_with(
+    problem: &EstimationProblem<'_>,
+    engine: &dyn Simulator,
+    optimizer: &Optimizer,
+    checkpoint: &Checkpoint,
+) -> Result<(EstimationResult, ShardReport), CampaignError> {
+    match optimizer {
+        Optimizer::Pso(config) => estimate_durable(problem, engine, config, checkpoint),
+        Optimizer::Lbfgs(config) => estimate_gradient_durable(problem, config, checkpoint),
+        Optimizer::Hybrid { pso, gradient } => {
+            let sub = |stage: &str| {
+                Checkpoint::new(checkpoint.dir().join(stage))
+                    .with_cancel(checkpoint.cancel_token().clone())
+            };
+            let (global, r1) = estimate_durable(problem, engine, pso, &sub("pso"))?;
+            // The polish starts from the swarm's best, so its checkpoint
+            // is only valid against that exact stage-1 outcome — pin it.
+            let start = global.optimization.best_position.clone();
+            let polish_cp = sub("gradient").with_world(
+                "hybrid_start",
+                format!("{:016x}", crate::campaign::f64s_digest(&start)),
+            );
+            let (polish, r2) = polish_gradient_durable(problem, gradient, &start, &polish_cp)?;
+            let merged = merge_stages(global, polish);
+            Ok((
+                merged,
+                ShardReport {
+                    resumed: r1.resumed || r2.resumed,
+                    recovered: r1.recovered + r2.recovered,
+                    executed: r1.executed + r2.executed,
+                    truncated_bytes: r1.truncated_bytes + r2.truncated_bytes,
+                },
+            ))
+        }
+    }
+}
+
+/// Folds a swarm stage and a gradient stage into one result. The stages
+/// score with different metrics (relative L1 for the swarm, relative SSQ
+/// for the gradient), so they are not compared directly: the polish
+/// *starts from* the swarm's best and can only hold or improve it in its
+/// own metric, so its optimum wins whenever it produced one (a
+/// non-finite polish — every start failed to integrate — falls back to
+/// the swarm's answer). Histories concatenate (mixed-metric, in stage
+/// order) and the solve accounting sums.
+fn merge_stages(global: EstimationResult, polish: EstimationResult) -> EstimationResult {
+    let (best_position, best_fitness, rate_constants) =
+        if polish.optimization.best_fitness.is_finite() {
+            (
+                polish.optimization.best_position.clone(),
+                polish.optimization.best_fitness,
+                polish.rate_constants.clone(),
+            )
+        } else {
+            (
+                global.optimization.best_position.clone(),
+                global.optimization.best_fitness,
+                global.rate_constants.clone(),
+            )
+        };
+    let mut history = global.optimization.history;
+    history.extend(polish.optimization.history);
+    EstimationResult {
+        optimization: PsoResult {
+            best_position,
+            best_fitness,
+            history,
+            evaluations: global.optimization.evaluations + polish.optimization.evaluations,
+        },
+        rate_constants,
+        simulated_ns: global.simulated_ns + polish.simulated_ns,
+        simulations: global.simulations + polish.simulations,
+    }
 }
 
 #[cfg(test)]
@@ -430,6 +563,76 @@ mod tests {
         assert!((r.rate_constants[1] - 0.4).abs() < 0.08, "k2 = {}", r.rate_constants[1]);
         assert!(r.simulations > 0);
         assert!(r.simulated_ns > 0.0);
+    }
+
+    #[test]
+    fn hybrid_reaches_gradient_accuracy_from_a_short_swarm() {
+        let truth = two_step_model(1.5, 0.4);
+        let times: Vec<f64> = (1..=8).map(|i| i as f64 * 0.5).collect();
+        let target = target_for(&truth, &times);
+        let problem = EstimationProblem {
+            model: &truth,
+            unknown: vec![0, 1],
+            log_bounds: vec![(-2.0, 1.0), (-2.0, 1.0)],
+            observed: vec![0, 1, 2],
+            target,
+            time_points: times,
+            options: SolverOptions::default(),
+            failed_members: FailedMemberPolicy::default(),
+        };
+        let engine = CpuEngine::new(CpuSolverKind::Lsoda);
+        let optimizer = Optimizer::Hybrid {
+            pso: PsoConfig { iterations: 5, swarm_size: Some(10), seed: 3, ..Default::default() },
+            gradient: crate::gradient::GradientConfig { starts: 1, ..Default::default() },
+        };
+        let r = estimate_with(&problem, &engine, &optimizer);
+        // The 5-generation swarm alone lands nowhere near 1e-3; the polish
+        // must close the gap.
+        assert!((r.rate_constants[0] - 1.5).abs() < 1e-3, "k1 = {}", r.rate_constants[0]);
+        assert!((r.rate_constants[1] - 0.4).abs() < 1e-3, "k2 = {}", r.rate_constants[1]);
+        assert_eq!(optimizer.name(), "hybrid");
+    }
+
+    #[test]
+    fn durable_resume_refuses_a_different_optimizer() {
+        let truth = two_step_model(1.0, 0.5);
+        let times = vec![0.5, 1.0];
+        let target = target_for(&truth, &times);
+        let problem = EstimationProblem {
+            model: &truth,
+            unknown: vec![0],
+            log_bounds: vec![(-1.0, 1.0)],
+            observed: vec![0],
+            target,
+            time_points: times,
+            options: SolverOptions::default(),
+            failed_members: FailedMemberPolicy::default(),
+        };
+        let engine = CpuEngine::new(CpuSolverKind::Lsoda);
+        let dir = std::env::temp_dir()
+            .join(format!("paraspace_pe_optimizer_mismatch_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+
+        let pso_cfg = PsoConfig { iterations: 3, swarm_size: Some(6), ..Default::default() };
+        let cp = Checkpoint::new(&dir);
+        estimate_durable_with(&problem, &engine, &Optimizer::Pso(pso_cfg), &cp).unwrap();
+
+        // Same checkpoint, different optimizer: the manifest must refuse.
+        let lbfgs = Optimizer::Lbfgs(crate::gradient::GradientConfig::default());
+        let err = estimate_durable_with(&problem, &engine, &lbfgs, &cp).unwrap_err();
+        match err {
+            CampaignError::Journal(paraspace_journal::JournalError::ManifestMismatch {
+                field,
+                ..
+            }) => {
+                assert!(
+                    field == "optimizer" || field == "shards" || field == "optimizer_config",
+                    "mismatch must be attributed to the optimizer pin, got {field}"
+                );
+            }
+            other => panic!("expected ManifestMismatch, got {other}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -143,11 +143,15 @@ impl Swarm {
 /// use paraspace_analysis::pso::{pso, PsoConfig};
 ///
 /// // Minimize the sphere function.
-/// let sphere = |x: &[f64]| x.iter().map(|v| v * v).sum::<f64>();
-/// let r = pso(&[(-5.0, 5.0); 3], &PsoConfig { iterations: 80, ..Default::default() }, sphere);
+/// let mut sphere = |x: &[f64]| x.iter().map(|v| v * v).sum::<f64>();
+/// let r = pso(&[(-5.0, 5.0); 3], &PsoConfig { iterations: 80, ..Default::default() }, &mut sphere);
 /// assert!(r.best_fitness < 1e-2);
 /// ```
-pub fn pso<O: Objective>(bounds: &[(f64, f64)], config: &PsoConfig, objective: O) -> PsoResult {
+pub fn pso<O: Objective + ?Sized>(
+    bounds: &[(f64, f64)],
+    config: &PsoConfig,
+    objective: &mut O,
+) -> PsoResult {
     run_swarm(bounds, config, objective, Tuning::Fixed)
 }
 
@@ -162,13 +166,17 @@ pub fn pso<O: Objective>(bounds: &[(f64, f64)], config: &PsoConfig, objective: O
 /// ```
 /// use paraspace_analysis::pso::{fst_pso, PsoConfig};
 ///
-/// let rosenbrock = |x: &[f64]| {
+/// let mut rosenbrock = |x: &[f64]| {
 ///     (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2)
 /// };
-/// let r = fst_pso(&[(-2.0, 2.0); 2], &PsoConfig { iterations: 120, ..Default::default() }, rosenbrock);
+/// let r = fst_pso(&[(-2.0, 2.0); 2], &PsoConfig { iterations: 120, ..Default::default() }, &mut rosenbrock);
 /// assert!(r.best_fitness < 0.5);
 /// ```
-pub fn fst_pso<O: Objective>(bounds: &[(f64, f64)], config: &PsoConfig, objective: O) -> PsoResult {
+pub fn fst_pso<O: Objective + ?Sized>(
+    bounds: &[(f64, f64)],
+    config: &PsoConfig,
+    objective: &mut O,
+) -> PsoResult {
     run_swarm(bounds, config, objective, Tuning::Fuzzy)
 }
 
@@ -178,10 +186,10 @@ enum Tuning {
     Fuzzy,
 }
 
-fn run_swarm<O: Objective>(
+fn run_swarm<O: Objective + ?Sized>(
     bounds: &[(f64, f64)],
     config: &PsoConfig,
-    mut objective: O,
+    objective: &mut O,
     tuning: Tuning,
 ) -> PsoResult {
     assert!(!bounds.is_empty(), "at least one dimension required");
@@ -314,8 +322,11 @@ mod tests {
 
     #[test]
     fn pso_minimizes_sphere() {
-        let r =
-            pso(&[(-10.0, 10.0); 4], &PsoConfig { iterations: 100, ..Default::default() }, sphere);
+        let r = pso(
+            &[(-10.0, 10.0); 4],
+            &PsoConfig { iterations: 100, ..Default::default() },
+            &mut sphere,
+        );
         assert!(r.best_fitness < 1e-2, "fitness {}", r.best_fitness);
         assert_eq!(r.history.len(), 100);
         assert!(r.evaluations > 0);
@@ -326,14 +337,15 @@ mod tests {
         let r = fst_pso(
             &[(-10.0, 10.0); 4],
             &PsoConfig { iterations: 100, ..Default::default() },
-            sphere,
+            &mut sphere,
         );
         assert!(r.best_fitness < 1e-2, "fitness {}", r.best_fitness);
     }
 
     #[test]
     fn history_is_monotone_nonincreasing() {
-        let r = pso(&[(-5.0, 5.0); 3], &PsoConfig { iterations: 60, ..Default::default() }, sphere);
+        let r =
+            pso(&[(-5.0, 5.0); 3], &PsoConfig { iterations: 60, ..Default::default() }, &mut sphere);
         for w in r.history.windows(2) {
             assert!(w[1] <= w[0] + 1e-15);
         }
@@ -342,8 +354,8 @@ mod tests {
     #[test]
     fn results_are_reproducible_under_seed() {
         let cfg = PsoConfig { iterations: 30, seed: 7, ..Default::default() };
-        let a = pso(&[(-1.0, 1.0); 2], &cfg, sphere);
-        let b = pso(&[(-1.0, 1.0); 2], &cfg, sphere);
+        let a = pso(&[(-1.0, 1.0); 2], &cfg, &mut sphere);
+        let b = pso(&[(-1.0, 1.0); 2], &cfg, &mut sphere);
         assert_eq!(a.best_position, b.best_position);
         assert_eq!(a.history, b.history);
     }
@@ -351,12 +363,13 @@ mod tests {
     #[test]
     fn positions_respect_bounds() {
         let bounds = [(2.0, 3.0), (-4.0, -1.0)];
-        let tracker = |x: &[f64]| {
+        let mut tracker = |x: &[f64]| {
             assert!((2.0..=3.0).contains(&x[0]), "x0 = {}", x[0]);
             assert!((-4.0..=-1.0).contains(&x[1]), "x1 = {}", x[1]);
             sphere(x)
         };
-        let _ = fst_pso(&bounds, &PsoConfig { iterations: 40, ..Default::default() }, tracker);
+        let _ =
+            fst_pso(&bounds, &PsoConfig { iterations: 40, ..Default::default() }, &mut tracker);
     }
 
     #[test]
@@ -388,14 +401,14 @@ mod tests {
 
     #[test]
     fn multimodal_rastrigin_reaches_good_basin() {
-        let rastrigin = |x: &[f64]| {
+        let mut rastrigin = |x: &[f64]| {
             10.0 * x.len() as f64
                 + x.iter()
                     .map(|v| v * v - 10.0 * (2.0 * std::f64::consts::PI * v).cos())
                     .sum::<f64>()
         };
         let cfg = PsoConfig { iterations: 150, swarm_size: Some(30), ..Default::default() };
-        let r = fst_pso(&[(-5.12, 5.12); 2], &cfg, rastrigin);
+        let r = fst_pso(&[(-5.12, 5.12); 2], &cfg, &mut rastrigin);
         assert!(r.best_fitness < 2.0, "fitness {}", r.best_fitness);
     }
 
@@ -416,9 +429,9 @@ mod tests {
         }
         let batches = Rc::new(Cell::new(0));
         let sizes = Rc::new(Cell::new(0));
-        let obj = Counting { batches: Rc::clone(&batches), sizes: Rc::clone(&sizes) };
+        let mut obj = Counting { batches: Rc::clone(&batches), sizes: Rc::clone(&sizes) };
         let cfg = PsoConfig { iterations: 10, swarm_size: Some(8), ..Default::default() };
-        let _ = pso(&[(-1.0, 1.0); 2], &cfg, obj);
+        let _ = pso(&[(-1.0, 1.0); 2], &cfg, &mut obj);
         assert_eq!(batches.get(), 10, "one batch per generation");
         assert_eq!(sizes.get(), 8, "whole swarm per batch");
     }

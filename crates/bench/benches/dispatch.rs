@@ -218,10 +218,11 @@ fn scaling(c: &mut Criterion) {
 
 fn write_json(shards: u64, members: usize, single_best_ns: f64, rows: &[Row]) {
     let mut body = String::from("{\n");
-    body.push_str("  \"bench\": \"dispatch\",\n");
+    body.push_str(&paraspace_bench::bench_header(
+        "dispatch",
+        rows.iter().map(|r| r.workers).max().unwrap_or(1),
+    ));
     body.push_str("  \"engine\": \"fine (1 thread per worker)\",\n");
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(0);
-    body.push_str(&format!("  \"host_cores\": {cores},\n"));
     body.push_str("  \"model\": \"metabolic\",\n");
     body.push_str(&format!("  \"shards\": {shards}, \"members_per_shard\": {members},\n"));
     body.push_str(&format!("  \"single_process_best_ns\": {:.0},\n", single_best_ns));

@@ -150,7 +150,7 @@ fn overhead(c: &mut Criterion) {
 
 fn write_json(rows: &[Row]) {
     let mut body = String::from("{\n");
-    body.push_str("  \"bench\": \"durability\",\n");
+    body.push_str(&paraspace_bench::bench_header("durability", 1));
     body.push_str("  \"engine\": \"fine\",\n");
     body.push_str(&format!(
         "  \"grid\": {{\"axis1\": {}, \"axis2\": {}, \"time_points\": 2}},\n",

@@ -104,12 +104,10 @@ fn sweep(c: &mut Criterion) {
 }
 
 fn write_json(rows: &[Row]) {
-    let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let mut body = String::from("{\n");
-    body.push_str("  \"bench\": \"executor\",\n");
+    body.push_str(&paraspace_bench::bench_header("executor", WORKERS[WORKERS.len() - 1]));
     body.push_str("  \"engine\": \"fine-coarse\",\n");
     body.push_str("  \"model\": {\"species\": 16, \"reactions\": 16, \"time_points\": 2},\n");
-    body.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
     body.push_str(
         "  \"note\": \"wall time of the host-side batch numerics; with host_cpus=1 the \
          multi-worker rows measure oversubscription overhead, not speedup\",\n",

@@ -119,12 +119,10 @@ fn sweep(c: &mut Criterion) {
 }
 
 fn write_json(rows: &[Row]) {
-    let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let mut body = String::from("{\n");
-    body.push_str("  \"bench\": \"lanes\",\n");
+    body.push_str(&paraspace_bench::bench_header("lanes", 1));
     body.push_str("  \"engine\": \"fine\",\n");
     body.push_str("  \"model\": {\"species\": 16, \"reactions\": 16, \"time_points\": 2},\n");
-    body.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
     body.push_str(
         "  \"note\": \"wall time of the host-side batch numerics; lane_width 1 is the scalar \
          RKF45 baseline path, widths >= 2 the lockstep SoA DOPRI5 path; speedup_vs_scalar \

@@ -324,14 +324,12 @@ fn sweep(c: &mut Criterion) {
 }
 
 fn write_json(rows: &[Row]) {
-    let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let mut body = String::from("{\n");
-    body.push_str("  \"bench\": \"radau_lanes\",\n");
+    body.push_str(&paraspace_bench::bench_header("radau_lanes", 1));
     body.push_str(
         "  \"models\": {\"metabolic\": {\"species\": 114, \"reactions\": 226}, \
          \"autophagy-stiff\": {\"species\": 12, \"reactions\": 333, \"rate_boost\": 1e4}},\n",
     );
-    body.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
     body.push_str(
         "  \"note\": \"wall time of the stiff batch numerics; bdf1-scalar is the pre-lockstep \
          scalar triage destination, radau5-scalar the like-for-like scalar method, radau5-lanes \

@@ -351,10 +351,8 @@ fn sweep(c: &mut Criterion) {
 }
 
 fn write_json(rows: &[Row]) {
-    let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let mut body = String::from("{\n");
-    body.push_str("  \"bench\": \"sparse_lu\",\n");
-    body.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
+    body.push_str(&paraspace_bench::bench_header("sparse_lu", 1));
     body.push_str(
         "  \"note\": \"batched LU refresh (fill + factor) and triangular solve wall times on \
          model-derived Jacobian patterns; closed_nnz is the all-pivot-sequence fill closure the \

@@ -288,16 +288,14 @@ fn sweep(c: &mut Criterion) {
 }
 
 fn write_json(rows: &[Row]) {
-    let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let mut body = String::from("{\n");
-    body.push_str("  \"bench\": \"tau_lanes\",\n");
+    body.push_str(&paraspace_bench::bench_header("tau_lanes", 1));
     body.push_str(
         "  \"models\": {\"autophagy-counts\": {\"species\": 12, \"reactions\": 333, \
          \"volume_factor\": 1000, \"horizon\": 0.02}, \"decay-chain\": {\"species\": 4, \
          \"reactions\": 4, \"s0\": 10000, \"horizon\": 2.0}, \"enzyme\": {\"species\": 4, \
          \"reactions\": 3, \"enzymes\": 200, \"substrates\": 5000, \"horizon\": 2.0}},\n",
     );
-    body.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
     body.push_str(
         "  \"note\": \"single-thread wall time of the stochastic ensemble numerics; ssa-scalar \
          is the exact direct method (omitted for autophagy-counts, where ~9M events per \

@@ -147,10 +147,11 @@ fn transport_tax(c: &mut Criterion) {
         std::fs::write(
             root.join("results/BENCH_transport.json"),
             format!(
-                "{{\n  \"shards\": {SHARDS},\n  \"payload_len\": {PAYLOAD_LEN},\n  \
+                "{{\n{}  \"shards\": {SHARDS},\n  \"payload_len\": {PAYLOAD_LEN},\n  \
                  \"reps\": {reps},\n  \"file_campaign_best_ns\": {file_best},\n  \
                  \"net_campaign_best_ns\": {net_best},\n  \
-                 \"transport_tax_per_shard_ns\": {tax_per_shard_ns}\n}}\n"
+                 \"transport_tax_per_shard_ns\": {tax_per_shard_ns}\n}}\n",
+                paraspace_bench::bench_header("transport", 1),
             ),
         )
         .ok();

@@ -22,6 +22,36 @@ pub fn full_scale() -> bool {
     std::env::var("PARASPACE_FULL").map(|v| v == "1").unwrap_or(false)
 }
 
+/// The git revision of the working tree, for provenance-stamping emitted
+/// result files; `"unknown"` outside a git checkout.
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+/// The shared provenance header every `results/BENCH_*.json` emitter
+/// opens with: the bench name, what the host offers (`host_cpus`), the
+/// worker-thread count the measured configurations actually ran with
+/// (`threads_used` — the maximum, for benches that sweep thread counts),
+/// and the git revision the numbers were taken at. Returned as the
+/// leading JSON fragment (after `{`), so a result file can never be
+/// mistaken for a different machine's or revision's numbers.
+pub fn bench_header(bench: &str, threads_used: usize) -> String {
+    let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    format!(
+        "  \"bench\": \"{bench}\",\n  \"host_cpus\": {host_cpus},\n  \
+         \"threads_used\": {threads_used},\n  \"git_rev\": \"{}\",\n",
+        git_rev()
+    )
+}
+
 /// The simulator roster of the comparison study, in presentation order.
 pub fn engine_roster() -> Vec<Box<dyn Simulator>> {
     vec![

@@ -20,6 +20,10 @@ use paraspace_analysis::dispatch::{
     WorkerChaos,
 };
 use paraspace_analysis::ensemble::run_ensemble_durable;
+use paraspace_analysis::fitness::FailedMemberPolicy;
+use paraspace_analysis::gradient::GradientConfig;
+use paraspace_analysis::pe::{estimate_durable_with, estimate_with, EstimationProblem, Optimizer};
+use paraspace_analysis::pso::PsoConfig;
 pub use paraspace_core::CancelToken;
 use paraspace_core::{
     recommend_engine, taxonomy, CoarseEngine, CpuEngine, CpuSolverKind, FineCoarseEngine,
@@ -29,7 +33,7 @@ use paraspace_journal::codec::{Dec, Enc};
 use paraspace_journal::lease::{LeaseConfig, RetryState};
 use paraspace_journal::{CampaignManifest, Journal, JournalError, MANIFEST_FILE};
 use paraspace_rbm::{biosimware, sbgen::SbGen, sbml, Parameterization};
-use paraspace_solvers::SolverOptions;
+use paraspace_solvers::{Solution, SolverOptions};
 use paraspace_stochastic::{
     DirectMethod, EnsembleStats, StochasticBatch, StochasticError, StochasticSimulator,
     StochasticTrajectory, TauLeaping,
@@ -168,6 +172,49 @@ pub enum Command {
         /// `worker --connect HOST:PORT`.
         listen: Option<String>,
     },
+    /// Calibrate unknown rate constants against target dynamics.
+    Pe {
+        /// BioSimWare model directory.
+        model_dir: PathBuf,
+        /// Search strategy (`pso`, `lbfgs`, `hybrid`).
+        optimizer: String,
+        /// Engine for swarm stages (`fine-coarse`, `coarse`, `fine`,
+        /// `lsoda`, `vode`). Gradient stages run the host sensitivity
+        /// integrators directly and ignore this.
+        engine: String,
+        /// Reaction indices of the unknown constants (`None` = all).
+        unknown: Option<Vec<usize>>,
+        /// log₁₀ search half-width around each unknown's current value.
+        log_radius: f64,
+        /// Species names scored against the target (`None` = all).
+        observed: Option<Vec<String>>,
+        /// Target dynamics file (tab-separated `t  x0  x1 ...`, one row per
+        /// sample — the `simulate` output format). `None` simulates the
+        /// model's current constants as a self-calibration benchmark.
+        target: Option<PathBuf>,
+        /// Relative tolerance for candidate evaluation.
+        rtol: f64,
+        /// Absolute tolerance for candidate evaluation.
+        atol: f64,
+        /// Host worker threads for swarm stages (1 = sequential, 0 = all
+        /// cores). Results are bitwise identical at any thread count.
+        threads: usize,
+        /// Swarm generations (pso and the hybrid's global stage).
+        iterations: usize,
+        /// Swarm size (`None` = the published heuristic).
+        swarm: Option<usize>,
+        /// L-BFGS iterations per start (lbfgs and the hybrid's polish).
+        grad_iterations: usize,
+        /// Independent L-BFGS starts (ignored by the hybrid's polish,
+        /// which starts from the swarm's best).
+        starts: usize,
+        /// Search seed (swarm RNG and sampled gradient starts).
+        seed: u64,
+        /// Output directory for the estimate (default: `<model_dir>/pe`).
+        out_dir: Option<PathBuf>,
+        /// Checkpoint directory for durable (killable/resumable) runs.
+        checkpoint_dir: Option<PathBuf>,
+    },
     /// Convert between formats.
     Convert {
         /// Source (directory or `.xml` file — detected by suffix).
@@ -264,6 +311,13 @@ USAGE:
                            [--seed S] [--member M] [--threads N]
                            [--lane-width auto|N] [--out DIR]
                            [--checkpoint-dir DIR] [--shard-size N]
+  paraspace-cli pe <model_dir> [--optimizer pso|lbfgs|hybrid] [--engine NAME]
+                           [--unknown I,J,...] [--log-radius R]
+                           [--observed NAME,NAME,...] [--target FILE]
+                           [--rtol X] [--atol X] [--threads N]
+                           [--iterations N] [--swarm N]
+                           [--grad-iterations N] [--starts N] [--seed S]
+                           [--out DIR] [--checkpoint-dir DIR]
   paraspace-cli resume <checkpoint_dir> [--workers N]
   paraspace-cli worker <checkpoint_dir> [--worker-id ID]
   paraspace-cli worker --connect HOST:PORT [--worker-id ID]
@@ -334,6 +388,20 @@ reconnects, and partitions. A partitioned worker keeps computing its
 claimed shard and replays unacknowledged records on reconnect; a worker
 silent past the TTL is presumed dead and its shard reassigned.
 
+`pe` calibrates unknown rate constants (--unknown reaction indices,
+default all; searched within --log-radius decades of their current
+values, default 1.5) against target dynamics: --target FILE in the
+`simulate` output format, or — with no --target — a self-calibration
+benchmark against the model's own constants. OPTIMIZERS: pso (the
+published derivative-free FST-PSO, one ODE solve per particle per
+generation) | lbfgs (multi-start projected L-BFGS on exact
+forward-sensitivity gradients — typically orders of magnitude fewer
+solves) | hybrid (default: a short swarm finds the basin, L-BFGS
+polishes). With --checkpoint-dir the search is durable: every swarm
+generation / gradient evaluation is journaled, `resume DIR` continues
+mid-search bitwise, and resuming under a different optimizer or search
+configuration is refused (same contract as --lane-width).
+
 --pack-shards packs stiff members into small shards and non-stiff
 members into full --shard-size shards (cost-model load balancing);
 --no-pack-shards forces uniform ascending chunks. Default: packed when
@@ -354,6 +422,18 @@ fn parse_flag<T: std::str::FromStr>(
     *i += 1;
     let v = args.get(*i).ok_or_else(|| CliError(format!("{name} needs a value")))?;
     v.parse().map_err(|_| CliError(format!("invalid value for {name}: {v:?}")))
+}
+
+/// Parses a comma-separated index list (`0,3,5`) for flags that select
+/// reactions by position.
+fn parse_index_list(v: &str, name: &str) -> Result<Vec<usize>, CliError> {
+    v.split(',')
+        .map(|s| {
+            s.trim()
+                .parse::<usize>()
+                .map_err(|_| CliError(format!("invalid value for {name}: {v:?}")))
+        })
+        .collect()
 }
 
 /// Parses an argument vector (without the program name).
@@ -545,6 +625,116 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 lane_width,
                 checkpoint_dir,
                 shard_size,
+            })
+        }
+        "pe" => {
+            let mut model_dir = None;
+            let mut optimizer = "hybrid".to_string();
+            let mut engine = "lsoda".to_string();
+            let mut unknown = None;
+            let mut log_radius = 1.5f64;
+            let mut observed = None;
+            let mut target = None;
+            let mut rtol = 1e-6;
+            let mut atol = 1e-12;
+            let mut threads = 1usize;
+            let mut iterations = 40usize;
+            let mut swarm = None;
+            let mut grad_iterations = 60usize;
+            let mut starts = 3usize;
+            let mut seed = 42u64;
+            let mut out_dir = None;
+            let mut checkpoint_dir = None;
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--optimizer" => optimizer = parse_flag(args, &mut i, "--optimizer")?,
+                    "--engine" => engine = parse_flag(args, &mut i, "--engine")?,
+                    "--unknown" => {
+                        i += 1;
+                        let v = args
+                            .get(i)
+                            .ok_or_else(|| CliError("--unknown needs a value".into()))?;
+                        unknown = Some(parse_index_list(v, "--unknown")?);
+                    }
+                    "--log-radius" => log_radius = parse_flag(args, &mut i, "--log-radius")?,
+                    "--observed" => {
+                        i += 1;
+                        let v = args
+                            .get(i)
+                            .ok_or_else(|| CliError("--observed needs a value".into()))?;
+                        observed =
+                            Some(v.split(',').map(|s| s.trim().to_string()).collect::<Vec<_>>());
+                    }
+                    "--target" => {
+                        target = Some(PathBuf::from(
+                            args.get(i + 1)
+                                .cloned()
+                                .ok_or_else(|| CliError("--target needs a value".into()))?,
+                        ))
+                        .inspect(|_| i += 1)
+                    }
+                    "--rtol" => rtol = parse_flag(args, &mut i, "--rtol")?,
+                    "--atol" => atol = parse_flag(args, &mut i, "--atol")?,
+                    "--threads" => threads = parse_flag(args, &mut i, "--threads")?,
+                    "--iterations" => iterations = parse_flag(args, &mut i, "--iterations")?,
+                    "--swarm" => swarm = Some(parse_flag(args, &mut i, "--swarm")?),
+                    "--grad-iterations" => {
+                        grad_iterations = parse_flag(args, &mut i, "--grad-iterations")?
+                    }
+                    "--starts" => starts = parse_flag(args, &mut i, "--starts")?,
+                    "--seed" => seed = parse_flag(args, &mut i, "--seed")?,
+                    "--out" => {
+                        out_dir = Some(PathBuf::from(
+                            args.get(i + 1)
+                                .cloned()
+                                .ok_or_else(|| CliError("--out needs a value".into()))?,
+                        ))
+                        .inspect(|_| i += 1)
+                    }
+                    "--checkpoint-dir" => {
+                        checkpoint_dir =
+                            Some(PathBuf::from(args.get(i + 1).cloned().ok_or_else(|| {
+                                CliError("--checkpoint-dir needs a value".into())
+                            })?))
+                            .inspect(|_| i += 1)
+                    }
+                    other if !other.starts_with("--") && model_dir.is_none() => {
+                        model_dir = Some(PathBuf::from(other));
+                    }
+                    other => return Err(CliError(format!("unexpected argument {other:?}"))),
+                }
+                i += 1;
+            }
+            if !matches!(optimizer.as_str(), "pso" | "lbfgs" | "hybrid") {
+                return Err(CliError(format!(
+                    "unknown optimizer {optimizer:?} (expected `pso`, `lbfgs`, or `hybrid`)"
+                )));
+            }
+            if !(log_radius.is_finite() && log_radius > 0.0) {
+                return Err(CliError("--log-radius must be a positive number".into()));
+            }
+            if starts == 0 {
+                return Err(CliError("--starts must be at least 1".into()));
+            }
+            Ok(Command::Pe {
+                model_dir: model_dir.ok_or_else(|| CliError("pe needs a model directory".into()))?,
+                optimizer,
+                engine,
+                unknown,
+                log_radius,
+                observed,
+                target,
+                rtol,
+                atol,
+                threads,
+                iterations,
+                swarm,
+                grad_iterations,
+                starts,
+                seed,
+                out_dir,
+                checkpoint_dir,
             })
         }
         "resume" => {
@@ -1138,14 +1328,18 @@ pub fn execute_with_cancel(
                 ))),
             }
         }
+        Command::Pe { .. } => run_pe(cmd, out, cancel),
         Command::Resume { checkpoint_dir, workers } => {
             let manifest = CampaignManifest::read(&checkpoint_dir.join(MANIFEST_FILE))?;
             if manifest.kind() == "ensemble" {
                 return resume_ensemble(checkpoint_dir, &manifest, out, cancel);
             }
+            if manifest.kind() == "cli-pe" {
+                return resume_pe(checkpoint_dir, &manifest, out, cancel);
+            }
             if manifest.kind() != "cli-simulate" {
                 return Err(CliError(format!(
-                    "checkpoint at {} is a {:?} campaign, not a CLI simulate or ensemble run",
+                    "checkpoint at {} is a {:?} campaign, not a CLI simulate, ensemble, or pe run",
                     checkpoint_dir.display(),
                     manifest.kind()
                 )));
@@ -1419,6 +1613,348 @@ fn resume_ensemble(
         lane_width,
         checkpoint_dir: Some(checkpoint_dir.to_path_buf()),
         shard_size: parse_field("shard_size", field("shard_size")?)?,
+    };
+    execute_with_cancel(&cmd, out, cancel)
+}
+
+/// Parses a target dynamics file in the `simulate` output format: one row
+/// per sample, `t` then one column per species, tab-separated scientific
+/// notation, no header. Returns the sample times and the target as a
+/// [`Solution`] the fitness and gradient layers index by species.
+fn read_target_dynamics(path: &Path, n_species: usize) -> Result<(Vec<f64>, Solution), CliError> {
+    let text = std::fs::read_to_string(path)?;
+    let mut times = Vec::new();
+    let mut states = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let cols: Vec<&str> = line.split('\t').collect();
+        if cols.len() != n_species + 1 {
+            return Err(CliError(format!(
+                "target {} line {}: {} columns, expected t + {n_species} species",
+                path.display(),
+                lineno + 1,
+                cols.len()
+            )));
+        }
+        let parse = |s: &str| {
+            s.parse::<f64>().map_err(|_| {
+                CliError(format!(
+                    "target {} line {}: malformed number {s:?}",
+                    path.display(),
+                    lineno + 1
+                ))
+            })
+        };
+        times.push(parse(cols[0])?);
+        states.push(cols[1..].iter().map(|s| parse(s)).collect::<Result<Vec<f64>, _>>()?);
+    }
+    if times.is_empty() {
+        return Err(CliError(format!("target {} holds no samples", path.display())));
+    }
+    let solution = Solution { times: times.clone(), states, ..Solution::default() };
+    Ok((times, solution))
+}
+
+/// The top-level manifest a durable `pe` run pins its invocation in (the
+/// optimizer checkpoint itself lives under `search/`). Every field is
+/// world-defining: the unknowns, bounds, target, optimizer, and search
+/// hyperparameters all change the journaled evaluation bytes, so `resume`
+/// and re-invocation refuse any difference — the same contract the
+/// executor applies to `--lane-width` and `--lease-ttl`.
+fn pe_cli_manifest(cmd: &Command) -> CampaignManifest {
+    let Command::Pe {
+        model_dir,
+        optimizer,
+        engine,
+        unknown,
+        log_radius,
+        observed,
+        target,
+        rtol,
+        atol,
+        threads,
+        iterations,
+        swarm,
+        grad_iterations,
+        starts,
+        seed,
+        out_dir,
+        ..
+    } = cmd
+    else {
+        unreachable!("pe_cli_manifest is only called for pe commands")
+    };
+    let join_indices = |v: &[usize]| {
+        v.iter().map(|i| i.to_string()).collect::<Vec<_>>().join(",")
+    };
+    CampaignManifest::new("cli-pe", 0)
+        .with_field("model_dir", model_dir.display().to_string())
+        .with_field("optimizer", optimizer.clone())
+        .with_field("engine", engine.clone())
+        .with_field("unknown", unknown.as_deref().map_or("all".to_string(), join_indices))
+        .with_field("log_radius", format!("{log_radius:e}"))
+        .with_field("observed", observed.as_ref().map_or("all".to_string(), |v| v.join(",")))
+        .with_field(
+            "target",
+            target.as_ref().map_or("self".to_string(), |p| p.display().to_string()),
+        )
+        .with_field("rtol", format!("{rtol:e}"))
+        .with_field("atol", format!("{atol:e}"))
+        .with_field("threads", threads.to_string())
+        .with_field("iterations", iterations.to_string())
+        .with_field("swarm", swarm.map_or("auto".to_string(), |s| s.to_string()))
+        .with_field("grad_iterations", grad_iterations.to_string())
+        .with_field("starts", starts.to_string())
+        .with_field("seed", seed.to_string())
+        .with_field("out_dir", out_dir.as_ref().map_or(String::new(), |p| p.display().to_string()))
+}
+
+/// Runs the `pe` command: resolve the estimation problem from the model
+/// directory and flags, dispatch to the chosen optimizer (durably when a
+/// checkpoint directory is given), and write the estimate.
+fn run_pe(
+    cmd: &Command,
+    out: &mut dyn std::io::Write,
+    cancel: &CancelToken,
+) -> Result<(), CliError> {
+    let Command::Pe {
+        model_dir,
+        optimizer,
+        engine,
+        unknown,
+        log_radius,
+        observed,
+        target,
+        rtol,
+        atol,
+        threads,
+        iterations,
+        swarm,
+        grad_iterations,
+        starts,
+        seed,
+        out_dir,
+        checkpoint_dir,
+    } = cmd
+    else {
+        unreachable!("run_pe is only called for pe commands")
+    };
+    let model = biosimware::read_dir(model_dir)?;
+    let n_species = model.n_species();
+    let n_reactions = model.reactions().len();
+
+    let unknown: Vec<usize> = match unknown {
+        Some(v) => {
+            for &idx in v {
+                if idx >= n_reactions {
+                    return Err(CliError(format!(
+                        "--unknown index {idx} out of range (model has {n_reactions} reactions)"
+                    )));
+                }
+            }
+            v.clone()
+        }
+        None => (0..n_reactions).collect(),
+    };
+    let observed: Vec<usize> = match observed {
+        Some(names) => names
+            .iter()
+            .map(|name| {
+                model.species().iter().position(|s| s.name == *name).ok_or_else(|| {
+                    CliError(format!("--observed species {name:?} is not in the model"))
+                })
+            })
+            .collect::<Result<Vec<usize>, _>>()?,
+        None => (0..n_species).collect(),
+    };
+    let k = model.rate_constants();
+    let log_bounds: Vec<(f64, f64)> = unknown
+        .iter()
+        .map(|&idx| {
+            // A zero or negative placeholder has no log-center; search
+            // around k = 1.
+            let center = if k[idx] > 0.0 { k[idx].log10() } else { 0.0 };
+            (center - log_radius, center + log_radius)
+        })
+        .collect();
+    let options = SolverOptions {
+        rel_tol: *rtol,
+        abs_tol: *atol,
+        max_steps: 100_000,
+        ..SolverOptions::default()
+    };
+    let engine = engine_by_name(engine, *threads, None, RecoveryPolicy::default(), cancel)?;
+
+    let (time_points, target) = match target {
+        Some(path) => read_target_dynamics(path, n_species)?,
+        None => {
+            // Self-calibration benchmark: the model's current constants
+            // are the ground truth the search must recover.
+            let times = biosimware::read_time_points(model_dir)
+                .unwrap_or_else(|_| vec![1.0, 2.0, 5.0, 10.0]);
+            let job = SimulationJob::builder(&model)
+                .time_points(times.clone())
+                .replicate(1)
+                .options(options.clone())
+                .build()?;
+            let solution = engine
+                .run(&job)?
+                .outcomes
+                .remove(0)
+                .solution
+                .map_err(|e| CliError(format!("self-calibration target failed: {e}")))?;
+            (times, solution)
+        }
+    };
+
+    let problem = EstimationProblem {
+        model: &model,
+        unknown: unknown.clone(),
+        log_bounds,
+        observed,
+        target,
+        time_points,
+        options,
+        failed_members: FailedMemberPolicy::default(),
+    };
+    let pso_cfg =
+        PsoConfig { iterations: *iterations, swarm_size: *swarm, seed: *seed, ..PsoConfig::default() };
+    let grad_cfg = GradientConfig {
+        iterations: *grad_iterations,
+        starts: *starts,
+        seed: *seed,
+        ..GradientConfig::default()
+    };
+    let chosen = match optimizer.as_str() {
+        "pso" => Optimizer::Pso(pso_cfg),
+        "lbfgs" => Optimizer::Lbfgs(grad_cfg),
+        _ => Optimizer::Hybrid { pso: pso_cfg, gradient: grad_cfg },
+    };
+
+    let (result, report) = match checkpoint_dir {
+        None => (estimate_with(&problem, engine.as_ref(), &chosen), None),
+        Some(dir) => {
+            let expected = pe_cli_manifest(cmd);
+            let manifest_path = dir.join(MANIFEST_FILE);
+            if manifest_path.exists() {
+                CampaignManifest::read(&manifest_path)?.verify_matches(&expected)?;
+            } else {
+                std::fs::create_dir_all(dir)?;
+                expected.write_atomic(&manifest_path)?;
+            }
+            let checkpoint = Checkpoint::new(dir.join("search")).with_cancel(cancel.clone());
+            match estimate_durable_with(&problem, engine.as_ref(), &chosen, &checkpoint) {
+                Ok((r, rep)) => (r, Some(rep)),
+                Err(CampaignError::Interrupted { completed, shards, .. }) => {
+                    writeln!(
+                        out,
+                        "interrupted: {completed}/{shards} shards committed to {}",
+                        dir.display()
+                    )?;
+                    return Err(CliError(format!(
+                        "interrupted — resume with `paraspace-cli resume {}`",
+                        dir.display()
+                    )));
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    };
+
+    let out_path = out_dir.clone().unwrap_or_else(|| model_dir.join("pe"));
+    std::fs::create_dir_all(&out_path)?;
+    let mut body = String::with_capacity(16 * n_reactions);
+    for (idx, v) in result.rate_constants.iter().enumerate() {
+        body.push_str(&format!("{idx}\t{v:e}\n"));
+    }
+    std::fs::write(out_path.join("estimate.tsv"), body)?;
+
+    writeln!(
+        out,
+        "pe ({}, {} unknowns): best loss {:.6e} after {} solves",
+        chosen.name(),
+        unknown.len(),
+        result.optimization.best_fitness,
+        result.simulations,
+    )?;
+    for &idx in &unknown {
+        writeln!(out, "  k[{idx}] = {:e}", result.rate_constants[idx])?;
+    }
+    if let Some(rep) = report {
+        writeln!(
+            out,
+            "checkpoint: {} shards ({} replayed, {} executed{})",
+            rep.recovered + rep.executed,
+            rep.recovered,
+            rep.executed,
+            if rep.truncated_bytes > 0 {
+                format!(", {} torn bytes truncated", rep.truncated_bytes)
+            } else {
+                String::new()
+            },
+        )?;
+    }
+    writeln!(out, "estimate written to {}", out_path.join("estimate.tsv").display())?;
+    Ok(())
+}
+
+/// Reconstructs and re-executes a `pe` command from its checkpoint
+/// manifest. The reconstructed command re-verifies the manifest and
+/// resumes the `search/` journal, so a resume under a mutated checkpoint
+/// is refused exactly as a mismatched re-invocation would be.
+fn resume_pe(
+    checkpoint_dir: &Path,
+    manifest: &CampaignManifest,
+    out: &mut dyn std::io::Write,
+    cancel: &CancelToken,
+) -> Result<(), CliError> {
+    let field = |key: &str| {
+        manifest
+            .field(key)
+            .map(str::to_string)
+            .ok_or_else(|| CliError(format!("checkpoint manifest is missing {key:?}")))
+    };
+    fn parse_field<T: std::str::FromStr>(key: &str, v: String) -> Result<T, CliError> {
+        v.parse().map_err(|_| CliError(format!("malformed manifest field {key:?}: {v:?}")))
+    }
+    let unknown = match field("unknown")?.as_str() {
+        "all" => None,
+        v => Some(parse_index_list(v, "unknown")?),
+    };
+    let observed = match field("observed")?.as_str() {
+        "all" => None,
+        v => Some(v.split(',').map(str::to_string).collect()),
+    };
+    let target = match field("target")?.as_str() {
+        "self" => None,
+        v => Some(PathBuf::from(v)),
+    };
+    let swarm = match field("swarm")?.as_str() {
+        "auto" => None,
+        v => Some(parse_field("swarm", v.to_string())?),
+    };
+    let out_dir = field("out_dir")?;
+    let cmd = Command::Pe {
+        model_dir: PathBuf::from(field("model_dir")?),
+        optimizer: field("optimizer")?,
+        engine: field("engine")?,
+        unknown,
+        log_radius: parse_field("log_radius", field("log_radius")?)?,
+        observed,
+        target,
+        rtol: parse_field("rtol", field("rtol")?)?,
+        atol: parse_field("atol", field("atol")?)?,
+        threads: parse_field("threads", field("threads")?)?,
+        iterations: parse_field("iterations", field("iterations")?)?,
+        swarm,
+        grad_iterations: parse_field("grad_iterations", field("grad_iterations")?)?,
+        starts: parse_field("starts", field("starts")?)?,
+        seed: parse_field("seed", field("seed")?)?,
+        out_dir: if out_dir.is_empty() { None } else { Some(PathBuf::from(out_dir)) },
+        checkpoint_dir: Some(checkpoint_dir.to_path_buf()),
     };
     execute_with_cancel(&cmd, out, cancel)
 }
@@ -2365,6 +2901,141 @@ mod tests {
         std::fs::remove_dir_all(&dir).ok();
         std::fs::remove_dir_all(&dir2).ok();
         std::fs::remove_file(&xml).ok();
+    }
+
+    #[test]
+    fn parse_pe_defaults_and_flags() {
+        let cmd = parse(&argv(
+            "pe /tmp/model --optimizer lbfgs --engine fine-coarse --unknown 0,3 \
+             --log-radius 2.0 --observed A,B --target /tmp/target.tsv --rtol 1e-8 \
+             --threads 4 --iterations 12 --swarm 24 --grad-iterations 30 --starts 2 \
+             --seed 9 --out /tmp/pe --checkpoint-dir /tmp/ck",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Pe {
+                model_dir: PathBuf::from("/tmp/model"),
+                optimizer: "lbfgs".into(),
+                engine: "fine-coarse".into(),
+                unknown: Some(vec![0, 3]),
+                log_radius: 2.0,
+                observed: Some(vec!["A".into(), "B".into()]),
+                target: Some(PathBuf::from("/tmp/target.tsv")),
+                rtol: 1e-8,
+                atol: 1e-12,
+                threads: 4,
+                iterations: 12,
+                swarm: Some(24),
+                grad_iterations: 30,
+                starts: 2,
+                seed: 9,
+                out_dir: Some(PathBuf::from("/tmp/pe")),
+                checkpoint_dir: Some(PathBuf::from("/tmp/ck")),
+            }
+        );
+        match parse(&argv("pe /tmp/model")).unwrap() {
+            Command::Pe { optimizer, engine, unknown, observed, target, swarm, .. } => {
+                assert_eq!(optimizer, "hybrid", "hybrid is the default search");
+                assert_eq!(engine, "lsoda");
+                assert_eq!(unknown, None, "all constants unknown by default");
+                assert_eq!(observed, None, "all species observed by default");
+                assert_eq!(target, None, "self-calibration by default");
+                assert_eq!(swarm, None, "swarm size defaults to the heuristic");
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        assert!(parse(&argv("pe")).is_err(), "needs a model directory");
+        assert!(parse(&argv("pe /m --optimizer annealing")).is_err());
+        assert!(parse(&argv("pe /m --unknown 0,x")).is_err());
+        assert!(parse(&argv("pe /m --log-radius 0")).is_err());
+        assert!(parse(&argv("pe /m --starts 0")).is_err());
+    }
+
+    #[test]
+    fn end_to_end_pe_recovers_constants_and_pins_the_optimizer() {
+        use paraspace_rbm::{Reaction, ReactionBasedModel};
+        let base = std::env::temp_dir().join(format!("paraspace_cli_pe_{}", std::process::id()));
+        std::fs::remove_dir_all(&base).ok();
+        std::fs::create_dir_all(&base).unwrap();
+
+        // Ground truth: A -> B -> C at rates (1.5, 0.4). The target file is
+        // its trajectory in the `simulate` output format.
+        let mut truth = ReactionBasedModel::new();
+        let a = truth.add_species("A", 1.0);
+        let b = truth.add_species("B", 0.0);
+        let c = truth.add_species("C", 0.0);
+        truth.add_reaction(Reaction::mass_action(&[(a, 1)], &[(b, 1)], 1.5)).unwrap();
+        truth.add_reaction(Reaction::mass_action(&[(b, 1)], &[(c, 1)], 0.4)).unwrap();
+        let times: Vec<f64> = (1..=8).map(|i| i as f64 * 0.5).collect();
+        let engine = CpuEngine::new(CpuSolverKind::Lsoda);
+        let job =
+            SimulationJob::builder(&truth).time_points(times.clone()).replicate(1).build().unwrap();
+        let sol = engine.run(&job).unwrap().outcomes.remove(0).solution.unwrap();
+        let mut tsv = String::new();
+        for (t, state) in sol.times.iter().zip(&sol.states) {
+            tsv.push_str(&format!("{t:e}"));
+            for v in state {
+                tsv.push_str(&format!("\t{v:e}"));
+            }
+            tsv.push('\n');
+        }
+        let target_path = base.join("target.tsv");
+        std::fs::write(&target_path, tsv).unwrap();
+
+        // The searched model starts from placeholder constants (1, 1).
+        let mut placeholder = ReactionBasedModel::new();
+        let a = placeholder.add_species("A", 1.0);
+        let b = placeholder.add_species("B", 0.0);
+        let c = placeholder.add_species("C", 0.0);
+        placeholder.add_reaction(Reaction::mass_action(&[(a, 1)], &[(b, 1)], 1.0)).unwrap();
+        placeholder.add_reaction(Reaction::mass_action(&[(b, 1)], &[(c, 1)], 1.0)).unwrap();
+        let model_dir = base.join("model");
+        biosimware::write_dir(&placeholder, &model_dir).unwrap();
+        biosimware::write_time_points(&times, &model_dir).unwrap();
+
+        let ckpt = base.join("ckpt");
+        let cmd = parse(&argv(&format!(
+            "pe {} --optimizer lbfgs --target {} --starts 1 --checkpoint-dir {}",
+            model_dir.display(),
+            target_path.display(),
+            ckpt.display(),
+        )))
+        .unwrap();
+        let mut log = Vec::new();
+        execute(&cmd, &mut log).unwrap();
+        let text = String::from_utf8(log).unwrap();
+        assert!(text.contains("pe (lbfgs, 2 unknowns)"), "log: {text}");
+
+        let estimate = std::fs::read_to_string(model_dir.join("pe/estimate.tsv")).unwrap();
+        let ks: Vec<f64> = estimate
+            .lines()
+            .map(|l| l.split('\t').nth(1).unwrap().parse().unwrap())
+            .collect();
+        assert!((ks[0] - 1.5).abs() < 1e-2, "k1 = {}", ks[0]);
+        assert!((ks[1] - 0.4).abs() < 1e-2, "k2 = {}", ks[1]);
+
+        // Re-running under a different optimizer must be refused by the
+        // checkpoint manifest, not silently restarted.
+        let mismatched = parse(&argv(&format!(
+            "pe {} --optimizer pso --target {} --starts 1 --checkpoint-dir {}",
+            model_dir.display(),
+            target_path.display(),
+            ckpt.display(),
+        )))
+        .unwrap();
+        let err = execute(&mismatched, &mut Vec::new()).unwrap_err();
+        assert!(err.0.contains("optimizer"), "mismatch must name the optimizer pin: {}", err.0);
+
+        // `resume` reconstructs the command from the manifest and replays
+        // the completed search bitwise (no evaluations re-executed).
+        let mut log = Vec::new();
+        execute(&Command::Resume { checkpoint_dir: ckpt.clone(), workers: 0 }, &mut log).unwrap();
+        let text = String::from_utf8(log).unwrap();
+        assert!(text.contains("pe (lbfgs, 2 unknowns)"), "log: {text}");
+        assert!(text.contains(", 0 executed"), "resume must replay, not re-run: {text}");
+
+        std::fs::remove_dir_all(&base).ok();
     }
 
     #[test]

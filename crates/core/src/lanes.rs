@@ -99,6 +99,61 @@ pub fn auto_lane_width(odes: &CompiledOdes) -> usize {
     width
 }
 
+/// Cache budget for one sensitivity lane-group's live augmented working
+/// set. The explicit augmented path has no LU cliff; its pressure is the
+/// DOPRI5 stage storage (7 k-stages + ~5 state-sized buffers) over the
+/// augmented dimension `n·(1+p)` plus the batched Jacobian / ∂f/∂k blocks
+/// re-streamed every sweep. Same conservative per-core L2 slice as the
+/// stiff tuner's factor budget.
+const SENS_CACHE_BUDGET_BYTES: usize = 256 * 1024;
+
+/// The lane width the lockstep *forward-sensitivity* path should run
+/// `odes` at when carrying `n_params` sensitivity columns.
+///
+/// Sensitivity columns widen every lane's working set `(1+p)`-fold: the
+/// augmented SoA state is `n·(1+p)` rows, and each right-hand-side sweep
+/// additionally streams the `nnz` Jacobian entries and the `p·n` forcing
+/// block per lane. This tuner prices that widened set against the same
+/// cache budget the stiff tuner uses, narrowing from
+/// [`auto_lane_width`]'s answer — never widening past it, and like every
+/// tuner in this module it only ever changes throughput, not results
+/// (per-member sensitivities are bitwise independent of lane width by the
+/// lockstep contract).
+///
+/// # Example
+///
+/// ```
+/// use paraspace_core::{auto_lane_width, auto_sens_lane_width};
+/// use paraspace_rbm::{Reaction, ReactionBasedModel};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut m = ReactionBasedModel::new();
+/// let a = m.add_species("A", 1.0);
+/// m.add_reaction(Reaction::mass_action(&[(a, 1)], &[], 1.0))?;
+/// let odes = m.compile()?;
+/// // Tiny model, few parameters: sensitivities don't narrow the lanes.
+/// assert_eq!(auto_sens_lane_width(&odes, 1), auto_lane_width(&odes));
+/// # Ok(())
+/// # }
+/// ```
+pub fn auto_sens_lane_width(odes: &CompiledOdes, n_params: usize) -> usize {
+    if !odes.supports_lane_batch() {
+        return 1;
+    }
+    let n = odes.n_species();
+    let aug = n * (1 + n_params);
+    let nnz = odes.jacobian_sparsity().nnz();
+    // Live doubles per lane per sweep: 12 augmented state-sized buffers
+    // (DOPRI5's 7 stages + y/y_stage/y_new/err/scale), the Jacobian block,
+    // and the forcing block.
+    let bytes_per_lane = (12 * aug + nnz + n_params * n) * 8;
+    let mut width = auto_lane_width(odes);
+    while width > 1 && bytes_per_lane * width > SENS_CACHE_BUDGET_BYTES {
+        width /= 2;
+    }
+    width
+}
+
 /// Tau-leaping's published relative-change tolerance, mirrored here so the
 /// stochastic tuner prices the leap/SSA mode split the same way the
 /// simulator decides it.
@@ -279,6 +334,37 @@ mod tests {
         // A pinned 1 always selects the engine's documented scalar path.
         assert_eq!(resolve_lane_width(Some(1), &job, "fine", false), 1);
         assert_eq!(resolve_lane_width(Some(1), &job, "fine-coarse", true), 1);
+    }
+
+    #[test]
+    fn sens_width_narrows_with_parameter_count() {
+        // A mid-size chain: full width unburdened, but carrying many
+        // sensitivity columns must narrow the lanes...
+        let odes = chain_model(40, 3);
+        let plain = auto_sens_lane_width(&odes, 0);
+        let heavy = auto_sens_lane_width(&odes, 64);
+        assert!(heavy < plain, "p=64 must narrow: {heavy} vs {plain}");
+        // ...never below 1, never above the plain tuner's answer.
+        assert!(heavy >= 1);
+        assert!(auto_sens_lane_width(&odes, 4) <= auto_lane_width(&odes));
+        // Deterministic.
+        assert_eq!(auto_sens_lane_width(&odes, 64), auto_sens_lane_width(&odes, 64));
+    }
+
+    #[test]
+    fn sens_width_is_scalar_for_non_mass_action_kinetics() {
+        use paraspace_rbm::Kinetics;
+        let mut m = ReactionBasedModel::new();
+        let s = m.add_species("S", 1.0);
+        let p = m.add_species("P", 0.0);
+        m.add_reaction(Reaction::with_kinetics(
+            &[(s, 1)],
+            &[(p, 1)],
+            1.0,
+            Kinetics::MichaelisMenten { km: 0.5 },
+        ))
+        .unwrap();
+        assert_eq!(auto_sens_lane_width(&m.compile().unwrap(), 1), 1);
     }
 
     #[test]

@@ -1,0 +1,79 @@
+//! Analytic parameter-Jacobian (∂f/∂k) validation on the bundled models.
+//!
+//! The forward sensitivity equations `ṡⱼ = J·sⱼ + ∂f/∂kⱼ` are only as good
+//! as their forcing term: a miscompiled `dfdk_with` column silently bends
+//! every gradient the parameter-estimation layer computes. Every rate law
+//! in the compiler is linear in its own constant, so central differences
+//! on the constant recover the exact column up to rounding — these tests
+//! hold each bundled network to a relative 1e-6 agreement at a generic
+//! (strictly positive, non-equilibrium) state.
+
+use paraspace_models::{autophagy, classic, metabolic};
+use paraspace_rbm::ReactionBasedModel;
+
+/// A generic evaluation state: the model's initial state nudged off any
+/// zeros/equilibria so no partial derivative vanishes by coincidence.
+fn generic_state(m: &ReactionBasedModel) -> Vec<f64> {
+    m.initial_state().iter().enumerate().map(|(i, &x)| x + 0.05 + 0.01 * (i % 7) as f64).collect()
+}
+
+/// Checks every `∂f/∂k_r` column against central differences on `k_r`,
+/// entry-wise, with a tolerance scaled to the largest analytic entry.
+/// Fluxes are linear in their constants, so central differences carry no
+/// truncation error at any step size; a *large* step (a quarter of the
+/// constant) minimizes the remaining cancellation rounding — e.g. the
+/// Oregonator's RHS entries dwarf some columns by 1e6× — and holds the
+/// comparison to a genuine relative 1e-6 band.
+fn assert_dfdk_matches_fd(m: &ReactionBasedModel, label: &str) {
+    let odes = m.compile().unwrap();
+    let n = odes.n_species();
+    let r_count = m.reactions().len();
+    let x = generic_state(m);
+    let k = m.rate_constants();
+    let which: Vec<usize> = (0..r_count).collect();
+
+    let mut analytic = vec![0.0; r_count * n];
+    odes.dfdk_with(&x, &which, &mut analytic);
+
+    let scale = analytic.iter().fold(1.0f64, |acc, a| acc.max(a.abs()));
+    let mut flux = vec![0.0; r_count];
+    let mut f_plus = vec![0.0; n];
+    let mut f_minus = vec![0.0; n];
+    for (j, &r) in which.iter().enumerate() {
+        let h = 0.25 * k[r].abs().max(1.0);
+        let mut kp = k.clone();
+        kp[r] = k[r] + h;
+        odes.rhs_with_buffer(&x, &kp, &mut flux, &mut f_plus);
+        kp[r] = k[r] - h;
+        odes.rhs_with_buffer(&x, &kp, &mut flux, &mut f_minus);
+        for s in 0..n {
+            let a = analytic[j * n + s];
+            let fd = (f_plus[s] - f_minus[s]) / (2.0 * h);
+            let tol = 1e-6 * scale.max(a.abs());
+            assert!(
+                (a - fd).abs() <= tol,
+                "{label}: dfdk[r={r}, s={s}] analytic {a} vs central-difference {fd} (tol {tol})"
+            );
+        }
+    }
+}
+
+#[test]
+fn classic_models_dfdk_matches_finite_differences() {
+    assert_dfdk_matches_fd(&classic::robertson(), "robertson");
+    assert_dfdk_matches_fd(&classic::brusselator(1.0, 3.0), "brusselator");
+    assert_dfdk_matches_fd(&classic::lotka_volterra(1.1, 0.4, 0.4), "lotka-volterra");
+    assert_dfdk_matches_fd(&classic::decay_chain(6), "decay-chain");
+    assert_dfdk_matches_fd(&classic::enzyme_mechanism(1.0, 0.5, 0.3), "enzyme");
+    assert_dfdk_matches_fd(&classic::oregonator(), "oregonator");
+}
+
+#[test]
+fn autophagy_model_dfdk_matches_finite_differences() {
+    assert_dfdk_matches_fd(&autophagy::scaled_model(2.0, 1.0, 0.05), "autophagy(scale=0.05)");
+}
+
+#[test]
+fn metabolic_model_dfdk_matches_finite_differences() {
+    assert_dfdk_matches_fd(&metabolic::model(), "metabolic");
+}

@@ -48,6 +48,12 @@ pub struct CompiledOdes {
     term_offsets: Vec<u32>,
     term_reactions: Vec<u32>,
     term_coeffs: Vec<f64>,
+    // Per-reaction net-stoichiometry columns (CSR): the transpose of the
+    // term lists, used by the parameter-Jacobian kernels to scatter one
+    // reaction's flux derivative into the species it touches.
+    stoich_offsets: Vec<u32>,
+    stoich_species: Vec<u32>,
+    stoich_coeffs: Vec<f64>,
 }
 
 /// Reactant lists up to this length are gathered into a stack buffer inside
@@ -104,8 +110,13 @@ impl CompiledOdes {
         }
         let all_mass_action = kinetics.iter().all(|k| k.is_mass_action());
 
-        // Build per-species terms from net stoichiometry.
+        // Build per-species terms from net stoichiometry, plus the
+        // reaction-major transpose for the parameter-Jacobian kernels.
         let mut per_species: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n_species];
+        let mut stoich_offsets = Vec::with_capacity(n_reactions + 1);
+        let mut stoich_species = Vec::new();
+        let mut stoich_coeffs = Vec::new();
+        stoich_offsets.push(0u32);
         for (i, r) in model.reactions().iter().enumerate() {
             let mut net: Vec<(usize, f64)> = Vec::new();
             for &(s, a) in r.reactants() {
@@ -120,8 +131,11 @@ impl CompiledOdes {
             for (s, c) in net {
                 if c != 0.0 {
                     per_species[s].push((i as u32, c));
+                    stoich_species.push(s as u32);
+                    stoich_coeffs.push(c);
                 }
             }
+            stoich_offsets.push(stoich_species.len() as u32);
         }
         let mut term_offsets = Vec::with_capacity(n_species + 1);
         let mut term_reactions = Vec::new();
@@ -147,6 +161,9 @@ impl CompiledOdes {
             term_offsets,
             term_reactions,
             term_coeffs,
+            stoich_offsets,
+            stoich_species,
+            stoich_coeffs,
         }
     }
 
@@ -508,6 +525,124 @@ impl CompiledOdes {
                     let j = self.reactant_species[q] as usize;
                     let d = self.kinetics[r].flux_derivative(k[r], pairs, which);
                     jac[(s, j)] += coeff * d;
+                }
+            }
+        }
+    }
+
+    /// The net-stoichiometry column of reaction `r`: the `(species,
+    /// coefficient)` pairs its flux feeds, in the fixed compile-time order
+    /// the parameter-Jacobian kernels scatter through.
+    pub fn reaction_stoichiometry(&self, r: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let lo = self.stoich_offsets[r] as usize;
+        let hi = self.stoich_offsets[r + 1] as usize;
+        (lo..hi).map(move |p| (self.stoich_species[p] as usize, self.stoich_coeffs[p]))
+    }
+
+    /// The unit flux `g_r(x)` of reaction `r`: its flux evaluated with the
+    /// rate constant replaced by 1. Every rate law in this crate is linear
+    /// in its constant (`flux = k·g(x)` for mass action as well as the
+    /// saturating laws), so the unit flux **is** the exact analytic
+    /// `∂flux_r/∂k_r` — no finite differencing, no division by `k` (which
+    /// would break at `k = 0`).
+    pub fn unit_flux(&self, r: usize, x: &[f64]) -> f64 {
+        if self.all_mass_action {
+            let lo = self.reactant_offsets[r] as usize;
+            let hi = self.reactant_offsets[r + 1] as usize;
+            let mut g = 1.0;
+            for p in lo..hi {
+                let xs = x[self.reactant_species[p] as usize];
+                g *= crate::kinetics::int_pow(xs, self.reactant_orders[p]);
+            }
+            g
+        } else {
+            let mut stack = [(0.0f64, 0u32); STACK_REACTANTS];
+            let mut spill: Vec<(f64, u32)> = Vec::new();
+            let pairs = self.gather_reactants(r, x, &mut stack, &mut spill);
+            self.kinetics[r].flux(1.0, pairs)
+        }
+    }
+
+    /// Analytic parameter Jacobian `∂f/∂k` for the selected rate constants:
+    /// `out[j·N + s] = ∂(dX_s/dt)/∂k_{which[j]}`, one `N`-column per entry
+    /// of `which` (param-major).
+    ///
+    /// Because each flux is linear in its own constant and independent of
+    /// every other constant, column `j` is the single scaled flux column
+    /// `ν_r · g_r(x)` (net stoichiometry times the unit flux) of reaction
+    /// `r = which[j]` — exact and `O(column nnz)` cheap. This is the
+    /// right-hand-side forcing term of the forward sensitivity equations
+    /// `ṡⱼ = J·sⱼ + ∂f/∂kⱼ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatches or an out-of-range reaction index.
+    pub fn dfdk_with(&self, x: &[f64], which: &[usize], out: &mut [f64]) {
+        let n = self.n_species;
+        assert_eq!(x.len(), n, "state vector length");
+        assert_eq!(out.len(), which.len() * n, "dfdk buffer length");
+        out.fill(0.0);
+        for (j, &r) in which.iter().enumerate() {
+            assert!(r < self.n_reactions, "reaction index {r} out of range");
+            let g = self.unit_flux(r, x);
+            let col = &mut out[j * n..(j + 1) * n];
+            let lo = self.stoich_offsets[r] as usize;
+            let hi = self.stoich_offsets[r + 1] as usize;
+            for p in lo..hi {
+                col[self.stoich_species[p] as usize] = self.stoich_coeffs[p] * g;
+            }
+        }
+    }
+
+    /// Lane-batched parameter Jacobian: `out[(j·N + s)·L + l] =
+    /// ∂(dX_s/dt)/∂k_{which[j]}` for lane `l` — the batched companion of
+    /// [`dfdk_with`](Self::dfdk_with), SoA lane-minor like every other
+    /// batched kernel. `gflux` is an `L`-length unit-flux scratch buffer.
+    ///
+    /// Per lane the factor order matches the scalar path exactly, so each
+    /// lane's columns are bitwise identical to
+    /// [`dfdk_with`](Self::dfdk_with) on that lane's gathered state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model is not pure mass-action (check
+    /// [`supports_lane_batch`](Self::supports_lane_batch)), on length
+    /// mismatches, or an out-of-range reaction index.
+    pub fn dfdk_batch(
+        &self,
+        lanes: usize,
+        x: &[f64],
+        which: &[usize],
+        gflux: &mut [f64],
+        out: &mut [f64],
+    ) {
+        assert!(self.all_mass_action, "lane-batched dfdk covers mass-action kinetics only");
+        let n = self.n_species;
+        assert_eq!(x.len(), n * lanes, "state block length");
+        assert_eq!(gflux.len(), lanes, "unit-flux scratch length");
+        assert_eq!(out.len(), which.len() * n * lanes, "dfdk block length");
+        out.fill(0.0);
+        for (j, &r) in which.iter().enumerate() {
+            assert!(r < self.n_reactions, "reaction index {r} out of range");
+            let lo = self.reactant_offsets[r] as usize;
+            let hi = self.reactant_offsets[r + 1] as usize;
+            gflux.fill(1.0);
+            for p in lo..hi {
+                let s = self.reactant_species[p] as usize;
+                let xs = &x[s * lanes..(s + 1) * lanes];
+                let o = self.reactant_orders[p];
+                for l in 0..lanes {
+                    gflux[l] *= crate::kinetics::int_pow(xs[l], o);
+                }
+            }
+            let slo = self.stoich_offsets[r] as usize;
+            let shi = self.stoich_offsets[r + 1] as usize;
+            for p in slo..shi {
+                let s = self.stoich_species[p] as usize;
+                let c = self.stoich_coeffs[p];
+                let col = &mut out[(j * n + s) * lanes..][..lanes];
+                for l in 0..lanes {
+                    col[l] = c * gflux[l];
                 }
             }
         }
@@ -899,6 +1034,117 @@ mod tests {
                             jb[(s * n + j) * lanes + l].to_bits(),
                             jac[(s, j)].to_bits(),
                             "lanes={lanes} lane={l} J[{s}][{j}]"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dfdk_matches_central_finite_difference() {
+        let (_, odes) = lotka_volterra();
+        let x = [1.3, 0.4];
+        let which = [0usize, 1, 2];
+        let mut dfdk = vec![0.0; which.len() * 2];
+        odes.dfdk_with(&x, &which, &mut dfdk);
+        let base_k = odes.rate_constants().to_vec();
+        for (j, &r) in which.iter().enumerate() {
+            let h = 1e-6 * base_k[r].abs().max(1.0);
+            let mut kp = base_k.clone();
+            let mut km = base_k.clone();
+            kp[r] += h;
+            km[r] -= h;
+            let mut flux = vec![0.0; 3];
+            let (mut dp, mut dm) = ([0.0; 2], [0.0; 2]);
+            odes.rhs_with_buffer(&x, &kp, &mut flux, &mut dp);
+            odes.rhs_with_buffer(&x, &km, &mut flux, &mut dm);
+            for s in 0..2 {
+                let fd = (dp[s] - dm[s]) / (2.0 * h);
+                assert!(
+                    (dfdk[j * 2 + s] - fd).abs() < 1e-8,
+                    "∂f[{s}]/∂k[{r}]: {} vs {fd}",
+                    dfdk[j * 2 + s]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dfdk_is_exact_for_saturating_kinetics() {
+        // Every rate law is linear in its constant, so ∂flux/∂k is the unit
+        // flux for MM and Hill reactions too.
+        let mut m = ReactionBasedModel::new();
+        let s = m.add_species("S", 2.0);
+        let p = m.add_species("P", 0.1);
+        m.add_reaction(Reaction::with_kinetics(
+            &[(s, 1)],
+            &[(p, 1)],
+            4.0,
+            Kinetics::MichaelisMenten { km: 0.5 },
+        ))
+        .unwrap();
+        m.add_reaction(Reaction::with_kinetics(
+            &[(p, 1)],
+            &[(s, 1)],
+            1.0,
+            Kinetics::Hill { ka: 1.0, n: 2.0 },
+        ))
+        .unwrap();
+        let odes = m.compile().unwrap();
+        let x = [1.7, 0.6];
+        let mut dfdk = vec![0.0; 2 * 2];
+        odes.dfdk_with(&x, &[0, 1], &mut dfdk);
+        // Reaction 0: flux = k·x/(km+x); unit flux = 1.7/2.2.
+        let g0 = 1.7 / (0.5 + 1.7);
+        assert!((dfdk[0] + g0).abs() < 1e-14, "dS/dk0 = -g0");
+        assert!((dfdk[1] - g0).abs() < 1e-14, "dP/dk0 = +g0");
+        // Reaction 1: Hill unit flux.
+        let x1n = 0.6f64.powf(2.0);
+        let g1 = x1n / (1.0 + x1n);
+        assert!((dfdk[2] - g1).abs() < 1e-14);
+        assert!((dfdk[3] + g1).abs() < 1e-14);
+    }
+
+    #[test]
+    fn dfdk_column_is_scaled_flux_column() {
+        // ∂f/∂k_r · k_r must reproduce the reaction's flux contribution.
+        let (_, odes) = lotka_volterra();
+        let x = [0.9, 1.4];
+        let k = odes.rate_constants().to_vec();
+        let mut dfdk = vec![0.0; 3 * 2];
+        odes.dfdk_with(&x, &[0, 1, 2], &mut dfdk);
+        let mut flux = vec![0.0; 3];
+        odes.fluxes_with(&x, &k, &mut flux);
+        for r in 0..3 {
+            for (s, c) in odes.reaction_stoichiometry(r) {
+                assert!(
+                    (dfdk[r * 2 + s] * k[r] - c * flux[r]).abs() < 1e-12,
+                    "reaction {r} species {s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dfdk_batch_is_bitwise_equal_to_scalar_per_lane() {
+        let (_, odes) = lotka_volterra();
+        let which = [0usize, 2];
+        for lanes in [1, 2, 4, 8] {
+            let x = soa_block(&[1.2, 0.7], lanes);
+            let mut gflux = vec![0.0; lanes];
+            let mut out = vec![0.0; which.len() * 2 * lanes];
+            odes.dfdk_batch(lanes, &x, &which, &mut gflux, &mut out);
+            for l in 0..lanes {
+                let xl = lane_of(&x, lanes, l);
+                let mut sout = vec![0.0; which.len() * 2];
+                odes.dfdk_with(&xl, &which, &mut sout);
+                for j in 0..which.len() {
+                    for s in 0..2 {
+                        assert_eq!(
+                            out[(j * 2 + s) * lanes + l].to_bits(),
+                            sout[j * 2 + s].to_bits(),
+                            "lanes={lanes} lane={l} col={j} s={s}"
                         );
                     }
                 }

@@ -50,6 +50,7 @@ mod radau5_batch;
 mod rk4;
 mod rkf45;
 mod scratch;
+mod sens;
 mod solution;
 mod system;
 
@@ -65,6 +66,7 @@ pub use radau5_batch::Radau5Batch;
 pub use rk4::Rk4;
 pub use rkf45::Rkf45;
 pub use scratch::SolverScratch;
+pub use sens::{AugmentedSensSystem, Dopri5Sens, Radau5Sens, SensOdeSystem, SensSolution};
 pub use solution::{Solution, StepStats};
 pub use system::{FnSystem, OdeSolver, OdeSystem};
 

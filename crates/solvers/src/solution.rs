@@ -60,7 +60,7 @@ impl StepStats {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Solution {
     /// The sample times, as requested.
     pub times: Vec<f64>,
